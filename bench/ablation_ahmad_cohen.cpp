@@ -1,0 +1,72 @@
+// Ablation — Ahmad-Cohen neighbor scheme vs plain individual-timestep
+// Hermite (the integrator family of reference [10]).
+//
+// Both integrate the same Plummer models to the same time with the same
+// accuracy parameter; we compare total pairwise work, the number of
+// full-N force evaluations (what the GRAPE must compute), and energy
+// conservation. The neighbor lists come from the engine's neighbor
+// hardware — the GRAPE-6 feature this scheme was co-designed with.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace g6;
+  Cli cli(argc, argv);
+  const double t_end = cli.get_double("t-end", 0.5, "integration span");
+  if (cli.finish()) return 0;
+
+  print_banner(std::cout,
+               "Ablation: Ahmad-Cohen neighbor scheme vs plain Hermite");
+
+  const double eps = 1.0 / 64.0;
+  TablePrinter table(std::cout,
+                     {"N", "plain_pairs", "ac_pairs", "work_ratio",
+                      "reg/irr_steps", "mean_nb", "dEplain", "dEac"});
+  table.mirror_csv(bench_csv_path("ablation_ahmad_cohen"));
+  table.print_header();
+
+  for (std::size_t n : {128u, 256u, 512u, 1024u}) {
+    Rng rng(100 + static_cast<unsigned>(n));
+    const ParticleSet s = make_plummer(n, rng);
+    const double e0 = compute_energy(s.bodies(), eps).total();
+
+    DirectForceEngine e1(eps);
+    HermiteIntegrator plain(s, e1);
+    plain.evolve(t_end);
+    const double de_plain = std::fabs(
+        (compute_energy(plain.state_at_current_time().bodies(), eps).total() - e0) /
+        e0);
+    const auto plain_pairs = e1.interactions();
+
+    DirectForceEngine e2(eps);
+    AhmadCohenConfig acfg;
+    AhmadCohenIntegrator ac(s, e2, acfg);
+    ac.evolve(t_end);
+    const double de_ac = std::fabs(
+        (compute_energy(ac.state_at_current_time().bodies(), eps).total() - e0) /
+        e0);
+    const auto ac_pairs = ac.irregular_interactions() + ac.regular_interactions();
+
+    table.print_row(
+        {TablePrinter::num(static_cast<long long>(n)),
+         TablePrinter::num(static_cast<double>(plain_pairs)),
+         TablePrinter::num(static_cast<double>(ac_pairs)),
+         TablePrinter::num(static_cast<double>(ac_pairs) /
+                           static_cast<double>(plain_pairs)),
+         TablePrinter::num(static_cast<double>(ac.regular_steps()) /
+                           static_cast<double>(ac.irregular_steps())),
+         TablePrinter::num(ac.mean_neighbor_count()),
+         TablePrinter::num(de_plain), TablePrinter::num(de_ac)});
+  }
+
+  std::printf("\nreading: the neighbor scheme needs a fraction of the pairwise\n"
+              "work of plain Hermite at comparable energy error, and the\n"
+              "fraction improves with N — the reason NBODY-class codes (and the\n"
+              "GRAPE-6 neighbor hardware) use it.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,89 @@
+// Ablation — block floating point vs conventional floating-point
+// accumulation (Sec 3.4 design choice).
+//
+// The paper: "it is quite useful to be able to obtain exactly the same
+// results on machines with different sizes, since it makes the validation
+// of the result much simpler." We demonstrate both halves:
+//   1. with BFP accumulation, the emulated machine produces bit-identical
+//      trajectories for 1, 2 and 4 hosts;
+//   2. with ordinary floating-point summation the partial sums depend on
+//      the partitioning (we sum the same interaction list in chip order
+//      for different chip counts and report the spread).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace g6;
+  Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 96, "particle count"));
+  if (cli.finish()) return 0;
+
+  print_banner(std::cout, "Ablation: block floating point reproducibility (Sec 3.4)");
+
+  Rng rng(3);
+  const ParticleSet initial = make_plummer(n, rng);
+
+  // --- 1: end-to-end bitwise identity across machine sizes --------------
+  TablePrinter table(std::cout, {"hosts", "steps", "x0_final", "bitwise_equal"});
+  table.mirror_csv(bench_csv_path("ablation_bfp_reproducibility"));
+  table.print_header();
+
+  double reference = 0.0;
+  for (std::size_t hosts : {1u, 2u, 4u}) {
+    VirtualClusterConfig cfg;
+    cfg.system = SystemConfig::cluster(hosts);
+    cfg.system.machine.boards_per_host = 1;
+    VirtualCluster cluster(initial, cfg);
+    cluster.evolve(0.125);
+    const double x0 = cluster.particle(0).pos.x;
+    if (hosts == 1) reference = x0;
+    table.print_row({TablePrinter::num(static_cast<long long>(hosts)),
+                     TablePrinter::num(static_cast<double>(cluster.total_steps())),
+                     TablePrinter::num(x0), x0 == reference ? "yes" : "NO"});
+  }
+
+  // --- 2: plain floating-point partial sums depend on partitioning ------
+  std::printf("\nfloating-point (non-BFP) accumulation of one force, split over\n"
+              "different chip counts (same addends, different partial-sum order):\n");
+  std::vector<double> addends;
+  {
+    Rng arng(7);
+    for (std::size_t j = 0; j < 4096; ++j) {
+      addends.push_back(arng.gaussian() * std::exp(arng.uniform(-25.0, 3.0)));
+    }
+  }
+  double first = 0.0;
+  for (std::size_t chips : {1u, 4u, 32u, 128u}) {
+    std::vector<double> partial(chips, 0.0);
+    for (std::size_t j = 0; j < addends.size(); ++j) {
+      partial[j % chips] += addends[j];  // per-chip running sum
+    }
+    double total = 0.0;
+    for (double p : partial) total += p;
+    if (chips == 1) first = total;
+    std::printf("  %4zu chips: sum = %.17g   diff vs 1 chip = %.3g\n", chips, total,
+                total - first);
+  }
+
+  // And the BFP control: identical mantissas for any partitioning.
+  std::printf("\nblock floating-point control (same addends):\n");
+  long long ref_mant = 0;
+  for (std::size_t chips : {1u, 4u, 32u, 128u}) {
+    std::vector<BlockFloatAccumulator> partial(chips, BlockFloatAccumulator(6));
+    for (std::size_t j = 0; j < addends.size(); ++j) {
+      partial[j % chips].add(addends[j]);
+    }
+    BlockFloatAccumulator total(6);
+    for (const auto& p : partial) total.merge(p);
+    if (chips == 1) ref_mant = total.mantissa();
+    std::printf("  %4zu chips: mantissa = %lld   %s\n", chips,
+                static_cast<long long>(total.mantissa()),
+                total.mantissa() == ref_mant ? "(identical)" : "(DIFFERENT!)");
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,65 @@
+// Ablation — degree of i-parallelism (Sec 3.4 memory-architecture
+// decision).
+//
+// GRAPE-4 shared one memory among 48 chips (96 i-particles in parallel);
+// scaling that design to GRAPE-6 speeds would have pushed the degree of
+// parallelism to ~1000, "too large if we want to obtain a reasonable
+// performance for simulations of star clusters with small, high-density
+// cores". The local-memory design holds it at 48 per host row.
+//
+// With fixed total throughput, a machine that processes D i-particles in
+// parallel spends ceil(n_b / D) * D * N interaction slots on a block of
+// n_b: efficiency = n_b / (ceil(n_b/D) * D). We replay calibrated
+// blockstep schedules against a sweep of D.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace g6;
+  Cli cli(argc, argv);
+  const bool recal = cli.get_bool("recalibrate", false, "ignore calibration cache");
+  CalibrationOptions copt = bench::standard_calibration(cli);
+  if (cli.finish()) return 0;
+
+  print_banner(std::cout,
+               "Ablation: degree of hardware parallelism vs efficiency (Sec 3.4)");
+
+  const TraceScaling scaling =
+      bench::scaling_for(SofteningLaw::kConstant, copt, recal);
+
+  const std::size_t degrees[] = {48, 96, 192, 384, 768, 1536, 6144};
+  std::vector<std::string> cols = {"N", "mean_block"};
+  for (std::size_t d : degrees) cols.push_back("eff_D=" + std::to_string(d));
+  TablePrinter table(std::cout, cols);
+  table.mirror_csv(bench_csv_path("ablation_parallelism_degree"));
+  table.print_header();
+
+  for (std::size_t n : {2048u, 16384u, 131072u, 1048576u}) {
+    Rng rng(17 + static_cast<unsigned>(n));
+    const BlockstepTrace trace = scaling.synthesize(n, 1.0, rng);
+
+    std::vector<std::string> row = {
+        TablePrinter::num(static_cast<long long>(n)),
+        TablePrinter::num(trace.mean_block_size())};
+    for (std::size_t d : degrees) {
+      unsigned long long used = 0, busy = 0;
+      for (const auto& rec : trace.records) {
+        const unsigned long long passes = (rec.block_size + d - 1) / d;
+        used += rec.block_size;
+        busy += passes * d;
+      }
+      row.push_back(TablePrinter::num(static_cast<double>(used) /
+                                      static_cast<double>(busy)));
+    }
+    table.print_row(row);
+  }
+
+  std::printf("\nreading: at GRAPE-6's D=48 per host the pipelines stay busy even\n"
+              "for modest N; at D ~ 1000+ (the shared-memory design scaled up)\n"
+              "small blocks waste most of the hardware — the paper's reason for\n"
+              "moving the j-memory onto the chip.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

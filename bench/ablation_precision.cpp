@@ -1,0 +1,88 @@
+// Ablation — pipeline word width vs integration accuracy.
+//
+// GRAPE-6 computes forces in a ~single-precision pipeline (Sec 3.4); this
+// sweep shows why that is enough for the Hermite integrator and where it
+// would stop being enough: force errors scale as 2^-bits, and the energy
+// drift over a fixed span follows until the truncation error of the
+// integrator itself dominates.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace g6;
+  Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 128, "particle count"));
+  const double t_end = cli.get_double("t-end", 0.125, "integration span");
+  if (cli.finish()) return 0;
+
+  print_banner(std::cout, "Ablation: pipeline fraction bits vs force error and dE/E");
+
+  Rng rng(11);
+  const double eps = 1.0 / 64.0;
+  const ParticleSet initial = make_plummer(n, rng);
+  const double e0 = compute_energy(initial.bodies(), eps).total();
+
+  // Reference forces in double precision.
+  std::vector<JParticle> js(n);
+  std::vector<PredictedState> block(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    js[i].mass = initial[i].mass;
+    js[i].pos = initial[i].pos;
+    js[i].vel = initial[i].vel;
+    block[i] = {initial[i].pos, initial[i].vel, initial[i].mass,
+                static_cast<std::uint32_t>(i)};
+  }
+  DirectForceEngine ref(eps);
+  ref.load_particles(js);
+  std::vector<Force> fref(n);
+  ref.compute_forces(0.0, block, fref);
+
+  MachineConfig mc = MachineConfig::single_host();
+  mc.boards_per_host = 1;
+
+  TablePrinter table(std::cout,
+                     {"frac_bits", "rms_force_rel_err", "dE_over_E", "retries"});
+  table.mirror_csv(bench_csv_path("ablation_precision"));
+  table.print_header();
+
+  for (int bits : {12, 16, 20, 24, 52}) {
+    NumberFormats fmt;
+    fmt.pipeline = FloatFormat(bits, -126, 127);
+    fmt.velocity = fmt.pipeline;
+    fmt.predictor = FloatFormat(std::max(8, bits - 4), -126, 127);
+
+    GrapeForceEngine hw(mc, fmt, eps);
+    hw.load_particles(js);
+    std::vector<Force> fhw(n);
+    hw.compute_forces(0.0, block, fhw);
+
+    double err2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      err2 += norm2(fhw[i].acc - fref[i].acc) / norm2(fref[i].acc);
+    }
+    const double rms = std::sqrt(err2 / static_cast<double>(n));
+
+    GrapeForceEngine hw2(mc, fmt, eps);
+    HermiteConfig cfg;
+    cfg.eta = 0.02;
+    HermiteIntegrator integ(initial, hw2, cfg);
+    integ.evolve(t_end);
+    const double e1 =
+        compute_energy(integ.state_at_current_time().bodies(), eps).total();
+
+    table.print_row({TablePrinter::num(static_cast<long long>(bits)),
+                     TablePrinter::num(rms),
+                     TablePrinter::num(std::fabs((e1 - e0) / e0)),
+                     TablePrinter::num(static_cast<long long>(hw2.stats().retries))});
+  }
+
+  std::printf("\nreading: force error halves per extra bit; beyond ~20-24 bits the\n"
+              "Hermite truncation error dominates dE/E — the GRAPE-6 word sizes\n"
+              "are 'just enough', which is what makes the chip small and fast.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

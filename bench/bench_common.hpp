@@ -1,0 +1,48 @@
+#pragma once
+// Shared plumbing for the figure-reproduction benches: calibration with a
+// shared on-disk cache, standard size grids, and table output.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/grape6.hpp"
+
+namespace g6::bench {
+
+/// Calibration options used by every figure bench (overridable via flags).
+inline CalibrationOptions standard_calibration(Cli& cli) {
+  CalibrationOptions opt;
+  opt.t_span = cli.get_double("calib-span", 0.25, "calibration integration span");
+  const auto max_n =
+      static_cast<std::size_t>(cli.get_int("calib-max-n", 2048, "largest calibration N"));
+  opt.sizes.clear();
+  for (std::size_t n = 256; n <= max_n; n *= 2) opt.sizes.push_back(n);
+  opt.threads = static_cast<unsigned>(cli.get_int("threads", 1, "force threads"));
+  return opt;
+}
+
+/// Calibrated scaling with the shared cache (wiped by --recalibrate).
+inline TraceScaling scaling_for(SofteningLaw law, const CalibrationOptions& opt,
+                                bool recalibrate) {
+  const std::string cache = calibration_cache_path(law);
+  if (recalibrate) std::remove(cache.c_str());
+  std::fprintf(stderr, "[calibration] %s ... ", softening_name(law));
+  std::fflush(stderr);
+  const TraceScaling s = calibrated_scaling(law, opt, cache);
+  std::fprintf(stderr,
+               "R(N)=%.3g*N^%.3f (r2=%.3f), block=%.3g*N^%.3f of N, sigma=%.2f\n",
+               s.steps_rate.coefficient, s.steps_rate.exponent, s.steps_rate.r2,
+               s.block_fraction.coefficient, s.block_fraction.exponent,
+               s.log_block_sigma);
+  return s;
+}
+
+/// Paper-figure N grid: 512 ... hi.
+inline std::vector<std::size_t> figure_grid(std::size_t hi,
+                                            std::size_t per_decade = 4) {
+  return log_grid(512, hi, per_decade);
+}
+
+}  // namespace g6::bench

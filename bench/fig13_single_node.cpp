@@ -1,0 +1,55 @@
+// Figure 13 — single-node performance.
+//
+// "The calculation speed of 1-host, 4-board system in Gflops, plotted as
+// a function of the number of particles in the system", for the three
+// softening choices of Sec 4: eps = 1/64, eps = 1/[8(2N)^(1/3)], and
+// eps = 4/N. Paper features to reproduce: speed practically independent
+// of the softening; > 1 Tflops around N = 2e5; saturation toward the
+// ~3.9 Tflops single-host peak at large N.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace g6;
+  Cli cli(argc, argv);
+  const auto max_n = static_cast<std::size_t>(
+      cli.get_int("max-n", 1'048'576, "largest N of the sweep"));
+  const bool recal = cli.get_bool("recalibrate", false, "ignore calibration cache");
+  const CalibrationOptions copt = bench::standard_calibration(cli);
+  if (cli.finish()) return 0;
+
+  print_banner(std::cout, "Figure 13: single-node (1 host, 4 boards) speed vs N");
+
+  const SystemConfig sys = SystemConfig::single_host();
+  std::printf("machine: %zu chips, peak %.2f Tflops (this configuration)\n",
+              sys.machine.chips_per_host(), MachineModel(sys).peak_flops() / 1e12);
+
+  const SofteningLaw laws[] = {SofteningLaw::kConstant, SofteningLaw::kCubeRoot,
+                               SofteningLaw::kOverN};
+  std::vector<TraceScaling> scalings;
+  for (auto law : laws) scalings.push_back(bench::scaling_for(law, copt, recal));
+
+  TablePrinter table(std::cout, {"N", "Gflops(eps=1/64)", "Gflops(cbrt)",
+                                 "Gflops(4/N)", "steps/s(1/64)"});
+  table.mirror_csv(bench_csv_path("fig13_single_node"));
+  table.print_header();
+
+  for (std::size_t n : bench::figure_grid(max_n)) {
+    std::vector<SpeedPoint> pts;
+    for (std::size_t k = 0; k < 3; ++k) {
+      pts.push_back(measure_speed_synthetic(n, laws[k], sys, scalings[k]));
+    }
+    table.print_row({TablePrinter::num(static_cast<long long>(n)),
+                     TablePrinter::num(pts[0].gflops()),
+                     TablePrinter::num(pts[1].gflops()),
+                     TablePrinter::num(pts[2].gflops()),
+                     TablePrinter::num(pts[0].steps_per_second)});
+  }
+
+  std::printf("\npaper checkpoints: speed ~independent of softening; better than\n"
+              "1 Tflops (1000 Gflops) at N = 2e5 (Sec 4.4).\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

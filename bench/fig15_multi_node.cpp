@@ -1,0 +1,71 @@
+// Figure 15 — multi-node (single cluster) performance.
+//
+// Speed vs N for 1-, 2- and 4-host systems, left panel eps = 1/64 and
+// right panel eps = 4/N. Paper features: the multi-host systems need
+// large N to win; the 2-host crossover sits near N ~ 3e3 for constant
+// softening and moves to N ~ 3e4 for eps = 4/N (smaller softening ->
+// smaller blocks -> synchronization hurts longer).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace g6;
+
+void run_panel(SofteningLaw law, const TraceScaling& scaling, std::size_t max_n) {
+  std::printf("\n-- panel: %s --\n", softening_name(law));
+  const SystemConfig sys1 = SystemConfig::cluster(1);
+  const SystemConfig sys2 = SystemConfig::cluster(2);
+  const SystemConfig sys4 = SystemConfig::cluster(4);
+
+  const std::string tag =
+      law == SofteningLaw::kConstant ? "fig15_const" : "fig15_overn";
+  TablePrinter table(std::cout,
+                     {"N", "Gflops_1host", "Gflops_2host", "Gflops_4host"});
+  table.mirror_csv(bench_csv_path(tag));
+  table.print_header();
+
+  double cross2 = 0.0, cross4 = 0.0;
+  for (std::size_t n : bench::figure_grid(max_n, 6)) {
+    const SpeedPoint p1 = measure_speed_synthetic(n, law, sys1, scaling);
+    const SpeedPoint p2 = measure_speed_synthetic(n, law, sys2, scaling);
+    const SpeedPoint p4 = measure_speed_synthetic(n, law, sys4, scaling);
+    table.print_row({TablePrinter::num(static_cast<long long>(n)),
+                     TablePrinter::num(p1.gflops()), TablePrinter::num(p2.gflops()),
+                     TablePrinter::num(p4.gflops())});
+    if (cross2 == 0.0 && p2.gflops() > p1.gflops()) cross2 = static_cast<double>(n);
+    if (cross4 == 0.0 && p4.gflops() > p1.gflops()) cross4 = static_cast<double>(n);
+  }
+  std::printf("crossover (2 hosts beat 1): N ~ %.3g\n", cross2);
+  std::printf("crossover (4 hosts beat 1): N ~ %.3g\n", cross4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const auto max_n = static_cast<std::size_t>(
+      cli.get_int("max-n", 1'048'576, "largest N of the sweep"));
+  const bool recal = cli.get_bool("recalibrate", false, "ignore calibration cache");
+  const CalibrationOptions copt = bench::standard_calibration(cli);
+  if (cli.finish()) return 0;
+
+  print_banner(std::cout,
+               "Figure 15: single-cluster speed vs N for 1/2/4 hosts");
+
+  const TraceScaling sc_const =
+      bench::scaling_for(SofteningLaw::kConstant, copt, recal);
+  const TraceScaling sc_overn =
+      bench::scaling_for(SofteningLaw::kOverN, copt, recal);
+
+  run_panel(SofteningLaw::kConstant, sc_const, max_n);
+  run_panel(SofteningLaw::kOverN, sc_overn, max_n);
+
+  std::printf("\npaper checkpoints: 2-host crossover at N ~ 3e3 (eps=1/64) and\n"
+              "~ 3e4 (eps=4/N); inter-host communication is only\n"
+              "synchronization (the board network carries the particle data).\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,58 @@
+// Figure 17 — multi-cluster performance.
+//
+// Speed [Tflops] vs N for 4-, 8- and 16-host systems (1, 2 and 4
+// clusters), constant softening. Paper features: the crossover where
+// multi-cluster beats single-cluster is high (N ~ 1e5), and even at
+// N = 1e6 the multi-cluster speedups stay well below ideal — the copy-
+// algorithm exchange and the extra synchronization operations dominate.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace g6;
+  Cli cli(argc, argv);
+  const auto max_n = static_cast<std::size_t>(
+      cli.get_int("max-n", 2'097'152, "largest N of the sweep"));
+  const bool recal = cli.get_bool("recalibrate", false, "ignore calibration cache");
+  const CalibrationOptions copt = bench::standard_calibration(cli);
+  if (cli.finish()) return 0;
+
+  print_banner(std::cout,
+               "Figure 17: multi-cluster speed vs N (4/8/16 hosts = 1/2/4 clusters)");
+
+  const SystemConfig c1 = SystemConfig::multi_cluster(1);
+  const SystemConfig c2 = SystemConfig::multi_cluster(2);
+  const SystemConfig c4 = SystemConfig::multi_cluster(4);
+  const TraceScaling scaling =
+      bench::scaling_for(SofteningLaw::kConstant, copt, recal);
+
+  TablePrinter table(std::cout, {"N", "Tflops_1cl(4n)", "Tflops_2cl(8n)",
+                                 "Tflops_4cl(16n)", "speedup_4cl"});
+  table.mirror_csv(bench_csv_path("fig17_multi_cluster"));
+  table.print_header();
+
+  double cross2 = 0.0, cross4 = 0.0;
+  for (std::size_t n : bench::figure_grid(max_n, 5)) {
+    const SpeedPoint p1 =
+        measure_speed_synthetic(n, SofteningLaw::kConstant, c1, scaling);
+    const SpeedPoint p2 =
+        measure_speed_synthetic(n, SofteningLaw::kConstant, c2, scaling);
+    const SpeedPoint p4 =
+        measure_speed_synthetic(n, SofteningLaw::kConstant, c4, scaling);
+    table.print_row({TablePrinter::num(static_cast<long long>(n)),
+                     TablePrinter::num(p1.tflops()), TablePrinter::num(p2.tflops()),
+                     TablePrinter::num(p4.tflops()),
+                     TablePrinter::num(p4.tflops() / p1.tflops())});
+    if (cross2 == 0.0 && p2.tflops() > p1.tflops()) cross2 = static_cast<double>(n);
+    if (cross4 == 0.0 && p4.tflops() > p1.tflops()) cross4 = static_cast<double>(n);
+  }
+
+  std::printf("\ncrossover (2 clusters beat 1): N ~ %.3g\n", cross2);
+  std::printf("crossover (4 clusters beat 1): N ~ %.3g\n", cross4);
+  std::printf("paper checkpoints: crossover near N ~ 1e5; 4-cluster speedup at\n"
+              "N = 1e6 significantly below the ideal factor 4.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

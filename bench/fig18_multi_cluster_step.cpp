@@ -1,0 +1,53 @@
+// Figure 18 — time per particle step, full-machine (16-node, 4-cluster)
+// run. Same presentation as Fig 16; the theory curve additionally
+// accounts for the inter-cluster particle exchange. The 1/N latency wall
+// extends to N ~ 1e5 — "the main bottleneck is again the synchronization
+// time".
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace g6;
+  Cli cli(argc, argv);
+  const auto max_n = static_cast<std::size_t>(
+      cli.get_int("max-n", 2'097'152, "largest N of the sweep"));
+  const bool recal = cli.get_bool("recalibrate", false, "ignore calibration cache");
+  const CalibrationOptions copt = bench::standard_calibration(cli);
+  if (cli.finish()) return 0;
+
+  print_banner(std::cout,
+               "Figure 18: time per particle step vs N (16 nodes, 4 clusters)");
+
+  const SystemConfig sys = SystemConfig::multi_cluster(4);
+  const MachineModel model(sys);
+  const TraceScaling scaling =
+      bench::scaling_for(SofteningLaw::kConstant, copt, recal);
+
+  TablePrinter table(std::cout, {"N", "measured_us", "theory_us", "net_share_%",
+                                 "grape_share_%"});
+  table.mirror_csv(bench_csv_path("fig18_multi_cluster_step"));
+  table.print_header();
+
+  for (std::size_t n : log_grid(1024, max_n, 4)) {
+    const SpeedPoint measured =
+        measure_speed_synthetic(n, SofteningLaw::kConstant, sys, scaling);
+    const auto mean_block =
+        static_cast<std::size_t>(std::max(1.0, scaling.mean_block_size(n)));
+    const BlockstepCost c = model.blockstep_cost(mean_block, n);
+    table.print_row({TablePrinter::num(static_cast<long long>(n)),
+                     TablePrinter::num(measured.time_per_step_s * 1e6),
+                     TablePrinter::num(c.total() / static_cast<double>(mean_block) * 1e6),
+                     TablePrinter::num(100.0 * c.net_s / c.total()),
+                     TablePrinter::num(100.0 * c.grape_s / c.total())});
+  }
+
+  std::printf("\npaper checkpoints: per-step time ~ 1/N for N < 1e5 (the\n"
+              "synchronization-dominated regime, worse than Fig 16 because the\n"
+              "multi-cluster code pays more and costlier sync operations).\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,129 @@
+// Section 3 — what changed from GRAPE-4 to GRAPE-6, quantified.
+//
+// GRAPE-4 (Makino et al. 1997, described in Sec 3 of the paper):
+//   * 1692 pipeline chips on 36 boards, 4 clusters on ONE host sharing
+//     one I/O bus; ~1.08 Tflops peak.
+//   * chip: a single pipeline, 2-way VMP, one interaction per 3 clocks at
+//     32 MHz; 48 chips per board SHARE one memory (shared j-stream), so a
+//     board serves 96 i-particles in parallel and the full machine ~384.
+//   * 16 MHz, 32-bit host link.
+// GRAPE-6: local j-memory per chip, 6x8-way VMP at 90 MHz, hierarchical
+// LVDS network, 16 hosts — the configuration modeled everywhere else in
+// this repository.
+//
+// This bench compares peak speed, degree of parallelism, per-blockstep
+// times and the resulting speed-vs-N curves of the two generations using
+// the same workload statistics.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace g6;
+
+/// Minimal analytic model of GRAPE-4 (single host, 4 clusters).
+struct Grape4Model {
+  static constexpr double kClockHz = 32.0e6;
+  // One j-particle is broadcast to the 48 chips of a board every 6
+  // cycles; each chip then retires its 2 virtual-pipeline interactions
+  // (one per 3 cycles) -> 96 interactions per board per 6 cycles, which
+  // reproduces the 1.08 Tflops peak: 4*9*16 int/cycle * 32 MHz * 57.
+  static constexpr double kCyclesPerJ = 6.0;
+  static constexpr std::size_t kClusters = 4;
+  static constexpr std::size_t kBoardsPerCluster = 9;
+  static constexpr std::size_t kIParallelPerCluster = 96;  // 48 chips x 2 VMP
+  static constexpr double kPeakFlops = 1.08e12;
+
+  HostModel host = hosts::athlon_xp_1800();  // generously modern host
+  DmaModel link{50.0e-6, 16.0e6 * 4.0};      // 16 MHz x 32-bit parallel link
+  PacketSizes packets;
+
+  double blockstep_seconds(std::size_t block, std::size_t n_total) const {
+    // Each cluster integrates block/4 i-particles against the full j set
+    // striped over its 9 boards (shared j-stream per board).
+    const std::size_t n_cluster = (block + kClusters - 1) / kClusters;
+    const std::size_t passes =
+        (n_cluster + kIParallelPerCluster - 1) / kIParallelPerCluster;
+    const double n_j_board =
+        static_cast<double>(n_total) / static_cast<double>(kBoardsPerCluster);
+    const double pass_s = n_j_board * kCyclesPerJ / kClockHz;
+    const double grape_s = static_cast<double>(passes) * pass_s;
+    // All four clusters share one host and one I/O bus: transfers serialize.
+    const double dma_s =
+        link.transfer_time(block * packets.j_particle_bytes) +
+        link.transfer_time(block * packets.i_particle_bytes) +
+        link.transfer_time(block * packets.result_bytes);
+    const double host_s =
+        static_cast<double>(block) * host.step_time(static_cast<double>(n_total)) +
+        host.block_overhead_s;
+    return grape_s + dma_s + host_s;
+  }
+
+  double speed_flops(const BlockstepTrace& trace) const {
+    double seconds = 0.0;
+    unsigned long long steps = 0;
+    for (const auto& rec : trace.records) {
+      seconds += blockstep_seconds(rec.block_size, trace.n_particles);
+      steps += rec.block_size;
+    }
+    return 57.0 * static_cast<double>(trace.n_particles) *
+           static_cast<double>(steps) / seconds;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const bool recal = cli.get_bool("recalibrate", false, "ignore calibration cache");
+  CalibrationOptions copt = bench::standard_calibration(cli);
+  if (cli.finish()) return 0;
+
+  print_banner(std::cout, "Sec 3: GRAPE-4 vs GRAPE-6");
+
+  const Grape4Model g4;
+  const SystemConfig g6sys = SystemConfig::multi_cluster(4);
+  const MachineModel g6model(g6sys);
+
+  std::printf("peak speed:       GRAPE-4 %.2f Tflops   GRAPE-6 %.2f Tflops (x%.0f)\n",
+              Grape4Model::kPeakFlops / 1e12, g6model.peak_flops() / 1e12,
+              g6model.peak_flops() / Grape4Model::kPeakFlops);
+  std::printf("i-parallelism:    GRAPE-4 %zu            GRAPE-6 %zu per host row\n",
+              Grape4Model::kIParallelPerCluster * Grape4Model::kClusters,
+              g6sys.machine.i_parallelism());
+  std::printf("memory design:    GRAPE-4 shared j-stream/board; GRAPE-6 chip-local\n");
+  std::printf("hosts:            GRAPE-4 one host, one I/O bus; GRAPE-6 16 hosts\n\n");
+
+  const TraceScaling scaling =
+      bench::scaling_for(SofteningLaw::kConstant, copt, recal);
+
+  TablePrinter table(std::cout, {"N", "G4_Gflops", "G6_Gflops", "ratio",
+                                 "G4_frac_peak", "G6_frac_peak"});
+  table.mirror_csv(bench_csv_path("grape4_vs_grape6"));
+  table.print_header();
+
+  for (std::size_t n : log_grid(2048, 1'048'576, 3)) {
+    Rng rng(31 + static_cast<unsigned>(n));
+    const BlockstepTrace trace = scaling.synthesize(n, 1.0, rng);
+    const double s4 = g4.speed_flops(trace);
+    const SpeedPoint p6 = measure_speed_from_trace(
+        trace, softening_for(SofteningLaw::kConstant, n), g6sys);
+    table.print_row({TablePrinter::num(static_cast<long long>(n)),
+                     TablePrinter::num(s4 / 1e9), TablePrinter::num(p6.gflops()),
+                     TablePrinter::num(p6.speed_flops / s4),
+                     TablePrinter::num(s4 / Grape4Model::kPeakFlops),
+                     TablePrinter::num(p6.speed_flops / g6model.peak_flops())});
+  }
+
+  std::printf("\nreading (Sec 3.1): the 0.25um generation buys ~2 orders of\n"
+              "magnitude in peak; realizing it required every design change the\n"
+              "paper describes — local memory, serial links, multiple hosts —\n"
+              "otherwise the single host and its I/O bus cap the speed near the\n"
+              "GRAPE-4 level regardless of pipeline count.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

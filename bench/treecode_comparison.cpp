@@ -1,0 +1,87 @@
+// Section 5 — comparison against Barnes-Hut treecodes.
+//
+// The paper argues in particle-steps per second: GRAPE-6 sustains
+// ~3.3e5 steps/s on the 1.8M/2M-body applications; Gadget with
+// individual timesteps saturates near 1e4 steps/s at 16 T3E nodes; the
+// shared-timestep treecode of Warren et al. reached 2.55e6 steps/s on
+// 6800-processor ASCI Red but needs >100x more steps (timestep ratio) and
+// ~5x more work for comparable force accuracy.
+//
+// We measure our own treecode's steps/s on this machine, model the
+// parallel-treecode scaling, and rebuild the paper's comparison table.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace g6;
+  Cli cli(argc, argv);
+  const auto n_tree = static_cast<std::size_t>(
+      cli.get_int("tree-n", 16384, "treecode measurement size"));
+  const auto tree_steps =
+      static_cast<int>(cli.get_int("tree-steps", 3, "treecode steps to time"));
+  const bool recal = cli.get_bool("recalibrate", false, "ignore calibration cache");
+  CalibrationOptions copt = bench::standard_calibration(cli);
+  if (cli.finish()) return 0;
+
+  print_banner(std::cout, "Sec 5: GRAPE-6 vs Barnes-Hut treecode, steps/second");
+
+  // GRAPE-6 sustained steps/s at the application size, from the model.
+  const TraceScaling scaling =
+      bench::scaling_for(SofteningLaw::kConstant, copt, recal);
+  const SpeedPoint g6pt = measure_speed_synthetic(
+      1'800'000, SofteningLaw::kConstant, SystemConfig::tuned(4), scaling);
+
+  // Our treecode measured on this CPU.
+  Rng rng(5);
+  const ParticleSet set = make_plummer(n_tree, rng);
+  TreecodeConfig tcfg;
+  tcfg.theta = 0.6;
+  tcfg.eps = 1.0 / 64.0;
+  TreecodeIntegrator tree(set, tcfg);
+  for (int s = 0; s < tree_steps; ++s) tree.step();
+  const double tree_rate = tree.steps_per_second();
+
+  // Shared-timestep penalty (Sec 5): the ratio between smallest and
+  // harmonic-mean individual timestep exceeds 100 in the applications,
+  // and the low-accuracy forces cost another ~5x.
+  const double shared_step_penalty = 100.0;
+  const double accuracy_penalty = 5.0;
+
+  TablePrinter table(std::cout,
+                     {"code", "hardware", "steps_per_s", "effective_rel_G6"});
+  table.mirror_csv(bench_csv_path("treecode_comparison"));
+  table.print_header();
+  const double g6_rate = g6pt.steps_per_second;
+  table.print_row({"GRAPE-6 model (this work)", "2048 chips",
+                   TablePrinter::num(g6_rate), "1"});
+  table.print_row({"GRAPE-6 paper", "2048 chips", "3.3e5", "~1"});
+  const double gadget = 1.0e4;  // paper: Gadget, 16 T3E nodes
+  table.print_row({"Gadget indiv-dt (paper)", "16x T3E",
+                   TablePrinter::num(gadget), TablePrinter::num(gadget / g6_rate)});
+  table.print_row({"Gadget + accuracy x5 (paper)", "16x T3E",
+                   TablePrinter::num(gadget / accuracy_penalty),
+                   TablePrinter::num(gadget / accuracy_penalty / g6_rate)});
+  const double warren = 2.55e6;
+  table.print_row({"Warren et al. shared-dt (paper)", "6800x ASCI Red",
+                   TablePrinter::num(warren), TablePrinter::num(warren / g6_rate)});
+  table.print_row(
+      {"  effective (/100 steps, /5 acc)", "6800x ASCI Red",
+       TablePrinter::num(warren / shared_step_penalty / accuracy_penalty),
+       TablePrinter::num(warren / shared_step_penalty / accuracy_penalty / g6_rate)});
+  table.print_row({"our BH tree, shared-dt", "this CPU, 1 core",
+                   TablePrinter::num(tree_rate),
+                   TablePrinter::num(tree_rate / shared_step_penalty / g6_rate)});
+
+  // Parallel-treecode scaling model (the Sec 5 Gadget discussion).
+  std::printf("\nGadget-style scaling (model, single-host rate = our tree):\n");
+  for (std::size_t hosts : {1u, 4u, 16u, 64u}) {
+    std::printf("  %3zu hosts: %.3g steps/s\n", hosts,
+                gadget_scaling_steps_per_second(tree_rate, hosts));
+  }
+  std::printf("\npaper conclusion: with individual timesteps required for these\n"
+              "applications, treecodes on MPPs deliver ~1-3%% of GRAPE-6.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,74 @@
+// Planetesimal accretion — the science loop of the Kuiper-belt
+// application: integrate the disk with individual timesteps, detect
+// physical collisions with the (hardware-assisted) neighbor machinery,
+// and merge bodies by perfect accretion. Watch the mass spectrum evolve.
+//
+//   ./examples/accretion [--n=300] [--rounds=6] [--r-ref=0.02]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/grape6.hpp"
+
+int main(int argc, char** argv) try {
+  g6::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 300, "planetesimals"));
+  const int rounds = static_cast<int>(cli.get_int("rounds", 6, "evolve+collide rounds"));
+  const double r_ref = cli.get_double(
+      "r-ref", 0.02, "physical radius of a unit-mass planetesimal (inflated)");
+  const double dt_round = cli.get_double("dt-round", 1.0, "time per round");
+  if (cli.finish()) return 0;
+
+  g6::DiskParams disk;
+  disk.disk_mass = 1e-3;
+  disk.ecc_dispersion = 0.08;  // dynamically hot: orbits cross
+  disk.inc_dispersion = 0.002; // thin: collisions actually happen
+  g6::Rng rng(13);
+  g6::ParticleSet set = g6::make_planetesimal_disk(n, rng, disk);
+  const double m0 = set[1].mass;
+  auto radii = g6::accretion_radii(set.bodies(), m0, r_ref);
+  radii[0] = 0.0;  // the star does not accrete in this toy
+
+  std::printf("accretion run: star + %zu planetesimals, r_ref=%g (inflated for\n"
+              "demonstration; real Kuiper-belt radii would need ~Myr spans)\n\n",
+              n, r_ref);
+  std::printf("%8s %10s %12s %14s %12s\n", "t", "bodies", "merges", "max_mass/m0",
+              "E_total");
+
+  const double eps = 0.3 * r_ref;
+  std::size_t total_merges = 0;
+  double t_now = 0.0;
+  for (int round = 1; round <= rounds; ++round) {
+    g6::DirectForceEngine engine(eps);
+    g6::HermiteConfig cfg;
+    cfg.eta = 0.03;
+    cfg.dt_max = 0.125;
+    g6::HermiteIntegrator integ(set, engine, cfg);
+    integ.evolve(dt_round);
+    t_now += dt_round;
+    set = integ.state_at_current_time();
+
+    radii = g6::accretion_radii(set.bodies(), m0, r_ref);
+    radii[0] = 0.0;
+    const std::size_t merges = g6::apply_collisions(set, radii, m0, r_ref);
+    radii[0] = 0.0;
+    total_merges += merges;
+
+    double max_mass = 0.0;
+    for (std::size_t i = 1; i < set.size(); ++i) {
+      max_mass = std::max(max_mass, set[i].mass);
+    }
+    const double energy = g6::compute_energy(set.bodies(), eps).total();
+    std::printf("%8.2f %10zu %12zu %14.2f %12.6f\n", t_now, set.size() - 1,
+                merges, max_mass / m0, energy);
+  }
+
+  std::printf("\n%zu mergers in total; runaway growth concentrates mass in the\n"
+              "largest bodies — the process the paper's 16-hour GRAPE-6 run\n"
+              "followed with 1.8M planetesimals.\n", total_merges);
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,68 @@
+// Machine-room tour: instantiate the GRAPE-6 configurations of the paper,
+// print their headline numbers, and run the same small cluster workload on
+// 1/2/4 virtual hosts to show the reproducibility property and the
+// synchronization cost in action.
+//
+//   ./examples/machine_room [--n=96]
+
+#include <cstdio>
+
+#include "core/grape6.hpp"
+
+namespace {
+
+void print_machine(const char* label, const g6::MachineConfig& mc) {
+  std::printf("%-28s %5zu chips  %6.2f Tflops peak  (%zu hosts x %zu boards)\n",
+              label, mc.total_chips(), mc.peak_flops() / 1e12, mc.total_hosts(),
+              mc.boards_per_host);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  g6::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 96, "particle count"));
+  if (cli.finish()) return 0;
+
+  std::printf("=== GRAPE-6 configurations (Sec 1, Sec 2) ===\n");
+  print_machine("single host (Fig 13/14)", g6::MachineConfig::single_host());
+  print_machine("one cluster (Fig 15/16)", g6::MachineConfig::single_cluster());
+  print_machine("full system (Fig 17-19)", g6::MachineConfig::full_system());
+  const g6::MachineConfig chip;
+  std::printf("one chip: %zu pipelines x %zu-way VMP @ %.0f MHz = %.2f Gflops\n",
+              chip.pipelines_per_chip, chip.vmp_ways, chip.clock_hz / 1e6,
+              chip.chip_peak_flops() / 1e9);
+
+  std::printf("\n=== same physics, different machine sizes (N=%zu) ===\n", n);
+  g6::Rng rng(3);
+  const g6::ParticleSet initial = g6::make_plummer(n, rng);
+
+  double reference_x = 0.0;
+  for (std::size_t hosts : {1u, 2u, 4u}) {
+    g6::VirtualClusterConfig cfg;
+    cfg.system = g6::SystemConfig::cluster(hosts);
+    cfg.system.machine.boards_per_host = 1;
+    cfg.hermite.record_trace = true;
+    g6::VirtualCluster cluster(initial, cfg);
+    cluster.evolve(0.125);
+
+    const double x0 = cluster.particle(0).pos.x;
+    if (hosts == 1) reference_x = x0;
+    const g6::BlockstepCost& c = cluster.accumulated_cost();
+    std::printf(
+        "%zu host(s): %6llu steps in %8.2f ms virtual "
+        "(host %5.2f | dma %5.2f | grape %5.2f | net %5.2f)  bitwise %s\n",
+        hosts, cluster.total_steps(), cluster.virtual_seconds() * 1e3,
+        c.host_s * 1e3, c.dma_s * 1e3, c.grape_s * 1e3, c.net_s * 1e3,
+        x0 == reference_x ? "IDENTICAL" : "DIFFERENT!");
+  }
+
+  std::printf(
+      "\nBlock floating point makes the dynamics independent of the machine\n"
+      "size (Sec 3.4); only the virtual wall time changes. At this tiny N the\n"
+      "multi-host systems are slower — the crossover of Fig 15.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

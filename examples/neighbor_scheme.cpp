@@ -1,0 +1,69 @@
+// Star-cluster integration with the Ahmad-Cohen neighbor scheme on a
+// King model — the production setup of NBODY-class codes on GRAPE
+// hardware. Compares the pairwise work against plain individual-timestep
+// Hermite for the same accuracy target.
+//
+//   ./examples/neighbor_scheme [--n=512] [--w0=6] [--t-end=1.0]
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/grape6.hpp"
+
+int main(int argc, char** argv) try {
+  g6::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 512, "particle count"));
+  const double w0 = cli.get_double("w0", 6.0, "King central potential depth");
+  const double t_end = cli.get_double("t-end", 1.0, "integration span");
+  if (cli.finish()) return 0;
+
+  g6::Rng rng(99);
+  const g6::ParticleSet initial = g6::make_king(n, w0, rng);
+  const g6::KingProfile profile(w0);
+  std::printf("King model: W0=%g, concentration c=%.2f, N=%zu\n", w0,
+              profile.concentration(), n);
+
+  const double eps = 1.0 / 64.0;
+  const double e0 = g6::compute_energy(initial.bodies(), eps).total();
+
+  // Plain Hermite.
+  g6::DirectForceEngine plain_engine(eps);
+  g6::HermiteIntegrator plain(initial, plain_engine);
+  plain.evolve(t_end);
+  const double e_plain =
+      g6::compute_energy(plain.state_at_current_time().bodies(), eps).total();
+
+  // Ahmad-Cohen scheme (neighbor lists from the engine's hardware path).
+  g6::DirectForceEngine ac_engine(eps);
+  g6::AhmadCohenConfig acfg;
+  acfg.neighbor_target = 16;
+  g6::AhmadCohenIntegrator ac(initial, ac_engine, acfg);
+  ac.evolve(t_end);
+  const double e_ac =
+      g6::compute_energy(ac.state_at_current_time().bodies(), eps).total();
+
+  const auto plain_pairs = plain_engine.interactions();
+  const auto ac_pairs = ac.irregular_interactions() + ac.regular_interactions();
+
+  std::printf("\n%-24s %16s %16s\n", "", "plain Hermite", "Ahmad-Cohen");
+  std::printf("%-24s %16llu %16llu\n", "individual steps",
+              plain.total_steps(), ac.irregular_steps());
+  std::printf("%-24s %16s %16llu\n", "full-N refreshes", "-", ac.regular_steps());
+  std::printf("%-24s %16llu %16llu\n", "pairwise interactions", plain_pairs,
+              ac_pairs);
+  std::printf("%-24s %16s %16.2f\n", "mean neighbor count", "-",
+              ac.mean_neighbor_count());
+  std::printf("%-24s %16.2e %16.2e\n", "|dE/E|",
+              std::fabs((e_plain - e0) / e0), std::fabs((e_ac - e0) / e0));
+  std::printf("%-24s %16s %16.2f\n", "work ratio", "1.00",
+              static_cast<double>(ac_pairs) / static_cast<double>(plain_pairs));
+
+  std::printf("\nThe regular (full-N) force refreshes — the part the GRAPE\n"
+              "hardware computes — happen only every few irregular steps;\n"
+              "the neighbor sums in between touch ~%zu particles instead of %zu.\n",
+              acfg.neighbor_target, n);
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,78 @@
+// Planetesimal disk around a star — a scaled-down version of the paper's
+// first application (Sec 5): the early Kuiper-belt region, 1.8M
+// planetesimals in the real run [12].
+//
+//   ./examples/planetesimal_disk [--n=400] [--orbits=3]
+//
+// Integrates the disk with the individual-timestep Hermite scheme (the
+// workload that motivates per-particle timesteps: orbital periods vary
+// with a^(3/2)) and reports the velocity-dispersion growth caused by
+// mutual planetesimal scattering.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/grape6.hpp"
+
+int main(int argc, char** argv) try {
+  g6::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 400, "planetesimals"));
+  const double orbits = cli.get_double("orbits", 3.0, "inner-edge orbits to integrate");
+  const double disk_mass = cli.get_double("disk-mass", 3e-4, "total disk mass");
+  if (cli.finish()) return 0;
+
+  g6::DiskParams disk;
+  disk.disk_mass = disk_mass;
+  g6::Rng rng(11);
+  const g6::ParticleSet initial = g6::make_planetesimal_disk(n, rng, disk);
+  std::printf("planetesimal disk: star + %zu bodies, a in [%g, %g], M_disk=%g\n",
+              n, disk.r_inner, disk.r_outer, disk.disk_mass);
+
+  const double t_orbit = g6::orbital_period(disk.r_inner, 1.0);
+  const double t_end = orbits * t_orbit;
+
+  // Softening ~ mutual Hill radius keeps close encounters integrable.
+  const double eps =
+      0.5 * disk.r_inner *
+      std::cbrt(disk.disk_mass / static_cast<double>(n) / 3.0);
+  g6::DirectForceEngine engine(eps);
+  g6::HermiteConfig cfg;
+  cfg.eta = 0.02;
+  cfg.dt_max = 0.125;
+  g6::HermiteIntegrator integ(initial, engine, cfg);
+
+  const auto rms_ecc = [&](const g6::ParticleSet& s) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      const g6::RelativeState rel{s[i].pos - s[0].pos, s[i].vel - s[0].vel};
+      if (g6::orbital_energy(rel, 1.0) >= 0.0) continue;
+      const g6::OrbitalElements el = g6::state_to_elements(rel, 1.0);
+      sum += el.eccentricity * el.eccentricity;
+      ++count;
+    }
+    return count > 0 ? std::sqrt(sum / static_cast<double>(count)) : 0.0;
+  };
+
+  std::printf("\n%10s %14s %14s %14s\n", "t/T_orb", "rms(e)", "steps",
+              "mean block");
+  for (int k = 1; k <= 6; ++k) {
+    integ.evolve(t_end * k / 6.0);
+    const g6::ParticleSet s = integ.state_at_current_time();
+    const double mean_block =
+        integ.total_blocksteps() > 0
+            ? static_cast<double>(integ.total_steps()) /
+                  static_cast<double>(integ.total_blocksteps())
+            : 0.0;
+    std::printf("%10.2f %14.6f %14llu %14.1f\n", integ.time() / t_orbit,
+                rms_ecc(s), integ.total_steps(), mean_block);
+  }
+
+  std::printf("\nviscous stirring raises rms(e) over time — the physics of the\n"
+              "paper's 16-hour Kuiper-belt run (29.5-33.4 Tflops on GRAPE-6).\n"
+              "Regenerate its performance row with bench/app_kuiper_belt.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

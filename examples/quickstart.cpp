@@ -1,0 +1,68 @@
+// Quickstart: integrate a small Plummer model on the emulated GRAPE-6 and
+// check energy conservation against the double-precision reference.
+//
+//   ./examples/quickstart [--n=256] [--t-end=0.25] [--eps=0.015625]
+//
+// This exercises the whole stack end to end: initial conditions ->
+// Hermite block scheduler -> hardware number formats -> pipelines ->
+// block floating-point reduction -> virtual timing.
+
+#include <cstdio>
+
+#include "core/grape6.hpp"
+
+int main(int argc, char** argv) try {
+  g6::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 256, "particle count"));
+  const double t_end = cli.get_double("t-end", 0.25, "integration span (Heggie units)");
+  const double eps = cli.get_double("eps", 1.0 / 64.0, "Plummer softening");
+  const auto seed = static_cast<unsigned>(cli.get_int("seed", 42, "RNG seed"));
+  if (cli.finish()) return 0;
+
+  std::printf("grape6sim quickstart: N=%zu, t_end=%g, eps=%g\n", n, t_end, eps);
+
+  g6::Rng rng(seed);
+  const g6::ParticleSet initial = g6::make_plummer(n, rng);
+  const double e0 = g6::compute_energy(initial.bodies(), eps).total();
+  std::printf("initial energy: %.10f (Heggie units: expect ~ -0.25)\n", e0);
+
+  // One GRAPE-6 host: 4 processor boards, 128 chips, 3.94 Tflops peak.
+  g6::MachineConfig machine = g6::MachineConfig::single_host();
+  machine.boards_per_host = 1;  // one board keeps the emulation snappy
+  g6::GrapeForceEngine grape(machine, g6::NumberFormats{}, eps);
+
+  g6::HermiteConfig hermite;
+  hermite.eta = 0.02;
+  g6::HermiteIntegrator integ(initial, grape, hermite);
+  integ.evolve(t_end);
+
+  const g6::ParticleSet final_state = integ.state_at_current_time();
+  const double e1 = g6::compute_energy(final_state.bodies(), eps).total();
+
+  std::printf("\nintegration finished at t=%g\n", integ.time());
+  std::printf("  individual steps : %llu\n", integ.total_steps());
+  std::printf("  blocksteps       : %llu\n", integ.total_blocksteps());
+  std::printf("  relative dE/E    : %.3e (hardware 24-bit pipelines)\n",
+              (e1 - e0) / e0);
+
+  const g6::GrapeHostStats& st = grape.stats();
+  std::printf("\nemulated hardware counters:\n");
+  std::printf("  pipeline time    : %.3f ms (virtual)\n", st.grape_seconds * 1e3);
+  std::printf("  DMA time         : %.3f ms (virtual)\n", st.dma_seconds * 1e3);
+  std::printf("  force passes     : %llu\n",
+              static_cast<unsigned long long>(st.passes));
+  std::printf("  exponent retries : %llu (block floating point, Sec 3.4)\n",
+              static_cast<unsigned long long>(st.retries));
+  std::printf("  interactions     : %llu\n",
+              static_cast<unsigned long long>(st.interactions));
+  const double sustained =
+      static_cast<double>(st.interactions) * g6::units::kFlopsPerInteraction /
+      st.total_seconds();
+  std::printf("  sustained speed  : %.2f Gflops (peak for this config: %.2f)\n",
+              sustained / 1e9,
+              machine.chip_peak_flops() * static_cast<double>(machine.chips_per_host()) / 1e9);
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Plot the paper figures from the bench CSV mirrors.
+
+Run the bench harness first (for b in build/bench/*; do $b; done), then:
+
+    python3 scripts/plot_figures.py [--bench-out bench_out] [--out figures]
+
+Produces one PNG per reproduced figure, with log-log axes matching the
+paper's presentation. Requires matplotlib.
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def col(rows, name):
+    return [float(r[name]) for r in rows]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench-out", default="bench_out")
+    ap.add_argument("--out", default="figures")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(args.out, exist_ok=True)
+    made = []
+
+    def save(fig, name):
+        path = os.path.join(args.out, name)
+        fig.savefig(path, dpi=150, bbox_inches="tight")
+        made.append(path)
+
+    # Figure 13 — single-node speed vs N.
+    rows = read_csv(os.path.join(args.bench_out, "fig13_single_node.csv"))
+    if rows:
+        fig, ax = plt.subplots()
+        n = col(rows, "N")
+        for key, label in [
+            ("Gflops(eps=1/64)", r"$\epsilon=1/64$"),
+            ("Gflops(cbrt)", r"$\epsilon=1/[8(2N)^{1/3}]$"),
+            ("Gflops(4/N)", r"$\epsilon=4/N$"),
+        ]:
+            ax.loglog(n, col(rows, key), marker="o", ms=3, label=label)
+        ax.set_xlabel("N")
+        ax.set_ylabel("speed [Gflops]")
+        ax.set_title("Fig 13: single node (1 host, 4 boards)")
+        ax.legend()
+        save(fig, "fig13.png")
+
+    # Figure 14 — time per step.
+    rows = read_csv(os.path.join(args.bench_out, "fig14_time_per_step.csv"))
+    if rows:
+        fig, ax = plt.subplots()
+        n = col(rows, "N")
+        ax.loglog(n, col(rows, "measured_us"), "k-", label="measured")
+        ax.loglog(n, col(rows, "flat_model_us"), "b--", label="const $T_{host}$")
+        ax.loglog(n, col(rows, "cache_model_us"), "r:", label="cache model")
+        ax.set_xlabel("N")
+        ax.set_ylabel("time per step [$\\mu$s]")
+        ax.set_title("Fig 14: CPU time per particle step")
+        ax.legend()
+        save(fig, "fig14.png")
+
+    # Figure 15 — both panels.
+    for tag, title in [("fig15_const", r"$\epsilon=1/64$"), ("fig15_overn", r"$\epsilon=4/N$")]:
+        rows = read_csv(os.path.join(args.bench_out, tag + ".csv"))
+        if rows:
+            fig, ax = plt.subplots()
+            n = col(rows, "N")
+            for key, label in [
+                ("Gflops_1host", "1 host"),
+                ("Gflops_2host", "2 hosts"),
+                ("Gflops_4host", "4 hosts"),
+            ]:
+                ax.loglog(n, col(rows, key), marker="o", ms=3, label=label)
+            ax.set_xlabel("N")
+            ax.set_ylabel("speed [Gflops]")
+            ax.set_title(f"Fig 15: single cluster, {title}")
+            ax.legend()
+            save(fig, tag + ".png")
+
+    # Figure 16/18 — time per step, parallel.
+    for tag, title in [
+        ("fig16_multi_node_step", "Fig 16: 4 nodes"),
+        ("fig18_multi_cluster_step", "Fig 18: 16 nodes"),
+    ]:
+        rows = read_csv(os.path.join(args.bench_out, tag + ".csv"))
+        if rows:
+            fig, ax = plt.subplots()
+            n = col(rows, "N")
+            ax.loglog(n, col(rows, "measured_us"), "k-", label="measured")
+            ax.loglog(n, col(rows, "theory_us"), "r--", label="theory (with sync)")
+            if "theory_nosync_us" in rows[0]:
+                ax.loglog(n, col(rows, "theory_nosync_us"), "b:", label="no-sync what-if")
+            ax.set_xlabel("N")
+            ax.set_ylabel("time per step [$\\mu$s]")
+            ax.set_title(title)
+            ax.legend()
+            save(fig, tag + ".png")
+
+    # Figure 17 — multi-cluster Tflops.
+    rows = read_csv(os.path.join(args.bench_out, "fig17_multi_cluster.csv"))
+    if rows:
+        fig, ax = plt.subplots()
+        n = col(rows, "N")
+        for key, label in [
+            ("Tflops_1cl(4n)", "4 nodes (1 cluster)"),
+            ("Tflops_2cl(8n)", "8 nodes (2 clusters)"),
+            ("Tflops_4cl(16n)", "16 nodes (4 clusters)"),
+        ]:
+            ax.loglog(n, col(rows, key), marker="o", ms=3, label=label)
+        ax.set_xlabel("N")
+        ax.set_ylabel("speed [Tflops]")
+        ax.set_title("Fig 17: multi-cluster")
+        ax.legend()
+        save(fig, "fig17.png")
+
+    # Figure 19 — NIC comparison.
+    rows = read_csv(os.path.join(args.bench_out, "fig19_nic_comparison.csv"))
+    if rows:
+        fig, ax = plt.subplots()
+        n = col(rows, "N")
+        ax.loglog(n, col(rows, "Tflops_NS83820"), marker="v", ms=3, label="NS83820+Athlon")
+        ax.loglog(n, col(rows, "Tflops_Tigon2"), marker="s", ms=3, label="Tigon 2")
+        ax.loglog(n, col(rows, "Tflops_Intel"), marker="^", ms=3, label="Intel 82540EM+P4")
+        ax.set_xlabel("N")
+        ax.set_ylabel("speed [Tflops]")
+        ax.set_title("Fig 19: NIC tuning (16 nodes)")
+        ax.legend()
+        save(fig, "fig19.png")
+
+    if not made:
+        sys.exit(f"no CSVs found under {args.bench_out}; run the benches first")
+    print("wrote:")
+    for p in made:
+        print(" ", p)
+
+
+if __name__ == "__main__":
+    main()

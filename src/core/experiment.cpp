@@ -1,0 +1,79 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+
+SpeedPoint measure_speed_from_trace(const BlockstepTrace& trace, double eps,
+                                    const SystemConfig& system) {
+  const MachineModel model(system);
+  SpeedPoint pt;
+  pt.n = trace.n_particles;
+  pt.eps = eps;
+  pt.detail = model.run_trace(trace);
+  pt.steps_per_second = pt.detail.steps_per_second();
+  pt.time_per_step_s = pt.detail.time_per_step();
+  pt.speed_flops = pt.detail.paper_speed_flops(trace.n_particles);
+  return pt;
+}
+
+SpeedPoint measure_speed_synthetic(std::size_t n, SofteningLaw law,
+                                   const SystemConfig& system,
+                                   const TraceScaling& scaling, double t_span,
+                                   unsigned seed) {
+  Rng rng(seed + static_cast<unsigned>(n));
+  const BlockstepTrace trace = scaling.synthesize(n, t_span, rng);
+  return measure_speed_from_trace(trace, softening_for(law, n), system);
+}
+
+std::vector<std::size_t> log_grid(std::size_t lo, std::size_t hi,
+                                  std::size_t per_decade) {
+  G6_REQUIRE(lo >= 2 && hi >= lo && per_decade >= 1);
+  std::vector<std::size_t> grid;
+  const double step = std::pow(10.0, 1.0 / static_cast<double>(per_decade));
+  double x = static_cast<double>(lo);
+  while (x < static_cast<double>(hi) * 0.999) {
+    auto v = static_cast<std::size_t>(std::llround(x / 2.0) * 2);
+    if (grid.empty() || v > grid.back()) grid.push_back(v);
+    x *= step;
+  }
+  if (grid.empty() || grid.back() != hi) grid.push_back(hi);
+  return grid;
+}
+
+namespace {
+std::string bench_out_dir() {
+  const char* env = std::getenv("GRAPE6_BENCH_OUT");
+  std::string dir = env != nullptr ? env : "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  return dir;
+}
+}  // namespace
+
+std::string bench_csv_path(const std::string& name) {
+  return bench_out_dir() + "/" + name + ".csv";
+}
+
+std::string calibration_cache_path(SofteningLaw law) {
+  std::string tag;
+  switch (law) {
+    case SofteningLaw::kConstant:
+      tag = "const";
+      break;
+    case SofteningLaw::kCubeRoot:
+      tag = "cbrt";
+      break;
+    case SofteningLaw::kOverN:
+      tag = "overn";
+      break;
+  }
+  return bench_out_dir() + "/calibration_" + tag + ".txt";
+}
+
+}  // namespace g6

@@ -1,0 +1,53 @@
+#pragma once
+// Experiment drivers shared by the benchmark harness: one call produces
+// one point of a paper figure.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "perf/calibration.hpp"
+#include "perf/machine_model.hpp"
+
+namespace g6 {
+
+/// One point of a speed-vs-N curve.
+struct SpeedPoint {
+  std::size_t n = 0;
+  double eps = 0.0;
+  double speed_flops = 0.0;       ///< Eq 9 convention: 57 N n_steps
+  double time_per_step_s = 0.0;   ///< y-axis of Figs 14/16/18
+  double steps_per_second = 0.0;
+  MachineModel::TraceResult detail;
+
+  double gflops() const { return speed_flops / 1e9; }
+  double tflops() const { return speed_flops / 1e12; }
+};
+
+/// Synthesize a schedule with the calibrated statistics at size `n` and
+/// replay it through the machine model (the large-N methodology of
+/// DESIGN.md Sec 5).
+SpeedPoint measure_speed_synthetic(std::size_t n, SofteningLaw law,
+                                   const SystemConfig& system,
+                                   const TraceScaling& scaling,
+                                   double t_span = 1.0, unsigned seed = 1);
+
+/// Replay an actually-measured schedule through the machine model.
+SpeedPoint measure_speed_from_trace(const BlockstepTrace& trace, double eps,
+                                    const SystemConfig& system);
+
+/// Log-spaced size grid, `per_decade` points per factor of 10, rounded to
+/// even values; endpoints included.
+std::vector<std::size_t> log_grid(std::size_t lo, std::size_t hi,
+                                  std::size_t per_decade = 4);
+
+/// Directory for bench CSV mirrors (created on first use); returns
+/// "<dir>/<name>.csv". Controlled by the GRAPE6_BENCH_OUT environment
+/// variable, default "bench_out".
+std::string bench_csv_path(const std::string& name);
+
+/// Shared calibration-cache location for bench binaries:
+/// "<bench-out>/calibration_<law>.txt".
+std::string calibration_cache_path(SofteningLaw law);
+
+}  // namespace g6

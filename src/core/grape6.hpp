@@ -1,0 +1,55 @@
+#pragma once
+// grape6sim — public umbrella header.
+//
+// A software twin of the GRAPE-6 special-purpose computer for
+// gravitational N-body simulation (Makino, Kokubo, Fukushige, Daisaka,
+// SC'03). Pull in this header for the whole public API; individual
+// subsystem headers remain usable on their own.
+//
+// Layering (bottom to top):
+//   util     — vectors, hardware number formats, RNG, statistics
+//   nbody    — particles, initial-condition models, diagnostics
+//   hermite  — 4th-order Hermite individual-timestep integrator
+//   grape    — bit-level GRAPE-6 hardware emulator with virtual timing
+//   net      — NIC models and collective-communication costs
+//   parallel — virtual multi-host / multi-cluster simulation
+//   perf     — performance model, schedule calibration and synthesis
+//   tree     — Barnes-Hut treecode baseline
+//   core     — experiment drivers used by the benchmark harness
+
+#include "core/experiment.hpp"
+#include "grape/board.hpp"
+#include "grape/chip.hpp"
+#include "grape/config.hpp"
+#include "grape/engine.hpp"
+#include "grape/formats.hpp"
+#include "grape/pipeline.hpp"
+#include "hermite/ahmad_cohen.hpp"
+#include "hermite/direct_engine.hpp"
+#include "hermite/force_engine.hpp"
+#include "hermite/integrator.hpp"
+#include "hermite/scheme.hpp"
+#include "hermite/trace.hpp"
+#include "nbody/diagnostics.hpp"
+#include "nbody/kepler.hpp"
+#include "nbody/king.hpp"
+#include "nbody/models.hpp"
+#include "nbody/particle.hpp"
+#include "nbody/snapshot.hpp"
+#include "net/clock.hpp"
+#include "net/collectives.hpp"
+#include "net/nic.hpp"
+#include "parallel/alternatives.hpp"
+#include "parallel/host_grid.hpp"
+#include "parallel/virtual_cluster.hpp"
+#include "perf/calibration.hpp"
+#include "perf/host_model.hpp"
+#include "perf/machine_model.hpp"
+#include "tree/collisions.hpp"
+#include "tree/leapfrog.hpp"
+#include "tree/octree.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"

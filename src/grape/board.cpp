@@ -1,0 +1,112 @@
+#include "grape/board.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace g6 {
+
+ProcessorModule::ProcessorModule(const MachineConfig& mc, const NumberFormats& fmt) {
+  chips_.reserve(mc.chips_per_module);
+  for (std::size_t i = 0; i < mc.chips_per_module; ++i) chips_.emplace_back(mc, fmt);
+}
+
+std::uint64_t ProcessorModule::run_pass(double t,
+                                        std::span<const IParticlePacket> iblock,
+                                        double eps2,
+                                        std::span<HwAccumulators> out,
+                                        std::span<HwNeighborRecorder> neighbors) {
+  G6_REQUIRE(out.size() == iblock.size());
+  G6_REQUIRE(neighbors.empty() || neighbors.size() == iblock.size());
+  std::uint64_t max_cycles = 0;
+  scratch_.resize(iblock.size());
+  const bool want_nb = !neighbors.empty();
+  if (want_nb) nb_scratch_.resize(iblock.size());
+  for (std::size_t c = 0; c < chips_.size(); ++c) {
+    // Each chip's partials start from the same block exponents as `out`.
+    for (std::size_t k = 0; k < iblock.size(); ++k) {
+      scratch_[k].reset({out[k].acc[0].block_exp(), out[k].jerk[0].block_exp(),
+                         out[k].pot.block_exp()});
+      if (want_nb) nb_scratch_[k].reset(neighbors[k].capacity);
+    }
+    max_cycles = std::max(
+        max_cycles,
+        chips_[c].run_pass(t, iblock, eps2, scratch_,
+                           want_nb ? std::span<HwNeighborRecorder>(nb_scratch_)
+                                   : std::span<HwNeighborRecorder>{}));
+    for (std::size_t k = 0; k < iblock.size(); ++k) {
+      out[k].merge(scratch_[k]);
+      if (want_nb) neighbors[k].merge(nb_scratch_[k]);
+    }
+  }
+  return max_cycles + kSummationLatencyCycles;
+}
+
+ProcessorBoard::ProcessorBoard(const MachineConfig& mc, const NumberFormats& fmt) {
+  modules_.reserve(mc.modules_per_board);
+  for (std::size_t i = 0; i < mc.modules_per_board; ++i) modules_.emplace_back(mc, fmt);
+}
+
+std::size_t ProcessorBoard::chip_count() const {
+  std::size_t n = 0;
+  for (const auto& m : modules_) n += m.chip_count();
+  return n;
+}
+
+Chip& ProcessorBoard::chip(std::size_t i) {
+  for (auto& m : modules_) {
+    if (i < m.chip_count()) return m.chip(i);
+    i -= m.chip_count();
+  }
+  G6_REQUIRE_MSG(false, "chip index out of range");
+  return modules_.front().chip(0);  // unreachable
+}
+
+std::size_t ProcessorBoard::total_j() const {
+  std::size_t n = 0;
+  for (const auto& m : modules_) {
+    for (std::size_t c = 0; c < m.chip_count(); ++c) n += m.chip(c).j_count();
+  }
+  return n;
+}
+
+std::uint64_t ProcessorBoard::run_pass(double t,
+                                       std::span<const IParticlePacket> iblock,
+                                       double eps2,
+                                       std::span<HwAccumulators> out,
+                                       std::span<HwNeighborRecorder> neighbors) {
+  G6_REQUIRE(out.size() == iblock.size());
+  G6_REQUIRE(neighbors.empty() || neighbors.size() == iblock.size());
+  std::uint64_t max_cycles = 0;
+  scratch_.resize(iblock.size());
+  const bool want_nb = !neighbors.empty();
+  if (want_nb) nb_scratch_.resize(iblock.size());
+  for (auto& mod : modules_) {
+    for (std::size_t k = 0; k < iblock.size(); ++k) {
+      scratch_[k].reset({out[k].acc[0].block_exp(), out[k].jerk[0].block_exp(),
+                         out[k].pot.block_exp()});
+      if (want_nb) nb_scratch_[k].reset(neighbors[k].capacity);
+    }
+    max_cycles = std::max(
+        max_cycles,
+        mod.run_pass(t, iblock, eps2, scratch_,
+                     want_nb ? std::span<HwNeighborRecorder>(nb_scratch_)
+                             : std::span<HwNeighborRecorder>{}));
+    for (std::size_t k = 0; k < iblock.size(); ++k) {
+      out[k].merge(scratch_[k]);
+      if (want_nb) neighbors[k].merge(nb_scratch_[k]);
+    }
+  }
+  return max_cycles + kSummationLatencyCycles;
+}
+
+void NetworkBoard::reduce(std::span<const std::vector<HwAccumulators>> per_board,
+                          std::span<HwAccumulators> out) {
+  G6_REQUIRE(!per_board.empty());
+  for (const auto& bank : per_board) {
+    G6_REQUIRE(bank.size() == out.size());
+    for (std::size_t k = 0; k < out.size(); ++k) out[k].merge(bank[k]);
+  }
+}
+
+}  // namespace g6

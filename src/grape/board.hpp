@@ -1,0 +1,82 @@
+#pragma once
+// Processor module (Fig 5) and processor board (Fig 4).
+//
+// A module is 4 chips plus a summation unit; a board is 8 modules plus a
+// broadcast network (same i-particles to every chip) and a reduction
+// network (FPGA fixed-point adders — exact merges of the block
+// floating-point partials). Chips hold disjoint j-subsets, so a board
+// computes the force from its whole j-population on one 48-particle
+// i-block per pass.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "grape/chip.hpp"
+
+namespace g6 {
+
+/// Latency of one fixed-point summation stage (module and board levels).
+inline constexpr std::uint64_t kSummationLatencyCycles = 8;
+
+class ProcessorModule {
+ public:
+  ProcessorModule(const MachineConfig& mc, const NumberFormats& fmt);
+
+  std::size_t chip_count() const { return chips_.size(); }
+  Chip& chip(std::size_t i) { return chips_[i]; }
+  const Chip& chip(std::size_t i) const { return chips_[i]; }
+
+  /// Run one pass on all chips (same i-block, disjoint j) and merge the
+  /// partials in the summation unit. `out` must be reset by the caller;
+  /// `neighbors` (optional, same length) collects the merged neighbor
+  /// lists. Returns cycles = max over chips + summation latency.
+  std::uint64_t run_pass(double t, std::span<const IParticlePacket> iblock,
+                         double eps2, std::span<HwAccumulators> out,
+                         std::span<HwNeighborRecorder> neighbors = {});
+
+ private:
+  std::vector<Chip> chips_;
+  std::vector<HwAccumulators> scratch_;
+  std::vector<HwNeighborRecorder> nb_scratch_;
+};
+
+class ProcessorBoard {
+ public:
+  ProcessorBoard(const MachineConfig& mc, const NumberFormats& fmt);
+
+  std::size_t module_count() const { return modules_.size(); }
+  std::size_t chip_count() const;
+
+  /// Flat chip addressing 0 .. chips_per_board-1.
+  Chip& chip(std::size_t i);
+
+  std::size_t total_j() const;
+
+  /// One pass over the whole board. Returns cycles (max over modules +
+  /// board-level reduction).
+  std::uint64_t run_pass(double t, std::span<const IParticlePacket> iblock,
+                         double eps2, std::span<HwAccumulators> out,
+                         std::span<HwNeighborRecorder> neighbors = {});
+
+ private:
+  std::vector<ProcessorModule> modules_;
+  std::vector<HwAccumulators> scratch_;
+  std::vector<HwNeighborRecorder> nb_scratch_;
+};
+
+/// Network board (Fig 3): broadcasts i-particles to up to four boards and
+/// reduces their partial results. The reduction itself is an exact merge;
+/// the constant models the serializer/deserializer + adder latency.
+class NetworkBoard {
+ public:
+  static constexpr std::uint64_t kLatencyCycles = 32;
+
+  /// Reduce per-board partial banks (outer index: board) into `out`,
+  /// which must be reset with the same block exponents.
+  static void reduce(std::span<const std::vector<HwAccumulators>> per_board,
+                     std::span<HwAccumulators> out);
+};
+
+}  // namespace g6

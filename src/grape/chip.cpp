@@ -1,0 +1,39 @@
+#include "grape/chip.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace g6 {
+
+std::uint64_t Chip::run_pass(double t, std::span<const IParticlePacket> iblock,
+                             double eps2, std::span<HwAccumulators> out,
+                             std::span<HwNeighborRecorder> neighbors) {
+  G6_REQUIRE(iblock.size() <= i_parallelism());
+  G6_REQUIRE(out.size() == iblock.size());
+  G6_REQUIRE(neighbors.empty() || neighbors.size() == iblock.size());
+  // The on-chip FIFO depth bounds what one chip can report, regardless of
+  // the (larger) host-side buffer the results are merged into.
+  for (auto& nb : neighbors) {
+    G6_ASSERT(nb.indices.empty());
+    nb.capacity = std::min(nb.capacity, mc_.neighbor_buffer_per_chip);
+  }
+
+  for (const auto& j : memory_) {
+    const PredictorUnit::Predicted pj = predictor_.predict(j, t);
+    for (std::size_t k = 0; k < iblock.size(); ++k) {
+      pipeline_.interact(pj, iblock[k], eps2, out[k],
+                         neighbors.empty() ? nullptr : &neighbors[k]);
+    }
+  }
+
+  const std::uint64_t cycles =
+      static_cast<std::uint64_t>(mc_.vmp_ways) * memory_.size() +
+      mc_.pipeline_latency_cycles;
+  total_cycles_ += cycles;
+  total_interactions_ +=
+      static_cast<std::uint64_t>(memory_.size()) * iblock.size();
+  return cycles;
+}
+
+}  // namespace g6

@@ -1,0 +1,72 @@
+#pragma once
+// The GRAPE-6 processor chip (Sec 2.1): six 8-way-VMP force pipelines fed
+// by one predictor pipeline and a chip-local j-particle memory.
+//
+// Functional model: every stored j-particle is predicted once per pass and
+// broadcast to all virtual pipelines, i.e. the chip computes forces from
+// its j-memory on up to 48 i-particles in parallel.
+//
+// Timing model: a physical pipeline retires one interaction per clock and
+// serves `vmp_ways` virtual pipelines round-robin, so a pass over n_j
+// stored particles takes `vmp_ways * n_j + pipeline_latency` cycles —
+// independent of how many of the 48 virtual slots are actually filled
+// (unused pipelines idle, which is exactly why small blocks waste the
+// hardware; see Fig 14's small-N regime).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grape/config.hpp"
+#include "grape/pipeline.hpp"
+
+namespace g6 {
+
+class Chip {
+ public:
+  Chip(const MachineConfig& mc, const NumberFormats& fmt)
+      : mc_(mc), predictor_(fmt), pipeline_(fmt) {}
+
+  /// Number of i-particles processed in parallel (48 on GRAPE-6).
+  std::size_t i_parallelism() const { return mc_.i_parallelism(); }
+
+  void clear_memory() { memory_.clear(); }
+
+  /// Ensure the memory has at least `n` slots.
+  void reserve_slots(std::size_t n) {
+    if (memory_.size() < n) memory_.resize(n);
+  }
+
+  /// Write a j-particle into a memory slot.
+  void write(std::size_t slot, const StoredJParticle& p) {
+    reserve_slots(slot + 1);
+    memory_[slot] = p;
+  }
+
+  std::size_t j_count() const { return memory_.size(); }
+  const StoredJParticle& stored(std::size_t slot) const { return memory_[slot]; }
+
+  /// One force pass: forces from the whole j-memory on `iblock`
+  /// (iblock.size() <= i_parallelism()). `out[k]` must be reset with the
+  /// block exponents by the caller. When `neighbors` is non-empty (same
+  /// length as the block) the neighbor comparators run alongside; each
+  /// recorder must be reset to this chip's FIFO depth by the caller.
+  /// Returns the cycles consumed.
+  std::uint64_t run_pass(double t, std::span<const IParticlePacket> iblock,
+                         double eps2, std::span<HwAccumulators> out,
+                         std::span<HwNeighborRecorder> neighbors = {});
+
+  /// Lifetime totals (performance counters).
+  std::uint64_t total_cycles() const { return total_cycles_; }
+  std::uint64_t total_interactions() const { return total_interactions_; }
+
+ private:
+  MachineConfig mc_;
+  PredictorUnit predictor_;
+  ForcePipeline pipeline_;
+  std::vector<StoredJParticle> memory_;
+  std::uint64_t total_cycles_ = 0;
+  std::uint64_t total_interactions_ = 0;
+};
+
+}  // namespace g6

@@ -1,0 +1,222 @@
+#include "grape/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace g6 {
+
+namespace {
+/// How many exponent bits to add on an overflow retry.
+constexpr int kRetryBump = 8;
+constexpr int kMaxRetries = 16;
+
+double max_abs(const Vec3& v) {
+  return std::max({std::fabs(v.x), std::fabs(v.y), std::fabs(v.z)});
+}
+}  // namespace
+
+GrapeForceEngine::GrapeForceEngine(const MachineConfig& mc, const NumberFormats& fmt,
+                                   double eps, DmaModel dma, PacketSizes packets)
+    : mc_(mc), fmt_(fmt), eps_(eps), dma_(dma), packets_(packets) {
+  G6_REQUIRE(eps >= 0.0);
+  G6_REQUIRE(mc.boards_per_host >= 1);
+  boards_.reserve(mc.boards_per_host);
+  for (std::size_t b = 0; b < mc.boards_per_host; ++b) boards_.emplace_back(mc, fmt);
+}
+
+GrapeForceEngine::Slot GrapeForceEngine::place(std::size_t index) const {
+  // Round-robin over boards, then chips within a board: balanced j-memory
+  // population, so pass time = vmp * ceil(N / total_chips) + latency.
+  const std::size_t nb = boards_.size();
+  const std::size_t nc = mc_.chips_per_board();
+  Slot s;
+  s.board = static_cast<std::uint32_t>(index % nb);
+  s.chip = static_cast<std::uint32_t>((index / nb) % nc);
+  s.slot = static_cast<std::uint32_t>(index / (nb * nc));
+  return s;
+}
+
+void GrapeForceEngine::load_particles(std::span<const JParticle> particles) {
+  n_particles_ = particles.size();
+  for (auto& b : boards_) {
+    for (std::size_t c = 0; c < b.chip_count(); ++c) b.chip(c).clear_memory();
+  }
+  G6_REQUIRE(global_ids_.empty() || global_ids_.size() == particles.size());
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    const Slot s = place(i);
+    boards_[s.board].chip(s.chip).write(
+        s.slot, quantize_j_particle(particles[i], hardware_id(i), fmt_));
+  }
+  // Fresh exponent guesses; the first force call refines them (and may
+  // retry — the "initial calculation" behaviour described in Sec 3.4).
+  exps_.assign(particles.size(), BlockExponents{});
+  pending_j_writes_ = 0;
+  // Initial memory upload.
+  stats_.dma_seconds +=
+      dma_.transfer_time(particles.size() * packets_.j_particle_bytes);
+}
+
+void GrapeForceEngine::update_particle(std::size_t index, const JParticle& p) {
+  G6_REQUIRE(index < n_particles_);
+  const Slot s = place(index);
+  boards_[s.board].chip(s.chip).write(
+      s.slot, quantize_j_particle(p, hardware_id(index), fmt_));
+  ++pending_j_writes_;
+}
+
+std::uint64_t GrapeForceEngine::compute_partials(
+    double t, std::span<const IParticlePacket> pass,
+    std::span<const BlockExponents> exps, std::vector<HwAccumulators>& out,
+    std::span<HwNeighborRecorder> neighbors) {
+  G6_REQUIRE(pass.size() <= mc_.i_parallelism());
+  G6_REQUIRE(exps.size() == pass.size());
+  G6_REQUIRE(neighbors.empty() || neighbors.size() == pass.size());
+  const double eps2 = eps_ * eps_;
+  const bool want_nb = !neighbors.empty();
+
+  out.resize(pass.size());
+  for (std::size_t k = 0; k < pass.size(); ++k) out[k].reset(exps[k]);
+
+  std::vector<HwNeighborRecorder> nb_bank;
+  board_partials_.resize(boards_.size());
+  std::uint64_t max_board_cycles = 0;
+  for (std::size_t b = 0; b < boards_.size(); ++b) {
+    auto& bank = board_partials_[b];
+    bank.resize(pass.size());
+    for (std::size_t k = 0; k < pass.size(); ++k) bank[k].reset(exps[k]);
+    if (want_nb) {
+      nb_bank.resize(pass.size());
+      for (std::size_t k = 0; k < pass.size(); ++k) {
+        nb_bank[k].reset(neighbors[k].capacity);
+      }
+    }
+    max_board_cycles = std::max(
+        max_board_cycles,
+        boards_[b].run_pass(t, pass, eps2, bank,
+                            want_nb ? std::span<HwNeighborRecorder>(nb_bank)
+                                    : std::span<HwNeighborRecorder>{}));
+    if (want_nb) {
+      for (std::size_t k = 0; k < pass.size(); ++k) neighbors[k].merge(nb_bank[k]);
+    }
+  }
+  NetworkBoard::reduce(board_partials_, out);
+
+  ++stats_.passes;
+  for (const auto& b : boards_) {
+    stats_.interactions += static_cast<std::uint64_t>(b.total_j()) * pass.size();
+  }
+  return max_board_cycles + NetworkBoard::kLatencyCycles;
+}
+
+void GrapeForceEngine::compute_forces(double t, std::span<const PredictedState> block,
+                                      std::span<Force> out) {
+  run_block(t, block, {}, out, {});
+}
+
+void GrapeForceEngine::compute_forces_neighbors(
+    double t, std::span<const PredictedState> block, std::span<const double> radii2,
+    std::span<Force> out, std::span<NeighborResult> neighbors) {
+  G6_REQUIRE(radii2.size() == block.size());
+  G6_REQUIRE(neighbors.size() == block.size());
+  run_block(t, block, radii2, out, neighbors);
+}
+
+void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block,
+                                 std::span<const double> radii2,
+                                 std::span<Force> out,
+                                 std::span<NeighborResult> neighbors) {
+  G6_REQUIRE(block.size() == out.size());
+  const bool want_nb = !neighbors.empty();
+  double call_seconds = 0.0;
+
+  // Write back the particles corrected since the previous call (one DMA).
+  if (pending_j_writes_ > 0) {
+    call_seconds += dma_.transfer_time(pending_j_writes_ * packets_.j_particle_bytes);
+    pending_j_writes_ = 0;
+  }
+
+  // Send the i-block (one DMA).
+  call_seconds += dma_.transfer_time(block.size() * packets_.i_particle_bytes);
+
+  packets_buf_.resize(block.size());
+  for (std::size_t k = 0; k < block.size(); ++k) {
+    packets_buf_[k] = quantize_i_particle(block[k], fmt_);
+    if (want_nb) packets_buf_[k].h2 = radii2[k];
+  }
+
+  // Total neighbor capacity visible to the host: one FIFO per chip.
+  const std::size_t host_nb_capacity =
+      mc_.neighbor_buffer_per_chip * mc_.chips_per_host();
+  std::vector<HwNeighborRecorder> pass_nb;
+
+  std::uint64_t cycles = 0;
+  std::size_t neighbor_words = 0;
+  const std::size_t chunk = mc_.i_parallelism();
+  std::vector<BlockExponents> pass_exps;
+  for (std::size_t begin = 0; begin < block.size(); begin += chunk) {
+    const std::size_t end = std::min(block.size(), begin + chunk);
+    const std::span<const IParticlePacket> pass{packets_buf_.data() + begin,
+                                                end - begin};
+    pass_exps.resize(pass.size());
+    for (std::size_t k = 0; k < pass.size(); ++k) {
+      pass_exps[k] = exps_[block[begin + k].index];
+    }
+
+    for (int attempt = 0;; ++attempt) {
+      if (want_nb) {
+        pass_nb.resize(pass.size());
+        for (auto& nb : pass_nb) nb.reset(host_nb_capacity);
+      }
+      cycles += compute_partials(t, pass, pass_exps, merged_,
+                                 want_nb ? std::span<HwNeighborRecorder>(pass_nb)
+                                         : std::span<HwNeighborRecorder>{});
+      bool overflow = false;
+      for (std::size_t k = 0; k < pass.size(); ++k) {
+        if (merged_[k].overflow()) {
+          overflow = true;
+          pass_exps[k].acc += kRetryBump;
+          pass_exps[k].jerk += kRetryBump;
+          pass_exps[k].pot += kRetryBump;
+        }
+      }
+      if (!overflow) break;
+      ++stats_.retries;
+      G6_REQUIRE_MSG(attempt < kMaxRetries, "block exponent retry did not converge");
+    }
+
+    for (std::size_t k = 0; k < pass.size(); ++k) {
+      const Force f = merged_[k].decode();
+      out[begin + k] = f;
+      // Remember refined exponents for the next step (margin 2 bits).
+      const std::uint32_t gid = block[begin + k].index;
+      exps_[gid].acc = choose_block_exponent(max_abs(f.acc));
+      exps_[gid].jerk = choose_block_exponent(max_abs(f.jerk));
+      exps_[gid].pot = choose_block_exponent(std::fabs(f.pot));
+      if (want_nb) {
+        NeighborResult& nb = neighbors[begin + k];
+        nb.indices = std::move(pass_nb[k].indices);
+        nb.overflow = pass_nb[k].overflow;
+        nb.nearest = pass_nb[k].has_nearest ? pass_nb[k].nearest : gid;
+        nb.nearest_r2 = pass_nb[k].nearest_r2;
+        neighbor_words += nb.indices.size();
+      }
+    }
+  }
+
+  // Read back the results (one DMA), plus the neighbor lists (one more
+  // transaction of 4-byte index words) when requested.
+  call_seconds += dma_.transfer_time(block.size() * packets_.result_bytes);
+  if (want_nb) call_seconds += dma_.transfer_time(neighbor_words * 4);
+  call_seconds += static_cast<double>(cycles) / mc_.clock_hz;
+
+  const double grape_seconds = static_cast<double>(cycles) / mc_.clock_hz;
+  stats_.grape_seconds += grape_seconds;
+  stats_.dma_seconds += call_seconds - grape_seconds;
+  ++stats_.force_calls;
+  last_call_seconds_ = call_seconds;
+  last_call_grape_seconds_ = grape_seconds;
+}
+
+}  // namespace g6

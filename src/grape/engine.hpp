@@ -1,0 +1,137 @@
+#pragma once
+// GrapeForceEngine: one host's GRAPE-6 subsystem — `boards_per_host`
+// processor boards behind a network board and a PCI DMA link.
+//
+// Implements the ForceEngine interface so the Hermite integrator can run
+// on the emulated hardware unchanged, and additionally keeps a *virtual
+// clock* of the time the real hardware would have spent (pipeline cycles,
+// reduction latencies, DMA transfers). Nothing here sleeps; virtual time
+// is pure accounting.
+//
+// Block floating-point exponents are managed as in the paper (Sec 3.4):
+// the engine remembers each particle's exponents from the previous step
+// and retries a pass with larger exponents when the hardware raises the
+// overflow flag.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grape/board.hpp"
+#include "grape/config.hpp"
+#include "hermite/force_engine.hpp"
+
+namespace g6 {
+
+/// Cumulative virtual-time and event statistics of one engine.
+struct GrapeHostStats {
+  double grape_seconds = 0.0;  ///< pipeline + reduction time
+  double dma_seconds = 0.0;    ///< host<->GRAPE transfers
+  std::uint64_t force_calls = 0;
+  std::uint64_t passes = 0;
+  std::uint64_t retries = 0;   ///< block-exponent overflow retries
+  std::uint64_t interactions = 0;
+
+  double total_seconds() const { return grape_seconds + dma_seconds; }
+};
+
+class GrapeForceEngine final : public ForceEngine {
+ public:
+  /// `mc.boards_per_host` boards are instantiated; the rest of `mc`
+  /// supplies the chip microarchitecture.
+  GrapeForceEngine(const MachineConfig& mc, const NumberFormats& fmt, double eps,
+                   DmaModel dma = {}, PacketSizes packets = {});
+
+  // --- ForceEngine ------------------------------------------------------
+  void load_particles(std::span<const JParticle> particles) override;
+  void update_particle(std::size_t index, const JParticle& p) override;
+  void compute_forces(double t, std::span<const PredictedState> block,
+                      std::span<Force> out) override;
+  void compute_forces_neighbors(double t, std::span<const PredictedState> block,
+                                std::span<const double> radii2,
+                                std::span<Force> out,
+                                std::span<NeighborResult> neighbors) override;
+  bool supports_neighbors() const override { return true; }
+  double softening() const override { return eps_; }
+  std::size_t size() const override { return n_particles_; }
+
+  // --- lower-level access for the parallel algorithms --------------------
+  /// One pass (<= 48 i-particles) over this host's j-memory with caller-
+  /// managed exponents; partial results are NOT decoded. `neighbors`
+  /// (optional, same length, recorders reset by the caller) collects
+  /// merged neighbor lists. Returns cycles.
+  std::uint64_t compute_partials(double t, std::span<const IParticlePacket> pass,
+                                 std::span<const BlockExponents> exps,
+                                 std::vector<HwAccumulators>& out,
+                                 std::span<HwNeighborRecorder> neighbors = {});
+
+  /// Quantize a predicted i-particle with this engine's formats.
+  IParticlePacket make_packet(const PredictedState& p) const {
+    return quantize_i_particle(p, fmt_);
+  }
+
+  const GrapeHostStats& stats() const { return stats_; }
+  const MachineConfig& machine() const { return mc_; }
+  const NumberFormats& formats() const { return fmt_; }
+  const DmaModel& dma() const { return dma_; }
+  const PacketSizes& packets() const { return packets_; }
+
+  /// Exponent bank (indexed by global particle id); exposed so parallel
+  /// drivers can share exponents across hosts.
+  std::vector<BlockExponents>& exponents() { return exps_; }
+
+  /// Identity map for engines that hold a SUBSET of a larger system (the
+  /// host-grid algorithm): slot k of the next load_particles call gets
+  /// hardware id ids[k] instead of k, so the pipeline self-interaction
+  /// cut works against global i-particle indices. Call before
+  /// load_particles; an empty map restores the identity.
+  void set_global_ids(std::vector<std::uint32_t> ids) { global_ids_ = std::move(ids); }
+
+  /// Virtual time charged to the last compute_forces call.
+  double last_call_seconds() const { return last_call_seconds_; }
+  /// Pipeline-only part of the last call (no DMA) — used by the cluster
+  /// simulator, which accounts transfers with its own network topology.
+  double last_call_grape_seconds() const { return last_call_grape_seconds_; }
+
+  std::size_t board_count() const { return boards_.size(); }
+  ProcessorBoard& board(std::size_t b) { return boards_[b]; }
+
+ private:
+  struct Slot {
+    std::uint32_t board;
+    std::uint32_t chip;
+    std::uint32_t slot;
+  };
+  Slot place(std::size_t index) const;
+  void run_block(double t, std::span<const PredictedState> block,
+                 std::span<const double> radii2, std::span<Force> out,
+                 std::span<NeighborResult> neighbors);
+
+  MachineConfig mc_;
+  NumberFormats fmt_;
+  double eps_;
+  DmaModel dma_;
+  PacketSizes packets_;
+
+  std::uint32_t hardware_id(std::size_t index) const {
+    return global_ids_.empty() ? static_cast<std::uint32_t>(index)
+                               : global_ids_[index];
+  }
+
+  std::vector<ProcessorBoard> boards_;
+  std::size_t n_particles_ = 0;
+  std::vector<BlockExponents> exps_;
+  std::vector<std::uint32_t> global_ids_;
+  std::size_t pending_j_writes_ = 0;
+
+  GrapeHostStats stats_;
+  double last_call_seconds_ = 0.0;
+  double last_call_grape_seconds_ = 0.0;
+
+  // scratch
+  std::vector<IParticlePacket> packets_buf_;
+  std::vector<std::vector<HwAccumulators>> board_partials_;
+  std::vector<HwAccumulators> merged_;
+};
+
+}  // namespace g6

@@ -1,0 +1,35 @@
+#include "grape/formats.hpp"
+
+namespace g6 {
+
+namespace {
+Vec3 quantize_vec(const Vec3& v, const FloatFormat& f) {
+  return {f.quantize(v.x), f.quantize(v.y), f.quantize(v.z)};
+}
+}  // namespace
+
+StoredJParticle quantize_j_particle(const JParticle& p, std::uint32_t index,
+                                    const NumberFormats& fmt) {
+  const FixedPointCodec codec = fmt.coord_codec();
+  StoredJParticle s;
+  s.index = index;
+  s.mass = fmt.pipeline.quantize(p.mass);
+  s.t0 = p.t0;
+  for (int d = 0; d < 3; ++d) s.pos[d] = codec.encode(p.pos[d]);
+  s.vel = quantize_vec(p.vel, fmt.velocity);
+  s.acc = quantize_vec(p.acc, fmt.predictor);
+  s.jerk = quantize_vec(p.jerk, fmt.predictor);
+  s.snap = quantize_vec(p.snap, fmt.predictor);
+  return s;
+}
+
+IParticlePacket quantize_i_particle(const PredictedState& p, const NumberFormats& fmt) {
+  const FixedPointCodec codec = fmt.coord_codec();
+  IParticlePacket pkt;
+  pkt.index = p.index;
+  for (int d = 0; d < 3; ++d) pkt.pos[d] = codec.encode(p.pos[d]);
+  pkt.vel = quantize_vec(p.vel, fmt.velocity);
+  return pkt;
+}
+
+}  // namespace g6

@@ -1,0 +1,101 @@
+#include "grape/pipeline.hpp"
+
+#include <cmath>
+
+namespace g6 {
+
+PredictorUnit::Predicted PredictorUnit::predict(const StoredJParticle& j,
+                                                double t) const {
+  const FloatFormat& pf = fmt_.predictor;
+  const double dt = pf.quantize(t - j.t0);
+
+  Predicted out;
+  out.index = j.index;
+  out.mass = j.mass;
+
+  for (int d = 0; d < 3; ++d) {
+    // Position correction in predictor floating point (Horner, Eq 6)...
+    double c = pf.mul(dt, pf.quantize(1.0 / 24.0 * j.snap[d]));
+    c = pf.mul(dt, pf.add(pf.quantize(j.jerk[d] / 6.0), c));
+    c = pf.mul(dt, pf.add(pf.quantize(0.5 * j.acc[d]), c));
+    c = pf.mul(dt, pf.add(j.vel[d], c));
+    // ...added to the 64-bit fixed-point base exactly.
+    out.pos[d] = j.pos[d] + codec_.encode(c);
+
+    // Velocity prediction (Eq 7), delivered in the velocity format.
+    double v = pf.mul(dt, pf.quantize(j.snap[d] / 6.0));
+    v = pf.mul(dt, pf.add(pf.quantize(0.5 * j.jerk[d]), v));
+    v = pf.mul(dt, pf.add(j.acc[d], v));
+    out.vel[d] = fmt_.velocity.quantize(pf.add(j.vel[d], v));
+  }
+  return out;
+}
+
+void ForcePipeline::interact(const PredictorUnit::Predicted& j,
+                             const IParticlePacket& ip, double eps2,
+                             HwAccumulators& out,
+                             HwNeighborRecorder* neighbors) const {
+  if (j.index == ip.index) return;  // hardware self-interaction cut
+
+  const FloatFormat& f = fmt_.pipeline;
+
+  double dx[3];
+  double dv[3];
+  for (int d = 0; d < 3; ++d) {
+    // Exact fixed-point subtract, one rounding into the pipeline float.
+    const std::int64_t diff = j.pos[d] - ip.pos[d];
+    dx[d] = codec_.decode(diff);
+    dv[d] = j.vel[d] - ip.vel[d];
+  }
+
+  if (exact_) {
+    // Wide-format A/B mode: plain double arithmetic, BFP accumulation.
+    const double r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + eps2;
+    if (neighbors != nullptr) neighbors->record(j.index, r2, ip.h2);
+    const double rinv = 1.0 / std::sqrt(r2);
+    const double rinv2 = rinv * rinv;
+    const double mrinv3 = j.mass * rinv * rinv2;
+    const double rv = 3.0 * (dx[0] * dv[0] + dx[1] * dv[1] + dx[2] * dv[2]) * rinv2;
+    for (int d = 0; d < 3; ++d) {
+      out.acc[d].add(mrinv3 * dx[d]);
+      out.jerk[d].add(mrinv3 * (dv[d] - rv * dx[d]));
+    }
+    out.pot.add(-j.mass * rinv);
+    return;
+  }
+
+  for (int d = 0; d < 3; ++d) {
+    dx[d] = f.quantize(dx[d]);
+    dv[d] = f.quantize(dv[d]);
+  }
+
+  // r^2 = ((dx^2 + dy^2) + dz^2) + eps^2
+  double r2 = f.mul(dx[0], dx[0]);
+  r2 = f.add(r2, f.mul(dx[1], dx[1]));
+  r2 = f.add(r2, f.mul(dx[2], dx[2]));
+  r2 = f.add(r2, f.quantize(eps2));
+
+  // Neighbor comparator sits on the r^2 word (hardware: compare + FIFO).
+  if (neighbors != nullptr) neighbors->record(j.index, r2, f.quantize(ip.h2));
+
+  const double rinv = f.rsqrt(r2);
+  const double rinv2 = f.mul(rinv, rinv);
+  const double mrinv = f.mul(j.mass, rinv);
+  const double mrinv3 = f.mul(mrinv, rinv2);
+
+  // 3 (dr . dv) / r^2
+  double rv = f.mul(dx[0], dv[0]);
+  rv = f.add(rv, f.mul(dx[1], dv[1]));
+  rv = f.add(rv, f.mul(dx[2], dv[2]));
+  rv = f.mul(rv, rinv2);
+  rv = f.mul(rv, 3.0);
+
+  for (int d = 0; d < 3; ++d) {
+    out.acc[d].add(f.mul(mrinv3, dx[d]));
+    const double jterm = f.sub(dv[d], f.mul(rv, dx[d]));
+    out.jerk[d].add(f.mul(mrinv3, jterm));
+  }
+  out.pot.add(-mrinv);
+}
+
+}  // namespace g6

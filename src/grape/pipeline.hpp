@@ -1,0 +1,167 @@
+#pragma once
+// The force-calculation pipeline (Fig 8) and the predictor pipeline of the
+// GRAPE-6 chip, emulated operation-by-operation in the hardware number
+// formats.
+//
+// Dataflow per interaction (Eqs 1-3):
+//   dx      = x_j - x_i                  exact 64-bit fixed-point subtract
+//   dr, dv  -> pipeline float            one rounding at the conversion
+//   r2      = dx^2+dy^2+dz^2+eps^2       pipeline float, correctly rounded
+//   rinv    = rsqrt(r2), rinv2, m*rinv3  pipeline float
+//   acc,jerk,pot contributions           pipeline float
+//   accumulation                          block floating point, exact
+//
+// The block floating-point accumulators make the total independent of the
+// order and partitioning of the sum (paper Sec 3.4) — the property tested
+// in tests/grape/bfp_invariance_test.cpp.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grape/formats.hpp"
+#include "util/fixedpoint.hpp"
+
+namespace g6 {
+
+/// Accumulator bank for one i-particle: 3 acceleration words, 3 jerk
+/// words, 1 potential word, all block floating point.
+struct HwAccumulators {
+  BlockFloatAccumulator acc[3];
+  BlockFloatAccumulator jerk[3];
+  BlockFloatAccumulator pot;
+
+  void reset(const BlockExponents& e) {
+    for (auto& a : acc) a.reset(e.acc);
+    for (auto& j : jerk) j.reset(e.jerk);
+    pot.reset(e.pot);
+  }
+
+  bool overflow() const {
+    for (const auto& a : acc)
+      if (a.overflow()) return true;
+    for (const auto& j : jerk)
+      if (j.overflow()) return true;
+    return pot.overflow();
+  }
+
+  /// Exact merge (the module/board/network-board reduction tree).
+  void merge(const HwAccumulators& o) {
+    for (int d = 0; d < 3; ++d) {
+      acc[d].merge(o.acc[d]);
+      jerk[d].merge(o.jerk[d]);
+    }
+    pot.merge(o.pot);
+  }
+
+  /// Decode to a host-side force.
+  Force decode() const {
+    Force f;
+    f.acc = {acc[0].value(), acc[1].value(), acc[2].value()};
+    f.jerk = {jerk[0].value(), jerk[1].value(), jerk[2].value()};
+    f.pot = pot.value();
+    return f;
+  }
+};
+
+/// Per-i-particle neighbor hardware: a bounded on-chip index FIFO (the
+/// real chip raises an overflow flag when the list no longer fits and the
+/// host retries with a smaller radius) plus the nearest-neighbor register.
+struct HwNeighborRecorder {
+  std::vector<std::uint32_t> indices;
+  std::size_t capacity = 256;
+  bool overflow = false;
+  std::uint32_t nearest = 0;
+  double nearest_r2 = 0.0;
+  bool has_nearest = false;
+
+  void reset(std::size_t cap) {
+    indices.clear();
+    capacity = cap;
+    overflow = false;
+    has_nearest = false;
+    nearest_r2 = 0.0;
+  }
+
+  void record(std::uint32_t idx, double r2, double h2) {
+    if (!has_nearest || r2 < nearest_r2) {
+      nearest_r2 = r2;
+      nearest = idx;
+      has_nearest = true;
+    }
+    if (r2 < h2) {
+      if (indices.size() < capacity) {
+        indices.push_back(idx);
+      } else {
+        overflow = true;
+      }
+    }
+  }
+
+  /// Merge another chip/board's recorder (reduction network).
+  void merge(const HwNeighborRecorder& o) {
+    overflow = overflow || o.overflow;
+    for (std::uint32_t idx : o.indices) {
+      if (indices.size() < capacity) {
+        indices.push_back(idx);
+      } else {
+        overflow = true;
+        break;
+      }
+    }
+    if (o.has_nearest && (!has_nearest || o.nearest_r2 < nearest_r2)) {
+      nearest = o.nearest;
+      nearest_r2 = o.nearest_r2;
+      has_nearest = true;
+    }
+  }
+};
+
+/// On-chip predictor pipeline: evaluates Eqs (6)-(7) for a stored
+/// j-particle in the (narrower) predictor format. The polynomial
+/// correction is computed in floating point and added to the fixed-point
+/// position exactly, as in the hardware.
+class PredictorUnit {
+ public:
+  explicit PredictorUnit(const NumberFormats& fmt)
+      : fmt_(fmt), codec_(fmt.coord_range) {}
+
+  /// Predicted j-particle ready for the force pipeline.
+  struct Predicted {
+    std::uint32_t index = 0;
+    double mass = 0.0;
+    std::int64_t pos[3] = {0, 0, 0};
+    Vec3 vel;
+  };
+
+  Predicted predict(const StoredJParticle& j, double t) const;
+
+ private:
+  NumberFormats fmt_;
+  FixedPointCodec codec_;
+};
+
+/// One physical force pipeline. Stateless except for the formats; the
+/// chip drives it once per (virtual pipeline, j-particle) pair.
+class ForcePipeline {
+ public:
+  explicit ForcePipeline(const NumberFormats& fmt)
+      : fmt_(fmt),
+        codec_(fmt.coord_range),
+        exact_(fmt.pipeline.frac_bits() >= 52) {}
+
+  /// Accumulate the interaction of predicted j-particle `j` on i-particle
+  /// `ip` into `out`. Skips the self-interaction by index compare. When
+  /// `neighbors` is non-null the neighbor comparator runs alongside the
+  /// force datapath (no extra cycles, as in hardware).
+  void interact(const PredictorUnit::Predicted& j, const IParticlePacket& ip,
+                double eps2, HwAccumulators& out,
+                HwNeighborRecorder* neighbors = nullptr) const;
+
+ private:
+  NumberFormats fmt_;
+  FixedPointCodec codec_;
+  bool exact_;  ///< wide format: skip per-op rounding (A/B mode)
+};
+
+}  // namespace g6

@@ -1,0 +1,342 @@
+#include "hermite/ahmad_cohen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hermite/direct_engine.hpp"
+#include "hermite/scheme.hpp"
+#include "util/check.hpp"
+
+namespace g6 {
+
+namespace {
+/// Accept a neighbor list whose size lies in a sane band around the
+/// target (too many neighbors makes irregular sums expensive).
+bool list_acceptable(std::size_t count, std::size_t target, std::size_t n_total,
+                     bool overflow) {
+  if (overflow) return false;
+  const std::size_t upper = std::max<std::size_t>(4 * target, 8);
+  const std::size_t lower = n_total - 1 <= target ? n_total - 1 : 1;
+  return count >= lower && count <= upper;
+}
+}  // namespace
+
+AhmadCohenIntegrator::AhmadCohenIntegrator(const ParticleSet& initial,
+                                           ForceEngine& engine,
+                                           AhmadCohenConfig config)
+    : engine_(engine), cfg_(config) {
+  G6_REQUIRE(initial.size() >= 2);
+  G6_REQUIRE_MSG(engine.supports_neighbors(),
+                 "Ahmad-Cohen scheme needs an engine with neighbor lists");
+  G6_REQUIRE(cfg_.eta_irr > 0.0 && cfg_.eta_reg > 0.0 && cfg_.eta_s > 0.0);
+  G6_REQUIRE(cfg_.dt_min > 0.0 && cfg_.dt_max >= cfg_.dt_min);
+  G6_REQUIRE(cfg_.neighbor_target >= 1);
+  initialize(initial);
+}
+
+Force AhmadCohenIntegrator::irregular_force(std::size_t i, const Vec3& pos,
+                                            const Vec3& vel, double t,
+                                            std::span<const std::uint32_t> list) {
+  const double eps2 = engine_.softening() * engine_.softening();
+  (void)i;
+  Force f;
+  for (std::uint32_t j : list) {
+    G6_ASSERT(j != i);
+    Vec3 xj, vj;
+    hermite_predict(particles_[j], t, xj, vj);
+    accumulate_pairwise(pos, vel, xj, vj, particles_[j].mass, eps2, f);
+  }
+  irregular_interactions_ += list.size();
+  return f;
+}
+
+Force AhmadCohenIntegrator::predicted_regular(std::size_t i, double t) const {
+  const double dt = t - t_reg_[i];
+  Force f;
+  f.acc = f_reg_[i].acc + dt * (f_reg_[i].jerk + 0.5 * dt * a2_reg_[i]);
+  f.jerk = f_reg_[i].jerk + dt * a2_reg_[i];
+  f.pot = f_reg_[i].pot;
+  return f;
+}
+
+void AhmadCohenIntegrator::initialize(const ParticleSet& initial) {
+  const std::size_t n = initial.size();
+  particles_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    particles_[i].mass = initial[i].mass;
+    particles_[i].pos = initial[i].pos;
+    particles_[i].vel = initial[i].vel;
+    particles_[i].t0 = 0.0;
+  }
+  engine_.load_particles(particles_);
+
+  // Initial neighbor radius from the mean radius and the target count.
+  Vec3 com;
+  for (const auto& p : particles_) com += p.mass * p.pos;
+  double rbar = 0.0;
+  for (const auto& p : particles_) rbar += norm(p.pos - com);
+  rbar = std::max(1e-6, rbar / static_cast<double>(n));
+  const double h0 =
+      2.0 * rbar *
+      std::cbrt(static_cast<double>(cfg_.neighbor_target) / static_cast<double>(n));
+  h2_.assign(n, h0 * h0);
+
+  // Full forces + neighbor lists, adapting radii until acceptable.
+  std::vector<PredictedState> pred(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pred[i] = {particles_[i].pos, particles_[i].vel, particles_[i].mass,
+               static_cast<std::uint32_t>(i)};
+  }
+  std::vector<Force> f_tot(n);
+  std::vector<NeighborResult> nb(n);
+  for (int round = 0; round < 12; ++round) {
+    engine_.compute_forces_neighbors(0.0, pred, h2_, f_tot, nb);
+    regular_interactions_ += n * (n - 1);
+    bool all_ok = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (list_acceptable(nb[i].indices.size(), cfg_.neighbor_target, n,
+                          nb[i].overflow)) {
+        continue;
+      }
+      all_ok = false;
+      if (nb[i].overflow || nb[i].indices.size() > 4 * cfg_.neighbor_target) {
+        h2_[i] *= 0.5;
+      } else {
+        h2_[i] *= 2.0;
+      }
+    }
+    if (all_ok) break;
+  }
+
+  neighbors_.resize(n);
+  f_irr_.resize(n);
+  f_reg_.resize(n);
+  a2_reg_.assign(n, Vec3{});
+  dt_irr_.resize(n);
+  dt_reg_.resize(n);
+  t_reg_.assign(n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    neighbors_[i] = std::move(nb[i].indices);
+    const Force fi =
+        irregular_force(i, particles_[i].pos, particles_[i].vel, 0.0, neighbors_[i]);
+    f_irr_[i] = fi;
+    f_reg_[i].acc = f_tot[i].acc - fi.acc;
+    f_reg_[i].jerk = f_tot[i].jerk - fi.jerk;
+    f_reg_[i].pot = f_tot[i].pot - fi.pot;
+
+    particles_[i].acc = f_tot[i].acc;
+    particles_[i].jerk = f_tot[i].jerk;
+    particles_[i].snap = {};
+
+    const double dt_i = neighbors_[i].empty()
+                            ? initial_timestep(f_tot[i], cfg_.eta_s)
+                            : initial_timestep(fi, cfg_.eta_s);
+    dt_irr_[i] = quantize_timestep(dt_i, cfg_.dt_min, cfg_.dt_max);
+    const double dt_r = initial_timestep(f_reg_[i], cfg_.eta_s);
+    dt_reg_[i] =
+        std::max(dt_irr_[i], quantize_timestep(dt_r, cfg_.dt_min, cfg_.dt_max));
+    dt_irr_[i] = std::min(dt_irr_[i], dt_reg_[i]);
+    engine_.update_particle(i, particles_[i]);
+  }
+  trace_.n_particles = n;
+}
+
+double AhmadCohenIntegrator::next_block_time() const {
+  double t_next = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    t_next = std::min(t_next, particles_[i].t0 + dt_irr_[i]);
+  }
+  return t_next;
+}
+
+std::size_t AhmadCohenIntegrator::step() {
+  const double t = next_block_time();
+  const std::size_t n = particles_.size();
+
+  block_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (particles_[i].t0 + dt_irr_[i] == t) block_.push_back(i);
+  }
+  G6_ASSERT(!block_.empty());
+
+  struct Work {
+    std::size_t i = 0;
+    Vec3 pos, vel;          // corrected (irregular part applied)
+    Force f_irr_new;        // over the OLD list, at t
+    HermiteDerivatives d;   // irregular interpolation
+    double dt = 0.0;
+    bool due_regular = false;
+  };
+  std::vector<Work> work;
+  work.reserve(block_.size());
+
+  // --- phase 1: irregular step for every block member -------------------
+  for (std::size_t i : block_) {
+    Work w;
+    w.i = i;
+    w.dt = t - particles_[i].t0;
+    w.due_regular = (t == t_reg_[i] + dt_reg_[i]);
+
+    Vec3 xp, vp;
+    hermite_predict_cubic(particles_[i], t, xp, vp);
+    w.f_irr_new = irregular_force(i, xp, vp, t, neighbors_[i]);
+    w.d = hermite_interpolate(f_irr_[i], w.f_irr_new, w.dt);
+    w.pos = xp;
+    w.vel = vp;
+    hermite_correct(w.d, w.dt, w.pos, w.vel);
+    work.push_back(w);
+  }
+
+  // --- phase 2: regular refresh for the due subset (batched) ------------
+  std::vector<std::size_t> due;
+  for (std::size_t k = 0; k < work.size(); ++k) {
+    if (work[k].due_regular) due.push_back(k);
+  }
+  if (!due.empty()) {
+    std::vector<PredictedState> pred(due.size());
+    std::vector<double> radii(due.size());
+    std::vector<Force> f_tot(due.size());
+    std::vector<NeighborResult> nb(due.size());
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      for (std::size_t k = 0; k < due.size(); ++k) {
+        const Work& w = work[due[k]];
+        pred[k] = {w.pos, w.vel, particles_[w.i].mass,
+                   static_cast<std::uint32_t>(w.i)};
+        radii[k] = h2_[w.i];
+      }
+      engine_.compute_forces_neighbors(t, pred, radii, f_tot, nb);
+      regular_interactions_ += due.size() * (n - 1);
+      bool overflowed = false;
+      for (std::size_t k = 0; k < due.size(); ++k) {
+        if (nb[k].overflow) {
+          h2_[work[due[k]].i] *= 0.5;  // hardware FIFO overflow: shrink h
+          overflowed = true;
+        }
+      }
+      if (!overflowed) break;
+    }
+
+    for (std::size_t k = 0; k < due.size(); ++k) {
+      Work& w = work[due[k]];
+      const std::size_t i = w.i;
+      const double dtr = t - t_reg_[i];
+
+      // Regular force at t with the OLD list split: differencing against
+      // f_reg_ (also old-list) keeps the interpolated derivatives smooth.
+      // Re-splitting with the new list here would inject the force of the
+      // particles that crossed the h boundary as a fake O(1/dt^2) second
+      // derivative and collapse the timesteps.
+      Force f_reg_oldsplit;
+      f_reg_oldsplit.acc = f_tot[k].acc - w.f_irr_new.acc;
+      f_reg_oldsplit.jerk = f_tot[k].jerk - w.f_irr_new.jerk;
+      f_reg_oldsplit.pot = f_tot[k].pot - w.f_irr_new.pot;
+
+      // Regular corrector over the regular span (old-list pair).
+      const HermiteDerivatives dr =
+          hermite_interpolate(f_reg_[i], f_reg_oldsplit, dtr);
+      hermite_correct(dr, dtr, w.pos, w.vel);
+      a2_reg_[i] = dr.a2 + dtr * dr.a3;
+
+      // Now adopt the new list and re-split the same total force for the
+      // state carried forward.
+      std::vector<std::uint32_t> new_list = std::move(nb[k].indices);
+      const Force f_irr_split = irregular_force(i, w.pos, w.vel, t, new_list);
+      Force f_reg_new;
+      f_reg_new.acc = f_tot[k].acc - f_irr_split.acc;
+      f_reg_new.jerk = f_tot[k].jerk - f_irr_split.jerk;
+      f_reg_new.pot = f_tot[k].pot - f_irr_split.pot;
+
+      f_reg_[i] = f_reg_new;
+      t_reg_[i] = t;
+      neighbors_[i] = std::move(new_list);
+      w.f_irr_new = f_irr_split;  // future irregular pairs use the new list
+
+      // Adapt the neighbor radius toward the target count (rate-limited).
+      const double count = std::max<double>(1.0, static_cast<double>(neighbors_[i].size()));
+      double factor = std::cbrt(static_cast<double>(cfg_.neighbor_target) / count);
+      factor = std::clamp(factor, 1.0 / cfg_.radius_adjust_limit,
+                          cfg_.radius_adjust_limit);
+      h2_[i] *= factor * factor;
+
+      // New regular timestep from the (smooth, old-split) derivatives.
+      double dtr_req =
+          aarseth_timestep(f_reg_oldsplit, a2_reg_[i], dr.a3, cfg_.eta_reg);
+      dtr_req = std::min(dtr_req, 2.0 * dtr);
+      double dt_reg_new = quantize_timestep(dtr_req, cfg_.dt_min, cfg_.dt_max);
+      dt_reg_new = commensurate_timestep(t, dt_reg_new, cfg_.dt_min);
+      dt_reg_[i] = dt_reg_new;
+      ++regular_steps_;
+    }
+  }
+
+  // --- phase 3: finalize every block member ------------------------------
+  for (Work& w : work) {
+    const std::size_t i = w.i;
+    const Vec3 a2_irr_t1 = w.d.a2 + w.dt * w.d.a3;
+
+    // New irregular timestep.
+    double dt_req;
+    if (neighbors_[i].empty()) {
+      dt_req = dt_reg_[i];
+    } else {
+      dt_req = aarseth_timestep(w.f_irr_new, a2_irr_t1, w.d.a3, cfg_.eta_irr);
+      dt_req = std::min(dt_req, 2.0 * w.dt);
+    }
+    // Never overshoot the next regular refresh.
+    const double remaining = t_reg_[i] + dt_reg_[i] - t;
+    G6_ASSERT(remaining > 0.0);
+    double dt_new =
+        quantize_timestep(std::min(dt_req, remaining), cfg_.dt_min, cfg_.dt_max);
+    dt_new = commensurate_timestep(t, dt_new, cfg_.dt_min);
+    dt_irr_[i] = dt_new;
+
+    // Total derivatives for the predictor.
+    const Force f_reg_p = w.due_regular ? f_reg_[i] : predicted_regular(i, t);
+    JParticle& p = particles_[i];
+    p.pos = w.pos;
+    p.vel = w.vel;
+    p.acc = w.f_irr_new.acc + f_reg_p.acc;
+    p.jerk = w.f_irr_new.jerk + f_reg_p.jerk;
+    p.snap = a2_irr_t1 + a2_reg_[i];
+    p.t0 = t;
+    f_irr_[i] = w.f_irr_new;
+    engine_.update_particle(i, p);
+    ++irregular_steps_;
+  }
+
+  time_ = t;
+  ++blocksteps_;
+  if (cfg_.record_trace) {
+    trace_.records.push_back({t, static_cast<std::uint32_t>(block_.size())});
+    trace_.t_end = t;
+  }
+  return block_.size();
+}
+
+void AhmadCohenIntegrator::evolve(double t_end) {
+  G6_REQUIRE(t_end >= time_);
+  while (next_block_time() <= t_end) step();
+  trace_.t_end = std::max(trace_.t_end, time_);
+}
+
+ParticleSet AhmadCohenIntegrator::state_at_current_time() const {
+  ParticleSet out;
+  out.reserve(particles_.size());
+  for (const auto& p : particles_) {
+    Body b;
+    b.mass = p.mass;
+    hermite_predict(p, time_, b.pos, b.vel);
+    out.add(b);
+  }
+  return out;
+}
+
+double AhmadCohenIntegrator::mean_neighbor_count() const {
+  double sum = 0.0;
+  for (const auto& list : neighbors_) sum += static_cast<double>(list.size());
+  return sum / static_cast<double>(neighbors_.size());
+}
+
+}  // namespace g6

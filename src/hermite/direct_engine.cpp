@@ -1,0 +1,121 @@
+#include "hermite/direct_engine.hpp"
+
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "hermite/scheme.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace g6 {
+
+void accumulate_pairwise(const Vec3& pos_i, const Vec3& vel_i, const Vec3& pos_j,
+                         const Vec3& vel_j, double mass_j, double eps2, Force& f) {
+  const Vec3 dr = pos_j - pos_i;
+  const Vec3 dv = vel_j - vel_i;
+  const double r2 = norm2(dr) + eps2;
+  const double rinv = 1.0 / std::sqrt(r2);
+  const double rinv2 = rinv * rinv;
+  const double mrinv3 = units::kGravity * mass_j * rinv * rinv2;
+  const double rv = 3.0 * dot(dr, dv) * rinv2;
+  f.acc += mrinv3 * dr;
+  f.jerk += mrinv3 * (dv - rv * dr);
+  f.pot -= units::kGravity * mass_j * rinv;
+}
+
+DirectForceEngine::DirectForceEngine(double eps, unsigned threads)
+    : eps_(eps), threads_(threads == 0 ? 1 : threads) {
+  G6_REQUIRE(eps >= 0.0);
+}
+
+void DirectForceEngine::load_particles(std::span<const JParticle> particles) {
+  particles_.assign(particles.begin(), particles.end());
+  pred_pos_.resize(particles_.size());
+  pred_vel_.resize(particles_.size());
+}
+
+void DirectForceEngine::update_particle(std::size_t index, const JParticle& p) {
+  G6_REQUIRE(index < particles_.size());
+  particles_[index] = p;
+}
+
+void DirectForceEngine::predict_all(double t) {
+  for (std::size_t j = 0; j < particles_.size(); ++j) {
+    hermite_predict(particles_[j], t, pred_pos_[j], pred_vel_[j]);
+  }
+}
+
+void DirectForceEngine::compute_forces(double t, std::span<const PredictedState> block,
+                                       std::span<Force> out) {
+  G6_REQUIRE(block.size() == out.size());
+  predict_all(t);
+  const double eps2 = eps_ * eps_;
+
+  const auto work = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t bi = begin; bi < end; ++bi) {
+      const PredictedState& ip = block[bi];
+      Force f;
+      for (std::size_t j = 0; j < particles_.size(); ++j) {
+        if (j == ip.index) continue;  // no self-interaction
+        accumulate_pairwise(ip.pos, ip.vel, pred_pos_[j], pred_vel_[j],
+                            particles_[j].mass, eps2, f);
+      }
+      out[bi] = f;
+    }
+  };
+
+  if (threads_ <= 1 || block.size() < 2 * threads_) {
+    work(0, block.size());
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads_);
+    const std::size_t chunk = (block.size() + threads_ - 1) / threads_;
+    for (unsigned w = 0; w < threads_; ++w) {
+      const std::size_t b = w * chunk;
+      const std::size_t e = std::min(block.size(), b + chunk);
+      if (b >= e) break;
+      pool.emplace_back(work, b, e);
+    }
+    for (auto& th : pool) th.join();
+  }
+  // Self-interactions are skipped, so each block row costs (N-1) pairs.
+  interactions_ += static_cast<unsigned long long>(block.size()) *
+                   (particles_.size() - 1);
+}
+
+void DirectForceEngine::compute_forces_neighbors(
+    double t, std::span<const PredictedState> block, std::span<const double> radii2,
+    std::span<Force> out, std::span<NeighborResult> neighbors) {
+  G6_REQUIRE(block.size() == out.size());
+  G6_REQUIRE(block.size() == radii2.size());
+  G6_REQUIRE(block.size() == neighbors.size());
+  predict_all(t);
+  const double eps2 = eps_ * eps_;
+
+  for (std::size_t bi = 0; bi < block.size(); ++bi) {
+    const PredictedState& ip = block[bi];
+    Force f;
+    NeighborResult& nb = neighbors[bi];
+    nb.indices.clear();
+    nb.overflow = false;
+    nb.nearest = ip.index;
+    nb.nearest_r2 = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < particles_.size(); ++j) {
+      if (j == ip.index) continue;
+      const double r2 = norm2(pred_pos_[j] - ip.pos) + eps2;
+      if (r2 < radii2[bi]) nb.indices.push_back(static_cast<std::uint32_t>(j));
+      if (r2 < nb.nearest_r2) {
+        nb.nearest_r2 = r2;
+        nb.nearest = static_cast<std::uint32_t>(j);
+      }
+      accumulate_pairwise(ip.pos, ip.vel, pred_pos_[j], pred_vel_[j],
+                          particles_[j].mass, eps2, f);
+    }
+    out[bi] = f;
+  }
+  interactions_ += static_cast<unsigned long long>(block.size()) *
+                   (particles_.size() - 1);
+}
+
+}  // namespace g6

@@ -1,0 +1,53 @@
+#pragma once
+// Double-precision CPU force engine: the reference implementation of
+// Eqs (1)-(3) plus on-the-fly prediction of the j-particles (the work the
+// GRAPE predictor pipeline does in hardware). Optionally splits the
+// j-loop across a few worker threads.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hermite/force_engine.hpp"
+
+namespace g6 {
+
+class DirectForceEngine final : public ForceEngine {
+ public:
+  /// `eps` is the Plummer softening; `threads` > 1 parallelizes over the
+  /// i-particles of a block.
+  explicit DirectForceEngine(double eps, unsigned threads = 1);
+
+  void load_particles(std::span<const JParticle> particles) override;
+  void update_particle(std::size_t index, const JParticle& p) override;
+  void compute_forces(double t, std::span<const PredictedState> block,
+                      std::span<Force> out) override;
+  void compute_forces_neighbors(double t, std::span<const PredictedState> block,
+                                std::span<const double> radii2,
+                                std::span<Force> out,
+                                std::span<NeighborResult> neighbors) override;
+  bool supports_neighbors() const override { return true; }
+  double softening() const override { return eps_; }
+  std::size_t size() const override { return particles_.size(); }
+
+  /// Total pairwise interactions evaluated so far (flop accounting).
+  unsigned long long interactions() const { return interactions_; }
+
+ private:
+  void predict_all(double t);
+
+  double eps_;
+  unsigned threads_;
+  std::vector<JParticle> particles_;
+  std::vector<Vec3> pred_pos_;
+  std::vector<Vec3> pred_vel_;
+  unsigned long long interactions_ = 0;
+};
+
+/// One pairwise interaction in double precision (shared with tests and the
+/// treecode's near-field): accumulates Eqs (1)-(3) contributions of a
+/// j-particle at (pos_j, vel_j, m_j) onto the force on an i-particle.
+void accumulate_pairwise(const Vec3& pos_i, const Vec3& vel_i, const Vec3& pos_j,
+                         const Vec3& vel_j, double mass_j, double eps2, Force& f);
+
+}  // namespace g6

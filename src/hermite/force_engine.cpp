@@ -1,0 +1,16 @@
+#include "hermite/force_engine.hpp"
+
+#include <stdexcept>
+
+namespace g6 {
+
+void ForceEngine::compute_forces_neighbors(double, std::span<const PredictedState>,
+                                           std::span<const double>,
+                                           std::span<Force>,
+                                           std::span<NeighborResult>) {
+  throw std::logic_error(
+      "this force engine has no neighbor-list support; "
+      "check supports_neighbors() before calling");
+}
+
+}  // namespace g6

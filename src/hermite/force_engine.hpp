@@ -1,0 +1,53 @@
+#pragma once
+// Abstract force backend for the Hermite integrator.
+//
+// The interface mirrors the GRAPE host API: the engine holds the j-particle
+// memory (full predictor data per particle); the integrator writes updated
+// particles back after each corrector and asks for forces on the current
+// block at the current system time. Implementations:
+//
+//   DirectForceEngine  — double-precision CPU reference (this file's sibling)
+//   GrapeForceEngine   — bit-level GRAPE-6 hardware emulation (src/grape)
+
+#include <cstddef>
+#include <span>
+
+#include "hermite/types.hpp"
+
+namespace g6 {
+
+class ForceEngine {
+ public:
+  virtual ~ForceEngine() = default;
+
+  /// (Re)load the whole j-particle memory. Called once at startup.
+  virtual void load_particles(std::span<const JParticle> particles) = 0;
+
+  /// Write back one updated particle after its corrector.
+  virtual void update_particle(std::size_t index, const JParticle& p) = 0;
+
+  /// Compute forces at system time `t` on the given predicted i-particles.
+  /// The engine predicts its stored j-particles to `t` internally and skips
+  /// the self-interaction via PredictedState::index. `out` must have the
+  /// same length as `block`.
+  virtual void compute_forces(double t, std::span<const PredictedState> block,
+                              std::span<Force> out) = 0;
+
+  /// Plummer softening used in Eqs (1)-(3).
+  virtual double softening() const = 0;
+
+  /// Number of j-particles currently loaded.
+  virtual std::size_t size() const = 0;
+
+  /// Forces plus neighbor lists: neighbors of block[k] are the stored j
+  /// with |r_ij|^2 + eps^2 < radii2[k], self excluded. Engines without
+  /// neighbor hardware throw; check supports_neighbors() first.
+  virtual void compute_forces_neighbors(double t,
+                                        std::span<const PredictedState> block,
+                                        std::span<const double> radii2,
+                                        std::span<Force> out,
+                                        std::span<NeighborResult> neighbors);
+  virtual bool supports_neighbors() const { return false; }
+};
+
+}  // namespace g6

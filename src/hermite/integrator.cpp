@@ -1,0 +1,151 @@
+#include "hermite/integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hermite/scheme.hpp"
+#include "util/check.hpp"
+
+namespace g6 {
+
+HermiteIntegrator::HermiteIntegrator(const ParticleSet& initial, ForceEngine& engine,
+                                     HermiteConfig config)
+    : engine_(engine), cfg_(config) {
+  G6_REQUIRE(initial.size() >= 2);
+  G6_REQUIRE(cfg_.eta > 0.0 && cfg_.eta_s > 0.0);
+  G6_REQUIRE(cfg_.dt_min > 0.0 && cfg_.dt_max >= cfg_.dt_min);
+  initialize(initial);
+}
+
+void HermiteIntegrator::initialize(const ParticleSet& initial) {
+  const std::size_t n = initial.size();
+  particles_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    particles_[i].mass = initial[i].mass;
+    particles_[i].pos = initial[i].pos;
+    particles_[i].vel = initial[i].vel;
+    particles_[i].t0 = 0.0;
+  }
+  dt_.assign(n, cfg_.dt_max);
+  last_force_.resize(n);
+
+  engine_.load_particles(particles_);
+
+  // Initial forces on every particle at t = 0.
+  std::vector<PredictedState> pred(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pred[i] = {particles_[i].pos, particles_[i].vel, particles_[i].mass,
+               static_cast<std::uint32_t>(i)};
+  }
+  std::vector<Force> forces(n);
+  engine_.compute_forces(0.0, pred, forces);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    particles_[i].acc = forces[i].acc;
+    particles_[i].jerk = forces[i].jerk;
+    particles_[i].snap = {};
+    last_force_[i] = forces[i];
+    const double dt_req = initial_timestep(forces[i], cfg_.eta_s);
+    dt_[i] = quantize_timestep(dt_req, cfg_.dt_min, cfg_.dt_max);
+    engine_.update_particle(i, particles_[i]);
+  }
+
+  trace_.n_particles = n;
+  trace_.t_begin = 0.0;
+  trace_.t_end = 0.0;
+}
+
+double HermiteIntegrator::next_block_time() const {
+  double t_next = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    t_next = std::min(t_next, particles_[i].t0 + dt_[i]);
+  }
+  return t_next;
+}
+
+std::size_t HermiteIntegrator::step() {
+  const double t_next = next_block_time();
+
+  // Gather the block: everyone whose step ends exactly at t_next. Times
+  // live on the dyadic grid, so exact comparison is correct.
+  block_.clear();
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    if (particles_[i].t0 + dt_[i] == t_next) block_.push_back(i);
+  }
+  G6_ASSERT(!block_.empty());
+
+  // Host-side prediction of the i-particles (Eqs 6-7 in double precision;
+  // the hardware predicts the j side).
+  block_pred_.resize(block_.size());
+  for (std::size_t k = 0; k < block_.size(); ++k) {
+    const std::size_t i = block_[k];
+    Vec3 xp, vp;
+    hermite_predict_cubic(particles_[i], t_next, xp, vp);
+    block_pred_[k] = {xp, vp, particles_[i].mass, static_cast<std::uint32_t>(i)};
+  }
+
+  block_force_.resize(block_.size());
+  engine_.compute_forces(t_next, block_pred_, block_force_);
+
+  // Corrector + new timestep per block member.
+  for (std::size_t k = 0; k < block_.size(); ++k) {
+    const std::size_t i = block_[k];
+    JParticle& p = particles_[i];
+    const double dt = t_next - p.t0;
+    const Force& f1 = block_force_[k];
+
+    const HermiteDerivatives d = hermite_interpolate(last_force_[i], f1, dt);
+    Vec3 pos = block_pred_[k].pos;
+    Vec3 vel = block_pred_[k].vel;
+    hermite_correct(d, dt, pos, vel);
+
+    const Vec3 a2_t1 = d.a2 + dt * d.a3;
+    double dt_req = aarseth_timestep(f1, a2_t1, d.a3, cfg_.eta);
+    dt_req = std::min(dt_req, 2.0 * dt);  // grow at most one level per step
+    double dt_new = quantize_timestep(dt_req, cfg_.dt_min, cfg_.dt_max);
+    dt_new = commensurate_timestep(t_next, dt_new, cfg_.dt_min);
+
+    p.pos = pos;
+    p.vel = vel;
+    p.acc = f1.acc;
+    p.jerk = f1.jerk;
+    p.snap = a2_t1;
+    p.t0 = t_next;
+    dt_[i] = dt_new;
+    last_force_[i] = f1;
+    engine_.update_particle(i, p);
+  }
+
+  time_ = t_next;
+  total_steps_ += block_.size();
+  ++total_blocksteps_;
+  if (cfg_.record_trace) {
+    trace_.records.push_back({t_next, static_cast<std::uint32_t>(block_.size())});
+    trace_.t_end = t_next;
+  }
+  if (block_callback_) block_callback_(t_next, block_);
+  return block_.size();
+}
+
+void HermiteIntegrator::evolve(double t_end) {
+  G6_REQUIRE(t_end >= time_);
+  while (next_block_time() <= t_end) {
+    step();
+  }
+  trace_.t_end = std::max(trace_.t_end, time_);
+}
+
+ParticleSet HermiteIntegrator::state_at_current_time() const {
+  ParticleSet out;
+  out.reserve(particles_.size());
+  for (const auto& p : particles_) {
+    Body b;
+    b.mass = p.mass;
+    hermite_predict(p, time_, b.pos, b.vel);
+    out.add(b);
+  }
+  return out;
+}
+
+}  // namespace g6

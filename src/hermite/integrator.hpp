@@ -1,0 +1,82 @@
+#pragma once
+// Individual (block) timestep Hermite integrator — the host-side program
+// of the GRAPE-6 system (Sec 1, Sec 4 of the paper). The force backend is
+// pluggable: the double-precision CPU engine or the emulated hardware.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "hermite/force_engine.hpp"
+#include "hermite/trace.hpp"
+#include "nbody/particle.hpp"
+
+namespace g6 {
+
+struct HermiteConfig {
+  double eta = 0.02;     ///< Aarseth accuracy parameter
+  double eta_s = 0.01;   ///< startup accuracy parameter
+  double dt_max = 0.0625;  ///< largest block level (2^-4)
+  double dt_min = 9.5367431640625e-7;  ///< smallest block level (2^-20)
+  bool record_trace = false;  ///< keep the blockstep schedule
+};
+
+class HermiteIntegrator {
+ public:
+  /// The engine must outlive the integrator. `initial` supplies masses,
+  /// positions and velocities at t = 0.
+  HermiteIntegrator(const ParticleSet& initial, ForceEngine& engine,
+                    HermiteConfig config = {});
+
+  /// Current system time (time of the last completed blockstep).
+  double time() const { return time_; }
+  std::size_t size() const { return particles_.size(); }
+
+  /// Advance one blockstep; returns the number of particles integrated.
+  std::size_t step();
+
+  /// Step until system time reaches t_end (block times are dyadic, so the
+  /// final step lands exactly on t_end for dyadic t_end).
+  void evolve(double t_end);
+
+  /// Particle state predicted to the current system time (for diagnostics
+  /// and output; prediction is 4th-order accurate).
+  ParticleSet state_at_current_time() const;
+
+  const JParticle& particle(std::size_t i) const { return particles_[i]; }
+  double timestep(std::size_t i) const { return dt_[i]; }
+
+  unsigned long long total_steps() const { return total_steps_; }
+  unsigned long long total_blocksteps() const { return total_blocksteps_; }
+  const BlockstepTrace& trace() const { return trace_; }
+
+  /// Invoked after every blockstep with (time, block indices); used by the
+  /// performance instrumentation.
+  void set_block_callback(std::function<void(double, std::span<const std::size_t>)> cb) {
+    block_callback_ = std::move(cb);
+  }
+
+ private:
+  void initialize(const ParticleSet& initial);
+  double next_block_time() const;
+
+  ForceEngine& engine_;
+  HermiteConfig cfg_;
+  double time_ = 0.0;
+  std::vector<JParticle> particles_;
+  std::vector<double> dt_;
+  std::vector<Force> last_force_;  ///< force at each particle's own t0
+
+  unsigned long long total_steps_ = 0;
+  unsigned long long total_blocksteps_ = 0;
+  BlockstepTrace trace_;
+  std::function<void(double, std::span<const std::size_t>)> block_callback_;
+
+  // scratch buffers reused across blocksteps
+  std::vector<std::size_t> block_;
+  std::vector<PredictedState> block_pred_;
+  std::vector<Force> block_force_;
+};
+
+}  // namespace g6

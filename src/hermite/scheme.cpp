@@ -1,0 +1,93 @@
+#include "hermite/scheme.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace g6 {
+
+void hermite_predict(const JParticle& p, double t, Vec3& pos_out, Vec3& vel_out) {
+  const double dt = t - p.t0;
+  const double dt2 = dt * dt;
+  // Horner evaluation of Eqs (6)-(7); the snap term uses the a^(2) value
+  // carried over from the previous corrector.
+  pos_out = p.pos +
+            dt * (p.vel +
+                  dt * (0.5 * p.acc +
+                        dt * ((1.0 / 6.0) * p.jerk + dt * (1.0 / 24.0) * p.snap)));
+  vel_out = p.vel +
+            dt * (p.acc + dt * (0.5 * p.jerk + dt * (1.0 / 6.0) * p.snap));
+  (void)dt2;
+}
+
+void hermite_predict_cubic(const JParticle& p, double t, Vec3& pos_out,
+                           Vec3& vel_out) {
+  const double dt = t - p.t0;
+  pos_out = p.pos +
+            dt * (p.vel + dt * (0.5 * p.acc + dt * (1.0 / 6.0) * p.jerk));
+  vel_out = p.vel + dt * (p.acc + dt * 0.5 * p.jerk);
+}
+
+HermiteDerivatives hermite_interpolate(const Force& f0, const Force& f1, double dt) {
+  G6_REQUIRE(dt > 0.0);
+  const double inv_dt = 1.0 / dt;
+  const double inv_dt2 = inv_dt * inv_dt;
+  const double inv_dt3 = inv_dt2 * inv_dt;
+  HermiteDerivatives d;
+  d.a2 = (-6.0 * (f0.acc - f1.acc) - dt * (4.0 * f0.jerk + 2.0 * f1.jerk)) * inv_dt2;
+  d.a3 = (12.0 * (f0.acc - f1.acc) + 6.0 * dt * (f0.jerk + f1.jerk)) * inv_dt3;
+  return d;
+}
+
+void hermite_correct(const HermiteDerivatives& d, double dt, Vec3& pos, Vec3& vel) {
+  const double dt3 = dt * dt * dt;
+  const double dt4 = dt3 * dt;
+  const double dt5 = dt4 * dt;
+  pos += (dt4 / 24.0) * d.a2 + (dt5 / 120.0) * d.a3;
+  vel += (dt3 / 6.0) * d.a2 + (dt4 / 24.0) * d.a3;
+}
+
+double aarseth_timestep(const Force& f1, const Vec3& a2_t1, const Vec3& a3,
+                        double eta) {
+  const double a = norm(f1.acc);
+  const double j = norm(f1.jerk);
+  const double s = norm(a2_t1);
+  const double c = norm(a3);
+  const double num = a * s + j * j;
+  const double den = j * c + s * s;
+  if (den == 0.0 || num == 0.0) {
+    // Degenerate derivative history (e.g. a two-body start); fall back to
+    // the simple |a|/|j| estimate.
+    if (j > 0.0 && a > 0.0) return eta * a / j;
+    return 1.0;
+  }
+  return std::sqrt(eta * num / den);
+}
+
+double initial_timestep(const Force& f, double eta_s) {
+  const double a = norm(f.acc);
+  const double j = norm(f.jerk);
+  if (a == 0.0) return 1.0;
+  if (j == 0.0) return eta_s;
+  return eta_s * a / j;
+}
+
+double quantize_timestep(double dt_req, double dt_min, double dt_max) {
+  G6_REQUIRE(dt_min > 0.0 && dt_max >= dt_min);
+  if (dt_req <= dt_min) return dt_min;
+  // Largest 2^k <= dt_req.
+  const double dt = std::exp2(std::floor(std::log2(dt_req)));
+  return std::min(dt, dt_max);
+}
+
+double commensurate_timestep(double t, double dt_new, double dt_min) {
+  double dt = dt_new;
+  while (dt > dt_min) {
+    const double q = t / dt;
+    if (q == std::floor(q)) break;  // exact for power-of-two grids
+    dt *= 0.5;
+  }
+  return dt;
+}
+
+}  // namespace g6

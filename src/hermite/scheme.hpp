@@ -1,0 +1,50 @@
+#pragma once
+// The 4th-order Hermite scheme of Makino & Aarseth (1992): predictor
+// polynomials (paper Eqs 6-7), the two-force corrector, and the Aarseth
+// timestep criterion. Factored into free functions so the serial
+// integrator, the GRAPE emulator's predictor pipeline tests, and the
+// parallel blockstep algorithms all share one implementation.
+
+#include "hermite/types.hpp"
+
+namespace g6 {
+
+/// Predict position and velocity of particle state (x0,v0,a0,j0,s0 at t0)
+/// to time t. Includes the snap term exactly as the GRAPE-6 predictor
+/// pipeline does (Eqs 6-7).
+void hermite_predict(const JParticle& p, double t, Vec3& pos_out, Vec3& vel_out);
+
+/// Cubic predictor (no snap term) — the host-side i-particle prediction.
+/// The corrector formula below assumes exactly this truncation; feeding it
+/// a snap-augmented prediction double-counts the 4th-order term.
+void hermite_predict_cubic(const JParticle& p, double t, Vec3& pos_out,
+                           Vec3& vel_out);
+
+/// Interpolated higher derivatives over a step of length dt, from the
+/// forces at both ends. a2/a3 are evaluated at the *start* of the step.
+struct HermiteDerivatives {
+  Vec3 a2;  ///< second derivative of acceleration at t0
+  Vec3 a3;  ///< third derivative (constant over the step)
+};
+
+HermiteDerivatives hermite_interpolate(const Force& f0, const Force& f1, double dt);
+
+/// Apply the 4th/5th-order corrector to the predicted state.
+void hermite_correct(const HermiteDerivatives& d, double dt, Vec3& pos, Vec3& vel);
+
+/// Aarseth timestep criterion using quantities at the end of the step
+/// (a2 advanced to t1).
+double aarseth_timestep(const Force& f1, const Vec3& a2_t1, const Vec3& a3,
+                        double eta);
+
+/// Initial timestep before any derivative history exists.
+double initial_timestep(const Force& f, double eta_s);
+
+/// Largest power-of-two step <= dt_req, clamped to [dt_min, dt_max].
+double quantize_timestep(double dt_req, double dt_min, double dt_max);
+
+/// Block-commensurability rule: a particle at time t may adopt dt_new only
+/// if t is an integer multiple of dt_new; otherwise halve until it is.
+double commensurate_timestep(double t, double dt_new, double dt_min);
+
+}  // namespace g6

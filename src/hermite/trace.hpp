@@ -1,0 +1,45 @@
+#pragma once
+// Blockstep trace: the schedule of (time, block size) produced by an
+// individual-timestep integration. The performance model consumes traces —
+// measured ones at small N, synthesized ones at large N (DESIGN.md Sec 5).
+
+#include <cstdint>
+#include <vector>
+
+namespace g6 {
+
+struct BlockstepRecord {
+  double time = 0.0;           ///< system time of the blockstep
+  std::uint32_t block_size = 0;  ///< particles advanced in this blockstep
+};
+
+struct BlockstepTrace {
+  std::vector<BlockstepRecord> records;
+  std::size_t n_particles = 0;
+  double t_begin = 0.0;
+  double t_end = 0.0;
+
+  /// Total individual particle steps.
+  unsigned long long total_steps() const {
+    unsigned long long s = 0;
+    for (const auto& r : records) s += r.block_size;
+    return s;
+  }
+
+  double span() const { return t_end - t_begin; }
+
+  /// Individual steps per particle per unit time.
+  double steps_per_particle_per_time() const {
+    if (n_particles == 0 || span() <= 0.0) return 0.0;
+    return static_cast<double>(total_steps()) /
+           (static_cast<double>(n_particles) * span());
+  }
+
+  /// Mean block size.
+  double mean_block_size() const {
+    if (records.empty()) return 0.0;
+    return static_cast<double>(total_steps()) / static_cast<double>(records.size());
+  }
+};
+
+}  // namespace g6

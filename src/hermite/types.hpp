@@ -1,0 +1,50 @@
+#pragma once
+// Shared types for the Hermite individual-timestep machinery.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace g6 {
+
+/// Result of a force evaluation on one i-particle: Eqs (1)-(3).
+struct Force {
+  Vec3 acc;    ///< gravitational acceleration a_i
+  Vec3 jerk;   ///< its time derivative adot_i
+  double pot = 0.0;  ///< potential phi_i (negative)
+};
+
+/// Predicted phase-space state of an i-particle at the current system time
+/// (what the host sends to the hardware).
+struct PredictedState {
+  Vec3 pos;
+  Vec3 vel;
+  double mass = 0.0;
+  std::uint32_t index = 0;  ///< identity of the particle (self-interaction cut)
+};
+
+/// Neighbor information returned by a force evaluation (the GRAPE-6
+/// hardware writes a neighbor list for each i-particle given a search
+/// radius, plus the nearest neighbor — used by the Ahmad-Cohen scheme and
+/// by collision detection in planetesimal runs).
+struct NeighborResult {
+  std::vector<std::uint32_t> indices;  ///< j with r^2 < h^2 (self excluded)
+  std::uint32_t nearest = 0;           ///< index of the nearest j
+  double nearest_r2 = 0.0;             ///< its softened distance^2
+  bool overflow = false;               ///< hardware neighbor buffer overflowed
+};
+
+/// Full per-particle j-side data as stored in GRAPE memory: values at the
+/// particle's own time t0 plus the predictor coefficients (Eqs 6-7).
+struct JParticle {
+  double mass = 0.0;
+  double t0 = 0.0;
+  Vec3 pos;
+  Vec3 vel;
+  Vec3 acc;
+  Vec3 jerk;
+  Vec3 snap;  ///< a^(2), second derivative of acceleration
+};
+
+}  // namespace g6

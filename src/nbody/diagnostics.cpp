@@ -1,0 +1,70 @@
+#include "nbody/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace g6 {
+
+double EnergyReport::virial_ratio() const {
+  return potential < 0.0 ? 2.0 * kinetic / -potential : 0.0;
+}
+
+EnergyReport compute_energy(std::span<const Body> bodies, double eps) {
+  EnergyReport rep;
+  const double eps2 = eps * eps;
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    rep.kinetic += 0.5 * bodies[i].mass * norm2(bodies[i].vel);
+    for (std::size_t j = i + 1; j < bodies.size(); ++j) {
+      const double r2 = norm2(bodies[j].pos - bodies[i].pos) + eps2;
+      rep.potential -=
+          units::kGravity * bodies[i].mass * bodies[j].mass / std::sqrt(r2);
+    }
+  }
+  return rep;
+}
+
+Vec3 compute_angular_momentum(std::span<const Body> bodies) {
+  Vec3 l;
+  for (const auto& b : bodies) l += b.mass * cross(b.pos, b.vel);
+  return l;
+}
+
+std::vector<double> lagrangian_radii(std::span<const Body> bodies,
+                                     std::span<const double> mass_fractions) {
+  G6_REQUIRE(!bodies.empty());
+  Vec3 com;
+  double total = 0.0;
+  for (const auto& b : bodies) {
+    com += b.mass * b.pos;
+    total += b.mass;
+  }
+  com /= total;
+
+  std::vector<std::pair<double, double>> rm;  // (radius, mass)
+  rm.reserve(bodies.size());
+  for (const auto& b : bodies) rm.emplace_back(norm(b.pos - com), b.mass);
+  std::sort(rm.begin(), rm.end());
+
+  std::vector<double> out;
+  out.reserve(mass_fractions.size());
+  for (double f : mass_fractions) {
+    G6_REQUIRE(f > 0.0 && f <= 1.0);
+    const double target = f * total;
+    double acc = 0.0;
+    double radius = rm.back().first;
+    for (const auto& [r, m] : rm) {
+      acc += m;
+      if (acc >= target) {
+        radius = r;
+        break;
+      }
+    }
+    out.push_back(radius);
+  }
+  return out;
+}
+
+}  // namespace g6

@@ -1,0 +1,33 @@
+#pragma once
+// Conserved-quantity and structure diagnostics. Energies use direct O(N^2)
+// summation in double precision — these are the reference values the
+// emulated hardware is validated against.
+
+#include <span>
+#include <vector>
+
+#include "nbody/particle.hpp"
+#include "util/vec3.hpp"
+
+namespace g6 {
+
+struct EnergyReport {
+  double kinetic = 0.0;
+  double potential = 0.0;
+  double total() const { return kinetic + potential; }
+  /// Virial ratio 2T/|W|; 1 in equilibrium.
+  double virial_ratio() const;
+};
+
+/// Kinetic + softened potential energy (softening eps as in Eq 3).
+EnergyReport compute_energy(std::span<const Body> bodies, double eps = 0.0);
+
+/// Total angular momentum about the origin.
+Vec3 compute_angular_momentum(std::span<const Body> bodies);
+
+/// Radii containing the given mass fractions (about the density center
+/// approximated by the center of mass). Fractions must be in (0, 1].
+std::vector<double> lagrangian_radii(std::span<const Body> bodies,
+                                     std::span<const double> mass_fractions);
+
+}  // namespace g6

@@ -1,0 +1,136 @@
+#include "nbody/kepler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace g6 {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+double wrap_angle(double a) {
+  a = std::fmod(a, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  return a;
+}
+}  // namespace
+
+double solve_kepler(double mean_anomaly, double eccentricity) {
+  G6_REQUIRE_MSG(eccentricity >= 0.0 && eccentricity < 1.0,
+                 "solve_kepler requires a bound, non-parabolic orbit");
+  const double m = wrap_angle(mean_anomaly);
+  // Danby-style starter.
+  double e_anom = m + 0.85 * eccentricity * (std::sin(m) >= 0.0 ? 1.0 : -1.0);
+  for (int it = 0; it < 64; ++it) {
+    const double f = e_anom - eccentricity * std::sin(e_anom) - m;
+    const double fp = 1.0 - eccentricity * std::cos(e_anom);
+    const double step = f / fp;
+    e_anom -= step;
+    if (std::fabs(step) < 1e-15) break;
+  }
+  return e_anom;
+}
+
+RelativeState elements_to_state(const OrbitalElements& el, double mu) {
+  G6_REQUIRE(mu > 0.0);
+  G6_REQUIRE(el.semi_major_axis > 0.0);
+  const double a = el.semi_major_axis;
+  const double e = el.eccentricity;
+  const double e_anom = solve_kepler(el.mean_anomaly, e);
+  const double ce = std::cos(e_anom), se = std::sin(e_anom);
+  const double b_over_a = std::sqrt(1.0 - e * e);
+
+  // Perifocal coordinates.
+  const double xp = a * (ce - e);
+  const double yp = a * b_over_a * se;
+  const double r = a * (1.0 - e * ce);
+  const double n = std::sqrt(mu / (a * a * a));  // mean motion
+  const double vxp = -a * n * se / (1.0 - e * ce);
+  const double vyp = a * n * b_over_a * ce / (1.0 - e * ce);
+  (void)r;
+
+  // Rotate perifocal -> inertial: Rz(Omega) * Rx(i) * Rz(omega).
+  const double co = std::cos(el.ascending_node), so = std::sin(el.ascending_node);
+  const double ci = std::cos(el.inclination), si = std::sin(el.inclination);
+  const double cw = std::cos(el.arg_periapsis), sw = std::sin(el.arg_periapsis);
+
+  const auto rotate = [&](double px, double py) -> Vec3 {
+    const double x1 = cw * px - sw * py;
+    const double y1 = sw * px + cw * py;
+    const double y2 = ci * y1;
+    const double z2 = si * y1;
+    return {co * x1 - so * y2, so * x1 + co * y2, z2};
+  };
+
+  return {rotate(xp, yp), rotate(vxp, vyp)};
+}
+
+OrbitalElements state_to_elements(const RelativeState& s, double mu) {
+  G6_REQUIRE(mu > 0.0);
+  const double r = norm(s.pos);
+  const double v2 = norm2(s.vel);
+  const double energy = 0.5 * v2 - mu / r;
+  G6_REQUIRE_MSG(energy < 0.0, "state_to_elements requires a bound orbit");
+
+  OrbitalElements el;
+  el.semi_major_axis = -mu / (2.0 * energy);
+
+  const Vec3 h = cross(s.pos, s.vel);
+  const double hn = norm(h);
+  const Vec3 evec = cross(s.vel, h) / mu - s.pos / r;
+  el.eccentricity = norm(evec);
+  el.inclination = std::acos(std::clamp(h.z / hn, -1.0, 1.0));
+
+  const Vec3 node{-h.y, h.x, 0.0};
+  const double nn = norm(node);
+  if (nn > 1e-12 * hn) {
+    el.ascending_node = wrap_angle(std::atan2(node.y, node.x));
+  } else {
+    el.ascending_node = 0.0;  // equatorial orbit: node undefined
+  }
+
+  // Argument of periapsis and anomalies.
+  const double e = el.eccentricity;
+  if (e > 1e-12) {
+    Vec3 ref = nn > 1e-12 * hn ? node / nn : Vec3{1.0, 0.0, 0.0};
+    double cosw = std::clamp(dot(ref, evec) / e, -1.0, 1.0);
+    double w = std::acos(cosw);
+    if (dot(cross(ref, evec), h) < 0.0) w = kTwoPi - w;
+    el.arg_periapsis = wrap_angle(w);
+
+    double cosnu = std::clamp(dot(evec, s.pos) / (e * r), -1.0, 1.0);
+    double nu = std::acos(cosnu);
+    if (dot(s.pos, s.vel) < 0.0) nu = kTwoPi - nu;
+    const double e_anom =
+        std::atan2(std::sqrt(1.0 - e * e) * std::sin(nu), e + std::cos(nu));
+    el.mean_anomaly = wrap_angle(e_anom - e * std::sin(e_anom));
+  } else {
+    el.arg_periapsis = 0.0;
+    Vec3 ref = nn > 1e-12 * hn ? node / nn : Vec3{1.0, 0.0, 0.0};
+    double cosu = std::clamp(dot(ref, s.pos) / r, -1.0, 1.0);
+    double u = std::acos(cosu);
+    if (dot(cross(ref, s.pos), h) < 0.0) u = kTwoPi - u;
+    el.mean_anomaly = wrap_angle(u);
+  }
+  return el;
+}
+
+double orbital_energy(const RelativeState& s, double mu) {
+  return 0.5 * norm2(s.vel) - mu / norm(s.pos);
+}
+
+double orbital_period(double semi_major_axis, double mu) {
+  G6_REQUIRE(semi_major_axis > 0.0 && mu > 0.0);
+  return kTwoPi * std::sqrt(semi_major_axis * semi_major_axis * semi_major_axis / mu);
+}
+
+RelativeState propagate_kepler(const RelativeState& s, double mu, double dt) {
+  OrbitalElements el = state_to_elements(s, mu);
+  const double n = std::sqrt(mu / std::pow(el.semi_major_axis, 3));
+  el.mean_anomaly = wrap_angle(el.mean_anomaly + n * dt);
+  return elements_to_state(el, mu);
+}
+
+}  // namespace g6

@@ -1,0 +1,46 @@
+#pragma once
+// Two-body (Kepler) utilities: orbital elements <-> Cartesian state, and
+// analytic propagation. Used by the planetesimal-disk generator and as the
+// exact reference in integrator tests.
+
+#include "util/vec3.hpp"
+
+namespace g6 {
+
+/// Classical orbital elements of a bound two-body orbit about a mass `mu`
+/// (mu = G*(m1+m2); G = 1 in Heggie units).
+struct OrbitalElements {
+  double semi_major_axis = 1.0;
+  double eccentricity = 0.0;
+  double inclination = 0.0;        ///< radians
+  double ascending_node = 0.0;     ///< longitude of ascending node, radians
+  double arg_periapsis = 0.0;      ///< argument of periapsis, radians
+  double mean_anomaly = 0.0;       ///< radians
+};
+
+/// Relative state (position and velocity of body 2 w.r.t. body 1).
+struct RelativeState {
+  Vec3 pos;
+  Vec3 vel;
+};
+
+/// Solve Kepler's equation M = E - e*sin(E) for the eccentric anomaly E.
+/// Newton iteration; accurate to ~1e-14 for e < 0.99.
+double solve_kepler(double mean_anomaly, double eccentricity);
+
+/// Elements -> relative Cartesian state.
+RelativeState elements_to_state(const OrbitalElements& el, double mu);
+
+/// Relative Cartesian state -> elements (bound orbits only).
+OrbitalElements state_to_elements(const RelativeState& s, double mu);
+
+/// Orbital energy per unit reduced mass: v^2/2 - mu/r.
+double orbital_energy(const RelativeState& s, double mu);
+
+/// Orbital period of a bound orbit.
+double orbital_period(double semi_major_axis, double mu);
+
+/// Propagate a bound relative orbit analytically by dt.
+RelativeState propagate_kepler(const RelativeState& s, double mu, double dt);
+
+}  // namespace g6

@@ -1,0 +1,165 @@
+#include "nbody/king.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nbody/diagnostics.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace g6 {
+
+namespace {
+constexpr double kSqrtPi = 1.7724538509055160273;
+}
+
+double KingProfile::density_of_w(double w) {
+  if (w <= 0.0) return 0.0;
+  const double sw = std::sqrt(w);
+  // rho(W) = e^W erf(sqrt(W)) - 2 sqrt(W/pi) (1 + 2W/3)
+  return std::exp(w) * std::erf(sw) - 2.0 * sw / kSqrtPi * (1.0 + 2.0 * w / 3.0);
+}
+
+KingProfile::KingProfile(double w0) : w0_(w0) {
+  G6_REQUIRE_MSG(w0 > 0.1 && w0 <= 16.0, "King W0 outside supported range");
+  const double rho0 = density_of_w(w0);
+  G6_REQUIRE(rho0 > 0.0);
+
+  // Integrate W'' + (2/r) W' = -9 rho(W)/rho0 outward with RK4 from the
+  // series solution W ~ W0 - 1.5 r^2 near the center.
+  const double dr = 1e-3;
+  double r = 1e-3;
+  double w = w0_ - 1.5 * r * r;
+  double u = -3.0 * r;  // W'
+
+  r_.clear();
+  w_.clear();
+  m_.clear();
+  r_.push_back(0.0);
+  w_.push_back(w0_);
+  m_.push_back(0.0);
+
+  const auto rhs = [&](double rr, double ww, double uu, double& dw, double& du) {
+    dw = uu;
+    du = -9.0 * density_of_w(ww) / rho0 - 2.0 * uu / std::max(rr, 1e-12);
+  };
+
+  for (int step = 0; step < 2'000'000 && w > 0.0; ++step) {
+    double k1w, k1u, k2w, k2u, k3w, k3u, k4w, k4u;
+    rhs(r, w, u, k1w, k1u);
+    rhs(r + 0.5 * dr, w + 0.5 * dr * k1w, u + 0.5 * dr * k1u, k2w, k2u);
+    rhs(r + 0.5 * dr, w + 0.5 * dr * k2w, u + 0.5 * dr * k2u, k3w, k3u);
+    rhs(r + dr, w + dr * k3w, u + dr * k3u, k4w, k4u);
+    const double w_next = w + dr / 6.0 * (k1w + 2.0 * k2w + 2.0 * k3w + k4w);
+    const double u_next = u + dr / 6.0 * (k1u + 2.0 * k2u + 2.0 * k3u + k4u);
+
+    if (w_next <= 0.0) {
+      // Interpolate the tidal radius where W hits zero.
+      const double f = w / (w - w_next);
+      const double rt = r + f * dr;
+      const double ut = u + f * (u_next - u);
+      r_.push_back(rt);
+      w_.push_back(0.0);
+      m_.push_back(-rt * rt * ut);
+      w = 0.0;
+      break;
+    }
+    r += dr;
+    w = w_next;
+    u = u_next;
+    r_.push_back(r);
+    w_.push_back(w);
+    m_.push_back(-r * r * u);  // proportional to the enclosed mass
+  }
+  G6_REQUIRE_MSG(w <= 0.0, "King profile integration did not truncate");
+}
+
+double KingProfile::concentration() const { return std::log10(tidal_radius()); }
+
+double KingProfile::w_at(double r) const {
+  if (r <= 0.0) return w0_;
+  if (r >= r_.back()) return 0.0;
+  const auto it = std::upper_bound(r_.begin(), r_.end(), r);
+  const std::size_t hi = static_cast<std::size_t>(it - r_.begin());
+  const std::size_t lo = hi - 1;
+  const double f = (r - r_[lo]) / (r_[hi] - r_[lo]);
+  return w_[lo] + f * (w_[hi] - w_[lo]);
+}
+
+double KingProfile::density(double r) const { return density_of_w(w_at(r)); }
+
+double KingProfile::mass_within(double r) const {
+  if (r <= 0.0) return 0.0;
+  if (r >= r_.back()) return m_.back();
+  const auto it = std::upper_bound(r_.begin(), r_.end(), r);
+  const std::size_t hi = static_cast<std::size_t>(it - r_.begin());
+  const std::size_t lo = hi - 1;
+  const double f = (r - r_[lo]) / (r_[hi] - r_[lo]);
+  return m_[lo] + f * (m_[hi] - m_[lo]);
+}
+
+ParticleSet make_king(std::size_t n, double w0, Rng& rng) {
+  G6_REQUIRE(n >= 2);
+  const KingProfile profile(w0);
+  const double m_total = profile.total_mass();
+  const double rt = profile.tidal_radius();
+
+  ParticleSet set;
+  set.reserve(n);
+  const double mass = units::kTotalMass / static_cast<double>(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Radius from the cumulative mass profile by bisection.
+    const double target = rng.uniform(0.0, m_total);
+    double lo = 0.0, hi = rt;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (profile.mass_within(mid) < target ? lo : hi) = mid;
+    }
+    const double r = 0.5 * (lo + hi);
+    const double w = profile.w_at(r);
+
+    // Speed from f(v) ~ v^2 (exp(W - v^2/2) - 1), v < sqrt(2W).
+    const double vmax = std::sqrt(2.0 * std::max(w, 0.0));
+    double fmax = 0.0;
+    for (int k = 1; k <= 64; ++k) {
+      const double v = vmax * static_cast<double>(k) / 64.0;
+      fmax = std::max(fmax, v * v * (std::exp(w - 0.5 * v * v) - 1.0));
+    }
+    double v = 0.0;
+    if (vmax > 0.0 && fmax > 0.0) {
+      for (int tries = 0; tries < 10000; ++tries) {
+        const double cand = rng.uniform(0.0, vmax);
+        const double f = cand * cand * (std::exp(w - 0.5 * cand * cand) - 1.0);
+        if (rng.uniform(0.0, fmax) < f) {
+          v = cand;
+          break;
+        }
+      }
+    }
+
+    Body b;
+    b.mass = mass;
+    b.pos = r * rng.unit_vector();
+    b.vel = v * rng.unit_vector();
+    set.add(b);
+  }
+  set.to_com_frame();
+
+  // Rescale to virial equilibrium and Heggie units: first balance
+  // 2T/|U| = 1, then scale lengths so E = -1/4.
+  EnergyReport e = compute_energy(set.bodies());
+  G6_REQUIRE(e.potential < 0.0);
+  const double vf = std::sqrt(-e.potential / (2.0 * std::max(e.kinetic, 1e-12)));
+  for (auto& b : set.bodies()) b.vel *= vf;
+  e = compute_energy(set.bodies());
+  const double lambda = e.total() / units::kTotalEnergy;
+  G6_REQUIRE_MSG(lambda > 0.0, "King realization not bound after virialization");
+  for (auto& b : set.bodies()) {
+    b.pos *= lambda;
+    b.vel /= std::sqrt(lambda);
+  }
+  return set;
+}
+
+}  // namespace g6

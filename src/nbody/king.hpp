@@ -1,0 +1,54 @@
+#pragma once
+// King (1966) model — the standard initial condition for star-cluster
+// simulations (the collisional systems GRAPE-6 was built for).
+//
+// The model is the lowered isothermal sphere: distribution function
+// f(E) ~ exp(-E/sigma^2) - 1 for E < 0, truncated at the tidal radius.
+// KingProfile solves the dimensionless Poisson equation for W(r) (the
+// scaled potential depth), and make_king samples positions from the
+// cumulative mass profile and velocities from f by rejection, then
+// rescales to Heggie units.
+
+#include <cstddef>
+#include <vector>
+
+#include "nbody/particle.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+
+/// Solved dimensionless King profile for a given central potential W0.
+class KingProfile {
+ public:
+  /// W0 in the conventional range ~[0.5, 12]; larger = more concentrated.
+  explicit KingProfile(double w0);
+
+  double w0() const { return w0_; }
+  /// Tidal (truncation) radius in model units (King core radii).
+  double tidal_radius() const { return r_.back(); }
+  /// Concentration c = log10(rt / rc); rc = 1 in these units.
+  double concentration() const;
+
+  /// Scaled potential depth W at radius r (0 beyond the tidal radius).
+  double w_at(double r) const;
+  /// Density (model units) at radius r.
+  double density(double r) const;
+  /// Cumulative mass inside r (model units).
+  double mass_within(double r) const;
+  double total_mass() const { return m_.back(); }
+
+  /// Density as a function of W (the lowered-isothermal integral).
+  static double density_of_w(double w);
+
+ private:
+  double w0_;
+  std::vector<double> r_;
+  std::vector<double> w_;
+  std::vector<double> m_;
+};
+
+/// Sample an N-body realization of a King model, scaled to Heggie units
+/// (M = 1, E = -1/4, G = 1), in the center-of-mass frame.
+ParticleSet make_king(std::size_t n, double w0, Rng& rng);
+
+}  // namespace g6

@@ -1,0 +1,228 @@
+#include "nbody/models.hpp"
+
+#include <cmath>
+
+#include "nbody/kepler.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace g6 {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+/// Plummer structural radius in Heggie units: E = -3*pi*M^2/(64*a) = -1/4.
+constexpr double kPlummerScale = 3.0 * kPi / 16.0;
+}  // namespace
+
+ParticleSet make_plummer(std::size_t n, Rng& rng, double rmax) {
+  G6_REQUIRE(n >= 2);
+  ParticleSet set;
+  set.reserve(n);
+  const double mass = units::kTotalMass / static_cast<double>(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Radius from the cumulative mass profile M(r) = (1 + r^-2)^(-3/2)
+    // (model units G = M = a = 1), resampled if beyond rmax virial radii.
+    double r;
+    do {
+      const double u = rng.uniform(1e-10, 1.0);
+      r = 1.0 / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+    } while (r * kPlummerScale > rmax);
+
+    // Speed: q = v/v_esc from g(q) ~ q^2 (1-q^2)^(7/2), von Neumann
+    // rejection (Aarseth, Henon & Wielen 1974).
+    double q, g;
+    do {
+      q = rng.uniform();
+      g = rng.uniform(0.0, 0.1);
+    } while (g > q * q * std::pow(1.0 - q * q, 3.5));
+    const double v_esc = std::sqrt(2.0) * std::pow(1.0 + r * r, -0.25);
+    const double v = q * v_esc;
+
+    Body b;
+    b.mass = mass;
+    b.pos = r * rng.unit_vector();
+    b.vel = v * rng.unit_vector();
+    // Scale model units -> Heggie units: r *= a, v /= sqrt(a).
+    b.pos *= kPlummerScale;
+    b.vel /= std::sqrt(kPlummerScale);
+    set.add(b);
+  }
+  set.to_com_frame();
+  return set;
+}
+
+ParticleSet make_plummer_with_bh_binary(std::size_t n_field, Rng& rng,
+                                        double bh_mass_fraction,
+                                        double bh_separation) {
+  G6_REQUIRE(bh_mass_fraction > 0.0 && bh_mass_fraction < 0.5);
+  G6_REQUIRE(bh_separation > 0.0);
+  ParticleSet set = make_plummer(n_field, rng);
+  // Field particles carry (1 - 2f) of the total mass.
+  const double field_mass = 1.0 - 2.0 * bh_mass_fraction;
+  for (auto& b : set.bodies()) b.mass *= field_mass;
+
+  // Two massive point particles on a mutual circular orbit about the
+  // center. The circular speed includes the enclosed cluster mass so the
+  // binary starts near dynamical equilibrium.
+  const double m_bh = bh_mass_fraction;
+  const double r_half = 0.5 * bh_separation;
+  const double r2 = r_half / kPlummerScale;  // model units for M(<r)
+  const double m_enclosed = field_mass * std::pow(1.0 + 1.0 / (r2 * r2), -1.5);
+  // Each BH circles the center at r_half: the companion pulls with
+  // G*m_bh/(2 r_half)^2 and the enclosed cluster with ~G*M_enc/r_half^2,
+  // so v^2 = G*(m_bh/4 + M_enc)/r_half.
+  const double v_circ =
+      std::sqrt(units::kGravity * (0.25 * m_bh + m_enclosed) / r_half);
+
+  Body bh1;
+  bh1.mass = m_bh;
+  bh1.pos = {r_half, 0.0, 0.0};
+  bh1.vel = {0.0, v_circ, 0.0};
+  Body bh2;
+  bh2.mass = m_bh;
+  bh2.pos = {-r_half, 0.0, 0.0};
+  bh2.vel = {0.0, -v_circ, 0.0};
+  set.add(bh1);
+  set.add(bh2);
+  set.to_com_frame();
+  return set;
+}
+
+ParticleSet make_planetesimal_disk(std::size_t n, Rng& rng, const DiskParams& p) {
+  G6_REQUIRE(n >= 1);
+  G6_REQUIRE(p.r_outer > p.r_inner && p.r_inner > 0.0);
+  ParticleSet set;
+  set.reserve(n + 1);
+
+  Body star;
+  star.mass = p.star_mass;
+  set.add(star);
+
+  const double mass = p.disk_mass / static_cast<double>(n);
+  // Semi-major axis from Sigma ~ a^slope: p(a) ~ a^(slope+1).
+  const double k = p.surface_density_slope + 2.0;
+  const double lo = std::pow(p.r_inner, k);
+  const double hi = std::pow(p.r_outer, k);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    OrbitalElements el;
+    el.semi_major_axis = std::pow(lo + rng.uniform() * (hi - lo), 1.0 / k);
+    // Rayleigh-distributed eccentricity and inclination (standard
+    // planetesimal velocity dispersion model).
+    el.eccentricity =
+        std::min(0.9, p.ecc_dispersion * std::sqrt(-2.0 * std::log(rng.uniform(1e-12, 1.0))));
+    el.inclination =
+        p.inc_dispersion * std::sqrt(-2.0 * std::log(rng.uniform(1e-12, 1.0)));
+    el.ascending_node = rng.uniform(0.0, 2.0 * kPi);
+    el.arg_periapsis = rng.uniform(0.0, 2.0 * kPi);
+    el.mean_anomaly = rng.uniform(0.0, 2.0 * kPi);
+
+    const RelativeState s =
+        elements_to_state(el, units::kGravity * (p.star_mass + mass));
+    Body b;
+    b.mass = mass;
+    b.pos = s.pos;
+    b.vel = s.vel;
+    set.add(b);
+  }
+  return set;
+}
+
+ParticleSet make_uniform_sphere(std::size_t n, Rng& rng, double radius,
+                                double virial_ratio) {
+  G6_REQUIRE(n >= 2);
+  G6_REQUIRE(radius > 0.0);
+  G6_REQUIRE(virial_ratio >= 0.0);
+  ParticleSet set;
+  set.reserve(n);
+  const double mass = units::kTotalMass / static_cast<double>(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Body b;
+    b.mass = mass;
+    const double r = radius * std::cbrt(rng.uniform());
+    b.pos = r * rng.unit_vector();
+    b.vel = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    set.add(b);
+  }
+
+  // Analytic potential energy of a homogeneous sphere: W = -3GM^2/(5R).
+  const double w = 3.0 * units::kGravity * units::kTotalMass * units::kTotalMass /
+                   (5.0 * radius);
+  double kinetic = 0.0;
+  for (const auto& b : set.bodies()) kinetic += 0.5 * b.mass * norm2(b.vel);
+  if (virial_ratio == 0.0) {
+    for (auto& b : set.bodies()) b.vel = {};
+  } else if (kinetic > 0.0) {
+    // Want 2T'/|W| = virial_ratio with T' = f^2 * T.
+    const double f = std::sqrt(virial_ratio * w / (2.0 * kinetic));
+    for (auto& b : set.bodies()) b.vel *= f;
+  }
+  set.to_com_frame();
+  return set;
+}
+
+namespace {
+/// Hernquist (1990) isotropic distribution function, up to constants, as
+/// a function of q = sqrt(-E) in G = M = a = 1 units.
+double hernquist_f(double q) {
+  if (q <= 0.0) return 0.0;
+  const double q2 = q * q;
+  if (q2 >= 1.0) return 0.0;
+  const double s = std::sqrt(1.0 - q2);
+  return (3.0 * std::asin(q) +
+          q * s * (1.0 - 2.0 * q2) * (8.0 * q2 * q2 - 8.0 * q2 - 3.0)) /
+         (s * s * s * s * s);
+}
+}  // namespace
+
+ParticleSet make_hernquist(std::size_t n, Rng& rng, double rmax) {
+  G6_REQUIRE(n >= 2);
+  ParticleSet set;
+  set.reserve(n);
+  const double mass = units::kTotalMass / static_cast<double>(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Radius from the closed-form inverse of M(r) = r^2/(r+1)^2.
+    double r;
+    do {
+      const double su = std::sqrt(rng.uniform(1e-12, 1.0));
+      r = su / (1.0 - su);
+    } while (r > rmax);
+
+    // Speed by rejection from g(v) ~ v^2 f(E), E = v^2/2 - 1/(1+r).
+    const double phi = -1.0 / (1.0 + r);
+    const double v_esc = std::sqrt(-2.0 * phi);
+    double fmax = 0.0;
+    for (int k = 1; k < 128; ++k) {
+      const double v = v_esc * static_cast<double>(k) / 128.0;
+      const double q = std::sqrt(std::max(0.0, -(0.5 * v * v + phi)));
+      fmax = std::max(fmax, v * v * hernquist_f(q));
+    }
+    double v = 0.0;
+    for (int tries = 0; tries < 10000; ++tries) {
+      const double cand = rng.uniform(0.0, v_esc);
+      const double q = std::sqrt(std::max(0.0, -(0.5 * cand * cand + phi)));
+      if (rng.uniform(0.0, fmax) < cand * cand * hernquist_f(q)) {
+        v = cand;
+        break;
+      }
+    }
+
+    Body b;
+    b.mass = mass;
+    b.pos = r * rng.unit_vector();
+    b.vel = v * rng.unit_vector();
+    // Model units (G=M=a=1) -> Heggie units: E = -1/12 -> -1/4 means
+    // lambda = 1/3 exactly.
+    b.pos /= 3.0;
+    b.vel *= std::sqrt(3.0);
+    set.add(b);
+  }
+  set.to_com_frame();
+  return set;
+}
+
+}  // namespace g6

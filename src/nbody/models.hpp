@@ -1,0 +1,58 @@
+#pragma once
+// Initial-condition generators for the paper's workloads.
+//
+//  * Plummer model (Sec 4 benchmark runs) — Aarseth/Henon/Wielen sampling,
+//    scaled to Heggie units.
+//  * Plummer + binary "black hole" particles (Sec 5, second application).
+//  * Planetesimal disk around a central star (Sec 5, Kuiper-belt run).
+//  * Cold/virialized uniform spheres (tests and examples).
+
+#include <cstdint>
+
+#include "nbody/particle.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+
+/// Equal-mass Plummer sphere in Heggie units (M=1, E=-1/4, G=1), shifted
+/// to the center-of-mass frame. Positions beyond `rmax` (in virial radii)
+/// are resampled to avoid extreme outliers, as is conventional.
+ParticleSet make_plummer(std::size_t n, Rng& rng, double rmax = 10.0);
+
+/// Plummer sphere plus two massive point particles ("black holes") of
+/// `bh_mass_fraction` of the total each, placed on a circular mutual orbit
+/// of separation `bh_separation` about the center. Heggie units; the field
+/// particles carry the remaining mass. Matches the Sec 5 binary-BH setup
+/// (0.5% each, 2M particles in the paper).
+ParticleSet make_plummer_with_bh_binary(std::size_t n_field, Rng& rng,
+                                        double bh_mass_fraction = 0.005,
+                                        double bh_separation = 0.5);
+
+/// Parameters for the planetesimal-disk generator.
+struct DiskParams {
+  double star_mass = 1.0;       ///< central star
+  double disk_mass = 3e-5;      ///< total planetesimal mass
+  double r_inner = 1.0;         ///< inner edge (model units)
+  double r_outer = 1.5;         ///< outer edge
+  double surface_density_slope = -1.5;  ///< Sigma ~ r^slope
+  double ecc_dispersion = 0.01; ///< Rayleigh dispersion of eccentricity
+  double inc_dispersion = 0.005;///< Rayleigh dispersion of inclination
+};
+
+/// Planetesimal disk: central star + n planetesimals on near-circular,
+/// near-coplanar Kepler orbits. Used by the Kuiper-belt application bench.
+ParticleSet make_planetesimal_disk(std::size_t n, Rng& rng,
+                                   const DiskParams& params = {});
+
+/// Homogeneous sphere of radius r with isotropic velocities scaled to the
+/// requested virial ratio (0 = cold collapse).
+ParticleSet make_uniform_sphere(std::size_t n, Rng& rng, double radius = 1.0,
+                                double virial_ratio = 0.5);
+
+/// Hernquist (1990) sphere in Heggie units — the standard galaxy-bulge /
+/// elliptical-galaxy model (the galactic-nuclei context of the Sec 5
+/// black-hole application). Isotropic velocities sampled from the exact
+/// distribution function by rejection.
+ParticleSet make_hernquist(std::size_t n, Rng& rng, double rmax = 100.0);
+
+}  // namespace g6

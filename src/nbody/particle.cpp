@@ -1,0 +1,51 @@
+#include "nbody/particle.hpp"
+
+#include "util/check.hpp"
+
+namespace g6 {
+
+double ParticleSet::total_mass() const {
+  double m = 0.0;
+  for (const auto& b : bodies_) m += b.mass;
+  return m;
+}
+
+Vec3 ParticleSet::center_of_mass() const {
+  Vec3 c;
+  double m = 0.0;
+  for (const auto& b : bodies_) {
+    c += b.mass * b.pos;
+    m += b.mass;
+  }
+  G6_REQUIRE_MSG(m > 0.0, "center of mass of massless system");
+  return c / m;
+}
+
+Vec3 ParticleSet::center_of_mass_velocity() const {
+  Vec3 c;
+  double m = 0.0;
+  for (const auto& b : bodies_) {
+    c += b.mass * b.vel;
+    m += b.mass;
+  }
+  G6_REQUIRE_MSG(m > 0.0, "center of mass of massless system");
+  return c / m;
+}
+
+void ParticleSet::to_com_frame() {
+  const Vec3 x0 = center_of_mass();
+  const Vec3 v0 = center_of_mass_velocity();
+  for (auto& b : bodies_) {
+    b.pos -= x0;
+    b.vel -= v0;
+  }
+}
+
+void ParticleSet::normalize_mass(double target) {
+  const double m = total_mass();
+  G6_REQUIRE_MSG(m > 0.0, "cannot normalize massless system");
+  const double f = target / m;
+  for (auto& b : bodies_) b.mass *= f;
+}
+
+}  // namespace g6

@@ -1,0 +1,55 @@
+#pragma once
+// Particle container shared by every engine in the library.
+//
+// nbody deliberately knows nothing about integrators or hardware: a Body is
+// just (mass, position, velocity). Integrator state (accelerations, jerks,
+// individual times) lives in the hermite module, hardware images live in
+// the grape module.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace g6 {
+
+struct Body {
+  double mass = 0.0;
+  Vec3 pos;
+  Vec3 vel;
+};
+
+/// A system of bodies with frame utilities.
+class ParticleSet {
+ public:
+  ParticleSet() = default;
+  explicit ParticleSet(std::vector<Body> bodies) : bodies_(std::move(bodies)) {}
+
+  std::size_t size() const { return bodies_.size(); }
+  bool empty() const { return bodies_.empty(); }
+
+  Body& operator[](std::size_t i) { return bodies_[i]; }
+  const Body& operator[](std::size_t i) const { return bodies_[i]; }
+
+  std::span<Body> bodies() { return bodies_; }
+  std::span<const Body> bodies() const { return bodies_; }
+
+  void add(const Body& b) { bodies_.push_back(b); }
+  void reserve(std::size_t n) { bodies_.reserve(n); }
+
+  double total_mass() const;
+  Vec3 center_of_mass() const;
+  Vec3 center_of_mass_velocity() const;
+
+  /// Shift to the center-of-mass rest frame.
+  void to_com_frame();
+
+  /// Scale masses so the total is `target` (Heggie units use 1).
+  void normalize_mass(double target = 1.0);
+
+ private:
+  std::vector<Body> bodies_;
+};
+
+}  // namespace g6

@@ -1,0 +1,52 @@
+#include "nbody/snapshot.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace g6 {
+
+void write_snapshot(std::ostream& os, const ParticleSet& set, double t) {
+  const auto flags = os.flags();
+  os.precision(17);
+  os << set.size() << ' ' << t << '\n';
+  for (const auto& b : set.bodies()) {
+    os << b.mass << ' ' << b.pos.x << ' ' << b.pos.y << ' ' << b.pos.z << ' '
+       << b.vel.x << ' ' << b.vel.y << ' ' << b.vel.z << '\n';
+  }
+  os.flags(flags);
+}
+
+ParticleSet read_snapshot(std::istream& is, double& t) {
+  std::size_t n = 0;
+  if (!(is >> n >> t)) throw std::runtime_error("snapshot: bad header");
+  ParticleSet set;
+  set.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Body b;
+    if (!(is >> b.mass >> b.pos.x >> b.pos.y >> b.pos.z >> b.vel.x >> b.vel.y >>
+          b.vel.z)) {
+      throw std::runtime_error("snapshot: truncated body record");
+    }
+    set.add(b);
+  }
+  return set;
+}
+
+void save_snapshot(const std::string& path, const ParticleSet& set, double t) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("snapshot: cannot open " + path);
+  write_snapshot(os, set, t);
+  if (!os) throw std::runtime_error("snapshot: write failed for " + path);
+}
+
+ParticleSet load_snapshot(const std::string& path, double& t) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("snapshot: cannot open " + path);
+  return read_snapshot(is, t);
+}
+
+}  // namespace g6

@@ -1,0 +1,23 @@
+#pragma once
+// Plain-text snapshot I/O (NEMO-like ascii: one "n t" header line, then
+// "mass x y z vx vy vz" per body). Human-diffable, good enough for
+// examples and regression fixtures.
+
+#include <iosfwd>
+#include <string>
+
+#include "nbody/particle.hpp"
+
+namespace g6 {
+
+/// Write `set` at time `t` to the stream. Full double precision (%.17g).
+void write_snapshot(std::ostream& os, const ParticleSet& set, double t);
+
+/// Read one snapshot; returns the time through `t`.
+ParticleSet read_snapshot(std::istream& is, double& t);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void save_snapshot(const std::string& path, const ParticleSet& set, double t);
+ParticleSet load_snapshot(const std::string& path, double& t);
+
+}  // namespace g6

@@ -1,0 +1,30 @@
+#pragma once
+// Virtual time accounting for the simulated cluster. Each simulated host
+// owns a VirtualClock; computation and communication advance it; barriers
+// equalize clocks at max + overhead. Nothing ever sleeps.
+
+#include <algorithm>
+#include <span>
+
+namespace g6 {
+
+class VirtualClock {
+ public:
+  double now() const { return now_; }
+  void advance(double dt) { now_ += dt; }
+  void advance_to(double t) { now_ = std::max(now_, t); }
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// Synchronize a group of clocks: everyone waits for the slowest, then
+/// pays `overhead` (the barrier cost itself).
+inline void synchronize_clocks(std::span<VirtualClock> clocks, double overhead) {
+  double t_max = 0.0;
+  for (const auto& c : clocks) t_max = std::max(t_max, c.now());
+  for (auto& c : clocks) c.advance_to(t_max + overhead);
+}
+
+}  // namespace g6

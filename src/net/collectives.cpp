@@ -1,0 +1,44 @@
+#include "net/collectives.hpp"
+
+#include "util/check.hpp"
+
+namespace g6 {
+
+std::size_t butterfly_stages(std::size_t hosts) {
+  G6_REQUIRE(hosts >= 1);
+  std::size_t stages = 0;
+  std::size_t span = 1;
+  while (span < hosts) {
+    span *= 2;
+    ++stages;
+  }
+  return stages;
+}
+
+double butterfly_barrier_time(std::size_t hosts, const NicModel& nic) {
+  return static_cast<double>(butterfly_stages(hosts)) *
+         nic.message_time(kSyncPacketBytes);
+}
+
+double mpich_barrier_time(std::size_t hosts, const NicModel& nic) {
+  return 2.0 * butterfly_barrier_time(hosts, nic);
+}
+
+double butterfly_allgather_time(std::size_t hosts, std::size_t bytes_per_host,
+                                const NicModel& nic) {
+  double t = 0.0;
+  std::size_t chunk = bytes_per_host;
+  std::size_t span = 1;
+  while (span < hosts) {
+    t += nic.message_time(chunk);
+    chunk *= 2;
+    span *= 2;
+  }
+  return t;
+}
+
+double fanout_time(std::size_t receivers, std::size_t bytes, const NicModel& nic) {
+  return static_cast<double>(receivers) * nic.message_time(bytes);
+}
+
+}  // namespace g6

@@ -1,0 +1,44 @@
+#pragma once
+// Cost models for the collective operations the GRAPE-6 parallel codes
+// use (Sec 4.2-4.4):
+//
+//  * butterfly barrier — the paper's hand-rolled synchronization over
+//    TCP/IP sockets ("about two times faster than MPI_barrier of
+//    MPICH/p4"); ceil(log2 p) rounds of small-message exchange.
+//  * butterfly all-gather — the updated-particle exchange of the "copy"
+//    algorithm: log2 p rounds with doubling message sizes.
+//  * row broadcast — sending updated particles along a host row/column of
+//    the 2D algorithm.
+//
+// All costs are virtual seconds for ONE host participating in the
+// collective (every host pays the same, so callers charge it to each
+// clock).
+
+#include <cstddef>
+
+#include "net/nic.hpp"
+
+namespace g6 {
+
+/// Number of butterfly stages: ceil(log2(p)).
+std::size_t butterfly_stages(std::size_t hosts);
+
+/// Size of the tiny synchronization packet (header-dominated).
+inline constexpr std::size_t kSyncPacketBytes = 64;
+
+/// Barrier via butterfly exchange of sync packets.
+double butterfly_barrier_time(std::size_t hosts, const NicModel& nic);
+
+/// MPI_Barrier of MPICH/p4 over TCP: measured ~2x the hand-rolled
+/// butterfly (Sec 4.4) — used by the ablation bench.
+double mpich_barrier_time(std::size_t hosts, const NicModel& nic);
+
+/// All-gather of `bytes_per_host` from every host to every host
+/// (recursive doubling): stage k moves 2^k * bytes_per_host.
+double butterfly_allgather_time(std::size_t hosts, std::size_t bytes_per_host,
+                                const NicModel& nic);
+
+/// One host sends `bytes` to `receivers` peers, serialized on its NIC.
+double fanout_time(std::size_t receivers, std::size_t bytes, const NicModel& nic);
+
+}  // namespace g6

@@ -1,0 +1,42 @@
+#pragma once
+// Network interface models (Sec 4.4). A message of b bytes between two
+// hosts costs latency + b / bandwidth; the paper characterizes each NIC by
+// round-trip latency and peak throughput, which is exactly what we encode.
+
+#include <string>
+
+namespace g6 {
+
+struct NicModel {
+  std::string name;
+  double round_trip_latency_s = 0.0;
+  double bandwidth_Bps = 0.0;
+
+  /// One-way cost of a b-byte message.
+  double message_time(std::size_t bytes) const {
+    return 0.5 * round_trip_latency_s +
+           static_cast<double>(bytes) / bandwidth_Bps;
+  }
+  double one_way_latency() const { return 0.5 * round_trip_latency_s; }
+};
+
+namespace nics {
+
+/// Original system: NS 83820 on Planex GN-1000TC in the Athlon hosts
+/// (200 us round trip, 60 MB/s).
+inline NicModel ns83820() { return {"NS83820+Athlon", 200e-6, 60e6}; }
+
+/// Netgear GA621T, Tigon 2: better throughput, similar latency.
+inline NicModel tigon2() { return {"Tigon2", 180e-6, 85e6}; }
+
+/// Intel 82540EM on the P4 boards: 67 us round trip, 105 MB/s — the
+/// tuned configuration that reaches 36 Tflops (Fig 19).
+inline NicModel intel82540() { return {"Intel82540EM+P4", 67e-6, 105e6}; }
+
+/// Myrinet what-if from Sec 4.4: "latency 5-10 times shorter than usual
+/// TCP/IP over Ethernet" — we take 7x below the NS83820 baseline.
+inline NicModel myrinet() { return {"Myrinet(what-if)", 200e-6 / 7.0, 150e6}; }
+
+}  // namespace nics
+
+}  // namespace g6

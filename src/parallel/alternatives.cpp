@@ -1,0 +1,44 @@
+#include "parallel/alternatives.hpp"
+
+#include "net/collectives.hpp"
+#include "util/check.hpp"
+
+namespace g6 {
+
+double copy_algorithm_comm_time(std::size_t hosts, std::size_t n_block,
+                                std::size_t record_bytes, const NicModel& nic) {
+  G6_REQUIRE(hosts >= 1);
+  if (hosts == 1) return 0.0;
+  // Recursive-doubling all-gather of n_block/hosts records per host.
+  const std::size_t share = (n_block + hosts - 1) / hosts;
+  return butterfly_allgather_time(hosts, share * record_bytes, nic);
+}
+
+double ring_algorithm_comm_time(std::size_t hosts, std::size_t n_block,
+                                std::size_t record_bytes, const NicModel& nic) {
+  G6_REQUIRE(hosts >= 1);
+  if (hosts == 1) return 0.0;
+  // Each of the (hosts-1) shifts moves the host's share of the block; the
+  // partial forces ride along with the particles.
+  const std::size_t share = (n_block + hosts - 1) / hosts;
+  return static_cast<double>(hosts - 1) * nic.message_time(share * record_bytes);
+}
+
+double grid_algorithm_comm_time(std::size_t grid_side, std::size_t n_block,
+                                std::size_t record_bytes, const NicModel& nic) {
+  G6_REQUIRE(grid_side >= 1);
+  if (grid_side == 1) return 0.0;
+  // Per blockstep, three pipelined phases — column reduction of partial
+  // forces, row broadcast and column broadcast of the updated subset —
+  // each moving n_block/r records end to end (volume at full bandwidth,
+  // latency paid once per tree stage). This is the O(N/r) communication
+  // of Makino 2002 [9].
+  const std::size_t share = (n_block + grid_side - 1) / grid_side;
+  const double volume =
+      static_cast<double>(share * record_bytes) / nic.bandwidth_Bps;
+  const double latency =
+      static_cast<double>(butterfly_stages(grid_side)) * nic.one_way_latency();
+  return 3.0 * (latency + volume);
+}
+
+}  // namespace g6

@@ -1,0 +1,40 @@
+#pragma once
+// Communication-cost models for the parallel decompositions the paper
+// weighs in Sec 3.2 (following Makino 2002 [9]):
+//
+//   "copy" — every host keeps the full system; after a blockstep all
+//            updated particles are exchanged (all-gather). Communication
+//            per host is ~independent of the host count.
+//   "ring" — disjoint subsets; the current block circulates around a
+//            ring so every host computes partial forces. Also ~constant
+//            communication per host.
+//   "2D host grid" — r x r hosts, each row/column holding a copy of one
+//            N/r subset; per-host communication drops as O(n/r).
+//
+// GRAPE-6 realizes the 2D idea in hardware (board grid) instead of in
+// hosts; the ablation bench bench/ablation_parallel_algorithms.cpp uses
+// these models to reproduce that design rationale quantitatively.
+
+#include <cstddef>
+
+#include "net/nic.hpp"
+
+namespace g6 {
+
+/// Per-blockstep, per-host communication time of the "copy" algorithm:
+/// all-gather of the n_block updated records.
+double copy_algorithm_comm_time(std::size_t hosts, std::size_t n_block,
+                                std::size_t record_bytes, const NicModel& nic);
+
+/// Per-blockstep, per-host communication time of the "ring" algorithm:
+/// the block circulates in (hosts-1) shifts, then results return.
+double ring_algorithm_comm_time(std::size_t hosts, std::size_t n_block,
+                                std::size_t record_bytes, const NicModel& nic);
+
+/// Per-blockstep, per-host communication of the r x r host grid [9]:
+/// column reduction of partial forces plus row+column broadcast of the
+/// updated subset — O(n_block / r) volume per host.
+double grid_algorithm_comm_time(std::size_t grid_side, std::size_t n_block,
+                                std::size_t record_bytes, const NicModel& nic);
+
+}  // namespace g6

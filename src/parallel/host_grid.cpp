@@ -1,0 +1,254 @@
+#include "parallel/host_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hermite/scheme.hpp"
+#include "net/collectives.hpp"
+#include "util/check.hpp"
+
+namespace g6 {
+
+namespace {
+constexpr int kRetryBump = 8;
+constexpr int kMaxRetries = 16;
+
+double max_abs(const Vec3& v) {
+  return std::max({std::fabs(v.x), std::fabs(v.y), std::fabs(v.z)});
+}
+}  // namespace
+
+HostGridCluster::HostGridCluster(const ParticleSet& initial, HostGridConfig cfg)
+    : cfg_(std::move(cfg)) {
+  G6_REQUIRE(initial.size() >= 2);
+  G6_REQUIRE(cfg_.grid_side >= 1);
+  column_engines_.reserve(cfg_.grid_side);
+  for (std::size_t c = 0; c < cfg_.grid_side; ++c) {
+    column_engines_.push_back(std::make_unique<GrapeForceEngine>(
+        cfg_.machine, cfg_.formats, cfg_.eps, cfg_.dma, cfg_.packets));
+  }
+  clocks_.resize(total_hosts());
+  initialize(initial);
+}
+
+void HostGridCluster::initialize(const ParticleSet& initial) {
+  const std::size_t n = initial.size();
+  particles_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    particles_[i].mass = initial[i].mass;
+    particles_[i].pos = initial[i].pos;
+    particles_[i].vel = initial[i].vel;
+    particles_[i].t0 = 0.0;
+  }
+  dt_.assign(n, cfg_.hermite.dt_max);
+  last_force_.resize(n);
+  exps_.assign(n, BlockExponents{});
+
+  // Column c's engine holds subset c; the identity map stamps global ids
+  // into the hardware images so the pipeline self-interaction cut works
+  // against global i-particle indices.
+  for (std::size_t c = 0; c < cfg_.grid_side; ++c) {
+    std::vector<JParticle> subset;
+    std::vector<std::uint32_t> ids;
+    subset.reserve(n / cfg_.grid_side + 1);
+    ids.reserve(subset.capacity());
+    for (std::size_t i = c; i < n; i += cfg_.grid_side) {
+      subset.push_back(particles_[i]);
+      ids.push_back(static_cast<std::uint32_t>(i));
+    }
+    column_engines_[c]->set_global_ids(std::move(ids));
+    column_engines_[c]->load_particles(subset);
+  }
+
+  // Initial forces on everyone.
+  block_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) block_[i] = i;
+  std::vector<Force> forces(n);
+  compute_block_forces(0.0, block_, forces);
+  for (std::size_t i = 0; i < n; ++i) {
+    particles_[i].acc = forces[i].acc;
+    particles_[i].jerk = forces[i].jerk;
+    particles_[i].snap = {};
+    last_force_[i] = forces[i];
+    dt_[i] = quantize_timestep(initial_timestep(forces[i], cfg_.hermite.eta_s),
+                               cfg_.hermite.dt_min, cfg_.hermite.dt_max);
+    const std::size_t c = subset_of(i);
+    column_engines_[c]->update_particle(i / cfg_.grid_side, particles_[i]);
+  }
+  for (auto& clock : clocks_) clock.reset();
+  cost_ = {};
+}
+
+double HostGridCluster::next_block_time() const {
+  double t_next = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    t_next = std::min(t_next, particles_[i].t0 + dt_[i]);
+  }
+  return t_next;
+}
+
+double HostGridCluster::compute_block_forces(double t,
+                                             std::span<const std::size_t> members,
+                                             std::vector<Force>& out) {
+  out.resize(members.size());
+  pred_.resize(members.size());
+  packets_buf_.resize(members.size());
+  for (std::size_t k = 0; k < members.size(); ++k) {
+    const std::size_t i = members[k];
+    Vec3 xp, vp;
+    hermite_predict_cubic(particles_[i], t, xp, vp);
+    pred_[k] = {xp, vp, particles_[i].mass, static_cast<std::uint32_t>(i)};
+    packets_buf_[k] = column_engines_[0]->make_packet(pred_[k]);
+  }
+
+  double grape_seconds_max = 0.0;
+  const std::size_t chunk = cfg_.machine.i_parallelism();
+  std::vector<BlockExponents> pass_exps;
+  std::vector<HwAccumulators> merged;
+  std::vector<HwAccumulators> partial;
+
+  for (std::size_t begin = 0; begin < members.size(); begin += chunk) {
+    const std::size_t end = std::min(members.size(), begin + chunk);
+    const std::span<const IParticlePacket> pass{packets_buf_.data() + begin,
+                                                end - begin};
+    pass_exps.resize(pass.size());
+    for (std::size_t k = 0; k < pass.size(); ++k) {
+      pass_exps[k] = exps_[members[begin + k]];
+    }
+
+    for (int attempt = 0;; ++attempt) {
+      std::uint64_t max_cycles = 0;
+      // Every column computes partials from its subset; the column
+      // reduction is an exact BFP merge.
+      for (std::size_t c = 0; c < column_engines_.size(); ++c) {
+        const std::uint64_t cycles =
+            column_engines_[c]->compute_partials(t, pass, pass_exps, partial);
+        max_cycles = std::max(max_cycles, cycles);
+        if (c == 0) {
+          merged = partial;
+        } else {
+          for (std::size_t k = 0; k < pass.size(); ++k) merged[k].merge(partial[k]);
+        }
+      }
+      grape_seconds_max +=
+          static_cast<double>(max_cycles) / cfg_.machine.clock_hz;
+
+      bool overflow = false;
+      for (std::size_t k = 0; k < pass.size(); ++k) {
+        if (merged[k].overflow()) {
+          overflow = true;
+          pass_exps[k].acc += kRetryBump;
+          pass_exps[k].jerk += kRetryBump;
+          pass_exps[k].pot += kRetryBump;
+        }
+      }
+      if (!overflow) break;
+      G6_REQUIRE_MSG(attempt < kMaxRetries,
+                     "host-grid exponent retry did not converge");
+    }
+
+    for (std::size_t k = 0; k < pass.size(); ++k) {
+      const Force f = merged[k].decode();
+      out[begin + k] = f;
+      const std::size_t gid = members[begin + k];
+      exps_[gid].acc = choose_block_exponent(max_abs(f.acc));
+      exps_[gid].jerk = choose_block_exponent(max_abs(f.jerk));
+      exps_[gid].pot = choose_block_exponent(std::fabs(f.pot));
+    }
+  }
+  return grape_seconds_max;
+}
+
+std::size_t HostGridCluster::step() {
+  const double t_next = next_block_time();
+  const std::size_t r = cfg_.grid_side;
+
+  block_.clear();
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    if (particles_[i].t0 + dt_[i] == t_next) block_.push_back(i);
+  }
+  G6_ASSERT(!block_.empty());
+
+  std::vector<Force> forces;
+  const double grape_s = compute_block_forces(t_next, block_, forces);
+
+  // Corrector (runs on the diagonal hosts; physics on the shared copy).
+  for (std::size_t k = 0; k < block_.size(); ++k) {
+    const std::size_t i = block_[k];
+    JParticle& p = particles_[i];
+    const double dt = t_next - p.t0;
+    const Force& f1 = forces[k];
+    const HermiteDerivatives d = hermite_interpolate(last_force_[i], f1, dt);
+    Vec3 pos = pred_[k].pos;
+    Vec3 vel = pred_[k].vel;
+    hermite_correct(d, dt, pos, vel);
+
+    const Vec3 a2_t1 = d.a2 + dt * d.a3;
+    double dt_req = aarseth_timestep(f1, a2_t1, d.a3, cfg_.hermite.eta);
+    dt_req = std::min(dt_req, 2.0 * dt);
+    double dt_new =
+        quantize_timestep(dt_req, cfg_.hermite.dt_min, cfg_.hermite.dt_max);
+    dt_new = commensurate_timestep(t_next, dt_new, cfg_.hermite.dt_min);
+
+    p.pos = pos;
+    p.vel = vel;
+    p.acc = f1.acc;
+    p.jerk = f1.jerk;
+    p.snap = a2_t1;
+    p.t0 = t_next;
+    dt_[i] = dt_new;
+    last_force_[i] = f1;
+    column_engines_[subset_of(i)]->update_particle(i / r, p);
+  }
+
+  // --- virtual time (bulk-synchronous phases, charged to every host) ----
+  const std::size_t share = (block_.size() + r - 1) / r;
+  BlockstepCost c;
+  c.grape_s = grape_s;
+  c.host_s = static_cast<double>(share) *
+                 cfg_.host.step_time(static_cast<double>(particles_.size())) +
+             cfg_.host.block_overhead_s;
+  c.dma_s = cfg_.dma.transfer_time(2 * share * cfg_.packets.j_particle_bytes) +
+            cfg_.dma.transfer_time(share * cfg_.packets.i_particle_bytes) +
+            cfg_.dma.transfer_time(share * cfg_.packets.result_bytes);
+  if (r > 1) {
+    const double stages = static_cast<double>(butterfly_stages(r));
+    c.net_s = stages * cfg_.nic.message_time(share * cfg_.packets.result_bytes) +
+              2.0 * stages * cfg_.nic.message_time(share * cfg_.packets.j_particle_bytes) +
+              butterfly_barrier_time(total_hosts(), cfg_.nic);
+  }
+  for (auto& clock : clocks_) clock.advance(c.host_s + c.dma_s + c.grape_s);
+  synchronize_clocks(clocks_, c.net_s);
+  cost_ += c;
+
+  time_ = t_next;
+  total_steps_ += block_.size();
+  ++total_blocksteps_;
+  return block_.size();
+}
+
+void HostGridCluster::evolve(double t_end) {
+  G6_REQUIRE(t_end >= time_);
+  while (next_block_time() <= t_end) step();
+}
+
+double HostGridCluster::virtual_seconds() const {
+  double t = 0.0;
+  for (const auto& c : clocks_) t = std::max(t, c.now());
+  return t;
+}
+
+ParticleSet HostGridCluster::state_at_current_time() const {
+  ParticleSet out;
+  out.reserve(particles_.size());
+  for (const auto& p : particles_) {
+    Body b;
+    b.mass = p.mass;
+    hermite_predict(p, time_, b.pos, b.vel);
+    out.add(b);
+  }
+  return out;
+}
+
+}  // namespace g6

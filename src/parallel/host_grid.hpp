@@ -1,0 +1,97 @@
+#pragma once
+// The r x r host-grid parallel algorithm of Makino 2002 [9] — the
+// software alternative the paper weighs against the GRAPE hardware
+// network in Sec 3.2 ("organize processors into a two-dimensional grid
+// ... the effective communication bandwidth is increased by a factor r").
+//
+// Host p_ij holds copies of particle subsets i and j. Per blockstep:
+//   1. every host computes PARTIAL forces on the block members of subset
+//      i from its j-subset (its GRAPE boards hold only subset j);
+//   2. partials are reduced down each column to the diagonal host p_ii —
+//      an exact block-floating-point merge, like the hardware tree;
+//   3. p_ii runs the corrector for its share and broadcasts the updated
+//      particles along its row and column;
+//   4. barrier.
+//
+// Because the reduction is BFP-exact, the dynamics is bit-identical to
+// the single-host machine — tested against VirtualCluster.
+
+#include <memory>
+#include <vector>
+
+#include "grape/engine.hpp"
+#include "hermite/integrator.hpp"
+#include "net/clock.hpp"
+#include "perf/host_model.hpp"
+#include "perf/machine_model.hpp"
+
+namespace g6 {
+
+struct HostGridConfig {
+  std::size_t grid_side = 2;  ///< r: the grid has r*r hosts
+  MachineConfig machine = MachineConfig::single_host();  ///< per-host boards
+  NumberFormats formats = NumberFormats::exact();
+  double eps = 1.0 / 64.0;
+  HermiteConfig hermite;
+  HostModel host = hosts::athlon_xp_1800();
+  NicModel nic = nics::ns83820();
+  DmaModel dma;
+  PacketSizes packets;
+};
+
+class HostGridCluster {
+ public:
+  HostGridCluster(const ParticleSet& initial, HostGridConfig cfg);
+
+  std::size_t grid_side() const { return cfg_.grid_side; }
+  std::size_t total_hosts() const { return cfg_.grid_side * cfg_.grid_side; }
+  double time() const { return time_; }
+  std::size_t size() const { return particles_.size(); }
+
+  std::size_t step();
+  void evolve(double t_end);
+
+  double virtual_seconds() const;
+  const BlockstepCost& accumulated_cost() const { return cost_; }
+  unsigned long long total_steps() const { return total_steps_; }
+  unsigned long long total_blocksteps() const { return total_blocksteps_; }
+
+  ParticleSet state_at_current_time() const;
+  const JParticle& particle(std::size_t i) const { return particles_[i]; }
+
+  /// Subset (row/column id) of particle i.
+  std::size_t subset_of(std::size_t i) const { return i % cfg_.grid_side; }
+
+ private:
+  void initialize(const ParticleSet& initial);
+  double next_block_time() const;
+  /// Partial+merged force computation for one subset's block share, with
+  /// shared exponent management and retries. Returns max pipeline seconds.
+  double compute_block_forces(double t, std::span<const std::size_t> members,
+                              std::vector<Force>& out);
+
+  HostGridConfig cfg_;
+  double time_ = 0.0;
+
+  std::vector<JParticle> particles_;
+  std::vector<double> dt_;
+  std::vector<Force> last_force_;
+  std::vector<BlockExponents> exps_;
+
+  /// One engine per grid COLUMN (hosts in a column hold the same
+  /// j-subset; emulating one copy per column is enough for both the
+  /// physics and the per-host pipeline time).
+  std::vector<std::unique_ptr<GrapeForceEngine>> column_engines_;
+  std::vector<VirtualClock> clocks_;  ///< one per host (r*r)
+
+  unsigned long long total_steps_ = 0;
+  unsigned long long total_blocksteps_ = 0;
+  BlockstepCost cost_;
+
+  // scratch
+  std::vector<std::size_t> block_;
+  std::vector<PredictedState> pred_;
+  std::vector<IParticlePacket> packets_buf_;
+};
+
+}  // namespace g6

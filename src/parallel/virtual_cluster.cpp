@@ -1,0 +1,198 @@
+#include "parallel/virtual_cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hermite/scheme.hpp"
+#include "util/check.hpp"
+
+namespace g6 {
+
+VirtualCluster::VirtualCluster(const ParticleSet& initial, VirtualClusterConfig cfg)
+    : cfg_(std::move(cfg)), model_(cfg_.system) {
+  G6_REQUIRE(initial.size() >= 2);
+  const std::size_t hosts = cfg_.system.hosts();
+  G6_REQUIRE(hosts >= 1);
+  engines_.reserve(hosts);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    engines_.push_back(std::make_unique<GrapeForceEngine>(
+        cfg_.system.machine, cfg_.formats, cfg_.eps, cfg_.system.dma,
+        cfg_.system.packets));
+  }
+  clocks_.resize(hosts);
+  initialize(initial);
+}
+
+void VirtualCluster::initialize(const ParticleSet& initial) {
+  const std::size_t n = initial.size();
+  particles_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    particles_[i].mass = initial[i].mass;
+    particles_[i].pos = initial[i].pos;
+    particles_[i].vel = initial[i].vel;
+    particles_[i].t0 = 0.0;
+  }
+  dt_.assign(n, cfg_.hermite.dt_max);
+  last_force_.resize(n);
+  for (auto& e : engines_) e->load_particles(particles_);
+
+  // Initial forces, partitioned by ownership so the per-particle block
+  // exponent history is identical for every cluster size.
+  const std::size_t hosts = engines_.size();
+  for (std::size_t h = 0; h < hosts; ++h) {
+    pred_.clear();
+    std::vector<std::size_t> mine;
+    for (std::size_t i = h; i < n; i += hosts) {
+      mine.push_back(i);
+      pred_.push_back({particles_[i].pos, particles_[i].vel, particles_[i].mass,
+                       static_cast<std::uint32_t>(i)});
+    }
+    if (mine.empty()) continue;
+    force_.resize(mine.size());
+    engines_[h]->compute_forces(0.0, pred_, force_);
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      const std::size_t i = mine[k];
+      particles_[i].acc = force_[k].acc;
+      particles_[i].jerk = force_[k].jerk;
+      particles_[i].snap = {};
+      last_force_[i] = force_[k];
+      dt_[i] = quantize_timestep(initial_timestep(force_[k], cfg_.hermite.eta_s),
+                                 cfg_.hermite.dt_min, cfg_.hermite.dt_max);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& e : engines_) e->update_particle(i, particles_[i]);
+  }
+  trace_.n_particles = n;
+}
+
+double VirtualCluster::next_block_time() const {
+  double t_next = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    t_next = std::min(t_next, particles_[i].t0 + dt_[i]);
+  }
+  return t_next;
+}
+
+std::size_t VirtualCluster::step() {
+  const double t_next = next_block_time();
+  const std::size_t hosts = engines_.size();
+
+  block_.clear();
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    if (particles_[i].t0 + dt_[i] == t_next) block_.push_back(i);
+  }
+  G6_ASSERT(!block_.empty());
+
+  host_block_.assign(hosts, {});
+  for (std::size_t i : block_) host_block_[owner(i)].push_back(i);
+
+  std::vector<double> grape_s(hosts, 0.0);
+  std::vector<std::size_t> shares(hosts, 0);
+
+  for (std::size_t h = 0; h < hosts; ++h) {
+    const auto& mine = host_block_[h];
+    shares[h] = mine.size();
+    if (mine.empty()) continue;
+
+    pred_.resize(mine.size());
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      const std::size_t i = mine[k];
+      Vec3 xp, vp;
+      hermite_predict_cubic(particles_[i], t_next, xp, vp);
+      pred_[k] = {xp, vp, particles_[i].mass, static_cast<std::uint32_t>(i)};
+    }
+    force_.resize(mine.size());
+    engines_[h]->compute_forces(t_next, pred_, force_);
+    grape_s[h] = engines_[h]->last_call_grape_seconds();
+
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      const std::size_t i = mine[k];
+      JParticle& p = particles_[i];
+      const double dt = t_next - p.t0;
+      const Force& f1 = force_[k];
+      const HermiteDerivatives d = hermite_interpolate(last_force_[i], f1, dt);
+      Vec3 pos = pred_[k].pos;
+      Vec3 vel = pred_[k].vel;
+      hermite_correct(d, dt, pos, vel);
+
+      const Vec3 a2_t1 = d.a2 + dt * d.a3;
+      double dt_req = aarseth_timestep(f1, a2_t1, d.a3, cfg_.hermite.eta);
+      dt_req = std::min(dt_req, 2.0 * dt);
+      double dt_new =
+          quantize_timestep(dt_req, cfg_.hermite.dt_min, cfg_.hermite.dt_max);
+      dt_new = commensurate_timestep(t_next, dt_new, cfg_.hermite.dt_min);
+
+      p.pos = pos;
+      p.vel = vel;
+      p.acc = f1.acc;
+      p.jerk = f1.jerk;
+      p.snap = a2_t1;
+      p.t0 = t_next;
+      dt_[i] = dt_new;
+      last_force_[i] = f1;
+    }
+  }
+
+  // Propagate the updated particles to every host's hardware (column
+  // broadcast within a cluster, copy-exchange across clusters).
+  for (std::size_t i : block_) {
+    for (auto& e : engines_) e->update_particle(i, particles_[i]);
+  }
+
+  charge_blockstep(block_.size(), grape_s, shares);
+
+  time_ = t_next;
+  total_steps_ += block_.size();
+  ++total_blocksteps_;
+  if (cfg_.hermite.record_trace) {
+    trace_.records.push_back({t_next, static_cast<std::uint32_t>(block_.size())});
+    trace_.t_end = t_next;
+  }
+  return block_.size();
+}
+
+void VirtualCluster::charge_blockstep(std::size_t block_size,
+                                      const std::vector<double>& grape_seconds,
+                                      const std::vector<std::size_t>& host_share) {
+  (void)host_share;
+  const BlockstepCost mc = model_.blockstep_cost(block_size, particles_.size());
+  double grape_max = 0.0;
+  for (std::size_t h = 0; h < engines_.size(); ++h) {
+    clocks_[h].advance(mc.host_s + mc.dma_s + grape_seconds[h]);
+    grape_max = std::max(grape_max, grape_seconds[h]);
+  }
+  synchronize_clocks(clocks_, mc.net_s);
+
+  cost_.host_s += mc.host_s;
+  cost_.dma_s += mc.dma_s;
+  cost_.grape_s += grape_max;
+  cost_.net_s += mc.net_s;
+}
+
+void VirtualCluster::evolve(double t_end) {
+  G6_REQUIRE(t_end >= time_);
+  while (next_block_time() <= t_end) step();
+  trace_.t_end = std::max(trace_.t_end, time_);
+}
+
+double VirtualCluster::virtual_seconds() const {
+  double t = 0.0;
+  for (const auto& c : clocks_) t = std::max(t, c.now());
+  return t;
+}
+
+ParticleSet VirtualCluster::state_at_current_time() const {
+  ParticleSet out;
+  out.reserve(particles_.size());
+  for (const auto& p : particles_) {
+    Body b;
+    b.mass = p.mass;
+    hermite_predict(p, time_, b.pos, b.vel);
+    out.add(b);
+  }
+  return out;
+}
+
+}  // namespace g6

@@ -1,0 +1,99 @@
+#pragma once
+// VirtualCluster: an in-process simulation of the multi-host /
+// multi-cluster GRAPE-6 parallel code (Secs 4.2-4.3).
+//
+// Physics runs for real on emulated hardware; time is virtual.
+//
+//  * Every host row of the board grid holds a complete copy of the
+//    j-particles (the hybrid 2D architecture of Sec 3.2), so each
+//    simulated host owns a full GrapeForceEngine.
+//  * A blockstep is partitioned over hosts by particle ownership
+//    (round-robin); each host computes forces for and corrects only its
+//    share, then the updates propagate to every host's hardware (the
+//    column broadcast / inter-cluster exchange).
+//  * Per-host virtual clocks advance by host work + DMA + pipeline time;
+//    barriers equalize them and add the synchronization cost — the
+//    bottleneck the paper spends Sec 4.4 on.
+//
+// Because force reduction uses block floating point, the *dynamics* is
+// bit-identical for any number of hosts; only the virtual time changes.
+// (Tested in tests/parallel/virtual_cluster_test.cpp.)
+
+#include <memory>
+#include <vector>
+
+#include "grape/engine.hpp"
+#include "hermite/integrator.hpp"
+#include "net/clock.hpp"
+#include "perf/machine_model.hpp"
+
+namespace g6 {
+
+struct VirtualClusterConfig {
+  /// Topology + cost parameters (hosts_per_cluster, clusters, NIC, ...).
+  SystemConfig system = SystemConfig::cluster(4);
+  /// Hardware arithmetic; exact() keeps multi-host runs cheap, narrow
+  /// formats exercise true hardware precision.
+  NumberFormats formats = NumberFormats::exact();
+  double eps = 1.0 / 64.0;
+  HermiteConfig hermite;
+};
+
+class VirtualCluster {
+ public:
+  VirtualCluster(const ParticleSet& initial, VirtualClusterConfig cfg);
+
+  std::size_t total_hosts() const { return engines_.size(); }
+  double time() const { return time_; }
+  std::size_t size() const { return particles_.size(); }
+
+  /// One blockstep across all hosts; returns the block size.
+  std::size_t step();
+  void evolve(double t_end);
+
+  /// Virtual wall time: all clocks are equal after each barrier.
+  double virtual_seconds() const;
+  /// Accumulated per-component virtual time.
+  const BlockstepCost& accumulated_cost() const { return cost_; }
+
+  unsigned long long total_steps() const { return total_steps_; }
+  unsigned long long total_blocksteps() const { return total_blocksteps_; }
+  const BlockstepTrace& trace() const { return trace_; }
+
+  ParticleSet state_at_current_time() const;
+  const JParticle& particle(std::size_t i) const { return particles_[i]; }
+
+  /// Host that integrates particle i (round-robin ownership).
+  std::size_t owner(std::size_t i) const { return i % engines_.size(); }
+
+ private:
+  void initialize(const ParticleSet& initial);
+  double next_block_time() const;
+  void charge_blockstep(std::size_t block_size,
+                        const std::vector<double>& grape_seconds,
+                        const std::vector<std::size_t>& host_share);
+
+  VirtualClusterConfig cfg_;
+  MachineModel model_;
+
+  double time_ = 0.0;
+  std::vector<JParticle> particles_;
+  std::vector<double> dt_;
+  std::vector<Force> last_force_;
+
+  std::vector<std::unique_ptr<GrapeForceEngine>> engines_;
+  std::vector<VirtualClock> clocks_;
+
+  unsigned long long total_steps_ = 0;
+  unsigned long long total_blocksteps_ = 0;
+  BlockstepTrace trace_;
+  BlockstepCost cost_;
+
+  // scratch
+  std::vector<std::size_t> block_;
+  std::vector<std::vector<std::size_t>> host_block_;
+  std::vector<PredictedState> pred_;
+  std::vector<Force> force_;
+};
+
+}  // namespace g6

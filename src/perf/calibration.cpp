@@ -1,0 +1,198 @@
+#include "perf/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "hermite/direct_engine.hpp"
+#include "hermite/integrator.hpp"
+#include "nbody/models.hpp"
+#include "util/check.hpp"
+
+namespace g6 {
+
+const char* softening_name(SofteningLaw law) {
+  switch (law) {
+    case SofteningLaw::kConstant:
+      return "eps=1/64";
+    case SofteningLaw::kCubeRoot:
+      return "eps=1/[8(2N)^1/3]";
+    case SofteningLaw::kOverN:
+      return "eps=4/N";
+  }
+  return "?";
+}
+
+double softening_for(SofteningLaw law, std::size_t n) {
+  const auto nd = static_cast<double>(n);
+  switch (law) {
+    case SofteningLaw::kConstant:
+      return 1.0 / 64.0;
+    case SofteningLaw::kCubeRoot:
+      return 1.0 / (8.0 * std::cbrt(2.0 * nd));
+    case SofteningLaw::kOverN:
+      return 4.0 / nd;
+  }
+  return 0.0;
+}
+
+CalibrationPoint schedule_statistics(const BlockstepTrace& trace, double eps) {
+  CalibrationPoint point;
+  point.n = trace.n_particles;
+  point.eps = eps;
+  point.steps_per_particle_per_time = trace.steps_per_particle_per_time();
+  point.mean_block_fraction =
+      trace.mean_block_size() / static_cast<double>(trace.n_particles);
+  point.blocksteps_per_time =
+      trace.span() > 0.0 ? static_cast<double>(trace.records.size()) / trace.span()
+                         : 0.0;
+
+  RunningStat log_sizes;
+  for (const auto& rec : trace.records) {
+    log_sizes.add(std::log(static_cast<double>(rec.block_size)));
+  }
+  point.log_block_sigma = log_sizes.stddev();
+  return point;
+}
+
+CalibrationPoint measure_schedule(const ParticleSet& initial, double eps,
+                                  const CalibrationOptions& opt) {
+  DirectForceEngine engine(eps, opt.threads);
+  HermiteConfig cfg;
+  cfg.eta = opt.eta;
+  cfg.record_trace = true;
+  HermiteIntegrator integ(initial, engine, cfg);
+  integ.evolve(opt.t_span);
+  return schedule_statistics(integ.trace(), eps);
+}
+
+CalibrationPoint measure_plummer_schedule(std::size_t n, SofteningLaw law,
+                                          const CalibrationOptions& opt) {
+  Rng rng(opt.seed + static_cast<unsigned>(n));
+  const ParticleSet set = make_plummer(n, rng);
+  return measure_schedule(set, softening_for(law, n), opt);
+}
+
+std::vector<CalibrationPoint> measure_series(SofteningLaw law,
+                                             const CalibrationOptions& opt) {
+  std::vector<CalibrationPoint> points;
+  points.reserve(opt.sizes.size());
+  for (std::size_t n : opt.sizes) {
+    points.push_back(measure_plummer_schedule(n, law, opt));
+  }
+  return points;
+}
+
+TraceScaling TraceScaling::fit(const std::vector<CalibrationPoint>& points) {
+  G6_REQUIRE(points.size() >= 2);
+  std::vector<double> ns, rates, fracs;
+  double sigma = 0.0;
+  for (const auto& p : points) {
+    ns.push_back(static_cast<double>(p.n));
+    rates.push_back(p.steps_per_particle_per_time);
+    fracs.push_back(p.mean_block_fraction);
+    sigma += p.log_block_sigma;
+  }
+  TraceScaling s;
+  s.steps_rate = fit_power_law(ns, rates);
+  s.block_fraction = fit_power_law(ns, fracs);
+  s.log_block_sigma = sigma / static_cast<double>(points.size());
+  return s;
+}
+
+double TraceScaling::mean_block_size(std::size_t n) const {
+  const double f = block_fraction.evaluate(static_cast<double>(n));
+  return std::max(1.0, f * static_cast<double>(n));
+}
+
+BlockstepTrace TraceScaling::synthesize_steps(std::size_t n,
+                                              unsigned long long target_steps,
+                                              Rng& rng) const {
+  G6_REQUIRE(n >= 2);
+  G6_REQUIRE(target_steps >= 1);
+  BlockstepTrace trace;
+  trace.n_particles = n;
+  trace.t_begin = 0.0;
+
+  // Log-normal with the fitted dispersion, mean matched to f(N)*N:
+  // E[exp(mu + sigma Z)] = exp(mu + sigma^2/2).
+  const double mean_block = mean_block_size(n);
+  const double mu = std::log(mean_block) - 0.5 * log_block_sigma * log_block_sigma;
+
+  unsigned long long steps = 0;
+  while (steps < target_steps) {
+    const double draw = std::exp(mu + log_block_sigma * rng.gaussian());
+    const auto block = static_cast<std::uint32_t>(
+        std::clamp(draw, 1.0, static_cast<double>(n)));
+    steps += block;
+    trace.records.push_back({0.0, block});
+  }
+  // Assign times consistent with the fitted step rate (bookkeeping only;
+  // the machine model uses block sizes).
+  const double t_span = static_cast<double>(steps) /
+                        (steps_per_particle_per_time(n) * static_cast<double>(n));
+  trace.t_end = t_span;
+  const double dt = t_span / static_cast<double>(trace.records.size());
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    trace.records[i].time = (static_cast<double>(i) + 1.0) * dt;
+  }
+  return trace;
+}
+
+BlockstepTrace TraceScaling::synthesize(std::size_t n, double t_span,
+                                        Rng& rng) const {
+  G6_REQUIRE(n >= 2);
+  G6_REQUIRE(t_span > 0.0);
+  const double target =
+      steps_per_particle_per_time(n) * static_cast<double>(n) * t_span;
+  BlockstepTrace trace = synthesize_steps(
+      n, static_cast<unsigned long long>(std::max(1.0, target)), rng);
+  // Re-stamp the requested span.
+  trace.t_end = t_span;
+  const double dt = t_span / static_cast<double>(trace.records.size());
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    trace.records[i].time = (static_cast<double>(i) + 1.0) * dt;
+  }
+  return trace;
+}
+
+void TraceScaling::save(std::ostream& os) const {
+  os.precision(17);
+  os << "grape6sim-trace-scaling-v1\n";
+  os << steps_rate.coefficient << ' ' << steps_rate.exponent << ' '
+     << steps_rate.r2 << '\n';
+  os << block_fraction.coefficient << ' ' << block_fraction.exponent << ' '
+     << block_fraction.r2 << '\n';
+  os << log_block_sigma << '\n';
+}
+
+TraceScaling TraceScaling::load(std::istream& is) {
+  std::string header;
+  std::getline(is, header);
+  G6_REQUIRE_MSG(header == "grape6sim-trace-scaling-v1",
+                 "bad trace-scaling cache header");
+  TraceScaling s;
+  is >> s.steps_rate.coefficient >> s.steps_rate.exponent >> s.steps_rate.r2;
+  is >> s.block_fraction.coefficient >> s.block_fraction.exponent >>
+      s.block_fraction.r2;
+  is >> s.log_block_sigma;
+  G6_REQUIRE_MSG(static_cast<bool>(is), "truncated trace-scaling cache");
+  return s;
+}
+
+TraceScaling calibrated_scaling(SofteningLaw law, const CalibrationOptions& opt,
+                                const std::string& cache_path) {
+  if (!cache_path.empty()) {
+    std::ifstream in(cache_path);
+    if (in) return TraceScaling::load(in);
+  }
+  const TraceScaling s = TraceScaling::fit(measure_series(law, opt));
+  if (!cache_path.empty()) {
+    std::ofstream out(cache_path);
+    if (out) s.save(out);
+  }
+  return s;
+}
+
+}  // namespace g6

@@ -1,0 +1,102 @@
+#pragma once
+// Blockstep-schedule calibration and synthesis (DESIGN.md Sec 5).
+//
+// The paper's speed metric S = 57 N n_steps / T depends on the blockstep
+// schedule: how many individual steps per unit time the integrator takes
+// and how they group into blocks. For N up to a few thousand we measure
+// real schedules by running the actual Hermite integrator; the measured
+// statistics are fitted with power laws in N and extrapolated to the
+// paper's N (up to 2M), where a synthetic schedule with the same
+// statistics drives the machine model. The paper itself relies on the
+// same regularity ("the number of particles integrated in one blockstep
+// is roughly proportional to N").
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hermite/trace.hpp"
+#include "nbody/particle.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace g6 {
+
+/// The three softening choices benchmarked in Sec 4.
+enum class SofteningLaw {
+  kConstant,  ///< eps = 1/64
+  kCubeRoot,  ///< eps = 1/[8(2N)^(1/3)]
+  kOverN,     ///< eps = 4/N
+};
+
+const char* softening_name(SofteningLaw law);
+double softening_for(SofteningLaw law, std::size_t n);
+
+/// Schedule statistics measured at one (N, softening) point.
+struct CalibrationPoint {
+  std::size_t n = 0;
+  double eps = 0.0;
+  double steps_per_particle_per_time = 0.0;  ///< R(N)
+  double mean_block_fraction = 0.0;          ///< <n_b> / N
+  double log_block_sigma = 0.0;              ///< stddev of ln(n_b)
+  double blocksteps_per_time = 0.0;
+};
+
+/// Options for the measurement runs.
+struct CalibrationOptions {
+  double t_span = 0.25;   ///< integration span per point (time units)
+  double eta = 0.02;      ///< Hermite accuracy parameter
+  unsigned seed = 20031115;  ///< SC'03 conference date
+  unsigned threads = 1;
+  std::vector<std::size_t> sizes = {256, 512, 1024, 2048};
+};
+
+/// Extract schedule statistics from a recorded trace.
+CalibrationPoint schedule_statistics(const BlockstepTrace& trace, double eps);
+
+/// Integrate an arbitrary initial condition for real and extract schedule
+/// statistics (used for the application workloads of Sec 5).
+CalibrationPoint measure_schedule(const ParticleSet& initial, double eps,
+                                  const CalibrationOptions& opt);
+
+/// Integrate a Plummer model for real and extract schedule statistics.
+CalibrationPoint measure_plummer_schedule(std::size_t n, SofteningLaw law,
+                                          const CalibrationOptions& opt);
+
+/// Measure the whole size series for one softening law.
+std::vector<CalibrationPoint> measure_series(SofteningLaw law,
+                                             const CalibrationOptions& opt);
+
+/// Fitted scaling laws; synthesizes schedules at arbitrary N.
+struct TraceScaling {
+  PowerLawFit steps_rate;      ///< R(N) = steps / particle / time unit
+  PowerLawFit block_fraction;  ///< f(N) = <n_b> / N
+  double log_block_sigma = 0.5;
+
+  static TraceScaling fit(const std::vector<CalibrationPoint>& points);
+
+  double steps_per_particle_per_time(std::size_t n) const {
+    return steps_rate.evaluate(static_cast<double>(n));
+  }
+  double mean_block_size(std::size_t n) const;
+
+  /// Generate a schedule with the fitted statistics: log-normal block
+  /// sizes around f(N)*N until R(N)*N*t_span steps are scheduled.
+  BlockstepTrace synthesize(std::size_t n, double t_span, Rng& rng) const;
+
+  /// Generate a schedule with exactly ~target_steps individual steps —
+  /// used to replay the paper's published application step counts
+  /// (Sec 5) through the machine model.
+  BlockstepTrace synthesize_steps(std::size_t n, unsigned long long target_steps,
+                                  Rng& rng) const;
+
+  void save(std::ostream& os) const;
+  static TraceScaling load(std::istream& is);
+};
+
+/// Calibrate-and-fit with caching: loads `cache_path` if present, else
+/// measures, fits and saves. An empty path disables caching.
+TraceScaling calibrated_scaling(SofteningLaw law, const CalibrationOptions& opt,
+                                const std::string& cache_path);
+
+}  // namespace g6

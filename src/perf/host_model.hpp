@@ -1,0 +1,47 @@
+#pragma once
+// Host-computer cost model (the T_host term of Eq 10).
+//
+// The host work per particle-step is the corrector, the new-timestep
+// computation and scheduler bookkeeping. Fig 14 of the paper shows this is
+// roughly constant but with a cache effect: "For small N, the cache-hit
+// rate is higher and therefore the calculation on the host is faster."
+// We model t_host(N) = t_fast + (t_slow - t_fast) * N / (N + N_half),
+// which is the same kind of purely empirical saturation curve the paper
+// fits (dotted line in Fig 14).
+
+#include <string>
+
+namespace g6 {
+
+struct HostModel {
+  std::string name;
+  double t_fast_s = 0.0;    ///< per-step host time, cache-resident
+  double t_slow_s = 0.0;    ///< per-step host time, out-of-cache
+  double n_half = 1.0;      ///< particle count at half cache benefit
+  double block_overhead_s = 0.0;  ///< fixed cost per blockstep (scheduler scan, syscalls)
+
+  /// Host time for one particle step at system size N.
+  double step_time(double n_particles) const {
+    return t_fast_s +
+           (t_slow_s - t_fast_s) * n_particles / (n_particles + n_half);
+  }
+
+  /// Constant-T_host simplification (the dashed line in Fig 14).
+  double step_time_flat() const { return t_slow_s; }
+};
+
+namespace hosts {
+
+/// AMD Athlon XP 1800+ on ECS K7S6A — the original GRAPE-6 host (Sec 2.2).
+inline HostModel athlon_xp_1800() {
+  return {"AthlonXP1800+", 1.1e-6, 2.8e-6, 2.0e4, 18.0e-6};
+}
+
+/// Intel P4 2.53 GHz overclocked to 2.85 GHz on Iwill P4GB (Sec 4.4).
+inline HostModel pentium4_285() {
+  return {"P4-2.85GHz", 0.7e-6, 1.8e-6, 3.0e4, 12.0e-6};
+}
+
+}  // namespace hosts
+
+}  // namespace g6

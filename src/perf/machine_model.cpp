@@ -1,0 +1,141 @@
+#include "perf/machine_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/collectives.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace g6 {
+
+SystemConfig SystemConfig::single_host() {
+  SystemConfig cfg;
+  cfg.machine = MachineConfig::single_host();
+  cfg.machine.hosts_per_cluster = 1;
+  cfg.machine.clusters = 1;
+  return cfg;
+}
+
+SystemConfig SystemConfig::cluster(std::size_t hosts) {
+  G6_REQUIRE(hosts >= 1 && hosts <= 4);
+  SystemConfig cfg;
+  cfg.machine = MachineConfig::single_cluster();
+  cfg.machine.hosts_per_cluster = hosts;
+  cfg.machine.clusters = 1;
+  return cfg;
+}
+
+SystemConfig SystemConfig::multi_cluster(std::size_t clusters) {
+  G6_REQUIRE(clusters >= 1 && clusters <= 4);
+  SystemConfig cfg;
+  cfg.machine = MachineConfig::full_system();
+  cfg.machine.clusters = clusters;
+  return cfg;
+}
+
+SystemConfig SystemConfig::tuned(std::size_t clusters) {
+  SystemConfig cfg = multi_cluster(clusters);
+  cfg.nic = nics::intel82540();
+  cfg.host = hosts::pentium4_285();
+  return cfg;
+}
+
+MachineModel::MachineModel(SystemConfig cfg) : cfg_(std::move(cfg)) {
+  G6_REQUIRE(cfg_.machine.hosts_per_cluster >= 1);
+  G6_REQUIRE(cfg_.machine.clusters >= 1);
+}
+
+BlockstepCost MachineModel::blockstep_cost(std::size_t block_size,
+                                           std::size_t n_total) const {
+  G6_REQUIRE(block_size >= 1);
+  G6_REQUIRE(n_total >= 1);
+
+  const MachineConfig& mc = cfg_.machine;
+  const std::size_t hosts_per_cluster = mc.hosts_per_cluster;
+  const std::size_t clusters = mc.clusters;
+  const std::size_t total_hosts = hosts_per_cluster * clusters;
+
+  // Block share integrated by one host.
+  const std::size_t n_host =
+      (block_size + total_hosts - 1) / total_hosts;
+
+  BlockstepCost c;
+
+  // ---- T_host: corrector + timestep + scheduler per step, plus a fixed
+  // per-blockstep overhead (block assembly, DMA syscalls).
+  c.host_s = static_cast<double>(n_host) *
+                 cfg_.host.step_time(static_cast<double>(n_total)) +
+             cfg_.host.block_overhead_s;
+
+  // ---- T_GRAPE: each host's board row holds the full N spread over its
+  // chips; one pass serves i_parallelism() block members.
+  const std::size_t chips = mc.chips_per_host();
+  const std::size_t n_j_chip = (n_total + chips - 1) / chips;
+  const double pass_cycles =
+      static_cast<double>(mc.vmp_ways) * static_cast<double>(n_j_chip) +
+      static_cast<double>(mc.pipeline_latency_cycles) + 2.0 * 8.0 /*summation*/ +
+      32.0 /*network board*/;
+  const std::size_t passes =
+      (n_host + mc.i_parallelism() - 1) / mc.i_parallelism();
+  c.grape_s = static_cast<double>(passes) * pass_cycles / mc.clock_hz;
+
+  // ---- T_DMA: three transactions per blockstep — write back the corrected
+  // block, send the i-block share, read the results. Every cluster's
+  // hardware needs ALL n_b updates (each cluster holds a full copy), and
+  // within a cluster the H hosts split that write, so one host DMAs
+  // n_b / hosts_per_cluster update records.
+  const std::size_t j_write_count =
+      (block_size + hosts_per_cluster - 1) / hosts_per_cluster;
+  const double j_write_bytes =
+      static_cast<double>(j_write_count) *
+      static_cast<double>(cfg_.packets.j_particle_bytes);
+  const double dma_j = cfg_.dma.transfer_time(static_cast<std::size_t>(j_write_bytes));
+  // The column broadcast re-delivers every host's share to each board row:
+  // a board input link carries block_size/hosts_per_cluster updates.
+  const double link_bytes =
+      static_cast<double>(block_size) / static_cast<double>(hosts_per_cluster) *
+      static_cast<double>(cfg_.packets.j_particle_bytes);
+  const double link_s = link_bytes / cfg_.board_link_Bps;
+  c.dma_s = std::max(dma_j, link_s) +
+            cfg_.dma.transfer_time(n_host * cfg_.packets.i_particle_bytes) +
+            cfg_.dma.transfer_time(n_host * cfg_.packets.result_bytes);
+
+  // ---- T_net: synchronization and (for multiple clusters) the copy-
+  // algorithm particle exchange.
+  if (total_hosts > 1) {
+    const std::size_t sync_ops = clusters > 1 ? cfg_.sync_ops_multi_cluster
+                                              : cfg_.sync_ops_single_cluster;
+    c.net_s += static_cast<double>(sync_ops) *
+               butterfly_barrier_time(total_hosts, cfg_.nic);
+    // Timestep metadata for the shared scheduler (8 bytes per update).
+    c.net_s += butterfly_allgather_time(total_hosts, n_host * 8, cfg_.nic);
+  }
+  if (clusters > 1) {
+    // Each cluster ships its n_b/C updated particles to every other
+    // cluster; the four hosts of a cluster drive four parallel lanes.
+    const std::size_t lane_bytes = n_host * cfg_.update_record_bytes();
+    c.net_s += static_cast<double>(clusters - 1) * cfg_.nic.message_time(lane_bytes);
+  }
+
+  return c;
+}
+
+MachineModel::TraceResult MachineModel::run_trace(const BlockstepTrace& trace) const {
+  TraceResult r;
+  const auto n = static_cast<double>(trace.n_particles);
+  for (const auto& rec : trace.records) {
+    const BlockstepCost c = blockstep_cost(rec.block_size, trace.n_particles);
+    r.breakdown += c;
+    r.seconds += c.total();
+    r.steps += rec.block_size;
+    ++r.blocksteps;
+    // Flop accounting at the Gordon-Bell convention (Eq 9): 57 flops per
+    // pairwise interaction, N interactions per step.
+    r.flops += static_cast<double>(rec.block_size) * n *
+               units::kFlopsPerInteraction;
+  }
+  return r;
+}
+
+}  // namespace g6

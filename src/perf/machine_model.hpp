@@ -1,0 +1,120 @@
+#pragma once
+// Analytic performance model of the full GRAPE-6 installation:
+// T_blockstep = T_host + T_DMA + T_GRAPE + T_net  (Eq 10 generalized).
+//
+// Topology conventions (Sec 2, Sec 3.2): within a cluster of H hosts, the
+// H x H board grid gives every host row a complete copy of the system, so
+// each host integrates n_b/H block members per blockstep against all N
+// j-particles spread over its chips_per_host() chips. Across C clusters
+// the "copy" algorithm is used: each cluster integrates n_b/C and clusters
+// exchange the updated particles over Gigabit Ethernet.
+//
+// The same model object is used three ways:
+//  * per-blockstep, trace-driven   -> the "measured" curves of Figs 13-19
+//  * closed-form with mean block   -> the "theoretical estimate" curves
+//  * totals/breakdowns             -> bottleneck analysis (Sec 4.4)
+
+#include <cstddef>
+
+#include "grape/config.hpp"
+#include "hermite/trace.hpp"
+#include "net/nic.hpp"
+#include "perf/host_model.hpp"
+
+namespace g6 {
+
+struct SystemConfig {
+  MachineConfig machine;
+  HostModel host = hosts::athlon_xp_1800();
+  NicModel nic = nics::ns83820();
+  DmaModel dma;
+  PacketSizes packets;
+
+  /// LVDS board input link (Sec 3.3): bounds the rate at which j-updates
+  /// and i-particles reach the boards.
+  double board_link_Bps = 270.0e6;
+
+  /// Synchronization operations per blockstep. The multi-cluster code
+  /// needs several (Sec 4.4 reason (c)): intra-cluster sync, inter-cluster
+  /// exchange handshakes, post-exchange sync.
+  std::size_t sync_ops_single_cluster = 1;
+  std::size_t sync_ops_multi_cluster = 4;
+
+  /// Per-update record exchanged between clusters (predictor data).
+  std::size_t update_record_bytes() const { return packets.j_particle_bytes; }
+
+  std::size_t hosts() const { return machine.total_hosts(); }
+  std::size_t clusters() const { return machine.clusters; }
+
+  // --- presets matching the paper's configurations ----------------------
+  static SystemConfig single_host();                  ///< Fig 13/14
+  static SystemConfig cluster(std::size_t hosts);     ///< Fig 15/16 (1,2,4)
+  static SystemConfig multi_cluster(std::size_t clusters);  ///< Fig 17/18
+  /// Fig 19 tuned configuration: Intel 82540EM NIC + P4 hosts.
+  static SystemConfig tuned(std::size_t clusters);
+};
+
+/// Virtual-seconds breakdown of one blockstep (per host; hosts proceed in
+/// lockstep so this is also the wall time).
+struct BlockstepCost {
+  double host_s = 0.0;
+  double dma_s = 0.0;
+  double grape_s = 0.0;
+  double net_s = 0.0;
+  double total() const { return host_s + dma_s + grape_s + net_s; }
+
+  BlockstepCost& operator+=(const BlockstepCost& o) {
+    host_s += o.host_s;
+    dma_s += o.dma_s;
+    grape_s += o.grape_s;
+    net_s += o.net_s;
+    return *this;
+  }
+};
+
+class MachineModel {
+ public:
+  explicit MachineModel(SystemConfig cfg);
+
+  const SystemConfig& config() const { return cfg_; }
+  double peak_flops() const { return cfg_.machine.peak_flops(); }
+
+  /// Cost of one blockstep of `block_size` particles in an N-particle
+  /// system.
+  BlockstepCost blockstep_cost(std::size_t block_size, std::size_t n_total) const;
+
+  /// Wall time per individual particle step (the y-axis of Figs 14/16/18).
+  double time_per_particle_step(std::size_t block_size, std::size_t n_total) const {
+    return blockstep_cost(block_size, n_total).total() /
+           static_cast<double>(block_size);
+  }
+
+  /// Result of replaying a blockstep schedule through the model.
+  struct TraceResult {
+    double seconds = 0.0;
+    unsigned long long steps = 0;
+    unsigned long long blocksteps = 0;
+    double flops = 0.0;
+    BlockstepCost breakdown;
+
+    double tflops() const { return seconds > 0.0 ? flops / seconds / 1e12 : 0.0; }
+    double gflops() const { return tflops() * 1e3; }
+    double steps_per_second() const {
+      return seconds > 0.0 ? static_cast<double>(steps) / seconds : 0.0;
+    }
+    double time_per_step() const {
+      return steps > 0 ? seconds / static_cast<double>(steps) : 0.0;
+    }
+    /// Calculation speed by the paper's convention S = 57 N n_steps (Eq 9).
+    double paper_speed_flops(std::size_t n_total) const {
+      return steps_per_second() * 57.0 * static_cast<double>(n_total);
+    }
+  };
+
+  TraceResult run_trace(const BlockstepTrace& trace) const;
+
+ private:
+  SystemConfig cfg_;
+};
+
+}  // namespace g6

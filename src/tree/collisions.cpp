@@ -1,0 +1,88 @@
+#include "tree/collisions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tree/octree.hpp"
+#include "util/check.hpp"
+
+namespace g6 {
+
+std::vector<CollidingPair> find_colliding_pairs(std::span<const Body> bodies,
+                                                std::span<const double> radii) {
+  G6_REQUIRE(bodies.size() == radii.size());
+  std::vector<CollidingPair> pairs;
+  if (bodies.size() < 2) return pairs;
+
+  double r_max = 0.0;
+  for (double r : radii) {
+    G6_REQUIRE(r >= 0.0);
+    r_max = std::max(r_max, r);
+  }
+
+  Octree tree;
+  tree.build(bodies);
+  for (std::uint32_t i = 0; i < bodies.size(); ++i) {
+    // Search out to radius[i] + r_max and confirm with the exact sum.
+    for (std::uint32_t j : tree.within(bodies[i].pos, radii[i] + r_max, i)) {
+      if (j <= i) continue;  // report each pair once
+      const double d = norm(bodies[j].pos - bodies[i].pos);
+      if (d <= radii[i] + radii[j]) pairs.push_back({i, j, d});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const CollidingPair& x, const CollidingPair& y) {
+              return x.distance < y.distance;
+            });
+  return pairs;
+}
+
+std::vector<double> accretion_radii(std::span<const Body> bodies, double m_ref,
+                                    double r_ref) {
+  G6_REQUIRE(m_ref > 0.0 && r_ref > 0.0);
+  std::vector<double> radii;
+  radii.reserve(bodies.size());
+  for (const auto& b : bodies) {
+    radii.push_back(b.mass > 0.0 ? r_ref * std::cbrt(b.mass / m_ref) : 0.0);
+  }
+  return radii;
+}
+
+Body merge_bodies(const Body& a, const Body& b) {
+  Body out;
+  out.mass = a.mass + b.mass;
+  G6_REQUIRE_MSG(out.mass > 0.0, "merging two massless bodies");
+  out.pos = (a.mass * a.pos + b.mass * b.pos) / out.mass;
+  out.vel = (a.mass * a.vel + b.mass * b.vel) / out.mass;
+  return out;
+}
+
+std::size_t apply_collisions(ParticleSet& set, std::vector<double>& radii,
+                             double m_ref, double r_ref) {
+  G6_REQUIRE(set.size() == radii.size());
+  const auto pairs = find_colliding_pairs(set.bodies(), radii);
+  if (pairs.empty()) return 0;
+
+  std::vector<bool> used(set.size(), false);
+  std::vector<bool> dead(set.size(), false);
+  std::size_t merges = 0;
+  for (const auto& p : pairs) {
+    if (used[p.a] || used[p.b]) continue;
+    set[p.a] = merge_bodies(set[p.a], set[p.b]);
+    used[p.a] = used[p.b] = true;
+    dead[p.b] = true;
+    ++merges;
+  }
+
+  // Compact survivors.
+  ParticleSet compacted;
+  compacted.reserve(set.size() - merges);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (!dead[i]) compacted.add(set[i]);
+  }
+  set = std::move(compacted);
+  radii = accretion_radii(set.bodies(), m_ref, r_ref);
+  return merges;
+}
+
+}  // namespace g6

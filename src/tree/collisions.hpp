@@ -1,0 +1,44 @@
+#pragma once
+// Physical-collision survey for planetesimal simulations.
+//
+// The Kuiper-belt application (Sec 5, [12]) is an accretion problem: the
+// science output is who collides with whom. On the real GRAPE-6 the
+// nearest-neighbor hardware flags candidate pairs; in post-processing (or
+// on the host between blocksteps) an octree range query confirms overlaps
+// of the physical radii. Perfect-accretion merging conserves mass,
+// momentum, and center of mass.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nbody/particle.hpp"
+
+namespace g6 {
+
+struct CollidingPair {
+  std::uint32_t a = 0;  ///< smaller index
+  std::uint32_t b = 0;  ///< larger index
+  double distance = 0.0;
+};
+
+/// All pairs with |x_a - x_b| <= radius[a] + radius[b], each reported
+/// once (a < b). O(N log N) via an octree range query.
+std::vector<CollidingPair> find_colliding_pairs(std::span<const Body> bodies,
+                                                std::span<const double> radii);
+
+/// Physical radii for equal-density bodies: r_i = r_ref * (m_i/m_ref)^(1/3).
+std::vector<double> accretion_radii(std::span<const Body> bodies, double m_ref,
+                                    double r_ref);
+
+/// Perfect accretion: merged body conserving mass and momentum, placed at
+/// the center of mass.
+Body merge_bodies(const Body& a, const Body& b);
+
+/// Apply one round of merges to a particle set: each body participates in
+/// at most one merge per call (pairs are processed in increasing distance
+/// order). Returns the number of merges performed.
+std::size_t apply_collisions(ParticleSet& set, std::vector<double>& radii,
+                             double m_ref, double r_ref);
+
+}  // namespace g6

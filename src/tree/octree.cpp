@@ -1,0 +1,259 @@
+#include "tree/octree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace g6 {
+
+namespace {
+constexpr int kMaxDepth = 64;
+
+int octant_of(const Vec3& p, const Vec3& center) {
+  return (p.x >= center.x ? 1 : 0) | (p.y >= center.y ? 2 : 0) |
+         (p.z >= center.z ? 4 : 0);
+}
+
+Vec3 child_center(const Vec3& center, double quarter, int oct) {
+  return {center.x + ((oct & 1) ? quarter : -quarter),
+          center.y + ((oct & 2) ? quarter : -quarter),
+          center.z + ((oct & 4) ? quarter : -quarter)};
+}
+}  // namespace
+
+void Octree::build(std::span<const Body> bodies) {
+  G6_REQUIRE(!bodies.empty());
+  bodies_ = bodies;
+  nodes_.clear();
+  interactions_ = 0;
+  perm_.resize(bodies.size());
+  for (std::uint32_t i = 0; i < bodies.size(); ++i) perm_[i] = i;
+
+  // Bounding cube.
+  Vec3 lo = bodies[0].pos, hi = bodies[0].pos;
+  for (const auto& b : bodies) {
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], b.pos[d]);
+      hi[d] = std::max(hi[d], b.pos[d]);
+    }
+  }
+  const Vec3 center = 0.5 * (lo + hi);
+  double half = 0.0;
+  for (int d = 0; d < 3; ++d) half = std::max(half, 0.5 * (hi[d] - lo[d]));
+  half = std::max(half * 1.0000001, 1e-12);  // avoid zero-size root
+
+  nodes_.reserve(2 * bodies.size() / std::max<std::size_t>(1, params_.leaf_capacity) +
+                 64);
+  nodes_.emplace_back();
+  build_node(0, 0, static_cast<std::uint32_t>(bodies.size()), center, half, 0);
+  compute_moments(0);
+}
+
+void Octree::build_node(std::size_t node_index, std::uint32_t begin,
+                        std::uint32_t end, const Vec3& center, double half,
+                        int depth) {
+  Node& node = nodes_[node_index];
+  node.center = center;
+  node.half = half;
+  node.begin = begin;
+  node.end = end;
+  node.first_child = -1;
+
+  if (end - begin <= params_.leaf_capacity || depth >= kMaxDepth) return;
+
+  // Counting sort of the range into octants.
+  std::uint32_t counts[8] = {};
+  for (std::uint32_t k = begin; k < end; ++k) {
+    ++counts[octant_of(bodies_[perm_[k]].pos, center)];
+  }
+  std::uint32_t offsets[9];
+  offsets[0] = begin;
+  for (int o = 0; o < 8; ++o) offsets[o + 1] = offsets[o] + counts[o];
+
+  std::uint32_t cursor[8];
+  for (int o = 0; o < 8; ++o) cursor[o] = offsets[o];
+  std::vector<std::uint32_t> tmp(perm_.begin() + begin, perm_.begin() + end);
+  for (std::uint32_t idx : tmp) {
+    const int o = octant_of(bodies_[idx].pos, center);
+    perm_[cursor[o]++] = idx;
+  }
+
+  const auto first_child = static_cast<std::int32_t>(nodes_.size());
+  nodes_[node_index].first_child = first_child;
+  for (int o = 0; o < 8; ++o) nodes_.emplace_back();
+
+  const double quarter = 0.5 * half;
+  for (int o = 0; o < 8; ++o) {
+    // nodes_ may have reallocated; re-read nothing from `node`.
+    build_node(static_cast<std::size_t>(first_child + o), offsets[o],
+               offsets[o + 1], child_center(center, quarter, o), quarter,
+               depth + 1);
+  }
+}
+
+void Octree::compute_moments(std::size_t node_index) {
+  Node& node = nodes_[node_index];
+  node.mass = 0.0;
+  node.com = {};
+  for (double& q : node.quad) q = 0.0;
+
+  if (node.first_child >= 0) {
+    for (int o = 0; o < 8; ++o) {
+      compute_moments(static_cast<std::size_t>(node.first_child + o));
+    }
+    for (int o = 0; o < 8; ++o) {
+      const Node& c = nodes_[static_cast<std::size_t>(node.first_child + o)];
+      node.mass += c.mass;
+      node.com += c.mass * c.com;
+    }
+  } else {
+    for (std::uint32_t k = node.begin; k < node.end; ++k) {
+      const Body& b = bodies_[perm_[k]];
+      node.mass += b.mass;
+      node.com += b.mass * b.pos;
+    }
+  }
+  if (node.mass > 0.0) node.com /= node.mass;
+
+  if (!params_.quadrupole) return;
+  // Traceless quadrupole about the COM: Q_ab = sum m (3 x_a x_b - r^2 d_ab).
+  const auto add_quad = [&](const Vec3& pos, double mass) {
+    const Vec3 d = pos - node.com;
+    const double r2 = norm2(d);
+    node.quad[0] += mass * (3.0 * d.x * d.x - r2);
+    node.quad[1] += mass * 3.0 * d.x * d.y;
+    node.quad[2] += mass * 3.0 * d.x * d.z;
+    node.quad[3] += mass * (3.0 * d.y * d.y - r2);
+    node.quad[4] += mass * 3.0 * d.y * d.z;
+    node.quad[5] += mass * (3.0 * d.z * d.z - r2);
+  };
+  if (node.first_child >= 0) {
+    // Parallel-axis accumulation from children.
+    for (int o = 0; o < 8; ++o) {
+      const Node& c = nodes_[static_cast<std::size_t>(node.first_child + o)];
+      if (c.mass <= 0.0) continue;
+      const Vec3 d = c.com - node.com;
+      const double r2 = norm2(d);
+      node.quad[0] += c.quad[0] + c.mass * (3.0 * d.x * d.x - r2);
+      node.quad[1] += c.quad[1] + c.mass * 3.0 * d.x * d.y;
+      node.quad[2] += c.quad[2] + c.mass * 3.0 * d.x * d.z;
+      node.quad[3] += c.quad[3] + c.mass * (3.0 * d.y * d.y - r2);
+      node.quad[4] += c.quad[4] + c.mass * 3.0 * d.y * d.z;
+      node.quad[5] += c.quad[5] + c.mass * (3.0 * d.z * d.z - r2);
+    }
+  } else {
+    for (std::uint32_t k = node.begin; k < node.end; ++k) {
+      add_quad(bodies_[perm_[k]].pos, bodies_[perm_[k]].mass);
+    }
+  }
+}
+
+Force Octree::force_at(const Vec3& pos, double theta, double eps2,
+                       std::size_t skip_index) const {
+  G6_REQUIRE(!nodes_.empty());
+  G6_REQUIRE(theta > 0.0);
+  Force f;
+  unsigned long long local_interactions = 0;
+
+  // Explicit stack traversal.
+  std::int32_t stack[4 * kMaxDepth];
+  int top = 0;
+  stack[top++] = 0;
+
+  while (top > 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack[--top])];
+    if (node.mass <= 0.0) continue;
+
+    const Vec3 dr = node.com - pos;
+    const double dist2 = norm2(dr);
+    const double size = 2.0 * node.half;
+
+    if (node.first_child >= 0 && size * size >= theta * theta * dist2) {
+      for (int o = 0; o < 8; ++o) stack[top++] = node.first_child + o;
+      continue;
+    }
+
+    if (node.first_child < 0) {
+      // Leaf: direct sum over its bodies.
+      for (std::uint32_t k = node.begin; k < node.end; ++k) {
+        const std::uint32_t idx = perm_[k];
+        if (idx == skip_index) continue;
+        const Body& b = bodies_[idx];
+        const Vec3 d = b.pos - pos;
+        const double r2 = norm2(d) + eps2;
+        const double rinv = 1.0 / std::sqrt(r2);
+        const double mrinv3 = units::kGravity * b.mass * rinv * rinv * rinv;
+        f.acc += mrinv3 * d;
+        f.pot -= units::kGravity * b.mass * rinv;
+        ++local_interactions;
+      }
+      continue;
+    }
+
+    // Accepted internal node: monopole (+ quadrupole).
+    const double r2 = dist2 + eps2;
+    const double rinv = 1.0 / std::sqrt(r2);
+    const double rinv2 = rinv * rinv;
+    const double mrinv3 = units::kGravity * node.mass * rinv * rinv2;
+    f.acc += mrinv3 * dr;
+    f.pot -= units::kGravity * node.mass * rinv;
+    ++local_interactions;
+
+    if (params_.quadrupole) {
+      // phi_Q = -G/2 * (r.Q.r) / r^5 ; a_Q = -grad phi_Q.
+      const double rinv5 = rinv2 * rinv2 * rinv;
+      const double rinv7 = rinv5 * rinv2;
+      const Vec3 qr{node.quad[0] * dr.x + node.quad[1] * dr.y + node.quad[2] * dr.z,
+                    node.quad[1] * dr.x + node.quad[3] * dr.y + node.quad[4] * dr.z,
+                    node.quad[2] * dr.x + node.quad[4] * dr.y + node.quad[5] * dr.z};
+      const double rqr = dot(dr, qr);
+      f.pot -= 0.5 * units::kGravity * rqr * rinv5;
+      // With s = pos - com = -dr: a_Q = G[(Q.s)/s^5 - 5/2 (s.Q.s) s/s^7],
+      // rewritten in dr.
+      f.acc += units::kGravity * (2.5 * rqr * rinv7 * dr - qr * rinv5);
+    }
+  }
+  interactions_.fetch_add(local_interactions, std::memory_order_relaxed);
+  return f;
+}
+
+std::vector<std::uint32_t> Octree::within(const Vec3& pos, double radius,
+                                          std::size_t skip_index) const {
+  G6_REQUIRE(!nodes_.empty());
+  G6_REQUIRE(radius >= 0.0);
+  std::vector<std::uint32_t> out;
+  const double r2 = radius * radius;
+
+  std::int32_t stack[4 * kMaxDepth];
+  int top = 0;
+  stack[top++] = 0;
+  while (top > 0) {
+    const Node& node = nodes_[static_cast<std::size_t>(stack[--top])];
+    if (node.end == node.begin) continue;
+    // Prune cells whose cube cannot intersect the search sphere.
+    double d2 = 0.0;
+    for (int d = 0; d < 3; ++d) {
+      const double gap = std::fabs(pos[d] - node.center[d]) - node.half;
+      if (gap > 0.0) d2 += gap * gap;
+    }
+    if (d2 > r2) continue;
+
+    if (node.first_child >= 0) {
+      for (int o = 0; o < 8; ++o) stack[top++] = node.first_child + o;
+      continue;
+    }
+    for (std::uint32_t k = node.begin; k < node.end; ++k) {
+      const std::uint32_t idx = perm_[k];
+      if (idx == skip_index) continue;
+      if (norm2(bodies_[idx].pos - pos) <= r2) out.push_back(idx);
+    }
+  }
+  return out;
+}
+
+double Octree::root_mass() const { return nodes_.empty() ? 0.0 : nodes_[0].mass; }
+Vec3 Octree::root_com() const { return nodes_.empty() ? Vec3{} : nodes_[0].com; }
+
+}  // namespace g6

@@ -1,0 +1,81 @@
+#pragma once
+// Barnes-Hut octree (Barnes & Hut 1986) — the comparison baseline of
+// Sec 5. Monopole approximation with optional quadrupole correction,
+// geometric opening criterion s/d < theta.
+//
+// The tree stores a permutation of body indices; nodes reference
+// contiguous ranges, so construction is allocation-light and traversal is
+// cache-friendly.
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hermite/types.hpp"
+#include "nbody/particle.hpp"
+
+namespace g6 {
+
+class Octree {
+ public:
+  struct Params {
+    std::size_t leaf_capacity = 8;
+    bool quadrupole = true;
+  };
+
+  Octree() : Octree(Params{}) {}
+  explicit Octree(Params params) : params_(params) {}
+
+  /// (Re)build over the given bodies. The span must stay valid until the
+  /// next build (traversals read positions/masses through it).
+  void build(std::span<const Body> bodies);
+
+  /// Acceleration and potential on `pos` with opening angle `theta`;
+  /// `skip_index` excludes one body (self), pass SIZE_MAX to keep all.
+  /// Thread-safe: concurrent traversals only read the tree.
+  Force force_at(const Vec3& pos, double theta, double eps2,
+                 std::size_t skip_index = static_cast<std::size_t>(-1)) const;
+
+  /// All bodies within `radius` of `pos` (excluding `skip_index`) — range
+  /// query used by the collision survey.
+  std::vector<std::uint32_t> within(const Vec3& pos, double radius,
+                                    std::size_t skip_index =
+                                        static_cast<std::size_t>(-1)) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t body_count() const { return bodies_.size(); }
+  /// Interactions (node or body) evaluated since construction.
+  unsigned long long interactions() const {
+    return interactions_.load(std::memory_order_relaxed);
+  }
+
+  /// Total mass and center of mass of the root (tests).
+  double root_mass() const;
+  Vec3 root_com() const;
+
+ private:
+  struct Node {
+    Vec3 center;       ///< geometric cell center
+    double half = 0.0; ///< half edge length
+    Vec3 com;
+    double mass = 0.0;
+    // Traced quadrupole moments (symmetric, xx xy xz yy yz zz).
+    double quad[6] = {0, 0, 0, 0, 0, 0};
+    std::int32_t first_child = -1;  ///< index of 8 contiguous children, or -1
+    std::uint32_t begin = 0;        ///< body range [begin, end) in perm_
+    std::uint32_t end = 0;
+  };
+
+  void build_node(std::size_t node_index, std::uint32_t begin, std::uint32_t end,
+                  const Vec3& center, double half, int depth);
+  void compute_moments(std::size_t node_index);
+
+  Params params_;
+  std::span<const Body> bodies_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> perm_;
+  mutable std::atomic<unsigned long long> interactions_{0};
+};
+
+}  // namespace g6

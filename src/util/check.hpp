@@ -1,0 +1,43 @@
+#pragma once
+// Lightweight precondition / invariant checking.
+//
+// G6_REQUIRE is always on (API preconditions); G6_ASSERT compiles out in
+// NDEBUG builds (internal invariants on hot paths).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace g6 {
+
+/// Thrown when a G6_REQUIRE precondition fails.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+}  // namespace g6
+
+#define G6_REQUIRE(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::g6::fail_require(#expr, __FILE__, __LINE__, {});   \
+  } while (0)
+
+#define G6_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) ::g6::fail_require(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+#ifdef NDEBUG
+#define G6_ASSERT(expr) ((void)0)
+#else
+#define G6_ASSERT(expr) G6_REQUIRE(expr)
+#endif

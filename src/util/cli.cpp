@@ -1,0 +1,78 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace g6 {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      want_help_ = true;
+      continue;
+    }
+    if (a.rfind("--", 0) != 0) {
+      throw std::runtime_error("unexpected positional argument: " + a);
+    }
+    a = a.substr(2);
+    const auto eq = a.find('=');
+    if (eq == std::string::npos) {
+      args_[a] = "true";  // bare flag
+    } else {
+      args_[a.substr(0, eq)] = a.substr(eq + 1);
+    }
+  }
+}
+
+std::string Cli::lookup(const std::string& key, const std::string& def,
+                        const std::string& help) {
+  decls_.push_back({key, def, help});
+  auto it = args_.find(key);
+  if (it == args_.end()) return def;
+  used_[key] = true;
+  return it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def,
+                          const std::string& help) {
+  const std::string v = lookup(key, std::to_string(def), help);
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double def, const std::string& help) {
+  const std::string v = lookup(key, std::to_string(def), help);
+  return std::strtod(v.c_str(), nullptr);
+}
+
+std::string Cli::get_string(const std::string& key, const std::string& def,
+                            const std::string& help) {
+  return lookup(key, def, help);
+}
+
+bool Cli::get_bool(const std::string& key, bool def, const std::string& help) {
+  const std::string v = lookup(key, def ? "true" : "false", help);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+bool Cli::finish() {
+  if (want_help_) {
+    std::printf("usage: %s [--key=value ...]\n", program_.c_str());
+    for (const auto& d : decls_) {
+      std::printf("  --%-24s (default: %s) %s\n", d.key.c_str(), d.def.c_str(),
+                  d.help.c_str());
+    }
+    return true;
+  }
+  for (const auto& [key, value] : args_) {
+    (void)value;
+    if (!used_.count(key)) {
+      throw std::runtime_error("unknown flag: --" + key);
+    }
+  }
+  return false;
+}
+
+}  // namespace g6

@@ -1,0 +1,47 @@
+#pragma once
+// Minimal --key=value command-line parser for bench/example binaries.
+// No external dependencies; unknown flags are an error so typos surface.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace g6 {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Declare an option with a default; returns its value. Declarations
+  /// double as the help text source.
+  std::int64_t get_int(const std::string& key, std::int64_t def,
+                       const std::string& help = "");
+  double get_double(const std::string& key, double def, const std::string& help = "");
+  std::string get_string(const std::string& key, const std::string& def,
+                         const std::string& help = "");
+  bool get_bool(const std::string& key, bool def, const std::string& help = "");
+
+  /// Call after all declarations: errors out on unknown flags and handles
+  /// --help. Returns true if the program should exit (help printed).
+  bool finish();
+
+  const std::string& program() const { return program_; }
+
+ private:
+  struct Decl {
+    std::string key;
+    std::string def;
+    std::string help;
+  };
+  std::string lookup(const std::string& key, const std::string& def,
+                     const std::string& help);
+
+  std::string program_;
+  std::map<std::string, std::string> args_;
+  std::map<std::string, bool> used_;
+  std::vector<Decl> decls_;
+  bool want_help_ = false;
+};
+
+}  // namespace g6

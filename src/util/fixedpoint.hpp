@@ -1,0 +1,148 @@
+#pragma once
+// Fixed-point and block floating-point arithmetic for the GRAPE-6
+// emulator.
+//
+// Two hardware mechanisms live here:
+//
+//  * FixedPointCodec — the 64-bit fixed-point coordinate format. Particle
+//    positions are sent to the hardware as 64-bit integers scaled so that a
+//    software-chosen coordinate range maps onto the full word. Position
+//    differences x_j - x_i are then exact in hardware.
+//
+//  * BlockFloatAccumulator — the block floating-point partial-force format
+//    (paper Sec 3.4). The exponent of the result is fixed *before* the
+//    calculation; every addend is shifted onto that grid (one rounding) and
+//    then accumulated in exact 64-bit integer arithmetic. Summation is
+//    therefore associative and commutative: the result is bit-identical
+//    regardless of how many chips/boards the sum is split across. If the
+//    chosen exponent is too small the accumulator raises an overflow flag
+//    and the engine retries with a larger exponent — the "repeat the force
+//    calculation a few times until we have a good guess" behaviour the
+//    paper describes.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace g6 {
+
+/// Encode/decode doubles to the 64-bit fixed-point coordinate word.
+///
+/// Coordinates in (-range, +range) map to the full signed 64-bit span with
+/// two guard bits of headroom so that differences of in-range values never
+/// wrap.
+class FixedPointCodec {
+ public:
+  explicit FixedPointCodec(double range) : range_(range) {
+    G6_REQUIRE_MSG(range > 0.0, "coordinate range must be positive");
+    scale_ = std::ldexp(1.0, 61) / range;  // 2 guard bits
+    inv_scale_ = 1.0 / scale_;
+  }
+
+  double range() const { return range_; }
+
+  /// Spacing of the representable grid.
+  double resolution() const { return inv_scale_; }
+
+  std::int64_t encode(double x) const {
+    const double s = x * scale_;
+    G6_REQUIRE_MSG(std::fabs(s) < std::ldexp(1.0, 62),
+                   "coordinate outside fixed-point range");
+    return static_cast<std::int64_t>(std::llrint(s));
+  }
+
+  double decode(std::int64_t q) const { return static_cast<double>(q) * inv_scale_; }
+
+  /// Round-trip a double through the hardware grid.
+  double quantize(double x) const { return decode(encode(x)); }
+
+ private:
+  double range_;
+  double scale_;
+  double inv_scale_;
+};
+
+/// Block floating-point accumulator: value = mant * 2^(block_exp - kFracBits).
+///
+/// `block_exp` is the binary exponent of the full-scale value: the
+/// accumulator can hold magnitudes up to ~2^(block_exp + kHeadroomBits)
+/// before overflowing, with kFracBits fraction bits of resolution below
+/// 2^block_exp.
+class BlockFloatAccumulator {
+ public:
+  /// Fraction bits kept below the full-scale exponent.
+  static constexpr int kFracBits = 56;
+  /// Headroom above full scale before the 64-bit word overflows.
+  static constexpr int kHeadroomBits = 62 - kFracBits;
+
+  BlockFloatAccumulator() = default;
+  explicit BlockFloatAccumulator(int block_exp) { reset(block_exp); }
+
+  /// Clear the sum and (re)fix the block exponent.
+  void reset(int block_exp) {
+    block_exp_ = block_exp;
+    mant_ = 0;
+    overflow_ = false;
+  }
+
+  int block_exp() const { return block_exp_; }
+  bool overflow() const { return overflow_; }
+  std::int64_t mantissa() const { return mant_; }
+
+  /// Add a value, rounding it once onto the block grid. Sets the overflow
+  /// flag if either the addend or the running sum exceeds the headroom.
+  void add(double x) {
+    if (x == 0.0) return;
+    const double scaled = std::ldexp(x, kFracBits - block_exp_);
+    if (!(std::fabs(scaled) < std::ldexp(1.0, 62))) {
+      overflow_ = true;
+      return;
+    }
+    const std::int64_t q = static_cast<std::int64_t>(std::llrint(scaled));
+    std::int64_t sum = 0;
+    if (__builtin_add_overflow(mant_, q, &sum)) {
+      overflow_ = true;
+      return;
+    }
+    mant_ = sum;
+  }
+
+  /// Merge another accumulator with the same block exponent (the
+  /// board-level FPGA reduction tree). Exact integer addition.
+  void merge(const BlockFloatAccumulator& other) {
+    G6_REQUIRE_MSG(other.block_exp_ == block_exp_,
+                   "merging accumulators with different block exponents");
+    overflow_ = overflow_ || other.overflow_;
+    std::int64_t sum = 0;
+    if (__builtin_add_overflow(mant_, other.mant_, &sum)) {
+      overflow_ = true;
+      return;
+    }
+    mant_ = sum;
+  }
+
+  /// Decoded value.
+  double value() const {
+    return std::ldexp(static_cast<double>(mant_), block_exp_ - kFracBits);
+  }
+
+ private:
+  std::int64_t mant_ = 0;
+  int block_exp_ = 0;
+  bool overflow_ = false;
+};
+
+/// Choose a block exponent such that `magnitude_estimate` sits comfortably
+/// inside the accumulator headroom. `margin_bits` extra bits absorb
+/// step-to-step growth of the force (the engine reuses the previous step's
+/// exponent, so a small margin keeps retries rare).
+inline int choose_block_exponent(double magnitude_estimate, int margin_bits = 2) {
+  if (magnitude_estimate <= 0.0 || !std::isfinite(magnitude_estimate)) return 0;
+  int e = 0;
+  (void)std::frexp(magnitude_estimate, &e);
+  return e + margin_bits;
+}
+
+}  // namespace g6

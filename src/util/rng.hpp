@@ -1,0 +1,98 @@
+#pragma once
+// Deterministic pseudo-random number generation (xoshiro256++).
+//
+// We avoid std::mt19937 so that streams are cheap to fork per simulated
+// host and bit-identical across standard library implementations —
+// reproducibility of initial conditions matters for the paper's
+// "same result on machines of different sizes" validation story.
+
+#include <cstdint>
+
+#include "util/vec3.hpp"
+
+namespace g6 {
+
+/// xoshiro256++ generator seeded through splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-seed the full state from a single 64-bit value.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+    have_gauss_ = false;
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal deviate (Marsaglia polar method).
+  double gaussian() {
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = v * f;
+    have_gauss_ = true;
+    return u * f;
+  }
+
+  /// Point uniformly distributed on the unit sphere surface.
+  Vec3 unit_vector() {
+    // Marsaglia (1972): rejection in the unit disc.
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0);
+    const double f = 2.0 * std::sqrt(1.0 - s);
+    return {u * f, v * f, 1.0 - 2.0 * s};
+  }
+
+  /// Independent child stream (for per-host forking).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool have_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+}  // namespace g6

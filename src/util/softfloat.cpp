@@ -1,0 +1,13 @@
+#include "util/softfloat.hpp"
+
+#include <sstream>
+
+namespace g6 {
+
+std::string FloatFormat::describe() const {
+  std::ostringstream os;
+  os << "float<1," << frac_bits_ << ",e[" << exp_min_ << ',' << exp_max_ << "]>";
+  return os.str();
+}
+
+}  // namespace g6

@@ -1,0 +1,116 @@
+#pragma once
+// Reduced-precision floating-point arithmetic emulation.
+//
+// The GRAPE-6 pipeline computes in hardware number formats much narrower
+// than IEEE double. We model a hardware format as (sign, exponent range,
+// fraction bits) and emulate each arithmetic unit as "compute in double,
+// then round correctly to the target format" — i.e. every op is correctly
+// rounded in the emulated format, which matches a well-designed hardware
+// unit to within its own rounding spec.
+//
+// Values are carried around as plain doubles that happen to be exactly
+// representable in the narrow format; FloatFormat::quantize() is the only
+// place rounding happens.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace g6 {
+
+/// A hardware floating-point format: 1 sign bit, `frac_bits` explicit
+/// fraction bits (plus the implicit leading one), and a biased exponent
+/// covering binary exponents [exp_min, exp_max] for the frexp convention
+/// (value = m * 2^e with m in [0.5, 1)).
+class FloatFormat {
+ public:
+  constexpr FloatFormat(int frac_bits, int exp_min, int exp_max)
+      : frac_bits_(frac_bits), exp_min_(exp_min), exp_max_(exp_max) {}
+
+  int frac_bits() const { return frac_bits_; }
+  int exp_min() const { return exp_min_; }
+  int exp_max() const { return exp_max_; }
+
+  /// Largest finite magnitude of the format.
+  double max_value() const {
+    const double m = 1.0 - std::ldexp(1.0, -(frac_bits_ + 1));
+    return std::ldexp(m, exp_max_);
+  }
+
+  /// Smallest positive normal magnitude (we flush subnormals to zero, as
+  /// the hardware does).
+  double min_normal() const { return std::ldexp(0.5, exp_min_); }
+
+  /// Round-to-nearest-even into this format. Underflow flushes to zero,
+  /// overflow saturates to +-max_value() (the hardware clamps rather than
+  /// producing infinities).
+  double quantize(double x) const {
+    if (x == 0.0 || std::isnan(x)) return x;
+    if (std::isinf(x)) return std::copysign(max_value(), x);
+    int e = 0;
+    double m = std::frexp(x, &e);  // |m| in [0.5, 1)
+    const double scale = std::ldexp(1.0, frac_bits_ + 1);
+    double r = std::nearbyint(m * scale) / scale;
+    if (std::fabs(r) >= 1.0) {  // rounding carried into the next binade
+      r *= 0.5;
+      ++e;
+    }
+    if (e < exp_min_) return std::copysign(0.0, x);
+    if (e > exp_max_) return std::copysign(max_value(), x);
+    return std::ldexp(r, e);
+  }
+
+  /// True when x is exactly representable (used in tests/assertions).
+  bool representable(double x) const { return quantize(x) == x; }
+
+  // --- correctly-rounded emulated arithmetic units -----------------------
+  double add(double a, double b) const { return quantize(a + b); }
+  double sub(double a, double b) const { return quantize(a - b); }
+  double mul(double a, double b) const { return quantize(a * b); }
+  double div(double a, double b) const { return quantize(a / b); }
+  double sqrt(double a) const { return quantize(std::sqrt(a)); }
+
+  /// Reciprocal square root. GRAPE pipelines implement this as a table
+  /// lookup plus Newton iteration with final accuracy ~1 ulp of the short
+  /// format; correctly-rounded is the idealization of that unit.
+  double rsqrt(double a) const {
+    G6_REQUIRE_MSG(a >= 0.0, "rsqrt of negative operand");
+    if (a == 0.0) return max_value();  // hardware clamps 1/sqrt(0)
+    return quantize(1.0 / std::sqrt(a));
+  }
+
+  std::string describe() const;
+
+  friend bool operator==(const FloatFormat& a, const FloatFormat& b) {
+    return a.frac_bits_ == b.frac_bits_ && a.exp_min_ == b.exp_min_ &&
+           a.exp_max_ == b.exp_max_;
+  }
+
+ private:
+  int frac_bits_;
+  int exp_min_;
+  int exp_max_;
+};
+
+namespace formats {
+
+/// Main pipeline arithmetic word (single-precision-like, as in the
+/// GRAPE-6 force pipeline datapath).
+constexpr FloatFormat pipeline() { return {24, -126, 127}; }
+
+/// Velocity / jerk input word (32-bit float).
+constexpr FloatFormat velocity() { return {24, -126, 127}; }
+
+/// On-chip predictor pipeline word — slightly narrower than the force
+/// datapath; the predictor only needs enough precision for Dt <= dt_j.
+constexpr FloatFormat predictor() { return {20, -126, 127}; }
+
+/// IEEE double (identity quantization for practical purposes); used to run
+/// the same pipeline code at full precision for A/B accuracy studies.
+constexpr FloatFormat ieee_double() { return {52, -1022, 1023}; }
+
+}  // namespace formats
+
+}  // namespace g6

@@ -1,0 +1,73 @@
+#pragma once
+// Small statistics toolkit used by the performance-model calibration:
+// running moments, percentiles, and least-squares fits (linear and
+// power-law via log-log).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace g6 {
+
+/// Streaming mean / variance / min / max (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// p-th percentile (0..100) by linear interpolation; copies and sorts.
+double percentile(std::span<const double> xs, double p);
+
+/// Result of an ordinary least-squares line fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0.0;  ///< a
+  double slope = 0.0;      ///< b
+  double r2 = 0.0;         ///< coefficient of determination
+};
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Power law y = c * x^p fitted in log-log space. Requires positive data.
+struct PowerLawFit {
+  double coefficient = 0.0;  ///< c
+  double exponent = 0.0;     ///< p
+  double r2 = 0.0;
+  double evaluate(double x) const;
+};
+
+PowerLawFit fit_power_law(std::span<const double> xs, std::span<const double> ys);
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_center(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace g6

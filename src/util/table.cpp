@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace g6 {
+
+TablePrinter::TablePrinter(std::ostream& os, std::vector<std::string> columns)
+    : os_(os), columns_(std::move(columns)) {
+  widths_.reserve(columns_.size());
+  for (const auto& c : columns_) widths_.push_back(std::max<std::size_t>(c.size(), 10));
+}
+
+void TablePrinter::mirror_csv(const std::string& path) {
+  csv_.open(path);
+  csv_open_ = csv_.is_open();
+  if (csv_open_) {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i) csv_ << ',';
+      csv_ << columns_[i];
+    }
+    csv_ << '\n';
+  }
+}
+
+void TablePrinter::print_header() {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os_ << (i ? "  " : "");
+    os_.width(static_cast<std::streamsize>(widths_[i]));
+    os_ << columns_[i];
+  }
+  os_ << '\n';
+  std::size_t total = 0;
+  for (auto w : widths_) total += w + 2;
+  os_ << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+}
+
+void TablePrinter::print_row(const std::vector<std::string>& cells) {
+  G6_REQUIRE(cells.size() == columns_.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    os_ << (i ? "  " : "");
+    os_.width(static_cast<std::streamsize>(widths_[i]));
+    os_ << cells[i];
+  }
+  os_ << '\n';
+  if (csv_open_) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) csv_ << ',';
+      csv_ << cells[i];
+    }
+    csv_ << '\n';
+    csv_.flush();
+  }
+}
+
+std::string TablePrinter::num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string TablePrinter::num(long long v) { return std::to_string(v); }
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace g6

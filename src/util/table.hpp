@@ -1,0 +1,43 @@
+#pragma once
+// Column-aligned table output for the benchmark harness. Every figure
+// reproduction prints the same rows/series the paper plots; TablePrinter
+// keeps that output readable and greppable, and can mirror rows to a CSV
+// file for plotting.
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace g6 {
+
+class TablePrinter {
+ public:
+  /// `columns` are header names; widths adapt to headers (min 10 chars).
+  TablePrinter(std::ostream& os, std::vector<std::string> columns);
+
+  /// Also append rows to a CSV file (best effort; failures are ignored so
+  /// benches keep running on read-only filesystems).
+  void mirror_csv(const std::string& path);
+
+  void print_header();
+
+  /// Print one row; `cells` must match the column count.
+  void print_row(const std::vector<std::string>& cells);
+
+  /// Convenience: format doubles with %.6g, integers as-is.
+  static std::string num(double v);
+  static std::string num(long long v);
+
+ private:
+  std::ostream& os_;
+  std::vector<std::string> columns_;
+  std::vector<std::size_t> widths_;
+  std::ofstream csv_;
+  bool csv_open_ = false;
+};
+
+/// Print a section banner ("=== Figure 13 ... ===") used by every bench.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace g6

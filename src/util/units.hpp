@@ -1,0 +1,28 @@
+#pragma once
+// Unit conventions and accounting constants.
+//
+// Dynamics uses the standard ("Heggie") N-body units [Heggie & Mathieu
+// 1986]: G = 1, total mass M = 1, total energy E = -1/4, so the virial
+// radius is 1 and the crossing time is 2*sqrt(2).
+//
+// Performance accounting follows the paper's Gordon-Bell convention:
+// 38 floating-point operations per pairwise force and 19 more for its time
+// derivative, i.e. 57 flops per pipeline interaction (Sec 4, Eq 9).
+
+namespace g6::units {
+
+inline constexpr double kGravity = 1.0;       ///< G in Heggie units.
+inline constexpr double kTotalMass = 1.0;     ///< M in Heggie units.
+inline constexpr double kTotalEnergy = -0.25; ///< E in Heggie units.
+
+/// Crossing time 2*sqrt(2) in Heggie units.
+inline constexpr double kCrossingTime = 2.82842712474619;
+
+/// Flop accounting: force-only interaction (Warren et al. convention).
+inline constexpr double kFlopsPerForce = 38.0;
+/// Additional flops for the jerk (time derivative of the force).
+inline constexpr double kFlopsPerJerk = 19.0;
+/// Flops per GRAPE-6 pipeline interaction (force + jerk), Eq (9).
+inline constexpr double kFlopsPerInteraction = kFlopsPerForce + kFlopsPerJerk;
+
+}  // namespace g6::units

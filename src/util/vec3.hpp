@@ -1,0 +1,59 @@
+#pragma once
+// Small fixed-size 3-vector used throughout the library.
+//
+// All host-side physics is done in double precision; the GRAPE emulator
+// quantizes components through util/softfloat.hpp where hardware formats
+// apply.
+
+#include <cmath>
+#include <iosfwd>
+
+namespace g6 {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xx, double yy, double zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr Vec3& operator/=(double s) { return *this *= (1.0 / s); }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+/// Dot product.
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/// Cross product.
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+/// Squared Euclidean norm.
+constexpr double norm2(const Vec3& a) { return dot(a, a); }
+
+/// Euclidean norm.
+inline double norm(const Vec3& a) { return std::sqrt(norm2(a)); }
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+}  // namespace g6

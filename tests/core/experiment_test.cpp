@@ -1,0 +1,97 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace g6 {
+namespace {
+
+TraceScaling fake_scaling() {
+  TraceScaling s;
+  s.steps_rate = {50.0, 0.1, 1.0};       // R(N) = 50 N^0.1
+  s.block_fraction = {0.3, -0.2, 1.0};   // f(N) = 0.3 N^-0.2
+  s.log_block_sigma = 0.8;
+  return s;
+}
+
+TEST(LogGrid, CoversRangeAndIsMonotonic) {
+  const auto grid = log_grid(100, 100000, 4);
+  EXPECT_GE(grid.front(), 100u);
+  EXPECT_EQ(grid.back(), 100000u);
+  for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_GT(grid[i], grid[i - 1]);
+  // ~4 points per decade over 3 decades.
+  EXPECT_NEAR(static_cast<double>(grid.size()), 13.0, 3.0);
+}
+
+TEST(LogGrid, RejectsBadArguments) {
+  EXPECT_THROW(log_grid(0, 100), PreconditionError);
+  EXPECT_THROW(log_grid(100, 10), PreconditionError);
+}
+
+TEST(MeasureSpeed, SyntheticPointIsConsistent) {
+  const TraceScaling scaling = fake_scaling();
+  const SpeedPoint pt = measure_speed_synthetic(
+      10000, SofteningLaw::kConstant, SystemConfig::single_host(), scaling, 0.5);
+  EXPECT_EQ(pt.n, 10000u);
+  EXPECT_DOUBLE_EQ(pt.eps, 1.0 / 64.0);
+  EXPECT_GT(pt.speed_flops, 0.0);
+  EXPECT_GT(pt.steps_per_second, 0.0);
+  EXPECT_GT(pt.time_per_step_s, 0.0);
+  // Paper-convention speed = 57 N steps/s.
+  EXPECT_NEAR(pt.speed_flops, 57.0 * 10000.0 * pt.steps_per_second, 1.0);
+  // Internal consistency of the detail record.
+  EXPECT_NEAR(pt.detail.seconds,
+              pt.time_per_step_s * static_cast<double>(pt.detail.steps),
+              1e-9 * pt.detail.seconds);
+}
+
+TEST(MeasureSpeed, SpeedBelowConfigurationPeak) {
+  const TraceScaling scaling = fake_scaling();
+  const SystemConfig sys = SystemConfig::single_host();
+  const SpeedPoint pt =
+      measure_speed_synthetic(1 << 20, SofteningLaw::kConstant, sys, scaling);
+  EXPECT_LT(pt.speed_flops, MachineModel(sys).peak_flops());
+}
+
+TEST(MeasureSpeed, DeterministicForSeed) {
+  const TraceScaling scaling = fake_scaling();
+  const SpeedPoint a = measure_speed_synthetic(
+      5000, SofteningLaw::kOverN, SystemConfig::cluster(2), scaling, 1.0, 7);
+  const SpeedPoint b = measure_speed_synthetic(
+      5000, SofteningLaw::kOverN, SystemConfig::cluster(2), scaling, 1.0, 7);
+  EXPECT_EQ(a.speed_flops, b.speed_flops);
+  EXPECT_EQ(a.detail.steps, b.detail.steps);
+}
+
+TEST(MeasureSpeed, FromTraceMatchesModelDirectly) {
+  BlockstepTrace trace;
+  trace.n_particles = 500;
+  trace.t_begin = 0.0;
+  trace.t_end = 1.0;
+  trace.records = {{0.5, 50}, {1.0, 70}};
+  const SystemConfig sys = SystemConfig::single_host();
+  const SpeedPoint pt = measure_speed_from_trace(trace, 0.01, sys);
+  const auto direct = MachineModel(sys).run_trace(trace);
+  EXPECT_DOUBLE_EQ(pt.detail.seconds, direct.seconds);
+  EXPECT_EQ(pt.detail.steps, 120ull);
+}
+
+TEST(BenchPaths, CsvPathUsesEnvDirectory) {
+  ::setenv("GRAPE6_BENCH_OUT", ::testing::TempDir().c_str(), 1);
+  const std::string path = bench_csv_path("unit_test");
+  EXPECT_NE(path.find("unit_test.csv"), std::string::npos);
+  EXPECT_EQ(path.find("bench_out"), std::string::npos);
+  ::unsetenv("GRAPE6_BENCH_OUT");
+}
+
+TEST(BenchPaths, CalibrationCacheNamesPerLaw) {
+  ::setenv("GRAPE6_BENCH_OUT", ::testing::TempDir().c_str(), 1);
+  const std::string a = calibration_cache_path(SofteningLaw::kConstant);
+  const std::string b = calibration_cache_path(SofteningLaw::kOverN);
+  EXPECT_NE(a, b);
+  ::unsetenv("GRAPE6_BENCH_OUT");
+}
+
+}  // namespace
+}  // namespace g6

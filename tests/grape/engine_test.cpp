@@ -1,0 +1,171 @@
+#include "grape/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hermite/direct_engine.hpp"
+#include "hermite/integrator.hpp"
+#include "nbody/diagnostics.hpp"
+#include "nbody/models.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+std::vector<JParticle> plummer_j(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  const ParticleSet s = make_plummer(n, rng);
+  std::vector<JParticle> js(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    js[i].mass = s[i].mass;
+    js[i].pos = s[i].pos;
+    js[i].vel = s[i].vel;
+  }
+  return js;
+}
+
+std::vector<PredictedState> as_block(std::span<const JParticle> js) {
+  std::vector<PredictedState> block(js.size());
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    block[i] = {js[i].pos, js[i].vel, js[i].mass, static_cast<std::uint32_t>(i)};
+  }
+  return block;
+}
+
+TEST(GrapeEngine, ForcesMatchDirectEngine) {
+  const double eps = 1.0 / 64.0;
+  const auto js = plummer_j(128, 51);
+
+  DirectForceEngine ref(eps);
+  GrapeForceEngine hw(MachineConfig::single_host(), NumberFormats{}, eps);
+  ref.load_particles(js);
+  hw.load_particles(js);
+
+  const auto block = as_block(js);
+  std::vector<Force> fr(js.size()), fh(js.size());
+  ref.compute_forces(0.0, block, fr);
+  hw.compute_forces(0.0, block, fh);
+
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    const double scale = std::max(1.0, norm(fr[i].acc));
+    EXPECT_NEAR(norm(fh[i].acc - fr[i].acc), 0.0, 3e-5 * scale) << i;
+    EXPECT_NEAR(fh[i].pot, fr[i].pot, 3e-5 * std::fabs(fr[i].pot)) << i;
+    EXPECT_NEAR(norm(fh[i].jerk - fr[i].jerk), 0.0,
+                1e-3 * std::max(1.0, norm(fr[i].jerk)))
+        << i;
+  }
+}
+
+TEST(GrapeEngine, BoardCountInvariance) {
+  // 1-board and 4-board systems must return bit-identical forces: the
+  // paper's "exactly the same results on machines with different sizes".
+  const double eps = 1.0 / 64.0;
+  const auto js = plummer_j(96, 52);
+  const auto block = as_block(js);
+
+  MachineConfig one = MachineConfig::single_host();
+  one.boards_per_host = 1;
+  MachineConfig four = MachineConfig::single_host();
+  four.boards_per_host = 4;
+
+  GrapeForceEngine e1(one, NumberFormats{}, eps);
+  GrapeForceEngine e4(four, NumberFormats{}, eps);
+  e1.load_particles(js);
+  e4.load_particles(js);
+
+  std::vector<Force> f1(js.size()), f4(js.size());
+  e1.compute_forces(0.0, block, f1);
+  e4.compute_forces(0.0, block, f4);
+
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    EXPECT_EQ(f1[i].acc, f4[i].acc) << i;
+    EXPECT_EQ(f1[i].jerk, f4[i].jerk) << i;
+    EXPECT_EQ(f1[i].pot, f4[i].pot) << i;
+  }
+}
+
+TEST(GrapeEngine, ExponentRetriesConvergeAndAdapt) {
+  const auto js = plummer_j(64, 53);
+  GrapeForceEngine hw(MachineConfig::single_host(), NumberFormats{}, 0.01);
+  hw.load_particles(js);
+  const auto block = as_block(js);
+  std::vector<Force> f(js.size());
+  // First call may retry (default exponent guesses), later calls should
+  // mostly reuse remembered exponents.
+  hw.compute_forces(0.0, block, f);
+  const auto retries_first = hw.stats().retries;
+  hw.compute_forces(0.0, block, f);
+  EXPECT_EQ(hw.stats().retries, retries_first);  // no new retries
+}
+
+TEST(GrapeEngine, VirtualTimeAdvances) {
+  const auto js = plummer_j(256, 54);
+  GrapeForceEngine hw(MachineConfig::single_host(), NumberFormats{}, 0.01);
+  hw.load_particles(js);
+  const double dma0 = hw.stats().dma_seconds;
+  EXPECT_GT(dma0, 0.0);  // initial memory upload
+
+  const auto block = as_block(std::span(js).subspan(0, 48));
+  std::vector<Force> f(48);
+  hw.compute_forces(0.0, block, f);
+  EXPECT_GT(hw.stats().grape_seconds, 0.0);
+  EXPECT_GT(hw.stats().dma_seconds, dma0);
+  EXPECT_GT(hw.last_call_seconds(), 0.0);
+  EXPECT_EQ(hw.stats().passes, 1u + hw.stats().retries);
+  // 256 j over 128 chips = 2/chip: pass cycles = 8*2 + latency + reductions.
+  const double expect_pass_s =
+      (8.0 * 2.0 + 60.0 + 2 * 8.0 + NetworkBoard::kLatencyCycles) / 90.0e6;
+  EXPECT_NEAR(hw.stats().grape_seconds,
+              expect_pass_s * static_cast<double>(hw.stats().passes),
+              expect_pass_s * 0.01);
+}
+
+TEST(GrapeEngine, IntegratorOnEmulatedHardwareConservesEnergy) {
+  Rng rng(55);
+  const double eps = 1.0 / 64.0;
+  const ParticleSet s = make_plummer(64, rng);
+
+  // Keep the emulation cheap: one board.
+  MachineConfig mc = MachineConfig::single_host();
+  mc.boards_per_host = 1;
+  GrapeForceEngine hw(mc, NumberFormats{}, eps);
+  HermiteConfig cfg;
+  cfg.eta = 0.02;
+  HermiteIntegrator integ(s, hw, cfg);
+
+  const double e0 = compute_energy(s.bodies(), eps).total();
+  integ.evolve(0.25);
+  const double e1 =
+      compute_energy(integ.state_at_current_time().bodies(), eps).total();
+  // Hardware precision (24-bit pipeline) bounds the drift well above the
+  // double-precision engine but far below dynamical significance.
+  EXPECT_LT(std::fabs((e1 - e0) / e0), 5e-4);
+}
+
+TEST(GrapeEngine, MatchesDirectEngineDuringEvolution) {
+  // Same ICs integrated with CPU and emulated-GRAPE engines must stay
+  // close over a short span (divergence is chaotic eventually).
+  Rng rng(56);
+  const double eps = 0.05;
+  const ParticleSet s = make_plummer(32, rng);
+
+  DirectForceEngine ce(eps);
+  MachineConfig mc = MachineConfig::single_host();
+  mc.boards_per_host = 1;
+  GrapeForceEngine ge(mc, NumberFormats{}, eps);
+
+  HermiteIntegrator a(s, ce), b(s, ge);
+  a.evolve(0.125);
+  b.evolve(0.125);
+  const ParticleSet sa = a.state_at_current_time();
+  const ParticleSet sb = b.state_at_current_time();
+  double max_dev = 0.0;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    max_dev = std::max(max_dev, norm(sa[i].pos - sb[i].pos));
+  }
+  EXPECT_LT(max_dev, 1e-3);
+}
+
+}  // namespace
+}  // namespace g6

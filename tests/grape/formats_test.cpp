@@ -1,0 +1,84 @@
+#include "grape/formats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grape/config.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(Formats, JParticleQuantization) {
+  NumberFormats fmt;
+  JParticle p;
+  p.mass = 1.0 / 3.0;
+  p.t0 = 0.125;
+  p.pos = {1.0 / 3.0, -2.0 / 7.0, 0.1};
+  p.vel = {0.123456789, -1.0, 2.0};
+  p.acc = {3.0, 4.0, 5.0};
+  p.jerk = {1e-3, 2e-3, 3e-3};
+  p.snap = {0.0, -1e2, 1e-8};
+
+  const StoredJParticle s = quantize_j_particle(p, 42, fmt);
+  EXPECT_EQ(s.index, 42u);
+  EXPECT_EQ(s.t0, 0.125);
+  EXPECT_EQ(s.mass, fmt.pipeline.quantize(p.mass));
+
+  const FixedPointCodec codec = fmt.coord_codec();
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_NEAR(codec.decode(s.pos[d]), p.pos[d], codec.resolution());
+    EXPECT_EQ(s.vel[d], fmt.velocity.quantize(p.vel[d]));
+    EXPECT_EQ(s.acc[d], fmt.predictor.quantize(p.acc[d]));
+    EXPECT_EQ(s.jerk[d], fmt.predictor.quantize(p.jerk[d]));
+    EXPECT_EQ(s.snap[d], fmt.predictor.quantize(p.snap[d]));
+  }
+}
+
+TEST(Formats, IParticleQuantization) {
+  NumberFormats fmt;
+  PredictedState p;
+  p.index = 7;
+  p.pos = {10.0, -20.0, 0.5};
+  p.vel = {1.0 / 3.0, 0.0, -0.25};
+  const IParticlePacket pkt = quantize_i_particle(p, fmt);
+  EXPECT_EQ(pkt.index, 7u);
+  const FixedPointCodec codec = fmt.coord_codec();
+  EXPECT_NEAR(codec.decode(pkt.pos[0]), 10.0, codec.resolution());
+  EXPECT_EQ(pkt.vel.x, fmt.velocity.quantize(1.0 / 3.0));
+}
+
+TEST(Formats, ExactModeUsesWideFormats) {
+  const NumberFormats f = NumberFormats::exact();
+  EXPECT_GE(f.pipeline.frac_bits(), 52);
+  EXPECT_GE(f.predictor.frac_bits(), 52);
+}
+
+TEST(MachineConfig, Grape6Arithmetic) {
+  const MachineConfig full = MachineConfig::full_system();
+  EXPECT_EQ(full.i_parallelism(), 48u);
+  EXPECT_EQ(full.chips_per_board(), 32u);
+  EXPECT_EQ(full.total_hosts(), 16u);
+  EXPECT_EQ(full.total_boards(), 64u);
+  EXPECT_EQ(full.total_chips(), 2048u);
+  // 30.78 Gflops per chip, 63.04 Tflops total (Sec 1).
+  EXPECT_NEAR(full.chip_peak_flops(), 30.78e9, 1e7);
+  EXPECT_NEAR(full.peak_flops(), 63.04e12, 0.05e12);
+}
+
+TEST(MachineConfig, SingleHostIsQuarterCluster) {
+  const MachineConfig host = MachineConfig::single_host();
+  EXPECT_EQ(host.chips_per_host(), 128u);
+  EXPECT_NEAR(host.chip_peak_flops() * 128.0, 3.94e12, 0.01e12);
+}
+
+TEST(DmaModel, TransferTimeHasSetupAndBandwidthTerms) {
+  DmaModel dma;
+  dma.setup_s = 10e-6;
+  dma.bandwidth_Bps = 100e6;
+  EXPECT_DOUBLE_EQ(dma.transfer_time(0), 10e-6);
+  EXPECT_DOUBLE_EQ(dma.transfer_time(100'000'000), 10e-6 + 1.0);
+}
+
+}  // namespace
+}  // namespace g6

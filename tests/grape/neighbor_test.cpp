@@ -1,0 +1,175 @@
+// Neighbor-list hardware: comparator correctness, FIFO overflow flag,
+// nearest-neighbor register, and agreement with the reference engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "grape/engine.hpp"
+#include "hermite/direct_engine.hpp"
+#include "nbody/models.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+std::vector<JParticle> plummer_j(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  const ParticleSet s = make_plummer(n, rng);
+  std::vector<JParticle> js(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    js[i].mass = s[i].mass;
+    js[i].pos = s[i].pos;
+    js[i].vel = s[i].vel;
+  }
+  return js;
+}
+
+std::vector<PredictedState> as_block(std::span<const JParticle> js) {
+  std::vector<PredictedState> block(js.size());
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    block[i] = {js[i].pos, js[i].vel, js[i].mass, static_cast<std::uint32_t>(i)};
+  }
+  return block;
+}
+
+TEST(HwNeighborRecorder, RecordsWithinRadiusAndTracksNearest) {
+  HwNeighborRecorder rec;
+  rec.reset(8);
+  rec.record(1, 0.5, 1.0);
+  rec.record(2, 2.0, 1.0);  // outside radius, still nearest-candidate
+  rec.record(3, 0.1, 1.0);
+  EXPECT_EQ(rec.indices.size(), 2u);
+  EXPECT_EQ(rec.nearest, 3u);
+  EXPECT_DOUBLE_EQ(rec.nearest_r2, 0.1);
+  EXPECT_FALSE(rec.overflow);
+}
+
+TEST(HwNeighborRecorder, OverflowFlagWhenFifoFull) {
+  HwNeighborRecorder rec;
+  rec.reset(2);
+  rec.record(0, 0.1, 1.0);
+  rec.record(1, 0.2, 1.0);
+  rec.record(2, 0.3, 1.0);
+  EXPECT_EQ(rec.indices.size(), 2u);
+  EXPECT_TRUE(rec.overflow);
+}
+
+TEST(HwNeighborRecorder, MergeCombinesListsAndNearest) {
+  HwNeighborRecorder a, b;
+  a.reset(8);
+  b.reset(8);
+  a.record(1, 0.5, 1.0);
+  b.record(2, 0.2, 1.0);
+  a.merge(b);
+  EXPECT_EQ(a.indices.size(), 2u);
+  EXPECT_EQ(a.nearest, 2u);
+  EXPECT_FALSE(a.overflow);
+}
+
+TEST(GrapeNeighbors, MatchesDirectEngineLists) {
+  const double eps = 0.01;
+  const auto js = plummer_j(128, 61);
+  const auto block = as_block(js);
+  std::vector<double> radii(js.size(), 0.04);  // h^2
+
+  DirectForceEngine ref(eps);
+  GrapeForceEngine hw(MachineConfig::single_host(), NumberFormats::exact(), eps);
+  ref.load_particles(js);
+  hw.load_particles(js);
+
+  std::vector<Force> fr(js.size()), fh(js.size());
+  std::vector<NeighborResult> nr(js.size()), nh(js.size());
+  ref.compute_forces_neighbors(0.0, block, radii, fr, nr);
+  hw.compute_forces_neighbors(0.0, block, radii, fh, nh);
+
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    auto a = nr[i].indices;
+    auto b = nh[i].indices;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "particle " << i;
+    EXPECT_EQ(nr[i].nearest, nh[i].nearest) << i;
+  }
+}
+
+TEST(GrapeNeighbors, NearestNeighborIsTrulyNearest) {
+  const auto js = plummer_j(64, 62);
+  const auto block = as_block(js);
+  std::vector<double> radii(js.size(), 1e-6);
+  GrapeForceEngine hw(MachineConfig::single_host(), NumberFormats::exact(), 0.01);
+  hw.load_particles(js);
+  std::vector<Force> f(js.size());
+  std::vector<NeighborResult> nb(js.size());
+  hw.compute_forces_neighbors(0.0, block, radii, f, nb);
+
+  const double eps2 = 0.01 * 0.01;
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    double best = 1e30;
+    std::uint32_t best_j = 0;
+    for (std::size_t j = 0; j < js.size(); ++j) {
+      if (j == i) continue;
+      const double r2 = norm2(js[j].pos - js[i].pos) + eps2;
+      if (r2 < best) {
+        best = r2;
+        best_j = static_cast<std::uint32_t>(j);
+      }
+    }
+    EXPECT_EQ(nb[i].nearest, best_j) << i;
+  }
+}
+
+TEST(GrapeNeighbors, ChipFifoOverflowSurfacesToHost) {
+  // Tiny per-chip FIFO + everything on one chip -> guaranteed overflow.
+  MachineConfig mc = MachineConfig::single_host();
+  mc.boards_per_host = 1;
+  mc.neighbor_buffer_per_chip = 1;  // 64 j over 32 chips: 2 per chip FIFO of 1
+  const auto js = plummer_j(64, 63);
+  const auto block = as_block(std::span(js).subspan(0, 1));
+  std::vector<double> radii(1, 100.0);  // everyone is a neighbor
+
+  GrapeForceEngine hw(mc, NumberFormats::exact(), 0.01);
+  hw.load_particles(js);
+  std::vector<Force> f(1);
+  std::vector<NeighborResult> nb(1);
+  hw.compute_forces_neighbors(0.0, block, radii, f, nb);
+  EXPECT_TRUE(nb[0].overflow);
+}
+
+TEST(GrapeNeighbors, ForcesUnchangedByNeighborSearch) {
+  // The comparator rides along the force datapath: identical forces with
+  // and without neighbor collection.
+  const auto js = plummer_j(96, 64);
+  const auto block = as_block(js);
+  GrapeForceEngine hw(MachineConfig::single_host(), NumberFormats{}, 0.01);
+  hw.load_particles(js);
+  std::vector<Force> f1(js.size()), f2(js.size());
+  hw.compute_forces(0.0, block, f1);
+  std::vector<double> radii(js.size(), 0.05);
+  std::vector<NeighborResult> nb(js.size());
+  hw.compute_forces_neighbors(0.0, block, radii, f2, nb);
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    EXPECT_EQ(f1[i].acc, f2[i].acc) << i;
+    EXPECT_EQ(f1[i].pot, f2[i].pot) << i;
+  }
+}
+
+TEST(GrapeNeighbors, UnsupportedEngineThrows) {
+  // ForceEngine's default implementation must refuse.
+  class NoNeighbors final : public ForceEngine {
+   public:
+    void load_particles(std::span<const JParticle>) override {}
+    void update_particle(std::size_t, const JParticle&) override {}
+    void compute_forces(double, std::span<const PredictedState>,
+                        std::span<Force>) override {}
+    double softening() const override { return 0.0; }
+    std::size_t size() const override { return 0; }
+  } engine;
+  EXPECT_FALSE(engine.supports_neighbors());
+  EXPECT_THROW(engine.compute_forces_neighbors(0.0, {}, {}, {}, {}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,161 @@
+#include "grape/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hermite/direct_engine.hpp"
+#include "hermite/scheme.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+StoredJParticle make_stored(const JParticle& p, std::uint32_t idx,
+                            const NumberFormats& fmt) {
+  return quantize_j_particle(p, idx, fmt);
+}
+
+TEST(PredictorUnit, MatchesHostPredictorWithinFormatPrecision) {
+  NumberFormats fmt;
+  PredictorUnit unit(fmt);
+  const FixedPointCodec codec = fmt.coord_codec();
+
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    JParticle p;
+    p.mass = 0.001;
+    p.t0 = 0.5;
+    p.pos = {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    p.vel = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    p.acc = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    p.jerk = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    p.snap = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    const double t = 0.5 + 0.0625;  // one max-level step ahead
+
+    const auto hw = unit.predict(make_stored(p, 0, fmt), t);
+    Vec3 xd, vd;
+    hermite_predict(p, t, xd, vd);
+
+    for (int d = 0; d < 3; ++d) {
+      // Predictor format has 20 fraction bits; the correction term is
+      // O(v*dt) ~ 0.1, so absolute error ~ 1e-7 is in spec.
+      EXPECT_NEAR(codec.decode(hw.pos[d]), xd[d], 1e-6);
+      EXPECT_NEAR(hw.vel[d], vd[d], 1e-5);
+    }
+  }
+}
+
+TEST(PredictorUnit, ZeroDtReturnsStoredValues) {
+  NumberFormats fmt;
+  PredictorUnit unit(fmt);
+  JParticle p;
+  p.mass = 1.0;
+  p.t0 = 0.25;
+  p.pos = {1.0, -1.0, 0.5};
+  p.vel = {0.125, 0.25, -0.5};  // exactly representable
+  const StoredJParticle s = make_stored(p, 3, fmt);
+  const auto hw = unit.predict(s, 0.25);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(hw.pos[d], s.pos[d]);
+    EXPECT_EQ(hw.vel[d], s.vel[d]);
+  }
+}
+
+TEST(ForcePipeline, MatchesDoubleReferenceToPipelinePrecision) {
+  NumberFormats fmt;
+  ForcePipeline pipe(fmt);
+  PredictorUnit unit(fmt);
+  Rng rng(2);
+  const double eps2 = 1e-4;
+
+  for (int trial = 0; trial < 100; ++trial) {
+    JParticle jp;
+    jp.mass = rng.uniform(1e-4, 1e-2);
+    jp.pos = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    jp.vel = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    PredictedState ip;
+    ip.index = 1;
+    ip.pos = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    ip.vel = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+
+    const auto pj = unit.predict(make_stored(jp, 0, fmt), 0.0);
+    HwAccumulators acc;
+    acc.reset({0, 4, 0});
+    pipe.interact(pj, quantize_i_particle(ip, fmt), eps2, acc);
+    ASSERT_FALSE(acc.overflow());
+    const Force hw = acc.decode();
+
+    Force ref;
+    accumulate_pairwise(ip.pos, ip.vel, jp.pos, jp.vel, jp.mass, eps2, ref);
+
+    const double atol = 1e-5 * std::max(1.0, norm(ref.acc));
+    EXPECT_NEAR(norm(hw.acc - ref.acc), 0.0, atol) << trial;
+    EXPECT_NEAR(norm(hw.jerk - ref.jerk), 0.0,
+                1e-4 * std::max(1.0, norm(ref.jerk)))
+        << trial;
+    EXPECT_NEAR(hw.pot, ref.pot, 1e-5 * std::fabs(ref.pot)) << trial;
+  }
+}
+
+TEST(ForcePipeline, SelfInteractionIsSkipped) {
+  NumberFormats fmt;
+  ForcePipeline pipe(fmt);
+  PredictorUnit unit(fmt);
+  JParticle jp;
+  jp.mass = 1.0;
+  jp.pos = {0.5, 0.0, 0.0};
+  const auto pj = unit.predict(make_stored(jp, 7, fmt), 0.0);
+
+  PredictedState ip;
+  ip.index = 7;  // same particle
+  ip.pos = {0.5, 0.0, 0.0};
+  HwAccumulators acc;
+  acc.reset({0, 0, 0});
+  pipe.interact(pj, quantize_i_particle(ip, fmt), 0.0, acc);
+  EXPECT_EQ(acc.decode().pot, 0.0);
+  EXPECT_EQ(norm(acc.decode().acc), 0.0);
+}
+
+TEST(ForcePipeline, ExactModeMatchesDoubleExactlyOnGrid) {
+  // With wide formats the only deviations are the coordinate grid snap and
+  // the BFP result grid; use exactly-representable inputs to check zero
+  // error end to end.
+  NumberFormats fmt = NumberFormats::exact();
+  ForcePipeline pipe(fmt);
+  PredictorUnit unit(fmt);
+
+  JParticle jp;
+  jp.mass = 0.5;
+  jp.pos = {1.0, 0.0, 0.0};
+  PredictedState ip;
+  ip.index = 1;
+  ip.pos = {0.0, 0.0, 0.0};
+
+  const auto pj = unit.predict(make_stored(jp, 0, fmt), 0.0);
+  HwAccumulators acc;
+  acc.reset({0, 0, 0});
+  pipe.interact(pj, quantize_i_particle(ip, fmt), 0.0, acc);
+  const Force hw = acc.decode();
+  EXPECT_NEAR(hw.acc.x, 0.5, 1e-15);
+  EXPECT_NEAR(hw.pot, -0.5, 1e-15);
+}
+
+TEST(HwAccumulators, OverflowDetectedAndReportedThroughBank) {
+  NumberFormats fmt;
+  ForcePipeline pipe(fmt);
+  PredictorUnit unit(fmt);
+  JParticle jp;
+  jp.mass = 1.0;
+  jp.pos = {1e-3, 0.0, 0.0};  // huge force at tiny separation
+  PredictedState ip;
+  ip.index = 1;
+  HwAccumulators acc;
+  acc.reset({-20, -20, -20});  // absurdly small block exponents
+  const auto pj = unit.predict(make_stored(jp, 0, fmt), 0.0);
+  pipe.interact(pj, quantize_i_particle(ip, fmt), 0.0, acc);
+  EXPECT_TRUE(acc.overflow());
+}
+
+}  // namespace
+}  // namespace g6

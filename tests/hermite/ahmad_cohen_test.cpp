@@ -1,0 +1,134 @@
+#include "hermite/ahmad_cohen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grape/engine.hpp"
+#include "hermite/direct_engine.hpp"
+#include "hermite/integrator.hpp"
+#include "nbody/diagnostics.hpp"
+#include "nbody/models.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+constexpr double kEps = 1.0 / 64.0;
+
+ParticleSet plummer(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  return make_plummer(n, rng);
+}
+
+TEST(AhmadCohen, EnergyConservation) {
+  const ParticleSet s = plummer(128, 1);
+  DirectForceEngine engine(kEps);
+  AhmadCohenConfig cfg;
+  AhmadCohenIntegrator integ(s, engine, cfg);
+
+  const double e0 = compute_energy(s.bodies(), kEps).total();
+  integ.evolve(1.0);
+  const double e1 =
+      compute_energy(integ.state_at_current_time().bodies(), kEps).total();
+  EXPECT_LT(std::fabs((e1 - e0) / e0), 2e-4);
+}
+
+TEST(AhmadCohen, MatchesPlainHermiteShortTerm) {
+  const ParticleSet s = plummer(64, 2);
+  DirectForceEngine e1(kEps), e2(kEps);
+  HermiteIntegrator plain(s, e1);
+  AhmadCohenIntegrator ac(s, e2);
+  plain.evolve(0.25);
+  ac.evolve(0.25);
+
+  const ParticleSet sp = plain.state_at_current_time();
+  const ParticleSet sa = ac.state_at_current_time();
+  double rms = 0.0;
+  for (std::size_t i = 0; i < sp.size(); ++i) rms += norm2(sp[i].pos - sa[i].pos);
+  rms = std::sqrt(rms / static_cast<double>(sp.size()));
+  EXPECT_LT(rms, 5e-3);
+}
+
+TEST(AhmadCohen, RegularStepsAreRare) {
+  // The point of the scheme: far fewer full-N evaluations than steps.
+  const ParticleSet s = plummer(256, 3);
+  DirectForceEngine engine(kEps);
+  AhmadCohenIntegrator integ(s, engine);
+  integ.evolve(0.5);
+
+  EXPECT_GT(integ.irregular_steps(), 0ull);
+  EXPECT_GT(integ.regular_steps(), 0ull);
+  EXPECT_LT(integ.regular_steps(), integ.irregular_steps());
+  // Pairwise work saved vs plain Hermite (which pays N-1 per step).
+  const auto plain_equivalent =
+      integ.irregular_steps() * static_cast<unsigned long long>(s.size() - 1);
+  const auto actual =
+      integ.irregular_interactions() + integ.regular_interactions();
+  EXPECT_LT(actual, plain_equivalent);
+}
+
+TEST(AhmadCohen, NeighborCountsTrackTarget) {
+  const ParticleSet s = plummer(256, 4);
+  DirectForceEngine engine(kEps);
+  AhmadCohenConfig cfg;
+  cfg.neighbor_target = 12;
+  AhmadCohenIntegrator integ(s, engine, cfg);
+  integ.evolve(0.5);
+  const double mean = integ.mean_neighbor_count();
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LT(mean, 60.0);
+}
+
+TEST(AhmadCohen, WorksOnEmulatedHardwareNeighbors) {
+  const ParticleSet s = plummer(48, 5);
+  MachineConfig mc = MachineConfig::single_host();
+  mc.boards_per_host = 1;
+  GrapeForceEngine hw(mc, NumberFormats{}, kEps);
+  AhmadCohenIntegrator integ(s, hw, {});
+  const double e0 = compute_energy(s.bodies(), kEps).total();
+  integ.evolve(0.125);
+  const double e1 =
+      compute_energy(integ.state_at_current_time().bodies(), kEps).total();
+  EXPECT_LT(std::fabs((e1 - e0) / e0), 5e-4);
+}
+
+TEST(AhmadCohen, IrregularStepsNeverOvershootRegular) {
+  const ParticleSet s = plummer(64, 6);
+  DirectForceEngine engine(kEps);
+  AhmadCohenIntegrator integ(s, engine);
+  for (int k = 0; k < 200; ++k) integ.step();
+  // All particle times on the dyadic grid and no particle beyond t.
+  for (std::size_t i = 0; i < integ.size(); ++i) {
+    EXPECT_LE(integ.particle(i).t0, integ.time());
+  }
+}
+
+TEST(AhmadCohen, RequiresNeighborCapableEngine) {
+  class NoNeighbors final : public ForceEngine {
+   public:
+    void load_particles(std::span<const JParticle>) override {}
+    void update_particle(std::size_t, const JParticle&) override {}
+    void compute_forces(double, std::span<const PredictedState>,
+                        std::span<Force>) override {}
+    double softening() const override { return 0.0; }
+    std::size_t size() const override { return 0; }
+  } engine;
+  const ParticleSet s = plummer(16, 7);
+  EXPECT_THROW(AhmadCohenIntegrator(s, engine, {}), PreconditionError);
+}
+
+TEST(AhmadCohen, TraceRecordsIrregularBlocks) {
+  const ParticleSet s = plummer(64, 8);
+  DirectForceEngine engine(kEps);
+  AhmadCohenConfig cfg;
+  cfg.record_trace = true;
+  AhmadCohenIntegrator integ(s, engine, cfg);
+  integ.evolve(0.125);
+  EXPECT_EQ(integ.trace().total_steps(), integ.irregular_steps());
+  EXPECT_FALSE(integ.trace().records.empty());
+}
+
+}  // namespace
+}  // namespace g6

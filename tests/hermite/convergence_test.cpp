@@ -1,0 +1,127 @@
+// Order-of-convergence and robustness properties of the Hermite
+// integrator — the numerical contract the hardware word sizes were
+// designed against.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hermite/direct_engine.hpp"
+#include "hermite/integrator.hpp"
+#include "nbody/kepler.hpp"
+#include "nbody/diagnostics.hpp"
+#include "nbody/models.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+/// Relative-position error after integrating a fixed span of an e=0.5
+/// binary with accuracy parameter eta.
+double binary_error(double eta) {
+  OrbitalElements el;
+  el.semi_major_axis = 1.0;
+  el.eccentricity = 0.5;
+  const RelativeState rel0 = elements_to_state(el, 1.0);
+  ParticleSet s;
+  s.add({0.5, 0.5 * rel0.pos, 0.5 * rel0.vel});
+  s.add({0.5, -0.5 * rel0.pos, -0.5 * rel0.vel});
+
+  DirectForceEngine engine(0.0);
+  HermiteConfig cfg;
+  cfg.eta = eta;
+  cfg.dt_max = 0.0625;
+  HermiteIntegrator integ(s, engine, cfg);
+  integ.evolve(4.0);
+
+  const RelativeState expect = propagate_kepler(rel0, 1.0, 4.0);
+  const ParticleSet out = integ.state_at_current_time();
+  return norm((out[0].pos - out[1].pos) - expect.pos);
+}
+
+TEST(Convergence, FourthOrderInTimestep) {
+  // dt ~ sqrt(eta), global error ~ dt^4 ~ eta^2: a 4x eta reduction
+  // should buy ~16x accuracy (block quantization blurs the exact factor).
+  const double e_coarse = binary_error(0.02);
+  const double e_fine = binary_error(0.02 / 4.0);
+  EXPECT_LT(e_fine, e_coarse / 6.0);
+  EXPECT_GT(e_fine, 0.0);
+}
+
+class EtaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EtaSweep, EnergyErrorBoundedByEta) {
+  const double eta = GetParam();
+  Rng rng(7);
+  const double eps = 1.0 / 64.0;
+  const ParticleSet s = make_plummer(64, rng);
+  DirectForceEngine engine(eps);
+  HermiteConfig cfg;
+  cfg.eta = eta;
+  HermiteIntegrator integ(s, engine, cfg);
+  const double e0 = compute_energy(s.bodies(), eps).total();
+  integ.evolve(0.5);
+  const double e1 = compute_energy(integ.state_at_current_time().bodies(), eps).total();
+  // Empirical envelope: dE/E stays well below eta^2 for this system.
+  EXPECT_LT(std::fabs((e1 - e0) / e0), eta * eta);
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, EtaSweep, ::testing::Values(0.01, 0.02, 0.04));
+
+TEST(Robustness, SurvivesVeryCloseEncounter) {
+  // Head-on-ish hyperbolic encounter with small softening: the block
+  // scheduler must shrink dt to dt_min and recover, not blow up.
+  ParticleSet s;
+  s.add({0.5, {-1.0, 0.01, 0.0}, {1.5, 0.0, 0.0}});
+  s.add({0.5, {1.0, -0.01, 0.0}, {-1.5, 0.0, 0.0}});
+  DirectForceEngine engine(1e-4);
+  HermiteConfig cfg;
+  cfg.eta = 0.01;
+  HermiteIntegrator integ(s, engine, cfg);
+  const double e0 = compute_energy(s.bodies(), 1e-4).total();
+  integ.evolve(2.0);  // well past the encounter
+  const double e1 = compute_energy(integ.state_at_current_time().bodies(), 1e-4).total();
+  EXPECT_TRUE(std::isfinite(e1));
+  EXPECT_LT(std::fabs((e1 - e0) / e0), 5e-2);  // hard encounter, soft bound
+  // They must have swung past each other.
+  const ParticleSet out = integ.state_at_current_time();
+  EXPECT_GT(norm(out[0].pos - out[1].pos), 0.5);
+}
+
+TEST(Robustness, MasslessTestParticlesAreCarried) {
+  // Massless tracers (planetesimal limit) must not disturb the system
+  // and must themselves follow sensible orbits.
+  ParticleSet s;
+  s.add({1.0, {0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}});
+  s.add({0.0, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}});  // circular massless orbit
+  s.add({0.0, {2.0, 0.0, 0.0}, {0.0, std::sqrt(0.5), 0.0}});
+  DirectForceEngine engine(0.0);
+  HermiteConfig cfg;
+  cfg.eta = 0.005;
+  HermiteIntegrator integ(s, engine, cfg);
+  integ.evolve(2.0);
+  const ParticleSet out = integ.state_at_current_time();
+  // The star barely moved; the tracers stay on their circles.
+  EXPECT_LT(norm(out[0].pos), 1e-10);
+  EXPECT_NEAR(norm(out[1].pos - out[0].pos), 1.0, 1e-4);
+  EXPECT_NEAR(norm(out[2].pos - out[0].pos), 2.0, 1e-4);
+}
+
+TEST(Robustness, TimestepNeverGrowsMoreThanDoubling) {
+  Rng rng(9);
+  const ParticleSet s = make_plummer(48, rng);
+  DirectForceEngine engine(0.05);
+  HermiteIntegrator integ(s, engine);
+  std::vector<double> prev_dt(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) prev_dt[i] = integ.timestep(i);
+  for (int k = 0; k < 100; ++k) {
+    integ.step();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      EXPECT_LE(integ.timestep(i), 2.0 * prev_dt[i] + 1e-18) << i;
+      prev_dt[i] = integ.timestep(i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,153 @@
+#include "hermite/direct_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+JParticle at_rest(double mass, const Vec3& pos) {
+  JParticle p;
+  p.mass = mass;
+  p.pos = pos;
+  return p;
+}
+
+TEST(DirectEngine, TwoBodyForceAnalytic) {
+  DirectForceEngine engine(0.0);
+  const std::vector<JParticle> js = {at_rest(1.0, {0.0, 0.0, 0.0}),
+                                     at_rest(2.0, {2.0, 0.0, 0.0})};
+  engine.load_particles(js);
+
+  std::vector<PredictedState> block(1);
+  block[0] = {{0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}, 1.0, 0};
+  std::vector<Force> out(1);
+  engine.compute_forces(0.0, block, out);
+
+  // a = G m_j / r^2 toward +x = 2/4 = 0.5; phi = -m_j/r = -1.
+  EXPECT_NEAR(out[0].acc.x, 0.5, 1e-15);
+  EXPECT_NEAR(out[0].acc.y, 0.0, 1e-15);
+  EXPECT_NEAR(out[0].pot, -1.0, 1e-15);
+  EXPECT_NEAR(norm(out[0].jerk), 0.0, 1e-15);  // static -> zero jerk
+}
+
+TEST(DirectEngine, SofteningMatchesFormula) {
+  const double eps = 0.5;
+  DirectForceEngine engine(eps);
+  const std::vector<JParticle> js = {at_rest(1.0, {}), at_rest(1.0, {1.0, 0.0, 0.0})};
+  engine.load_particles(js);
+
+  std::vector<PredictedState> block = {{{}, {}, 1.0, 0}};
+  std::vector<Force> out(1);
+  engine.compute_forces(0.0, block, out);
+
+  const double r2 = 1.0 + eps * eps;
+  EXPECT_NEAR(out[0].acc.x, 1.0 / std::pow(r2, 1.5), 1e-15);
+  EXPECT_NEAR(out[0].pot, -1.0 / std::sqrt(r2), 1e-15);
+}
+
+TEST(DirectEngine, JerkMatchesFiniteDifference) {
+  // Moving source: jerk should equal d(acc)/dt along straight-line motion.
+  JParticle j;
+  j.mass = 1.5;
+  j.pos = {1.0, 2.0, -0.5};
+  j.vel = {-0.3, 0.1, 0.2};
+  DirectForceEngine engine(0.1);
+  engine.load_particles({&j, 1});
+
+  const Vec3 xi{0.0, 0.0, 0.0};
+  const Vec3 vi{0.05, -0.02, 0.0};
+
+  const auto force_at = [&](double t) {
+    std::vector<PredictedState> block = {{xi + t * vi, vi, 1.0, 99}};
+    std::vector<Force> out(1);
+    engine.compute_forces(t, block, out);
+    return out[0];
+  };
+
+  const Force f0 = force_at(0.0);
+  const double h = 1e-6;
+  const Force fp = force_at(h);
+  const Force fm = force_at(-h);
+  const Vec3 jerk_fd = (fp.acc - fm.acc) / (2.0 * h);
+  EXPECT_NEAR(norm(jerk_fd - f0.jerk), 0.0, 1e-6 * std::max(1.0, norm(f0.jerk)));
+}
+
+TEST(DirectEngine, SelfInteractionSkipped) {
+  DirectForceEngine engine(0.0);
+  const std::vector<JParticle> js = {at_rest(1.0, {0.0, 0.0, 0.0}),
+                                     at_rest(1.0, {1.0, 0.0, 0.0})};
+  engine.load_particles(js);
+  // i-particle IS particle 0: only particle 1 contributes.
+  std::vector<PredictedState> block = {{{}, {}, 1.0, 0}};
+  std::vector<Force> out(1);
+  engine.compute_forces(0.0, block, out);
+  EXPECT_NEAR(out[0].pot, -1.0, 1e-15);  // not -inf
+}
+
+TEST(DirectEngine, NewtonThirdLawForEqualMasses) {
+  DirectForceEngine engine(0.01);
+  Rng rng(5);
+  std::vector<JParticle> js(2);
+  for (auto& p : js) {
+    p.mass = 0.5;
+    p.pos = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    p.vel = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+  }
+  engine.load_particles(js);
+  std::vector<PredictedState> block = {{js[0].pos, js[0].vel, 0.5, 0},
+                                       {js[1].pos, js[1].vel, 0.5, 1}};
+  std::vector<Force> out(2);
+  engine.compute_forces(0.0, block, out);
+  EXPECT_NEAR(norm(out[0].acc + out[1].acc), 0.0, 1e-14);
+  EXPECT_NEAR(norm(out[0].jerk + out[1].jerk), 0.0, 1e-13);
+}
+
+TEST(DirectEngine, ThreadedMatchesSerial) {
+  Rng rng(6);
+  std::vector<JParticle> js(64);
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    js[i].mass = 1.0 / 64.0;
+    js[i].pos = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    js[i].vel = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+  }
+  DirectForceEngine serial(0.05, 1);
+  DirectForceEngine threaded(0.05, 4);
+  serial.load_particles(js);
+  threaded.load_particles(js);
+
+  std::vector<PredictedState> block(js.size());
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    block[i] = {js[i].pos, js[i].vel, js[i].mass, static_cast<std::uint32_t>(i)};
+  }
+  std::vector<Force> a(js.size()), b(js.size());
+  serial.compute_forces(0.0, block, a);
+  threaded.compute_forces(0.0, block, b);
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    EXPECT_EQ(a[i].acc, b[i].acc);  // identical j-order -> bit identical
+    EXPECT_EQ(a[i].jerk, b[i].jerk);
+    EXPECT_EQ(a[i].pot, b[i].pot);
+  }
+}
+
+TEST(DirectEngine, InteractionCounting) {
+  DirectForceEngine engine(0.0);
+  std::vector<JParticle> js(10);
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    js[i].mass = 0.1;
+    js[i].pos = {static_cast<double>(i), 0.0, 0.0};
+  }
+  engine.load_particles(js);
+  std::vector<PredictedState> block = {{{0.5, 0, 0}, {}, 0.1, 0},
+                                       {{1.5, 0, 0}, {}, 0.1, 1},
+                                       {{2.5, 0, 0}, {}, 0.1, 2}};
+  std::vector<Force> out(3);
+  engine.compute_forces(0.0, block, out);
+  EXPECT_EQ(engine.interactions(), 3ull * 9ull);
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,184 @@
+#include "hermite/integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hermite/direct_engine.hpp"
+#include "nbody/diagnostics.hpp"
+#include "nbody/kepler.hpp"
+#include "nbody/models.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+ParticleSet circular_binary() {
+  // mu = 1, relative circular orbit radius 1, period 2*pi.
+  ParticleSet s;
+  s.add({0.5, {0.5, 0.0, 0.0}, {0.0, 0.5, 0.0}});
+  s.add({0.5, {-0.5, 0.0, 0.0}, {0.0, -0.5, 0.0}});
+  return s;
+}
+
+TEST(Integrator, CircularBinaryTracksKepler) {
+  DirectForceEngine engine(0.0);
+  HermiteConfig cfg;
+  cfg.eta = 0.01;
+  HermiteIntegrator integ(circular_binary(), engine, cfg);
+
+  const double period = 2.0 * 3.14159265358979323846;
+  // One full period is not dyadic; integrate to t=6 and compare against
+  // the analytic Kepler propagation.
+  integ.evolve(6.0);
+  EXPECT_DOUBLE_EQ(integ.time(), 6.0);
+
+  const ParticleSet s = integ.state_at_current_time();
+  const RelativeState rel0{{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}};
+  const RelativeState expect = propagate_kepler(rel0, 1.0, 6.0);
+  const Vec3 rel_pos = s[0].pos - s[1].pos;
+  const Vec3 rel_vel = s[0].vel - s[1].vel;
+  EXPECT_NEAR(norm(rel_pos - expect.pos), 0.0, 1e-4);
+  EXPECT_NEAR(norm(rel_vel - expect.vel), 0.0, 1e-4);
+  (void)period;
+}
+
+TEST(Integrator, EnergyConservedOnEccentricOrbit) {
+  // e = 0.9 binary exercises the adaptive timestep machinery.
+  ParticleSet s;
+  OrbitalElements el;
+  el.semi_major_axis = 1.0;
+  el.eccentricity = 0.9;
+  el.mean_anomaly = 3.14;  // start near apoapsis
+  const RelativeState rel = elements_to_state(el, 1.0);
+  s.add({0.5, 0.5 * rel.pos, 0.5 * rel.vel});
+  s.add({0.5, -0.5 * rel.pos, -0.5 * rel.vel});
+
+  DirectForceEngine engine(0.0);
+  HermiteConfig cfg;
+  cfg.eta = 0.01;
+  HermiteIntegrator integ(s, engine, cfg);
+  const double e0 = compute_energy(s.bodies()).total();
+  integ.evolve(8.0);  // > 1 period
+  const double e1 = compute_energy(integ.state_at_current_time().bodies()).total();
+  EXPECT_NEAR((e1 - e0) / std::fabs(e0), 0.0, 1e-6);
+}
+
+TEST(Integrator, PlummerEnergyConservation) {
+  Rng rng(101);
+  const double eps = 1.0 / 64.0;
+  const ParticleSet s = make_plummer(128, rng);
+  DirectForceEngine engine(eps);
+  HermiteConfig cfg;
+  cfg.eta = 0.02;
+  HermiteIntegrator integ(s, engine, cfg);
+
+  const double e0 = compute_energy(s.bodies(), eps).total();
+  integ.evolve(1.0);
+  const double e1 =
+      compute_energy(integ.state_at_current_time().bodies(), eps).total();
+  EXPECT_LT(std::fabs((e1 - e0) / e0), 2e-5);
+}
+
+TEST(Integrator, BlockTimesStayOnDyadicGrid) {
+  Rng rng(7);
+  const ParticleSet s = make_plummer(64, rng);
+  DirectForceEngine engine(0.05);
+  HermiteConfig cfg;
+  cfg.record_trace = true;
+  HermiteIntegrator integ(s, engine, cfg);
+  for (int i = 0; i < 200; ++i) integ.step();
+
+  for (const auto& rec : integ.trace().records) {
+    // Every block time must be a multiple of dt_min.
+    const double q = rec.time / cfg.dt_min;
+    EXPECT_DOUBLE_EQ(q, std::floor(q));
+    EXPECT_GE(rec.block_size, 1u);
+  }
+}
+
+TEST(Integrator, ParticleTimesNeverExceedSystemTime) {
+  Rng rng(8);
+  const ParticleSet s = make_plummer(32, rng);
+  DirectForceEngine engine(0.05);
+  HermiteIntegrator integ(s, engine);
+  for (int i = 0; i < 100; ++i) {
+    integ.step();
+    for (std::size_t p = 0; p < integ.size(); ++p) {
+      EXPECT_LE(integ.particle(p).t0, integ.time());
+      // And the next due time is in the future.
+      EXPECT_GT(integ.particle(p).t0 + integ.timestep(p), integ.time() - 1e-18);
+    }
+  }
+}
+
+TEST(Integrator, IndividualTimestepsAdaptToDensity) {
+  // A tight binary inside a sparse cloud: the binary members must end up
+  // on much smaller timesteps than the outskirts.
+  ParticleSet s;
+  s.add({0.4, {0.01, 0.0, 0.0}, {0.0, 2.0, 0.0}});
+  s.add({0.4, {-0.01, 0.0, 0.0}, {0.0, -2.0, 0.0}});
+  for (int i = 0; i < 30; ++i) {
+    const double a = 0.2 * i;
+    s.add({0.2 / 30.0,
+           {5.0 * std::cos(a), 5.0 * std::sin(a), 0.3 * (i % 3 - 1)},
+           {0.0, 0.0, 0.0}});
+  }
+  DirectForceEngine engine(0.0);
+  HermiteIntegrator integ(s, engine);
+  for (int i = 0; i < 50; ++i) integ.step();
+
+  double dt_binary = std::max(integ.timestep(0), integ.timestep(1));
+  double dt_cloud_min = 1.0;
+  for (std::size_t p = 2; p < integ.size(); ++p) {
+    dt_cloud_min = std::min(dt_cloud_min, integ.timestep(p));
+  }
+  EXPECT_LT(dt_binary, dt_cloud_min);
+}
+
+TEST(Integrator, TraceAccountsEverything) {
+  Rng rng(9);
+  const ParticleSet s = make_plummer(64, rng);
+  DirectForceEngine engine(0.05);
+  HermiteConfig cfg;
+  cfg.record_trace = true;
+  HermiteIntegrator integ(s, engine, cfg);
+  integ.evolve(0.25);
+
+  EXPECT_EQ(integ.trace().total_steps(), integ.total_steps());
+  EXPECT_EQ(integ.trace().records.size(), integ.total_blocksteps());
+  EXPECT_GT(integ.trace().steps_per_particle_per_time(), 0.0);
+  EXPECT_GE(integ.trace().mean_block_size(), 1.0);
+}
+
+TEST(Integrator, BlockCallbackFires) {
+  Rng rng(10);
+  const ParticleSet s = make_plummer(32, rng);
+  DirectForceEngine engine(0.05);
+  HermiteIntegrator integ(s, engine);
+  std::size_t calls = 0, total = 0;
+  integ.set_block_callback([&](double, std::span<const std::size_t> blk) {
+    ++calls;
+    total += blk.size();
+  });
+  for (int i = 0; i < 20; ++i) integ.step();
+  EXPECT_EQ(calls, 20u);
+  EXPECT_EQ(total, integ.total_steps());
+}
+
+TEST(Integrator, RequiresSanePreconditions) {
+  Rng rng(11);
+  const ParticleSet s = make_plummer(16, rng);
+  DirectForceEngine engine(0.05);
+  HermiteConfig bad;
+  bad.eta = -1.0;
+  EXPECT_THROW(HermiteIntegrator(s, engine, bad), PreconditionError);
+
+  ParticleSet single;
+  single.add({1.0, {}, {}});
+  EXPECT_THROW(HermiteIntegrator(single, engine), PreconditionError);
+}
+
+}  // namespace
+}  // namespace g6

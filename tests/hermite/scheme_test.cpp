@@ -1,0 +1,164 @@
+#include "hermite/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace g6 {
+namespace {
+
+TEST(Predict, ExactForPolynomialMotion) {
+  // If the true motion is exactly the quartic of Eq (6), the predictor
+  // must reproduce it to round-off.
+  JParticle p;
+  p.t0 = 1.0;
+  p.pos = {1.0, -2.0, 0.5};
+  p.vel = {0.1, 0.2, -0.3};
+  p.acc = {0.01, -0.02, 0.03};
+  p.jerk = {0.001, 0.002, -0.003};
+  p.snap = {0.0001, -0.0002, 0.0003};
+
+  const double t = 1.75;
+  const double dt = t - p.t0;
+  Vec3 xp, vp;
+  hermite_predict(p, t, xp, vp);
+
+  for (int d = 0; d < 3; ++d) {
+    const double expect_x = p.pos[d] + dt * p.vel[d] + dt * dt / 2.0 * p.acc[d] +
+                            dt * dt * dt / 6.0 * p.jerk[d] +
+                            dt * dt * dt * dt / 24.0 * p.snap[d];
+    const double expect_v = p.vel[d] + dt * p.acc[d] + dt * dt / 2.0 * p.jerk[d] +
+                            dt * dt * dt / 6.0 * p.snap[d];
+    EXPECT_NEAR(xp[d], expect_x, 1e-15);
+    EXPECT_NEAR(vp[d], expect_v, 1e-15);
+  }
+}
+
+TEST(Predict, ZeroDtIsIdentity) {
+  JParticle p;
+  p.t0 = 2.0;
+  p.pos = {1.0, 2.0, 3.0};
+  p.vel = {4.0, 5.0, 6.0};
+  p.acc = {7.0, 8.0, 9.0};
+  Vec3 xp, vp;
+  hermite_predict(p, 2.0, xp, vp);
+  EXPECT_EQ(xp, p.pos);
+  EXPECT_EQ(vp, p.vel);
+}
+
+TEST(Interpolate, RecoversPolynomialDerivatives) {
+  // Construct forces from a known cubic acceleration a(t) = a0 + j0 t +
+  // s0 t^2/2 + c0 t^3/6 and check a2/a3 recovery.
+  const Vec3 a0{1.0, -1.0, 0.5};
+  const Vec3 j0{0.3, 0.1, -0.2};
+  const Vec3 s0{0.05, -0.02, 0.01};
+  const Vec3 c0{0.004, 0.002, -0.006};
+  const double dt = 0.25;
+
+  Force f0, f1;
+  f0.acc = a0;
+  f0.jerk = j0;
+  f1.acc = a0 + dt * j0 + (dt * dt / 2.0) * s0 + (dt * dt * dt / 6.0) * c0;
+  f1.jerk = j0 + dt * s0 + (dt * dt / 2.0) * c0;
+
+  const HermiteDerivatives d = hermite_interpolate(f0, f1, dt);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_NEAR(d.a2[k], s0[k], 1e-12);
+    EXPECT_NEAR(d.a3[k], c0[k], 1e-12);
+  }
+}
+
+TEST(Correct, ExactForQuinticTrajectory) {
+  // For motion whose acceleration is exactly cubic in t, predictor +
+  // corrector reproduces position and velocity exactly (5th/4th order).
+  const Vec3 x0{0.0, 0.0, 0.0};
+  const Vec3 v0{1.0, 0.0, 0.0};
+  const Vec3 a0{0.0, 1.0, 0.0};
+  const Vec3 j0{0.0, 0.0, 1.0};
+  const Vec3 s0{0.5, 0.0, 0.0};
+  const Vec3 c0{0.0, 0.25, 0.0};
+  const double dt = 0.5;
+
+  const auto poly_pos = [&](double t) {
+    return x0 + t * v0 + (t * t / 2.0) * a0 + (t * t * t / 6.0) * j0 +
+           (t * t * t * t / 24.0) * s0 + (t * t * t * t * t / 120.0) * c0;
+  };
+  const auto poly_vel = [&](double t) {
+    return v0 + t * a0 + (t * t / 2.0) * j0 + (t * t * t / 6.0) * s0 +
+           (t * t * t * t / 24.0) * c0;
+  };
+
+  Force f0{a0, j0, 0.0};
+  Force f1{a0 + dt * j0 + (dt * dt / 2.0) * s0 + (dt * dt * dt / 6.0) * c0,
+           j0 + dt * s0 + (dt * dt / 2.0) * c0, 0.0};
+
+  // Predict with snap unknown (zero), as at the start of a fresh step.
+  JParticle p;
+  p.pos = x0;
+  p.vel = v0;
+  p.acc = a0;
+  p.jerk = j0;
+  p.snap = {};
+  Vec3 xp, vp;
+  hermite_predict(p, dt, xp, vp);
+
+  const HermiteDerivatives d = hermite_interpolate(f0, f1, dt);
+  Vec3 x = xp, v = vp;
+  // The corrector restores the missing snap and crackle terms... but the
+  // predictor omitted snap, so add it back through the corrector identity:
+  // x1 = x_p(no snap) + dt^4/24 a2 + dt^5/120 a3 holds when x_p includes
+  // NO snap term and a2/a3 come from the interpolation.
+  hermite_correct(d, dt, x, v);
+
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_NEAR(x[k], poly_pos(dt)[k], 1e-13);
+    EXPECT_NEAR(v[k], poly_vel(dt)[k], 1e-13);
+  }
+}
+
+TEST(AarsethTimestep, ScalesWithEta) {
+  Force f;
+  f.acc = {1.0, 0.0, 0.0};
+  f.jerk = {0.0, 2.0, 0.0};
+  const Vec3 a2{0.5, 0.5, 0.0};
+  const Vec3 a3{0.1, 0.0, 0.1};
+  const double dt1 = aarseth_timestep(f, a2, a3, 0.01);
+  const double dt4 = aarseth_timestep(f, a2, a3, 0.04);
+  EXPECT_NEAR(dt4 / dt1, 2.0, 1e-12);  // sqrt(eta) scaling
+}
+
+TEST(AarsethTimestep, DegenerateFallsBack) {
+  Force f;
+  f.acc = {1.0, 0.0, 0.0};
+  f.jerk = {2.0, 0.0, 0.0};
+  const double dt = aarseth_timestep(f, {}, {}, 0.01);
+  EXPECT_NEAR(dt, 0.01 * 1.0 / 2.0, 1e-12);
+}
+
+TEST(QuantizeTimestep, PowerOfTwoGrid) {
+  EXPECT_DOUBLE_EQ(quantize_timestep(0.3, 1e-6, 0.125), 0.125);   // clamp max
+  EXPECT_DOUBLE_EQ(quantize_timestep(0.1, 1e-6, 0.125), 0.0625);  // 2^-4
+  EXPECT_DOUBLE_EQ(quantize_timestep(0.0625, 1e-6, 0.125), 0.0625);
+  EXPECT_DOUBLE_EQ(quantize_timestep(1e-9, 1e-6, 0.125), 1e-6);   // clamp min
+}
+
+TEST(QuantizeTimestep, ResultIsAlwaysPowerOfTwoTimesMin) {
+  for (double req : {0.9, 0.5, 0.26, 0.1, 0.01, 0.003}) {
+    const double dt = quantize_timestep(req, std::exp2(-20), 0.25);
+    const double l = std::log2(dt);
+    EXPECT_DOUBLE_EQ(l, std::floor(l)) << req;
+    EXPECT_LE(dt, req);
+  }
+}
+
+TEST(CommensurateTimestep, HalvesUntilAligned) {
+  // t = 0.375 = 3/8: dt = 1/4 not allowed (0.375/0.25 = 1.5), dt = 1/8 ok.
+  EXPECT_DOUBLE_EQ(commensurate_timestep(0.375, 0.25, 1e-6), 0.125);
+  // t = 0.5: dt = 0.25 allowed.
+  EXPECT_DOUBLE_EQ(commensurate_timestep(0.5, 0.25, 1e-6), 0.25);
+  // t = 0: everything allowed.
+  EXPECT_DOUBLE_EQ(commensurate_timestep(0.0, 0.125, 1e-6), 0.125);
+}
+
+}  // namespace
+}  // namespace g6

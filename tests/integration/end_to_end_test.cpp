@@ -1,0 +1,138 @@
+// Integration tests: whole-stack behaviours the paper's evaluation relies
+// on, crossing module boundaries (models -> integrator -> emulated
+// hardware -> performance model).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/grape6.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(EndToEnd, GrapeAndCpuTrajectoriesAgree) {
+  // The hardware word sizes were chosen so that hardware rounding stays
+  // below the integrator truncation error over dynamical times.
+  Rng rng(1);
+  const double eps = 1.0 / 64.0;
+  const ParticleSet initial = make_plummer(48, rng);
+
+  DirectForceEngine cpu(eps);
+  MachineConfig mc = MachineConfig::single_host();
+  mc.boards_per_host = 1;
+  GrapeForceEngine hw(mc, NumberFormats{}, eps);
+
+  HermiteConfig cfg;
+  HermiteIntegrator a(initial, cpu, cfg), b(initial, hw, cfg);
+  a.evolve(0.25);
+  b.evolve(0.25);
+
+  const ParticleSet sa = a.state_at_current_time();
+  const ParticleSet sb = b.state_at_current_time();
+  double rms = 0.0;
+  for (std::size_t i = 0; i < sa.size(); ++i) rms += norm2(sa[i].pos - sb[i].pos);
+  rms = std::sqrt(rms / static_cast<double>(sa.size()));
+  EXPECT_LT(rms, 1e-3);
+}
+
+TEST(EndToEnd, SpeedCurveShapesMatchPaper) {
+  // Mini Fig 15: at small N one host wins; at large N four hosts win.
+  TraceScaling scaling;
+  scaling.steps_rate = {40.0, 0.2, 1.0};
+  scaling.block_fraction = {0.3, -0.17, 1.0};
+  scaling.log_block_sigma = 1.5;
+
+  const SystemConfig h1 = SystemConfig::cluster(1);
+  const SystemConfig h4 = SystemConfig::cluster(4);
+  const SpeedPoint small1 =
+      measure_speed_synthetic(512, SofteningLaw::kConstant, h1, scaling);
+  const SpeedPoint small4 =
+      measure_speed_synthetic(512, SofteningLaw::kConstant, h4, scaling);
+  const SpeedPoint big1 =
+      measure_speed_synthetic(1 << 20, SofteningLaw::kConstant, h1, scaling);
+  const SpeedPoint big4 =
+      measure_speed_synthetic(1 << 20, SofteningLaw::kConstant, h4, scaling);
+
+  EXPECT_GT(small1.speed_flops, small4.speed_flops);  // crossover exists
+  EXPECT_GT(big4.speed_flops, 2.0 * big1.speed_flops);  // parallel payoff
+}
+
+TEST(EndToEnd, SingleHostExceedsOneTflopAtPaperSize) {
+  // Sec 4.4: "better than 1 Tflops at N = 2e5" on a single node. Use the
+  // same fitted-scaling construction as the figures.
+  TraceScaling scaling;
+  scaling.steps_rate = {40.0, 0.2, 1.0};
+  scaling.block_fraction = {0.3, -0.17, 1.0};
+  scaling.log_block_sigma = 1.5;
+  const SpeedPoint pt = measure_speed_synthetic(
+      200'000, SofteningLaw::kConstant, SystemConfig::single_host(), scaling);
+  EXPECT_GT(pt.tflops(), 1.0);
+  EXPECT_LT(pt.tflops(), 3.94);  // below configuration peak
+}
+
+TEST(EndToEnd, NicUpgradeImprovesEverywhere) {
+  TraceScaling scaling;
+  scaling.steps_rate = {40.0, 0.2, 1.0};
+  scaling.block_fraction = {0.3, -0.17, 1.0};
+  scaling.log_block_sigma = 1.5;
+
+  const SystemConfig original = SystemConfig::multi_cluster(4);
+  const SystemConfig tuned = SystemConfig::tuned(4);
+  for (std::size_t n : {2048u, 65536u, 1048576u}) {
+    const double slow =
+        measure_speed_synthetic(n, SofteningLaw::kConstant, original, scaling)
+            .speed_flops;
+    const double fast =
+        measure_speed_synthetic(n, SofteningLaw::kConstant, tuned, scaling)
+            .speed_flops;
+    EXPECT_GT(fast, slow) << n;
+  }
+}
+
+TEST(EndToEnd, VirtualClusterSpeedConsistentWithModelCurve) {
+  // The emulated cluster's virtual time per step should sit near the
+  // analytic model's prediction for its own measured schedule.
+  Rng rng(9);
+  const ParticleSet initial = make_plummer(96, rng);
+  VirtualClusterConfig cfg;
+  cfg.system = SystemConfig::cluster(2);
+  cfg.system.machine.boards_per_host = 1;
+  cfg.hermite.record_trace = true;
+  VirtualCluster cluster(initial, cfg);
+  cluster.evolve(0.25);
+
+  const SpeedPoint modeled =
+      measure_speed_from_trace(cluster.trace(), cfg.eps, cfg.system);
+  const double emulated_per_step =
+      cluster.virtual_seconds() / static_cast<double>(cluster.total_steps());
+  EXPECT_NEAR(emulated_per_step / modeled.time_per_step_s, 1.0, 0.2);
+}
+
+TEST(EndToEnd, TreecodeAndHermiteAgreeOnDynamics) {
+  // Same cold-collapse system, two completely independent engines: the
+  // half-mass radii must evolve consistently.
+  Rng rng1(33), rng2(33);
+  const ParticleSet a0 = make_uniform_sphere(256, rng1, 1.5, 0.3);
+  const ParticleSet b0 = make_uniform_sphere(256, rng2, 1.5, 0.3);
+
+  DirectForceEngine engine(0.05);
+  HermiteIntegrator hermite(a0, engine);
+  hermite.evolve(0.5);
+
+  TreecodeConfig tcfg;
+  tcfg.theta = 0.3;
+  tcfg.eps = 0.05;
+  tcfg.dt = 1.0 / 512.0;
+  TreecodeIntegrator tree(b0, tcfg);
+  tree.evolve(0.5);
+
+  const double fractions[] = {0.5};
+  const double rh_h =
+      lagrangian_radii(hermite.state_at_current_time().bodies(), fractions)[0];
+  const double rh_t = lagrangian_radii(tree.state().bodies(), fractions)[0];
+  EXPECT_NEAR(rh_h / rh_t, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,72 @@
+#include "nbody/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(Energy, TwoBodyAnalytic) {
+  ParticleSet s;
+  s.add({2.0, {1.0, 0.0, 0.0}, {0.0, 0.5, 0.0}});
+  s.add({3.0, {-1.0, 0.0, 0.0}, {0.0, -0.5, 0.0}});
+  const EnergyReport e = compute_energy(s.bodies());
+  EXPECT_DOUBLE_EQ(e.kinetic, 0.5 * 2.0 * 0.25 + 0.5 * 3.0 * 0.25);
+  EXPECT_DOUBLE_EQ(e.potential, -2.0 * 3.0 / 2.0);
+  EXPECT_DOUBLE_EQ(e.total(), e.kinetic + e.potential);
+}
+
+TEST(Energy, SofteningWeakensPotential) {
+  ParticleSet s;
+  s.add({1.0, {0.5, 0.0, 0.0}, {}});
+  s.add({1.0, {-0.5, 0.0, 0.0}, {}});
+  const EnergyReport hard = compute_energy(s.bodies(), 0.0);
+  const EnergyReport soft = compute_energy(s.bodies(), 1.0);
+  EXPECT_DOUBLE_EQ(hard.potential, -1.0);
+  EXPECT_DOUBLE_EQ(soft.potential, -1.0 / std::sqrt(2.0));
+}
+
+TEST(Energy, VirialRatioOfCircularBinary) {
+  // Circular binary: 2T/|W| = 1.
+  ParticleSet s;
+  s.add({0.5, {0.5, 0.0, 0.0}, {0.0, 0.5, 0.0}});
+  s.add({0.5, {-0.5, 0.0, 0.0}, {0.0, -0.5, 0.0}});
+  const EnergyReport e = compute_energy(s.bodies());
+  EXPECT_NEAR(e.virial_ratio(), 1.0, 1e-12);
+}
+
+TEST(AngularMomentum, CircularBinary) {
+  ParticleSet s;
+  s.add({0.5, {0.5, 0.0, 0.0}, {0.0, 0.5, 0.0}});
+  s.add({0.5, {-0.5, 0.0, 0.0}, {0.0, -0.5, 0.0}});
+  const Vec3 l = compute_angular_momentum(s.bodies());
+  EXPECT_DOUBLE_EQ(l.z, 2.0 * (0.5 * 0.5 * 0.5));
+  EXPECT_DOUBLE_EQ(l.x, 0.0);
+}
+
+TEST(LagrangianRadii, SimpleShellStructure) {
+  // 4 equal masses at radii 1,2,3,4.
+  ParticleSet s;
+  for (int i = 1; i <= 4; ++i) {
+    s.add({0.25, {static_cast<double>(i), 0.0, 0.0}, {}});
+  }
+  // COM at x=2.5; radii about COM: 1.5, 0.5, 0.5, 1.5.
+  const double fracs[] = {0.25, 0.5, 1.0};
+  const auto r = lagrangian_radii(s.bodies(), fracs);
+  EXPECT_DOUBLE_EQ(r[0], 0.5);
+  EXPECT_DOUBLE_EQ(r[1], 0.5);
+  EXPECT_DOUBLE_EQ(r[2], 1.5);
+}
+
+TEST(LagrangianRadii, RejectsBadFraction) {
+  ParticleSet s;
+  s.add({1.0, {}, {}});
+  const double bad[] = {1.5};
+  EXPECT_THROW(lagrangian_radii(s.bodies(), bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nbody/diagnostics.hpp"
+#include "nbody/models.hpp"
+#include "util/units.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(Hernquist, HeggieUnitsAndVirial) {
+  Rng rng(3);
+  const ParticleSet s = make_hernquist(8192, rng);
+  EXPECT_NEAR(s.total_mass(), 1.0, 1e-12);
+  const EnergyReport e = compute_energy(s.bodies());
+  // Truncation at rmax (M(<100a) = 0.98) and sampling noise leave a few
+  // percent of extra binding.
+  EXPECT_NEAR(e.total(), units::kTotalEnergy, 0.05);
+  EXPECT_NEAR(e.virial_ratio(), 1.0, 0.08);
+}
+
+TEST(Hernquist, HalfMassRadiusMatchesAnalytic) {
+  // M(r) = r^2/(r+a)^2 = 1/2 at r = a (1+sqrt 2); with the exact Heggie
+  // scaling lambda = 1/3: r_h = (1+sqrt2)/3 ~ 0.8047.
+  Rng rng(4);
+  const ParticleSet s = make_hernquist(16384, rng);
+  const double fr[] = {0.5};
+  const double rh = lagrangian_radii(s.bodies(), fr)[0];
+  EXPECT_NEAR(rh, (1.0 + std::sqrt(2.0)) / 3.0, 0.08);
+}
+
+TEST(Hernquist, CuspierThanPlummer) {
+  // rho ~ 1/r at the center: the 5% Lagrangian radius is much smaller
+  // relative to r_h than Plummer's.
+  Rng rng(5);
+  const ParticleSet h = make_hernquist(8192, rng);
+  const ParticleSet p = make_plummer(8192, rng);
+  const double fr[] = {0.05, 0.5};
+  const auto rh = lagrangian_radii(h.bodies(), fr);
+  const auto rp = lagrangian_radii(p.bodies(), fr);
+  EXPECT_LT(rh[0] / rh[1], 0.6 * rp[0] / rp[1]);
+}
+
+TEST(Hernquist, AllBoundAndWithinCutoff) {
+  Rng rng(6);
+  const double rmax = 20.0;
+  const ParticleSet s = make_hernquist(2048, rng, rmax);
+  for (const auto& b : s.bodies()) {
+    EXPECT_LT(norm(b.pos), rmax);  // rmax in model units > Heggie units
+  }
+  EXPECT_LT(compute_energy(s.bodies()).total(), 0.0);
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,108 @@
+#include "nbody/kepler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+TEST(SolveKepler, ExactForCircular) {
+  for (double m : {0.0, 1.0, 3.0, 6.0}) {
+    EXPECT_NEAR(solve_kepler(m, 0.0), std::fmod(m, kTwoPi), 1e-14);
+  }
+}
+
+TEST(SolveKepler, SatisfiesKeplerEquation) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double e = rng.uniform(0.0, 0.95);
+    const double m = rng.uniform(-10.0, 10.0);
+    const double ea = solve_kepler(m, e);
+    const double m_back = ea - e * std::sin(ea);
+    const double m_wrapped = std::fmod(std::fmod(m, kTwoPi) + kTwoPi, kTwoPi);
+    EXPECT_NEAR(m_back, m_wrapped, 1e-12) << "e=" << e << " M=" << m;
+  }
+}
+
+TEST(SolveKepler, RejectsUnboundOrbit) {
+  EXPECT_THROW(solve_kepler(1.0, 1.5), PreconditionError);
+}
+
+TEST(Elements, RoundTripThroughState) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    OrbitalElements el;
+    el.semi_major_axis = rng.uniform(0.5, 5.0);
+    el.eccentricity = rng.uniform(0.0, 0.9);
+    el.inclination = rng.uniform(0.01, 3.0);
+    el.ascending_node = rng.uniform(0.0, kTwoPi);
+    el.arg_periapsis = rng.uniform(0.0, kTwoPi);
+    el.mean_anomaly = rng.uniform(0.0, kTwoPi);
+    const double mu = rng.uniform(0.5, 2.0);
+
+    const RelativeState s = elements_to_state(el, mu);
+    const OrbitalElements back = state_to_elements(s, mu);
+    EXPECT_NEAR(back.semi_major_axis, el.semi_major_axis, 1e-9);
+    EXPECT_NEAR(back.eccentricity, el.eccentricity, 1e-9);
+    EXPECT_NEAR(back.inclination, el.inclination, 1e-9);
+    if (el.eccentricity > 1e-3) {
+      EXPECT_NEAR(std::cos(back.mean_anomaly), std::cos(el.mean_anomaly), 1e-6);
+      EXPECT_NEAR(std::sin(back.mean_anomaly), std::sin(el.mean_anomaly), 1e-6);
+    }
+  }
+}
+
+TEST(Elements, VisVivaHolds) {
+  OrbitalElements el;
+  el.semi_major_axis = 2.0;
+  el.eccentricity = 0.5;
+  el.mean_anomaly = 1.2;
+  const double mu = 1.0;
+  const RelativeState s = elements_to_state(el, mu);
+  const double r = norm(s.pos);
+  const double v2 = norm2(s.vel);
+  EXPECT_NEAR(v2, mu * (2.0 / r - 1.0 / el.semi_major_axis), 1e-12);
+}
+
+TEST(Propagate, FullPeriodReturnsToStart) {
+  OrbitalElements el;
+  el.semi_major_axis = 1.3;
+  el.eccentricity = 0.4;
+  el.inclination = 0.3;
+  el.mean_anomaly = 0.7;
+  const double mu = 1.0;
+  const RelativeState s0 = elements_to_state(el, mu);
+  const double period = orbital_period(el.semi_major_axis, mu);
+  const RelativeState s1 = propagate_kepler(s0, mu, period);
+  EXPECT_NEAR(norm(s1.pos - s0.pos), 0.0, 1e-9);
+  EXPECT_NEAR(norm(s1.vel - s0.vel), 0.0, 1e-9);
+}
+
+TEST(Propagate, EnergyAndMomentumConserved) {
+  OrbitalElements el;
+  el.semi_major_axis = 1.0;
+  el.eccentricity = 0.8;
+  const double mu = 1.5;
+  RelativeState s = elements_to_state(el, mu);
+  const double e0 = orbital_energy(s, mu);
+  const Vec3 h0 = cross(s.pos, s.vel);
+  for (int i = 0; i < 20; ++i) {
+    s = propagate_kepler(s, mu, 0.37);
+    EXPECT_NEAR(orbital_energy(s, mu), e0, 1e-10);
+    EXPECT_NEAR(norm(cross(s.pos, s.vel) - h0), 0.0, 1e-10);
+  }
+}
+
+TEST(OrbitalPeriod, KeplersThirdLaw) {
+  EXPECT_NEAR(orbital_period(1.0, 1.0), kTwoPi, 1e-12);
+  EXPECT_NEAR(orbital_period(4.0, 1.0), 8.0 * kTwoPi, 1e-9);
+}
+
+}  // namespace
+}  // namespace g6

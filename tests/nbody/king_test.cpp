@@ -1,0 +1,101 @@
+#include "nbody/king.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nbody/diagnostics.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(KingProfile, DensityOfWBasics) {
+  EXPECT_EQ(KingProfile::density_of_w(0.0), 0.0);
+  EXPECT_EQ(KingProfile::density_of_w(-1.0), 0.0);
+  EXPECT_GT(KingProfile::density_of_w(3.0), 0.0);
+  // Monotone in W.
+  EXPECT_GT(KingProfile::density_of_w(6.0), KingProfile::density_of_w(3.0));
+}
+
+TEST(KingProfile, PotentialDecreasesToZeroAtTidalRadius) {
+  const KingProfile p(6.0);
+  EXPECT_DOUBLE_EQ(p.w_at(0.0), 6.0);
+  EXPECT_GT(p.tidal_radius(), 1.0);
+  EXPECT_NEAR(p.w_at(p.tidal_radius()), 0.0, 1e-6);
+  // Monotone decreasing.
+  double prev = p.w_at(0.0);
+  for (double r = 0.25; r < p.tidal_radius(); r += 0.25) {
+    const double w = p.w_at(r);
+    EXPECT_LT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(KingProfile, ConcentrationGrowsWithW0) {
+  const KingProfile shallow(3.0);
+  const KingProfile deep(9.0);
+  EXPECT_GT(deep.concentration(), shallow.concentration());
+  // Known ballpark values (King 1966): c ~ 0.67/1.03/2.12 for W0=3/6/9.
+  EXPECT_NEAR(shallow.concentration(), 0.67, 0.15);
+  EXPECT_NEAR(deep.concentration(), 2.12, 0.3);
+}
+
+TEST(KingProfile, MassProfileMonotone) {
+  const KingProfile p(6.0);
+  double prev = 0.0;
+  for (double r = 0.2; r <= p.tidal_radius(); r += 0.2) {
+    const double m = p.mass_within(r);
+    EXPECT_GE(m, prev);
+    prev = m;
+  }
+  EXPECT_NEAR(p.mass_within(p.tidal_radius() * 2.0), p.total_mass(), 1e-12);
+}
+
+TEST(KingProfile, RejectsSillyW0) {
+  EXPECT_THROW(KingProfile(0.0), PreconditionError);
+  EXPECT_THROW(KingProfile(50.0), PreconditionError);
+}
+
+TEST(MakeKing, HeggieUnitsAndVirial) {
+  Rng rng(77);
+  const ParticleSet s = make_king(4096, 6.0, rng);
+  EXPECT_EQ(s.size(), 4096u);
+  EXPECT_NEAR(s.total_mass(), 1.0, 1e-12);
+  EXPECT_NEAR(norm(s.center_of_mass()), 0.0, 1e-10);
+  const EnergyReport e = compute_energy(s.bodies());
+  EXPECT_NEAR(e.total(), units::kTotalEnergy, 1e-6);  // exact by rescale
+  EXPECT_NEAR(e.virial_ratio(), 1.0, 1e-6);
+}
+
+TEST(MakeKing, AllSpeedsBelowLocalEscape) {
+  // f(E) truncation: no particle above the local escape speed (model
+  // units before rescale; after rescale the system stays bound).
+  Rng rng(78);
+  const ParticleSet s = make_king(1024, 5.0, rng);
+  const EnergyReport e = compute_energy(s.bodies());
+  EXPECT_LT(e.total(), 0.0);
+}
+
+TEST(MakeKing, MoreConcentratedThanPlummerCore) {
+  // Deep King models have a smaller core (Lagrangian r_10) relative to
+  // the half-mass radius than shallow ones.
+  Rng rng(79);
+  const ParticleSet deep = make_king(4096, 9.0, rng);
+  const ParticleSet shallow = make_king(4096, 3.0, rng);
+  const double fr[] = {0.1, 0.5};
+  const auto rd = lagrangian_radii(deep.bodies(), fr);
+  const auto rs = lagrangian_radii(shallow.bodies(), fr);
+  EXPECT_LT(rd[0] / rd[1], rs[0] / rs[1]);
+}
+
+TEST(MakeKing, DeterministicForSeed) {
+  Rng a(80), b(80);
+  const ParticleSet s1 = make_king(128, 6.0, a);
+  const ParticleSet s2 = make_king(128, 6.0, b);
+  for (std::size_t i = 0; i < s1.size(); ++i) EXPECT_EQ(s1[i].pos, s2[i].pos);
+}
+
+}  // namespace
+}  // namespace g6

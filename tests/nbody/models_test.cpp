@@ -1,0 +1,118 @@
+#include "nbody/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nbody/diagnostics.hpp"
+#include "nbody/kepler.hpp"
+#include "util/units.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(Plummer, HeggieUnitsHold) {
+  Rng rng(11);
+  const ParticleSet s = make_plummer(4096, rng);
+  EXPECT_EQ(s.size(), 4096u);
+  EXPECT_NEAR(s.total_mass(), 1.0, 1e-12);
+  EXPECT_NEAR(norm(s.center_of_mass()), 0.0, 1e-12);
+  EXPECT_NEAR(norm(s.center_of_mass_velocity()), 0.0, 1e-12);
+
+  // E = -1/4 and virial equilibrium 2T/|W| = 1, within sampling noise.
+  const EnergyReport e = compute_energy(s.bodies());
+  EXPECT_NEAR(e.total(), units::kTotalEnergy, 0.02);
+  EXPECT_NEAR(e.virial_ratio(), 1.0, 0.08);
+}
+
+TEST(Plummer, HalfMassRadiusMatchesTheory) {
+  // Plummer half-mass radius: a * 1/sqrt(2^(2/3)-1) ~ 1.3048 a, with
+  // a = 3*pi/16 in Heggie units -> r_h ~ 0.769.
+  Rng rng(13);
+  const ParticleSet s = make_plummer(8192, rng);
+  const double fractions[] = {0.5};
+  const auto r = lagrangian_radii(s.bodies(), fractions);
+  EXPECT_NEAR(r[0], 0.7686, 0.05);
+}
+
+TEST(Plummer, RespectsRmaxCutoff) {
+  Rng rng(17);
+  const ParticleSet s = make_plummer(2048, rng, 5.0);
+  for (const auto& b : s.bodies()) {
+    EXPECT_LT(norm(b.pos), 5.5);  // COM shift allows slight excess
+  }
+}
+
+TEST(Plummer, DeterministicForSeed) {
+  Rng r1(21), r2(21);
+  const ParticleSet a = make_plummer(128, r1);
+  const ParticleSet b = make_plummer(128, r2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pos, b[i].pos);
+    EXPECT_EQ(a[i].vel, b[i].vel);
+  }
+}
+
+TEST(PlummerWithBh, MassBudgetAndSymmetry) {
+  Rng rng(23);
+  const ParticleSet s = make_plummer_with_bh_binary(1000, rng, 0.005, 0.5);
+  EXPECT_EQ(s.size(), 1002u);
+  EXPECT_NEAR(s.total_mass(), 1.0, 1e-12);
+  // The two black holes are the last two bodies and carry 0.5% each.
+  const Body& bh1 = s[1000];
+  const Body& bh2 = s[1001];
+  EXPECT_NEAR(bh1.mass, 0.005, 1e-12);
+  EXPECT_NEAR(bh2.mass, 0.005, 1e-12);
+  // Mass ratio to a field particle: f*n/(1-2f) = 0.005*1000/0.99.
+  EXPECT_NEAR(bh1.mass / s[0].mass, 0.005 * 1000.0 / 0.99, 1e-9);
+  // Separation as requested.
+  EXPECT_NEAR(norm(bh1.pos - bh2.pos), 0.5, 1e-9);
+}
+
+TEST(PlannetesimalDisk, OrbitsAreNearCircularKepler) {
+  Rng rng(29);
+  DiskParams p;
+  const ParticleSet s = make_planetesimal_disk(500, rng, p);
+  EXPECT_EQ(s.size(), 501u);
+  EXPECT_NEAR(s[0].mass, 1.0, 1e-12);  // star
+
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    const RelativeState rel{s[i].pos - s[0].pos, s[i].vel - s[0].vel};
+    const OrbitalElements el =
+        state_to_elements(rel, units::kGravity * (s[0].mass + s[i].mass));
+    EXPECT_GE(el.semi_major_axis, p.r_inner * 0.99);
+    EXPECT_LE(el.semi_major_axis, p.r_outer * 1.01);
+    EXPECT_LT(el.eccentricity, 0.2);
+    EXPECT_LT(el.inclination, 0.2);
+  }
+}
+
+TEST(PlannetesimalDisk, DiskMassSharedEqually) {
+  Rng rng(31);
+  DiskParams p;
+  p.disk_mass = 1e-4;
+  const ParticleSet s = make_planetesimal_disk(100, rng, p);
+  double disk_mass = 0.0;
+  for (std::size_t i = 1; i < s.size(); ++i) disk_mass += s[i].mass;
+  EXPECT_NEAR(disk_mass, 1e-4, 1e-15);
+}
+
+TEST(UniformSphere, RadiusAndVirialRatio) {
+  Rng rng(37);
+  const ParticleSet s = make_uniform_sphere(4096, rng, 2.0, 0.5);
+  for (const auto& b : s.bodies()) EXPECT_LT(norm(b.pos), 2.3);
+  const EnergyReport e = compute_energy(s.bodies());
+  // Target was set against the analytic W of the smooth sphere, so allow
+  // discreteness noise.
+  EXPECT_NEAR(e.virial_ratio(), 0.5, 0.1);
+}
+
+TEST(UniformSphere, ColdStartHasNoKinetic) {
+  Rng rng(41);
+  const ParticleSet s = make_uniform_sphere(256, rng, 1.0, 0.0);
+  const EnergyReport e = compute_energy(s.bodies());
+  EXPECT_EQ(e.kinetic, 0.0);
+}
+
+}  // namespace
+}  // namespace g6

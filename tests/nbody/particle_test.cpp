@@ -1,0 +1,51 @@
+#include "nbody/particle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace g6 {
+namespace {
+
+ParticleSet two_body() {
+  ParticleSet s;
+  s.add({1.0, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}});
+  s.add({3.0, {-1.0, 0.0, 0.0}, {0.0, -1.0, 0.0}});
+  return s;
+}
+
+TEST(ParticleSet, TotalMass) { EXPECT_DOUBLE_EQ(two_body().total_mass(), 4.0); }
+
+TEST(ParticleSet, CenterOfMass) {
+  const ParticleSet s = two_body();
+  const Vec3 com = s.center_of_mass();
+  EXPECT_DOUBLE_EQ(com.x, (1.0 * 1.0 + 3.0 * -1.0) / 4.0);
+  EXPECT_DOUBLE_EQ(com.y, 0.0);
+  const Vec3 vcom = s.center_of_mass_velocity();
+  EXPECT_DOUBLE_EQ(vcom.y, (1.0 - 3.0) / 4.0);
+}
+
+TEST(ParticleSet, ToComFrameZerosMoments) {
+  ParticleSet s = two_body();
+  s.to_com_frame();
+  EXPECT_NEAR(norm(s.center_of_mass()), 0.0, 1e-15);
+  EXPECT_NEAR(norm(s.center_of_mass_velocity()), 0.0, 1e-15);
+}
+
+TEST(ParticleSet, NormalizeMass) {
+  ParticleSet s = two_body();
+  s.normalize_mass(1.0);
+  EXPECT_NEAR(s.total_mass(), 1.0, 1e-15);
+  // Ratios preserved.
+  EXPECT_NEAR(s[1].mass / s[0].mass, 3.0, 1e-15);
+}
+
+TEST(ParticleSet, EmptySystemGuards) {
+  ParticleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.center_of_mass(), PreconditionError);
+  EXPECT_THROW(s.normalize_mass(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,59 @@
+#include "nbody/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nbody/models.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(Snapshot, RoundTripIsBitExact) {
+  Rng rng(3);
+  const ParticleSet original = make_plummer(64, rng);
+  std::stringstream ss;
+  write_snapshot(ss, original, 2.5);
+
+  double t = 0.0;
+  const ParticleSet loaded = read_snapshot(ss, t);
+  EXPECT_DOUBLE_EQ(t, 2.5);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].mass, original[i].mass);
+    EXPECT_EQ(loaded[i].pos, original[i].pos);
+    EXPECT_EQ(loaded[i].vel, original[i].vel);
+  }
+}
+
+TEST(Snapshot, TruncatedInputThrows) {
+  std::stringstream ss("3 0.0\n1.0 0 0 0 0 0 0\n");
+  double t;
+  EXPECT_THROW(read_snapshot(ss, t), std::runtime_error);
+}
+
+TEST(Snapshot, BadHeaderThrows) {
+  std::stringstream ss("not_a_number\n");
+  double t;
+  EXPECT_THROW(read_snapshot(ss, t), std::runtime_error);
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  Rng rng(4);
+  const ParticleSet original = make_plummer(16, rng);
+  const std::string path = ::testing::TempDir() + "/snap_test.txt";
+  save_snapshot(path, original, 1.0);
+  double t = 0.0;
+  const ParticleSet loaded = load_snapshot(path, t);
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(Snapshot, MissingFileThrows) {
+  double t;
+  EXPECT_THROW(load_snapshot("/nonexistent/dir/x.txt", t), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace g6

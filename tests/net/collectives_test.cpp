@@ -1,0 +1,84 @@
+#include "net/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/clock.hpp"
+#include "net/nic.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(Nic, MessageTimeDecomposition) {
+  const NicModel nic{"test", 100e-6, 50e6};
+  EXPECT_DOUBLE_EQ(nic.one_way_latency(), 50e-6);
+  EXPECT_DOUBLE_EQ(nic.message_time(0), 50e-6);
+  EXPECT_DOUBLE_EQ(nic.message_time(50'000'000), 50e-6 + 1.0);
+}
+
+TEST(Nic, PaperProfiles) {
+  // The constants measured in Sec 4.4.
+  EXPECT_DOUBLE_EQ(nics::ns83820().round_trip_latency_s, 200e-6);
+  EXPECT_DOUBLE_EQ(nics::ns83820().bandwidth_Bps, 60e6);
+  EXPECT_DOUBLE_EQ(nics::intel82540().round_trip_latency_s, 67e-6);
+  EXPECT_DOUBLE_EQ(nics::intel82540().bandwidth_Bps, 105e6);
+  // Myrinet what-if: 5-10x lower latency.
+  EXPECT_LT(nics::myrinet().round_trip_latency_s,
+            nics::ns83820().round_trip_latency_s / 5.0);
+}
+
+TEST(Butterfly, StageCount) {
+  EXPECT_EQ(butterfly_stages(1), 0u);
+  EXPECT_EQ(butterfly_stages(2), 1u);
+  EXPECT_EQ(butterfly_stages(4), 2u);
+  EXPECT_EQ(butterfly_stages(5), 3u);
+  EXPECT_EQ(butterfly_stages(16), 4u);
+}
+
+TEST(Butterfly, BarrierScalesLogarithmically) {
+  const NicModel nic = nics::ns83820();
+  const double t2 = butterfly_barrier_time(2, nic);
+  const double t16 = butterfly_barrier_time(16, nic);
+  EXPECT_DOUBLE_EQ(t16, 4.0 * t2);
+  EXPECT_DOUBLE_EQ(butterfly_barrier_time(1, nic), 0.0);
+}
+
+TEST(Butterfly, MpichBarrierIsTwiceButterfly) {
+  // Sec 4.4: the hand-rolled butterfly is "about two times faster than
+  // MPI_barrier provided by MPICH/p4".
+  const NicModel nic = nics::ns83820();
+  EXPECT_DOUBLE_EQ(mpich_barrier_time(8, nic),
+                   2.0 * butterfly_barrier_time(8, nic));
+}
+
+TEST(Butterfly, AllgatherVolumeDoubling) {
+  const NicModel nic{"flat", 0.0, 1e6};  // pure bandwidth
+  // 4 hosts: stages carry b, 2b -> total 3b bytes.
+  const double t = butterfly_allgather_time(4, 1000, nic);
+  EXPECT_DOUBLE_EQ(t, 3000.0 / 1e6);
+}
+
+TEST(Fanout, SerializesOnSenderNic) {
+  const NicModel nic{"test", 100e-6, 1e9};
+  EXPECT_NEAR(fanout_time(3, 1000, nic), 3.0 * nic.message_time(1000), 1e-15);
+}
+
+TEST(VirtualClock, AdvanceAndSync) {
+  VirtualClock clocks[3];
+  clocks[0].advance(1.0);
+  clocks[1].advance(5.0);
+  clocks[2].advance(2.0);
+  synchronize_clocks(clocks, 0.5);
+  for (const auto& c : clocks) EXPECT_DOUBLE_EQ(c.now(), 5.5);
+}
+
+TEST(VirtualClock, AdvanceToNeverGoesBack) {
+  VirtualClock c;
+  c.advance(10.0);
+  c.advance_to(5.0);
+  EXPECT_DOUBLE_EQ(c.now(), 10.0);
+  c.advance_to(12.0);
+  EXPECT_DOUBLE_EQ(c.now(), 12.0);
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,57 @@
+#include "parallel/alternatives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/nic.hpp"
+
+namespace g6 {
+namespace {
+
+const NicModel kNic = nics::ns83820();
+constexpr std::size_t kRecord = 104;
+
+TEST(Alternatives, SingleHostIsFree) {
+  EXPECT_EQ(copy_algorithm_comm_time(1, 1000, kRecord, kNic), 0.0);
+  EXPECT_EQ(ring_algorithm_comm_time(1, 1000, kRecord, kNic), 0.0);
+  EXPECT_EQ(grid_algorithm_comm_time(1, 1000, kRecord, kNic), 0.0);
+}
+
+TEST(Alternatives, CopyAndRingDoNotScale) {
+  // Sec 3.2: for copy/ring "the amount of communication is independent of
+  // the number of processors" — time per host does not shrink with p.
+  const std::size_t block = 4096;
+  const double copy4 = copy_algorithm_comm_time(4, block, kRecord, kNic);
+  const double copy16 = copy_algorithm_comm_time(16, block, kRecord, kNic);
+  EXPECT_GT(copy16, 0.8 * copy4);
+
+  const double ring4 = ring_algorithm_comm_time(4, block, kRecord, kNic);
+  const double ring16 = ring_algorithm_comm_time(16, block, kRecord, kNic);
+  EXPECT_GT(ring16, 0.8 * ring4);
+}
+
+TEST(Alternatives, GridCommunicationShrinksWithR) {
+  // Sec 3.2: the 2D grid improves effective bandwidth by a factor r.
+  const std::size_t block = 1 << 16;  // bandwidth-dominated regime
+  const double g2 = grid_algorithm_comm_time(2, block, kRecord, kNic);
+  const double g8 = grid_algorithm_comm_time(8, block, kRecord, kNic);
+  EXPECT_LT(g8, g2);
+}
+
+TEST(Alternatives, GridBeatsCopyForLargeMachines) {
+  // The design rationale: at r^2 = 16 hosts and a realistic block, the 2D
+  // grid moves less data per host than the copy algorithm.
+  const std::size_t block = 1 << 15;
+  const double copy = copy_algorithm_comm_time(16, block, kRecord, kNic);
+  const double grid = grid_algorithm_comm_time(4, block, kRecord, kNic);
+  EXPECT_LT(grid, copy);
+}
+
+TEST(Alternatives, LatencyFloorForTinyBlocks) {
+  // With a 1-particle block everything is latency; copy's butterfly has
+  // ceil(log2 p) stages.
+  const double t = copy_algorithm_comm_time(8, 1, kRecord, kNic);
+  EXPECT_GE(t, 3.0 * kNic.one_way_latency());
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,122 @@
+#include "parallel/virtual_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nbody/diagnostics.hpp"
+#include "nbody/models.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+VirtualClusterConfig small_config(std::size_t hosts, std::size_t clusters = 1) {
+  VirtualClusterConfig cfg;
+  cfg.system = clusters > 1 ? SystemConfig::multi_cluster(clusters)
+                            : SystemConfig::cluster(hosts);
+  if (clusters > 1) cfg.system.machine.hosts_per_cluster = hosts;
+  // Keep the emulation cheap: one board per host.
+  cfg.system.machine.boards_per_host = 1;
+  cfg.eps = 1.0 / 64.0;
+  cfg.hermite.record_trace = true;
+  return cfg;
+}
+
+ParticleSet test_system(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  return make_plummer(n, rng);
+}
+
+TEST(VirtualCluster, DynamicsBitIdenticalAcrossHostCounts) {
+  // The paper's headline reproducibility property at system level: block
+  // floating point makes the result independent of the machine size.
+  const ParticleSet s = test_system(64, 1);
+  VirtualCluster c1(s, small_config(1));
+  VirtualCluster c2(s, small_config(2));
+  VirtualCluster c4(s, small_config(4));
+  c1.evolve(0.125);
+  c2.evolve(0.125);
+  c4.evolve(0.125);
+
+  EXPECT_EQ(c1.total_steps(), c2.total_steps());
+  EXPECT_EQ(c1.total_steps(), c4.total_steps());
+  EXPECT_EQ(c1.total_blocksteps(), c4.total_blocksteps());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(c1.particle(i).pos, c2.particle(i).pos) << i;
+    EXPECT_EQ(c1.particle(i).pos, c4.particle(i).pos) << i;
+    EXPECT_EQ(c1.particle(i).vel, c4.particle(i).vel) << i;
+  }
+}
+
+TEST(VirtualCluster, EnergyConservedOnEmulatedCluster) {
+  const double eps = 1.0 / 64.0;
+  const ParticleSet s = test_system(64, 2);
+  VirtualCluster cluster(s, small_config(4));
+  const double e0 = compute_energy(s.bodies(), eps).total();
+  cluster.evolve(0.25);
+  const double e1 =
+      compute_energy(cluster.state_at_current_time().bodies(), eps).total();
+  EXPECT_LT(std::fabs((e1 - e0) / e0), 1e-4);
+}
+
+TEST(VirtualCluster, VirtualTimeIncludesSynchronization) {
+  const ParticleSet s = test_system(48, 3);
+  VirtualCluster c1(s, small_config(1));
+  VirtualCluster c4(s, small_config(4));
+  c1.evolve(0.0625);
+  c4.evolve(0.0625);
+
+  EXPECT_GT(c1.virtual_seconds(), 0.0);
+  EXPECT_EQ(c1.accumulated_cost().net_s, 0.0);
+  EXPECT_GT(c4.accumulated_cost().net_s, 0.0);
+  // At this tiny N the 4-host system is slower in wall time — the
+  // crossover behaviour of Fig 15.
+  EXPECT_GT(c4.virtual_seconds(), c1.virtual_seconds());
+}
+
+TEST(VirtualCluster, MultiClusterPaysMoreNetworkTime) {
+  const ParticleSet s = test_system(64, 4);
+  VirtualCluster one(s, small_config(4, 1));
+  VirtualCluster four(s, small_config(4, 4));  // 16 hosts
+  one.evolve(0.0625);
+  four.evolve(0.0625);
+  EXPECT_GT(four.accumulated_cost().net_s, 2.0 * one.accumulated_cost().net_s);
+}
+
+TEST(VirtualCluster, AgreesWithAnalyticModelOnGrapeTime) {
+  // The emulated pipeline time must match the closed-form model used for
+  // large N (same formulas, measured vs predicted).
+  const ParticleSet s = test_system(128, 5);
+  VirtualClusterConfig cfg = small_config(2);
+  VirtualCluster cluster(s, cfg);
+  cluster.evolve(0.0625);
+
+  const MachineModel model(cfg.system);
+  MachineModel::TraceResult predicted = model.run_trace(cluster.trace());
+  const BlockstepCost& measured = cluster.accumulated_cost();
+
+  EXPECT_NEAR(measured.grape_s / predicted.breakdown.grape_s, 1.0, 0.25);
+  EXPECT_NEAR(measured.host_s / predicted.breakdown.host_s, 1.0, 1e-9);
+  EXPECT_NEAR(measured.net_s / predicted.breakdown.net_s, 1.0, 1e-9);
+}
+
+TEST(VirtualCluster, OwnershipRoundRobin) {
+  const ParticleSet s = test_system(16, 6);
+  VirtualCluster c(s, small_config(4));
+  EXPECT_EQ(c.total_hosts(), 4u);
+  EXPECT_EQ(c.owner(0), 0u);
+  EXPECT_EQ(c.owner(5), 1u);
+  EXPECT_EQ(c.owner(15), 3u);
+}
+
+TEST(VirtualCluster, TraceRecordsBlocks) {
+  const ParticleSet s = test_system(32, 7);
+  VirtualCluster c(s, small_config(2));
+  c.evolve(0.0625);
+  EXPECT_EQ(c.trace().total_steps(), c.total_steps());
+  EXPECT_EQ(c.trace().records.size(), c.total_blocksteps());
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,110 @@
+#include "perf/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace g6 {
+namespace {
+
+CalibrationOptions quick_options() {
+  CalibrationOptions opt;
+  opt.t_span = 0.0625;
+  opt.sizes = {128, 256, 512};
+  return opt;
+}
+
+TEST(Softening, LawsMatchSection4) {
+  EXPECT_DOUBLE_EQ(softening_for(SofteningLaw::kConstant, 1000), 1.0 / 64.0);
+  EXPECT_DOUBLE_EQ(softening_for(SofteningLaw::kOverN, 1000), 4.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(softening_for(SofteningLaw::kCubeRoot, 1000),
+                   1.0 / (8.0 * std::cbrt(2000.0)));
+  // "for N = 256, all three choices of the softening give the same value"
+  for (auto law : {SofteningLaw::kConstant, SofteningLaw::kCubeRoot,
+                   SofteningLaw::kOverN}) {
+    EXPECT_NEAR(softening_for(law, 256), 1.0 / 64.0, 1e-12) << softening_name(law);
+  }
+}
+
+TEST(Calibration, MeasuresPlausibleSchedule) {
+  const CalibrationPoint p =
+      measure_plummer_schedule(256, SofteningLaw::kConstant, quick_options());
+  EXPECT_EQ(p.n, 256u);
+  EXPECT_GT(p.steps_per_particle_per_time, 1.0);
+  EXPECT_LT(p.steps_per_particle_per_time, 1e4);
+  EXPECT_GT(p.mean_block_fraction, 0.0);
+  EXPECT_LT(p.mean_block_fraction, 1.0);
+  EXPECT_GT(p.log_block_sigma, 0.0);
+}
+
+TEST(Calibration, FitAndSynthesizeRoundTrip) {
+  const auto points = measure_series(SofteningLaw::kConstant, quick_options());
+  const TraceScaling scaling = TraceScaling::fit(points);
+
+  // Synthesis at a measured size reproduces the measured statistics.
+  Rng rng(99);
+  const BlockstepTrace synth = scaling.synthesize(256, 1.0, rng);
+  EXPECT_EQ(synth.n_particles, 256u);
+  const double r_measured = points[1].steps_per_particle_per_time;
+  const double r_synth = synth.steps_per_particle_per_time();
+  EXPECT_NEAR(r_synth / r_measured, 1.0, 0.35);
+
+  // Mean block size tracks the fit.
+  EXPECT_NEAR(synth.mean_block_size() / scaling.mean_block_size(256), 1.0, 0.35);
+}
+
+TEST(Calibration, SynthesisExtrapolatesSanely) {
+  const auto points = measure_series(SofteningLaw::kConstant, quick_options());
+  const TraceScaling scaling = TraceScaling::fit(points);
+  Rng rng(1);
+  const BlockstepTrace big = scaling.synthesize(100000, 0.01, rng);
+  EXPECT_GT(big.total_steps(), 0ull);
+  // Paper: block size roughly proportional to N -> mean block for 1e5
+  // particles is much larger than for 256.
+  EXPECT_GT(scaling.mean_block_size(100000), scaling.mean_block_size(256));
+  for (const auto& rec : big.records) {
+    EXPECT_GE(rec.block_size, 1u);
+    EXPECT_LE(rec.block_size, 100000u);
+  }
+}
+
+TEST(Calibration, SaveLoadRoundTrip) {
+  TraceScaling s;
+  s.steps_rate = {12.5, 0.31, 0.99};
+  s.block_fraction = {0.8, -0.4, 0.95};
+  s.log_block_sigma = 0.77;
+
+  std::stringstream ss;
+  s.save(ss);
+  const TraceScaling back = TraceScaling::load(ss);
+  EXPECT_DOUBLE_EQ(back.steps_rate.coefficient, 12.5);
+  EXPECT_DOUBLE_EQ(back.steps_rate.exponent, 0.31);
+  EXPECT_DOUBLE_EQ(back.block_fraction.coefficient, 0.8);
+  EXPECT_DOUBLE_EQ(back.block_fraction.exponent, -0.4);
+  EXPECT_DOUBLE_EQ(back.log_block_sigma, 0.77);
+}
+
+TEST(Calibration, LoadRejectsGarbage) {
+  std::stringstream ss("not-a-cache\n1 2 3\n");
+  EXPECT_THROW(TraceScaling::load(ss), PreconditionError);
+}
+
+TEST(Calibration, CachingWorks) {
+  const std::string path = ::testing::TempDir() + "/calib_cache_test.txt";
+  std::remove(path.c_str());
+
+  CalibrationOptions opt = quick_options();
+  opt.sizes = {64, 128};
+  opt.t_span = 0.03125;
+  const TraceScaling first = calibrated_scaling(SofteningLaw::kOverN, opt, path);
+  // Second call must load the identical cache.
+  const TraceScaling second = calibrated_scaling(SofteningLaw::kOverN, opt, path);
+  EXPECT_DOUBLE_EQ(first.steps_rate.coefficient, second.steps_rate.coefficient);
+  EXPECT_DOUBLE_EQ(first.block_fraction.exponent, second.block_fraction.exponent);
+}
+
+}  // namespace
+}  // namespace g6

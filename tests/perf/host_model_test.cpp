@@ -1,0 +1,38 @@
+#include "perf/host_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace g6 {
+namespace {
+
+TEST(HostModel, CacheCurveInterpolatesBetweenLimits) {
+  const HostModel h{"test", 1e-6, 3e-6, 1e4, 10e-6};
+  EXPECT_NEAR(h.step_time(0.0), 1e-6, 1e-12);           // cache-resident
+  EXPECT_NEAR(h.step_time(1e4), 2e-6, 1e-9);            // half benefit at n_half
+  EXPECT_NEAR(h.step_time(1e12), 3e-6, 1e-8);           // out-of-cache limit
+  EXPECT_DOUBLE_EQ(h.step_time_flat(), 3e-6);
+}
+
+TEST(HostModel, MonotoneInN) {
+  const HostModel h = hosts::athlon_xp_1800();
+  double prev = 0.0;
+  for (double n = 100; n < 1e7; n *= 10) {
+    const double t = h.step_time(n);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(HostModel, P4FasterThanAthlonEverywhere) {
+  // The Sec 4.4 host upgrade: Intel P4 2.85 GHz beats the Athlon XP 1800+
+  // at every system size.
+  const HostModel a = hosts::athlon_xp_1800();
+  const HostModel p = hosts::pentium4_285();
+  for (double n : {1e2, 1e4, 1e6}) {
+    EXPECT_LT(p.step_time(n), a.step_time(n)) << n;
+  }
+  EXPECT_LT(p.block_overhead_s, a.block_overhead_s);
+}
+
+}  // namespace
+}  // namespace g6

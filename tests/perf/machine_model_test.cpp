@@ -1,0 +1,128 @@
+#include "perf/machine_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(SystemConfig, PresetsMatchPaperTopology) {
+  EXPECT_EQ(SystemConfig::single_host().hosts(), 1u);
+  EXPECT_EQ(SystemConfig::cluster(4).hosts(), 4u);
+  EXPECT_EQ(SystemConfig::multi_cluster(4).hosts(), 16u);
+  EXPECT_EQ(SystemConfig::multi_cluster(4).machine.total_chips(), 2048u);
+  EXPECT_THROW(SystemConfig::cluster(5), PreconditionError);
+}
+
+TEST(SystemConfig, TunedPresetUsesIntelNicAndP4) {
+  const SystemConfig tuned = SystemConfig::tuned(4);
+  EXPECT_EQ(tuned.nic.name, "Intel82540EM+P4");
+  EXPECT_EQ(tuned.host.name, "P4-2.85GHz");
+}
+
+TEST(MachineModel, PeakSpeedMatchesPaper) {
+  const MachineModel full{SystemConfig::multi_cluster(4)};
+  EXPECT_NEAR(full.peak_flops(), 63.04e12, 0.05e12);
+}
+
+TEST(MachineModel, SingleHostCostBreakdownSane) {
+  const MachineModel m{SystemConfig::single_host()};
+  const BlockstepCost c = m.blockstep_cost(2000, 200000);
+  EXPECT_EQ(c.net_s, 0.0);  // single host: no host-host traffic
+  EXPECT_GT(c.grape_s, 0.0);
+  EXPECT_GT(c.dma_s, 0.0);
+  EXPECT_GT(c.host_s, 0.0);
+  // At N = 2e5 the paper reports > 1 Tflops on one host (Sec 4.4):
+  // time per step must be below 57 * 2e5 / 1e12 = 11.4 us.
+  EXPECT_LT(c.total() / 2000.0, 11.4e-6);
+}
+
+TEST(MachineModel, GrapeTimeScalesWithN) {
+  const MachineModel m{SystemConfig::single_host()};
+  const double g1 = m.blockstep_cost(96, 100000).grape_s;
+  const double g2 = m.blockstep_cost(96, 200000).grape_s;
+  EXPECT_NEAR(g2 / g1, 2.0, 0.05);  // pass time ~ N / chips (+latency)
+}
+
+TEST(MachineModel, GrapeTimeQuantizedByPasses) {
+  const MachineModel m{SystemConfig::single_host()};
+  // 1..48 i-particles is one pass; 49 is two.
+  const double one = m.blockstep_cost(1, 10000).grape_s;
+  const double p48 = m.blockstep_cost(48, 10000).grape_s;
+  const double p49 = m.blockstep_cost(49, 10000).grape_s;
+  EXPECT_DOUBLE_EQ(one, p48);
+  EXPECT_NEAR(p49 / p48, 2.0, 1e-9);
+}
+
+TEST(MachineModel, DmaSetupDominatesSmallBlocks) {
+  // The Fig 14 small-N knee: per-step cost rises when blocks are tiny.
+  const MachineModel m{SystemConfig::single_host()};
+  const double per_step_small = m.time_per_particle_step(4, 500);
+  const double per_step_large = m.time_per_particle_step(400, 500);
+  EXPECT_GT(per_step_small, 3.0 * per_step_large);
+}
+
+TEST(MachineModel, SynchronizationGivesOneOverNRegime) {
+  // Figs 16/18: for small N (small blocks) the time per particle step is
+  // ~ constant/block_size because the per-blockstep barrier dominates.
+  const MachineModel m{SystemConfig::multi_cluster(4)};
+  const double t8 = m.time_per_particle_step(16, 2000);
+  const double t16 = m.time_per_particle_step(32, 4000);
+  // Doubling N (and hence the block) nearly halves the per-step time.
+  EXPECT_NEAR(t8 / t16, 2.0, 0.35);
+}
+
+TEST(MachineModel, MoreHostsCheaperForLargeBlocks) {
+  const MachineModel h1{SystemConfig::cluster(1)};
+  const MachineModel h4{SystemConfig::cluster(4)};
+  const std::size_t n = 1 << 20;
+  const std::size_t block = n / 64;
+  EXPECT_LT(h4.blockstep_cost(block, n).total(), h1.blockstep_cost(block, n).total());
+}
+
+TEST(MachineModel, MoreHostsSlowerForSmallBlocks) {
+  const MachineModel h1{SystemConfig::cluster(1)};
+  const MachineModel h4{SystemConfig::cluster(4)};
+  EXPECT_GT(h4.blockstep_cost(8, 1000).total(), h1.blockstep_cost(8, 1000).total());
+}
+
+TEST(MachineModel, MultiClusterPaysMoreSynchronization) {
+  SystemConfig one = SystemConfig::cluster(4);
+  SystemConfig four = SystemConfig::multi_cluster(4);
+  const MachineModel m1{one}, m4{four};
+  const BlockstepCost c1 = m1.blockstep_cost(64, 10000);
+  const BlockstepCost c4 = m4.blockstep_cost(64, 10000);
+  EXPECT_GT(c4.net_s, 2.0 * c1.net_s);  // reasons (b)+(c) of Sec 4.4
+}
+
+TEST(MachineModel, BetterNicShrinksNetTime) {
+  SystemConfig slow = SystemConfig::multi_cluster(4);
+  SystemConfig fast = slow;
+  fast.nic = nics::intel82540();
+  const double ns = MachineModel{slow}.blockstep_cost(100, 50000).net_s;
+  const double is = MachineModel{fast}.blockstep_cost(100, 50000).net_s;
+  EXPECT_LT(is, 0.6 * ns);  // ~3x latency, ~1.75x bandwidth
+}
+
+TEST(MachineModel, TraceReplayAggregates) {
+  BlockstepTrace trace;
+  trace.n_particles = 1000;
+  trace.t_begin = 0.0;
+  trace.t_end = 1.0;
+  trace.records = {{0.25, 10}, {0.5, 20}, {0.75, 30}, {1.0, 40}};
+
+  const MachineModel m{SystemConfig::single_host()};
+  const auto r = m.run_trace(trace);
+  EXPECT_EQ(r.steps, 100ull);
+  EXPECT_EQ(r.blocksteps, 4ull);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_NEAR(r.flops, 100.0 * 1000.0 * 57.0, 1.0);
+  EXPECT_NEAR(r.breakdown.total(), r.seconds, 1e-12);
+  EXPECT_GT(r.paper_speed_flops(1000), 0.0);
+}
+
+}  // namespace
+}  // namespace g6

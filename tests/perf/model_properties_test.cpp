@@ -1,0 +1,99 @@
+// Parameterized monotonicity properties of the performance model — the
+// invariants behind every figure's shape.
+
+#include <gtest/gtest.h>
+
+#include "perf/machine_model.hpp"
+#include "util/check.hpp"
+
+namespace g6 {
+namespace {
+
+class HostCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HostCountSweep, LargeBlockTimeDecreasesWithHosts) {
+  const std::size_t hosts = GetParam();
+  if (hosts == 1) return;
+  const MachineModel fewer{SystemConfig::cluster(hosts / 2)};
+  const MachineModel more{SystemConfig::cluster(hosts)};
+  const std::size_t n = 1 << 20;
+  const std::size_t block = 1 << 14;
+  EXPECT_LT(more.blockstep_cost(block, n).total(),
+            fewer.blockstep_cost(block, n).total());
+}
+
+TEST_P(HostCountSweep, NetworkCostGrowsWithHosts) {
+  const std::size_t hosts = GetParam();
+  if (hosts == 1) return;
+  const MachineModel fewer{SystemConfig::cluster(hosts / 2)};
+  const MachineModel more{SystemConfig::cluster(hosts)};
+  EXPECT_GE(more.blockstep_cost(64, 10000).net_s,
+            fewer.blockstep_cost(64, 10000).net_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Hosts, HostCountSweep, ::testing::Values(1u, 2u, 4u));
+
+class SizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SizeSweep, CostsMonotoneInN) {
+  const std::size_t n = GetParam();
+  const MachineModel m{SystemConfig::single_host()};
+  const BlockstepCost small = m.blockstep_cost(100, n);
+  const BlockstepCost big = m.blockstep_cost(100, 2 * n);
+  EXPECT_GT(big.grape_s, small.grape_s);   // pass time ~ N
+  EXPECT_GE(big.host_s, small.host_s);     // cache model non-decreasing
+  EXPECT_EQ(big.net_s, small.net_s);       // single host: always zero
+}
+
+TEST_P(SizeSweep, CostsMonotoneInBlockSize) {
+  const std::size_t n = GetParam();
+  const MachineModel m{SystemConfig::multi_cluster(4)};
+  const BlockstepCost small = m.blockstep_cost(64, n);
+  const BlockstepCost big = m.blockstep_cost(640, n);
+  EXPECT_GT(big.total(), small.total());
+  // But per-step cost shrinks (amortization of fixed overheads).
+  EXPECT_LT(big.total() / 640.0, small.total() / 64.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(10000u, 100000u, 1000000u));
+
+TEST(ModelProps, BlockLargerThanNWorks) {
+  // Degenerate but legal: a block of the whole system.
+  const MachineModel m{SystemConfig::cluster(4)};
+  EXPECT_GT(m.blockstep_cost(1000, 1000).total(), 0.0);
+}
+
+TEST(ModelProps, RejectsZeroBlock) {
+  const MachineModel m{SystemConfig::single_host()};
+  EXPECT_THROW(m.blockstep_cost(0, 100), PreconditionError);
+  EXPECT_THROW(m.blockstep_cost(10, 0), PreconditionError);
+}
+
+TEST(ModelProps, EmptyTraceGivesZeroes) {
+  const MachineModel m{SystemConfig::single_host()};
+  BlockstepTrace trace;
+  trace.n_particles = 100;
+  const auto r = m.run_trace(trace);
+  EXPECT_EQ(r.steps, 0ull);
+  EXPECT_EQ(r.seconds, 0.0);
+  EXPECT_EQ(r.tflops(), 0.0);
+  EXPECT_EQ(r.steps_per_second(), 0.0);
+  EXPECT_EQ(r.time_per_step(), 0.0);
+}
+
+TEST(ModelProps, MyrinetBeatsEverythingOnNet) {
+  SystemConfig base = SystemConfig::multi_cluster(4);
+  double prev = 1e9;
+  for (const NicModel& nic :
+       {nics::ns83820(), nics::tigon2(), nics::intel82540(), nics::myrinet()}) {
+    SystemConfig sys = base;
+    sys.nic = nic;
+    const double net = MachineModel{sys}.blockstep_cost(100, 100000).net_s;
+    EXPECT_LE(net, prev) << nic.name;
+    prev = net;
+  }
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,114 @@
+#include "tree/collisions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nbody/models.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(Collisions, FindsOverlappingPairOnly) {
+  ParticleSet s;
+  s.add({1.0, {0.0, 0.0, 0.0}, {}});
+  s.add({1.0, {0.15, 0.0, 0.0}, {}});   // overlaps with 0 at radius 0.1
+  s.add({1.0, {10.0, 0.0, 0.0}, {}});   // far away
+  const std::vector<double> radii(3, 0.1);
+  const auto pairs = find_colliding_pairs(s.bodies(), radii);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 0u);
+  EXPECT_EQ(pairs[0].b, 1u);
+  EXPECT_NEAR(pairs[0].distance, 0.15, 1e-12);
+}
+
+TEST(Collisions, PairsSortedByDistanceAndUnique) {
+  ParticleSet s;
+  s.add({1.0, {0.0, 0.0, 0.0}, {}});
+  s.add({1.0, {0.18, 0.0, 0.0}, {}});
+  s.add({1.0, {0.05, 0.0, 0.0}, {}});
+  const std::vector<double> radii(3, 0.1);
+  const auto pairs = find_colliding_pairs(s.bodies(), radii);
+  ASSERT_EQ(pairs.size(), 3u);  // all three mutually within 0.2
+  EXPECT_LE(pairs[0].distance, pairs[1].distance);
+  EXPECT_LE(pairs[1].distance, pairs[2].distance);
+  for (const auto& p : pairs) EXPECT_LT(p.a, p.b);
+}
+
+TEST(Collisions, MatchesBruteForceOnRandomDisk) {
+  Rng rng(5);
+  const ParticleSet s = make_planetesimal_disk(400, rng);
+  const auto radii = accretion_radii(s.bodies(), s[1].mass, 0.01);
+  const auto pairs = find_colliding_pairs(s.bodies(), radii);
+
+  std::size_t brute = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    for (std::size_t j = i + 1; j < s.size(); ++j) {
+      if (norm(s[j].pos - s[i].pos) <= radii[i] + radii[j]) ++brute;
+    }
+  }
+  EXPECT_EQ(pairs.size(), brute);
+}
+
+TEST(Collisions, MergeConservesMassAndMomentum) {
+  const Body a{2.0, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}};
+  const Body b{1.0, {-2.0, 0.0, 0.0}, {0.0, -2.0, 0.0}};
+  const Body m = merge_bodies(a, b);
+  EXPECT_DOUBLE_EQ(m.mass, 3.0);
+  EXPECT_DOUBLE_EQ(m.pos.x, 0.0);
+  EXPECT_DOUBLE_EQ(m.vel.y, 0.0);
+  EXPECT_THROW(merge_bodies(Body{}, Body{}), PreconditionError);
+}
+
+TEST(Collisions, AccretionRadiiScaleAsCubeRoot) {
+  ParticleSet s;
+  s.add({1.0, {}, {}});
+  s.add({8.0, {1, 0, 0}, {}});
+  const auto radii = accretion_radii(s.bodies(), 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(radii[0], 0.5);
+  EXPECT_DOUBLE_EQ(radii[1], 1.0);  // 8x mass -> 2x radius
+}
+
+TEST(Collisions, ApplyMergesAndCompacts) {
+  ParticleSet s;
+  s.add({1.0, {0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}});
+  s.add({1.0, {0.05, 0.0, 0.0}, {-1.0, 0.0, 0.0}});
+  s.add({1.0, {5.0, 0.0, 0.0}, {}});
+  auto radii = accretion_radii(s.bodies(), 1.0, 0.1);
+  const double m0 = s.total_mass();
+
+  const std::size_t merges = apply_collisions(s, radii, 1.0, 0.1);
+  EXPECT_EQ(merges, 1u);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(radii.size(), 2u);
+  EXPECT_NEAR(s.total_mass(), m0, 1e-15);
+  // Head-on equal-mass merger is at rest.
+  EXPECT_NEAR(norm(s[0].vel), 0.0, 1e-15);
+  // Merged body grew.
+  EXPECT_GT(radii[0], radii[1]);
+}
+
+TEST(Collisions, EachBodyMergesAtMostOncePerRound) {
+  // Chain 0-1-2 all overlapping: one round may merge only one pair
+  // involving each body.
+  ParticleSet s;
+  s.add({1.0, {0.0, 0.0, 0.0}, {}});
+  s.add({1.0, {0.1, 0.0, 0.0}, {}});
+  s.add({1.0, {0.2, 0.0, 0.0}, {}});
+  auto radii = std::vector<double>(3, 0.08);
+  const std::size_t merges = apply_collisions(s, radii, 1.0, 0.08);
+  EXPECT_EQ(merges, 1u);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Collisions, NoPairsOnDispersedSystem) {
+  Rng rng(6);
+  const ParticleSet s = make_plummer(128, rng);
+  const std::vector<double> radii(s.size(), 1e-9);
+  EXPECT_TRUE(find_colliding_pairs(s.bodies(), radii).empty());
+}
+
+}  // namespace
+}  // namespace g6

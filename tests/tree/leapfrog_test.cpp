@@ -1,0 +1,68 @@
+#include "tree/leapfrog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nbody/diagnostics.hpp"
+#include "nbody/models.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(Treecode, EnergyDriftBounded) {
+  Rng rng(1);
+  const ParticleSet s = make_plummer(512, rng);
+  TreecodeConfig cfg;
+  cfg.theta = 0.5;
+  cfg.eps = 0.05;
+  cfg.dt = 1.0 / 256.0;
+  TreecodeIntegrator integ(s, cfg);
+  const double e0 = compute_energy(s.bodies(), cfg.eps).total();
+  integ.evolve(0.5);
+  const double e1 = compute_energy(integ.state().bodies(), cfg.eps).total();
+  EXPECT_LT(std::fabs((e1 - e0) / e0), 5e-3);
+}
+
+TEST(Treecode, StepAccounting) {
+  Rng rng(2);
+  const ParticleSet s = make_plummer(128, rng);
+  TreecodeConfig cfg;
+  TreecodeIntegrator integ(s, cfg);
+  integ.step();
+  integ.step();
+  EXPECT_EQ(integ.total_steps(), 2ull * 128ull);
+  EXPECT_NEAR(integ.time(), 2.0 * cfg.dt, 1e-15);
+  EXPECT_GT(integ.interactions(), 0ull);
+  EXPECT_GT(integ.wall_seconds(), 0.0);
+  EXPECT_GT(integ.steps_per_second(), 0.0);
+}
+
+TEST(Treecode, MomentumConserved) {
+  // Leapfrog + consistent forces keep total momentum near zero.
+  Rng rng(3);
+  const ParticleSet s = make_plummer(256, rng);
+  TreecodeConfig cfg;
+  cfg.theta = 0.4;
+  TreecodeIntegrator integ(s, cfg);
+  integ.evolve(0.25);
+  Vec3 p;
+  for (const auto& b : integ.state().bodies()) p += b.mass * b.vel;
+  // Tree forces are not exactly antisymmetric; drift stays small.
+  EXPECT_LT(norm(p), 1e-3);
+}
+
+TEST(GadgetScalingModel, SaturatesBeyond16Hosts) {
+  const double single = 1.0e3;
+  const double s16 = gadget_scaling_steps_per_second(single, 16);
+  const double s64 = gadget_scaling_steps_per_second(single, 64);
+  EXPECT_GT(s16, gadget_scaling_steps_per_second(single, 4));
+  // No meaningful scaling past 16 nodes (Sec 5's Gadget/T3E observation).
+  EXPECT_LT(s64, 1.5 * s16);
+  EXPECT_DOUBLE_EQ(gadget_scaling_steps_per_second(single, 1),
+                   single / (1.0 + 0.06 / 16.0));
+}
+
+}  // namespace
+}  // namespace g6

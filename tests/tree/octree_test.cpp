@@ -1,0 +1,120 @@
+#include "tree/octree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hermite/direct_engine.hpp"
+#include "nbody/models.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+Force direct_force(std::span<const Body> bodies, const Vec3& pos, double eps2,
+                   std::size_t skip) {
+  Force f;
+  for (std::size_t j = 0; j < bodies.size(); ++j) {
+    if (j == skip) continue;
+    accumulate_pairwise(pos, {}, bodies[j].pos, {}, bodies[j].mass, eps2, f);
+  }
+  f.jerk = {};
+  return f;
+}
+
+TEST(Octree, RootMomentsMatchSystem) {
+  Rng rng(1);
+  const ParticleSet s = make_plummer(512, rng);
+  Octree tree;
+  tree.build(s.bodies());
+  EXPECT_NEAR(tree.root_mass(), 1.0, 1e-12);
+  EXPECT_NEAR(norm(tree.root_com() - s.center_of_mass()), 0.0, 1e-12);
+}
+
+TEST(Octree, SmallThetaReproducesDirectSum) {
+  Rng rng(2);
+  const ParticleSet s = make_plummer(256, rng);
+  Octree tree;
+  tree.build(s.bodies());
+  const double eps2 = 1e-4;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const Force ft = tree.force_at(s[i].pos, 1e-6, eps2, i);
+    const Force fd = direct_force(s.bodies(), s[i].pos, eps2, i);
+    EXPECT_NEAR(norm(ft.acc - fd.acc), 0.0, 1e-10 * std::max(1.0, norm(fd.acc)));
+    EXPECT_NEAR(ft.pot, fd.pot, 1e-10 * std::fabs(fd.pot));
+  }
+}
+
+TEST(Octree, AccuracyImprovesWithSmallerTheta) {
+  Rng rng(3);
+  const ParticleSet s = make_plummer(1024, rng);
+  Octree tree;
+  tree.build(s.bodies());
+  const double eps2 = 1e-4;
+
+  double err_large = 0.0, err_small = 0.0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const Force fd = direct_force(s.bodies(), s[i].pos, eps2, i);
+    const double scale = norm(fd.acc);
+    err_large += norm(tree.force_at(s[i].pos, 1.0, eps2, i).acc - fd.acc) / scale;
+    err_small += norm(tree.force_at(s[i].pos, 0.3, eps2, i).acc - fd.acc) / scale;
+  }
+  EXPECT_LT(err_small, err_large);
+  EXPECT_LT(err_small / 32.0, 1e-3);  // theta=0.3 with quadrupole
+}
+
+TEST(Octree, QuadrupoleBeatsMonopole) {
+  Rng rng(4);
+  const ParticleSet s = make_plummer(1024, rng);
+  Octree::Params mono;
+  mono.quadrupole = false;
+  Octree tq, tm(mono);
+  tq.build(s.bodies());
+  tm.build(s.bodies());
+  const double eps2 = 1e-4;
+
+  double err_q = 0.0, err_m = 0.0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const Force fd = direct_force(s.bodies(), s[i].pos, eps2, i);
+    const double scale = norm(fd.acc);
+    err_q += norm(tq.force_at(s[i].pos, 0.7, eps2, i).acc - fd.acc) / scale;
+    err_m += norm(tm.force_at(s[i].pos, 0.7, eps2, i).acc - fd.acc) / scale;
+  }
+  EXPECT_LT(err_q, 0.5 * err_m);
+}
+
+TEST(Octree, InteractionCountBelowDirectSum) {
+  Rng rng(5);
+  const ParticleSet s = make_plummer(2048, rng);
+  Octree tree;
+  tree.build(s.bodies());
+  for (std::size_t i = 0; i < 100; ++i) {
+    (void)tree.force_at(s[i].pos, 0.6, 1e-4, i);
+  }
+  // O(log N) per particle: far fewer than 100 * 2047 direct interactions.
+  EXPECT_LT(tree.interactions(), 100ull * 2047ull / 2ull);
+  EXPECT_GT(tree.interactions(), 0ull);
+}
+
+TEST(Octree, HandlesCoincidentParticles) {
+  // Degenerate positions must not recurse forever (depth cap).
+  ParticleSet s;
+  for (int i = 0; i < 20; ++i) s.add({0.05, {1.0, 1.0, 1.0}, {}});
+  s.add({0.05, {-1.0, 0.0, 0.0}, {}});
+  Octree tree;
+  tree.build(s.bodies());
+  const Force f = tree.force_at({-1.0, 0.0, 0.0}, 0.5, 1e-2, 20);
+  EXPECT_GT(norm(f.acc), 0.0);
+}
+
+TEST(Octree, SingleBodySystem) {
+  ParticleSet s;
+  s.add({1.0, {0.0, 0.0, 0.0}, {}});
+  Octree tree;
+  tree.build(s.bodies());
+  const Force f = tree.force_at({1.0, 0.0, 0.0}, 0.5, 0.0);
+  EXPECT_NEAR(f.acc.x, -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace g6

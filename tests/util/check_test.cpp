@@ -1,0 +1,37 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace g6 {
+namespace {
+
+TEST(Check, RequirePassesOnTrue) { EXPECT_NO_THROW(G6_REQUIRE(1 + 1 == 2)); }
+
+TEST(Check, RequireThrowsWithLocation) {
+  try {
+    G6_REQUIRE(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, RequireMsgCarriesMessage) {
+  try {
+    G6_REQUIRE_MSG(false, "the softening must be finite");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("softening must be finite"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, PreconditionErrorIsLogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(G6_REQUIRE(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,61 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace g6 {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesTypedValues) {
+  Cli cli = make({"--n=4096", "--eta=0.02", "--name=plummer", "--trace"});
+  EXPECT_EQ(cli.get_int("n", 0), 4096);
+  EXPECT_DOUBLE_EQ(cli.get_double("eta", 0.0), 0.02);
+  EXPECT_EQ(cli.get_string("name", ""), "plummer");
+  EXPECT_TRUE(cli.get_bool("trace", false));
+  EXPECT_FALSE(cli.finish());
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  Cli cli = make({});
+  EXPECT_EQ(cli.get_int("n", 128), 128);
+  EXPECT_DOUBLE_EQ(cli.get_double("eps", 0.015625), 0.015625);
+  EXPECT_EQ(cli.get_string("model", "plummer"), "plummer");
+  EXPECT_FALSE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.finish());
+}
+
+TEST(Cli, UnknownFlagIsAnError) {
+  Cli cli = make({"--typo=1"});
+  (void)cli.get_int("n", 0);
+  EXPECT_THROW(cli.finish(), std::runtime_error);
+}
+
+TEST(Cli, PositionalArgumentsRejected) {
+  std::vector<const char*> argv{"prog", "positional"};
+  EXPECT_THROW(Cli(2, argv.data()), std::runtime_error);
+}
+
+TEST(Cli, HelpShortCircuits) {
+  Cli cli = make({"--help"});
+  (void)cli.get_int("n", 0, "particle count");
+  EXPECT_TRUE(cli.finish());
+}
+
+TEST(Cli, BoolAcceptsSpellings) {
+  Cli cli = make({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_TRUE(cli.get_bool("b", false));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_FALSE(cli.get_bool("d", true));
+  EXPECT_FALSE(cli.finish());
+}
+
+}  // namespace
+}  // namespace g6

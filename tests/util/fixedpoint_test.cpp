@@ -1,0 +1,159 @@
+#include "util/fixedpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(FixedPointCodec, RoundTripWithinResolution) {
+  const FixedPointCodec codec(128.0);
+  for (double x : {0.0, 1.0, -1.0, 100.0, -127.9, 3.14159, 1e-12}) {
+    EXPECT_NEAR(codec.decode(codec.encode(x)), x, codec.resolution());
+  }
+}
+
+TEST(FixedPointCodec, QuantizeIsIdempotent) {
+  const FixedPointCodec codec(16.0);
+  const double q = codec.quantize(1.0 / 3.0);
+  EXPECT_EQ(codec.quantize(q), q);
+}
+
+TEST(FixedPointCodec, ResolutionMatchesRange) {
+  const FixedPointCodec narrow(1.0);
+  const FixedPointCodec wide(1024.0);
+  EXPECT_DOUBLE_EQ(wide.resolution() / narrow.resolution(), 1024.0);
+}
+
+TEST(FixedPointCodec, DifferencesAreExact) {
+  // The whole point of fixed-point coordinates: x_j - x_i has no rounding
+  // beyond the initial grid snap — the integer subtraction itself is exact.
+  const FixedPointCodec codec(128.0);
+  for (auto [x, y] : {std::pair{100.0, 99.9999999}, {1.0 / 3.0, -2.0 / 7.0},
+                      {127.5, 127.4999999999}}) {
+    const std::int64_t a = codec.encode(x);
+    const std::int64_t b = codec.encode(y);
+    EXPECT_EQ(codec.decode(a - b), codec.quantize(x) - codec.quantize(y));
+  }
+}
+
+TEST(FixedPointCodec, RejectsOutOfRange) {
+  const FixedPointCodec codec(1.0);
+  EXPECT_NO_THROW(codec.encode(1.9));   // guard bits allow up to 2*range
+  EXPECT_THROW(codec.encode(4.0), PreconditionError);
+  EXPECT_THROW(FixedPointCodec(-1.0), PreconditionError);
+}
+
+TEST(BlockFloatAccumulator, AccumulatesSimpleSum) {
+  BlockFloatAccumulator acc(4);  // full scale 16
+  acc.add(1.0);
+  acc.add(2.0);
+  acc.add(3.0);
+  EXPECT_FALSE(acc.overflow());
+  EXPECT_NEAR(acc.value(), 6.0, 1e-12);
+}
+
+TEST(BlockFloatAccumulator, OrderInvarianceIsExact) {
+  // The paper's key reproducibility property (Sec 3.4): with a fixed block
+  // exponent the sum is bit-identical for any summation order.
+  Rng rng(42);
+  std::vector<double> xs(1000);
+  for (auto& x : xs) x = rng.uniform(-1.0, 1.0) * std::exp(rng.uniform(-20.0, 2.0));
+
+  BlockFloatAccumulator fwd(4), rev(4), shuf(4);
+  for (double x : xs) fwd.add(x);
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) rev.add(*it);
+  std::vector<double> copy = xs;
+  for (std::size_t i = 0; i < copy.size(); ++i) {
+    std::swap(copy[i], copy[rng.uniform_index(copy.size())]);
+  }
+  for (double x : copy) shuf.add(x);
+
+  EXPECT_EQ(fwd.mantissa(), rev.mantissa());
+  EXPECT_EQ(fwd.mantissa(), shuf.mantissa());
+
+  // Plain double summation generally differs between orders.
+  const double dfwd = std::accumulate(xs.begin(), xs.end(), 0.0);
+  const double drev = std::accumulate(xs.rbegin(), xs.rend(), 0.0);
+  // (not asserted unequal — just observed; the BFP identity above is the contract)
+  (void)dfwd;
+  (void)drev;
+}
+
+TEST(BlockFloatAccumulator, PartitionedMergeEqualsDirectSum) {
+  // Split across "chips" and merge: must be bit-identical to one chip.
+  Rng rng(7);
+  std::vector<double> xs(512);
+  for (auto& x : xs) x = rng.gaussian();
+
+  BlockFloatAccumulator whole(6);
+  for (double x : xs) whole.add(x);
+
+  constexpr int kChips = 32;
+  std::vector<BlockFloatAccumulator> parts(kChips, BlockFloatAccumulator(6));
+  for (std::size_t i = 0; i < xs.size(); ++i) parts[i % kChips].add(xs[i]);
+  BlockFloatAccumulator merged(6);
+  for (const auto& p : parts) merged.merge(p);
+
+  EXPECT_EQ(whole.mantissa(), merged.mantissa());
+}
+
+TEST(BlockFloatAccumulator, AddendOverflowSetsFlag) {
+  BlockFloatAccumulator acc(0);  // full scale 1, headroom 2^6
+  acc.add(1e6);                  // far above headroom
+  EXPECT_TRUE(acc.overflow());
+}
+
+TEST(BlockFloatAccumulator, SumOverflowSetsFlag) {
+  BlockFloatAccumulator acc(0);
+  for (int i = 0; i < 200; ++i) acc.add(30.0);  // creeps past 2^6 headroom
+  EXPECT_TRUE(acc.overflow());
+}
+
+TEST(BlockFloatAccumulator, MergeRequiresSameExponent) {
+  BlockFloatAccumulator a(2), b(3);
+  EXPECT_THROW(a.merge(b), PreconditionError);
+}
+
+TEST(BlockFloatAccumulator, MergePropagatesOverflow) {
+  BlockFloatAccumulator a(0), b(0);
+  b.add(1e9);
+  ASSERT_TRUE(b.overflow());
+  a.merge(b);
+  EXPECT_TRUE(a.overflow());
+}
+
+TEST(BlockFloatAccumulator, ResolutionDependsOnBlockExponent) {
+  // Larger exponent -> coarser grid: tiny addends vanish. With block
+  // exponent E the grid spacing is 2^(E - kFracBits).
+  const double tiny = std::ldexp(1.0, -50);
+  BlockFloatAccumulator fine(0), coarse(20);
+  fine.add(tiny);
+  coarse.add(tiny);
+  EXPECT_GT(fine.value(), 0.0);
+  EXPECT_EQ(coarse.value(), 0.0);
+}
+
+TEST(ChooseBlockExponent, GivesHeadroomMargin) {
+  const int e = choose_block_exponent(1.0, 2);
+  BlockFloatAccumulator acc(e);
+  acc.add(1.0);
+  acc.add(1.0);
+  acc.add(1.0);
+  EXPECT_FALSE(acc.overflow());
+  EXPECT_NEAR(acc.value(), 3.0, 1e-12);
+}
+
+TEST(ChooseBlockExponent, HandlesDegenerateInputs) {
+  EXPECT_EQ(choose_block_exponent(0.0), 0);
+  EXPECT_EQ(choose_block_exponent(-1.0), 0);
+}
+
+}  // namespace
+}  // namespace g6

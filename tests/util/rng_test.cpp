@@ -1,0 +1,96 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace g6 {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMomentsLookUniform) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 5e-3);
+  EXPECT_NEAR(sum2 / kN, 1.0 / 3.0, 5e-3);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(31);
+  double sum = 0.0, sum2 = 0.0, sum4 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+    sum4 += g * g * g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 2e-2);
+  EXPECT_NEAR(sum2 / kN, 1.0, 2e-2);
+  EXPECT_NEAR(sum4 / kN, 3.0, 1.5e-1);  // kurtosis of a normal
+}
+
+TEST(Rng, UnitVectorsAreUnitAndIsotropic) {
+  Rng rng(5);
+  Vec3 mean;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const Vec3 v = rng.unit_vector();
+    EXPECT_NEAR(norm(v), 1.0, 1e-12);
+    mean += v;
+  }
+  mean /= kN;
+  EXPECT_NEAR(norm(mean), 0.0, 2e-2);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(77);
+  Rng child = a.fork();
+  // Parent continues, child differs from a fresh copy of the parent.
+  Rng b(77);
+  (void)b.next_u64();  // same step the fork consumed
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (child.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedResetsSequence) {
+  Rng a(100);
+  const auto x1 = a.next_u64();
+  a.reseed(100);
+  EXPECT_EQ(a.next_u64(), x1);
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,89 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(RunningStat, MomentsOfKnownData) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance) {
+  RunningStat s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesCorrectly) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_THROW(percentile({}, 50.0), PreconditionError);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.5 * i);
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-10);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-10);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, RejectsDegenerateData) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_linear(xs, ys), PreconditionError);
+}
+
+TEST(PowerLawFit, RecoversExactPowerLaw) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 30; ++i) {
+    const double x = i * 10.0;
+    xs.push_back(x);
+    ys.push_back(0.7 * std::pow(x, 1.3));
+  }
+  const PowerLawFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.coefficient, 0.7, 1e-8);
+  EXPECT_NEAR(fit.exponent, 1.3, 1e-10);
+  EXPECT_NEAR(fit.evaluate(100.0), 0.7 * std::pow(100.0, 1.3), 1e-6);
+}
+
+TEST(PowerLawFit, RejectsNonPositiveData) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0, -2.0};
+  EXPECT_THROW(fit_power_law(xs, ys), PreconditionError);
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace g6 {
+namespace {
+
+TEST(TablePrinter, AlignsColumnsAndRows) {
+  std::ostringstream os;
+  TablePrinter t(os, {"N", "Gflops"});
+  t.print_header();
+  t.print_row({"512", "5.02"});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("N"), std::string::npos);
+  EXPECT_NE(out.find("Gflops"), std::string::npos);
+  EXPECT_NE(out.find("512"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);  // separator line
+}
+
+TEST(TablePrinter, RejectsWrongCellCount) {
+  std::ostringstream os;
+  TablePrinter t(os, {"a", "b"});
+  EXPECT_THROW(t.print_row({"only-one"}), PreconditionError);
+}
+
+TEST(TablePrinter, MirrorsCsv) {
+  const std::string path = ::testing::TempDir() + "/table_test.csv";
+  std::ostringstream os;
+  TablePrinter t(os, {"x", "y"});
+  t.mirror_csv(path);
+  t.print_header();
+  t.print_row({"1", "2"});
+  t.print_row({"3", "4"});
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+}
+
+TEST(TablePrinter, CsvFailureIsSilent) {
+  std::ostringstream os;
+  TablePrinter t(os, {"x"});
+  t.mirror_csv("/nonexistent-dir/file.csv");  // must not throw
+  EXPECT_NO_THROW(t.print_row({"1"}));
+}
+
+TEST(TablePrinter, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159265358979), "3.14159");
+  EXPECT_EQ(TablePrinter::num(1e12), "1e+12");
+  EXPECT_EQ(TablePrinter::num(static_cast<long long>(123456)), "123456");
+}
+
+TEST(Banner, PrintsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Figure 13");
+  EXPECT_EQ(os.str(), "\n=== Figure 13 ===\n");
+}
+
+}  // namespace
+}  // namespace g6

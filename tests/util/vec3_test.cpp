@@ -1,0 +1,67 @@
+#include "util/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace g6 {
+namespace {
+
+TEST(Vec3, ArithmeticBasics) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-4.0, 5.0, 0.5};
+  EXPECT_EQ(a + b, Vec3(-3.0, 7.0, 3.5));
+  EXPECT_EQ(a - b, Vec3(5.0, -3.0, 2.5));
+  EXPECT_EQ(2.0 * a, Vec3(2.0, 4.0, 6.0));
+  EXPECT_EQ(a * 2.0, 2.0 * a);
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1.0, 1.5));
+  EXPECT_EQ(-a, Vec3(-1.0, -2.0, -3.0));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += {1.0, 2.0, 3.0};
+  v -= {0.5, 0.5, 0.5};
+  v *= 2.0;
+  EXPECT_EQ(v, Vec3(3.0, 5.0, 7.0));
+}
+
+TEST(Vec3, Indexing) {
+  Vec3 v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_EQ(v[2], 3.0);
+  v[1] = 9.0;
+  EXPECT_EQ(v.y, 9.0);
+}
+
+TEST(Vec3, DotAndNorm) {
+  const Vec3 a{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 25.0);
+  EXPECT_DOUBLE_EQ(norm(a), 5.0);
+}
+
+TEST(Vec3, CrossProductIdentities) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  const Vec3 z{0.0, 0.0, 1.0};
+  EXPECT_EQ(cross(x, y), z);
+  EXPECT_EQ(cross(y, z), x);
+  EXPECT_EQ(cross(z, x), y);
+  // Anti-symmetry and orthogonality.
+  const Vec3 a{1.5, -2.0, 0.25};
+  const Vec3 b{0.5, 3.0, -1.0};
+  EXPECT_EQ(cross(a, b), -cross(b, a));
+  EXPECT_NEAR(dot(cross(a, b), a), 0.0, 1e-15);
+  EXPECT_NEAR(dot(cross(a, b), b), 0.0, 1e-15);
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1.0, 2.5, -3.0};
+  EXPECT_EQ(os.str(), "(1, 2.5, -3)");
+}
+
+}  // namespace
+}  // namespace g6
