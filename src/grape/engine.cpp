@@ -161,7 +161,11 @@ void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block
                                                 end - begin};
     pass_exps.resize(pass.size());
     for (std::size_t k = 0; k < pass.size(); ++k) {
-      pass_exps[k] = exps_[block[begin + k].index];
+      // i-particles are keyed by *global* id, which is not necessarily a
+      // locally stored j-particle (probe points, foreign i-particles in
+      // multi-host runs): fall back to the fresh-guess exponents.
+      const std::uint32_t gid = block[begin + k].index;
+      pass_exps[k] = gid < exps_.size() ? exps_[gid] : BlockExponents{};
     }
 
     for (int attempt = 0;; ++attempt) {
@@ -189,8 +193,11 @@ void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block
     for (std::size_t k = 0; k < pass.size(); ++k) {
       const Force f = merged_[k].decode();
       out[begin + k] = f;
-      // Remember refined exponents for the next step (margin 2 bits).
+      // Remember refined exponents for the next step (margin 2 bits). The
+      // cache grows on demand: global ids seen as i-particles may exceed
+      // the local j-particle count.
       const std::uint32_t gid = block[begin + k].index;
+      if (gid >= exps_.size()) exps_.resize(gid + 1);
       exps_[gid].acc = choose_block_exponent(max_abs(f.acc));
       exps_[gid].jerk = choose_block_exponent(max_abs(f.jerk));
       exps_[gid].pot = choose_block_exponent(std::fabs(f.pot));

@@ -1,5 +1,9 @@
 #include "grape/formats.hpp"
 
+#include <cmath>
+
+#include "util/check.hpp"
+
 namespace g6 {
 
 namespace {
@@ -10,6 +14,9 @@ Vec3 quantize_vec(const Vec3& v, const FloatFormat& f) {
 
 StoredJParticle quantize_j_particle(const JParticle& p, std::uint32_t index,
                                     const NumberFormats& fmt) {
+  G6_REQUIRE_MSG(std::isfinite(p.mass) && p.mass >= 0.0,
+                 "j-particle mass must be finite and non-negative");
+  G6_REQUIRE_MSG(std::isfinite(p.t0), "j-particle block time must be finite");
   const FixedPointCodec codec = fmt.coord_codec();
   StoredJParticle s;
   s.index = index;

@@ -19,8 +19,11 @@ PredictorUnit::Predicted PredictorUnit::predict(const StoredJParticle& j,
     c = pf.mul(dt, pf.add(pf.quantize(j.jerk[d] / 6.0), c));
     c = pf.mul(dt, pf.add(pf.quantize(0.5 * j.acc[d]), c));
     c = pf.mul(dt, pf.add(j.vel[d], c));
-    // ...added to the 64-bit fixed-point base exactly.
-    out.pos[d] = j.pos[d] + codec_.encode(c);
+    // ...added to the 64-bit fixed-point base exactly. Unsigned add: the
+    // hardware adder wraps two's-complement; signed overflow would be UB.
+    out.pos[d] =
+        static_cast<std::int64_t>(static_cast<std::uint64_t>(j.pos[d]) +
+                                  static_cast<std::uint64_t>(codec_.encode(c)));
 
     // Velocity prediction (Eq 7), delivered in the velocity format.
     double v = pf.mul(dt, pf.quantize(j.snap[d] / 6.0));
@@ -43,13 +46,21 @@ void ForcePipeline::interact(const PredictorUnit::Predicted& j,
   double dv[3];
   for (int d = 0; d < 3; ++d) {
     // Exact fixed-point subtract, one rounding into the pipeline float.
-    const std::int64_t diff = j.pos[d] - ip.pos[d];
+    // Computed in unsigned arithmetic: the hardware subtractor wraps
+    // two's-complement, and signed overflow would be UB for coordinates
+    // pushed into the guard bits.
+    const std::int64_t diff =
+        static_cast<std::int64_t>(static_cast<std::uint64_t>(j.pos[d]) -
+                                  static_cast<std::uint64_t>(ip.pos[d]));
     dx[d] = codec_.decode(diff);
     dv[d] = j.vel[d] - ip.vel[d];
   }
 
   if (exact_) {
     // Wide-format A/B mode: plain double arithmetic, BFP accumulation.
+    // g6lint: begin-allow(raw-float) -- this branch IS the IEEE-double
+    // reference path (NumberFormats::exact()); per-op quantization through
+    // FloatFormat would be an identity here and only add latency.
     const double r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + eps2;
     if (neighbors != nullptr) neighbors->record(j.index, r2, ip.h2);
     const double rinv = 1.0 / std::sqrt(r2);
@@ -62,6 +73,7 @@ void ForcePipeline::interact(const PredictorUnit::Predicted& j,
     }
     out.pot.add(-j.mass * rinv);
     return;
+    // g6lint: end-allow(raw-float)
   }
 
   for (int d = 0; d < 3; ++d) {

@@ -1,5 +1,6 @@
 #include "nbody/snapshot.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -10,6 +11,7 @@
 namespace g6 {
 
 void write_snapshot(std::ostream& os, const ParticleSet& set, double t) {
+  G6_REQUIRE_MSG(std::isfinite(t), "snapshot time must be finite");
   const auto flags = os.flags();
   os.precision(17);
   os << set.size() << ' ' << t << '\n';

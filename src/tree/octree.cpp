@@ -27,7 +27,10 @@ void Octree::build(std::span<const Body> bodies) {
   G6_REQUIRE(!bodies.empty());
   bodies_ = bodies;
   nodes_.clear();
-  interactions_ = 0;
+  // Relaxed is sufficient everywhere this counter is touched: it carries
+  // no synchronization (thread join in the callers orders it before any
+  // read), and build() runs strictly between traversal phases.
+  interactions_.store(0, std::memory_order_relaxed);
   perm_.resize(bodies.size());
   for (std::uint32_t i = 0; i < bodies.size(); ++i) perm_[i] = i;
 

@@ -75,6 +75,11 @@ class Octree {
   std::span<const Body> bodies_;
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> perm_;
+  /// Interaction counter shared by concurrent traversals. All accesses use
+  /// std::memory_order_relaxed by design: force_at() batches one fetch_add
+  /// per traversal, callers join their workers before reading, and the
+  /// join provides the happens-before edge — the atomic only needs to keep
+  /// the increments themselves race-free.
   mutable std::atomic<unsigned long long> interactions_{0};
 };
 

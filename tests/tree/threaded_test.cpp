@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "hermite/direct_engine.hpp"
 #include "nbody/models.hpp"
 #include "tree/leapfrog.hpp"
 #include "util/rng.hpp"
@@ -28,6 +29,66 @@ TEST(TreecodeThreads, ThreadedForcesMatchSerialExactly) {
     EXPECT_EQ(a.state()[i].vel, b.state()[i].vel) << i;
   }
   EXPECT_EQ(a.interactions(), b.interactions());
+}
+
+// Stress variant for the sanitizer presets: hammer the threaded force
+// loops with 8 workers over many repetitions so TSan sees every
+// fork/join and accumulator pattern often enough to flag a race. Cheap
+// in a plain build (~100 small steps); the value is in the tsan preset.
+TEST(TreecodeThreads, StressEightThreadsHundredRepetitions) {
+  Rng rng(3);
+  const ParticleSet s = make_plummer(256, rng);
+
+  TreecodeConfig cfg;
+  cfg.threads = 8;
+  TreecodeIntegrator threaded(s, cfg);
+  TreecodeIntegrator serial(s, [] {
+    TreecodeConfig c;
+    c.threads = 1;
+    return c;
+  }());
+  for (int rep = 0; rep < 100; ++rep) {
+    threaded.step();
+    serial.step();
+  }
+  // Threading must not change a single bit of the trajectory.
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    ASSERT_EQ(threaded.state()[i].pos, serial.state()[i].pos) << i;
+    ASSERT_EQ(threaded.state()[i].vel, serial.state()[i].vel) << i;
+  }
+  EXPECT_EQ(threaded.interactions(), serial.interactions());
+}
+
+TEST(TreecodeThreads, StressDirectEngineEightThreads) {
+  Rng rng(4);
+  const ParticleSet s = make_plummer(192, rng);
+  std::vector<JParticle> js(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    js[i].mass = s[i].mass;
+    js[i].pos = s[i].pos;
+    js[i].vel = s[i].vel;
+  }
+
+  DirectForceEngine threaded(0.01, 8);
+  DirectForceEngine serial(0.01, 1);
+  threaded.load_particles(js);
+  serial.load_particles(js);
+
+  std::vector<PredictedState> block(js.size());
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    block[i].index = static_cast<std::uint32_t>(i);
+    block[i].pos = js[i].pos;
+    block[i].vel = js[i].vel;
+  }
+  std::vector<Force> ft(js.size()), fs(js.size());
+  for (int rep = 0; rep < 100; ++rep) {
+    threaded.compute_forces(0.0, block, ft);
+    serial.compute_forces(0.0, block, fs);
+    for (std::size_t i = 0; i < js.size(); ++i) {
+      ASSERT_EQ(ft[i].acc, fs[i].acc) << "rep " << rep << " particle " << i;
+    }
+  }
+  EXPECT_EQ(threaded.interactions(), serial.interactions());
 }
 
 TEST(TreecodeThreads, RangeQueryFindsAllWithin) {

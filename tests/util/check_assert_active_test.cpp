@@ -1,0 +1,50 @@
+// The debug-build counterpart of check_ndebug_test.cpp: with NDEBUG
+// undefined, G6_ASSERT behaves exactly like G6_REQUIRE. check.hpp must be
+// the first include so its macros are expanded under the forced setting.
+#undef NDEBUG
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace g6 {
+namespace {
+
+TEST(CheckAssertActive, AssertThrowsOnFalse) {
+  EXPECT_THROW(G6_ASSERT(false), PreconditionError);
+}
+
+TEST(CheckAssertActive, AssertPassesAndEvaluatesOnTrue) {
+  int evaluations = 0;
+  EXPECT_NO_THROW(G6_ASSERT(++evaluations > 0));
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckAssertActive, AssertMessageCarriesExpressionAndLocation) {
+  try {
+    G6_ASSERT(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_assert_active_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("precondition failed"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckAssertActive, RequireMsgFormatsExpressionLocationAndMessage) {
+  try {
+    G6_REQUIRE_MSG(1 > 2, "block exponent out of range");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    // Full format: "precondition failed: <expr> at <file>:<line> — <msg>".
+    EXPECT_NE(what.find("precondition failed: 1 > 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_assert_active_test.cpp:"), std::string::npos) << what;
+    EXPECT_NE(what.find("— block exponent out of range"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace g6

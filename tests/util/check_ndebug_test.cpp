@@ -1,0 +1,32 @@
+// G6_ASSERT must compile out entirely under NDEBUG: no throw, and — just
+// as important — no evaluation of the asserted expression. This TU forces
+// NDEBUG regardless of the build type; check.hpp must be the first
+// include so its macros are expanded under the forced setting.
+#define NDEBUG 1
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace g6 {
+namespace {
+
+TEST(CheckNdebug, AssertDoesNotThrow) {
+  EXPECT_NO_THROW(G6_ASSERT(false));
+}
+
+TEST(CheckNdebug, AssertDoesNotEvaluateExpression) {
+  int evaluations = 0;
+  G6_ASSERT(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckNdebug, RequireStaysActive) {
+  // G6_REQUIRE guards API preconditions and must survive release builds.
+  EXPECT_THROW(G6_REQUIRE(false), PreconditionError);
+  int evaluations = 0;
+  EXPECT_NO_THROW(G6_REQUIRE(++evaluations > 0));
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace g6

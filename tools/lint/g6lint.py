@@ -1,0 +1,358 @@
+#!/usr/bin/env python3
+"""g6lint — repo-specific invariants that clang-tidy cannot express.
+
+The GRAPE-6 software twin has correctness properties that hinge on
+*where* arithmetic happens, not just how:
+
+  raw-float       Hardware-dataflow internals (src/grape/{pipeline,formats,
+                  chip,board}.*) must route floating-point arithmetic
+                  through the g6 emulation types (FloatFormat ops,
+                  FixedPointCodec encode/decode, BlockFloatAccumulator
+                  add/merge). A bare `a * b` on doubles in those files is a
+                  piece of the pipeline silently computed in IEEE double —
+                  exactly the bug that would invalidate the paper's
+                  bit-exact reduced-precision claims while passing every
+                  accuracy test at N small.
+
+  native-float    The native `float` type is banned in src/grape and
+                  src/util. Narrow formats are modelled by FloatFormat
+                  (explicit fraction bits / exponent range); native float
+                  has the wrong rounding envelope and double-promotion
+                  hazards.
+
+  nondeterminism  rand()/srand()/time()/clock()/std::random_device/
+                  std::mt19937/system_clock/high_resolution_clock are
+                  banned everywhere in src/. Reproducibility underpins the
+                  BFP order-invariance ablation ("same result on machines
+                  of different sizes"); all randomness must come from
+                  g6::Rng (seeded xoshiro256++) and all timing from
+                  steady_clock.
+
+  require-at-api  Public API translation units must validate their inputs:
+                  each .cpp under src/ needs at least one G6_REQUIRE /
+                  G6_REQUIRE_MSG, unless exempted below with a reason.
+
+  nolint-comment  A clang-tidy `NOLINT*` marker must carry a rationale in
+                  a comment on the same or the preceding line. Bare
+                  suppressions rot.
+
+Suppressions (the tool polices its own escape hatch — a suppression
+without a reason is itself a finding):
+
+    some_code();  // g6lint: allow(raw-float) -- why this is fine
+    // g6lint: allow-next-line(raw-float) -- why this is fine
+    // g6lint: begin-allow(raw-float) -- why this whole block is fine
+    ...
+    // g6lint: end-allow(raw-float)
+
+Exit status: 0 clean, 1 findings, 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Configuration (repo-specific by design; edit alongside the code it guards)
+# --------------------------------------------------------------------------
+
+# Files forming the emulated hardware dataflow: predictor + force pipeline,
+# number-format conversion, chip and board reduction trees.
+RAW_FLOAT_SCOPE = (
+    "src/grape/pipeline.hpp",
+    "src/grape/pipeline.cpp",
+    "src/grape/formats.hpp",
+    "src/grape/formats.cpp",
+    "src/grape/chip.hpp",
+    "src/grape/chip.cpp",
+    "src/grape/board.hpp",
+    "src/grape/board.cpp",
+)
+
+NATIVE_FLOAT_SCOPE_PREFIXES = ("src/grape/", "src/util/")
+
+# Calls that mark a line as routed through the g6 arithmetic types.
+ROUTING_TOKENS = (
+    ".quantize(",
+    ".add(",
+    ".sub(",
+    ".mul(",
+    ".div(",
+    ".sqrt(",
+    ".rsqrt(",
+    ".encode(",
+    ".decode(",
+    ".merge(",
+    ".reset(",
+    ".value(",
+    "choose_block_exponent(",
+)
+
+# Lines that declare/operate on integer words are exact by construction
+# (the fixed-point and cycle-count arithmetic).
+INTEGER_TYPE_RE = re.compile(
+    r"\b(?:std::)?u?int(?:8|16|32|64)_t\b|\bstd::size_t\b|\bsize_t\b"
+    r"|\bunsigned\b|\bbool\b|\buint\b"
+)
+
+# Infix binary arithmetic between operands. .clang-format spaces binary
+# operators and glues pointer/reference declarators to the type, so a
+# space *before* '*' reliably separates `a * b` from `T* p`. Spaced '+'
+# and '-' additionally require floating-point evidence on the line (an FP
+# literal or a `double`), since integer index/cycle arithmetic is exact
+# and allowed.
+MULDIV_RE = re.compile(r"[\w\)\]] [*/] [-+]?[\w\(]")
+ADDSUB_RE = re.compile(r"[\w\)\]] [+\-] [-+]?[\w\(]")
+FP_EVIDENCE_RE = re.compile(r"\b\d+\.\d|\bdouble\b|\b\d+\.\d*[eE][-+]?\d|0x1\.")
+
+NONDETERMINISM_RES = (
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    # Only the libc/std wall-clock readers: member accessors named time()
+    # are fine, `time(NULL)` / `std::time(...)` are not.
+    (re.compile(r"\bstd::time\s*\(|(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0|&)"),
+     "time()"),
+    (re.compile(r"\bstd::clock\s*\(|(?<![\w:.>])::clock\s*\("), "clock()"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd::mt19937(?:_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bsystem_clock\b"), "system_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"), "high_resolution_clock"),
+)
+
+# Translation units exempt from require-at-api, each with the reason the
+# exemption is sound. An entry without a reason is a config error.
+REQUIRE_EXEMPT = {
+    "src/grape/pipeline.cpp": "per-interaction hot path; preconditions are "
+    "enforced once per pass by Chip::run_pass/Board::run_pass",
+    "src/hermite/force_engine.cpp": "defines only the unsupported-feature "
+    "throw of the ForceEngine base class",
+    "src/util/vec3.cpp": "stream output operator only; no inputs to validate",
+    "src/util/softfloat.cpp": "describe() formatting only; arithmetic "
+    "preconditions live in the header (G6_REQUIRE in rsqrt)",
+    "src/util/cli.cpp": "parses end-user argv; reports errors via "
+    "runtime_error + finish(), not programmer preconditions",
+}
+
+REQUIRE_RE = re.compile(r"\bG6_REQUIRE(?:_MSG)?\s*\(")
+
+NOLINT_RE = re.compile(r"\bNOLINT(?:NEXTLINE|BEGIN|END)?\b")
+
+ALLOW_RE = re.compile(
+    r"g6lint:\s*(allow|allow-next-line|begin-allow|end-allow)"
+    r"\(([a-z\-]+)\)\s*(?:--\s*(.*))?"
+)
+
+RULES = ("raw-float", "native-float", "nondeterminism", "require-at-api",
+         "nolint-comment")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(line: str) -> str:
+    """Remove string/char literals and comments; keep structure."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            i += 1
+            out.append('""' if quote == '"' else "''")
+        elif c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        elif c == "/" and i + 1 < n and line[i + 1] == "*":
+            end = line.find("*/", i + 2)
+            if end == -1:
+                break
+            i = end + 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def comment_part(line: str) -> str:
+    idx = line.find("//")
+    return line[idx:] if idx != -1 else ""
+
+
+class Suppressions:
+    """Per-file suppression state parsed from g6lint: comments."""
+
+    def __init__(self, relpath: str, lines: list[str], findings: list[Finding]):
+        self.line_allows: dict[int, set[str]] = {}
+        open_blocks: dict[str, int] = {}
+        blocks: list[tuple[str, int, int]] = []
+        for lineno, raw in enumerate(lines, start=1):
+            m = ALLOW_RE.search(comment_part(raw))
+            if not m:
+                continue
+            kind, rule, reason = m.group(1), m.group(2), m.group(3)
+            if rule not in RULES:
+                findings.append(Finding(relpath, lineno, "suppression",
+                                        f"unknown rule '{rule}' in suppression"))
+                continue
+            if kind != "end-allow" and not (reason and reason.strip()):
+                findings.append(Finding(
+                    relpath, lineno, "suppression",
+                    f"suppression of '{rule}' without a reason "
+                    "(write: g6lint: allow(rule) -- why)"))
+                continue
+            if kind == "allow":
+                self.line_allows.setdefault(lineno, set()).add(rule)
+            elif kind == "allow-next-line":
+                self.line_allows.setdefault(lineno + 1, set()).add(rule)
+            elif kind == "begin-allow":
+                open_blocks[rule] = lineno
+            elif kind == "end-allow":
+                if rule in open_blocks:
+                    blocks.append((rule, open_blocks.pop(rule), lineno))
+                else:
+                    findings.append(Finding(relpath, lineno, "suppression",
+                                            f"end-allow({rule}) without begin-allow"))
+        for rule, start in open_blocks.items():
+            findings.append(Finding(relpath, start, "suppression",
+                                    f"begin-allow({rule}) never closed"))
+        self.blocks = blocks
+
+    def allowed(self, rule: str, lineno: int) -> bool:
+        if rule in self.line_allows.get(lineno, set()):
+            return True
+        return any(r == rule and a <= lineno <= b for r, a, b in self.blocks)
+
+
+def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None:
+    text = (root / relpath).read_text(encoding="utf-8")
+    lines = text.split("\n")
+    sup = Suppressions(relpath, lines, findings)
+    code_lines = [strip_code(l) for l in lines]
+
+    in_raw_float_scope = relpath in RAW_FLOAT_SCOPE
+    in_native_float_scope = relpath.startswith(NATIVE_FLOAT_SCOPE_PREFIXES)
+    in_src = relpath.startswith("src/")
+
+    for lineno, code in enumerate(code_lines, start=1):
+        if not code.strip() or code.lstrip().startswith("#"):
+            continue
+
+        if in_native_float_scope and re.search(r"\bfloat\b", code):
+            if not sup.allowed("native-float", lineno):
+                findings.append(Finding(
+                    relpath, lineno, "native-float",
+                    "native `float` is banned here; model narrow formats "
+                    "with g6::FloatFormat"))
+
+        arith = MULDIV_RE.search(code) or (
+            ADDSUB_RE.search(code) and FP_EVIDENCE_RE.search(code))
+        if in_raw_float_scope and arith:
+            routed = any(tok in code for tok in ROUTING_TOKENS)
+            integer = INTEGER_TYPE_RE.search(code) is not None
+            if not routed and not integer and not sup.allowed("raw-float", lineno):
+                findings.append(Finding(
+                    relpath, lineno, "raw-float",
+                    "floating-point arithmetic outside the g6 emulation "
+                    "types in hardware-dataflow code; route through "
+                    "FloatFormat / FixedPointCodec / BlockFloatAccumulator"))
+
+        if in_src:
+            for rx, name in NONDETERMINISM_RES:
+                if rx.search(code) and not sup.allowed("nondeterminism", lineno):
+                    findings.append(Finding(
+                        relpath, lineno, "nondeterminism",
+                        f"{name} is banned in src/ — use g6::Rng for "
+                        "randomness and std::chrono::steady_clock for timing"))
+
+    # require-at-api: per-file presence check.
+    if (in_src and relpath.endswith(".cpp") and relpath not in REQUIRE_EXEMPT
+            and not REQUIRE_RE.search(text)):
+        findings.append(Finding(
+            relpath, 1, "require-at-api",
+            "public API translation unit has no G6_REQUIRE precondition "
+            "check; validate inputs at the API boundary (or exempt the "
+            "file in g6lint.py with a reason)"))
+
+    # nolint-comment: every NOLINT needs a rationale nearby.
+    for lineno, raw in enumerate(lines, start=1):
+        if NOLINT_RE.search(comment_part(raw)):
+            here = comment_part(raw)
+            prev = comment_part(lines[lineno - 2]) if lineno >= 2 else ""
+            # A rationale = comment text beyond the bare marker itself.
+            rationale = re.sub(r"\bNOLINT(?:NEXTLINE|BEGIN|END)?\b(\([^)]*\))?",
+                               "", here + " " + prev)
+            rationale = rationale.replace("//", " ").strip(" -:\t")
+            if len(rationale) < 10 and not sup.allowed("nolint-comment", lineno):
+                findings.append(Finding(
+                    relpath, lineno, "nolint-comment",
+                    "NOLINT without a rationale comment on the same or "
+                    "preceding line"))
+
+
+def collect_targets(root: pathlib.Path) -> list[str]:
+    targets = []
+    for sub in ("src",):
+        for p in sorted((root / sub).rglob("*")):
+            if p.suffix in (".hpp", ".cpp") and p.is_file():
+                targets.append(str(p.relative_to(root)))
+    return targets
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("paths", nargs="*",
+                    help="files to lint (default: all of src/)")
+    args = ap.parse_args()
+
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"g6lint: {root} does not look like the repo root", file=sys.stderr)
+        return 2
+
+    for relpath, reason in REQUIRE_EXEMPT.items():
+        if not reason.strip():
+            print(f"g6lint: exemption for {relpath} lacks a reason", file=sys.stderr)
+            return 2
+
+    targets = args.paths or collect_targets(root)
+    findings: list[Finding] = []
+    for rel in targets:
+        rp = pathlib.Path(rel)
+        if rp.is_absolute():
+            try:
+                rel = str(rp.relative_to(root))
+            except ValueError:
+                print(f"g6lint: {rp} is outside the repo root {root}",
+                      file=sys.stderr)
+                return 2
+        if not (root / rel).is_file():
+            print(f"g6lint: no such file: {rel}", file=sys.stderr)
+            return 2
+        lint_file(root, rel, findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"g6lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"g6lint: clean ({len(targets)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
