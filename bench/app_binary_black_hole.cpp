@@ -22,7 +22,7 @@ int main(int argc, char** argv) try {
   // Schedule statistics from real scaled-down BH-binary clusters. The two
   // massive particles force small timesteps in the core — the workload
   // that makes individual timesteps mandatory (Sec 1).
-  std::fprintf(stderr, "[calibration] BH-binary clusters ... ");
+  obs::log_info("calibration: BH-binary clusters ...");
   std::vector<CalibrationPoint> points;
   for (std::size_t n : {256u, 512u, 1024u}) {
     Rng rng(2000 + static_cast<unsigned>(n));
@@ -32,9 +32,10 @@ int main(int argc, char** argv) try {
     points.push_back(measure_schedule(set, 1.0 / 64.0, one));
   }
   const TraceScaling scaling = TraceScaling::fit(points);
-  std::fprintf(stderr, "R(N)=%.3g*N^%.3f, block=%.3g*N^%.3f of N\n",
-               scaling.steps_rate.coefficient, scaling.steps_rate.exponent,
-               scaling.block_fraction.coefficient, scaling.block_fraction.exponent);
+  obs::log_info("calibration: R(N)=%.3g*N^%.3f, block=%.3g*N^%.3f of N",
+                scaling.steps_rate.coefficient, scaling.steps_rate.exponent,
+                scaling.block_fraction.coefficient,
+                scaling.block_fraction.exponent);
 
   const SystemConfig sys = SystemConfig::tuned(4);
   const MachineModel model(sys);

@@ -26,7 +26,7 @@ int main(int argc, char** argv) try {
   print_banner(std::cout, "Sec 5 app: Kuiper-belt planetesimal run (N=1.8M)");
 
   // --- (a) real scaled-down disks -> schedule statistics ----------------
-  std::fprintf(stderr, "[calibration] planetesimal disks ... ");
+  obs::log_info("calibration: planetesimal disks ...");
   std::vector<CalibrationPoint> points;
   CalibrationOptions opt;
   opt.eta = 0.02;
@@ -47,9 +47,10 @@ int main(int argc, char** argv) try {
     points.push_back(measure_schedule(set, eps, one));
   }
   const TraceScaling scaling = TraceScaling::fit(points);
-  std::fprintf(stderr, "R(N)=%.3g*N^%.3f, block=%.3g*N^%.3f of N\n",
-               scaling.steps_rate.coefficient, scaling.steps_rate.exponent,
-               scaling.block_fraction.coefficient, scaling.block_fraction.exponent);
+  obs::log_info("calibration: R(N)=%.3g*N^%.3f, block=%.3g*N^%.3f of N",
+                scaling.steps_rate.coefficient, scaling.steps_rate.exponent,
+                scaling.block_fraction.coefficient,
+                scaling.block_fraction.exponent);
 
   const SystemConfig sys = SystemConfig::tuned(4);
   const MachineModel model(sys);

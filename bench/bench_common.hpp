@@ -24,19 +24,44 @@ inline CalibrationOptions standard_calibration(Cli& cli) {
 }
 
 /// Calibrated scaling with the shared cache (wiped by --recalibrate).
+/// Progress goes through the leveled logger: G6_LOG_LEVEL=quiet silences it.
 inline TraceScaling scaling_for(SofteningLaw law, const CalibrationOptions& opt,
                                 bool recalibrate) {
   const std::string cache = calibration_cache_path(law);
   if (recalibrate) std::remove(cache.c_str());
-  std::fprintf(stderr, "[calibration] %s ... ", softening_name(law));
-  std::fflush(stderr);
+  obs::log_info("calibration %s ...", softening_name(law));
   const TraceScaling s = calibrated_scaling(law, opt, cache);
-  std::fprintf(stderr,
-               "R(N)=%.3g*N^%.3f (r2=%.3f), block=%.3g*N^%.3f of N, sigma=%.2f\n",
-               s.steps_rate.coefficient, s.steps_rate.exponent, s.steps_rate.r2,
-               s.block_fraction.coefficient, s.block_fraction.exponent,
-               s.log_block_sigma);
+  obs::log_info(
+      "calibration %s: R(N)=%.3g*N^%.3f (r2=%.3f), block=%.3g*N^%.3f of N, "
+      "sigma=%.2f",
+      softening_name(law), s.steps_rate.coefficient, s.steps_rate.exponent,
+      s.steps_rate.r2, s.block_fraction.coefficient, s.block_fraction.exponent,
+      s.log_block_sigma);
   return s;
+}
+
+/// Standard telemetry flags for every bench/driver: --metrics-out and
+/// --trace-out; asking for a trace turns span collection on.
+struct TelemetryFlags {
+  std::string metrics_out;
+  std::string trace_out;
+};
+
+inline TelemetryFlags telemetry_flags(Cli& cli) {
+  TelemetryFlags f;
+  f.metrics_out =
+      cli.get_string("metrics-out", "", "write metrics JSON here (\"\" = off)");
+  f.trace_out = cli.get_string("trace-out", "",
+                               "write Chrome trace JSON here (\"\" = off)");
+  if (!f.trace_out.empty()) obs::Tracer::global().enable();
+  return f;
+}
+
+/// End-of-run export; call once after the measurement loop.
+inline void export_telemetry(const TelemetryFlags& f,
+                             const obs::Eq10Accumulator* eq10 = nullptr) {
+  obs::export_metrics_json(f.metrics_out, eq10);
+  obs::export_chrome_trace(f.trace_out);
 }
 
 /// Paper-figure N grid: 512 ... hi.

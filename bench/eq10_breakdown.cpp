@@ -13,6 +13,7 @@ int main(int argc, char** argv) try {
   Cli cli(argc, argv);
   const bool recal = cli.get_bool("recalibrate", false, "ignore calibration cache");
   CalibrationOptions copt = bench::standard_calibration(cli);
+  const bench::TelemetryFlags tf = bench::telemetry_flags(cli);
   if (cli.finish()) return 0;
 
   print_banner(std::cout, "Eq 10 breakdown: T_host + T_comm(DMA+net) + T_GRAPE");
@@ -29,6 +30,10 @@ int main(int argc, char** argv) try {
       {"4 clusters (16 hosts)", SystemConfig::multi_cluster(4)},
   };
 
+  // Every row is one obs::Eq10Accumulator filled from the machine model —
+  // the same struct real runs fill with wall time, so the bottleneck
+  // classification and the exported JSON schema are shared.
+  obs::Eq10Accumulator merged;
   for (const auto& c : configs) {
     std::printf("\n-- %s --\n", c.name);
     const MachineModel model(c.sys);
@@ -39,31 +44,21 @@ int main(int argc, char** argv) try {
       const auto block =
           static_cast<std::size_t>(std::max(1.0, scaling.mean_block_size(n)));
       const BlockstepCost cost = model.blockstep_cost(block, n);
-      const double b = static_cast<double>(block);
-      const double host = cost.host_s / b * 1e6;
-      const double dma = cost.dma_s / b * 1e6;
-      const double grape = cost.grape_s / b * 1e6;
-      const double net = cost.net_s / b * 1e6;
-      const char* bottleneck = "host";
-      double worst = host;
-      if (dma > worst) {
-        worst = dma;
-        bottleneck = "dma";
-      }
-      if (grape > worst) {
-        worst = grape;
-        bottleneck = "grape";
-      }
-      if (net > worst) {
-        worst = net;
-        bottleneck = "net";
-      }
+      obs::Eq10Accumulator acc;
+      acc.add_phases(cost.host_s, cost.dma_s, cost.net_s, cost.grape_s,
+                     cost.total());
+      acc.add_steps(block);
+      merged.merge(acc);
+      const double per_step_us = 1e6 / static_cast<double>(block);
       table.print_row({TablePrinter::num(static_cast<long long>(n)),
-                       TablePrinter::num(host), TablePrinter::num(dma),
-                       TablePrinter::num(grape), TablePrinter::num(net),
-                       bottleneck});
+                       TablePrinter::num(acc.host_s * per_step_us),
+                       TablePrinter::num(acc.dma_s * per_step_us),
+                       TablePrinter::num(acc.grape_s * per_step_us),
+                       TablePrinter::num(acc.net_s * per_step_us),
+                       acc.bottleneck()});
     }
   }
+  bench::export_telemetry(tf, &merged);
 
   std::printf("\nreading (Sec 4.4): single host — DMA/host at small N, GRAPE at\n"
               "large N; multi-host — synchronization owns the small-N regime\n"

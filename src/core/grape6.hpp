@@ -8,6 +8,7 @@
 //
 // Layering (bottom to top):
 //   util     — vectors, hardware number formats, RNG, statistics
+//   obs      — telemetry: logger, metrics, phase spans, Eq 10 accounting
 //   nbody    — particles, initial-condition models, diagnostics
 //   hermite  — 4th-order Hermite individual-timestep integrator
 //   grape    — bit-level GRAPE-6 hardware emulator with virtual timing
@@ -39,6 +40,7 @@
 #include "net/clock.hpp"
 #include "net/collectives.hpp"
 #include "net/nic.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/alternatives.hpp"
 #include "parallel/host_grid.hpp"
 #include "parallel/virtual_cluster.hpp"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "util/check.hpp"
 
 namespace g6 {
@@ -128,16 +130,36 @@ void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block
                                  std::span<Force> out,
                                  std::span<NeighborResult> neighbors) {
   G6_REQUIRE(block.size() == out.size());
+  G6_PHASE("grape.run_block");
+  // Instrument references resolve once; the registry keeps them alive and
+  // reset() zeroes in place, so caching across calls is safe.
+  static obs::Counter& c_cycles =
+      obs::MetricsRegistry::global().counter("grape.pipeline.cycles");
+  static obs::Counter& c_dma_bytes =
+      obs::MetricsRegistry::global().counter("grape.dma.bytes");
+  static obs::Counter& c_passes =
+      obs::MetricsRegistry::global().counter("grape.passes");
+  static obs::Counter& c_retries =
+      obs::MetricsRegistry::global().counter("grape.retries");
+  static obs::Counter& c_interactions =
+      obs::MetricsRegistry::global().counter("grape.interactions");
   const bool want_nb = !neighbors.empty();
   double call_seconds = 0.0;
+  std::uint64_t dma_bytes = 0;
+  const std::uint64_t passes0 = stats_.passes;
+  const std::uint64_t retries0 = stats_.retries;
+  const std::uint64_t interactions0 = stats_.interactions;
 
   // Write back the particles corrected since the previous call (one DMA).
   if (pending_j_writes_ > 0) {
+    G6_PHASE("grape.j-send");
+    dma_bytes += pending_j_writes_ * packets_.j_particle_bytes;
     call_seconds += dma_.transfer_time(pending_j_writes_ * packets_.j_particle_bytes);
     pending_j_writes_ = 0;
   }
 
   // Send the i-block (one DMA).
+  dma_bytes += block.size() * packets_.i_particle_bytes;
   call_seconds += dma_.transfer_time(block.size() * packets_.i_particle_bytes);
 
   packets_buf_.resize(block.size());
@@ -169,6 +191,8 @@ void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block
     }
 
     for (int attempt = 0;; ++attempt) {
+      // One span per hardware pass; overflow retries show up as repeats.
+      G6_PHASE("grape.pipeline");
       if (want_nb) {
         pass_nb.resize(pass.size());
         for (auto& nb : pass_nb) nb.reset(host_nb_capacity);
@@ -190,6 +214,7 @@ void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block
       G6_REQUIRE_MSG(attempt < kMaxRetries, "block exponent retry did not converge");
     }
 
+    G6_PHASE("grape.reduce");
     for (std::size_t k = 0; k < pass.size(); ++k) {
       const Force f = merged_[k].decode();
       out[begin + k] = f;
@@ -214,9 +239,19 @@ void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block
 
   // Read back the results (one DMA), plus the neighbor lists (one more
   // transaction of 4-byte index words) when requested.
+  dma_bytes += block.size() * packets_.result_bytes;
   call_seconds += dma_.transfer_time(block.size() * packets_.result_bytes);
-  if (want_nb) call_seconds += dma_.transfer_time(neighbor_words * 4);
+  if (want_nb) {
+    dma_bytes += neighbor_words * 4;
+    call_seconds += dma_.transfer_time(neighbor_words * 4);
+  }
   call_seconds += static_cast<double>(cycles) / mc_.clock_hz;
+
+  c_cycles.add(cycles);
+  c_dma_bytes.add(dma_bytes);
+  c_passes.add(stats_.passes - passes0);
+  c_retries.add(stats_.retries - retries0);
+  c_interactions.add(stats_.interactions - interactions0);
 
   const double grape_seconds = static_cast<double>(cycles) / mc_.clock_hz;
   stats_.grape_seconds += grape_seconds;

@@ -6,6 +6,7 @@
 
 #include "hermite/direct_engine.hpp"
 #include "hermite/scheme.hpp"
+#include "obs/phase.hpp"
 #include "util/check.hpp"
 
 namespace g6 {
@@ -152,6 +153,8 @@ double AhmadCohenIntegrator::next_block_time() const {
 }
 
 std::size_t AhmadCohenIntegrator::step() {
+  obs::Eq10Stepper eq(eq10_);  // opens attributing to kHost
+  G6_PHASE("blockstep");
   const double t = next_block_time();
   const std::size_t n = particles_.size();
 
@@ -173,20 +176,23 @@ std::size_t AhmadCohenIntegrator::step() {
   work.reserve(block_.size());
 
   // --- phase 1: irregular step for every block member -------------------
-  for (std::size_t i : block_) {
-    Work w;
-    w.i = i;
-    w.dt = t - particles_[i].t0;
-    w.due_regular = (t == t_reg_[i] + dt_reg_[i]);
+  {
+    G6_PHASE("irregular");
+    for (std::size_t i : block_) {
+      Work w;
+      w.i = i;
+      w.dt = t - particles_[i].t0;
+      w.due_regular = (t == t_reg_[i] + dt_reg_[i]);
 
-    Vec3 xp, vp;
-    hermite_predict_cubic(particles_[i], t, xp, vp);
-    w.f_irr_new = irregular_force(i, xp, vp, t, neighbors_[i]);
-    w.d = hermite_interpolate(f_irr_[i], w.f_irr_new, w.dt);
-    w.pos = xp;
-    w.vel = vp;
-    hermite_correct(w.d, w.dt, w.pos, w.vel);
-    work.push_back(w);
+      Vec3 xp, vp;
+      hermite_predict_cubic(particles_[i], t, xp, vp);
+      w.f_irr_new = irregular_force(i, xp, vp, t, neighbors_[i]);
+      w.d = hermite_interpolate(f_irr_[i], w.f_irr_new, w.dt);
+      w.pos = xp;
+      w.vel = vp;
+      hermite_correct(w.d, w.dt, w.pos, w.vel);
+      work.push_back(w);
+    }
   }
 
   // --- phase 2: regular refresh for the due subset (batched) ------------
@@ -195,6 +201,7 @@ std::size_t AhmadCohenIntegrator::step() {
     if (work[k].due_regular) due.push_back(k);
   }
   if (!due.empty()) {
+    G6_PHASE("regular-refresh");
     std::vector<PredictedState> pred(due.size());
     std::vector<double> radii(due.size());
     std::vector<Force> f_tot(due.size());
@@ -206,7 +213,9 @@ std::size_t AhmadCohenIntegrator::step() {
                    static_cast<std::uint32_t>(w.i)};
         radii[k] = h2_[w.i];
       }
+      eq.phase(obs::Eq10Stepper::Phase::kGrape);
       engine_.compute_forces_neighbors(t, pred, radii, f_tot, nb);
+      eq.phase(obs::Eq10Stepper::Phase::kHost);
       regular_interactions_ += due.size() * (n - 1);
       bool overflowed = false;
       for (std::size_t k = 0; k < due.size(); ++k) {
@@ -272,6 +281,7 @@ std::size_t AhmadCohenIntegrator::step() {
   }
 
   // --- phase 3: finalize every block member ------------------------------
+  G6_PHASE("finalize");
   for (Work& w : work) {
     const std::size_t i = w.i;
     const Vec3 a2_irr_t1 = w.d.a2 + w.dt * w.d.a3;
@@ -302,9 +312,18 @@ std::size_t AhmadCohenIntegrator::step() {
     p.snap = a2_irr_t1 + a2_reg_[i];
     p.t0 = t;
     f_irr_[i] = w.f_irr_new;
-    engine_.update_particle(i, p);
     ++irregular_steps_;
   }
+
+  eq.phase(obs::Eq10Stepper::Phase::kDma);
+  {
+    // j-particle send, batched after the correctors (the engine state is
+    // not read during finalization, so ordering is unchanged).
+    G6_PHASE("j-send");
+    for (const Work& w : work) engine_.update_particle(w.i, particles_[w.i]);
+  }
+  eq.phase(obs::Eq10Stepper::Phase::kHost);
+  eq10_.add_steps(block_.size());
 
   time_ = t;
   ++blocksteps_;

@@ -25,6 +25,7 @@
 #include "hermite/force_engine.hpp"
 #include "hermite/trace.hpp"
 #include "nbody/particle.hpp"
+#include "obs/eq10.hpp"
 
 namespace g6 {
 
@@ -69,6 +70,10 @@ class AhmadCohenIntegrator {
   unsigned long long regular_interactions() const { return regular_interactions_; }
   const BlockstepTrace& trace() const { return trace_; }
 
+  /// Wall-time Eq 10 breakdown: host (irregular sums + correctors), grape
+  /// (regular full-force refreshes), dma (j-particle sends).
+  const obs::Eq10Accumulator& eq10() const { return eq10_; }
+
  private:
   void initialize(const ParticleSet& initial);
   double next_block_time() const;
@@ -98,6 +103,7 @@ class AhmadCohenIntegrator {
   unsigned long long regular_interactions_ = 0;
   unsigned long long blocksteps_ = 0;
   BlockstepTrace trace_;
+  obs::Eq10Accumulator eq10_;
 
   // scratch
   std::vector<std::size_t> block_;

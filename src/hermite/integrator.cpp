@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "hermite/scheme.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "util/check.hpp"
 
 namespace g6 {
@@ -65,6 +67,8 @@ double HermiteIntegrator::next_block_time() const {
 }
 
 std::size_t HermiteIntegrator::step() {
+  obs::Eq10Stepper eq(eq10_);  // opens attributing to kHost
+  G6_PHASE("blockstep");
   const double t_next = next_block_time();
 
   // Gather the block: everyone whose step ends exactly at t_next. Times
@@ -75,47 +79,72 @@ std::size_t HermiteIntegrator::step() {
   }
   G6_ASSERT(!block_.empty());
 
-  // Host-side prediction of the i-particles (Eqs 6-7 in double precision;
-  // the hardware predicts the j side).
-  block_pred_.resize(block_.size());
-  for (std::size_t k = 0; k < block_.size(); ++k) {
-    const std::size_t i = block_[k];
-    Vec3 xp, vp;
-    hermite_predict_cubic(particles_[i], t_next, xp, vp);
-    block_pred_[k] = {xp, vp, particles_[i].mass, static_cast<std::uint32_t>(i)};
+  {
+    // Host-side prediction of the i-particles (Eqs 6-7 in double
+    // precision; the hardware predicts the j side).
+    G6_PHASE("predict");
+    block_pred_.resize(block_.size());
+    for (std::size_t k = 0; k < block_.size(); ++k) {
+      const std::size_t i = block_[k];
+      Vec3 xp, vp;
+      hermite_predict_cubic(particles_[i], t_next, xp, vp);
+      block_pred_[k] = {xp, vp, particles_[i].mass,
+                        static_cast<std::uint32_t>(i)};
+    }
   }
 
   block_force_.resize(block_.size());
-  engine_.compute_forces(t_next, block_pred_, block_force_);
-
-  // Corrector + new timestep per block member.
-  for (std::size_t k = 0; k < block_.size(); ++k) {
-    const std::size_t i = block_[k];
-    JParticle& p = particles_[i];
-    const double dt = t_next - p.t0;
-    const Force& f1 = block_force_[k];
-
-    const HermiteDerivatives d = hermite_interpolate(last_force_[i], f1, dt);
-    Vec3 pos = block_pred_[k].pos;
-    Vec3 vel = block_pred_[k].vel;
-    hermite_correct(d, dt, pos, vel);
-
-    const Vec3 a2_t1 = d.a2 + dt * d.a3;
-    double dt_req = aarseth_timestep(f1, a2_t1, d.a3, cfg_.eta);
-    dt_req = std::min(dt_req, 2.0 * dt);  // grow at most one level per step
-    double dt_new = quantize_timestep(dt_req, cfg_.dt_min, cfg_.dt_max);
-    dt_new = commensurate_timestep(t_next, dt_new, cfg_.dt_min);
-
-    p.pos = pos;
-    p.vel = vel;
-    p.acc = f1.acc;
-    p.jerk = f1.jerk;
-    p.snap = a2_t1;
-    p.t0 = t_next;
-    dt_[i] = dt_new;
-    last_force_[i] = f1;
-    engine_.update_particle(i, p);
+  eq.phase(obs::Eq10Stepper::Phase::kGrape);
+  {
+    G6_PHASE("force");
+    engine_.compute_forces(t_next, block_pred_, block_force_);
   }
+  eq.phase(obs::Eq10Stepper::Phase::kHost);
+
+  {
+    // Corrector + new timestep per block member.
+    G6_PHASE("correct");
+    for (std::size_t k = 0; k < block_.size(); ++k) {
+      const std::size_t i = block_[k];
+      JParticle& p = particles_[i];
+      const double dt = t_next - p.t0;
+      const Force& f1 = block_force_[k];
+
+      const HermiteDerivatives d = hermite_interpolate(last_force_[i], f1, dt);
+      Vec3 pos = block_pred_[k].pos;
+      Vec3 vel = block_pred_[k].vel;
+      hermite_correct(d, dt, pos, vel);
+
+      const Vec3 a2_t1 = d.a2 + dt * d.a3;
+      double dt_req = aarseth_timestep(f1, a2_t1, d.a3, cfg_.eta);
+      dt_req = std::min(dt_req, 2.0 * dt);  // grow at most one level per step
+      double dt_new = quantize_timestep(dt_req, cfg_.dt_min, cfg_.dt_max);
+      dt_new = commensurate_timestep(t_next, dt_new, cfg_.dt_min);
+
+      p.pos = pos;
+      p.vel = vel;
+      p.acc = f1.acc;
+      p.jerk = f1.jerk;
+      p.snap = a2_t1;
+      p.t0 = t_next;
+      dt_[i] = dt_new;
+      last_force_[i] = f1;
+    }
+  }
+
+  eq.phase(obs::Eq10Stepper::Phase::kDma);
+  {
+    // Push the corrected block to the engine's j-memory (the paper's
+    // j-particle send; one DMA on the emulated hardware).
+    G6_PHASE("j-send");
+    for (std::size_t i : block_) engine_.update_particle(i, particles_[i]);
+  }
+  eq.phase(obs::Eq10Stepper::Phase::kHost);
+
+  obs::MetricsRegistry::global()
+      .histogram("hermite.block_size", 0.0, 4096.0, 64)
+      .observe(static_cast<double>(block_.size()));
+  eq10_.add_steps(block_.size());
 
   time_ = t_next;
   total_steps_ += block_.size();

@@ -11,6 +11,7 @@
 #include "hermite/force_engine.hpp"
 #include "hermite/trace.hpp"
 #include "nbody/particle.hpp"
+#include "obs/eq10.hpp"
 
 namespace g6 {
 
@@ -51,6 +52,11 @@ class HermiteIntegrator {
   unsigned long long total_blocksteps() const { return total_blocksteps_; }
   const BlockstepTrace& trace() const { return trace_; }
 
+  /// Wall-time Eq 10 breakdown of every blockstep run so far: host
+  /// (predict + correct + bookkeeping), dma (j-send to the engine), grape
+  /// (force evaluation). Always on; zero with GRAPE6_TELEMETRY=OFF.
+  const obs::Eq10Accumulator& eq10() const { return eq10_; }
+
   /// Invoked after every blockstep with (time, block indices); used by the
   /// performance instrumentation.
   void set_block_callback(std::function<void(double, std::span<const std::size_t>)> cb) {
@@ -71,6 +77,7 @@ class HermiteIntegrator {
   unsigned long long total_steps_ = 0;
   unsigned long long total_blocksteps_ = 0;
   BlockstepTrace trace_;
+  obs::Eq10Accumulator eq10_;
   std::function<void(double, std::span<const std::size_t>)> block_callback_;
 
   // scratch buffers reused across blocksteps

@@ -1,0 +1,25 @@
+#include "obs/clock.hpp"
+
+#include "util/check.hpp"
+
+namespace g6::obs {
+
+std::chrono::steady_clock::time_point clock_epoch() {
+  // Initialized on first use; steady_clock so later reads can never
+  // precede it.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+double monotonic_seconds() {
+  // Fetch the epoch before reading the clock: on the very first call the
+  // epoch is initialized *now*, and must not postdate the reading.
+  const auto epoch = clock_epoch();
+  const auto now = std::chrono::steady_clock::now();
+  const double s = std::chrono::duration<double>(now - epoch).count();
+  G6_REQUIRE(s >= 0.0);
+  return s;
+}
+
+}  // namespace g6::obs

@@ -1,0 +1,21 @@
+#pragma once
+// The telemetry clock: the single place in src/ where wall time is read.
+// Everything else (phase spans, Eq 10 accumulation, treecode throughput)
+// measures through monotonic_seconds() so that g6lint can enforce "no raw
+// std::chrono outside src/obs/" and a future virtual-time test double only
+// has one seam to replace.
+
+#include <chrono>
+
+namespace g6::obs {
+
+/// Monotonic seconds since an arbitrary process-local epoch (the first
+/// call). steady_clock, never wall-clock: immune to NTP jumps, safe for
+/// durations.
+double monotonic_seconds();
+
+/// The epoch used by monotonic_seconds(), as a steady_clock time_point —
+/// exposed so trace timestamps from different threads share one origin.
+std::chrono::steady_clock::time_point clock_epoch();
+
+}  // namespace g6::obs

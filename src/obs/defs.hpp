@@ -1,0 +1,10 @@
+#pragma once
+// Compile-time telemetry toggle. The build defines
+// GRAPE6_TELEMETRY_ENABLED=0 when configured with -DGRAPE6_TELEMETRY=OFF;
+// in that mode phase spans and Eq 10 wall-clock sampling compile to
+// nothing (tested by tests/obs/overhead_test.cpp and the obs_overhead
+// bench). Default: enabled.
+
+#ifndef GRAPE6_TELEMETRY_ENABLED
+#define GRAPE6_TELEMETRY_ENABLED 1
+#endif

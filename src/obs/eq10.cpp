@@ -1,0 +1,75 @@
+#include "obs/eq10.hpp"
+
+#include <ostream>
+
+#include "obs/clock.hpp"
+#include "util/check.hpp"
+
+namespace g6::obs {
+
+const char* Eq10Accumulator::bottleneck() const {
+  const char* name = "host";
+  double worst = host_s;
+  if (dma_s > worst) {
+    worst = dma_s;
+    name = "dma";
+  }
+  if (grape_s > worst) {
+    worst = grape_s;
+    name = "grape";
+  }
+  if (net_s > worst) {
+    worst = net_s;
+    name = "net";
+  }
+  return name;
+}
+
+void Eq10Accumulator::write_json(std::ostream& os) const {
+  os.precision(12);
+  os << "{\"host_s\": " << host_s << ", \"dma_s\": " << dma_s
+     << ", \"net_s\": " << net_s << ", \"grape_s\": " << grape_s
+     << ", \"comm_s\": " << comm_s() << ", \"total_s\": " << total_s
+     << ", \"residual_s\": " << residual_s() << ", \"steps\": " << steps
+     << ", \"blocksteps\": " << blocksteps << ", \"bottleneck\": \""
+     << bottleneck() << "\"}";
+}
+
+void Eq10Accumulator::print(std::FILE* out) const {
+  G6_REQUIRE(out != nullptr);
+  const double total = total_s > 0.0 ? total_s : 1.0;
+  std::fprintf(out,
+               "Eq 10 breakdown (T = T_host + T_comm + T_GRAPE):\n"
+               "  T_host  %12.6f s  (%5.1f%%)\n"
+               "  T_comm  %12.6f s  (%5.1f%%)  [dma %.6f s, net %.6f s]\n"
+               "  T_GRAPE %12.6f s  (%5.1f%%)\n"
+               "  T_total %12.6f s over %llu steps in %llu blocksteps "
+               "(bottleneck: %s)\n",
+               host_s, 100.0 * host_s / total, comm_s(),
+               100.0 * comm_s() / total, dma_s, net_s, grape_s,
+               100.0 * grape_s / total, total_s,
+               static_cast<unsigned long long>(steps),
+               static_cast<unsigned long long>(blocksteps), bottleneck());
+}
+
+#if GRAPE6_TELEMETRY_ENABLED
+
+Eq10Stepper::Eq10Stepper(Eq10Accumulator& acc)
+    : acc_(&acc), t_start_(monotonic_seconds()), t_segment_(t_start_) {}
+
+void Eq10Stepper::phase(Phase p) {
+  const double now = monotonic_seconds();
+  part_[static_cast<int>(current_)] += now - t_segment_;
+  t_segment_ = now;
+  current_ = p;
+}
+
+Eq10Stepper::~Eq10Stepper() {
+  const double now = monotonic_seconds();
+  part_[static_cast<int>(current_)] += now - t_segment_;
+  acc_->add_phases(part_[0], part_[1], part_[2], part_[3], now - t_start_);
+}
+
+#endif  // GRAPE6_TELEMETRY_ENABLED
+
+}  // namespace g6::obs

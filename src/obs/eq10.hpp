@@ -1,0 +1,97 @@
+#pragma once
+// Equation (10) accumulator: T_single = T_host + T_comm + T_GRAPE, with
+// T_comm split into its DMA and network parts as in Sec 4.4 of the paper.
+//
+// Two producers feed the same struct:
+//  * real integrations (HermiteIntegrator, AhmadCohenIntegrator,
+//    TreecodeIntegrator) carve each blockstep's *wall* time into phases
+//    with an Eq10Stepper — any run can print its own breakdown;
+//  * model-driven paths (benches, VirtualCluster) add *virtual* seconds
+//    straight from a BlockstepCost-style decomposition.
+// Either way the identity host + dma + net + grape ≈ total holds, which
+// the integration tests assert.
+
+#include <cstdint>
+#include <cstdio>
+#include <iosfwd>
+
+#include "obs/defs.hpp"
+
+namespace g6::obs {
+
+struct Eq10Accumulator {
+  double host_s = 0.0;   ///< predictor, corrector, block bookkeeping
+  double dma_s = 0.0;    ///< host<->GRAPE transfers (j-send, i-send, results)
+  double net_s = 0.0;    ///< host<->host messages and barriers
+  double grape_s = 0.0;  ///< pipeline + on-board reduction
+  double total_s = 0.0;  ///< independently measured span of the same steps
+  std::uint64_t steps = 0;
+  std::uint64_t blocksteps = 0;
+
+  double comm_s() const { return dma_s + net_s; }
+  double accounted_s() const { return host_s + dma_s + net_s + grape_s; }
+  /// Time in total_s not attributed to any phase (loop overhead etc.).
+  double residual_s() const { return total_s - accounted_s(); }
+
+  void add_phases(double host, double dma, double net, double grape,
+                  double total) {
+    host_s += host;
+    dma_s += dma;
+    net_s += net;
+    grape_s += grape;
+    total_s += total;
+  }
+  void add_steps(std::uint64_t n_steps, std::uint64_t n_blocksteps = 1) {
+    steps += n_steps;
+    blocksteps += n_blocksteps;
+  }
+  void merge(const Eq10Accumulator& o) {
+    add_phases(o.host_s, o.dma_s, o.net_s, o.grape_s, o.total_s);
+    add_steps(o.steps, o.blocksteps);
+  }
+
+  /// Dominant term by the paper's categories: "host"|"dma"|"grape"|"net".
+  const char* bottleneck() const;
+
+  /// Seconds per individual particle step, 0 when no steps recorded.
+  double time_per_step_s() const {
+    return steps > 0 ? total_s / static_cast<double>(steps) : 0.0;
+  }
+
+  /// JSON object (the "eq10" section of the metrics schema).
+  void write_json(std::ostream& os) const;
+
+  /// Human-readable breakdown table.
+  void print(std::FILE* out) const;
+};
+
+/// Phase attribution for one blockstep, measured on the telemetry clock.
+/// Construct at the top of step(); call phase() at each transition; the
+/// destructor charges the segments plus the total span to the
+/// accumulator. Compiles to nothing with GRAPE6_TELEMETRY=OFF.
+class Eq10Stepper {
+ public:
+  enum class Phase { kHost = 0, kDma = 1, kNet = 2, kGrape = 3 };
+
+#if GRAPE6_TELEMETRY_ENABLED
+  explicit Eq10Stepper(Eq10Accumulator& acc);
+  ~Eq10Stepper();
+  Eq10Stepper(const Eq10Stepper&) = delete;
+  Eq10Stepper& operator=(const Eq10Stepper&) = delete;
+
+  /// Close the current segment and start attributing to `p`.
+  void phase(Phase p);
+
+ private:
+  Eq10Accumulator* acc_;
+  double t_start_;
+  double t_segment_;
+  Phase current_ = Phase::kHost;
+  double part_[4] = {0.0, 0.0, 0.0, 0.0};
+#else
+  explicit Eq10Stepper(Eq10Accumulator& acc) { (void)acc; }
+  void phase(Phase p) { (void)p; }
+#endif
+};
+
+}  // namespace g6::obs

@@ -1,0 +1,23 @@
+#pragma once
+// File export for the global telemetry sinks: metrics JSON and Chrome
+// trace JSON. Shared by grape6_run and the benches so every driver grows
+// the same --metrics-out / --trace-out behaviour.
+
+#include <string>
+
+namespace g6::obs {
+
+struct Eq10Accumulator;
+
+/// Write the global MetricsRegistry as metrics JSON ("grape6-metrics-v1")
+/// to `path`; `eq10` adds the time-breakdown section when non-null.
+/// Empty path is a no-op. Returns false (and logs an error) on I/O failure.
+bool export_metrics_json(const std::string& path,
+                         const Eq10Accumulator* eq10 = nullptr);
+
+/// Write the global Tracer's events as Chrome trace-event JSON to `path`
+/// (open in Perfetto / chrome://tracing). Empty path is a no-op. Returns
+/// false (and logs an error) on I/O failure.
+bool export_chrome_trace(const std::string& path);
+
+}  // namespace g6::obs

@@ -1,0 +1,124 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace g6::obs {
+
+namespace {
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kQuiet:
+      break;
+  }
+  return "?";
+}
+
+std::atomic<int>& level_store() {
+  static std::atomic<int> level{-1};  // -1 = not yet initialized
+  return level;
+}
+
+}  // namespace
+
+LogLevel parse_log_level(const char* name) {
+  if (name == nullptr || *name == '\0') return LogLevel::kInfo;
+  char buf[16] = {};
+  for (std::size_t i = 0; i + 1 < sizeof(buf) && name[i] != '\0'; ++i) {
+    buf[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(name[i])));
+  }
+  if (std::strcmp(buf, "quiet") == 0 || std::strcmp(buf, "off") == 0 ||
+      std::strcmp(buf, "none") == 0) {
+    return LogLevel::kQuiet;
+  }
+  if (std::strcmp(buf, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(buf, "warn") == 0 || std::strcmp(buf, "warning") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(buf, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(buf, "debug") == 0 || std::strcmp(buf, "trace") == 0) {
+    return LogLevel::kDebug;
+  }
+  return LogLevel::kInfo;
+}
+
+LogLevel log_level() {
+  int v = level_store().load(std::memory_order_relaxed);
+  if (v < 0) {
+    const LogLevel parsed = parse_log_level(std::getenv("G6_LOG_LEVEL"));
+    int expected = -1;
+    // First caller wins; a concurrent set_log_level() keeps its value.
+    level_store().compare_exchange_strong(expected, static_cast<int>(parsed),
+                                          std::memory_order_relaxed);
+    v = level_store().load(std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void set_log_level(LogLevel level) {
+  G6_REQUIRE(static_cast<int>(level) >= 0 && static_cast<int>(level) <= 4);
+  level_store().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace {
+
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  if (!log_enabled(level)) return;
+  // One formatted buffer, one fputs: lines from concurrent threads may
+  // interleave with each other but never mid-line.
+  char line[1024];
+  const int head =
+      std::snprintf(line, sizeof(line), "[g6 %s] ", level_tag(level));
+  if (head < 0) return;
+  std::vsnprintf(line + head, sizeof(line) - static_cast<std::size_t>(head),
+                 fmt, args);
+  const std::size_t len = std::strlen(line);
+  if (len + 1 < sizeof(line)) {
+    line[len] = '\n';
+    line[len + 1] = '\0';
+  } else {
+    line[sizeof(line) - 2] = '\n';
+  }
+  std::fputs(line, stderr);
+}
+
+}  // namespace
+
+void log(LogLevel level, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(level, fmt, args);
+  va_end(args);
+}
+
+#define G6_OBS_DEFINE_LOG_FN(fn, level)   \
+  void fn(const char* fmt, ...) {         \
+    std::va_list args;                    \
+    va_start(args, fmt);                  \
+    vlog(level, fmt, args);               \
+    va_end(args);                         \
+  }
+
+G6_OBS_DEFINE_LOG_FN(log_error, LogLevel::kError)
+G6_OBS_DEFINE_LOG_FN(log_warn, LogLevel::kWarn)
+G6_OBS_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+G6_OBS_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+
+#undef G6_OBS_DEFINE_LOG_FN
+
+}  // namespace g6::obs

@@ -1,0 +1,64 @@
+#pragma once
+// Leveled logger for progress / diagnostic lines that previously went to
+// stderr via scattered fprintf calls. Program *output* (tables, results)
+// still goes to stdout; the logger is for everything a user might want to
+// silence (G6_LOG_LEVEL=quiet) or crank up (G6_LOG_LEVEL=debug).
+//
+// Levels: quiet < error < warn < info < debug. Default: info.
+// Selection: G6_LOG_LEVEL environment variable, overridable in-process
+// with set_log_level(). Output: one line to stderr, prefixed "[g6 warn]".
+
+#include <cstdarg>
+
+namespace g6::obs {
+
+enum class LogLevel : int {
+  kQuiet = 0,  ///< nothing at all
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+/// Current threshold (first call parses G6_LOG_LEVEL once).
+LogLevel log_level();
+
+/// Programmatic override; wins over the environment.
+void set_log_level(LogLevel level);
+
+/// Parse "quiet"/"error"/"warn"/"info"/"debug" (case-insensitive).
+/// Unknown strings fall back to kInfo.
+LogLevel parse_log_level(const char* name);
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level()) &&
+         level != LogLevel::kQuiet;
+}
+
+/// printf-style log line at `level`; dropped when below the threshold.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void log(LogLevel level, const char* fmt, ...);
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void log_error(const char* fmt, ...);
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void log_warn(const char* fmt, ...);
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void log_info(const char* fmt, ...);
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void log_debug(const char* fmt, ...);
+
+}  // namespace g6::obs

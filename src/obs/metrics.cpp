@@ -1,0 +1,132 @@
+#include "obs/metrics.hpp"
+
+#include <ostream>
+
+#include "obs/eq10.hpp"
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace g6::obs {
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins), hist_(lo, hi, bins) {
+  G6_REQUIRE(hi > lo);
+  G6_REQUIRE(bins > 0);
+}
+
+void HistogramMetric::observe(double x) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stat_.add(x);
+  hist_.add(x);
+}
+
+HistogramMetric::Snapshot HistogramMetric::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.count = stat_.count();
+  s.mean = stat_.mean();
+  s.stddev = stat_.stddev();
+  s.min = stat_.min();
+  s.max = stat_.max();
+  s.sum = stat_.sum();
+  s.lo = lo_;
+  s.hi = hi_;
+  s.counts.resize(hist_.bins());
+  for (std::size_t i = 0; i < hist_.bins(); ++i) s.counts[i] = hist_.bin_count(i);
+  return s;
+}
+
+void HistogramMetric::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stat_ = RunningStat{};
+  hist_ = Histogram(lo_, hi_, bins_);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  G6_REQUIRE(!name.empty());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  G6_REQUIRE(!name.empty());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo,
+                                            double hi, std::size_t bins) {
+  G6_REQUIRE(!name.empty());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<HistogramMetric>(lo, hi, bins))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::write_json(std::ostream& os,
+                                 const Eq10Accumulator* eq10) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os.precision(12);
+  os << "{\n  \"schema\": \"grape6-metrics-v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": " << g->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const HistogramMetric::Snapshot s = h->snapshot();
+    os << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+       << "\": {\"count\": " << s.count << ", \"mean\": " << s.mean
+       << ", \"stddev\": " << s.stddev << ", \"min\": " << s.min
+       << ", \"max\": " << s.max << ", \"sum\": " << s.sum
+       << ", \"lo\": " << s.lo << ", \"hi\": " << s.hi << ", \"counts\": [";
+    for (std::size_t i = 0; i < s.counts.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << s.counts[i];
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}";
+  if (eq10 != nullptr) {
+    os << ",\n  \"eq10\": ";
+    eq10->write_json(os);
+  }
+  os << "\n}\n";
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace g6::obs

@@ -1,0 +1,120 @@
+#pragma once
+// Metrics registry: named counters, gauges and histograms, shared by all
+// subsystems. Instruments are created on first use and live for the
+// process; callers cache the returned reference so the hot path is a
+// single relaxed atomic op (counters/gauges) or an uncontended mutex
+// (histograms).
+//
+// Instrument naming scheme (docs/OBSERVABILITY.md): dot-separated,
+// subsystem first — "grape.pipeline.cycles", "net.messages",
+// "hermite.block_size". Names must be stable across runs; dashboards and
+// g6report key on them.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace g6::obs {
+
+struct Eq10Accumulator;
+
+/// Monotonically increasing event count (relaxed atomic; totals are read
+/// after the threads producing them have joined).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value; add() for accumulated seconds.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution instrument: fixed-bin g6::Histogram for the shape plus a
+/// g6::RunningStat for exact moments; one mutex guards both.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t bins);
+
+  void observe(double x);
+
+  struct Snapshot {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    std::vector<std::size_t> counts;
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  double lo_;
+  double hi_;
+  std::size_t bins_;
+  RunningStat stat_;
+  Histogram hist_;
+};
+
+/// Get-or-create registry of named instruments. Thread-safe; returned
+/// references remain valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `lo`/`hi`/`bins` apply on first creation; later lookups by the same
+  /// name return the existing instrument unchanged.
+  HistogramMetric& histogram(std::string_view name, double lo, double hi,
+                             std::size_t bins);
+
+  /// Zero every instrument (tests; instruments stay registered).
+  void reset();
+
+  /// Metrics JSON (schema "grape6-metrics-v1"); `eq10` adds the
+  /// time-breakdown object when non-null.
+  void write_json(std::ostream& os, const Eq10Accumulator* eq10 = nullptr) const;
+
+  /// The process-wide registry every subsystem reports into.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
+      histograms_;
+};
+
+}  // namespace g6::obs

@@ -1,0 +1,113 @@
+#include "obs/phase.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace g6::obs {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
+  // Each thread caches its buffer per tracer instance. The shared_ptr in
+  // the tracer's list keeps the buffer alive after thread exit, so
+  // recorded events survive until export.
+  struct Cached {
+    Tracer* owner;
+    std::shared_ptr<ThreadBuffer> buffer;
+  };
+  thread_local std::vector<Cached> cache;
+  for (const auto& c : cache) {
+    if (c.owner == this) return c.buffer.get();
+  }
+  auto buffer = std::make_shared<ThreadBuffer>();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+  }
+  cache.push_back({this, buffer});
+  return buffer.get();
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  G6_REQUIRE(ev.name != nullptr);
+  ThreadBuffer* buf = buffer_for_this_thread();
+  const std::lock_guard<std::mutex> lock(buf->mutex);
+  TraceEvent copy = ev;
+  copy.tid = buf->tid;
+  buf->events.push_back(copy);
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::vector<TraceEvent> all;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buf : buffers_) {
+      const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  os.precision(12);
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"args\": {\"name\": \"grape6sim\"}}";
+  for (const auto& ev : all) {
+    os << ",\n  {\"name\": \"" << json_escape(ev.name)
+       << "\", \"cat\": \"g6\", \"ph\": \"X\", \"ts\": " << ev.ts_us
+       << ", \"dur\": " << ev.dur_us << ", \"pid\": 1, \"tid\": " << ev.tid
+       << "}";
+  }
+  os << "\n]}\n";
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buf : buffers_) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+#if GRAPE6_TELEMETRY_ENABLED
+
+PhaseSpan::PhaseSpan(const char* name) : name_(name) {
+  G6_ASSERT(name != nullptr);
+  if (Tracer::global().enabled()) {
+    start_us_ = monotonic_seconds() * 1e6;
+  }
+}
+
+PhaseSpan::~PhaseSpan() {
+  if (start_us_ < 0.0) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.ts_us = start_us_;
+  ev.dur_us = monotonic_seconds() * 1e6 - start_us_;
+  Tracer::global().record(ev);
+}
+
+#endif  // GRAPE6_TELEMETRY_ENABLED
+
+}  // namespace g6::obs

@@ -1,0 +1,103 @@
+#pragma once
+// RAII phase spans and the tracer that collects them.
+//
+// A PhaseSpan marks one phase of the machine (predict, j-send, pipeline,
+// reduce, correct, tree-build, ...). Spans nest naturally — Chrome
+// "complete" events on the same thread reconstruct the stack from the
+// timestamps — and each thread appends to its own buffer, so worker
+// threads in the force loops can record without contending.
+//
+// Collection is off by default: a disabled span costs one relaxed atomic
+// load (checked by tests/obs/overhead_test.cpp). Enable with
+// Tracer::global().enable() or the --trace-out flag of grape6_run; export
+// with write_chrome_trace() and open the file in Perfetto /
+// chrome://tracing (docs/OBSERVABILITY.md).
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/defs.hpp"
+
+namespace g6::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< static-lifetime string (phase names)
+  double ts_us = 0.0;          ///< start, microseconds on the telemetry clock
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer PhaseSpan records into.
+  static Tracer& global();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Append one finished span to this thread's buffer.
+  void record(const TraceEvent& ev);
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}); events from all
+  /// threads, sorted by start time. Call after worker threads joined.
+  void write_chrome_trace(std::ostream& os) const;
+
+  std::size_t event_count() const;
+  void clear();
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mutex;  ///< uncontended in steady state (owner thread only)
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+  };
+
+  ThreadBuffer* buffer_for_this_thread();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;  ///< guards buffers_ registration/iteration
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 1;
+};
+
+#if GRAPE6_TELEMETRY_ENABLED
+
+class PhaseSpan {
+ public:
+  /// `name` must outlive the tracer (pass string literals).
+  explicit PhaseSpan(const char* name);
+  ~PhaseSpan();
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_ = -1.0;  ///< -1 = tracer disabled at entry, record nothing
+};
+
+#else
+
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(const char* name) { (void)name; }
+};
+
+#endif  // GRAPE6_TELEMETRY_ENABLED
+
+}  // namespace g6::obs
+
+// Statement macro for the common case: G6_PHASE("predict"); spans the
+// rest of the enclosing scope.
+#define G6_OBS_CONCAT_INNER(a, b) a##b
+#define G6_OBS_CONCAT(a, b) G6_OBS_CONCAT_INNER(a, b)
+#if GRAPE6_TELEMETRY_ENABLED
+#define G6_PHASE(name) \
+  ::g6::obs::PhaseSpan G6_OBS_CONCAT(g6_phase_span_, __LINE__)(name)
+#else
+#define G6_PHASE(name) ((void)0)
+#endif

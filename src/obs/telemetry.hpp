@@ -1,0 +1,19 @@
+#pragma once
+// Umbrella header for the telemetry subsystem (docs/OBSERVABILITY.md):
+//
+//   clock   — the one steady-clock reader in src/
+//   log     — leveled stderr logger (G6_LOG_LEVEL)
+//   metrics — named counters / gauges / histograms, JSON export
+//   phase   — RAII phase spans, Chrome trace-event export (G6_PHASE)
+//   eq10    — T_host + T_comm + T_GRAPE accumulation
+//   json    — escaping + a small parser for the exported files
+//   export  — --metrics-out / --trace-out file writers
+
+#include "obs/clock.hpp"
+#include "obs/defs.hpp"
+#include "obs/eq10.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"

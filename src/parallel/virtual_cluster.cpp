@@ -5,6 +5,9 @@
 #include <limits>
 
 #include "hermite/scheme.hpp"
+#include "net/collectives.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "util/check.hpp"
 
 namespace g6 {
@@ -76,6 +79,7 @@ double VirtualCluster::next_block_time() const {
 }
 
 std::size_t VirtualCluster::step() {
+  G6_PHASE("cluster.blockstep");
   const double t_next = next_block_time();
   const std::size_t hosts = engines_.size();
 
@@ -169,6 +173,18 @@ void VirtualCluster::charge_blockstep(std::size_t block_size,
   cost_.dma_s += mc.dma_s;
   cost_.grape_s += grape_max;
   cost_.net_s += mc.net_s;
+
+  // Virtual seconds, so the total is the accounted sum by construction.
+  eq10_.add_phases(mc.host_s, mc.dma_s, mc.net_s, grape_max,
+                   mc.host_s + mc.dma_s + mc.net_s + grape_max);
+  eq10_.add_steps(block_size);
+
+  // One butterfly exchange per blockstep: every host sends one packet per
+  // stage (Sec 4.4's synchronization traffic).
+  const std::size_t hosts = engines_.size();
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("net.messages").add(hosts * butterfly_stages(hosts));
+  reg.gauge("net.modelled_latency_s").add(mc.net_s);
 }
 
 void VirtualCluster::evolve(double t_end) {

@@ -25,6 +25,7 @@
 #include "grape/engine.hpp"
 #include "hermite/integrator.hpp"
 #include "net/clock.hpp"
+#include "obs/eq10.hpp"
 #include "perf/machine_model.hpp"
 
 namespace g6 {
@@ -55,6 +56,10 @@ class VirtualCluster {
   double virtual_seconds() const;
   /// Accumulated per-component virtual time.
   const BlockstepCost& accumulated_cost() const { return cost_; }
+
+  /// The same breakdown in Eq 10 form (virtual seconds, total included);
+  /// feeds the shared metrics/report machinery.
+  const obs::Eq10Accumulator& eq10() const { return eq10_; }
 
   unsigned long long total_steps() const { return total_steps_; }
   unsigned long long total_blocksteps() const { return total_blocksteps_; }
@@ -88,6 +93,7 @@ class VirtualCluster {
   unsigned long long total_blocksteps_ = 0;
   BlockstepTrace trace_;
   BlockstepCost cost_;
+  obs::Eq10Accumulator eq10_;
 
   // scratch
   std::vector<std::size_t> block_;

@@ -8,6 +8,8 @@
 #include "hermite/direct_engine.hpp"
 #include "hermite/integrator.hpp"
 #include "nbody/models.hpp"
+#include "obs/log.hpp"
+#include "obs/phase.hpp"
 #include "util/check.hpp"
 
 namespace g6 {
@@ -58,6 +60,9 @@ CalibrationPoint schedule_statistics(const BlockstepTrace& trace, double eps) {
 
 CalibrationPoint measure_schedule(const ParticleSet& initial, double eps,
                                   const CalibrationOptions& opt) {
+  G6_PHASE("calibration");
+  obs::log_debug("calibration: N=%zu eps=%.3g span=%.3g", initial.size(), eps,
+                 opt.t_span);
   DirectForceEngine engine(eps, opt.threads);
   HermiteConfig cfg;
   cfg.eta = opt.eta;
@@ -185,7 +190,11 @@ TraceScaling calibrated_scaling(SofteningLaw law, const CalibrationOptions& opt,
                                 const std::string& cache_path) {
   if (!cache_path.empty()) {
     std::ifstream in(cache_path);
-    if (in) return TraceScaling::load(in);
+    if (in) {
+      obs::log_debug("calibration: loaded cached scaling from %s",
+                     cache_path.c_str());
+      return TraceScaling::load(in);
+    }
   }
   const TraceScaling s = TraceScaling::fit(measure_series(law, opt));
   if (!cache_path.empty()) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/clock.hpp"
+#include "obs/phase.hpp"
 #include "util/check.hpp"
 
 namespace g6 {
@@ -15,7 +17,7 @@ TreecodeIntegrator::TreecodeIntegrator(ParticleSet initial, TreecodeConfig cfg)
   acc_.resize(set_.size());
 }
 
-void TreecodeIntegrator::compute_forces() {
+void TreecodeIntegrator::compute_forces(obs::Eq10Stepper* eq) {
   tree_.build(set_.bodies());
   const unsigned long long before = tree_.interactions();
   const double eps2 = cfg_.eps * cfg_.eps;
@@ -25,39 +27,50 @@ void TreecodeIntegrator::compute_forces() {
       acc_[i] = tree_.force_at(set_[i].pos, cfg_.theta, eps2, i).acc;
     }
   };
-  const unsigned threads = std::max(1u, cfg_.threads);
-  if (threads == 1 || set_.size() < 2 * threads) {
-    work(0, set_.size());
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    const std::size_t chunk = (set_.size() + threads - 1) / threads;
-    for (unsigned w = 0; w < threads; ++w) {
-      const std::size_t b = w * chunk;
-      const std::size_t e = std::min(set_.size(), b + chunk);
-      if (b >= e) break;
-      pool.emplace_back(work, b, e);
+  // The traversal is the work a GRAPE would absorb; charge it to the
+  // hardware slot of the Eq 10 split so tree and direct runs compare.
+  if (eq != nullptr) eq->phase(obs::Eq10Stepper::Phase::kGrape);
+  {
+    G6_PHASE("tree.traverse");
+    const unsigned threads = std::max(1u, cfg_.threads);
+    if (threads == 1 || set_.size() < 2 * threads) {
+      work(0, set_.size());
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      const std::size_t chunk = (set_.size() + threads - 1) / threads;
+      for (unsigned w = 0; w < threads; ++w) {
+        const std::size_t b = w * chunk;
+        const std::size_t e = std::min(set_.size(), b + chunk);
+        if (b >= e) break;
+        pool.emplace_back(work, b, e);
+      }
+      for (auto& th : pool) th.join();
     }
-    for (auto& th : pool) th.join();
   }
+  if (eq != nullptr) eq->phase(obs::Eq10Stepper::Phase::kHost);
   interactions_ += tree_.interactions() - before;
   forces_valid_ = true;
 }
 
 void TreecodeIntegrator::step() {
-  const auto t0 = std::chrono::steady_clock::now();
-  if (!forces_valid_) compute_forces();
+  const double t0 = obs::monotonic_seconds();
+  {
+    obs::Eq10Stepper eq(eq10_);
+    G6_PHASE("tree.step");
+    if (!forces_valid_) compute_forces(&eq);
 
-  const double half = 0.5 * cfg_.dt;
-  for (std::size_t i = 0; i < set_.size(); ++i) set_[i].vel += half * acc_[i];
-  for (std::size_t i = 0; i < set_.size(); ++i) set_[i].pos += cfg_.dt * set_[i].vel;
-  compute_forces();
-  for (std::size_t i = 0; i < set_.size(); ++i) set_[i].vel += half * acc_[i];
+    const double half = 0.5 * cfg_.dt;
+    for (std::size_t i = 0; i < set_.size(); ++i) set_[i].vel += half * acc_[i];
+    for (std::size_t i = 0; i < set_.size(); ++i) set_[i].pos += cfg_.dt * set_[i].vel;
+    compute_forces(&eq);
+    for (std::size_t i = 0; i < set_.size(); ++i) set_[i].vel += half * acc_[i];
+    eq10_.add_steps(set_.size());
+  }
 
   time_ += cfg_.dt;
   total_steps_ += set_.size();
-  wall_seconds_ +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  wall_seconds_ += obs::monotonic_seconds() - t0;
 }
 
 void TreecodeIntegrator::evolve(double t_end) {

@@ -4,9 +4,8 @@
 // comparison metric is particle-steps per second; TreecodeRun meters both
 // virtual work (interactions) and real wall-clock throughput.
 
-#include <chrono>
-
 #include "nbody/particle.hpp"
+#include "obs/eq10.hpp"
 #include "tree/octree.hpp"
 
 namespace g6 {
@@ -33,6 +32,9 @@ class TreecodeIntegrator {
 
   /// Real wall-clock seconds spent inside step().
   double wall_seconds() const { return wall_seconds_; }
+  /// Wall-time breakdown: host = drift/kick + tree build, grape = force
+  /// traversal (the part a GRAPE would absorb). Zero with telemetry off.
+  const obs::Eq10Accumulator& eq10() const { return eq10_; }
   /// Particle-steps per wall second (the Sec 5 comparison metric).
   double steps_per_second() const {
     return wall_seconds_ > 0.0 ? static_cast<double>(total_steps_) / wall_seconds_
@@ -40,7 +42,7 @@ class TreecodeIntegrator {
   }
 
  private:
-  void compute_forces();
+  void compute_forces(obs::Eq10Stepper* eq = nullptr);
 
   TreecodeConfig cfg_;
   ParticleSet set_;
@@ -50,6 +52,7 @@ class TreecodeIntegrator {
   unsigned long long total_steps_ = 0;
   unsigned long long interactions_ = 0;
   double wall_seconds_ = 0.0;
+  obs::Eq10Accumulator eq10_;
   bool forces_valid_ = false;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
 #include "util/check.hpp"
 #include "util/units.hpp"
 
@@ -25,6 +27,8 @@ Vec3 child_center(const Vec3& center, double quarter, int oct) {
 
 void Octree::build(std::span<const Body> bodies) {
   G6_REQUIRE(!bodies.empty());
+  G6_PHASE("tree.build");
+  obs::MetricsRegistry::global().counter("tree.builds").add(1);
   bodies_ = bodies;
   nodes_.clear();
   // Relaxed is sufficient everywhere this counter is touched: it carries

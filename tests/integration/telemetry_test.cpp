@@ -1,0 +1,155 @@
+// Telemetry integration: the Eq 10 breakdown accumulated by the live
+// integrators must account for the wall clock it claims to split
+// (T_host + T_comm + T_GRAPE ~= T_total, the acceptance bound is 5%),
+// and the exporters must produce files another tool can parse.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/grape6.hpp"
+
+namespace g6 {
+namespace {
+
+// |accounted - total| <= 5% of total. With telemetry compiled out both
+// sides are zero and the check degenerates to 0 <= 0.
+void expect_eq10_identity(const obs::Eq10Accumulator& eq10) {
+#if GRAPE6_TELEMETRY_ENABLED
+  ASSERT_GT(eq10.total_s, 0.0);
+  ASSERT_GT(eq10.steps, 0u);
+  ASSERT_GT(eq10.blocksteps, 0u);
+#endif
+  EXPECT_LE(std::abs(eq10.accounted_s() - eq10.total_s), 0.05 * eq10.total_s)
+      << "host=" << eq10.host_s << " dma=" << eq10.dma_s
+      << " net=" << eq10.net_s << " grape=" << eq10.grape_s
+      << " total=" << eq10.total_s;
+}
+
+TEST(Telemetry, HermiteOnGrapeSatisfiesEq10Identity) {
+  Rng rng(3);
+  const ParticleSet initial = make_plummer(64, rng);
+  MachineConfig mc = MachineConfig::single_host();
+  GrapeForceEngine hw(mc, NumberFormats{}, 1.0 / 64.0);
+  HermiteIntegrator integ(initial, hw, HermiteConfig{});
+  integ.evolve(0.25);
+  expect_eq10_identity(integ.eq10());
+#if GRAPE6_TELEMETRY_ENABLED
+  // The GRAPE engine is the dominant term for a direct-summation run.
+  EXPECT_GT(integ.eq10().grape_s, 0.0);
+#endif
+}
+
+TEST(Telemetry, AhmadCohenSatisfiesEq10Identity) {
+  Rng rng(4);
+  const ParticleSet initial = make_plummer(64, rng);
+  DirectForceEngine cpu(1.0 / 64.0);
+  AhmadCohenIntegrator integ(initial, cpu, AhmadCohenConfig{});
+  integ.evolve(0.25);
+  expect_eq10_identity(integ.eq10());
+}
+
+TEST(Telemetry, TreecodeSatisfiesEq10Identity) {
+  Rng rng(5);
+  TreecodeConfig cfg;
+  cfg.dt = 1.0 / 64.0;
+  TreecodeIntegrator integ(make_plummer(128, rng), cfg);
+  integ.evolve(0.25);
+  expect_eq10_identity(integ.eq10());
+}
+
+TEST(Telemetry, VirtualClusterIdentityIsExact) {
+  // Model-driven path: the accumulator is filled from BlockstepCost
+  // virtual seconds, so the identity holds to rounding, not just 5%.
+  Rng rng(6);
+  VirtualClusterConfig cfg;
+  cfg.system = SystemConfig::cluster(2);
+  VirtualCluster vc(make_plummer(64, rng), cfg);
+  vc.evolve(1.0 / 16.0);
+  const obs::Eq10Accumulator& eq10 = vc.eq10();
+  ASSERT_GT(eq10.total_s, 0.0);
+  EXPECT_NEAR(eq10.accounted_s(), eq10.total_s, 1e-9 * eq10.total_s);
+  EXPECT_GT(eq10.net_s, 0.0);  // multi-host: the network term is live
+}
+
+TEST(Telemetry, MetricsExportRoundTripsThroughParser) {
+  Rng rng(7);
+  const ParticleSet initial = make_plummer(48, rng);
+  DirectForceEngine cpu(1.0 / 64.0);
+  HermiteIntegrator integ(initial, cpu, HermiteConfig{});
+  integ.evolve(0.125);
+
+  const std::string path = "telemetry_test_metrics.json";
+  ASSERT_TRUE(obs::export_metrics_json(path, &integ.eq10()));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const obs::JsonValue v = obs::JsonValue::parse(ss.str());
+  EXPECT_EQ(v.at("schema").as_string(), "grape6-metrics-v1");
+  const obs::JsonValue& eq10 = v.at("eq10");
+  const double total = eq10.at("total_s").as_number();
+  const double accounted = eq10.at("host_s").as_number() +
+                           eq10.at("comm_s").as_number() +
+                           eq10.at("grape_s").as_number();
+  EXPECT_LE(std::abs(accounted - total), 0.05 * total + 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, ChromeTraceExportContainsNestedBlockstepSpans) {
+  obs::Tracer::global().clear();
+  obs::Tracer::global().enable();
+  {
+    Rng rng(8);
+    const ParticleSet initial = make_plummer(48, rng);
+    DirectForceEngine cpu(1.0 / 64.0);
+    HermiteIntegrator integ(initial, cpu, HermiteConfig{});
+    integ.evolve(0.0625);
+  }
+  const std::string path = "telemetry_test_trace.json";
+  ASSERT_TRUE(obs::export_chrome_trace(path));
+  obs::Tracer::global().disable();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const obs::JsonValue v = obs::JsonValue::parse(ss.str());
+  const auto& events = v.at("traceEvents").items();
+#if GRAPE6_TELEMETRY_ENABLED
+  // Find a blockstep span, then a predict span nested inside it.
+  const obs::JsonValue* block = nullptr;
+  for (const auto& ev : events) {
+    if (ev.find("name") != nullptr && ev.at("name").as_string() == "blockstep") {
+      block = &ev;
+      break;
+    }
+  }
+  ASSERT_NE(block, nullptr) << "no blockstep span in trace";
+  const double b_ts = block->at("ts").as_number();
+  const double b_end = b_ts + block->at("dur").as_number();
+  bool nested_predict = false;
+  for (const auto& ev : events) {
+    if (ev.find("name") == nullptr || ev.at("name").as_string() != "predict") {
+      continue;
+    }
+    const double ts = ev.at("ts").as_number();
+    if (ts >= b_ts && ts + ev.at("dur").as_number() <= b_end + 1e-6) {
+      nested_predict = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(nested_predict) << "no predict span nested in a blockstep";
+#else
+  EXPECT_GE(events.size(), 1u);  // metadata event only
+#endif
+  std::remove(path.c_str());
+  obs::Tracer::global().clear();
+}
+
+}  // namespace
+}  // namespace g6

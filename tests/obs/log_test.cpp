@@ -1,0 +1,69 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace g6::obs {
+namespace {
+
+// Restore the level after each test; the logger is process-global.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+TEST_F(LogTest, ParseAcceptsAllSpellings) {
+  EXPECT_EQ(parse_log_level("quiet"), LogLevel::kQuiet);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kQuiet);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kQuiet);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("QUIET"), LogLevel::kQuiet);
+  EXPECT_EQ(parse_log_level("Debug"), LogLevel::kDebug);
+}
+
+TEST_F(LogTest, UnknownSpellingFallsBackToInfo) {
+  EXPECT_EQ(parse_log_level("verbose?"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level(nullptr), LogLevel::kInfo);
+}
+
+TEST_F(LogTest, ThresholdGatesLevels) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+}
+
+TEST_F(LogTest, QuietSilencesEverything) {
+  set_log_level(LogLevel::kQuiet);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  EXPECT_FALSE(log_enabled(LogLevel::kWarn));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  // Emitting below threshold must be a cheap no-op, not a crash.
+  log_error("dropped %d", 1);
+  log_debug("dropped %s", "too");
+}
+
+TEST_F(LogTest, KQuietIsNeverAnEmittableLevel) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_FALSE(log_enabled(LogLevel::kQuiet));
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug));
+}
+
+TEST_F(LogTest, SetLevelWinsOverEnvironment) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace g6::obs

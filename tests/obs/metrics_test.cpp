@@ -1,0 +1,155 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/eq10.hpp"
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace g6::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramMetric, SnapshotMatchesObservations) {
+  HistogramMetric h(0.0, 10.0, 10);
+  for (double x : {1.0, 3.0, 3.0, 7.0}) h.observe(x);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.sum, 14.0);
+  ASSERT_EQ(s.counts.size(), 10u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[3], 2u);
+  EXPECT_EQ(s.counts[7], 1u);
+}
+
+TEST(HistogramMetric, ResetClearsBothStatAndBins) {
+  HistogramMetric h(0.0, 1.0, 4);
+  h.observe(0.5);
+  h.reset();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  for (std::size_t c : s.counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(HistogramMetric, RejectsDegenerateRange) {
+  EXPECT_THROW(HistogramMetric(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(HistogramMetric(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.events");
+  Counter& b = reg.counter("x.events");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  HistogramMetric& h1 = reg.histogram("x.sizes", 0.0, 10.0, 5);
+  // Later lookups ignore differing bounds; the first creation wins.
+  HistogramMetric& h2 = reg.histogram("x.sizes", 0.0, 99.0, 50);
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.snapshot().counts.size(), 5u);
+}
+
+TEST(MetricsRegistry, RejectsEmptyNames) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), PreconditionError);
+  EXPECT_THROW(reg.gauge(""), PreconditionError);
+  EXPECT_THROW(reg.histogram("", 0.0, 1.0, 2), PreconditionError);
+}
+
+TEST(MetricsRegistry, ResetZeroesEverythingInPlace) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("n");
+  c.add(7);
+  reg.gauge("g").set(1.0);
+  reg.histogram("h", 0.0, 1.0, 2).observe(0.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // same instrument, zeroed
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+  EXPECT_EQ(reg.histogram("h", 0.0, 1.0, 2).snapshot().count, 0u);
+}
+
+TEST(MetricsRegistry, WriteJsonRoundTripsThroughParser) {
+  MetricsRegistry reg;
+  reg.counter("grape.passes").add(12);
+  reg.gauge("net.modelled_latency_s").set(0.25);
+  reg.histogram("hermite.block_size", 0.0, 64.0, 4).observe(16.0);
+
+  Eq10Accumulator eq10;
+  eq10.add_phases(1.0, 0.25, 0.25, 2.0, 3.6);
+  eq10.add_steps(100, 10);
+
+  std::ostringstream os;
+  reg.write_json(os, &eq10);
+  const JsonValue doc = JsonValue::parse(os.str());
+
+  EXPECT_EQ(doc.at("schema").as_string(), "grape6-metrics-v1");
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("grape.passes").as_number(), 12.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("net.modelled_latency_s").as_number(),
+                   0.25);
+  const JsonValue& h = doc.at("histograms").at("hermite.block_size");
+  EXPECT_DOUBLE_EQ(h.at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(h.at("mean").as_number(), 16.0);
+  EXPECT_EQ(h.at("counts").items().size(), 4u);
+
+  const JsonValue& e = doc.at("eq10");
+  EXPECT_DOUBLE_EQ(e.at("host_s").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(e.at("grape_s").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(e.at("comm_s").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(e.at("steps").as_number(), 100.0);
+  EXPECT_EQ(e.at("bottleneck").as_string(), "grape");
+}
+
+TEST(MetricsRegistry, WriteJsonWithoutEq10OmitsSection) {
+  MetricsRegistry reg;
+  std::ostringstream os;
+  reg.write_json(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.find("eq10"), nullptr);
+  EXPECT_TRUE(doc.at("counters").members().empty());
+}
+
+TEST(Eq10Accumulator, IdentityAndBottleneck) {
+  Eq10Accumulator acc;
+  acc.add_phases(1.0, 2.0, 0.5, 1.0, 4.6);
+  EXPECT_DOUBLE_EQ(acc.comm_s(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.accounted_s(), 4.5);
+  EXPECT_NEAR(acc.residual_s(), 0.1, 1e-12);
+  EXPECT_STREQ(acc.bottleneck(), "dma");
+
+  Eq10Accumulator other;
+  other.add_phases(0.0, 0.0, 5.0, 0.0, 5.0);
+  other.add_steps(10);
+  acc.merge(other);
+  EXPECT_STREQ(acc.bottleneck(), "net");
+  EXPECT_EQ(acc.steps, 10u);
+  EXPECT_DOUBLE_EQ(acc.time_per_step_s(), 9.6 / 10.0);
+}
+
+}  // namespace
+}  // namespace g6::obs

@@ -1,0 +1,88 @@
+// Checks the promise in src/obs/phase.hpp: a span with the tracer
+// disabled costs roughly one relaxed atomic load. We time a loop of
+// disabled spans against a baseline loop of plain atomic loads and
+// assert the ratio stays within a generous bound — this guards against
+// someone accidentally adding allocation or locking to the disabled
+// path, not against microarchitectural noise.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+
+#include "obs/clock.hpp"
+#include "obs/phase.hpp"
+
+#ifndef __has_feature
+#define __has_feature(x) 0  // GCC spells sanitizers __SANITIZE_*__ instead
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__) || \
+    __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define G6_OVERHEAD_TEST_SANITIZED 1
+#else
+#define G6_OVERHEAD_TEST_SANITIZED 0
+#endif
+
+namespace g6::obs {
+namespace {
+
+constexpr std::size_t kIters = 200000;
+
+double time_disabled_spans() {
+  const double t0 = monotonic_seconds();
+  for (std::size_t i = 0; i < kIters; ++i) {
+    PhaseSpan span("overhead.probe");
+  }
+  return monotonic_seconds() - t0;
+}
+
+double time_baseline_loads(const std::atomic<bool>& flag) {
+  bool sink = false;
+  const double t0 = monotonic_seconds();
+  for (std::size_t i = 0; i < kIters; ++i) {
+    sink ^= flag.load(std::memory_order_relaxed);
+  }
+  const double dt = monotonic_seconds() - t0;
+  // Keep the compiler from deleting the loop.
+  EXPECT_FALSE(sink);
+  return dt;
+}
+
+TEST(Overhead, DisabledSpanIsNearZeroCost) {
+  ASSERT_FALSE(Tracer::global().enabled());
+  std::atomic<bool> flag{false};
+
+  // Warm up, then take the best of a few trials of each to shrug off
+  // scheduler hiccups.
+  (void)time_disabled_spans();
+  (void)time_baseline_loads(flag);
+  double spans = 1e9;
+  double base = 1e9;
+  for (int trial = 0; trial < 5; ++trial) {
+    spans = std::min(spans, time_disabled_spans());
+    base = std::min(base, time_baseline_loads(flag));
+  }
+
+  const double per_span_ns = spans / kIters * 1e9;
+  ::testing::Test::RecordProperty("per_span_ns", static_cast<int>(per_span_ns));
+
+  // A relaxed load is ~1 ns; allow two orders of magnitude of slack so
+  // the test only trips on a real regression (locking, allocation, a
+  // clock read on the disabled path). Sanitizers intercept atomic ops
+  // and inflate both sides unpredictably, so the bound only applies to
+  // uninstrumented builds.
+#if !G6_OVERHEAD_TEST_SANITIZED
+  EXPECT_LT(per_span_ns, 100.0)
+      << "disabled PhaseSpan costs " << per_span_ns
+      << " ns/span (baseline load: " << base / kIters * 1e9 << " ns)";
+#else
+  (void)base;
+#endif
+
+  // No events may have leaked from the disabled spans.
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace g6::obs

@@ -1,0 +1,139 @@
+#include "obs/phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/eq10.hpp"
+#include "obs/json.hpp"
+
+namespace g6::obs {
+namespace {
+
+// The global tracer is process-wide state; serialize access across the
+// tests in this binary by always starting from a known state.
+struct TracerGuard {
+  TracerGuard() {
+    Tracer::global().clear();
+    Tracer::global().enable();
+  }
+  ~TracerGuard() {
+    Tracer::global().disable();
+    Tracer::global().clear();
+  }
+};
+
+TEST(PhaseSpan, DisabledTracerRecordsNothing) {
+  Tracer::global().clear();
+  Tracer::global().disable();
+  {
+    PhaseSpan span("idle");
+  }
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+TEST(PhaseSpan, EnabledTracerRecordsNestedSpans) {
+#if !GRAPE6_TELEMETRY_ENABLED
+  GTEST_SKIP() << "spans compiled out (GRAPE6_TELEMETRY=OFF)";
+#endif
+  TracerGuard guard;
+  {
+    PhaseSpan outer("blockstep");
+    {
+      PhaseSpan inner("predict");
+    }
+    {
+      PhaseSpan inner("force");
+    }
+  }
+  EXPECT_EQ(Tracer::global().event_count(), 3u);
+}
+
+TEST(PhaseSpan, ChromeTraceIsValidJsonWithNesting) {
+#if !GRAPE6_TELEMETRY_ENABLED
+  GTEST_SKIP() << "spans compiled out (GRAPE6_TELEMETRY=OFF)";
+#endif
+  TracerGuard guard;
+  {
+    PhaseSpan outer("blockstep");
+    {
+      PhaseSpan inner("predict");
+    }
+  }
+  std::ostringstream os;
+  Tracer::global().write_chrome_trace(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+
+  const auto& events = doc.at("traceEvents").items();
+  ASSERT_EQ(events.size(), 3u);  // metadata + 2 spans
+
+  // First event is the process_name metadata record.
+  EXPECT_EQ(events[0].at("ph").as_string(), "M");
+  EXPECT_EQ(events[0].at("name").as_string(), "process_name");
+
+  // Spans are complete events sorted by start time; the outer span
+  // starts first and contains the inner one on the same thread.
+  const JsonValue& outer = events[1];
+  const JsonValue& inner = events[2];
+  EXPECT_EQ(outer.at("ph").as_string(), "X");
+  EXPECT_EQ(outer.at("name").as_string(), "blockstep");
+  EXPECT_EQ(inner.at("name").as_string(), "predict");
+  EXPECT_EQ(outer.at("tid").as_number(), inner.at("tid").as_number());
+  const double o_start = outer.at("ts").as_number();
+  const double o_end = o_start + outer.at("dur").as_number();
+  const double i_start = inner.at("ts").as_number();
+  const double i_end = i_start + inner.at("dur").as_number();
+  EXPECT_LE(o_start, i_start);
+  EXPECT_GE(o_end, i_end);
+}
+
+TEST(PhaseSpan, SpanOpenAcrossEnableIsDropped) {
+  Tracer::global().clear();
+  Tracer::global().disable();
+  {
+    PhaseSpan span("started-disabled");
+    Tracer::global().enable();
+    // Enabled after entry: the span saw a disabled tracer and records
+    // nothing, rather than emitting a half-measured event.
+  }
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+  Tracer::global().disable();
+}
+
+TEST(Tracer, ClearDropsEvents) {
+#if !GRAPE6_TELEMETRY_ENABLED
+  GTEST_SKIP() << "spans compiled out (GRAPE6_TELEMETRY=OFF)";
+#endif
+  TracerGuard guard;
+  {
+    PhaseSpan span("x");
+  }
+  EXPECT_EQ(Tracer::global().event_count(), 1u);
+  Tracer::global().clear();
+  EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+TEST(Eq10Stepper, SegmentsSumToTotalWithinRounding) {
+  Eq10Accumulator acc;
+  {
+    Eq10Stepper eq(acc);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink = sink + 1.0;
+    eq.phase(Eq10Stepper::Phase::kGrape);
+    for (int i = 0; i < 1000; ++i) sink = sink + 1.0;
+    eq.phase(Eq10Stepper::Phase::kHost);
+  }
+#if GRAPE6_TELEMETRY_ENABLED
+  EXPECT_GT(acc.total_s, 0.0);
+  // The segments partition the total span; only the instructions between
+  // the clock reads are unaccounted.
+  EXPECT_NEAR(acc.accounted_s(), acc.total_s, 1e-4);
+  EXPECT_GT(acc.grape_s, 0.0);
+#else
+  EXPECT_EQ(acc.total_s, 0.0);
+#endif
+}
+
+}  // namespace
+}  // namespace g6::obs

@@ -35,6 +35,26 @@ TEST(Percentile, InterpolatesCorrectly) {
   EXPECT_THROW(percentile({}, 50.0), PreconditionError);
 }
 
+TEST(Percentile, SingleElementIsEveryPercentile) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 7.0);
+}
+
+TEST(Percentile, RejectsOutOfRangeP) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(percentile(xs, -0.001), PreconditionError);
+  EXPECT_THROW(percentile(xs, 100.001), PreconditionError);
+}
+
+TEST(Percentile, SortsUnorderedInput) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 9.0);
+}
+
 TEST(LinearFit, RecoversExactLine) {
   std::vector<double> xs, ys;
   for (int i = 0; i < 20; ++i) {
@@ -83,6 +103,30 @@ TEST(Histogram, BinsAndClamps) {
   EXPECT_EQ(h.total(), 4u);
   EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
   EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Histogram, SingleBinTakesEverything) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(-100.0);
+  h.add(0.5);
+  h.add(100.0);
+  EXPECT_EQ(h.bins(), 1u);
+  EXPECT_EQ(h.bin_count(0), 3u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Histogram, UpperEdgeClampsToLastBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(10.0);  // exactly hi: outside [lo, hi), clamps to the last bin
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, EmptyHistogramHasZeroTotals) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.total(), 0u);
+  for (std::size_t i = 0; i < h.bins(); ++i) EXPECT_EQ(h.bin_count(i), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+// g6report — pretty-print a grape6 metrics JSON file.
+//
+//   g6report --in=run.json              breakdown table + every instrument
+//   g6report --in=run.json --eq10-only  just the Eq 10 split
+//
+// Reads the "grape6-metrics-v1" schema written by --metrics-out
+// (grape6_run, the benches) and prints the Eq 10 time breakdown plus the
+// counters, gauges and histogram summaries. Exits non-zero on a missing
+// or malformed file.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using g6::obs::JsonValue;
+
+void print_eq10(const JsonValue& eq10) {
+  const double host = eq10.at("host_s").as_number();
+  const double dma = eq10.at("dma_s").as_number();
+  const double net = eq10.at("net_s").as_number();
+  const double grape = eq10.at("grape_s").as_number();
+  const double total_s = eq10.at("total_s").as_number();
+  const double steps = eq10.at("steps").as_number();
+  const double total = total_s > 0.0 ? total_s : 1.0;
+  std::printf("Eq 10 breakdown (T = T_host + T_comm + T_GRAPE):\n");
+  std::printf("  T_host  %12.6f s  (%5.1f%%)\n", host, 100.0 * host / total);
+  std::printf("  T_comm  %12.6f s  (%5.1f%%)  [dma %.6f s, net %.6f s]\n",
+              dma + net, 100.0 * (dma + net) / total, dma, net);
+  std::printf("  T_GRAPE %12.6f s  (%5.1f%%)\n", grape, 100.0 * grape / total);
+  std::printf("  T_total %12.6f s, %.0f steps (bottleneck: %s)\n", total_s,
+              steps, eq10.at("bottleneck").as_string().c_str());
+  if (steps > 0.0) {
+    std::printf("  %.3f us per particle step\n", 1e6 * total_s / steps);
+  }
+}
+
+void print_instruments(const JsonValue& doc) {
+  const JsonValue* counters = doc.find("counters");
+  if (counters != nullptr && !counters->members().empty()) {
+    std::printf("\ncounters:\n");
+    for (const auto& [name, v] : counters->members()) {
+      std::printf("  %-28s %20.0f\n", name.c_str(), v.as_number());
+    }
+  }
+  const JsonValue* gauges = doc.find("gauges");
+  if (gauges != nullptr && !gauges->members().empty()) {
+    std::printf("\ngauges:\n");
+    for (const auto& [name, v] : gauges->members()) {
+      std::printf("  %-28s %20.6g\n", name.c_str(), v.as_number());
+    }
+  }
+  const JsonValue* hists = doc.find("histograms");
+  if (hists != nullptr && !hists->members().empty()) {
+    std::printf("\nhistograms:\n");
+    std::printf("  %-28s %10s %12s %12s %12s %12s\n", "name", "count", "mean",
+                "stddev", "min", "max");
+    for (const auto& [name, h] : hists->members()) {
+      std::printf("  %-28s %10.0f %12.4g %12.4g %12.4g %12.4g\n", name.c_str(),
+                  h.at("count").as_number(), h.at("mean").as_number(),
+                  h.at("stddev").as_number(), h.at("min").as_number(),
+                  h.at("max").as_number());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  g6::Cli cli(argc, argv);
+  const bool eq10_only =
+      cli.get_bool("eq10-only", false, "print only the Eq 10 breakdown");
+  const std::string path = cli.get_string("in", "", "metrics JSON file");
+  if (cli.finish()) return 0;
+  if (path.empty()) {
+    g6::obs::log_error("usage: g6report --in=<metrics.json> [--eq10-only]");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    g6::obs::log_error("cannot open %s", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buf.str());
+
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->as_string() != "grape6-metrics-v1") {
+    g6::obs::log_error("%s: not a grape6-metrics-v1 file", path.c_str());
+    return 1;
+  }
+
+  const JsonValue* eq10 = doc.find("eq10");
+  if (eq10 != nullptr) {
+    print_eq10(*eq10);
+  } else {
+    std::printf("(no eq10 section)\n");
+  }
+  if (!eq10_only) print_instruments(doc);
+  return 0;
+} catch (const std::exception& e) {
+  g6::obs::log_error("%s", e.what());
+  return 1;
+}

@@ -56,14 +56,20 @@ int main(int argc, char** argv) try {
   const auto seed = static_cast<unsigned>(cli.get_int("seed", 1, "RNG seed"));
   const auto threads =
       static_cast<unsigned>(cli.get_int("threads", 1, "CPU force threads"));
+  const std::string metrics_out =
+      cli.get_string("metrics-out", "", "write metrics JSON here (\"\" = off)");
+  const std::string trace_out = cli.get_string(
+      "trace-out", "", "write Chrome trace JSON here (\"\" = off)");
   if (cli.finish()) return 0;
+
+  if (!trace_out.empty()) obs::Tracer::global().enable();
 
   Rng rng(seed);
   const ParticleSet initial = build_model(model, n, w0, rng);
   const double e0 = compute_energy(initial.bodies(), eps).total();
-  std::printf("model=%s N=%zu eps=%g eta=%g engine=%s integrator=%s\n",
-              model.c_str(), initial.size(), eps, eta, engine_name.c_str(),
-              integ_name.c_str());
+  obs::log_info("model=%s N=%zu eps=%g eta=%g engine=%s integrator=%s",
+                model.c_str(), initial.size(), eps, eta, engine_name.c_str(),
+                integ_name.c_str());
   std::printf("E0=%.8f virial=%.4f\n", e0,
               compute_energy(initial.bodies(), eps).virial_ratio());
 
@@ -148,8 +154,18 @@ int main(int argc, char** argv) try {
   const ParticleSet final_state = state();
   save_snapshot(out + "_final.snap", final_state, now_time());
   std::printf("wrote %s_final.snap\n", out.c_str());
+
+  // Eq 10 split of the run just finished (always accumulated; zero-cost
+  // when compiled with GRAPE6_TELEMETRY=OFF).
+  const obs::Eq10Accumulator& eq10 = hermite ? hermite->eq10() : ac->eq10();
+  if (eq10.total_s > 0.0) {
+    std::printf("\n");
+    eq10.print(stdout);
+  }
+  obs::export_metrics_json(metrics_out, &eq10);
+  obs::export_chrome_trace(trace_out);
   return 0;
 } catch (const std::exception& e) {
-  std::fprintf(stderr, "error: %s\n", e.what());
+  g6::obs::log_error("%s", e.what());
   return 1;
 }

@@ -28,6 +28,13 @@ The GRAPE-6 software twin has correctness properties that hinge on
                   g6::Rng (seeded xoshiro256++) and all timing from
                   steady_clock.
 
+  raw-timing      Reading the clock directly (std::chrono, clock_gettime,
+                  gettimeofday) is banned in src/ outside src/obs/. All
+                  wall-time measurement goes through
+                  g6::obs::monotonic_seconds() (src/obs/clock.hpp) so the
+                  phase spans, Eq 10 accounting and ad-hoc timers share one
+                  clock and one place to fake it in tests.
+
   require-at-api  Public API translation units must validate their inputs:
                   each .cpp under src/ needs at least one G6_REQUIRE /
                   G6_REQUIRE_MSG, unless exempted below with a reason.
@@ -145,8 +152,14 @@ ALLOW_RE = re.compile(
     r"\(([a-z\-]+)\)\s*(?:--\s*(.*))?"
 )
 
-RULES = ("raw-float", "native-float", "nondeterminism", "require-at-api",
-         "nolint-comment")
+# The one place in src/ allowed to read the clock.
+RAW_TIMING_EXEMPT_PREFIX = "src/obs/"
+
+RAW_TIMING_RE = re.compile(
+    r"\bstd::chrono\b|\bchrono::\w|\bclock_gettime\s*\(|\bgettimeofday\s*\(")
+
+RULES = ("raw-float", "native-float", "nondeterminism", "raw-timing",
+         "require-at-api", "nolint-comment")
 
 
 class Finding:
@@ -275,7 +288,17 @@ def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None
                     findings.append(Finding(
                         relpath, lineno, "nondeterminism",
                         f"{name} is banned in src/ — use g6::Rng for "
-                        "randomness and std::chrono::steady_clock for timing"))
+                        "randomness and g6::obs::monotonic_seconds() for "
+                        "timing"))
+
+        if (in_src and not relpath.startswith(RAW_TIMING_EXEMPT_PREFIX)
+                and RAW_TIMING_RE.search(code)
+                and not sup.allowed("raw-timing", lineno)):
+            findings.append(Finding(
+                relpath, lineno, "raw-timing",
+                "raw clock access outside src/obs/ — time through "
+                "g6::obs::monotonic_seconds() (src/obs/clock.hpp) so all "
+                "instrumentation shares the telemetry clock"))
 
     # require-at-api: per-file presence check.
     if (in_src and relpath.endswith(".cpp") and relpath not in REQUIRE_EXEMPT

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Self-test for g6lint, focused on the rule mechanics that are easy to
+regress: the raw-timing clock ban, its src/obs/ exemption, and the
+suppression escape hatch. Runs as the `g6lint_selftest` ctest."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import g6lint  # noqa: E402
+
+
+class LintHarness(unittest.TestCase):
+    """Write a file into a throwaway repo root and lint it."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = pathlib.Path(self._tmp.name)
+        (self.root / "src").mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def lint(self, relpath: str, content: str):
+        path = self.root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+        findings = []
+        g6lint.lint_file(self.root, relpath, findings)
+        return findings
+
+    def rules_of(self, findings):
+        return [f.rule for f in findings]
+
+
+class RawTimingTest(LintHarness):
+    def test_std_chrono_banned_in_src(self):
+        findings = self.lint(
+            "src/tree/timer.cpp",
+            "#include <chrono>\n"
+            "void f() { auto t = std::chrono::steady_clock::now(); }\n"
+            "void g() { G6_REQUIRE(true); }\n")
+        self.assertIn("raw-timing", self.rules_of(findings))
+
+    def test_clock_gettime_banned_in_src(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { timespec ts; clock_gettime(CLOCK_MONOTONIC, &ts);\n"
+            "  G6_REQUIRE(true); }\n")
+        self.assertIn("raw-timing", self.rules_of(findings))
+
+    def test_gettimeofday_banned_in_src(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { timeval tv; gettimeofday(&tv, nullptr);\n"
+            "  G6_REQUIRE(true); }\n")
+        self.assertIn("raw-timing", self.rules_of(findings))
+
+    def test_obs_is_exempt(self):
+        findings = self.lint(
+            "src/obs/clock2.cpp",
+            "#include <chrono>\n"
+            "double now() { G6_REQUIRE(true);\n"
+            "  return std::chrono::duration<double>(\n"
+            "      std::chrono::steady_clock::now().time_since_epoch()).count(); }\n")
+        self.assertNotIn("raw-timing", self.rules_of(findings))
+
+    def test_include_line_is_not_flagged(self):
+        # The directive itself carries no clock read; only code does.
+        findings = self.lint(
+            "src/net/t.cpp",
+            "#include <chrono>\nvoid f() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("raw-timing", self.rules_of(findings))
+
+    def test_comment_mention_is_not_flagged(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "// replaced std::chrono with obs::monotonic_seconds()\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("raw-timing", self.rules_of(findings))
+
+    def test_suppression_with_reason(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { auto t = std::chrono::steady_clock::now(); "
+            "(void)t; }  // g6lint: allow(raw-timing) -- test fixture\n"
+            "void g() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("raw-timing", self.rules_of(findings))
+
+    def test_suppression_without_reason_is_a_finding(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { auto t = std::chrono::steady_clock::now(); "
+            "(void)t; }  // g6lint: allow(raw-timing)\n"
+            "void g() { G6_REQUIRE(true); }\n")
+        rules = self.rules_of(findings)
+        self.assertIn("suppression", rules)
+        self.assertIn("raw-timing", rules)
+
+    def test_raw_timing_outside_src_is_fine(self):
+        # bench/tools/tests time freely; the rule scopes to src/.
+        findings = self.lint(
+            "bench/t.cpp",
+            "void f() { auto t = std::chrono::steady_clock::now(); (void)t; }\n")
+        self.assertNotIn("raw-timing", self.rules_of(findings))
+
+
+class OtherRulesSmokeTest(LintHarness):
+    """The pre-existing rules keep working alongside the new one."""
+
+    def test_nondeterminism_still_fires(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { int x = rand(); (void)x; G6_REQUIRE(true); }\n")
+        self.assertIn("nondeterminism", self.rules_of(findings))
+
+    def test_require_at_api_still_fires(self):
+        findings = self.lint("src/net/t.cpp", "void f() {}\n")
+        self.assertIn("require-at-api", self.rules_of(findings))
+
+    def test_clean_file_is_clean(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "#include \"obs/clock.hpp\"\n"
+            "double f() { G6_REQUIRE(true); return g6::obs::monotonic_seconds(); }\n")
+        self.assertEqual(findings, [])
+
+    def test_rule_is_registered(self):
+        self.assertIn("raw-timing", g6lint.RULES)
+
+
+if __name__ == "__main__":
+    unittest.main()
