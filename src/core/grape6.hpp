@@ -11,7 +11,9 @@
 //   obs      — telemetry: logger, metrics, phase spans, Eq 10 accounting
 //   nbody    — particles, initial-condition models, diagnostics
 //   hermite  — 4th-order Hermite individual-timestep integrator
+//   fault    — fault plans/injection, error taxonomy, checkpoint/restart
 //   grape    — bit-level GRAPE-6 hardware emulator with virtual timing
+//              (+ self-test, scrubbing, degradation; docs/RELIABILITY.md)
 //   net      — NIC models and collective-communication costs
 //   parallel — virtual multi-host / multi-cluster simulation
 //   perf     — performance model, schedule calibration and synthesis
@@ -19,12 +21,14 @@
 //   core     — experiment drivers used by the benchmark harness
 
 #include "core/experiment.hpp"
+#include "fault/fault.hpp"
 #include "grape/board.hpp"
 #include "grape/chip.hpp"
 #include "grape/config.hpp"
 #include "grape/engine.hpp"
 #include "grape/formats.hpp"
 #include "grape/pipeline.hpp"
+#include "grape/selftest.hpp"
 #include "hermite/ahmad_cohen.hpp"
 #include "hermite/direct_engine.hpp"
 #include "hermite/force_engine.hpp"

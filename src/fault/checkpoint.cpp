@@ -1,0 +1,134 @@
+#include "fault/checkpoint.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "fault/errors.hpp"
+#include "util/check.hpp"
+#include "util/fileio.hpp"
+
+namespace g6::fault {
+
+namespace {
+constexpr const char* kSchema = "grape6-checkpoint-v1";
+
+void expect_key(std::istream& is, const char* key) {
+  std::string tok;
+  if (!(is >> tok) || tok != key) {
+    throw FaultError(std::string("checkpoint: expected '") + key + "', got '" +
+                     tok + "'");
+  }
+}
+}  // namespace
+
+void write_checkpoint(std::ostream& os, const RunCheckpoint& cp) {
+  G6_REQUIRE_MSG(cp.run_tag.find('\n') == std::string::npos,
+                 "checkpoint run_tag must be a single line");
+  const HermiteState& s = cp.state;
+  G6_REQUIRE(s.dt.size() == s.particles.size());
+  G6_REQUIRE(s.last_force.size() == s.particles.size());
+  const auto flags = os.flags();
+  os.precision(17);  // round-trips IEEE binary64 exactly
+
+  os << kSchema << '\n';
+  os << "tag " << cp.run_tag << '\n';
+  os << "time " << s.time << '\n';
+  os << "steps " << s.total_steps << ' ' << s.total_blocksteps << '\n';
+  os << "e0 " << cp.e0 << '\n';
+  os << "snap " << cp.next_snap << ' ' << cp.snap_id << '\n';
+  os << "n " << s.particles.size() << '\n';
+  for (std::size_t i = 0; i < s.particles.size(); ++i) {
+    const JParticle& p = s.particles[i];
+    os << "p " << p.mass << ' ' << p.t0 << ' ' << p.pos.x << ' ' << p.pos.y
+       << ' ' << p.pos.z << ' ' << p.vel.x << ' ' << p.vel.y << ' ' << p.vel.z
+       << ' ' << p.acc.x << ' ' << p.acc.y << ' ' << p.acc.z << ' ' << p.jerk.x
+       << ' ' << p.jerk.y << ' ' << p.jerk.z << ' ' << p.snap.x << ' '
+       << p.snap.y << ' ' << p.snap.z << ' ' << s.dt[i] << '\n';
+    const Force& f = s.last_force[i];
+    os << "f " << f.acc.x << ' ' << f.acc.y << ' ' << f.acc.z << ' ' << f.jerk.x
+       << ' ' << f.jerk.y << ' ' << f.jerk.z << ' ' << f.pot << '\n';
+  }
+  os << "nexp " << cp.exponents.size() << '\n';
+  for (const BlockExponents& e : cp.exponents) {
+    os << "x " << e.acc << ' ' << e.jerk << ' ' << e.pot << '\n';
+  }
+  os << "end\n";
+  os.flags(flags);
+}
+
+RunCheckpoint read_checkpoint(std::istream& is) {
+  std::string schema;
+  if (!(is >> schema) || schema != kSchema) {
+    throw FaultError("checkpoint: bad schema line (expected " +
+                     std::string(kSchema) + ")");
+  }
+  RunCheckpoint cp;
+  expect_key(is, "tag");
+  std::getline(is, cp.run_tag);
+  if (!cp.run_tag.empty() && cp.run_tag.front() == ' ') cp.run_tag.erase(0, 1);
+
+  HermiteState& s = cp.state;
+  expect_key(is, "time");
+  is >> s.time;
+  expect_key(is, "steps");
+  is >> s.total_steps >> s.total_blocksteps;
+  expect_key(is, "e0");
+  is >> cp.e0;
+  expect_key(is, "snap");
+  is >> cp.next_snap >> cp.snap_id;
+  expect_key(is, "n");
+  std::size_t n = 0;
+  is >> n;
+  if (!is) throw FaultError("checkpoint: truncated header");
+
+  s.particles.resize(n);
+  s.dt.resize(n);
+  s.last_force.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    expect_key(is, "p");
+    JParticle& p = s.particles[i];
+    is >> p.mass >> p.t0 >> p.pos.x >> p.pos.y >> p.pos.z >> p.vel.x >>
+        p.vel.y >> p.vel.z >> p.acc.x >> p.acc.y >> p.acc.z >> p.jerk.x >>
+        p.jerk.y >> p.jerk.z >> p.snap.x >> p.snap.y >> p.snap.z >> s.dt[i];
+    expect_key(is, "f");
+    Force& f = s.last_force[i];
+    is >> f.acc.x >> f.acc.y >> f.acc.z >> f.jerk.x >> f.jerk.y >> f.jerk.z >>
+        f.pot;
+    if (!is) {
+      std::ostringstream os;
+      os << "checkpoint: truncated particle record " << i;
+      throw FaultError(os.str());
+    }
+  }
+  expect_key(is, "nexp");
+  std::size_t m = 0;
+  is >> m;
+  cp.exponents.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    expect_key(is, "x");
+    is >> cp.exponents[i].acc >> cp.exponents[i].jerk >> cp.exponents[i].pot;
+  }
+  if (!is) throw FaultError("checkpoint: truncated exponent table");
+  expect_key(is, "end");
+  return cp;
+}
+
+void save_checkpoint(const std::string& path, const RunCheckpoint& cp) {
+  write_file_atomic(path, [&cp](std::ostream& os) { write_checkpoint(os, cp); });
+}
+
+RunCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw FaultError("checkpoint: cannot open " + path);
+  try {
+    return read_checkpoint(is);
+  } catch (const FaultError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw FaultError("checkpoint: parse error in " + path + ": " + e.what());
+  }
+}
+
+}  // namespace g6::fault

@@ -1,0 +1,48 @@
+#pragma once
+// Run checkpoints: everything needed to resume a Hermite integration
+// bit-identically after a crash or hard fault (docs/RELIABILITY.md,
+// "Checkpoint format").
+//
+// A checkpoint is a text file ("grape6-checkpoint-v1") written atomically
+// via write-then-rename. Doubles are printed with 17 significant digits,
+// which round-trips IEEE binary64 exactly, so a resumed run follows the
+// identical trajectory: the state includes not just particle data and
+// per-particle timesteps but the engine's block-exponent cache — the BFP
+// exponents affect rounding, so without them the first post-resume force
+// evaluation could differ in the last bit.
+//
+// The `run_tag` field is a fingerprint of everything that shapes the
+// dynamics (model, n, seed, eta, hardware formats, fault plan). Resume
+// refuses a checkpoint whose tag differs from the current configuration
+// rather than silently continuing a different run.
+
+#include <string>
+#include <vector>
+
+#include "grape/formats.hpp"
+#include "hermite/integrator.hpp"
+
+namespace g6::fault {
+
+struct RunCheckpoint {
+  std::string run_tag;  ///< configuration fingerprint (no newlines)
+  HermiteState state;   ///< full integrator state at a blockstep boundary
+  std::vector<BlockExponents> exponents;  ///< engine BFP exponent cache
+  double e0 = 0.0;       ///< initial total energy (driver diagnostics)
+  double next_snap = 0.0;  ///< driver snapshot schedule position
+  int snap_id = 0;         ///< next snapshot sequence number
+};
+
+/// Serialize to `os` (text, schema grape6-checkpoint-v1).
+void write_checkpoint(std::ostream& os, const RunCheckpoint& cp);
+
+/// Parse a checkpoint; throws FaultError on malformed input.
+RunCheckpoint read_checkpoint(std::istream& is);
+
+/// Atomic save (write-then-rename); throws on I/O failure.
+void save_checkpoint(const std::string& path, const RunCheckpoint& cp);
+
+/// Load and parse; throws FaultError (missing/corrupt file included).
+RunCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace g6::fault

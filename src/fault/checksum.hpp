@@ -1,0 +1,80 @@
+#pragma once
+// Interface-packet checksums (docs/RELIABILITY.md, "Detection").
+//
+// The real GRAPE-6 host interface carried raw words over LVDS cables with
+// no end-to-end integrity check; the operating practice compensated with
+// self-test sweeps. The software twin can do better at negligible cost: a
+// 64-bit FNV-1a digest over the logical fields of every memory image that
+// crosses the host/board boundary (stored j-particles, i-particle
+// broadcast packets). One flipped bit anywhere in the image changes the
+// digest, so a checksum mismatch pinpoints a corrupted transfer and the
+// host can retransmit just that word instead of re-running a self-test.
+//
+// Hashing goes through the *bit patterns* (std::bit_cast), never the
+// numeric values, so +0.0 vs -0.0 and NaN payload differences are all
+// detected and the digest is identical on every IEEE-754 host.
+
+#include <bit>
+#include <cstdint>
+
+#include "grape/formats.hpp"
+#include "util/vec3.hpp"
+
+namespace g6::fault {
+
+/// 64-bit FNV-1a, folded one 64-bit word at a time.
+class Fnv1a64 {
+ public:
+  void fold(std::uint64_t word) {
+    // Mix each of the 8 bytes so single-bit flips in any byte diffuse.
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (word >> (8 * i)) & 0xffULL;
+      hash_ *= kPrime;
+    }
+  }
+  void fold(std::int64_t word) { fold(static_cast<std::uint64_t>(word)); }
+  void fold(std::uint32_t word) { fold(static_cast<std::uint64_t>(word)); }
+  void fold(double value) { fold(std::bit_cast<std::uint64_t>(value)); }
+  void fold(const Vec3& v) {
+    fold(v.x);
+    fold(v.y);
+    fold(v.z);
+  }
+
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t hash_ = kOffset;
+};
+
+/// Digest of a j-particle memory image (what the j-write DMA carries).
+inline std::uint64_t checksum(const StoredJParticle& p) {
+  Fnv1a64 h;
+  h.fold(p.index);
+  h.fold(p.mass);
+  h.fold(p.t0);
+  h.fold(p.pos[0]);
+  h.fold(p.pos[1]);
+  h.fold(p.pos[2]);
+  h.fold(p.vel);
+  h.fold(p.acc);
+  h.fold(p.jerk);
+  h.fold(p.snap);
+  return h.digest();
+}
+
+/// Digest of an i-particle broadcast packet.
+inline std::uint64_t checksum(const IParticlePacket& p) {
+  Fnv1a64 h;
+  h.fold(p.index);
+  h.fold(p.pos[0]);
+  h.fold(p.pos[1]);
+  h.fold(p.pos[2]);
+  h.fold(p.vel);
+  h.fold(p.h2);
+  return h.digest();
+}
+
+}  // namespace g6::fault

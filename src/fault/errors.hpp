@@ -1,0 +1,60 @@
+#pragma once
+// Typed error taxonomy for the fault subsystem (docs/RELIABILITY.md).
+//
+// The real GRAPE-6 was operated with flaky pipelines for years: the host
+// software distinguished *transient* anomalies (retry the pass, rewrite
+// the memory word) from *hard* failures (disable the chip and keep
+// running). This header is the software twin of that distinction and is
+// intentionally header-only so every layer — util consumers, the hermite
+// integrator, the grape engine, the parallel drivers — can throw and
+// catch these types without a link-time dependency on g6_fault.
+//
+//   FaultError            root of the taxonomy (is-a std::runtime_error)
+//   ├── TransientFault    recoverable by bounded retry; the caller may
+//   │   │                 re-issue the operation (possibly after
+//   │   │                 resetting cached state)
+//   │   └── RetryExhausted  a bounded retry loop ran out of attempts;
+//   │                       still transient in kind — one level up may
+//   │                       retry with a clean slate
+//   └── HardFault         not recoverable by retry; requires degradation
+//                         (dead chip, lost host) or operator action
+//
+// Code in src/ must route abnormal termination through this taxonomy (or
+// G6_REQUIRE for programmer errors); bare abort()/exit() is banned by the
+// g6lint `bare-abort` rule.
+
+#include <stdexcept>
+#include <string>
+
+namespace g6::fault {
+
+/// Root of the fault taxonomy.
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An anomaly that a bounded retry is expected to clear (bit upset,
+/// corrupted transfer, duplicate-pass mismatch).
+class TransientFault : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
+/// A bounded retry loop exhausted its attempts without the anomaly
+/// clearing. Thrown instead of aborting so the integrator (or driver)
+/// can recover at a coarser granularity.
+class RetryExhausted : public TransientFault {
+ public:
+  using TransientFault::TransientFault;
+};
+
+/// A failure retry cannot clear: dead chip/module/board, unusable
+/// configuration. Recovery means degrading (remap onto survivors) or
+/// restarting from a checkpoint.
+class HardFault : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
+}  // namespace g6::fault

@@ -1,0 +1,13 @@
+#pragma once
+// Umbrella header for the fault subsystem (docs/RELIABILITY.md):
+//   errors.hpp     typed taxonomy (TransientFault / HardFault / ...)
+//   plan.hpp       FaultPlan + DetectionConfig (what breaks, how we look)
+//   injector.hpp   deterministic seeded fault stream
+//   checksum.hpp   interface-packet digests
+//   checkpoint.hpp atomic run checkpoints + bit-identical resume
+
+#include "fault/checkpoint.hpp"
+#include "fault/checksum.hpp"
+#include "fault/errors.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"

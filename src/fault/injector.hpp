@@ -1,0 +1,138 @@
+#pragma once
+// FaultInjector: the deterministic fault stream (docs/RELIABILITY.md).
+//
+// One injector instance owns one g6::Rng seeded from the FaultPlan, so a
+// given (plan, workload) pair produces the identical sequence of faults
+// on every run — chaos tests are reproducible and a failure seed can be
+// replayed under a debugger. All injection sites consume decisions from
+// the same stream in a fixed order; the injector is not thread-safe and
+// must be driven by one engine at a time.
+//
+// Injection points, bottom of the hierarchy upward:
+//   * j-memory words     — single-bit upsets in chip-local particle memory
+//   * i-particle packets — single-bit corruption of the broadcast DMA
+//   * pipeline passes    — transient accumulator glitches, stuck outputs,
+//                          scheduled hard chip/module/board death
+//   * network links      — message drops + latency spikes (via the
+//                          net/collectives LinkPerturbation interface)
+//
+// The injector also keeps the ground-truth injected counts (exported as
+// fault.injected.* metrics) that the chaos soak test reconciles against
+// the engine's fault.detected.* counters.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "grape/formats.hpp"
+#include "net/collectives.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+struct HwAccumulators;
+namespace obs {
+class Counter;
+}
+}  // namespace g6
+
+namespace g6::fault {
+
+/// One injected or activated fault, for postmortems and run logs. The log
+/// is bounded (kMaxEvents); overflow is counted, not stored.
+struct FaultEvent {
+  double time = 0.0;
+  std::string what;
+};
+
+class FaultInjector final : public LinkPerturbation {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Ground-truth injected-fault counts (mirrored to fault.injected.*).
+  struct Counts {
+    std::uint64_t jmem_flips = 0;
+    std::uint64_t ipacket_corruptions = 0;
+    std::uint64_t compute_glitches = 0;
+    std::uint64_t stuck_passes = 0;
+    std::uint64_t hard_activations = 0;  ///< chips turned permanently bad
+    std::uint64_t link_drops = 0;
+    std::uint64_t link_spikes = 0;
+  };
+  const Counts& counts() const { return counts_; }
+
+  // --- chip health (flat id: board * chips_per_board + chip) ------------
+  bool chip_stuck(int chip) const;
+  bool chip_hard_failed(int chip) const;
+  /// Record a permanent failure (scheduled activation or engine decision
+  /// after repeated self-test failure); idempotent.
+  void mark_hard_failed(double t, int chip);
+  /// Activate scheduled hard failures with failure time <= t. Returns the
+  /// flat chip ids that newly turned bad given the machine geometry
+  /// (module = -1 kills a board, chip = -1 kills a module).
+  std::vector<int> activate_hard_failures(double t, std::size_t chips_per_module,
+                                          std::size_t chips_per_board);
+
+  // --- injection points -------------------------------------------------
+  /// Flip at most one random bit per word, each with probability
+  /// jmem_flip_rate. Returns the number of words corrupted.
+  std::uint64_t corrupt_j_memory(double t, int chip,
+                                 std::span<StoredJParticle> memory);
+  /// Corrupt each packet with probability ipacket_rate (one bit flip in a
+  /// random field). Returns the number of packets corrupted.
+  std::uint64_t corrupt_i_packets(double t, std::span<IParticlePacket> packets);
+  /// End-of-pass output faults for one chip: stuck/dead chips overwrite
+  /// every accumulator with a constant wrong pattern; otherwise a
+  /// transient glitch flips accumulator bits with probability
+  /// compute_rate per pass.
+  void apply_pass_faults(double t, int chip, std::span<HwAccumulators> out);
+  /// Transient compute glitches are disabled during self-test so healthy
+  /// chips produce reference-exact vectors; permanent faults still apply.
+  void set_compute_glitches(bool enabled) { compute_glitches_on_ = enabled; }
+
+  // --- LinkPerturbation (consulted per network hop) ---------------------
+  bool drop_message() override;
+  double latency_factor() override;
+  double retransmit_timeout_s() const override {
+    return plan_.retransmit_timeout_s;
+  }
+
+  /// Perturb one modelled network interval (VirtualCluster's per-
+  /// blockstep net charge): spike multiplier plus drop/retransmit cost.
+  double perturb_link_time(double base_s) {
+    return perturbed_hop_time(base_s, this);
+  }
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::uint64_t dropped_events() const { return dropped_events_; }
+
+ private:
+  static constexpr std::size_t kMaxEvents = 256;
+
+  void note(double t, std::string what);
+  void corrupt_word(StoredJParticle& p);
+  void corrupt_packet(IParticlePacket& p);
+
+  FaultPlan plan_;
+  Rng rng_;
+  Counts counts_;
+  bool compute_glitches_on_ = true;
+  std::vector<int> hard_failed_;            ///< flat ids, unordered
+  std::vector<std::uint8_t> hard_done_;     ///< per plan.hard_failures entry
+  std::vector<FaultEvent> events_;
+  std::uint64_t dropped_events_ = 0;
+
+  // Cached fault.injected.* instruments (registry-owned).
+  obs::Counter& c_jmem_;
+  obs::Counter& c_ipacket_;
+  obs::Counter& c_compute_;
+  obs::Counter& c_stuck_;
+  obs::Counter& c_hard_;
+  obs::Counter& c_link_drop_;
+  obs::Counter& c_link_spike_;
+};
+
+}  // namespace g6::fault

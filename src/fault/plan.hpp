@@ -1,0 +1,87 @@
+#pragma once
+// FaultPlan: the declarative description of what should go wrong, and
+// DetectionConfig: how hard the host works to notice (docs/RELIABILITY.md).
+//
+// A plan is pure data — rates, schedules, a seed — so a run's fault
+// behaviour is fully reproducible: the same plan (same seed) against the
+// same workload produces the identical fault sequence. Plans come from
+// three places, in priority order: an explicit JSON file
+// (`--fault-plan=`), inline CLI knobs (`--fault-rate=`, `--fault-seed=`),
+// or the `G6_FAULT_PLAN` environment variable (path to a JSON file) so
+// chaos CI can inject faults into tools without touching their flags.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace g6::obs {
+class JsonValue;
+}
+
+namespace g6::fault {
+
+/// A scheduled permanent failure: at simulation time `time`, the given
+/// chip (or a whole module / board worth of chips) stops producing
+/// correct results until detected and disabled.
+struct HardFailure {
+  double time = 0.0;
+  int board = 0;
+  int module = -1;  ///< -1: whole board; else module within board
+  int chip = -1;    ///< -1: whole module/board; else chip within module
+};
+
+/// Everything the injector needs to produce a deterministic fault stream.
+/// Rates are per-opportunity probabilities (per j-word written, per
+/// i-packet sent, per pipeline pass, per link message).
+struct FaultPlan {
+  std::uint64_t seed = 0x6701;  ///< fault stream seed (independent of ICs)
+
+  double jmem_flip_rate = 0.0;    ///< P[bit flip] per j-memory word write
+  double ipacket_rate = 0.0;      ///< P[corruption] per i-particle packet
+  double compute_rate = 0.0;      ///< P[glitched accumulator] per chip pass
+  std::vector<int> stuck_chips;   ///< chips (flat id) with stuck outputs
+  std::vector<HardFailure> hard_failures;  ///< scheduled permanent deaths
+
+  double link_drop_rate = 0.0;   ///< P[message dropped] per network hop
+  double link_spike_rate = 0.0;  ///< P[latency spike] per network hop
+  double link_spike_factor = 10.0;     ///< spike multiplies hop latency
+  double retransmit_timeout_s = 1e-4;  ///< charged per dropped message
+
+  /// True when any injection is configured (the engine skips all fault
+  /// bookkeeping for empty plans, keeping the fault-free path identical
+  /// to the pre-fault code).
+  bool any() const;
+
+  /// Uniform transient rate across jmem/ipacket/compute channels.
+  static FaultPlan uniform_transients(double rate, std::uint64_t seed);
+
+  /// Parse from a JSON object; unknown keys are rejected so plan typos
+  /// fail loudly. Throws g6::fault::FaultError on malformed plans.
+  static FaultPlan from_json(const obs::JsonValue& v);
+  /// Load and parse a JSON plan file; throws on I/O or parse failure.
+  static FaultPlan from_file(const std::string& path);
+  /// Plan from the G6_FAULT_PLAN env var (a JSON file path); empty plan
+  /// when unset.
+  static FaultPlan from_env();
+
+  /// One-line human summary for run banners and logs.
+  std::string describe() const;
+};
+
+/// Detection/recovery policy knobs. Defaults mirror the paper's operating
+/// practice: self-test at startup, periodic re-test, checksums on; voting
+/// (duplicate passes) off because it halves throughput.
+struct DetectionConfig {
+  bool packet_checksums = true;  ///< verify i-packet digests per pass
+  bool scrub_j_memory = true;    ///< verify j-memory words before use
+  int vote_passes = 1;      ///< >1: duplicate passes + compare (voting)
+  int selftest_interval = 0;     ///< run self-test every N blocksteps (0: off)
+  int dead_threshold = 2;   ///< consecutive self-test failures => chip dead
+  int max_retries = 8;      ///< bounded retry for transients
+  double backoff_base_s = 50e-6;  ///< virtual backoff, doubles per retry
+  int selftest_j = 12;      ///< j-particles per self-test vector set
+  int selftest_i = 8;       ///< i-particles per self-test vector set
+  double selftest_rel_tol = 1e-2;  ///< pipeline-vs-double tolerance
+};
+
+}  // namespace g6::fault

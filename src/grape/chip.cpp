@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/injector.hpp"
 #include "util/check.hpp"
 
 namespace g6 {
@@ -25,6 +26,13 @@ std::uint64_t Chip::run_pass(double t, std::span<const IParticlePacket> iblock,
       pipeline_.interact(pj, iblock[k], eps2, out[k],
                          neighbors.empty() ? nullptr : &neighbors[k]);
     }
+  }
+
+  // Output-register faults (stuck pipelines, hard-dead chips, transient
+  // glitches) hit after accumulation, exactly where the real chip's
+  // result registers sit. Empty chips contribute nothing and stay quiet.
+  if (fault_ != nullptr && !memory_.empty()) {
+    fault_->apply_pass_faults(t, fault_chip_id_, out);
   }
 
   const std::uint64_t cycles =

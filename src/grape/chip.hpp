@@ -22,6 +22,10 @@
 
 namespace g6 {
 
+namespace fault {
+class FaultInjector;
+}
+
 class Chip {
  public:
   Chip(const MachineConfig& mc, const NumberFormats& fmt)
@@ -60,6 +64,20 @@ class Chip {
   std::uint64_t total_cycles() const { return total_cycles_; }
   std::uint64_t total_interactions() const { return total_interactions_; }
 
+  /// Attach the fault injector (nullptr detaches); `chip_id` is this
+  /// chip's flat id within the host. With an injector attached, run_pass
+  /// applies end-of-pass output faults (stuck/dead/glitched registers).
+  void attach_fault(fault::FaultInjector* injector, int chip_id) {
+    fault_ = injector;
+    fault_chip_id_ = chip_id;
+  }
+
+  /// Direct memory access for the fault subsystem: bit-flip injection,
+  /// scrubbing, and self-test vector swap-in/swap-out.
+  std::span<StoredJParticle> memory_span() { return memory_; }
+  std::vector<StoredJParticle> take_memory() { return std::move(memory_); }
+  void set_memory(std::vector<StoredJParticle> m) { memory_ = std::move(m); }
+
  private:
   MachineConfig mc_;
   PredictorUnit predictor_;
@@ -67,6 +85,8 @@ class Chip {
   std::vector<StoredJParticle> memory_;
   std::uint64_t total_cycles_ = 0;
   std::uint64_t total_interactions_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
+  int fault_chip_id_ = -1;
 };
 
 }  // namespace g6

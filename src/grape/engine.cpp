@@ -2,7 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "fault/checksum.hpp"
+#include "fault/errors.hpp"
+#include "fault/injector.hpp"
+#include "grape/selftest.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "util/check.hpp"
@@ -17,6 +23,23 @@ constexpr int kMaxRetries = 16;
 double max_abs(const Vec3& v) {
   return std::max({std::fabs(v.x), std::fabs(v.y), std::fabs(v.z)});
 }
+
+/// Bitwise comparison of two duplicate-pass result banks. Mantissas and
+/// overflow flags must agree exactly: the BFP dataflow is deterministic,
+/// so any difference is a transient fault in one of the passes.
+bool accumulators_match(const std::vector<HwAccumulators>& a,
+                        const std::vector<HwAccumulators>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    for (int c = 0; c < 3; ++c) {
+      if (a[k].acc[c].mantissa() != b[k].acc[c].mantissa()) return false;
+      if (a[k].jerk[c].mantissa() != b[k].jerk[c].mantissa()) return false;
+    }
+    if (a[k].pot.mantissa() != b[k].pot.mantissa()) return false;
+    if (a[k].overflow() != b[k].overflow()) return false;
+  }
+  return true;
+}
 }  // namespace
 
 GrapeForceEngine::GrapeForceEngine(const MachineConfig& mc, const NumberFormats& fmt,
@@ -29,6 +52,17 @@ GrapeForceEngine::GrapeForceEngine(const MachineConfig& mc, const NumberFormats&
 }
 
 GrapeForceEngine::Slot GrapeForceEngine::place(std::size_t index) const {
+  // With fault tolerance active, round-robin over the *healthy* chip ring:
+  // when every chip is healthy the ring enumerates (board = k % nb,
+  // chip = k / nb), which reproduces the formula below bit for bit, so
+  // enabling fault tolerance does not move a single particle until a chip
+  // actually dies.
+  if (injector_) {
+    const std::size_t h = healthy_slots_.size();
+    Slot s = healthy_slots_[index % h];
+    s.slot = static_cast<std::uint32_t>(index / h);
+    return s;
+  }
   // Round-robin over boards, then chips within a board: balanced j-memory
   // population, so pass time = vmp * ceil(N / total_chips) + latency.
   const std::size_t nb = boards_.size();
@@ -46,10 +80,19 @@ void GrapeForceEngine::load_particles(std::span<const JParticle> particles) {
     for (std::size_t c = 0; c < b.chip_count(); ++c) b.chip(c).clear_memory();
   }
   G6_REQUIRE(global_ids_.empty() || global_ids_.size() == particles.size());
+  if (injector_) {
+    host_j_.resize(particles.size());
+    jmem_sums_.resize(particles.size());
+  }
   for (std::size_t i = 0; i < particles.size(); ++i) {
     const Slot s = place(i);
-    boards_[s.board].chip(s.chip).write(
-        s.slot, quantize_j_particle(particles[i], hardware_id(i), fmt_));
+    const StoredJParticle sp =
+        quantize_j_particle(particles[i], hardware_id(i), fmt_);
+    boards_[s.board].chip(s.chip).write(s.slot, sp);
+    if (injector_) {
+      host_j_[i] = sp;
+      jmem_sums_[i] = fault::checksum(sp);
+    }
   }
   // Fresh exponent guesses; the first force call refines them (and may
   // retry — the "initial calculation" behaviour described in Sec 3.4).
@@ -63,9 +106,250 @@ void GrapeForceEngine::load_particles(std::span<const JParticle> particles) {
 void GrapeForceEngine::update_particle(std::size_t index, const JParticle& p) {
   G6_REQUIRE(index < n_particles_);
   const Slot s = place(index);
-  boards_[s.board].chip(s.chip).write(
-      s.slot, quantize_j_particle(p, hardware_id(index), fmt_));
+  const StoredJParticle sp = quantize_j_particle(p, hardware_id(index), fmt_);
+  boards_[s.board].chip(s.chip).write(s.slot, sp);
+  if (injector_) {
+    host_j_[index] = sp;
+    jmem_sums_[index] = fault::checksum(sp);
+  }
   ++pending_j_writes_;
+}
+
+std::size_t GrapeForceEngine::chip_count() const {
+  return boards_.size() * mc_.chips_per_board();
+}
+
+Chip& GrapeForceEngine::chip_flat(std::size_t id) {
+  const std::size_t nc = mc_.chips_per_board();
+  G6_REQUIRE(id < chip_count());
+  return boards_[id / nc].chip(id % nc);
+}
+
+bool GrapeForceEngine::chip_dead(std::size_t id) const {
+  return id < chip_dead_.size() && chip_dead_[id] != 0;
+}
+
+std::size_t GrapeForceEngine::dead_chip_count() const {
+  return static_cast<std::size_t>(
+      std::count(chip_dead_.begin(), chip_dead_.end(), std::uint8_t{1}));
+}
+
+std::vector<int> GrapeForceEngine::healthy_chip_ids() const {
+  std::vector<int> ids;
+  ids.reserve(chip_count());
+  for (std::size_t id = 0; id < chip_count(); ++id) {
+    if (!chip_dead(id)) ids.push_back(static_cast<int>(id));
+  }
+  return ids;
+}
+
+void GrapeForceEngine::rebuild_healthy_slots() {
+  // Enumerate boards-fastest (k -> board = k % nb, chip = k / nb) so the
+  // all-healthy ring matches the fault-free placement formula exactly.
+  const std::size_t nb = boards_.size();
+  const std::size_t nc = mc_.chips_per_board();
+  healthy_slots_.clear();
+  healthy_slots_.reserve(nb * nc);
+  for (std::size_t k = 0; k < nb * nc; ++k) {
+    const std::size_t board = k % nb;
+    const std::size_t chip = k / nb;
+    if (chip_dead(board * nc + chip)) continue;
+    healthy_slots_.push_back(Slot{static_cast<std::uint32_t>(board),
+                                  static_cast<std::uint32_t>(chip), 0});
+  }
+}
+
+double GrapeForceEngine::backoff_delay(int attempt) const {
+  return det_.backoff_base_s * static_cast<double>(std::uint64_t{1} << attempt);
+}
+
+void GrapeForceEngine::enable_fault_tolerance(
+    std::shared_ptr<fault::FaultInjector> injector,
+    fault::DetectionConfig detection) {
+  G6_REQUIRE(injector != nullptr);
+  G6_REQUIRE_MSG(n_particles_ == 0,
+                 "enable_fault_tolerance must precede load_particles");
+  G6_REQUIRE(detection.dead_threshold >= 1);
+  G6_REQUIRE(detection.max_retries >= 1);
+  G6_REQUIRE(detection.vote_passes >= 1);
+  G6_REQUIRE(detection.backoff_base_s >= 0.0);
+  injector_ = std::move(injector);
+  det_ = detection;
+  chip_dead_.assign(chip_count(), 0);
+  const std::size_t nc = mc_.chips_per_board();
+  for (std::size_t b = 0; b < boards_.size(); ++b) {
+    for (std::size_t c = 0; c < nc; ++c) {
+      boards_[b].chip(c).attach_fault(injector_.get(),
+                                      static_cast<int>(b * nc + c));
+    }
+  }
+  rebuild_healthy_slots();
+  // Startup self-test (the paper's operating practice): catch chips that
+  // are bad from power-on — configured-stuck or scheduled dead at t <= 0 —
+  // before any science touches them.
+  FaultCharges charges;
+  const auto newly = injector_->activate_hard_failures(
+      0.0, mc_.chips_per_module, mc_.chips_per_board());
+  (void)newly;  // health check below decides, not the activation oracle
+  run_health_check(0.0, charges);
+  stats_.grape_seconds += static_cast<double>(charges.cycles) / mc_.clock_hz;
+  stats_.dma_seconds += charges.dma_s;
+  blocks_since_selftest_ = 0;
+  stats_.dead_chips = dead_chip_count();
+  obs::MetricsRegistry::global()
+      .gauge("fault.dead_chips")
+      .set(static_cast<double>(stats_.dead_chips));
+  obs::MetricsRegistry::global()
+      .gauge("fault.healthy_chips")
+      .set(static_cast<double>(healthy_slots_.size()));
+}
+
+void GrapeForceEngine::run_health_check(double t, FaultCharges& charges) {
+  G6_PHASE("fault.selftest");
+  static obs::Counter& c_selftest =
+      obs::MetricsRegistry::global().counter("fault.detected.selftest");
+  SelfTestOptions opt;
+  opt.n_j = det_.selftest_j;
+  opt.n_i = det_.selftest_i;
+  opt.rel_tol = det_.selftest_rel_tol;
+
+  injector_->set_compute_glitches(false);
+  const std::vector<int> healthy = healthy_chip_ids();
+  // A chip is declared dead only after failing `dead_threshold` consecutive
+  // sweeps; the first sweep covers every healthy chip, re-tests only the
+  // suspects.
+  std::vector<int> suspects;
+  for (int round = 0; round < det_.dead_threshold; ++round) {
+    const std::span<const int> targets =
+        round == 0 ? std::span<const int>(healthy)
+                   : std::span<const int>(suspects);
+    const SelfTestReport rep = run_chip_self_test(*this, targets, opt);
+    ++stats_.selftests;
+    charges.cycles += rep.cycles;
+    if (round == 0) {
+      suspects = rep.failed;
+    } else {
+      std::vector<int> confirmed;
+      for (int id : suspects) {
+        if (std::find(rep.failed.begin(), rep.failed.end(), id) !=
+            rep.failed.end()) {
+          confirmed.push_back(id);
+        }
+      }
+      suspects = std::move(confirmed);
+    }
+    if (suspects.empty()) break;
+  }
+  injector_->set_compute_glitches(true);
+
+  if (suspects.empty()) return;
+  c_selftest.add(suspects.size());
+  stats_.selftest_failures += suspects.size();
+  for (int id : suspects) {
+    obs::log_warn("fault: self-test failed, disabling chip %d", id);
+    chip_dead_[static_cast<std::size_t>(id)] = 1;
+    // Record engine-detected deaths in the injector too, so its health view
+    // and the engine's agree (idempotent for scheduled failures).
+    injector_->mark_hard_failed(t, id);
+  }
+  remap_particles(charges);
+}
+
+void GrapeForceEngine::remap_particles(FaultCharges& charges) {
+  G6_PHASE("fault.remap");
+  static obs::Counter& c_remaps =
+      obs::MetricsRegistry::global().counter("fault.recovered.remaps");
+  static obs::Gauge& g_dead =
+      obs::MetricsRegistry::global().gauge("fault.dead_chips");
+  static obs::Gauge& g_healthy =
+      obs::MetricsRegistry::global().gauge("fault.healthy_chips");
+  rebuild_healthy_slots();
+  if (healthy_slots_.empty()) {
+    throw fault::HardFault("all chips failed; no healthy pipelines remain");
+  }
+  for (auto& b : boards_) {
+    for (std::size_t c = 0; c < b.chip_count(); ++c) b.chip(c).clear_memory();
+  }
+  for (std::size_t i = 0; i < n_particles_; ++i) {
+    const Slot s = place(i);
+    boards_[s.board].chip(s.chip).write(s.slot, host_j_[i]);
+  }
+  pending_j_writes_ = 0;
+  if (n_particles_ > 0) {
+    // Full j-memory reload over the DMA link.
+    charges.dma_s += dma_.transfer_time(n_particles_ * packets_.j_particle_bytes);
+  }
+  ++stats_.remaps;
+  c_remaps.add(1);
+  stats_.dead_chips = dead_chip_count();
+  g_dead.set(static_cast<double>(stats_.dead_chips));
+  g_healthy.set(static_cast<double>(healthy_slots_.size()));
+}
+
+void GrapeForceEngine::inject_and_scrub_j_memory(double t, FaultCharges& charges) {
+  if (injector_->plan().jmem_flip_rate <= 0.0) return;
+  static obs::Counter& c_scrub =
+      obs::MetricsRegistry::global().counter("fault.detected.scrub");
+  static obs::Counter& c_rewrites =
+      obs::MetricsRegistry::global().counter("fault.recovered.jmem_rewrites");
+  std::uint64_t injected = 0;
+  for (std::size_t id = 0; id < chip_count(); ++id) {
+    if (chip_dead(id)) continue;
+    injected += injector_->corrupt_j_memory(t, static_cast<int>(id),
+                                            chip_flat(id).memory_span());
+  }
+  if (!det_.scrub_j_memory) return;
+  // Scrub: every word is checked against the host-side master digest, so
+  // the memory is provably clean after this loop — each injected flip is
+  // detected (FNV-1a catches any single-bit change) and rewritten.
+  std::uint64_t rewrites = 0;
+  for (std::size_t i = 0; i < n_particles_; ++i) {
+    const Slot s = place(i);
+    std::span<StoredJParticle> mem =
+        boards_[s.board].chip(s.chip).memory_span();
+    if (fault::checksum(mem[s.slot]) != jmem_sums_[i]) {
+      mem[s.slot] = host_j_[i];
+      ++rewrites;
+    }
+  }
+  G6_ASSERT(rewrites == injected);
+  if (rewrites > 0) {
+    c_scrub.add(rewrites);
+    c_rewrites.add(rewrites);
+    stats_.jmem_rewrites += rewrites;
+    charges.dma_s += dma_.transfer_time(rewrites * packets_.j_particle_bytes);
+  }
+}
+
+GrapeForceEngine::FaultCharges GrapeForceEngine::fault_prologue(double t) {
+  FaultCharges charges;
+  // Scheduled hard failures whose time has come turn chips bad *now*; the
+  // anomaly triggers an immediate self-test sweep (detection still goes
+  // through the test, not through the injection oracle).
+  const std::vector<int> newly = injector_->activate_hard_failures(
+      t, mc_.chips_per_module, mc_.chips_per_board());
+  bool need_check = false;
+  for (int id : newly) {
+    if (static_cast<std::size_t>(id) < chip_count()) {
+      need_check = true;
+    } else {
+      obs::log_warn("fault: scheduled failure for chip %d outside this host; ignored",
+                    id);
+    }
+  }
+  if (det_.selftest_interval > 0) {
+    ++blocks_since_selftest_;
+    if (blocks_since_selftest_ >=
+        static_cast<std::uint64_t>(det_.selftest_interval)) {
+      need_check = true;
+    }
+  }
+  if (need_check) {
+    run_health_check(t, charges);
+    blocks_since_selftest_ = 0;
+  }
+  inject_and_scrub_j_memory(t, charges);
+  return charges;
 }
 
 std::uint64_t GrapeForceEngine::compute_partials(
@@ -146,9 +430,20 @@ void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block
   const bool want_nb = !neighbors.empty();
   double call_seconds = 0.0;
   std::uint64_t dma_bytes = 0;
+  std::uint64_t cycles = 0;
   const std::uint64_t passes0 = stats_.passes;
   const std::uint64_t retries0 = stats_.retries;
   const std::uint64_t interactions0 = stats_.interactions;
+
+  // Fault housekeeping first (hard-failure activation, health checks,
+  // j-memory inject + scrub) so every pass below runs on clean, healthy
+  // hardware. A remap inside the prologue rewrites all memories, making
+  // any pending incremental writes moot.
+  if (injector_) {
+    const FaultCharges fc = fault_prologue(t);
+    cycles += fc.cycles;
+    call_seconds += fc.dma_s;
+  }
 
   // Write back the particles corrected since the previous call (one DMA).
   if (pending_j_writes_ > 0) {
@@ -173,14 +468,19 @@ void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block
       mc_.neighbor_buffer_per_chip * mc_.chips_per_host();
   std::vector<HwNeighborRecorder> pass_nb;
 
-  std::uint64_t cycles = 0;
   std::size_t neighbor_words = 0;
   const std::size_t chunk = mc_.i_parallelism();
   std::vector<BlockExponents> pass_exps;
+  const bool vote = injector_ && det_.vote_passes > 1;
   for (std::size_t begin = 0; begin < block.size(); begin += chunk) {
     const std::size_t end = std::min(block.size(), begin + chunk);
     const std::span<const IParticlePacket> pass{packets_buf_.data() + begin,
                                                 end - begin};
+    if (injector_ && injector_->plan().ipacket_rate > 0.0) {
+      const std::span<IParticlePacket> pass_mut{packets_buf_.data() + begin,
+                                                end - begin};
+      verify_i_packets(t, pass_mut, call_seconds, dma_bytes);
+    }
     pass_exps.resize(pass.size());
     for (std::size_t k = 0; k < pass.size(); ++k) {
       // i-particles are keyed by *global* id, which is not necessarily a
@@ -193,13 +493,39 @@ void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block
     for (int attempt = 0;; ++attempt) {
       // One span per hardware pass; overflow retries show up as repeats.
       G6_PHASE("grape.pipeline");
-      if (want_nb) {
-        pass_nb.resize(pass.size());
-        for (auto& nb : pass_nb) nb.reset(host_nb_capacity);
+      for (int vote_try = 0;; ++vote_try) {
+        if (want_nb) {
+          pass_nb.resize(pass.size());
+          for (auto& nb : pass_nb) nb.reset(host_nb_capacity);
+        }
+        const std::uint64_t glitches0 =
+            injector_ ? injector_->counts().compute_glitches : 0;
+        cycles += compute_partials(t, pass, pass_exps, merged_,
+                                   want_nb ? std::span<HwNeighborRecorder>(pass_nb)
+                                           : std::span<HwNeighborRecorder>{});
+        if (!vote) break;
+        // Duplicate-pass voting: run the pass a second time (no neighbor
+        // collection — lists come from the first pass) and require the
+        // two BFP result banks to agree bit for bit.
+        cycles += compute_partials(t, pass, pass_exps, vote_buf_, {});
+        if (accumulators_match(merged_, vote_buf_)) break;
+        static obs::Counter& c_vote =
+            obs::MetricsRegistry::global().counter("fault.detected.vote");
+        static obs::Counter& c_vote_retries = obs::MetricsRegistry::global()
+                                                  .counter("fault.recovered.vote_retries");
+        const std::uint64_t glitched =
+            injector_->counts().compute_glitches - glitches0;
+        c_vote.add(glitched > 0 ? glitched : 1);
+        c_vote_retries.add(1);
+        ++stats_.vote_retries;
+        const double delay = backoff_delay(vote_try);
+        call_seconds += delay;
+        stats_.backoff_seconds += delay;
+        if (vote_try >= det_.max_retries) {
+          throw fault::RetryExhausted(
+              "duplicate-pass vote never agreed; persistent compute fault");
+        }
       }
-      cycles += compute_partials(t, pass, pass_exps, merged_,
-                                 want_nb ? std::span<HwNeighborRecorder>(pass_nb)
-                                         : std::span<HwNeighborRecorder>{});
       bool overflow = false;
       for (std::size_t k = 0; k < pass.size(); ++k) {
         if (merged_[k].overflow()) {
@@ -211,7 +537,9 @@ void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block
       }
       if (!overflow) break;
       ++stats_.retries;
-      G6_REQUIRE_MSG(attempt < kMaxRetries, "block exponent retry did not converge");
+      if (attempt >= kMaxRetries) {
+        throw fault::RetryExhausted("block exponent retry did not converge");
+      }
     }
 
     G6_PHASE("grape.reduce");
@@ -259,6 +587,57 @@ void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block
   ++stats_.force_calls;
   last_call_seconds_ = call_seconds;
   last_call_grape_seconds_ = grape_seconds;
+}
+
+void GrapeForceEngine::verify_i_packets(double t, std::span<IParticlePacket> pass,
+                                        double& call_seconds,
+                                        std::uint64_t& dma_bytes) {
+  static obs::Counter& c_checksum =
+      obs::MetricsRegistry::global().counter("fault.detected.checksum");
+  static obs::Counter& c_retransmits = obs::MetricsRegistry::global().counter(
+      "fault.recovered.packet_retransmits");
+  if (!det_.packet_checksums) {
+    // No detection: corruption flows straight into the pipelines.
+    injector_->corrupt_i_packets(t, pass);
+    return;
+  }
+  // Send-side copies + digests, taken before the link can corrupt anything.
+  clean_pass_.assign(pass.begin(), pass.end());
+  packet_sums_.resize(pass.size());
+  for (std::size_t k = 0; k < pass.size(); ++k) {
+    packet_sums_[k] = fault::checksum(clean_pass_[k]);
+  }
+  injector_->corrupt_i_packets(t, pass);
+  std::vector<std::size_t> bad;
+  for (int attempt = 0;; ++attempt) {
+    // Receive-side verification: a digest mismatch (FNV-1a catches any
+    // single-bit flip) triggers a retransmit of that packet, which may
+    // itself be corrupted again — hence the bounded outer loop.
+    bad.clear();
+    for (std::size_t k = 0; k < pass.size(); ++k) {
+      if (fault::checksum(pass[k]) != packet_sums_[k]) {
+        pass[k] = clean_pass_[k];
+        bad.push_back(k);
+      }
+    }
+    if (bad.empty()) return;
+    c_checksum.add(bad.size());
+    c_retransmits.add(bad.size());
+    stats_.packet_retransmits += bad.size();
+    const double backoff = backoff_delay(attempt);
+    call_seconds += dma_.transfer_time(bad.size() * packets_.i_particle_bytes) +
+                    backoff;
+    stats_.backoff_seconds += backoff;
+    dma_bytes += bad.size() * packets_.i_particle_bytes;
+    if (attempt >= det_.max_retries) {
+      throw fault::RetryExhausted(
+          "i-packet retransmit retries exhausted; link unusable");
+    }
+    // Only the retransmitted packets traverse the fault channel again.
+    for (std::size_t k : bad) {
+      injector_->corrupt_i_packets(t, std::span<IParticlePacket>{&pass[k], 1});
+    }
+  }
 }
 
 }  // namespace g6

@@ -14,14 +14,20 @@
 // overflow flag.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "fault/plan.hpp"
 #include "grape/board.hpp"
 #include "grape/config.hpp"
 #include "hermite/force_engine.hpp"
 
 namespace g6 {
+
+namespace fault {
+class FaultInjector;
+}
 
 /// Cumulative virtual-time and event statistics of one engine.
 struct GrapeHostStats {
@@ -31,6 +37,16 @@ struct GrapeHostStats {
   std::uint64_t passes = 0;
   std::uint64_t retries = 0;   ///< block-exponent overflow retries
   std::uint64_t interactions = 0;
+
+  // Fault detection/recovery (all zero without enable_fault_tolerance).
+  std::uint64_t selftests = 0;           ///< self-test sweeps run
+  std::uint64_t selftest_failures = 0;   ///< chips confirmed bad by self-test
+  std::uint64_t jmem_rewrites = 0;       ///< scrubbed j-memory words rewritten
+  std::uint64_t packet_retransmits = 0;  ///< corrupted i-packets resent
+  std::uint64_t vote_retries = 0;        ///< duplicate-pass mismatch retries
+  std::uint64_t remaps = 0;              ///< j-particle remaps after chip death
+  std::uint64_t dead_chips = 0;          ///< chips currently disabled
+  double backoff_seconds = 0.0;          ///< virtual retry backoff charged
 
   double total_seconds() const { return grape_seconds + dma_seconds; }
 };
@@ -96,16 +112,51 @@ class GrapeForceEngine final : public ForceEngine {
   std::size_t board_count() const { return boards_.size(); }
   ProcessorBoard& board(std::size_t b) { return boards_[b]; }
 
+  // --- fault tolerance ---------------------------------------------------
+  /// Attach a fault injector and a detection policy. Must be called BEFORE
+  /// load_particles (the engine keeps host-side master copies of every
+  /// quantized j-particle from then on). Runs the startup self-test
+  /// immediately; chips that fail `detection.dead_threshold` consecutive
+  /// sweeps are disabled and their share of j-memory is remapped.
+  void enable_fault_tolerance(std::shared_ptr<fault::FaultInjector> injector,
+                              fault::DetectionConfig detection = {});
+
+  fault::FaultInjector* injector() { return injector_.get(); }
+  const fault::DetectionConfig& detection() const { return det_; }
+
+  /// Chips across all boards, addressed flat as board*chips_per_board+chip.
+  std::size_t chip_count() const;
+  Chip& chip_flat(std::size_t id);
+  bool chip_dead(std::size_t id) const;
+  std::size_t dead_chip_count() const;
+  std::vector<int> healthy_chip_ids() const;
+
  private:
   struct Slot {
     std::uint32_t board;
     std::uint32_t chip;
     std::uint32_t slot;
   };
+  /// Virtual-time/DMA costs accumulated by the fault helpers, folded into
+  /// the calling context's accounting (run_block or stats_ directly).
+  struct FaultCharges {
+    double dma_s = 0.0;
+    std::uint64_t cycles = 0;
+  };
   Slot place(std::size_t index) const;
   void run_block(double t, std::span<const PredictedState> block,
                  std::span<const double> radii2, std::span<Force> out,
                  std::span<NeighborResult> neighbors);
+
+  FaultCharges fault_prologue(double t);
+  void run_health_check(double t, FaultCharges& charges);
+  void verify_i_packets(double t, std::span<IParticlePacket> pass,
+                        double& call_seconds, std::uint64_t& dma_bytes);
+  void inject_and_scrub_j_memory(double t, FaultCharges& charges);
+  void remap_particles(FaultCharges& charges);
+  void rebuild_healthy_slots();
+  /// Exponentially-backed-off virtual retry delay for `attempt`.
+  double backoff_delay(int attempt) const;
 
   MachineConfig mc_;
   NumberFormats fmt_;
@@ -132,6 +183,18 @@ class GrapeForceEngine final : public ForceEngine {
   std::vector<IParticlePacket> packets_buf_;
   std::vector<std::vector<HwAccumulators>> board_partials_;
   std::vector<HwAccumulators> merged_;
+
+  // fault tolerance (inactive until enable_fault_tolerance)
+  std::shared_ptr<fault::FaultInjector> injector_;
+  fault::DetectionConfig det_;
+  std::vector<std::uint8_t> chip_dead_;     ///< per flat chip id
+  std::vector<Slot> healthy_slots_;         ///< placement ring (slot unused)
+  std::vector<StoredJParticle> host_j_;     ///< master copy per particle
+  std::vector<std::uint64_t> jmem_sums_;    ///< FNV-1a of each master copy
+  std::uint64_t blocks_since_selftest_ = 0;
+  std::vector<HwAccumulators> vote_buf_;    ///< duplicate-pass results
+  std::vector<IParticlePacket> clean_pass_; ///< send-side packet copies
+  std::vector<std::uint64_t> packet_sums_;  ///< send-side packet digests
 };
 
 }  // namespace g6

@@ -1,0 +1,145 @@
+#include "grape/selftest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "grape/engine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+
+namespace {
+
+/// i-particle ids far above any real particle so the pipeline's
+/// self-interaction cut never triggers against the test j set.
+constexpr std::uint32_t kProbeIdBase = 0x40000000U;
+
+struct TestVectors {
+  std::vector<StoredJParticle> jmem;
+  std::vector<IParticlePacket> probes;
+};
+
+TestVectors make_vectors(const NumberFormats& fmt, const SelfTestOptions& opt) {
+  Rng rng(opt.seed);
+  TestVectors v;
+  v.jmem.reserve(static_cast<std::size_t>(opt.n_j));
+  for (int j = 0; j < opt.n_j; ++j) {
+    JParticle p;
+    p.mass = rng.uniform(0.5, 1.5) / static_cast<double>(opt.n_j);
+    p.t0 = 0.0;
+    p.pos = rng.unit_vector() * rng.uniform(0.25, 1.0);
+    p.vel = rng.unit_vector() * 0.25;
+    // Higher derivatives stay zero: prediction at t = t0 is then exact in
+    // every format, so the reference needs no predictor model.
+    v.jmem.push_back(
+        quantize_j_particle(p, static_cast<std::uint32_t>(j), fmt));
+  }
+  v.probes.reserve(static_cast<std::size_t>(opt.n_i));
+  for (int i = 0; i < opt.n_i; ++i) {
+    PredictedState s;
+    s.pos = rng.unit_vector() * rng.uniform(0.25, 1.0);
+    s.vel = rng.unit_vector() * 0.25;
+    s.mass = 1.0;
+    s.index = kProbeIdBase + static_cast<std::uint32_t>(i);
+    v.probes.push_back(quantize_i_particle(s, fmt));
+  }
+  return v;
+}
+
+struct Reference {
+  Vec3 acc;
+  double pot = 0.0;
+};
+
+/// Double-precision direct sum over the decoded memory images: the ground
+/// truth a healthy pipeline must reproduce to ~its own precision.
+std::vector<Reference> reference_forces(const TestVectors& v,
+                                        const NumberFormats& fmt, double eps2) {
+  const FixedPointCodec codec = fmt.coord_codec();
+  std::vector<Reference> refs(v.probes.size());
+  for (std::size_t i = 0; i < v.probes.size(); ++i) {
+    const Vec3 xi{codec.decode(v.probes[i].pos[0]),
+                  codec.decode(v.probes[i].pos[1]),
+                  codec.decode(v.probes[i].pos[2])};
+    Reference r;
+    for (const StoredJParticle& j : v.jmem) {
+      const Vec3 xj{codec.decode(j.pos[0]), codec.decode(j.pos[1]),
+                    codec.decode(j.pos[2])};
+      const Vec3 dx = xj - xi;
+      const double r2 = dx.x * dx.x + dx.y * dx.y + dx.z * dx.z + eps2;
+      const double rinv = 1.0 / std::sqrt(r2);
+      const double rinv3 = rinv * rinv * rinv;
+      r.acc += j.mass * rinv3 * dx;
+      r.pot -= j.mass * rinv;
+    }
+    refs[i] = r;
+  }
+  return refs;
+}
+
+/// Error relative to `scale` (the vector norm, not the component, so a
+/// component that happens to cancel to ~0 cannot fail a healthy chip).
+bool within(double got, double ref, double scale, double tol) {
+  return std::fabs(got - ref) <= tol * std::max(scale, 1e-12);
+}
+
+}  // namespace
+
+SelfTestReport run_chip_self_test(GrapeForceEngine& engine,
+                                  std::span<const int> chips,
+                                  const SelfTestOptions& opt) {
+  G6_REQUIRE(opt.n_j >= 1 && opt.n_i >= 1);
+  G6_REQUIRE(opt.rel_tol > 0.0);
+
+  const NumberFormats& fmt = engine.formats();
+  const TestVectors v = make_vectors(fmt, opt);
+  const double eps2 = engine.softening() * engine.softening();
+  const std::vector<Reference> refs = reference_forces(v, fmt, eps2);
+
+  // One exponent set comfortably above the reference magnitudes: the
+  // self-test never needs the overflow-retry machinery.
+  double amax = 0.0;
+  double pmax = 0.0;
+  for (const Reference& r : refs) {
+    amax = std::max({amax, std::fabs(r.acc.x), std::fabs(r.acc.y),
+                     std::fabs(r.acc.z)});
+    pmax = std::max(pmax, std::fabs(r.pot));
+  }
+  BlockExponents exps;
+  exps.acc = choose_block_exponent(amax, 4);
+  exps.jerk = choose_block_exponent(amax, 4);
+  exps.pot = choose_block_exponent(pmax, 4);
+
+  SelfTestReport report;
+  std::vector<HwAccumulators> out(v.probes.size());
+  for (int id : chips) {
+    Chip& chip = engine.chip_flat(static_cast<std::size_t>(id));
+    std::vector<StoredJParticle> saved = chip.take_memory();
+    chip.set_memory(v.jmem);
+    for (auto& acc : out) acc.reset(exps);
+    report.cycles += chip.run_pass(0.0, v.probes, eps2, out);
+    chip.set_memory(std::move(saved));
+    ++report.tested;
+
+    bool ok = true;
+    for (std::size_t i = 0; i < out.size() && ok; ++i) {
+      if (out[i].overflow()) {
+        ok = false;
+        break;
+      }
+      const Force f = out[i].decode();
+      const Vec3& ra = refs[i].acc;
+      const double anorm =
+          std::sqrt(ra.x * ra.x + ra.y * ra.y + ra.z * ra.z);
+      ok = within(f.acc.x, ra.x, anorm, opt.rel_tol) &&
+           within(f.acc.y, ra.y, anorm, opt.rel_tol) &&
+           within(f.acc.z, ra.z, anorm, opt.rel_tol) &&
+           within(f.pot, refs[i].pot, std::fabs(refs[i].pot), opt.rel_tol);
+    }
+    if (!ok) report.failed.push_back(id);
+  }
+  return report;
+}
+
+}  // namespace g6

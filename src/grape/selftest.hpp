@@ -1,0 +1,45 @@
+#pragma once
+// Chip self-test against host double-precision reference vectors — the
+// paper's operating practice for GRAPE-6: feed known particles through
+// each chip and compare with the host's own calculation, at startup and
+// periodically during long runs, so malfunctioning chips are detected and
+// disabled instead of silently corrupting the science.
+//
+// The test swaps a deterministic pseudo-random particle set into a chip's
+// j-memory, runs one hardware pass, and compares the decoded
+// acceleration/potential against a double-precision direct sum over the
+// *decoded* stored values (so only pipeline arithmetic is under test, not
+// quantization). Healthy chips agree to ~pipeline precision; stuck or
+// dead chips miss by orders of magnitude. The chip's real memory is
+// restored afterwards untouched.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace g6 {
+
+class GrapeForceEngine;
+
+struct SelfTestOptions {
+  int n_j = 12;            ///< stored test particles per chip
+  int n_i = 8;             ///< probe i-particles
+  double rel_tol = 1e-2;   ///< pipeline-vs-double acceptance threshold
+  std::uint64_t seed = 0x673e57ULL;  ///< test-vector stream (fixed)
+};
+
+struct SelfTestReport {
+  std::vector<int> failed;   ///< flat chip ids that missed tolerance
+  std::size_t tested = 0;    ///< chips exercised
+  std::uint64_t cycles = 0;  ///< virtual pipeline cycles consumed
+};
+
+/// Run the self-test on the given chips (flat ids within `engine`).
+/// Transient glitch injection must be disabled by the caller for the
+/// duration (the engine wrapper does this); permanent faults still apply,
+/// which is exactly what makes bad chips detectable.
+SelfTestReport run_chip_self_test(GrapeForceEngine& engine,
+                                  std::span<const int> chips,
+                                  const SelfTestOptions& opt);
+
+}  // namespace g6

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fault/errors.hpp"
 #include "hermite/scheme.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
@@ -18,6 +19,58 @@ HermiteIntegrator::HermiteIntegrator(const ParticleSet& initial, ForceEngine& en
   G6_REQUIRE(cfg_.eta > 0.0 && cfg_.eta_s > 0.0);
   G6_REQUIRE(cfg_.dt_min > 0.0 && cfg_.dt_max >= cfg_.dt_min);
   initialize(initial);
+}
+
+HermiteIntegrator::HermiteIntegrator(const HermiteState& state, ForceEngine& engine,
+                                     HermiteConfig config)
+    : engine_(engine), cfg_(config) {
+  G6_REQUIRE(state.particles.size() >= 2);
+  G6_REQUIRE(state.dt.size() == state.particles.size());
+  G6_REQUIRE(state.last_force.size() == state.particles.size());
+  G6_REQUIRE(cfg_.eta > 0.0 && cfg_.eta_s > 0.0);
+  G6_REQUIRE(cfg_.dt_min > 0.0 && cfg_.dt_max >= cfg_.dt_min);
+  time_ = state.time;
+  total_steps_ = state.total_steps;
+  total_blocksteps_ = state.total_blocksteps;
+  particles_ = state.particles;
+  dt_ = state.dt;
+  last_force_ = state.last_force;
+  // Upload the restored particle data; no force evaluation happens here,
+  // so the first post-resume blockstep sees exactly the same engine state
+  // as the uninterrupted run (the caller restores the exponent cache).
+  engine_.load_particles(particles_);
+  trace_.n_particles = particles_.size();
+  trace_.t_begin = time_;
+  trace_.t_end = time_;
+}
+
+HermiteState HermiteIntegrator::save_state() const {
+  HermiteState s;
+  s.time = time_;
+  s.total_steps = total_steps_;
+  s.total_blocksteps = total_blocksteps_;
+  s.particles = particles_;
+  s.dt = dt_;
+  s.last_force = last_force_;
+  return s;
+}
+
+void HermiteIntegrator::compute_forces_guarded(
+    double t, std::span<const PredictedState> block, std::span<Force> out) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      engine_.compute_forces(t, block, out);
+      return;
+    } catch (const fault::TransientFault&) {
+      // Transients are expected to clear on a clean re-issue (the engine
+      // resets its per-pass state); bounded so a permanently sick engine
+      // surfaces instead of looping.
+      if (attempt >= cfg_.max_force_retries) throw;
+      obs::MetricsRegistry::global()
+          .counter("fault.recovered.force_retries")
+          .add(1);
+    }
+  }
 }
 
 void HermiteIntegrator::initialize(const ParticleSet& initial) {
@@ -41,7 +94,7 @@ void HermiteIntegrator::initialize(const ParticleSet& initial) {
                static_cast<std::uint32_t>(i)};
   }
   std::vector<Force> forces(n);
-  engine_.compute_forces(0.0, pred, forces);
+  compute_forces_guarded(0.0, pred, forces);
 
   for (std::size_t i = 0; i < n; ++i) {
     particles_[i].acc = forces[i].acc;
@@ -97,7 +150,7 @@ std::size_t HermiteIntegrator::step() {
   eq.phase(obs::Eq10Stepper::Phase::kGrape);
   {
     G6_PHASE("force");
-    engine_.compute_forces(t_next, block_pred_, block_force_);
+    compute_forces_guarded(t_next, block_pred_, block_force_);
   }
   eq.phase(obs::Eq10Stepper::Phase::kHost);
 

@@ -21,6 +21,20 @@ struct HermiteConfig {
   double dt_max = 0.0625;  ///< largest block level (2^-4)
   double dt_min = 9.5367431640625e-7;  ///< smallest block level (2^-20)
   bool record_trace = false;  ///< keep the blockstep schedule
+  /// Retries of a force evaluation that raised a TransientFault before the
+  /// fault is propagated to the caller (src/fault error taxonomy).
+  int max_force_retries = 2;
+};
+
+/// Complete integrator state at a blockstep boundary — what a checkpoint
+/// must capture to resume a run bit-identically (src/fault/checkpoint.hpp).
+struct HermiteState {
+  double time = 0.0;
+  unsigned long long total_steps = 0;
+  unsigned long long total_blocksteps = 0;
+  std::vector<JParticle> particles;   ///< values + predictor data at t0
+  std::vector<double> dt;             ///< per-particle block timestep
+  std::vector<Force> last_force;      ///< force at each particle's own t0
 };
 
 class HermiteIntegrator {
@@ -29,6 +43,18 @@ class HermiteIntegrator {
   /// positions and velocities at t = 0.
   HermiteIntegrator(const ParticleSet& initial, ForceEngine& engine,
                     HermiteConfig config = {});
+
+  /// Resume from a saved state: no initial force computation — particle
+  /// data, timesteps and last forces come from the checkpoint, so the
+  /// continued run is bit-identical to one that never stopped. Callers
+  /// restoring a GRAPE engine must also restore its exponent cache
+  /// (GrapeForceEngine::exponents()) AFTER construction, because
+  /// load_particles resets it.
+  HermiteIntegrator(const HermiteState& state, ForceEngine& engine,
+                    HermiteConfig config = {});
+
+  /// Snapshot the full integrator state (deep copy) for checkpointing.
+  HermiteState save_state() const;
 
   /// Current system time (time of the last completed blockstep).
   double time() const { return time_; }
@@ -66,6 +92,10 @@ class HermiteIntegrator {
  private:
   void initialize(const ParticleSet& initial);
   double next_block_time() const;
+  /// compute_forces with bounded TransientFault retry (fault taxonomy);
+  /// HardFault and exhausted retries propagate to the caller.
+  void compute_forces_guarded(double t, std::span<const PredictedState> block,
+                              std::span<Force> out);
 
   ForceEngine& engine_;
   HermiteConfig cfg_;

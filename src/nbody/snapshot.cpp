@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/check.hpp"
+#include "util/fileio.hpp"
 
 namespace g6 {
 
@@ -39,10 +40,9 @@ ParticleSet read_snapshot(std::istream& is, double& t) {
 }
 
 void save_snapshot(const std::string& path, const ParticleSet& set, double t) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("snapshot: cannot open " + path);
-  write_snapshot(os, set, t);
-  if (!os) throw std::runtime_error("snapshot: write failed for " + path);
+  // Atomic write-then-rename: a crash or full disk mid-write can never
+  // leave a truncated snapshot under the final name.
+  write_file_atomic(path, [&](std::ostream& os) { write_snapshot(os, set, t); });
 }
 
 ParticleSet load_snapshot(const std::string& path, double& t) {

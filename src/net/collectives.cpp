@@ -4,6 +4,18 @@
 
 namespace g6 {
 
+double perturbed_hop_time(double nominal_s, LinkPerturbation* faults) {
+  if (faults == nullptr) return nominal_s;
+  double t = nominal_s * faults->latency_factor();
+  // Each lost copy costs the timeout before the sender gives up on it,
+  // then a fresh (possibly again perturbed) transmission.
+  while (faults->drop_message()) {
+    t += faults->retransmit_timeout_s();
+    t += nominal_s * faults->latency_factor();
+  }
+  return t;
+}
+
 std::size_t butterfly_stages(std::size_t hosts) {
   G6_REQUIRE(hosts >= 1);
   std::size_t stages = 0;
@@ -15,9 +27,13 @@ std::size_t butterfly_stages(std::size_t hosts) {
   return stages;
 }
 
-double butterfly_barrier_time(std::size_t hosts, const NicModel& nic) {
-  return static_cast<double>(butterfly_stages(hosts)) *
-         nic.message_time(kSyncPacketBytes);
+double butterfly_barrier_time(std::size_t hosts, const NicModel& nic,
+                              LinkPerturbation* faults) {
+  const std::size_t stages = butterfly_stages(hosts);
+  const double hop = nic.message_time(kSyncPacketBytes);
+  double t = 0.0;
+  for (std::size_t s = 0; s < stages; ++s) t += perturbed_hop_time(hop, faults);
+  return t;
 }
 
 double mpich_barrier_time(std::size_t hosts, const NicModel& nic) {
@@ -25,20 +41,28 @@ double mpich_barrier_time(std::size_t hosts, const NicModel& nic) {
 }
 
 double butterfly_allgather_time(std::size_t hosts, std::size_t bytes_per_host,
-                                const NicModel& nic) {
+                                const NicModel& nic, LinkPerturbation* faults) {
   double t = 0.0;
   std::size_t chunk = bytes_per_host;
   std::size_t span = 1;
   while (span < hosts) {
-    t += nic.message_time(chunk);
+    t += perturbed_hop_time(nic.message_time(chunk), faults);
     chunk *= 2;
     span *= 2;
   }
   return t;
 }
 
-double fanout_time(std::size_t receivers, std::size_t bytes, const NicModel& nic) {
-  return static_cast<double>(receivers) * nic.message_time(bytes);
+double fanout_time(std::size_t receivers, std::size_t bytes, const NicModel& nic,
+                   LinkPerturbation* faults) {
+  if (faults == nullptr) {
+    return static_cast<double>(receivers) * nic.message_time(bytes);
+  }
+  double t = 0.0;
+  for (std::size_t r = 0; r < receivers; ++r) {
+    t += perturbed_hop_time(nic.message_time(bytes), faults);
+  }
+  return t;
 }
 
 }  // namespace g6

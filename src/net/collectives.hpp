@@ -20,14 +20,38 @@
 
 namespace g6 {
 
+/// Optional link-level fault hook (implemented by
+/// g6::fault::FaultInjector). The collectives consult it once per hop: a
+/// dropped message costs the retransmit timeout plus a resend, a latency
+/// spike multiplies the hop cost. Pure virtual so net/ carries no
+/// dependency on the fault subsystem.
+class LinkPerturbation {
+ public:
+  virtual ~LinkPerturbation() = default;
+  /// Whether the next message is lost (each call consumes one decision).
+  virtual bool drop_message() = 0;
+  /// Latency multiplier for the next hop (1.0 = nominal).
+  virtual double latency_factor() = 0;
+  /// Virtual seconds a sender waits before retransmitting a lost message.
+  virtual double retransmit_timeout_s() const = 0;
+};
+
+/// Cost of one message hop under an optional perturbation: nominal time
+/// times the spike factor, plus timeout + resend for each drop
+/// (retransmissions can themselves be dropped; the sequence terminates
+/// because the drop probability is < 1).
+double perturbed_hop_time(double nominal_s, LinkPerturbation* faults);
+
 /// Number of butterfly stages: ceil(log2(p)).
 std::size_t butterfly_stages(std::size_t hosts);
 
 /// Size of the tiny synchronization packet (header-dominated).
 inline constexpr std::size_t kSyncPacketBytes = 64;
 
-/// Barrier via butterfly exchange of sync packets.
-double butterfly_barrier_time(std::size_t hosts, const NicModel& nic);
+/// Barrier via butterfly exchange of sync packets. `faults` (optional)
+/// perturbs each stage with drops/spikes.
+double butterfly_barrier_time(std::size_t hosts, const NicModel& nic,
+                              LinkPerturbation* faults = nullptr);
 
 /// MPI_Barrier of MPICH/p4 over TCP: measured ~2x the hand-rolled
 /// butterfly (Sec 4.4) — used by the ablation bench.
@@ -36,9 +60,11 @@ double mpich_barrier_time(std::size_t hosts, const NicModel& nic);
 /// All-gather of `bytes_per_host` from every host to every host
 /// (recursive doubling): stage k moves 2^k * bytes_per_host.
 double butterfly_allgather_time(std::size_t hosts, std::size_t bytes_per_host,
-                                const NicModel& nic);
+                                const NicModel& nic,
+                                LinkPerturbation* faults = nullptr);
 
 /// One host sends `bytes` to `receivers` peers, serialized on its NIC.
-double fanout_time(std::size_t receivers, std::size_t bytes, const NicModel& nic);
+double fanout_time(std::size_t receivers, std::size_t bytes, const NicModel& nic,
+                   LinkPerturbation* faults = nullptr);
 
 }  // namespace g6

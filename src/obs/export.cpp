@@ -1,26 +1,25 @@
 #include "obs/export.hpp"
 
-#include <fstream>
+#include <ostream>
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "util/check.hpp"
+#include "util/fileio.hpp"
 
 namespace g6::obs {
 
 bool export_metrics_json(const std::string& path, const Eq10Accumulator* eq10) {
   if (path.empty()) return true;
   G6_REQUIRE(path.find('\0') == std::string::npos);
-  std::ofstream os(path);
-  if (!os) {
-    log_error("cannot open metrics output file %s", path.c_str());
-    return false;
-  }
-  MetricsRegistry::global().write_json(os, eq10);
-  os.flush();
-  if (!os) {
-    log_error("failed writing metrics JSON to %s", path.c_str());
+  // Atomic write-then-rename: a consumer polling the file (dashboards,
+  // CI assertions) never observes a half-written JSON document.
+  try {
+    write_file_atomic(
+        path, [&](std::ostream& os) { MetricsRegistry::global().write_json(os, eq10); });
+  } catch (const IoError& e) {
+    log_error("failed writing metrics JSON to %s: %s", path.c_str(), e.what());
     return false;
   }
   log_info("wrote metrics JSON to %s", path.c_str());
@@ -30,15 +29,11 @@ bool export_metrics_json(const std::string& path, const Eq10Accumulator* eq10) {
 bool export_chrome_trace(const std::string& path) {
   if (path.empty()) return true;
   G6_REQUIRE(path.find('\0') == std::string::npos);
-  std::ofstream os(path);
-  if (!os) {
-    log_error("cannot open trace output file %s", path.c_str());
-    return false;
-  }
-  Tracer::global().write_chrome_trace(os);
-  os.flush();
-  if (!os) {
-    log_error("failed writing Chrome trace to %s", path.c_str());
+  try {
+    write_file_atomic(path,
+                      [](std::ostream& os) { Tracer::global().write_chrome_trace(os); });
+  } catch (const IoError& e) {
+    log_error("failed writing Chrome trace to %s: %s", path.c_str(), e.what());
     return false;
   }
   log_info("wrote Chrome trace (%zu events) to %s",

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fault/errors.hpp"
 #include "hermite/scheme.hpp"
 #include "net/collectives.hpp"
 #include "util/check.hpp"
@@ -144,8 +145,11 @@ double HostGridCluster::compute_block_forces(double t,
         }
       }
       if (!overflow) break;
-      G6_REQUIRE_MSG(attempt < kMaxRetries,
-                     "host-grid exponent retry did not converge");
+      if (attempt >= kMaxRetries) {
+        // Recoverable at the integrator level (smaller step, or abandon the
+        // run with a typed error) — never an abort.
+        throw fault::RetryExhausted("host-grid exponent retry did not converge");
+      }
     }
 
     for (std::size_t k = 0; k < pass.size(); ++k) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fault/injector.hpp"
 #include "hermite/scheme.hpp"
 #include "net/collectives.hpp"
 #include "obs/metrics.hpp"
@@ -161,7 +162,10 @@ void VirtualCluster::charge_blockstep(std::size_t block_size,
                                       const std::vector<double>& grape_seconds,
                                       const std::vector<std::size_t>& host_share) {
   (void)host_share;
-  const BlockstepCost mc = model_.blockstep_cost(block_size, particles_.size());
+  BlockstepCost mc = model_.blockstep_cost(block_size, particles_.size());
+  // Link faults stretch the modelled network time (drops retransmit,
+  // spikes multiply latency); the exchanged data is unaffected.
+  if (cfg_.injector) mc.net_s = cfg_.injector->perturb_link_time(mc.net_s);
   double grape_max = 0.0;
   for (std::size_t h = 0; h < engines_.size(); ++h) {
     clocks_[h].advance(mc.host_s + mc.dma_s + grape_seconds[h]);

@@ -38,6 +38,11 @@ struct VirtualClusterConfig {
   NumberFormats formats = NumberFormats::exact();
   double eps = 1.0 / 64.0;
   HermiteConfig hermite;
+  /// Optional link-fault source: drops and latency spikes perturb the
+  /// modelled network time of every blockstep. Link faults touch *time
+  /// only* — the dynamics stays bit-identical to a fault-free run
+  /// (reliable-delivery model: drops cost retransmits, not data).
+  std::shared_ptr<fault::FaultInjector> injector;
 };
 
 class VirtualCluster {

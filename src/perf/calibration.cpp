@@ -11,6 +11,7 @@
 #include "obs/log.hpp"
 #include "obs/phase.hpp"
 #include "util/check.hpp"
+#include "util/fileio.hpp"
 
 namespace g6 {
 
@@ -191,15 +192,29 @@ TraceScaling calibrated_scaling(SofteningLaw law, const CalibrationOptions& opt,
   if (!cache_path.empty()) {
     std::ifstream in(cache_path);
     if (in) {
-      obs::log_debug("calibration: loaded cached scaling from %s",
-                     cache_path.c_str());
-      return TraceScaling::load(in);
+      // A corrupt or stale cache (bad header, truncation) is recoverable:
+      // warn and fall through to a fresh calibration.
+      try {
+        TraceScaling s = TraceScaling::load(in);
+        obs::log_debug("calibration: loaded cached scaling from %s",
+                       cache_path.c_str());
+        return s;
+      } catch (const std::exception& e) {
+        obs::log_warn("calibration: ignoring corrupt cache %s (%s)",
+                      cache_path.c_str(), e.what());
+      }
     }
   }
   const TraceScaling s = TraceScaling::fit(measure_series(law, opt));
   if (!cache_path.empty()) {
-    std::ofstream out(cache_path);
-    if (out) s.save(out);
+    // Atomic write so a concurrent reader never sees a half-written cache;
+    // failure to persist is only a warning — the result is still valid.
+    try {
+      write_file_atomic(cache_path, [&](std::ostream& os) { s.save(os); });
+    } catch (const IoError& e) {
+      obs::log_warn("calibration: could not write cache %s (%s)",
+                    cache_path.c_str(), e.what());
+    }
   }
   return s;
 }

@@ -1,0 +1,37 @@
+#include "util/fileio.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace g6 {
+
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  G6_REQUIRE_MSG(!path.empty(), "write_file_atomic: empty path");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::out | std::ios::trunc);
+    if (!os) throw IoError("cannot open " + tmp + " for writing");
+    try {
+      writer(os);
+    } catch (...) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    os.flush();
+    if (!os) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw IoError("write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("rename failed: " + tmp + " -> " + path);
+  }
+}
+
+}  // namespace g6

@@ -1,0 +1,33 @@
+#pragma once
+// Crash-safe file output: write-then-rename.
+//
+// Every durable artifact the toolchain produces (snapshots, metrics JSON,
+// trace JSON, calibration caches, checkpoints) goes through
+// write_file_atomic so a crash — including one induced by the fault
+// subsystem — can never leave a truncated or half-written file behind:
+// readers see either the previous complete version or the new complete
+// version. Stream errors are checked after every stage and reported as
+// IoError instead of being silently swallowed.
+
+#include <functional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace g6 {
+
+/// A file operation failed (open, write, flush, or rename). Carries the
+/// path and the failing stage in the message.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Write `path` atomically: `writer` streams the full content into a
+/// sibling temporary file, which is then renamed over `path` (atomic on
+/// POSIX for same-directory renames). On any failure the temporary is
+/// removed and IoError is thrown; `path` is left untouched.
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+}  // namespace g6

@@ -91,6 +91,13 @@ class BlockFloatAccumulator {
   bool overflow() const { return overflow_; }
   std::int64_t mantissa() const { return mant_; }
 
+  /// Fault-injection hooks (src/fault): mutate the mantissa word in
+  /// place, modelling a bit upset in the accumulator register (xor) or a
+  /// pipeline whose output register is stuck at a constant (set). The
+  /// production dataflow never calls these; only FaultInjector does.
+  void fault_xor_mantissa(std::int64_t mask) { mant_ ^= mask; }
+  void fault_set_mantissa(std::int64_t mant) { mant_ = mant; }
+
   /// Add a value, rounding it once onto the block grid. Sets the overflow
   /// flag if either the addend or the running sum exceeds the headroom.
   void add(double x) {

@@ -1,0 +1,132 @@
+// End-to-end chaos soak: a Plummer integration under continuous transient
+// injection (j-memory upsets, i-packet corruption, compute glitches) with
+// a whole processor board scheduled to die halfway through. The run must
+// complete, every injected transient must be caught by the matching
+// detector, and — because detection-plus-recovery restores every
+// corrupted value before use — the trajectory must stay bit-identical to
+// a fault-free twin, which makes the acceptance energy bound (within 2x
+// of the fault-free drift) trivially tight.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "grape/engine.hpp"
+#include "hermite/integrator.hpp"
+#include "nbody/diagnostics.hpp"
+#include "nbody/models.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+MachineConfig two_board_machine() {
+  MachineConfig mc;
+  mc.boards_per_host = 2;
+  mc.modules_per_board = 2;
+  mc.chips_per_module = 2;  // 8 chips; board 1 = flat ids 4..7
+  return mc;
+}
+
+TEST(ChaosSoak, TransientsAllCaughtAndBoardDeathSurvived) {
+  const double eps = 1.0 / 64.0;
+  const double t_end = 0.25;
+  Rng rng(31);
+  const ParticleSet set = make_plummer(96, rng);
+  const double e0 = compute_energy(set.bodies(), eps).total();
+
+  // Fault-free twin for the reference trajectory and energy drift.
+  GrapeForceEngine hw_clean(two_board_machine(), NumberFormats{}, eps);
+  HermiteIntegrator clean(set, hw_clean);
+  clean.evolve(t_end);
+  const double e_clean =
+      compute_energy(clean.state_at_current_time().bodies(), eps).total();
+  const double drift_clean = std::fabs((e_clean - e0) / e0);
+
+  // Chaos run: ~1e-3 transients on every channel + board 1 dead at t/2.
+  fault::FaultPlan plan = fault::FaultPlan::uniform_transients(1e-3, 0x6701);
+  plan.hard_failures.push_back({t_end / 2.0, 1, -1, -1});
+  auto inj = std::make_shared<fault::FaultInjector>(plan);
+  fault::DetectionConfig det;
+  det.vote_passes = 2;  // duplicate-pass voting catches compute glitches
+
+  GrapeForceEngine hw(two_board_machine(), NumberFormats{}, eps);
+  hw.enable_fault_tolerance(inj, det);
+  HermiteIntegrator chaos(set, hw);
+  chaos.evolve(t_end);
+
+  // The soak is only meaningful if every channel actually fired.
+  const fault::FaultInjector::Counts& c = inj->counts();
+  EXPECT_GT(c.jmem_flips, 0u);
+  EXPECT_GT(c.ipacket_corruptions, 0u);
+  EXPECT_GT(c.compute_glitches, 0u);
+  EXPECT_EQ(c.hard_activations, 4u);  // the 4 chips of board 1
+
+  // Reconciliation: injected == detected, channel by channel.
+  const GrapeHostStats& s = hw.stats();
+  EXPECT_EQ(s.jmem_rewrites, c.jmem_flips);          // scrub caught every upset
+  EXPECT_EQ(s.packet_retransmits, c.ipacket_corruptions);  // checksums
+  EXPECT_GT(s.vote_retries, 0u);                     // voting caught glitches
+  EXPECT_EQ(hw.dead_chip_count(), 4u);
+  EXPECT_GE(s.remaps, 1u);
+  EXPECT_GT(s.backoff_seconds, 0.0);  // retries charged virtual time
+
+  // Recovery restores every corrupted value before use, so the dynamics
+  // is the fault-free dynamics — exactly.
+  EXPECT_EQ(clean.total_steps(), chaos.total_steps());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(clean.particle(i).pos, chaos.particle(i).pos) << i;
+    EXPECT_EQ(clean.particle(i).vel, chaos.particle(i).vel) << i;
+  }
+
+  // The acceptance bound from the issue: |dE/E| within 2x the fault-free
+  // run's drift (bit-identical trajectories make this equality).
+  const double e_chaos =
+      compute_energy(chaos.state_at_current_time().bodies(), eps).total();
+  const double drift_chaos = std::fabs((e_chaos - e0) / e0);
+  EXPECT_LE(drift_chaos, 2.0 * drift_clean + 1e-12);
+
+  // Degradation costs time, never correctness: the crippled machine must
+  // have charged at least as much virtual GRAPE time as the healthy one.
+  EXPECT_GE(hw.stats().total_seconds(), hw_clean.stats().total_seconds());
+}
+
+TEST(ChaosSoak, SoakIsReproducible) {
+  // Same plan, same workload => same fault history, down to the event log.
+  const double eps = 1.0 / 64.0;
+  Rng rng(31);
+  const ParticleSet set = make_plummer(48, rng);
+  const fault::FaultPlan plan = fault::FaultPlan::uniform_transients(2e-3, 777);
+
+  auto run = [&](const std::shared_ptr<fault::FaultInjector>& inj) {
+    GrapeForceEngine hw(two_board_machine(), NumberFormats{}, eps);
+    fault::DetectionConfig det;
+    det.vote_passes = 2;
+    hw.enable_fault_tolerance(inj, det);
+    HermiteIntegrator integ(set, hw);
+    integ.evolve(0.125);
+    return hw.stats();
+  };
+  auto inj1 = std::make_shared<fault::FaultInjector>(plan);
+  auto inj2 = std::make_shared<fault::FaultInjector>(plan);
+  const GrapeHostStats s1 = run(inj1);
+  const GrapeHostStats s2 = run(inj2);
+
+  EXPECT_EQ(inj1->counts().jmem_flips, inj2->counts().jmem_flips);
+  EXPECT_EQ(inj1->counts().ipacket_corruptions, inj2->counts().ipacket_corruptions);
+  EXPECT_EQ(inj1->counts().compute_glitches, inj2->counts().compute_glitches);
+  EXPECT_EQ(s1.jmem_rewrites, s2.jmem_rewrites);
+  EXPECT_EQ(s1.packet_retransmits, s2.packet_retransmits);
+  EXPECT_EQ(s1.vote_retries, s2.vote_retries);
+  ASSERT_EQ(inj1->events().size(), inj2->events().size());
+  for (std::size_t i = 0; i < inj1->events().size(); ++i) {
+    EXPECT_EQ(inj1->events()[i].time, inj2->events()[i].time) << i;
+    EXPECT_EQ(inj1->events()[i].what, inj2->events()[i].what) << i;
+  }
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,171 @@
+#include "fault/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "fault/errors.hpp"
+#include "grape/engine.hpp"
+#include "hermite/integrator.hpp"
+#include "nbody/models.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+MachineConfig tiny_machine() {
+  MachineConfig mc;
+  mc.boards_per_host = 1;
+  mc.modules_per_board = 2;
+  mc.chips_per_module = 2;
+  return mc;
+}
+
+ParticleSet test_system(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  return make_plummer(n, rng);
+}
+
+fault::RunCheckpoint make_checkpoint(HermiteIntegrator& integ,
+                                     GrapeForceEngine& hw) {
+  fault::RunCheckpoint cp;
+  cp.run_tag = "model=plummer n=32 seed=5";
+  cp.state = integ.save_state();
+  cp.exponents = hw.exponents();
+  cp.e0 = -0.25;
+  cp.next_snap = 0.5;
+  cp.snap_id = 3;
+  return cp;
+}
+
+void expect_states_equal(const HermiteState& a, const HermiteState& b) {
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.total_blocksteps, b.total_blocksteps);
+  ASSERT_EQ(a.particles.size(), b.particles.size());
+  for (std::size_t i = 0; i < a.particles.size(); ++i) {
+    EXPECT_EQ(a.particles[i].mass, b.particles[i].mass) << i;
+    EXPECT_EQ(a.particles[i].t0, b.particles[i].t0) << i;
+    EXPECT_EQ(a.particles[i].pos, b.particles[i].pos) << i;
+    EXPECT_EQ(a.particles[i].vel, b.particles[i].vel) << i;
+    EXPECT_EQ(a.particles[i].acc, b.particles[i].acc) << i;
+    EXPECT_EQ(a.particles[i].jerk, b.particles[i].jerk) << i;
+    EXPECT_EQ(a.particles[i].snap, b.particles[i].snap) << i;
+    EXPECT_EQ(a.dt[i], b.dt[i]) << i;
+    EXPECT_EQ(a.last_force[i].acc, b.last_force[i].acc) << i;
+    EXPECT_EQ(a.last_force[i].jerk, b.last_force[i].jerk) << i;
+    EXPECT_EQ(a.last_force[i].pot, b.last_force[i].pot) << i;
+  }
+}
+
+TEST(Checkpoint, TextRoundTripIsBitExact) {
+  // 17 significant digits round-trip IEEE binary64 exactly; the schema
+  // must preserve every field of the state bit for bit.
+  const double eps = 1.0 / 64.0;
+  const ParticleSet set = test_system(32, 5);
+  GrapeForceEngine hw(tiny_machine(), NumberFormats{}, eps);
+  HermiteIntegrator integ(set, hw);
+  integ.evolve(0.125);
+
+  const fault::RunCheckpoint cp = make_checkpoint(integ, hw);
+  std::stringstream ss;
+  fault::write_checkpoint(ss, cp);
+  const fault::RunCheckpoint rt = fault::read_checkpoint(ss);
+
+  EXPECT_EQ(rt.run_tag, cp.run_tag);
+  EXPECT_EQ(rt.e0, cp.e0);
+  EXPECT_EQ(rt.next_snap, cp.next_snap);
+  EXPECT_EQ(rt.snap_id, cp.snap_id);
+  expect_states_equal(rt.state, cp.state);
+  ASSERT_EQ(rt.exponents.size(), cp.exponents.size());
+  for (std::size_t i = 0; i < cp.exponents.size(); ++i) {
+    EXPECT_EQ(rt.exponents[i].acc, cp.exponents[i].acc) << i;
+    EXPECT_EQ(rt.exponents[i].jerk, cp.exponents[i].jerk) << i;
+    EXPECT_EQ(rt.exponents[i].pot, cp.exponents[i].pot) << i;
+  }
+}
+
+TEST(Checkpoint, ResumeIsBitIdenticalToUninterruptedRun) {
+  // The headline guarantee: stop at t/2, serialize through the text
+  // format, restore into a *fresh* engine, continue — and land on exactly
+  // the trajectory of the run that never stopped.
+  const double eps = 1.0 / 64.0;
+  const ParticleSet set = test_system(32, 9);
+
+  GrapeForceEngine hw_full(tiny_machine(), NumberFormats{}, eps);
+  HermiteIntegrator full(set, hw_full);
+  full.evolve(0.25);
+
+  GrapeForceEngine hw_half(tiny_machine(), NumberFormats{}, eps);
+  HermiteIntegrator half(set, hw_half);
+  half.evolve(0.125);
+  fault::RunCheckpoint cp = make_checkpoint(half, hw_half);
+  std::stringstream ss;
+  fault::write_checkpoint(ss, cp);
+  const fault::RunCheckpoint rt = fault::read_checkpoint(ss);
+
+  GrapeForceEngine hw_res(tiny_machine(), NumberFormats{}, eps);
+  HermiteIntegrator resumed(rt.state, hw_res);
+  // Must happen AFTER construction: load_particles resets the exponent
+  // bank, and the BFP exponents shape rounding on the next pass.
+  hw_res.exponents() = rt.exponents;
+  resumed.evolve(0.25);
+
+  EXPECT_EQ(full.time(), resumed.time());
+  EXPECT_EQ(full.total_steps(), resumed.total_steps());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(full.particle(i).pos, resumed.particle(i).pos) << i;
+    EXPECT_EQ(full.particle(i).vel, resumed.particle(i).vel) << i;
+    EXPECT_EQ(full.particle(i).acc, resumed.particle(i).acc) << i;
+    EXPECT_EQ(full.timestep(i), resumed.timestep(i)) << i;
+  }
+}
+
+TEST(Checkpoint, AtomicSaveAndLoad) {
+  const double eps = 1.0 / 64.0;
+  const ParticleSet set = test_system(16, 2);
+  GrapeForceEngine hw(tiny_machine(), NumberFormats{}, eps);
+  HermiteIntegrator integ(set, hw);
+  integ.evolve(0.0625);
+  const fault::RunCheckpoint cp = make_checkpoint(integ, hw);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "g6_checkpoint_test.ckpt").string();
+  fault::save_checkpoint(path, cp);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));  // renamed, not left over
+  const fault::RunCheckpoint rt = fault::load_checkpoint(path);
+  EXPECT_EQ(rt.run_tag, cp.run_tag);
+  expect_states_equal(rt.state, cp.state);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptInputThrowsFaultError) {
+  const double eps = 1.0 / 64.0;
+  const ParticleSet set = test_system(16, 4);
+  GrapeForceEngine hw(tiny_machine(), NumberFormats{}, eps);
+  HermiteIntegrator integ(set, hw);
+  integ.evolve(0.0625);
+  std::stringstream ss;
+  fault::write_checkpoint(ss, make_checkpoint(integ, hw));
+  const std::string text = ss.str();
+
+  {  // wrong schema line
+    std::stringstream bad("not-a-checkpoint\n");
+    EXPECT_THROW(fault::read_checkpoint(bad), fault::FaultError);
+  }
+  {  // truncated mid-file: half the bytes
+    std::stringstream bad(text.substr(0, text.size() / 2));
+    EXPECT_THROW(fault::read_checkpoint(bad), fault::FaultError);
+  }
+  {  // empty
+    std::stringstream bad("");
+    EXPECT_THROW(fault::read_checkpoint(bad), fault::FaultError);
+  }
+  EXPECT_THROW(fault::load_checkpoint("/nonexistent/run.ckpt"), fault::FaultError);
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,50 @@
+#include "fault/errors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace g6::fault {
+namespace {
+
+// The taxonomy is load-bearing for recovery code: the integrator retries
+// on TransientFault, drivers degrade on HardFault, and generic handlers
+// catch FaultError. These tests pin the is-a relationships so a refactor
+// cannot silently flatten the hierarchy.
+
+TEST(FaultErrors, RetryExhaustedIsTransient) {
+  try {
+    throw RetryExhausted("out of retries");
+  } catch (const TransientFault& e) {
+    EXPECT_STREQ(e.what(), "out of retries");
+    return;
+  }
+  FAIL() << "RetryExhausted must be catchable as TransientFault";
+}
+
+TEST(FaultErrors, TransientIsFaultError) {
+  EXPECT_THROW(throw TransientFault("bit upset"), FaultError);
+}
+
+TEST(FaultErrors, HardFaultIsFaultError) {
+  EXPECT_THROW(throw HardFault("dead board"), FaultError);
+}
+
+TEST(FaultErrors, HardFaultIsNotTransient) {
+  // A retry loop must never swallow a hard failure.
+  try {
+    throw HardFault("dead board");
+  } catch (const TransientFault&) {
+    FAIL() << "HardFault must not be catchable as TransientFault";
+  } catch (const FaultError&) {
+    SUCCEED();
+  }
+}
+
+TEST(FaultErrors, FaultErrorIsRuntimeError) {
+  // Generic tool-level handlers (catch std::exception) still see faults.
+  EXPECT_THROW(throw FaultError("anything"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace g6::fault

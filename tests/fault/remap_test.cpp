@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/errors.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "grape/engine.hpp"
+#include "nbody/models.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+MachineConfig tiny_machine() {
+  MachineConfig mc;
+  mc.boards_per_host = 1;
+  mc.modules_per_board = 2;
+  mc.chips_per_module = 2;  // 4 chips
+  return mc;
+}
+
+std::vector<JParticle> plummer_j(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  const ParticleSet s = make_plummer(n, rng);
+  std::vector<JParticle> js(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    js[i].mass = s[i].mass;
+    js[i].pos = s[i].pos;
+    js[i].vel = s[i].vel;
+  }
+  return js;
+}
+
+std::vector<PredictedState> as_block(std::span<const JParticle> js) {
+  std::vector<PredictedState> block(js.size());
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    block[i] = {js[i].pos, js[i].vel, js[i].mass, static_cast<std::uint32_t>(i)};
+  }
+  return block;
+}
+
+std::size_t total_j_count(GrapeForceEngine& e) {
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < e.chip_count(); ++c) {
+    total += e.chip_flat(c).j_count();
+  }
+  return total;
+}
+
+TEST(FaultRemap, HealthyRingPlacementMatchesFaultFreeEngine) {
+  // With every chip healthy the fault-tolerant placement must be the
+  // identical round-robin the plain engine uses, so enabling fault
+  // tolerance with an empty-ish plan changes nothing — bit for bit.
+  const double eps = 1.0 / 64.0;
+  const auto js = plummer_j(96, 7);
+  const auto block = as_block(js);
+
+  GrapeForceEngine plain(tiny_machine(), NumberFormats{}, eps);
+  GrapeForceEngine ft(tiny_machine(), NumberFormats{}, eps);
+  fault::FaultPlan plan;
+  plan.hard_failures.push_back({100.0, 0, 0, 0});  // never reached
+  ft.enable_fault_tolerance(std::make_shared<fault::FaultInjector>(plan));
+
+  plain.load_particles(js);
+  ft.load_particles(js);
+  std::vector<Force> fp(js.size()), ff(js.size());
+  plain.compute_forces(0.0, block, fp);
+  ft.compute_forces(0.0, block, ff);
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    EXPECT_EQ(fp[i].acc, ff[i].acc) << i;
+    EXPECT_EQ(fp[i].jerk, ff[i].jerk) << i;
+    EXPECT_EQ(fp[i].pot, ff[i].pot) << i;
+  }
+}
+
+TEST(FaultRemap, ChipDeathRemapsEveryParticleAndKeepsForcesBitIdentical) {
+  const double eps = 1.0 / 64.0;
+  const std::size_t n = 96;
+  const auto js = plummer_j(n, 11);
+  const auto block = as_block(js);
+
+  GrapeForceEngine clean(tiny_machine(), NumberFormats{}, eps);
+  GrapeForceEngine ft(tiny_machine(), NumberFormats{}, eps);
+  fault::FaultPlan plan;
+  plan.hard_failures.push_back({0.125, 0, 0, 1});  // flat chip 1 at t=0.125
+  auto inj = std::make_shared<fault::FaultInjector>(plan);
+  ft.enable_fault_tolerance(inj);
+
+  clean.load_particles(js);
+  ft.load_particles(js);
+  EXPECT_EQ(total_j_count(ft), n);
+
+  std::vector<Force> fc(n), ff(n);
+  clean.compute_forces(0.0, block, fc);
+  ft.compute_forces(0.0, block, ff);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(fc[i].acc, ff[i].acc) << "pre-failure " << i;
+  }
+
+  // Crossing the failure time activates the hard fault; the anomaly-
+  // triggered self-test must catch it and remap before any science pass
+  // consumes the dead chip's garbage. Block floating-point accumulation
+  // merges in exact integer arithmetic, so redistributing j-particles
+  // over 3 chips instead of 4 leaves the decoded forces bit-identical.
+  clean.compute_forces(0.25, block, fc);
+  ft.compute_forces(0.25, block, ff);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(fc[i].acc, ff[i].acc) << "post-failure " << i;
+    EXPECT_EQ(fc[i].jerk, ff[i].jerk) << "post-failure " << i;
+    EXPECT_EQ(fc[i].pot, ff[i].pot) << "post-failure " << i;
+  }
+
+  EXPECT_TRUE(ft.chip_dead(1));
+  EXPECT_EQ(ft.dead_chip_count(), 1u);
+  EXPECT_GE(ft.stats().remaps, 1u);
+  EXPECT_EQ(ft.stats().dead_chips, 1u);
+  EXPECT_EQ(ft.chip_flat(1).j_count(), 0u);   // dead chip holds nothing
+  EXPECT_EQ(total_j_count(ft), n);            // no particle lost or doubled
+  EXPECT_EQ(inj->counts().hard_activations, 1u);
+}
+
+TEST(FaultRemap, AllChipsDeadIsAHardFault) {
+  const auto js = plummer_j(16, 3);
+  const auto block = as_block(js);
+  GrapeForceEngine ft(tiny_machine(), NumberFormats{}, 1.0 / 64.0);
+  fault::FaultPlan plan;
+  plan.hard_failures.push_back({0.5, 0, -1, -1});  // the only board dies
+  ft.enable_fault_tolerance(std::make_shared<fault::FaultInjector>(plan));
+  ft.load_particles(js);
+
+  std::vector<Force> f(js.size());
+  ft.compute_forces(0.0, block, f);  // fine before the failure
+  EXPECT_THROW(ft.compute_forces(1.0, block, f), fault::HardFault);
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,85 @@
+#include "grape/selftest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "grape/engine.hpp"
+
+namespace g6 {
+namespace {
+
+MachineConfig tiny_machine() {
+  MachineConfig mc;
+  mc.boards_per_host = 1;
+  mc.modules_per_board = 2;
+  mc.chips_per_module = 2;  // 4 chips, flat ids 0..3
+  return mc;
+}
+
+std::vector<int> all_chips(const GrapeForceEngine& e) {
+  std::vector<int> ids(e.chip_count());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+TEST(ChipSelfTest, HealthyChipsPass) {
+  GrapeForceEngine hw(tiny_machine(), NumberFormats{}, 1.0 / 64.0);
+  const auto ids = all_chips(hw);
+  const SelfTestReport report = run_chip_self_test(hw, ids, SelfTestOptions{});
+  EXPECT_EQ(report.tested, hw.chip_count());
+  EXPECT_TRUE(report.failed.empty());
+  EXPECT_GT(report.cycles, 0u);
+}
+
+TEST(ChipSelfTest, StuckChipIsTheOnlyFailure) {
+  fault::FaultPlan plan;
+  plan.stuck_chips = {2};
+  auto inj = std::make_shared<fault::FaultInjector>(plan);
+
+  // enable_fault_tolerance attaches the injector and runs the startup
+  // sweep; the stuck chip must be confirmed dead and everything else kept.
+  GrapeForceEngine hw(tiny_machine(), NumberFormats{}, 1.0 / 64.0);
+  hw.enable_fault_tolerance(inj);
+  EXPECT_TRUE(hw.chip_dead(2));
+  EXPECT_EQ(hw.dead_chip_count(), 1u);
+  for (std::size_t c = 0; c < hw.chip_count(); ++c) {
+    if (c != 2) EXPECT_FALSE(hw.chip_dead(c)) << c;
+  }
+  EXPECT_EQ(hw.stats().selftest_failures, 1u);
+  EXPECT_GE(hw.stats().selftests, 1u);
+  EXPECT_EQ(hw.healthy_chip_ids(), (std::vector<int>{0, 1, 3}));
+}
+
+TEST(ChipSelfTest, TransientGlitchesDoNotKillChips) {
+  // A high transient compute rate must not fail the startup self-test:
+  // the engine disables glitch injection for the sweep so only permanent
+  // faults (stuck/dead hardware) are detectable — a chip is never
+  // condemned for a soft error.
+  fault::FaultPlan plan;
+  plan.compute_rate = 0.5;
+  plan.seed = 42;
+  auto inj = std::make_shared<fault::FaultInjector>(plan);
+  GrapeForceEngine hw(tiny_machine(), NumberFormats{}, 1.0 / 64.0);
+  hw.enable_fault_tolerance(inj);
+  EXPECT_EQ(hw.dead_chip_count(), 0u);
+  EXPECT_EQ(hw.stats().selftest_failures, 0u);
+}
+
+TEST(ChipSelfTest, ReportIsDeterministic) {
+  GrapeForceEngine a(tiny_machine(), NumberFormats{}, 1.0 / 64.0);
+  GrapeForceEngine b(tiny_machine(), NumberFormats{}, 1.0 / 64.0);
+  const auto ids = all_chips(a);
+  const SelfTestReport ra = run_chip_self_test(a, ids, SelfTestOptions{});
+  const SelfTestReport rb = run_chip_self_test(b, ids, SelfTestOptions{});
+  EXPECT_EQ(ra.failed, rb.failed);
+  EXPECT_EQ(ra.tested, rb.tested);
+  EXPECT_EQ(ra.cycles, rb.cycles);
+}
+
+}  // namespace
+}  // namespace g6

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "fault/errors.hpp"
 #include "grape/engine.hpp"
 #include "hermite/direct_engine.hpp"
 #include "nbody/models.hpp"
@@ -66,8 +67,10 @@ TEST(GrapeEngineProps, ForcedOverflowRetriesAndRecovers) {
 
 TEST(GrapeEngineProps, UnconvergibleExponentsThrow) {
   // A run that keeps overflowing beyond the retry budget must fail loudly
-  // rather than return garbage: force this with a pathological softening
-  // of 0 and two coincident particles (infinite force).
+  // rather than return garbage — with a *typed, recoverable* error the
+  // integrator can catch (fault::RetryExhausted), not an abort. Force
+  // this with a pathological softening of 0 and two coincident particles
+  // (infinite force).
   std::vector<JParticle> js(2);
   js[0].mass = js[1].mass = 0.5;
   js[0].pos = {0.0, 0.0, 0.0};
@@ -78,7 +81,7 @@ TEST(GrapeEngineProps, UnconvergibleExponentsThrow) {
   hw.load_particles(js);
   auto block = as_block(js);
   std::vector<Force> f(2);
-  EXPECT_THROW(hw.compute_forces(0.0, block, f), PreconditionError);
+  EXPECT_THROW(hw.compute_forces(0.0, block, f), fault::RetryExhausted);
 }
 
 TEST(GrapeEngineProps, UpdateParticlePropagatesToForces) {

@@ -1,0 +1,117 @@
+// Link-level fault injection: message drops and latency spikes perturb
+// the *time* model only — the data that arrives is always eventually
+// correct (the transport retries), so dynamics stay bit-identical while
+// virtual network time grows.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "net/collectives.hpp"
+#include "net/nic.hpp"
+#include "parallel/virtual_cluster.hpp"
+#include "nbody/models.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+/// Deterministic fake: drop the first `drops` sends, spike every latency.
+class FakeLink final : public LinkPerturbation {
+ public:
+  FakeLink(int drops, double factor, double timeout_s)
+      : drops_(drops), factor_(factor), timeout_s_(timeout_s) {}
+  bool drop_message() override { return drops_-- > 0; }
+  double latency_factor() override { return factor_; }
+  double retransmit_timeout_s() const override { return timeout_s_; }
+
+ private:
+  int drops_;
+  double factor_;
+  double timeout_s_;
+};
+
+TEST(LinkFaults, NullPerturbationIsIdentity) {
+  EXPECT_DOUBLE_EQ(perturbed_hop_time(1e-4, nullptr), 1e-4);
+}
+
+TEST(LinkFaults, DropsChargeTimeoutPlusRetransmission) {
+  // 2 drops: nominal*f + 2*(timeout + nominal*f).
+  FakeLink link(2, 3.0, 1e-3);
+  const double t = perturbed_hop_time(1e-4, &link);
+  EXPECT_DOUBLE_EQ(t, 3e-4 + 2.0 * (1e-3 + 3e-4));
+}
+
+TEST(LinkFaults, SpikeOnlyMultipliesLatency) {
+  FakeLink link(0, 10.0, 1e-3);
+  EXPECT_DOUBLE_EQ(perturbed_hop_time(5e-5, &link), 5e-4);
+}
+
+TEST(LinkFaults, CollectivesSlowDownUnderPerturbation) {
+  const NicModel nic = nics::ns83820();
+  FakeLink spiky(0, 4.0, 1e-3);
+  EXPECT_DOUBLE_EQ(butterfly_barrier_time(8, nic, &spiky),
+                   4.0 * butterfly_barrier_time(8, nic));
+  FakeLink spiky2(0, 4.0, 1e-3);
+  EXPECT_GT(butterfly_allgather_time(8, 4096, nic, &spiky2),
+            butterfly_allgather_time(8, 4096, nic));
+}
+
+TEST(LinkFaults, InjectorCertainSpikeAppliesTheFactor) {
+  fault::FaultPlan plan;
+  plan.link_spike_rate = 1.0;
+  plan.link_spike_factor = 7.0;
+  fault::FaultInjector inj(plan);
+  EXPECT_DOUBLE_EQ(inj.perturb_link_time(1e-4), 7e-4);
+  EXPECT_EQ(inj.counts().link_spikes, 1u);
+}
+
+TEST(LinkFaults, InjectorDropsAreCountedAndCharged) {
+  fault::FaultPlan plan;
+  plan.link_drop_rate = 0.5;
+  plan.retransmit_timeout_s = 1e-3;
+  plan.seed = 12;
+  fault::FaultInjector inj(plan);
+  double total = 0.0;
+  for (int i = 0; i < 200; ++i) total += inj.perturb_link_time(1e-5);
+  EXPECT_GT(inj.counts().link_drops, 0u);
+  // Every drop charged at least the retransmit timeout on top of the
+  // nominal transfer times.
+  EXPECT_GE(total, 200 * 1e-5 +
+                       static_cast<double>(inj.counts().link_drops) * 1e-3);
+}
+
+TEST(LinkFaults, ClusterDynamicsUnchangedButSlower) {
+  // A flaky network makes the emulated cluster *slower*, never *wrong*.
+  Rng rng(6);
+  const ParticleSet s = make_plummer(32, rng);
+
+  VirtualClusterConfig cfg;
+  cfg.system = SystemConfig::cluster(2);
+  cfg.system.machine.boards_per_host = 1;
+  cfg.eps = 1.0 / 64.0;
+
+  VirtualClusterConfig flaky = cfg;
+  fault::FaultPlan plan;
+  plan.link_drop_rate = 0.2;
+  plan.link_spike_rate = 0.2;
+  plan.link_spike_factor = 10.0;
+  flaky.injector = std::make_shared<fault::FaultInjector>(plan);
+
+  VirtualCluster clean(s, cfg);
+  VirtualCluster faulty(s, flaky);
+  clean.evolve(0.0625);
+  faulty.evolve(0.0625);
+
+  EXPECT_EQ(clean.total_steps(), faulty.total_steps());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(clean.particle(i).pos, faulty.particle(i).pos) << i;
+    EXPECT_EQ(clean.particle(i).vel, faulty.particle(i).vel) << i;
+  }
+  EXPECT_GT(faulty.virtual_seconds(), clean.virtual_seconds());
+}
+
+}  // namespace
+}  // namespace g6

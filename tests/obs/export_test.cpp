@@ -1,0 +1,49 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace g6::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& p) {
+  std::ifstream in(p);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Export, MetricsJsonWrittenAtomicallyAndParses) {
+  MetricsRegistry::global().counter("export_test.calls").add(3);
+  const std::string p =
+      (fs::temp_directory_path() / "g6_export_test.json").string();
+  fs::remove(p);
+  ASSERT_TRUE(export_metrics_json(p));
+  EXPECT_FALSE(fs::exists(p + ".tmp"));
+  const JsonValue doc = JsonValue::parse(slurp(p));
+  EXPECT_EQ(doc.at("schema").as_string(), "grape6-metrics-v1");
+  fs::remove(p);
+}
+
+TEST(Export, UnwritablePathReturnsFalseInsteadOfThrowing) {
+  // Telemetry export is best-effort: a bad --metrics-out path must not
+  // take down a finished run.
+  EXPECT_FALSE(export_metrics_json("/nonexistent-dir/metrics.json"));
+  EXPECT_FALSE(export_chrome_trace("/nonexistent-dir/trace.json"));
+}
+
+TEST(Export, EmptyPathIsANoOp) {
+  EXPECT_TRUE(export_metrics_json(""));
+  EXPECT_TRUE(export_chrome_trace(""));
+}
+
+}  // namespace
+}  // namespace g6::obs

@@ -1,0 +1,80 @@
+#include "util/fileio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace g6 {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "g6_fileio_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  static std::string slurp(const std::string& p) {
+    std::ifstream in(p);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(FileIoTest, WritesCompleteContentAndNoTemporaryRemains) {
+  const std::string p = path("out.txt");
+  write_file_atomic(p, [](std::ostream& os) { os << "hello\nworld\n"; });
+  EXPECT_EQ(slurp(p), "hello\nworld\n");
+  EXPECT_FALSE(fs::exists(p + ".tmp"));
+}
+
+TEST_F(FileIoTest, OverwriteReplacesAtomically) {
+  const std::string p = path("out.txt");
+  write_file_atomic(p, [](std::ostream& os) { os << "v1"; });
+  write_file_atomic(p, [](std::ostream& os) { os << "v2 longer"; });
+  EXPECT_EQ(slurp(p), "v2 longer");
+  EXPECT_FALSE(fs::exists(p + ".tmp"));
+}
+
+TEST_F(FileIoTest, WriterExceptionLeavesTargetUntouched) {
+  // Crash-during-write semantics: the previous complete version survives
+  // and no half-written temporary litters the directory.
+  const std::string p = path("out.txt");
+  write_file_atomic(p, [](std::ostream& os) { os << "previous"; });
+  EXPECT_THROW(write_file_atomic(p,
+                                 [](std::ostream& os) {
+                                   os << "partial garbage";
+                                   throw std::runtime_error("simulated crash");
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(slurp(p), "previous");
+  EXPECT_FALSE(fs::exists(p + ".tmp"));
+}
+
+TEST_F(FileIoTest, UnwritableDirectoryThrowsIoError) {
+  EXPECT_THROW(
+      write_file_atomic((dir_ / "missing" / "out.txt").string(),
+                        [](std::ostream& os) { os << "x"; }),
+      IoError);
+}
+
+TEST_F(FileIoTest, IoErrorIsARuntimeError) {
+  // Drivers catch std::exception at top level; IoError must be visible.
+  EXPECT_THROW(throw IoError("disk on fire"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace g6

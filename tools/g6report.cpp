@@ -41,21 +41,62 @@ void print_eq10(const JsonValue& eq10) {
   }
 }
 
-void print_instruments(const JsonValue& doc) {
+bool is_fault_metric(const std::string& name) {
+  return name.rfind("fault.", 0) == 0;
+}
+
+/// Reliability rollup: fault.* counters/gauges grouped in one section
+/// (injected vs detected vs recovered reads as a reconciliation table),
+/// excluded from the generic listings below.
+void print_fault_summary(const JsonValue& doc) {
   const JsonValue* counters = doc.find("counters");
-  if (counters != nullptr && !counters->members().empty()) {
-    std::printf("\ncounters:\n");
-    for (const auto& [name, v] : counters->members()) {
-      std::printf("  %-28s %20.0f\n", name.c_str(), v.as_number());
-    }
-  }
   const JsonValue* gauges = doc.find("gauges");
-  if (gauges != nullptr && !gauges->members().empty()) {
-    std::printf("\ngauges:\n");
-    for (const auto& [name, v] : gauges->members()) {
-      std::printf("  %-28s %20.6g\n", name.c_str(), v.as_number());
+  bool any = false;
+  const auto scan = [&](const JsonValue* obj) {
+    if (obj == nullptr) return;
+    for (const auto& [name, v] : obj->members()) {
+      (void)v;
+      if (is_fault_metric(name)) any = true;
+    }
+  };
+  scan(counters);
+  scan(gauges);
+  if (!any) return;
+  std::printf("\nfault summary:\n");
+  for (const char* prefix : {"fault.injected.", "fault.detected.",
+                             "fault.recovered."}) {
+    if (counters == nullptr) break;
+    for (const auto& [name, v] : counters->members()) {
+      if (name.rfind(prefix, 0) == 0) {
+        std::printf("  %-28s %20.0f\n", name.c_str(), v.as_number());
+      }
     }
   }
+  if (gauges != nullptr) {
+    for (const auto& [name, v] : gauges->members()) {
+      if (is_fault_metric(name)) {
+        std::printf("  %-28s %20.6g\n", name.c_str(), v.as_number());
+      }
+    }
+  }
+}
+
+void print_instruments(const JsonValue& doc) {
+  const auto print_object = [](const JsonValue* obj, const char* header,
+                               const char* fmt) {
+    if (obj == nullptr) return;
+    bool printed_header = false;
+    for (const auto& [name, v] : obj->members()) {
+      if (is_fault_metric(name)) continue;  // shown in the fault summary
+      if (!printed_header) {
+        std::printf("\n%s:\n", header);
+        printed_header = true;
+      }
+      std::printf(fmt, name.c_str(), v.as_number());
+    }
+  };
+  print_object(doc.find("counters"), "counters", "  %-28s %20.0f\n");
+  print_object(doc.find("gauges"), "gauges", "  %-28s %20.6g\n");
   const JsonValue* hists = doc.find("histograms");
   if (hists != nullptr && !hists->members().empty()) {
     std::printf("\nhistograms:\n");
@@ -104,7 +145,10 @@ int main(int argc, char** argv) try {
   } else {
     std::printf("(no eq10 section)\n");
   }
-  if (!eq10_only) print_instruments(doc);
+  if (!eq10_only) {
+    print_fault_summary(doc);
+    print_instruments(doc);
+  }
   return 0;
 } catch (const std::exception& e) {
   g6::obs::log_error("%s", e.what());

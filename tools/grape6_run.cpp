@@ -10,10 +10,20 @@
 // Models:      plummer | king | uniform | disk | bhbinary | hernquist
 // Engines:     direct (CPU double) | grape (emulated hardware)
 // Integrators: hermite | ahmad-cohen
+//
+// Reliability (engine=grape, integrator=hermite; docs/RELIABILITY.md):
+//   --fault-plan=plan.json   inject the faults described in the plan
+//   --fault-rate=1e-3        shorthand: uniform transient rates
+//   --vote=2                 duplicate-pass voting (catches compute glitches)
+//   --selftest-every=64      periodic chip self-test (blocksteps)
+//   --checkpoint=run.ckpt    atomic checkpoint at every report boundary
+//   --resume=run.ckpt        continue a checkpointed run bit-identically
 
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 
 #include "core/grape6.hpp"
@@ -31,6 +41,40 @@ ParticleSet build_model(const std::string& model, std::size_t n, double w0,
   if (model == "bhbinary") return make_plummer_with_bh_binary(n, rng);
   if (model == "hernquist") return make_hernquist(n, rng);
   throw std::runtime_error("unknown --model: " + model);
+}
+
+void print_fault_summary(const fault::FaultInjector& inj,
+                         const GrapeHostStats& st) {
+  const fault::FaultInjector::Counts& c = inj.counts();
+  std::printf("\nfault summary (%s)\n", inj.plan().describe().c_str());
+  std::printf("  injected : %llu j-mem flips, %llu i-packet corruptions, "
+              "%llu compute glitches, %llu stuck passes, %llu hard chips\n",
+              static_cast<unsigned long long>(c.jmem_flips),
+              static_cast<unsigned long long>(c.ipacket_corruptions),
+              static_cast<unsigned long long>(c.compute_glitches),
+              static_cast<unsigned long long>(c.stuck_passes),
+              static_cast<unsigned long long>(c.hard_activations));
+  std::printf("  link     : %llu drops, %llu latency spikes\n",
+              static_cast<unsigned long long>(c.link_drops),
+              static_cast<unsigned long long>(c.link_spikes));
+  std::printf("  recovered: %llu j-mem rewrites, %llu packet retransmits, "
+              "%llu vote retries, %llu remaps\n",
+              static_cast<unsigned long long>(st.jmem_rewrites),
+              static_cast<unsigned long long>(st.packet_retransmits),
+              static_cast<unsigned long long>(st.vote_retries),
+              static_cast<unsigned long long>(st.remaps));
+  std::printf("  health   : %llu self-tests, %llu chips disabled, "
+              "%.3g s virtual backoff\n",
+              static_cast<unsigned long long>(st.selftests),
+              static_cast<unsigned long long>(st.dead_chips),
+              st.backoff_seconds);
+  for (const fault::FaultEvent& ev : inj.events()) {
+    std::printf("  t=%-10.4g %s\n", ev.time, ev.what.c_str());
+  }
+  if (inj.dropped_events() > 0) {
+    std::printf("  (+%llu events not logged)\n",
+                static_cast<unsigned long long>(inj.dropped_events()));
+  }
 }
 
 }  // namespace
@@ -60,45 +104,122 @@ int main(int argc, char** argv) try {
       cli.get_string("metrics-out", "", "write metrics JSON here (\"\" = off)");
   const std::string trace_out = cli.get_string(
       "trace-out", "", "write Chrome trace JSON here (\"\" = off)");
+  const std::string fault_plan_path = cli.get_string(
+      "fault-plan", "", "JSON fault plan (docs/RELIABILITY.md)");
+  const double fault_rate = cli.get_double(
+      "fault-rate", 0.0, "uniform transient fault rate (shorthand plan)");
+  const auto fault_seed = static_cast<std::uint64_t>(
+      cli.get_int("fault-seed", 0x6701, "fault stream seed"));
+  const int vote = static_cast<int>(
+      cli.get_int("vote", 1, "duplicate force passes for voting (1 = off)"));
+  const int selftest_every = static_cast<int>(cli.get_int(
+      "selftest-every", 0, "chip self-test interval in blocksteps (0 = off)"));
+  const std::string ckpt_path = cli.get_string(
+      "checkpoint", "", "checkpoint file, written at report boundaries");
+  const std::string resume_path =
+      cli.get_string("resume", "", "resume from this checkpoint");
   if (cli.finish()) return 0;
 
   if (!trace_out.empty()) obs::Tracer::global().enable();
 
-  Rng rng(seed);
-  const ParticleSet initial = build_model(model, n, w0, rng);
-  const double e0 = compute_energy(initial.bodies(), eps).total();
-  obs::log_info("model=%s N=%zu eps=%g eta=%g engine=%s integrator=%s",
-                model.c_str(), initial.size(), eps, eta, engine_name.c_str(),
-                integ_name.c_str());
-  std::printf("E0=%.8f virial=%.4f\n", e0,
-              compute_energy(initial.bodies(), eps).virial_ratio());
+  // Fault plan: explicit file > inline rate > environment (G6_FAULT_PLAN).
+  fault::FaultPlan plan;
+  if (!fault_plan_path.empty()) {
+    plan = fault::FaultPlan::from_file(fault_plan_path);
+  } else if (fault_rate > 0.0) {
+    plan = fault::FaultPlan::uniform_transients(fault_rate, fault_seed);
+  } else {
+    plan = fault::FaultPlan::from_env();
+  }
+  const bool want_fault = plan.any() || vote > 1 || selftest_every > 0;
+  if (want_fault && engine_name != "grape") {
+    throw std::runtime_error("fault injection requires --engine=grape");
+  }
+  const bool want_ckpt = !ckpt_path.empty() || !resume_path.empty();
+  if (want_ckpt && integ_name != "hermite") {
+    throw std::runtime_error("--checkpoint/--resume require --integrator=hermite");
+  }
+
+  // Configuration fingerprint: everything that shapes the dynamics (not
+  // t-end — resuming with a longer horizon is the point of checkpoints).
+  std::ostringstream tag_os;
+  tag_os << "model=" << model << " n=" << n << " w0=" << w0 << " eps=" << eps
+         << " eta=" << eta << " engine=" << engine_name
+         << " integrator=" << integ_name << " boards=" << boards
+         << " seed=" << seed << " fault=[" << plan.describe() << "]"
+         << " vote=" << vote;
+  const std::string run_tag = tag_os.str();
+
+  std::optional<fault::RunCheckpoint> resume;
+  if (!resume_path.empty()) {
+    resume = fault::load_checkpoint(resume_path);
+    if (resume->run_tag != run_tag) {
+      throw std::runtime_error("checkpoint tag mismatch:\n  file: " +
+                               resume->run_tag + "\n  now:  " + run_tag);
+    }
+    obs::log_info("resuming from %s at t=%.6g", resume_path.c_str(),
+                  resume->state.time);
+  }
 
   std::unique_ptr<ForceEngine> engine;
   GrapeForceEngine* grape = nullptr;
+  std::shared_ptr<fault::FaultInjector> injector;
   if (engine_name == "direct") {
     engine = std::make_unique<DirectForceEngine>(eps, threads);
   } else if (engine_name == "grape") {
     MachineConfig mc = MachineConfig::single_host();
     mc.boards_per_host = boards;
     auto g = std::make_unique<GrapeForceEngine>(mc, NumberFormats{}, eps);
+    if (want_fault) {
+      injector = std::make_shared<fault::FaultInjector>(plan);
+      fault::DetectionConfig det;
+      det.vote_passes = vote;
+      det.selftest_interval = selftest_every;
+      g->enable_fault_tolerance(injector, det);
+      obs::log_info("fault tolerance on: %s", plan.describe().c_str());
+    }
     grape = g.get();
     engine = std::move(g);
   } else {
     throw std::runtime_error("unknown --engine: " + engine_name);
   }
 
+  double e0 = 0.0;
   std::unique_ptr<HermiteIntegrator> hermite;
   std::unique_ptr<AhmadCohenIntegrator> ac;
-  if (integ_name == "hermite") {
+  int snap_id = 0;
+  double next_snap = snap_every > 0.0 ? snap_every : 2.0 * t_end;
+  if (resume) {
     HermiteConfig cfg;
     cfg.eta = eta;
-    hermite = std::make_unique<HermiteIntegrator>(initial, *engine, cfg);
-  } else if (integ_name == "ahmad-cohen") {
-    AhmadCohenConfig cfg;
-    cfg.eta_irr = eta;
-    ac = std::make_unique<AhmadCohenIntegrator>(initial, *engine, cfg);
+    hermite = std::make_unique<HermiteIntegrator>(resume->state, *engine, cfg);
+    // The exponent cache must come back AFTER construction: load_particles
+    // inside the restore constructor resets it.
+    if (grape != nullptr) grape->exponents() = resume->exponents;
+    e0 = resume->e0;
+    snap_id = resume->snap_id;
+    next_snap = resume->next_snap;
+    std::printf("resumed t=%.6g E0=%.8f\n", hermite->time(), e0);
   } else {
-    throw std::runtime_error("unknown --integrator: " + integ_name);
+    Rng rng(seed);
+    const ParticleSet initial = build_model(model, n, w0, rng);
+    e0 = compute_energy(initial.bodies(), eps).total();
+    obs::log_info("model=%s N=%zu eps=%g eta=%g engine=%s integrator=%s",
+                  model.c_str(), initial.size(), eps, eta, engine_name.c_str(),
+                  integ_name.c_str());
+    std::printf("E0=%.8f virial=%.4f\n", e0,
+                compute_energy(initial.bodies(), eps).virial_ratio());
+    if (integ_name == "hermite") {
+      HermiteConfig cfg;
+      cfg.eta = eta;
+      hermite = std::make_unique<HermiteIntegrator>(initial, *engine, cfg);
+    } else if (integ_name == "ahmad-cohen") {
+      AhmadCohenConfig cfg;
+      cfg.eta_irr = eta;
+      ac = std::make_unique<AhmadCohenIntegrator>(initial, *engine, cfg);
+    } else {
+      throw std::runtime_error("unknown --integrator: " + integ_name);
+    }
   }
 
   const auto now_time = [&] { return hermite ? hermite->time() : ac->time(); };
@@ -112,14 +233,24 @@ int main(int argc, char** argv) try {
       ac->evolve(t);
     }
   };
+  const auto write_ckpt = [&] {
+    fault::RunCheckpoint cp;
+    cp.run_tag = run_tag;
+    cp.state = hermite->save_state();
+    if (grape != nullptr) cp.exponents = grape->exponents();
+    cp.e0 = e0;
+    cp.next_snap = next_snap;
+    cp.snap_id = snap_id;
+    fault::save_checkpoint(ckpt_path, cp);
+    std::printf("  checkpoint %s (t=%.6g)\n", ckpt_path.c_str(), now_time());
+  };
 
   std::printf("\n%10s %14s %12s %12s %10s\n", "t", "steps", "dE/E", "virial",
               "r_h");
-  const double report_dt = t_end / 8.0;
-  int snap_id = 0;
-  double next_snap = snap_every > 0.0 ? snap_every : 2.0 * t_end;
   for (int k = 1; k <= 8; ++k) {
-    run_to(t_end * k / 8.0);
+    const double target = t_end * k / 8.0;
+    if (target <= now_time()) continue;  // already past (resumed runs)
+    run_to(target);
     const ParticleSet s = state();
     const EnergyReport e = compute_energy(s.bodies(), eps);
     const double fr[] = {0.5};
@@ -128,14 +259,14 @@ int main(int argc, char** argv) try {
         hermite ? hermite->total_steps() : ac->irregular_steps();
     std::printf("%10.4f %14llu %12.3e %12.4f %10.4f\n", now_time(), steps,
                 (e.total() - e0) / e0, e.virial_ratio(), rh);
-    while (now_time() >= next_snap - 1e-12) {
+    while (snap_every > 0.0 && now_time() >= next_snap - 1e-12) {
       const std::string path = out + "_" + std::to_string(snap_id++) + ".snap";
       save_snapshot(path, s, now_time());
       std::printf("  wrote %s\n", path.c_str());
       next_snap += snap_every;
     }
+    if (!ckpt_path.empty() && hermite) write_ckpt();
   }
-  (void)report_dt;
 
   if (grape != nullptr) {
     const GrapeHostStats& st = grape->stats();
@@ -151,6 +282,9 @@ int main(int argc, char** argv) try {
                 ac->irregular_steps(), ac->regular_steps(),
                 ac->mean_neighbor_count());
   }
+  if (injector && grape != nullptr) {
+    print_fault_summary(*injector, grape->stats());
+  }
   const ParticleSet final_state = state();
   save_snapshot(out + "_final.snap", final_state, now_time());
   std::printf("wrote %s_final.snap\n", out.c_str());
@@ -165,6 +299,9 @@ int main(int argc, char** argv) try {
   obs::export_metrics_json(metrics_out, &eq10);
   obs::export_chrome_trace(trace_out);
   return 0;
+} catch (const g6::fault::HardFault& e) {
+  g6::obs::log_error("unrecoverable hardware fault: %s", e.what());
+  return 2;
 } catch (const std::exception& e) {
   g6::obs::log_error("%s", e.what());
   return 1;

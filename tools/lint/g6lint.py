@@ -43,6 +43,13 @@ The GRAPE-6 software twin has correctness properties that hinge on
                   a comment on the same or the preceding line. Bare
                   suppressions rot.
 
+  bare-abort      abort()/exit()/quick_exit()/_Exit() are banned in src/
+                  outside src/util/check.hpp. Failures surface as typed
+                  exceptions (src/fault/errors.hpp: TransientFault /
+                  RetryExhausted / HardFault) or G6_REQUIRE precondition
+                  throws, so the integrator can retry transients and
+                  degrade gracefully instead of losing the whole run.
+
 Suppressions (the tool polices its own escape hatch — a suppression
 without a reason is itself a finding):
 
@@ -158,8 +165,14 @@ RAW_TIMING_EXEMPT_PREFIX = "src/obs/"
 RAW_TIMING_RE = re.compile(
     r"\bstd::chrono\b|\bchrono::\w|\bclock_gettime\s*\(|\bgettimeofday\s*\(")
 
+# Process-killing calls; the one legitimate site is the check machinery
+# itself (src/util/check.hpp), should it ever need a hard stop.
+BARE_ABORT_RE = re.compile(
+    r"(?<![\w.:>])(?:std::)?(?:abort|quick_exit|_Exit|exit)\s*\(")
+BARE_ABORT_EXEMPT = ("src/util/check.hpp",)
+
 RULES = ("raw-float", "native-float", "nondeterminism", "raw-timing",
-         "require-at-api", "nolint-comment")
+         "require-at-api", "nolint-comment", "bare-abort")
 
 
 class Finding:
@@ -290,6 +303,15 @@ def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None
                         f"{name} is banned in src/ — use g6::Rng for "
                         "randomness and g6::obs::monotonic_seconds() for "
                         "timing"))
+
+        if (in_src and relpath not in BARE_ABORT_EXEMPT
+                and BARE_ABORT_RE.search(code)
+                and not sup.allowed("bare-abort", lineno)):
+            findings.append(Finding(
+                relpath, lineno, "bare-abort",
+                "process-killing call in src/ — throw a typed error from "
+                "src/fault/errors.hpp (TransientFault/HardFault) or use "
+                "G6_REQUIRE so callers can retry or degrade gracefully"))
 
         if (in_src and not relpath.startswith(RAW_TIMING_EXEMPT_PREFIX)
                 and RAW_TIMING_RE.search(code)

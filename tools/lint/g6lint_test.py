@@ -110,6 +110,68 @@ class RawTimingTest(LintHarness):
         self.assertNotIn("raw-timing", self.rules_of(findings))
 
 
+class BareAbortTest(LintHarness):
+    """The bare-abort rule: process-killing calls must be typed errors."""
+
+    def test_abort_banned_in_src(self):
+        findings = self.lint(
+            "src/grape/t.cpp",
+            "void f() { if (bad) std::abort(); G6_REQUIRE(true); }\n")
+        self.assertIn("bare-abort", self.rules_of(findings))
+
+    def test_bare_exit_banned_in_src(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { exit(1); G6_REQUIRE(true); }\n")
+        self.assertIn("bare-abort", self.rules_of(findings))
+
+    def test_quick_exit_banned_in_src(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { std::quick_exit(3); G6_REQUIRE(true); }\n")
+        self.assertIn("bare-abort", self.rules_of(findings))
+
+    def test_check_hpp_is_exempt(self):
+        findings = self.lint(
+            "src/util/check.hpp",
+            "inline void die() { std::abort(); }\n")
+        self.assertNotIn("bare-abort", self.rules_of(findings))
+
+    def test_member_named_exit_is_fine(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f(Scope& s) { s.exit(); scope->exit(); G6_REQUIRE(true); }\n")
+        self.assertNotIn("bare-abort", self.rules_of(findings))
+
+    def test_identifier_suffix_is_fine(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { on_exit(7); my_abort(); G6_REQUIRE(true); }\n")
+        self.assertNotIn("bare-abort", self.rules_of(findings))
+
+    def test_comment_and_string_mentions_are_fine(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "// callers must not abort(); throw HardFault instead\n"
+            "void f() { log(\"would exit(1) here\"); G6_REQUIRE(true); }\n")
+        self.assertNotIn("bare-abort", self.rules_of(findings))
+
+    def test_tools_and_tests_are_out_of_scope(self):
+        findings = self.lint("tools/t.cpp", "void f() { exit(2); }\n")
+        self.assertNotIn("bare-abort", self.rules_of(findings))
+
+    def test_suppression_with_reason_works(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { std::abort(); }"
+            "  // g6lint: allow(bare-abort) -- unreachable fallback\n"
+            "void g() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("bare-abort", self.rules_of(findings))
+
+    def test_rule_is_registered(self):
+        self.assertIn("bare-abort", g6lint.RULES)
+
+
 class OtherRulesSmokeTest(LintHarness):
     """The pre-existing rules keep working alongside the new one."""
 
