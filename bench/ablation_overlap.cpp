@@ -1,0 +1,166 @@
+// Ablation — synchronous force calls vs the async submit/wait runtime.
+//
+// Both paths evaluate the same block on the same emulated GRAPE and do
+// the same host-side work per i-particle; the only difference is *when*
+// the host work runs. sync: compute_forces(), then the host loop. async:
+// submit_forces(), then consume each chunk as its forces land while later
+// chunks are still in flight — the paper's host/GRAPE overlap, which is
+// what lets T_host hide inside T_GRAPE in Eq 10. The host work is sized
+// to a fraction of the measured force time so the overlap headroom is
+// explicit (--host-frac).
+//
+// Expected: async < sync once N is large enough for the per-call force
+// time to dwarf the submit overhead (clearly by N = 16384) and the pool
+// has at least 2 threads. With --threads=1 the two paths are the same
+// serial code and the ratio sits at ~1.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+namespace {
+
+/// Host-side stand-in work: `iters` dependent FLOPs per i-particle.
+/// Returns a sink value so the loop cannot be optimized away.
+double host_work(std::size_t lo, std::size_t hi, std::size_t iters) {
+  double sink = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    double x = static_cast<double>(i % 97) + 1.5;
+    for (std::size_t k = 0; k < iters; ++k) {
+      x = std::fma(x, 0.9999999, 1e-9);
+    }
+    sink += x;
+  }
+  return sink;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace g6;
+  Cli cli(argc, argv);
+  const auto block_n = static_cast<std::size_t>(
+      cli.get_int("block", 256, "i-particles per force call"));
+  const int reps = cli.get_int("reps", 5, "timed calls per configuration");
+  const auto threads = static_cast<unsigned>(
+      cli.get_int("threads", 0, "pool threads (0 = auto)"));
+  const double host_frac = cli.get_double(
+      "host-frac", 0.5, "host work per call as a fraction of the force time");
+  const auto n_max = static_cast<std::size_t>(
+      cli.get_int("n-max", 49152, "largest particle count"));
+  const auto telemetry = bench::telemetry_flags(cli);
+  if (cli.finish()) return 0;
+
+  exec::ThreadPool::set_global_threads(threads);
+  const unsigned width = exec::ThreadPool::global().parallelism();
+  print_banner(std::cout, "Ablation: sync force calls vs async submit/wait");
+  std::printf("pool parallelism %u, block %zu, host work = %.0f%% of force "
+              "time\n", width, block_n, 100.0 * host_frac);
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::printf("NOTE: 1 hardware core — the emulated pipeline and the host\n"
+                "work time-share the CPU, so wall-clock speedup is capped at\n"
+                "~1; model_speedup shows the overlap a real (or multi-core)\n"
+                "GRAPE realizes.\n");
+  }
+  std::printf("\n");
+
+  // Calibrate the FLOP loop once so --host-frac means seconds, not iters.
+  const std::size_t probe_iters = 2000000;
+  const double probe0 = obs::monotonic_seconds();
+  const double probe_sink = host_work(0, 8, probe_iters);
+  const double flop_s =
+      (obs::monotonic_seconds() - probe0) / (8.0 * static_cast<double>(probe_iters));
+
+  const double eps = 1.0 / 64.0;
+  TablePrinter table(std::cout, {"N", "sync_s", "async_s", "speedup",
+                                 "hidden_host_s", "model_speedup"});
+  table.mirror_csv(bench_csv_path("ablation_overlap"));
+  table.print_header();
+
+  double total_sink = probe_sink;
+  for (std::size_t n : {std::size_t{4096}, std::size_t{16384},
+                        std::size_t{49152}}) {
+    if (n > n_max) continue;
+    Rng rng(7 + static_cast<unsigned>(n));
+    const ParticleSet s = make_plummer(n, rng);
+    std::vector<JParticle> js(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      js[i].mass = s[i].mass;
+      js[i].pos = s[i].pos;
+      js[i].vel = s[i].vel;
+    }
+    GrapeForceEngine hw(MachineConfig::single_host(), NumberFormats{}, eps);
+    hw.load_particles(js);
+
+    std::vector<PredictedState> block(block_n);
+    for (std::size_t k = 0; k < block_n; ++k) {
+      block[k] = {js[k].pos, js[k].vel, js[k].mass,
+                  static_cast<std::uint32_t>(k)};
+    }
+    std::vector<Force> forces(block_n);
+
+    // Warm up (stabilizes the engine's exponent cache) and measure the
+    // bare force time to size the host work.
+    const double w0 = obs::monotonic_seconds();
+    hw.compute_forces(0.0, block, forces);
+    const double force_s = obs::monotonic_seconds() - w0;
+    const std::size_t iters = static_cast<std::size_t>(
+        std::max(1.0, host_frac * force_s /
+                          (static_cast<double>(block_n) * flop_s)));
+
+    // Bare force time (no host work) — the floor any overlap aims for.
+    double bare_s = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      const double t0 = obs::monotonic_seconds();
+      hw.compute_forces(0.0, block, forces);
+      bare_s += obs::monotonic_seconds() - t0;
+    }
+
+    double sync_s = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      const double t0 = obs::monotonic_seconds();
+      hw.compute_forces(0.0, block, forces);
+      total_sink += host_work(0, block_n, iters);
+      sync_s += obs::monotonic_seconds() - t0;
+    }
+
+    double async_s = 0.0;
+    double hidden_s = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      const double t0 = obs::monotonic_seconds();
+      ForceTicket tk = hw.submit_forces(0.0, block, forces);
+      for (std::size_t c = 0; c < tk.chunk_count(); ++c) {
+        tk.wait_chunk(c);
+        const auto [lo, hi] = tk.chunk_range(c);
+        const double h0 = obs::monotonic_seconds();
+        total_sink += host_work(lo, hi, iters);
+        hidden_s += obs::monotonic_seconds() - h0;
+      }
+      tk.wait();
+      async_s += obs::monotonic_seconds() - t0;
+    }
+    // What a machine whose pipeline runs beside the host (real GRAPE
+    // boards, or a multi-core emulation) gains from the overlap: serial
+    // cost force+host vs overlapped cost max(force, host), from the
+    // measured components.
+    const double model_speedup = sync_s / std::max(bare_s, hidden_s);
+
+    table.print_row({TablePrinter::num(static_cast<long long>(n)),
+                     TablePrinter::num(sync_s / reps),
+                     TablePrinter::num(async_s / reps),
+                     TablePrinter::num(sync_s / async_s),
+                     TablePrinter::num(hidden_s / reps),
+                     TablePrinter::num(model_speedup)});
+  }
+
+  std::printf("\nreading: speedup > 1 means the submit/wait runtime hides the\n"
+              "host work behind in-flight force chunks; the hidden seconds\n"
+              "column is what exec.overlap.host_s reports in a real run — host\n"
+              "time Eq 10 must not double-count against T_GRAPE.\n"
+              "(sink %.3g)\n", total_sink);
+  bench::export_telemetry(telemetry);
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -9,6 +9,8 @@
 // Layering (bottom to top):
 //   util     — vectors, hardware number formats, RNG, statistics
 //   obs      — telemetry: logger, metrics, phase spans, Eq 10 accounting
+//   exec     — shared thread pool, fork/join groups, parallel_for
+//              (docs/EXECUTION.md: the submit/wait force runtime)
 //   nbody    — particles, initial-condition models, diagnostics
 //   hermite  — 4th-order Hermite individual-timestep integrator
 //   fault    — fault plans/injection, error taxonomy, checkpoint/restart
@@ -21,6 +23,8 @@
 //   core     — experiment drivers used by the benchmark harness
 
 #include "core/experiment.hpp"
+#include "exec/parallel_for.hpp"
+#include "exec/thread_pool.hpp"
 #include "fault/fault.hpp"
 #include "grape/board.hpp"
 #include "grape/chip.hpp"

@@ -1,0 +1,58 @@
+#pragma once
+// parallel_for with deterministic static partitioning.
+//
+// The range [begin, end) is split into at most `threads` contiguous
+// chunks of (near-)equal size; each chunk runs as one pool task and the
+// caller helps until all are done. The partition is a pure function of
+// (range, options, pool parallelism) — which chunk a given index lands in
+// never depends on runtime timing. Determinism of the *results* is the
+// call site's obligation: bodies must write disjoint outputs (the repo
+// convention; see docs/EXECUTION.md), so any thread count — including the
+// inline serial fallback — produces bit-identical data.
+
+#include <algorithm>
+#include <cstddef>
+
+#include "exec/thread_pool.hpp"
+#include "util/check.hpp"
+
+namespace g6::exec {
+
+struct ParallelForOptions {
+  /// Upper bound on chunks: 0 = pool parallelism (workers + caller),
+  /// 1 = force serial inline execution.
+  unsigned threads = 0;
+  /// Minimum iterations per chunk — below this, splitting costs more than
+  /// it buys (task + wakeup overhead vs. the body's work).
+  std::size_t grain = 1;
+};
+
+/// body(chunk_begin, chunk_end) over [begin, end).
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  ParallelForOptions opt = {},
+                  ThreadPool& pool = ThreadPool::global()) {
+  G6_REQUIRE(begin <= end);
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  const std::size_t grain = std::max<std::size_t>(opt.grain, 1);
+  const std::size_t width =
+      opt.threads != 0 ? opt.threads : pool.parallelism();
+  const std::size_t parts =
+      std::min<std::size_t>(width, (n + grain - 1) / grain);
+  if (parts <= 1 || pool.worker_count() == 0) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t chunk = (n + parts - 1) / parts;
+  TaskGroup group(pool);
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t b = begin + p * chunk;
+    const std::size_t e = std::min(end, b + chunk);
+    if (b >= e) break;
+    group.run([&body, b, e] { body(b, e); });
+  }
+  group.wait();
+}
+
+}  // namespace g6::exec

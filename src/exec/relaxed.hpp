@@ -1,0 +1,31 @@
+#pragma once
+// A copyable relaxed-order atomic counter for performance tallies bumped
+// from concurrent tasks. Addition is commutative and associative on
+// integers, so the final value is independent of task interleaving — the
+// counter is deterministic even though the increments race in time. Used
+// for the chip lifetime counters, which vector-of-Chip storage requires
+// to stay copyable (a bare std::atomic member would delete the copies).
+
+#include <atomic>
+#include <cstdint>
+
+namespace g6::exec {
+
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter& o)
+      : v_(o.value()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(std::uint64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+}  // namespace g6::exec

@@ -1,0 +1,124 @@
+#pragma once
+// Shared execution runtime: a work-stealing thread pool plus a TaskGroup
+// fork/join primitive (parallel_for.hpp adds deterministic static
+// partitioning on top). Every layer that needs concurrency — the GRAPE
+// engine's board/chunk tasks, the direct engine's i-loop, the treecode
+// traversal, the cluster simulators' per-host blocksteps — rides this one
+// pool instead of spawning ad-hoc threads (enforced by g6lint raw-thread).
+//
+// Determinism contract (docs/EXECUTION.md): the pool schedules
+// nondeterministically, but call sites confine that nondeterminism to
+// *scheduling* — tasks write disjoint outputs, and reductions are merged
+// by the caller in a fixed order after the join. Results are therefore
+// bit-identical for any thread count, including the serial fallback
+// (G6_EXEC_THREADS=1 spawns no workers; everything runs inline).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace g6::exec {
+
+using Task = std::function<void()>;
+
+class ThreadPool {
+ public:
+  /// `threads` is the TOTAL parallelism including the submitting thread:
+  /// threads-1 workers are spawned, so 1 means no workers at all — the
+  /// serial fallback where submit() degenerates to inline execution.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+  /// Workers plus the calling thread (which always helps while waiting).
+  unsigned parallelism() const { return worker_count() + 1; }
+
+  /// Enqueue a task. Worker threads push to their own deque (LIFO end, so
+  /// nested submissions run soon and stay cache-warm); other threads deal
+  /// round-robin. With no workers the task runs inline, right here.
+  /// Joining is the caller's job (TaskGroup / ForceTicket).
+  void submit(Task task);
+
+  /// Pop and run one queued task on the calling thread (helping/stealing).
+  /// Returns false when every queue is empty. Waiters call this in a loop
+  /// so a blocked caller still contributes a core.
+  bool try_run_one();
+
+  // --- process-wide instance ---------------------------------------------
+  /// The shared pool, created lazily with resolve_thread_count(last
+  /// set_global_threads value, $G6_EXEC_THREADS, hardware concurrency).
+  /// The reference stays valid until the next set_global_threads call.
+  static ThreadPool& global();
+
+  /// Reconfigure the global pool; 0 = automatic (env, then hardware).
+  /// Destroys the current pool immediately, so no submitted work may be
+  /// in flight — call between force evaluations, not during.
+  static void set_global_threads(unsigned threads);
+
+  /// Resolution rule, exposed for tests: a nonzero `requested` wins, else
+  /// a parsable `env` value in [1, 4096], else `hardware` (min 1).
+  static unsigned resolve_thread_count(unsigned requested, const char* env,
+                                       unsigned hardware);
+
+ private:
+  struct Queue {
+    std::mutex m;
+    std::deque<Task> q;
+  };
+
+  void worker_main(unsigned idx);
+  bool pop_task(Task& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;  // one per worker
+  std::vector<std::thread> workers_;
+  std::mutex sleep_m_;
+  std::condition_variable sleep_cv_;
+  bool stop_ = false;  // guarded by sleep_m_
+  // Sleep hint only; the task handoff itself is under the queue mutexes.
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::size_t> rr_{0};  // round-robin cursor, external submits
+};
+
+/// Fork/join over an existing pool. run() submits (or executes inline when
+/// the pool has no workers); wait() helps the pool until every task of
+/// this group has finished, then rethrows the first captured exception in
+/// *submission* order — a deterministic failure surface regardless of
+/// which task happened to fail first on the wall clock.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool = ThreadPool::global());
+  /// Waits if wait() was never called; any task exception is swallowed
+  /// here (destructors must not throw) — call wait() to observe errors.
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(Task task);
+  void wait();
+
+ private:
+  struct State {
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t pending = 0;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+  };
+  ThreadPool& pool_;
+  std::shared_ptr<State> st_;
+  std::size_t submitted_ = 0;
+  bool waited_ = false;
+};
+
+}  // namespace g6::exec

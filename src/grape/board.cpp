@@ -19,24 +19,25 @@ std::uint64_t ProcessorModule::run_pass(double t,
   G6_REQUIRE(out.size() == iblock.size());
   G6_REQUIRE(neighbors.empty() || neighbors.size() == iblock.size());
   std::uint64_t max_cycles = 0;
-  scratch_.resize(iblock.size());
+  // Pass-local scratch keeps run_pass reentrant for the exec-pool tasks.
+  std::vector<HwAccumulators> scratch(iblock.size());
   const bool want_nb = !neighbors.empty();
-  if (want_nb) nb_scratch_.resize(iblock.size());
+  std::vector<HwNeighborRecorder> nb_scratch(want_nb ? iblock.size() : 0);
   for (std::size_t c = 0; c < chips_.size(); ++c) {
     // Each chip's partials start from the same block exponents as `out`.
     for (std::size_t k = 0; k < iblock.size(); ++k) {
-      scratch_[k].reset({out[k].acc[0].block_exp(), out[k].jerk[0].block_exp(),
-                         out[k].pot.block_exp()});
-      if (want_nb) nb_scratch_[k].reset(neighbors[k].capacity);
+      scratch[k].reset({out[k].acc[0].block_exp(), out[k].jerk[0].block_exp(),
+                        out[k].pot.block_exp()});
+      if (want_nb) nb_scratch[k].reset(neighbors[k].capacity);
     }
     max_cycles = std::max(
         max_cycles,
-        chips_[c].run_pass(t, iblock, eps2, scratch_,
-                           want_nb ? std::span<HwNeighborRecorder>(nb_scratch_)
+        chips_[c].run_pass(t, iblock, eps2, scratch,
+                           want_nb ? std::span<HwNeighborRecorder>(nb_scratch)
                                    : std::span<HwNeighborRecorder>{}));
     for (std::size_t k = 0; k < iblock.size(); ++k) {
-      out[k].merge(scratch_[k]);
-      if (want_nb) neighbors[k].merge(nb_scratch_[k]);
+      out[k].merge(scratch[k]);
+      if (want_nb) neighbors[k].merge(nb_scratch[k]);
     }
   }
   return max_cycles + kSummationLatencyCycles;
@@ -78,23 +79,23 @@ std::uint64_t ProcessorBoard::run_pass(double t,
   G6_REQUIRE(out.size() == iblock.size());
   G6_REQUIRE(neighbors.empty() || neighbors.size() == iblock.size());
   std::uint64_t max_cycles = 0;
-  scratch_.resize(iblock.size());
+  std::vector<HwAccumulators> scratch(iblock.size());
   const bool want_nb = !neighbors.empty();
-  if (want_nb) nb_scratch_.resize(iblock.size());
+  std::vector<HwNeighborRecorder> nb_scratch(want_nb ? iblock.size() : 0);
   for (auto& mod : modules_) {
     for (std::size_t k = 0; k < iblock.size(); ++k) {
-      scratch_[k].reset({out[k].acc[0].block_exp(), out[k].jerk[0].block_exp(),
-                         out[k].pot.block_exp()});
-      if (want_nb) nb_scratch_[k].reset(neighbors[k].capacity);
+      scratch[k].reset({out[k].acc[0].block_exp(), out[k].jerk[0].block_exp(),
+                        out[k].pot.block_exp()});
+      if (want_nb) nb_scratch[k].reset(neighbors[k].capacity);
     }
     max_cycles = std::max(
         max_cycles,
-        mod.run_pass(t, iblock, eps2, scratch_,
-                     want_nb ? std::span<HwNeighborRecorder>(nb_scratch_)
+        mod.run_pass(t, iblock, eps2, scratch,
+                     want_nb ? std::span<HwNeighborRecorder>(nb_scratch)
                              : std::span<HwNeighborRecorder>{}));
     for (std::size_t k = 0; k < iblock.size(); ++k) {
-      out[k].merge(scratch_[k]);
-      if (want_nb) neighbors[k].merge(nb_scratch_[k]);
+      out[k].merge(scratch[k]);
+      if (want_nb) neighbors[k].merge(nb_scratch[k]);
     }
   }
   return max_cycles + kSummationLatencyCycles;

@@ -32,14 +32,14 @@ class ProcessorModule {
   /// partials in the summation unit. `out` must be reset by the caller;
   /// `neighbors` (optional, same length) collects the merged neighbor
   /// lists. Returns cycles = max over chips + summation latency.
+  /// Reentrant: concurrent passes with distinct `out` banks are safe (all
+  /// scratch is pass-local; the chips only read their j-memory).
   std::uint64_t run_pass(double t, std::span<const IParticlePacket> iblock,
                          double eps2, std::span<HwAccumulators> out,
                          std::span<HwNeighborRecorder> neighbors = {});
 
  private:
   std::vector<Chip> chips_;
-  std::vector<HwAccumulators> scratch_;
-  std::vector<HwNeighborRecorder> nb_scratch_;
 };
 
 class ProcessorBoard {
@@ -55,15 +55,13 @@ class ProcessorBoard {
   std::size_t total_j() const;
 
   /// One pass over the whole board. Returns cycles (max over modules +
-  /// board-level reduction).
+  /// board-level reduction). Reentrant like ProcessorModule::run_pass.
   std::uint64_t run_pass(double t, std::span<const IParticlePacket> iblock,
                          double eps2, std::span<HwAccumulators> out,
                          std::span<HwNeighborRecorder> neighbors = {});
 
  private:
   std::vector<ProcessorModule> modules_;
-  std::vector<HwAccumulators> scratch_;
-  std::vector<HwNeighborRecorder> nb_scratch_;
 };
 
 /// Network board (Fig 3): broadcasts i-particles to up to four boards and

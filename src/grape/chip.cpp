@@ -38,9 +38,9 @@ std::uint64_t Chip::run_pass(double t, std::span<const IParticlePacket> iblock,
   const std::uint64_t cycles =
       static_cast<std::uint64_t>(mc_.vmp_ways) * memory_.size() +
       mc_.pipeline_latency_cycles;
-  total_cycles_ += cycles;
-  total_interactions_ +=
-      static_cast<std::uint64_t>(memory_.size()) * iblock.size();
+  total_cycles_.add(cycles);
+  total_interactions_.add(static_cast<std::uint64_t>(memory_.size()) *
+                          iblock.size());
   return cycles;
 }
 

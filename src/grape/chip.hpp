@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/relaxed.hpp"
 #include "grape/config.hpp"
 #include "grape/pipeline.hpp"
 
@@ -60,9 +61,10 @@ class Chip {
                          double eps2, std::span<HwAccumulators> out,
                          std::span<HwNeighborRecorder> neighbors = {});
 
-  /// Lifetime totals (performance counters).
-  std::uint64_t total_cycles() const { return total_cycles_; }
-  std::uint64_t total_interactions() const { return total_interactions_; }
+  /// Lifetime totals (performance counters). Relaxed atomics: concurrent
+  /// passes race only on these sums, which are order-independent.
+  std::uint64_t total_cycles() const { return total_cycles_.value(); }
+  std::uint64_t total_interactions() const { return total_interactions_.value(); }
 
   /// Attach the fault injector (nullptr detaches); `chip_id` is this
   /// chip's flat id within the host. With an injector attached, run_pass
@@ -83,8 +85,8 @@ class Chip {
   PredictorUnit predictor_;
   ForcePipeline pipeline_;
   std::vector<StoredJParticle> memory_;
-  std::uint64_t total_cycles_ = 0;
-  std::uint64_t total_interactions_ = 0;
+  exec::RelaxedCounter total_cycles_;
+  exec::RelaxedCounter total_interactions_;
   fault::FaultInjector* fault_ = nullptr;
   int fault_chip_id_ = -1;
 };

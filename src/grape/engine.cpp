@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "exec/thread_pool.hpp"
 #include "fault/checksum.hpp"
 #include "fault/errors.hpp"
 #include "fault/injector.hpp"
@@ -352,10 +353,11 @@ GrapeForceEngine::FaultCharges GrapeForceEngine::fault_prologue(double t) {
   return charges;
 }
 
-std::uint64_t GrapeForceEngine::compute_partials(
+GrapeForceEngine::PassResult GrapeForceEngine::run_boards(
     double t, std::span<const IParticlePacket> pass,
     std::span<const BlockExponents> exps, std::vector<HwAccumulators>& out,
-    std::span<HwNeighborRecorder> neighbors) {
+    std::span<HwNeighborRecorder> neighbors,
+    std::vector<std::vector<HwAccumulators>>& board_bank, bool parallel) {
   G6_REQUIRE(pass.size() <= mc_.i_parallelism());
   G6_REQUIRE(exps.size() == pass.size());
   G6_REQUIRE(neighbors.empty() || neighbors.size() == pass.size());
@@ -365,40 +367,75 @@ std::uint64_t GrapeForceEngine::compute_partials(
   out.resize(pass.size());
   for (std::size_t k = 0; k < pass.size(); ++k) out[k].reset(exps[k]);
 
-  std::vector<HwNeighborRecorder> nb_bank;
-  board_partials_.resize(boards_.size());
-  std::uint64_t max_board_cycles = 0;
-  for (std::size_t b = 0; b < boards_.size(); ++b) {
-    auto& bank = board_partials_[b];
+  // One partial bank (and neighbor bank) per board so the boards can run
+  // as concurrent tasks; everything merges below in fixed board order —
+  // the schedule never touches the result.
+  board_bank.resize(boards_.size());
+  std::vector<std::vector<HwNeighborRecorder>> nb_banks(
+      want_nb ? boards_.size() : 0);
+  std::vector<std::uint64_t> board_cycles(boards_.size(), 0);
+
+  const auto run_one = [&](std::size_t b) {
+    auto& bank = board_bank[b];
     bank.resize(pass.size());
     for (std::size_t k = 0; k < pass.size(); ++k) bank[k].reset(exps[k]);
+    std::span<HwNeighborRecorder> nb{};
     if (want_nb) {
-      nb_bank.resize(pass.size());
+      nb_banks[b].resize(pass.size());
       for (std::size_t k = 0; k < pass.size(); ++k) {
-        nb_bank[k].reset(neighbors[k].capacity);
+        nb_banks[b][k].reset(neighbors[k].capacity);
+      }
+      nb = nb_banks[b];
+    }
+    board_cycles[b] = boards_[b].run_pass(t, pass, eps2, bank, nb);
+  };
+
+  if (parallel && boards_.size() > 1) {
+    exec::TaskGroup group;
+    for (std::size_t b = 0; b < boards_.size(); ++b) {
+      group.run([&run_one, b] { run_one(b); });
+    }
+    group.wait();
+  } else {
+    for (std::size_t b = 0; b < boards_.size(); ++b) run_one(b);
+  }
+
+  std::uint64_t max_board_cycles = 0;
+  for (std::size_t b = 0; b < boards_.size(); ++b) {
+    max_board_cycles = std::max(max_board_cycles, board_cycles[b]);
+    if (want_nb) {
+      for (std::size_t k = 0; k < pass.size(); ++k) {
+        neighbors[k].merge(nb_banks[b][k]);
       }
     }
-    max_board_cycles = std::max(
-        max_board_cycles,
-        boards_[b].run_pass(t, pass, eps2, bank,
-                            want_nb ? std::span<HwNeighborRecorder>(nb_bank)
-                                    : std::span<HwNeighborRecorder>{}));
-    if (want_nb) {
-      for (std::size_t k = 0; k < pass.size(); ++k) neighbors[k].merge(nb_bank[k]);
-    }
   }
-  NetworkBoard::reduce(board_partials_, out);
+  NetworkBoard::reduce(board_bank, out);
 
-  ++stats_.passes;
+  PassResult r;
+  r.cycles = max_board_cycles + NetworkBoard::kLatencyCycles;
   for (const auto& b : boards_) {
-    stats_.interactions += static_cast<std::uint64_t>(b.total_j()) * pass.size();
+    r.interactions += static_cast<std::uint64_t>(b.total_j()) * pass.size();
   }
-  return max_board_cycles + NetworkBoard::kLatencyCycles;
+  return r;
+}
+
+std::uint64_t GrapeForceEngine::compute_partials(
+    double t, std::span<const IParticlePacket> pass,
+    std::span<const BlockExponents> exps, std::vector<HwAccumulators>& out,
+    std::span<HwNeighborRecorder> neighbors) {
+  const bool parallel =
+      exec::ThreadPool::global().worker_count() > 0 && injector_ == nullptr;
+  const PassResult r =
+      run_boards(t, pass, exps, out, neighbors, board_partials_, parallel);
+  ++stats_.passes;
+  stats_.interactions += r.interactions;
+  return r.cycles;
 }
 
 void GrapeForceEngine::compute_forces(double t, std::span<const PredictedState> block,
                                       std::span<Force> out) {
-  run_block(t, block, {}, out, {});
+  G6_PHASE("grape.run_block");
+  submit_block(t, block, {}, out, {}).wait();
 }
 
 void GrapeForceEngine::compute_forces_neighbors(
@@ -406,15 +443,233 @@ void GrapeForceEngine::compute_forces_neighbors(
     std::span<Force> out, std::span<NeighborResult> neighbors) {
   G6_REQUIRE(radii2.size() == block.size());
   G6_REQUIRE(neighbors.size() == block.size());
-  run_block(t, block, radii2, out, neighbors);
+  G6_PHASE("grape.run_block");
+  submit_block(t, block, radii2, out, neighbors).wait();
 }
 
-void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block,
+ForceTicket GrapeForceEngine::submit_forces(double t,
+                                            std::span<const PredictedState> block,
+                                            std::span<Force> out) {
+  return submit_block(t, block, {}, out, {});
+}
+
+ForceTicket GrapeForceEngine::submit_block(double t,
+                                           std::span<const PredictedState> block,
+                                           std::span<const double> radii2,
+                                           std::span<Force> out,
+                                           std::span<NeighborResult> neighbors) {
+  G6_REQUIRE(block.size() == out.size());
+  G6_REQUIRE(radii2.empty() || radii2.size() == block.size());
+  G6_REQUIRE(radii2.size() == neighbors.size());
+  G6_REQUIRE_MSG(!inflight_,
+                 "GrapeForceEngine: a force submission is already in flight");
+  G6_PHASE("grape.submit");
+  const bool want_nb = !neighbors.empty();
+
+  auto cs = std::make_shared<CallState>();
+  cs->block_size = block.size();
+  cs->want_nb = want_nb;
+
+  // Fault housekeeping first (hard-failure activation, health checks,
+  // j-memory inject + scrub) so every pass below runs on clean, healthy
+  // hardware. A remap inside the prologue rewrites all memories, making
+  // any pending incremental writes moot. Throws propagate from here, with
+  // no ticket issued and no state in flight.
+  if (injector_) {
+    const FaultCharges fc = fault_prologue(t);
+    cs->prologue_cycles += fc.cycles;
+    cs->prologue_seconds += fc.dma_s;
+  }
+
+  // Write back the particles corrected since the previous call (one DMA).
+  if (pending_j_writes_ > 0) {
+    G6_PHASE("grape.j-send");
+    cs->prologue_dma_bytes += pending_j_writes_ * packets_.j_particle_bytes;
+    cs->prologue_seconds +=
+        dma_.transfer_time(pending_j_writes_ * packets_.j_particle_bytes);
+    pending_j_writes_ = 0;
+  }
+
+  // Send the i-block (one DMA).
+  cs->prologue_dma_bytes += block.size() * packets_.i_particle_bytes;
+  cs->prologue_seconds +=
+      dma_.transfer_time(block.size() * packets_.i_particle_bytes);
+
+  packets_buf_.resize(block.size());
+  for (std::size_t k = 0; k < block.size(); ++k) {
+    packets_buf_[k] = quantize_i_particle(block[k], fmt_);
+    if (want_nb) packets_buf_[k].h2 = radii2[k];
+  }
+
+  // Pre-grow the exponent cache to cover every global id in this block, so
+  // the chunk tasks never reallocate it concurrently; their refinement
+  // writes are then disjoint per particle.
+  std::size_t need = exps_.size();
+  for (const auto& p : block) {
+    need = std::max(need, static_cast<std::size_t>(p.index) + 1);
+  }
+  if (need > exps_.size()) exps_.resize(need);
+
+  // One chunk per hardware pass. An empty block still gets one (empty)
+  // chunk so the ticket has something to join.
+  const std::size_t chunk = mc_.i_parallelism();
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  for (std::size_t begin = 0; begin < block.size(); begin += chunk) {
+    ranges.emplace_back(begin, std::min(block.size(), begin + chunk));
+  }
+  if (ranges.empty()) ranges.emplace_back(0, 0);
+  cs->accts.resize(ranges.size());
+
+  // The injector's RNG stream (and the vote/retransmit scratch) requires
+  // the serial inline path; it also makes TransientFaults surface from
+  // this very call, before the caller overlaps anything.
+  auto& pool = exec::ThreadPool::global();
+  const bool parallel = pool.worker_count() > 0 && injector_ == nullptr;
+
+  inflight_ = true;
+  ForceTicket tk = ForceTicket::make(
+      ranges,
+      [this, cs](bool ok) {
+        if (ok) fold_call(*cs);
+        inflight_ = false;
+      },
+      pool);
+  for (std::size_t c = 0; c < ranges.size(); ++c) {
+    const std::size_t b = ranges[c].first;
+    const std::size_t e = ranges[c].second;
+    tk.dispatch(
+        c,
+        [this, cs, t, block, radii2, out, neighbors, b, e, c, parallel] {
+          if (b == e) return;
+          run_chunk(t, block, radii2, out, neighbors, b, e, parallel,
+                    cs->accts[c]);
+        },
+        parallel);
+  }
+  return tk;
+}
+
+void GrapeForceEngine::run_chunk(double t, std::span<const PredictedState> block,
                                  std::span<const double> radii2,
                                  std::span<Force> out,
-                                 std::span<NeighborResult> neighbors) {
-  G6_REQUIRE(block.size() == out.size());
-  G6_PHASE("grape.run_block");
+                                 std::span<NeighborResult> neighbors,
+                                 std::size_t begin, std::size_t end,
+                                 bool parallel, ChunkAcct& acct) {
+  (void)radii2;  // radii already folded into the packets by the prologue
+  const bool want_nb = !neighbors.empty();
+  const std::span<const IParticlePacket> pass{packets_buf_.data() + begin,
+                                              end - begin};
+  if (injector_ && injector_->plan().ipacket_rate > 0.0) {
+    const std::span<IParticlePacket> pass_mut{packets_buf_.data() + begin,
+                                              end - begin};
+    verify_i_packets(t, pass_mut, acct.extra_seconds, acct.extra_dma_bytes);
+  }
+  std::vector<BlockExponents> pass_exps(pass.size());
+  for (std::size_t k = 0; k < pass.size(); ++k) {
+    // i-particles are keyed by *global* id, which is not necessarily a
+    // locally stored j-particle (probe points, foreign i-particles in
+    // multi-host runs): fall back to the fresh-guess exponents.
+    const std::uint32_t gid = block[begin + k].index;
+    pass_exps[k] = gid < exps_.size() ? exps_[gid] : BlockExponents{};
+  }
+
+  // Chunk-local result banks: concurrent chunks share nothing but the
+  // (read-only) packets and the boards, whose passes are reentrant.
+  std::vector<HwAccumulators> merged;
+  std::vector<std::vector<HwAccumulators>> board_bank;
+  std::vector<HwAccumulators> vote_bank;
+  std::vector<std::vector<HwAccumulators>> vote_board_bank;
+  std::vector<HwNeighborRecorder> pass_nb;
+  // Total neighbor capacity visible to the host: one FIFO per chip.
+  const std::size_t host_nb_capacity =
+      mc_.neighbor_buffer_per_chip * mc_.chips_per_host();
+  const bool vote = injector_ && det_.vote_passes > 1;
+
+  for (int attempt = 0;; ++attempt) {
+    // One span per hardware pass; overflow retries show up as repeats.
+    G6_PHASE("grape.pipeline");
+    for (int vote_try = 0;; ++vote_try) {
+      if (want_nb) {
+        pass_nb.resize(pass.size());
+        for (auto& nb : pass_nb) nb.reset(host_nb_capacity);
+      }
+      const std::uint64_t glitches0 =
+          injector_ ? injector_->counts().compute_glitches : 0;
+      PassResult r = run_boards(t, pass, pass_exps, merged,
+                                want_nb ? std::span<HwNeighborRecorder>(pass_nb)
+                                        : std::span<HwNeighborRecorder>{},
+                                board_bank, parallel);
+      acct.cycles += r.cycles;
+      ++acct.passes;
+      acct.interactions += r.interactions;
+      if (!vote) break;
+      // Duplicate-pass voting: run the pass a second time (no neighbor
+      // collection — lists come from the first pass) and require the
+      // two BFP result banks to agree bit for bit. Vote mode implies an
+      // injector, so this path is always on the caller thread.
+      r = run_boards(t, pass, pass_exps, vote_bank, {}, vote_board_bank,
+                     parallel);
+      acct.cycles += r.cycles;
+      ++acct.passes;
+      acct.interactions += r.interactions;
+      if (accumulators_match(merged, vote_bank)) break;
+      static obs::Counter& c_vote =
+          obs::MetricsRegistry::global().counter("fault.detected.vote");
+      static obs::Counter& c_vote_retries = obs::MetricsRegistry::global()
+                                                .counter("fault.recovered.vote_retries");
+      const std::uint64_t glitched =
+          injector_->counts().compute_glitches - glitches0;
+      c_vote.add(glitched > 0 ? glitched : 1);
+      c_vote_retries.add(1);
+      ++stats_.vote_retries;
+      const double delay = backoff_delay(vote_try);
+      acct.extra_seconds += delay;
+      stats_.backoff_seconds += delay;
+      if (vote_try >= det_.max_retries) {
+        throw fault::RetryExhausted(
+            "duplicate-pass vote never agreed; persistent compute fault");
+      }
+    }
+    bool overflow = false;
+    for (std::size_t k = 0; k < pass.size(); ++k) {
+      if (merged[k].overflow()) {
+        overflow = true;
+        pass_exps[k].acc += kRetryBump;
+        pass_exps[k].jerk += kRetryBump;
+        pass_exps[k].pot += kRetryBump;
+      }
+    }
+    if (!overflow) break;
+    ++acct.retries;
+    if (attempt >= kMaxRetries) {
+      throw fault::RetryExhausted("block exponent retry did not converge");
+    }
+  }
+
+  G6_PHASE("grape.reduce");
+  for (std::size_t k = 0; k < pass.size(); ++k) {
+    const Force f = merged[k].decode();
+    out[begin + k] = f;
+    // Remember refined exponents for the next step (margin 2 bits). The
+    // prologue pre-grew the cache past every id in this block, so this
+    // write never reallocates under a concurrent chunk.
+    const std::uint32_t gid = block[begin + k].index;
+    G6_ASSERT(gid < exps_.size());
+    exps_[gid].acc = choose_block_exponent(max_abs(f.acc));
+    exps_[gid].jerk = choose_block_exponent(max_abs(f.jerk));
+    exps_[gid].pot = choose_block_exponent(std::fabs(f.pot));
+    if (want_nb) {
+      NeighborResult& nb = neighbors[begin + k];
+      nb.indices = std::move(pass_nb[k].indices);
+      nb.overflow = pass_nb[k].overflow;
+      nb.nearest = pass_nb[k].has_nearest ? pass_nb[k].nearest : gid;
+      nb.nearest_r2 = pass_nb[k].nearest_r2;
+      acct.neighbor_words += nb.indices.size();
+    }
+  }
+}
+
+void GrapeForceEngine::fold_call(const CallState& cs) {
   // Instrument references resolve once; the registry keeps them alive and
   // reset() zeroes in place, so caching across calls is safe.
   static obs::Counter& c_cycles =
@@ -427,149 +682,29 @@ void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block
       obs::MetricsRegistry::global().counter("grape.retries");
   static obs::Counter& c_interactions =
       obs::MetricsRegistry::global().counter("grape.interactions");
-  const bool want_nb = !neighbors.empty();
-  double call_seconds = 0.0;
-  std::uint64_t dma_bytes = 0;
-  std::uint64_t cycles = 0;
-  const std::uint64_t passes0 = stats_.passes;
-  const std::uint64_t retries0 = stats_.retries;
-  const std::uint64_t interactions0 = stats_.interactions;
 
-  // Fault housekeeping first (hard-failure activation, health checks,
-  // j-memory inject + scrub) so every pass below runs on clean, healthy
-  // hardware. A remap inside the prologue rewrites all memories, making
-  // any pending incremental writes moot.
-  if (injector_) {
-    const FaultCharges fc = fault_prologue(t);
-    cycles += fc.cycles;
-    call_seconds += fc.dma_s;
-  }
-
-  // Write back the particles corrected since the previous call (one DMA).
-  if (pending_j_writes_ > 0) {
-    G6_PHASE("grape.j-send");
-    dma_bytes += pending_j_writes_ * packets_.j_particle_bytes;
-    call_seconds += dma_.transfer_time(pending_j_writes_ * packets_.j_particle_bytes);
-    pending_j_writes_ = 0;
-  }
-
-  // Send the i-block (one DMA).
-  dma_bytes += block.size() * packets_.i_particle_bytes;
-  call_seconds += dma_.transfer_time(block.size() * packets_.i_particle_bytes);
-
-  packets_buf_.resize(block.size());
-  for (std::size_t k = 0; k < block.size(); ++k) {
-    packets_buf_[k] = quantize_i_particle(block[k], fmt_);
-    if (want_nb) packets_buf_[k].h2 = radii2[k];
-  }
-
-  // Total neighbor capacity visible to the host: one FIFO per chip.
-  const std::size_t host_nb_capacity =
-      mc_.neighbor_buffer_per_chip * mc_.chips_per_host();
-  std::vector<HwNeighborRecorder> pass_nb;
-
+  std::uint64_t cycles = cs.prologue_cycles;
+  std::uint64_t passes = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t interactions = 0;
+  std::uint64_t dma_bytes = cs.prologue_dma_bytes;
   std::size_t neighbor_words = 0;
-  const std::size_t chunk = mc_.i_parallelism();
-  std::vector<BlockExponents> pass_exps;
-  const bool vote = injector_ && det_.vote_passes > 1;
-  for (std::size_t begin = 0; begin < block.size(); begin += chunk) {
-    const std::size_t end = std::min(block.size(), begin + chunk);
-    const std::span<const IParticlePacket> pass{packets_buf_.data() + begin,
-                                                end - begin};
-    if (injector_ && injector_->plan().ipacket_rate > 0.0) {
-      const std::span<IParticlePacket> pass_mut{packets_buf_.data() + begin,
-                                                end - begin};
-      verify_i_packets(t, pass_mut, call_seconds, dma_bytes);
-    }
-    pass_exps.resize(pass.size());
-    for (std::size_t k = 0; k < pass.size(); ++k) {
-      // i-particles are keyed by *global* id, which is not necessarily a
-      // locally stored j-particle (probe points, foreign i-particles in
-      // multi-host runs): fall back to the fresh-guess exponents.
-      const std::uint32_t gid = block[begin + k].index;
-      pass_exps[k] = gid < exps_.size() ? exps_[gid] : BlockExponents{};
-    }
-
-    for (int attempt = 0;; ++attempt) {
-      // One span per hardware pass; overflow retries show up as repeats.
-      G6_PHASE("grape.pipeline");
-      for (int vote_try = 0;; ++vote_try) {
-        if (want_nb) {
-          pass_nb.resize(pass.size());
-          for (auto& nb : pass_nb) nb.reset(host_nb_capacity);
-        }
-        const std::uint64_t glitches0 =
-            injector_ ? injector_->counts().compute_glitches : 0;
-        cycles += compute_partials(t, pass, pass_exps, merged_,
-                                   want_nb ? std::span<HwNeighborRecorder>(pass_nb)
-                                           : std::span<HwNeighborRecorder>{});
-        if (!vote) break;
-        // Duplicate-pass voting: run the pass a second time (no neighbor
-        // collection — lists come from the first pass) and require the
-        // two BFP result banks to agree bit for bit.
-        cycles += compute_partials(t, pass, pass_exps, vote_buf_, {});
-        if (accumulators_match(merged_, vote_buf_)) break;
-        static obs::Counter& c_vote =
-            obs::MetricsRegistry::global().counter("fault.detected.vote");
-        static obs::Counter& c_vote_retries = obs::MetricsRegistry::global()
-                                                  .counter("fault.recovered.vote_retries");
-        const std::uint64_t glitched =
-            injector_->counts().compute_glitches - glitches0;
-        c_vote.add(glitched > 0 ? glitched : 1);
-        c_vote_retries.add(1);
-        ++stats_.vote_retries;
-        const double delay = backoff_delay(vote_try);
-        call_seconds += delay;
-        stats_.backoff_seconds += delay;
-        if (vote_try >= det_.max_retries) {
-          throw fault::RetryExhausted(
-              "duplicate-pass vote never agreed; persistent compute fault");
-        }
-      }
-      bool overflow = false;
-      for (std::size_t k = 0; k < pass.size(); ++k) {
-        if (merged_[k].overflow()) {
-          overflow = true;
-          pass_exps[k].acc += kRetryBump;
-          pass_exps[k].jerk += kRetryBump;
-          pass_exps[k].pot += kRetryBump;
-        }
-      }
-      if (!overflow) break;
-      ++stats_.retries;
-      if (attempt >= kMaxRetries) {
-        throw fault::RetryExhausted("block exponent retry did not converge");
-      }
-    }
-
-    G6_PHASE("grape.reduce");
-    for (std::size_t k = 0; k < pass.size(); ++k) {
-      const Force f = merged_[k].decode();
-      out[begin + k] = f;
-      // Remember refined exponents for the next step (margin 2 bits). The
-      // cache grows on demand: global ids seen as i-particles may exceed
-      // the local j-particle count.
-      const std::uint32_t gid = block[begin + k].index;
-      if (gid >= exps_.size()) exps_.resize(gid + 1);
-      exps_[gid].acc = choose_block_exponent(max_abs(f.acc));
-      exps_[gid].jerk = choose_block_exponent(max_abs(f.jerk));
-      exps_[gid].pot = choose_block_exponent(std::fabs(f.pot));
-      if (want_nb) {
-        NeighborResult& nb = neighbors[begin + k];
-        nb.indices = std::move(pass_nb[k].indices);
-        nb.overflow = pass_nb[k].overflow;
-        nb.nearest = pass_nb[k].has_nearest ? pass_nb[k].nearest : gid;
-        nb.nearest_r2 = pass_nb[k].nearest_r2;
-        neighbor_words += nb.indices.size();
-      }
-    }
+  double call_seconds = cs.prologue_seconds;
+  for (const ChunkAcct& a : cs.accts) {
+    cycles += a.cycles;
+    passes += a.passes;
+    retries += a.retries;
+    interactions += a.interactions;
+    dma_bytes += a.extra_dma_bytes;
+    call_seconds += a.extra_seconds;
+    neighbor_words += a.neighbor_words;
   }
 
   // Read back the results (one DMA), plus the neighbor lists (one more
   // transaction of 4-byte index words) when requested.
-  dma_bytes += block.size() * packets_.result_bytes;
-  call_seconds += dma_.transfer_time(block.size() * packets_.result_bytes);
-  if (want_nb) {
+  dma_bytes += cs.block_size * packets_.result_bytes;
+  call_seconds += dma_.transfer_time(cs.block_size * packets_.result_bytes);
+  if (cs.want_nb) {
     dma_bytes += neighbor_words * 4;
     call_seconds += dma_.transfer_time(neighbor_words * 4);
   }
@@ -577,11 +712,14 @@ void GrapeForceEngine::run_block(double t, std::span<const PredictedState> block
 
   c_cycles.add(cycles);
   c_dma_bytes.add(dma_bytes);
-  c_passes.add(stats_.passes - passes0);
-  c_retries.add(stats_.retries - retries0);
-  c_interactions.add(stats_.interactions - interactions0);
+  c_passes.add(passes);
+  c_retries.add(retries);
+  c_interactions.add(interactions);
 
   const double grape_seconds = static_cast<double>(cycles) / mc_.clock_hz;
+  stats_.passes += passes;
+  stats_.retries += retries;
+  stats_.interactions += interactions;
   stats_.grape_seconds += grape_seconds;
   stats_.dma_seconds += call_seconds - grape_seconds;
   ++stats_.force_calls;

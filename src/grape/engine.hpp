@@ -68,6 +68,24 @@ class GrapeForceEngine final : public ForceEngine {
                                 std::span<Force> out,
                                 std::span<NeighborResult> neighbors) override;
   bool supports_neighbors() const override { return true; }
+
+  /// Chunked asynchronous submission: the block is split into passes of
+  /// i_parallelism() particles, each evaluated as a task on the shared
+  /// exec pool (serial inline with no workers or with a fault injector
+  /// attached — the injector's RNG stream must see passes in order). The
+  /// caller corrects finished chunks via wait_chunk while later chunks
+  /// are still "on the hardware". Per-board partials merge in fixed board
+  /// order and exponent refinements are per-particle, so results are
+  /// bit-identical to the blocking path at any thread count. Virtual-time
+  /// and stats accounting folds in the ticket's epilogue, in chunk order.
+  ForceTicket submit_forces(double t, std::span<const PredictedState> block,
+                            std::span<Force> out) override;
+
+  /// submit_forces plus optional neighbor collection (both spans empty or
+  /// both block-sized). One submission may be in flight per engine.
+  ForceTicket submit_block(double t, std::span<const PredictedState> block,
+                           std::span<const double> radii2, std::span<Force> out,
+                           std::span<NeighborResult> neighbors);
   double softening() const override { return eps_; }
   std::size_t size() const override { return n_particles_; }
 
@@ -144,9 +162,49 @@ class GrapeForceEngine final : public ForceEngine {
     std::uint64_t cycles = 0;
   };
   Slot place(std::size_t index) const;
-  void run_block(double t, std::span<const PredictedState> block,
+
+  /// Per-chunk accounting, folded into stats_/metrics in chunk order by
+  /// the ticket epilogue (fold_call) so totals never depend on scheduling.
+  struct ChunkAcct {
+    std::uint64_t cycles = 0;
+    std::uint64_t passes = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t interactions = 0;
+    std::uint64_t extra_dma_bytes = 0;  ///< packet retransmits (fault mode)
+    double extra_seconds = 0.0;         ///< retransmit DMA + retry backoff
+    std::size_t neighbor_words = 0;
+  };
+  /// Everything one submission accumulates outside the chunk tasks.
+  struct CallState {
+    double prologue_seconds = 0.0;
+    std::uint64_t prologue_dma_bytes = 0;
+    std::uint64_t prologue_cycles = 0;
+    std::size_t block_size = 0;
+    bool want_nb = false;
+    std::vector<ChunkAcct> accts;
+  };
+  struct PassResult {
+    std::uint64_t cycles = 0;
+    std::uint64_t interactions = 0;
+  };
+
+  /// One hardware pass over all boards into caller-provided banks; board
+  /// partials merge in fixed board order (`parallel` affects scheduling
+  /// only). The stats-free core shared by compute_partials and run_chunk.
+  PassResult run_boards(double t, std::span<const IParticlePacket> pass,
+                        std::span<const BlockExponents> exps,
+                        std::vector<HwAccumulators>& out,
+                        std::span<HwNeighborRecorder> neighbors,
+                        std::vector<std::vector<HwAccumulators>>& board_bank,
+                        bool parallel);
+  /// Evaluate block[begin, end) — retry loops, decode, exponent refresh.
+  /// All scratch is chunk-local; exps_ writes are disjoint (block members
+  /// are unique particles).
+  void run_chunk(double t, std::span<const PredictedState> block,
                  std::span<const double> radii2, std::span<Force> out,
-                 std::span<NeighborResult> neighbors);
+                 std::span<NeighborResult> neighbors, std::size_t begin,
+                 std::size_t end, bool parallel, ChunkAcct& acct);
+  void fold_call(const CallState& cs);
 
   FaultCharges fault_prologue(double t);
   void run_health_check(double t, FaultCharges& charges);
@@ -179,10 +237,12 @@ class GrapeForceEngine final : public ForceEngine {
   double last_call_seconds_ = 0.0;
   double last_call_grape_seconds_ = 0.0;
 
-  // scratch
+  // Scratch for the caller-thread paths (prologue, compute_partials).
+  // Chunk tasks use only chunk-local banks; `inflight_` rejects a second
+  // submission while one is outstanding.
   std::vector<IParticlePacket> packets_buf_;
   std::vector<std::vector<HwAccumulators>> board_partials_;
-  std::vector<HwAccumulators> merged_;
+  bool inflight_ = false;
 
   // fault tolerance (inactive until enable_fault_tolerance)
   std::shared_ptr<fault::FaultInjector> injector_;
@@ -192,7 +252,6 @@ class GrapeForceEngine final : public ForceEngine {
   std::vector<StoredJParticle> host_j_;     ///< master copy per particle
   std::vector<std::uint64_t> jmem_sums_;    ///< FNV-1a of each master copy
   std::uint64_t blocks_since_selftest_ = 0;
-  std::vector<HwAccumulators> vote_buf_;    ///< duplicate-pass results
   std::vector<IParticlePacket> clean_pass_; ///< send-side packet copies
   std::vector<std::uint64_t> packet_sums_;  ///< send-side packet digests
 };

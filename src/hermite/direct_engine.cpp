@@ -2,8 +2,8 @@
 
 #include <cmath>
 #include <limits>
-#include <thread>
 
+#include "exec/parallel_for.hpp"
 #include "hermite/scheme.hpp"
 #include "util/check.hpp"
 #include "util/units.hpp"
@@ -25,7 +25,7 @@ void accumulate_pairwise(const Vec3& pos_i, const Vec3& vel_i, const Vec3& pos_j
 }
 
 DirectForceEngine::DirectForceEngine(double eps, unsigned threads)
-    : eps_(eps), threads_(threads == 0 ? 1 : threads) {
+    : eps_(eps), threads_(threads) {
   G6_REQUIRE(eps >= 0.0);
 }
 
@@ -65,20 +65,9 @@ void DirectForceEngine::compute_forces(double t, std::span<const PredictedState>
     }
   };
 
-  if (threads_ <= 1 || block.size() < 2 * threads_) {
-    work(0, block.size());
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads_);
-    const std::size_t chunk = (block.size() + threads_ - 1) / threads_;
-    for (unsigned w = 0; w < threads_; ++w) {
-      const std::size_t b = w * chunk;
-      const std::size_t e = std::min(block.size(), b + chunk);
-      if (b >= e) break;
-      pool.emplace_back(work, b, e);
-    }
-    for (auto& th : pool) th.join();
-  }
+  // Rows write only out[bi]: disjoint outputs, so the shared pool keeps
+  // the result bit-identical at any thread count.
+  exec::parallel_for(0, block.size(), work, {.threads = threads_, .grain = 2});
   // Self-interactions are skipped, so each block row costs (N-1) pairs.
   interactions_ += static_cast<unsigned long long>(block.size()) *
                    (particles_.size() - 1);

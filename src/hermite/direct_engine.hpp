@@ -1,8 +1,8 @@
 #pragma once
 // Double-precision CPU force engine: the reference implementation of
 // Eqs (1)-(3) plus on-the-fly prediction of the j-particles (the work the
-// GRAPE predictor pipeline does in hardware). Optionally splits the
-// j-loop across a few worker threads.
+// GRAPE predictor pipeline does in hardware). The i-loop fans out over the
+// shared exec::ThreadPool (deterministic static partitioning).
 
 #include <cstddef>
 #include <span>
@@ -14,9 +14,9 @@ namespace g6 {
 
 class DirectForceEngine final : public ForceEngine {
  public:
-  /// `eps` is the Plummer softening; `threads` > 1 parallelizes over the
-  /// i-particles of a block.
-  explicit DirectForceEngine(double eps, unsigned threads = 1);
+  /// `eps` is the Plummer softening; `threads` caps the i-loop fan-out on
+  /// the shared exec pool (0 = use the pool's full parallelism, 1 = serial).
+  explicit DirectForceEngine(double eps, unsigned threads = 0);
 
   void load_particles(std::span<const JParticle> particles) override;
   void update_particle(std::size_t index, const JParticle& p) override;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace g6 {
 
 void ForceEngine::compute_forces_neighbors(double, std::span<const PredictedState>,
@@ -11,6 +13,18 @@ void ForceEngine::compute_forces_neighbors(double, std::span<const PredictedStat
   throw std::logic_error(
       "this force engine has no neighbor-list support; "
       "check supports_neighbors() before calling");
+}
+
+ForceTicket ForceEngine::submit_forces(double t,
+                                       std::span<const PredictedState> block,
+                                       std::span<Force> out) {
+  G6_REQUIRE(out.size() == block.size());
+  auto& pool = exec::ThreadPool::global();
+  ForceTicket tk = ForceTicket::make({{0, block.size()}}, nullptr, pool);
+  tk.dispatch(
+      0, [this, t, block, out] { compute_forces(t, block, out); },
+      /*parallel=*/pool.worker_count() > 0);
+  return tk;
 }
 
 }  // namespace g6

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <span>
 
+#include "hermite/force_ticket.hpp"
 #include "hermite/types.hpp"
 
 namespace g6 {
@@ -38,6 +39,18 @@ class ForceEngine {
 
   /// Number of j-particles currently loaded.
   virtual std::size_t size() const = 0;
+
+  /// Asynchronous variant of compute_forces: start the evaluation and
+  /// return a ticket the caller joins with wait()/wait_chunk() while doing
+  /// other host work in between (the GRAPE-overlap pattern of the paper).
+  /// `block` and `out` must stay alive until the ticket is waited or
+  /// destroyed. Only one submission may be in flight per engine. The base
+  /// implementation runs the whole blocking compute_forces as a single
+  /// pool task (inline when the pool has no workers), so every engine is
+  /// submit-capable; engines override it for finer-grained chunking.
+  virtual ForceTicket submit_forces(double t,
+                                    std::span<const PredictedState> block,
+                                    std::span<Force> out);
 
   /// Forces plus neighbor lists: neighbors of block[k] are the stored j
   /// with |r_ij|^2 + eps^2 < radii2[k], self excluded. Engines without

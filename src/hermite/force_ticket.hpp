@@ -1,0 +1,76 @@
+#pragma once
+// Handle to an in-flight force evaluation (ForceEngine::submit_forces).
+//
+// The evaluation is split into chunks of contiguous i-indices; each chunk
+// becomes one pool task. The caller may consume results incrementally —
+// wait_chunk(c) then correct block[chunk_range(c)] while later chunks are
+// still on the GRAPE — and must finish with wait(), which joins everything
+// and runs the engine's epilogue (accounting fold, busy-guard release).
+// All waits help the pool (ThreadPool::try_run_one), so a blocked caller
+// still contributes a core.
+//
+// Failure surface: errors are rethrown deterministically — wait() always
+// surfaces the error of the smallest-index failed chunk, no matter which
+// chunk failed first on the wall clock. A destroyed ticket joins and runs
+// the epilogue with ok=false semantics for errors, swallowing them
+// (destructors must not throw); call wait() to observe failures.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace g6 {
+
+class ForceTicket {
+ public:
+  /// An invalid (empty) ticket; wait() on it is a no-op.
+  ForceTicket() = default;
+  ~ForceTicket();
+  ForceTicket(ForceTicket&&) noexcept = default;
+  ForceTicket& operator=(ForceTicket&&) noexcept;
+  ForceTicket(const ForceTicket&) = delete;
+  ForceTicket& operator=(const ForceTicket&) = delete;
+
+  bool valid() const { return job_ != nullptr; }
+  std::size_t chunk_count() const;
+  /// Half-open i-index range [first, second) covered by chunk c.
+  std::pair<std::size_t, std::size_t> chunk_range(std::size_t c) const;
+
+  /// Block (helping the pool) until chunk c has finished; rethrows that
+  /// chunk's exception, if any. Results for chunk_range(c) are readable
+  /// afterwards. Does NOT run the epilogue — wait() must still be called.
+  void wait_chunk(std::size_t c);
+
+  /// Join all chunks, run the engine epilogue exactly once (ok = no chunk
+  /// failed), then rethrow the smallest-index chunk error if there was
+  /// one. Idempotent: later calls return immediately.
+  void wait();
+
+  // --- engine-side construction ------------------------------------------
+  /// `epilogue(ok)` runs once at completion: fold accounting when every
+  /// chunk succeeded (ok), and in both cases release the engine's
+  /// busy guard. Must not throw.
+  static ForceTicket make(std::vector<std::pair<std::size_t, std::size_t>> ranges,
+                          std::function<void(bool)> epilogue,
+                          exec::ThreadPool& pool = exec::ThreadPool::global());
+
+  /// Launch chunk c. With parallel=true the body runs as a pool task and
+  /// its exception is captured for the waiters. With parallel=false the
+  /// body runs inline on this thread and exceptions PROPAGATE to the
+  /// submitter after being recorded — the serial path (no workers, or a
+  /// fault injector that must stay single-threaded) surfaces faults from
+  /// submit_forces itself, before any caller-side work overlaps.
+  void dispatch(std::size_t c, exec::Task body, bool parallel);
+
+ private:
+  struct Job;
+  void finish(bool rethrow);
+
+  std::shared_ptr<Job> job_;
+};
+
+}  // namespace g6

@@ -6,6 +6,7 @@
 
 #include "fault/errors.hpp"
 #include "hermite/scheme.hpp"
+#include "obs/clock.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "util/check.hpp"
@@ -65,6 +66,69 @@ void HermiteIntegrator::compute_forces_guarded(
       // Transients are expected to clear on a clean re-issue (the engine
       // resets its per-pass state); bounded so a permanently sick engine
       // surfaces instead of looping.
+      if (attempt >= cfg_.max_force_retries) throw;
+      obs::MetricsRegistry::global()
+          .counter("fault.recovered.force_retries")
+          .add(1);
+    }
+  }
+}
+
+void HermiteIntegrator::correct_range(double t_next, std::size_t lo,
+                                      std::size_t hi) {
+  for (std::size_t k = lo; k < hi; ++k) {
+    const std::size_t i = block_[k];
+    JParticle& p = particles_[i];
+    const double dt = t_next - p.t0;
+    const Force& f1 = block_force_[k];
+
+    const HermiteDerivatives d = hermite_interpolate(last_force_[i], f1, dt);
+    Vec3 pos = block_pred_[k].pos;
+    Vec3 vel = block_pred_[k].vel;
+    hermite_correct(d, dt, pos, vel);
+
+    const Vec3 a2_t1 = d.a2 + dt * d.a3;
+    double dt_req = aarseth_timestep(f1, a2_t1, d.a3, cfg_.eta);
+    dt_req = std::min(dt_req, 2.0 * dt);  // grow at most one level per step
+    double dt_new = quantize_timestep(dt_req, cfg_.dt_min, cfg_.dt_max);
+    dt_new = commensurate_timestep(t_next, dt_new, cfg_.dt_min);
+
+    p.pos = pos;
+    p.vel = vel;
+    p.acc = f1.acc;
+    p.jerk = f1.jerk;
+    p.snap = a2_t1;
+    p.t0 = t_next;
+    dt_[i] = dt_new;
+    last_force_[i] = f1;
+  }
+}
+
+void HermiteIntegrator::force_and_correct_overlapped(double t_next) {
+  static obs::Gauge& g_overlap =
+      obs::MetricsRegistry::global().gauge("exec.overlap.host_s");
+  for (int attempt = 0;; ++attempt) {
+    try {
+      // A transient fault (serial fault-injection mode) throws from the
+      // submission itself, before any corrector below has touched the
+      // particles — so the retry re-issues a clean evaluation.
+      ForceTicket tk =
+          engine_.submit_forces(t_next, block_pred_, block_force_);
+      double hidden_s = 0.0;
+      {
+        G6_PHASE("correct");
+        for (std::size_t c = 0; c < tk.chunk_count(); ++c) {
+          tk.wait_chunk(c);
+          const auto [lo, hi] = tk.chunk_range(c);
+          const double h0 = obs::monotonic_seconds();
+          correct_range(t_next, lo, hi);
+          hidden_s += obs::monotonic_seconds() - h0;
+        }
+      }
+      tk.wait();
+      g_overlap.add(hidden_s);
+      return;
+    } catch (const fault::TransientFault&) {
       if (attempt >= cfg_.max_force_retries) throw;
       obs::MetricsRegistry::global()
           .counter("fault.recovered.force_retries")
@@ -147,41 +211,29 @@ std::size_t HermiteIntegrator::step() {
   }
 
   block_force_.resize(block_.size());
-  eq.phase(obs::Eq10Stepper::Phase::kGrape);
-  {
-    G6_PHASE("force");
-    compute_forces_guarded(t_next, block_pred_, block_force_);
-  }
-  eq.phase(obs::Eq10Stepper::Phase::kHost);
-
-  {
-    // Corrector + new timestep per block member.
-    G6_PHASE("correct");
-    for (std::size_t k = 0; k < block_.size(); ++k) {
-      const std::size_t i = block_[k];
-      JParticle& p = particles_[i];
-      const double dt = t_next - p.t0;
-      const Force& f1 = block_force_[k];
-
-      const HermiteDerivatives d = hermite_interpolate(last_force_[i], f1, dt);
-      Vec3 pos = block_pred_[k].pos;
-      Vec3 vel = block_pred_[k].vel;
-      hermite_correct(d, dt, pos, vel);
-
-      const Vec3 a2_t1 = d.a2 + dt * d.a3;
-      double dt_req = aarseth_timestep(f1, a2_t1, d.a3, cfg_.eta);
-      dt_req = std::min(dt_req, 2.0 * dt);  // grow at most one level per step
-      double dt_new = quantize_timestep(dt_req, cfg_.dt_min, cfg_.dt_max);
-      dt_new = commensurate_timestep(t_next, dt_new, cfg_.dt_min);
-
-      p.pos = pos;
-      p.vel = vel;
-      p.acc = f1.acc;
-      p.jerk = f1.jerk;
-      p.snap = a2_t1;
-      p.t0 = t_next;
-      dt_[i] = dt_new;
-      last_force_[i] = f1;
+  if (cfg_.async_force) {
+    // Overlapped mode: submit, then correct each chunk as its forces
+    // arrive. The corrector runs inside the kGrape wall-clock window —
+    // that host time hides behind the in-flight force work, so Eq 10
+    // must not charge it to T_host a second time; the hidden seconds are
+    // reported separately as exec.overlap.host_s.
+    eq.phase(obs::Eq10Stepper::Phase::kGrape);
+    {
+      G6_PHASE("force");
+      force_and_correct_overlapped(t_next);
+    }
+    eq.phase(obs::Eq10Stepper::Phase::kHost);
+  } else {
+    eq.phase(obs::Eq10Stepper::Phase::kGrape);
+    {
+      G6_PHASE("force");
+      compute_forces_guarded(t_next, block_pred_, block_force_);
+    }
+    eq.phase(obs::Eq10Stepper::Phase::kHost);
+    {
+      // Corrector + new timestep per block member.
+      G6_PHASE("correct");
+      correct_range(t_next, 0, block_.size());
     }
   }
 

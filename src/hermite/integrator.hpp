@@ -24,6 +24,12 @@ struct HermiteConfig {
   /// Retries of a force evaluation that raised a TransientFault before the
   /// fault is propagated to the caller (src/fault error taxonomy).
   int max_force_retries = 2;
+  /// Overlap host work with the in-flight force evaluation: submit the
+  /// block, then correct each chunk as soon as its forces land while
+  /// later chunks are still on the (emulated) GRAPE — the paper's
+  /// host/GRAPE overlap. Results are bit-identical to the synchronous
+  /// path; this moves wall-clock only. false = blocking force call.
+  bool async_force = true;
 };
 
 /// Complete integrator state at a blockstep boundary — what a checkpoint
@@ -96,6 +102,12 @@ class HermiteIntegrator {
   /// HardFault and exhausted retries propagate to the caller.
   void compute_forces_guarded(double t, std::span<const PredictedState> block,
                               std::span<Force> out);
+  /// submit_forces + per-chunk corrector overlap, with the same bounded
+  /// TransientFault retry (transients surface from the submission itself,
+  /// before any corrector runs, so a retry never sees partial updates).
+  void force_and_correct_overlapped(double t_next);
+  /// Corrector + new timestep for block_[lo, hi).
+  void correct_range(double t_next, std::size_t lo, std::size_t hi);
 
   ForceEngine& engine_;
   HermiteConfig cfg_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/thread_pool.hpp"
 #include "fault/errors.hpp"
 #include "hermite/scheme.hpp"
 #include "net/collectives.hpp"
@@ -107,7 +108,8 @@ double HostGridCluster::compute_block_forces(double t,
   const std::size_t chunk = cfg_.machine.i_parallelism();
   std::vector<BlockExponents> pass_exps;
   std::vector<HwAccumulators> merged;
-  std::vector<HwAccumulators> partial;
+  std::vector<std::vector<HwAccumulators>> col_partials(column_engines_.size());
+  std::vector<std::uint64_t> col_cycles(column_engines_.size(), 0);
 
   for (std::size_t begin = 0; begin < members.size(); begin += chunk) {
     const std::size_t end = std::min(members.size(), begin + chunk);
@@ -119,17 +121,29 @@ double HostGridCluster::compute_block_forces(double t,
     }
 
     for (int attempt = 0;; ++attempt) {
+      // Every column computes partials from its subset, one exec-pool task
+      // per column engine (the engines share nothing, like the real
+      // hosts). The reduction below is an exact BFP merge in fixed column
+      // order, so the schedule never shows in the result.
+      {
+        exec::TaskGroup group;
+        for (std::size_t c = 0; c < column_engines_.size(); ++c) {
+          group.run([this, &col_partials, &col_cycles, &pass_exps, pass, t, c] {
+            col_cycles[c] = column_engines_[c]->compute_partials(
+                t, pass, pass_exps, col_partials[c]);
+          });
+        }
+        group.wait();
+      }
       std::uint64_t max_cycles = 0;
-      // Every column computes partials from its subset; the column
-      // reduction is an exact BFP merge.
       for (std::size_t c = 0; c < column_engines_.size(); ++c) {
-        const std::uint64_t cycles =
-            column_engines_[c]->compute_partials(t, pass, pass_exps, partial);
-        max_cycles = std::max(max_cycles, cycles);
+        max_cycles = std::max(max_cycles, col_cycles[c]);
         if (c == 0) {
-          merged = partial;
+          merged = col_partials[0];
         } else {
-          for (std::size_t k = 0; k < pass.size(); ++k) merged[k].merge(partial[k]);
+          for (std::size_t k = 0; k < pass.size(); ++k) {
+            merged[k].merge(col_partials[c][k]);
+          }
         }
       }
       grape_seconds_max +=

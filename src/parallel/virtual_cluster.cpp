@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/thread_pool.hpp"
 #include "fault/injector.hpp"
 #include "hermite/scheme.hpp"
 #include "net/collectives.hpp"
@@ -42,31 +43,50 @@ void VirtualCluster::initialize(const ParticleSet& initial) {
   for (auto& e : engines_) e->load_particles(particles_);
 
   // Initial forces, partitioned by ownership so the per-particle block
-  // exponent history is identical for every cluster size.
+  // exponent history is identical for every cluster size. One pool task
+  // per simulated host (each owns its engine and a disjoint particle
+  // subset, so tasks share nothing writable).
   const std::size_t hosts = engines_.size();
-  for (std::size_t h = 0; h < hosts; ++h) {
-    pred_.clear();
-    std::vector<std::size_t> mine;
-    for (std::size_t i = h; i < n; i += hosts) {
-      mine.push_back(i);
-      pred_.push_back({particles_[i].pos, particles_[i].vel, particles_[i].mass,
-                       static_cast<std::uint32_t>(i)});
+  {
+    exec::TaskGroup group;
+    for (std::size_t h = 0; h < hosts; ++h) {
+      group.run([this, h, n, hosts] {
+        std::vector<PredictedState> pred;
+        std::vector<std::size_t> mine;
+        for (std::size_t i = h; i < n; i += hosts) {
+          mine.push_back(i);
+          pred.push_back({particles_[i].pos, particles_[i].vel,
+                          particles_[i].mass, static_cast<std::uint32_t>(i)});
+        }
+        if (mine.empty()) return;
+        std::vector<Force> force(mine.size());
+        engines_[h]->compute_forces(0.0, pred, force);
+        for (std::size_t k = 0; k < mine.size(); ++k) {
+          const std::size_t i = mine[k];
+          particles_[i].acc = force[k].acc;
+          particles_[i].jerk = force[k].jerk;
+          particles_[i].snap = {};
+          last_force_[i] = force[k];
+          dt_[i] =
+              quantize_timestep(initial_timestep(force[k], cfg_.hermite.eta_s),
+                                cfg_.hermite.dt_min, cfg_.hermite.dt_max);
+        }
+      });
     }
-    if (mine.empty()) continue;
-    force_.resize(mine.size());
-    engines_[h]->compute_forces(0.0, pred_, force_);
-    for (std::size_t k = 0; k < mine.size(); ++k) {
-      const std::size_t i = mine[k];
-      particles_[i].acc = force_[k].acc;
-      particles_[i].jerk = force_[k].jerk;
-      particles_[i].snap = {};
-      last_force_[i] = force_[k];
-      dt_[i] = quantize_timestep(initial_timestep(force_[k], cfg_.hermite.eta_s),
-                                 cfg_.hermite.dt_min, cfg_.hermite.dt_max);
-    }
+    group.wait();
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    for (auto& e : engines_) e->update_particle(i, particles_[i]);
+  // Broadcast, parallel over destination hosts (each task touches one
+  // engine only; the particle data is read-only here).
+  {
+    exec::TaskGroup group;
+    for (std::size_t h = 0; h < hosts; ++h) {
+      group.run([this, h, n] {
+        for (std::size_t i = 0; i < n; ++i) {
+          engines_[h]->update_particle(i, particles_[i]);
+        }
+      });
+    }
+    group.wait();
   }
   trace_.n_particles = n;
 }
@@ -96,54 +116,75 @@ std::size_t VirtualCluster::step() {
   std::vector<double> grape_s(hosts, 0.0);
   std::vector<std::size_t> shares(hosts, 0);
 
-  for (std::size_t h = 0; h < hosts; ++h) {
-    const auto& mine = host_block_[h];
-    shares[h] = mine.size();
-    if (mine.empty()) continue;
+  // One exec-pool task per simulated host, like the real machine: each
+  // task predicts, evaluates and corrects only the particles it owns, on
+  // its own engine, so the tasks write disjoint slots of particles_ /
+  // dt_ / last_force_ / grape_s. The physics is bit-identical to the
+  // serial loop (BFP forces, per-host partitioning fixed by ownership).
+  {
+    exec::TaskGroup group;
+    for (std::size_t h = 0; h < hosts; ++h) {
+      const auto& mine = host_block_[h];
+      shares[h] = mine.size();
+      if (mine.empty()) continue;
+      group.run([this, h, t_next, &mine, &grape_s] {
+        std::vector<PredictedState> pred(mine.size());
+        for (std::size_t k = 0; k < mine.size(); ++k) {
+          const std::size_t i = mine[k];
+          Vec3 xp, vp;
+          hermite_predict_cubic(particles_[i], t_next, xp, vp);
+          pred[k] = {xp, vp, particles_[i].mass,
+                     static_cast<std::uint32_t>(i)};
+        }
+        std::vector<Force> force(mine.size());
+        engines_[h]->compute_forces(t_next, pred, force);
+        grape_s[h] = engines_[h]->last_call_grape_seconds();
 
-    pred_.resize(mine.size());
-    for (std::size_t k = 0; k < mine.size(); ++k) {
-      const std::size_t i = mine[k];
-      Vec3 xp, vp;
-      hermite_predict_cubic(particles_[i], t_next, xp, vp);
-      pred_[k] = {xp, vp, particles_[i].mass, static_cast<std::uint32_t>(i)};
+        for (std::size_t k = 0; k < mine.size(); ++k) {
+          const std::size_t i = mine[k];
+          JParticle& p = particles_[i];
+          const double dt = t_next - p.t0;
+          const Force& f1 = force[k];
+          const HermiteDerivatives d =
+              hermite_interpolate(last_force_[i], f1, dt);
+          Vec3 pos = pred[k].pos;
+          Vec3 vel = pred[k].vel;
+          hermite_correct(d, dt, pos, vel);
+
+          const Vec3 a2_t1 = d.a2 + dt * d.a3;
+          double dt_req = aarseth_timestep(f1, a2_t1, d.a3, cfg_.hermite.eta);
+          dt_req = std::min(dt_req, 2.0 * dt);
+          double dt_new = quantize_timestep(dt_req, cfg_.hermite.dt_min,
+                                            cfg_.hermite.dt_max);
+          dt_new = commensurate_timestep(t_next, dt_new, cfg_.hermite.dt_min);
+
+          p.pos = pos;
+          p.vel = vel;
+          p.acc = f1.acc;
+          p.jerk = f1.jerk;
+          p.snap = a2_t1;
+          p.t0 = t_next;
+          dt_[i] = dt_new;
+          last_force_[i] = f1;
+        }
+      });
     }
-    force_.resize(mine.size());
-    engines_[h]->compute_forces(t_next, pred_, force_);
-    grape_s[h] = engines_[h]->last_call_grape_seconds();
-
-    for (std::size_t k = 0; k < mine.size(); ++k) {
-      const std::size_t i = mine[k];
-      JParticle& p = particles_[i];
-      const double dt = t_next - p.t0;
-      const Force& f1 = force_[k];
-      const HermiteDerivatives d = hermite_interpolate(last_force_[i], f1, dt);
-      Vec3 pos = pred_[k].pos;
-      Vec3 vel = pred_[k].vel;
-      hermite_correct(d, dt, pos, vel);
-
-      const Vec3 a2_t1 = d.a2 + dt * d.a3;
-      double dt_req = aarseth_timestep(f1, a2_t1, d.a3, cfg_.hermite.eta);
-      dt_req = std::min(dt_req, 2.0 * dt);
-      double dt_new =
-          quantize_timestep(dt_req, cfg_.hermite.dt_min, cfg_.hermite.dt_max);
-      dt_new = commensurate_timestep(t_next, dt_new, cfg_.hermite.dt_min);
-
-      p.pos = pos;
-      p.vel = vel;
-      p.acc = f1.acc;
-      p.jerk = f1.jerk;
-      p.snap = a2_t1;
-      p.t0 = t_next;
-      dt_[i] = dt_new;
-      last_force_[i] = f1;
-    }
+    group.wait();
   }
 
   // Propagate the updated particles to every host's hardware (column
-  // broadcast within a cluster, copy-exchange across clusters).
-  for (std::size_t i : block_) {
-    for (auto& e : engines_) e->update_particle(i, particles_[i]);
+  // broadcast within a cluster, copy-exchange across clusters), parallel
+  // over destination engines — the corrected block is read-only here.
+  {
+    exec::TaskGroup group;
+    for (std::size_t h = 0; h < hosts; ++h) {
+      group.run([this, h] {
+        for (std::size_t i : block_) {
+          engines_[h]->update_particle(i, particles_[i]);
+        }
+      });
+    }
+    group.wait();
   }
 
   charge_blockstep(block_.size(), grape_s, shares);

@@ -100,11 +100,9 @@ class VirtualCluster {
   BlockstepCost cost_;
   obs::Eq10Accumulator eq10_;
 
-  // scratch
+  // scratch (host tasks carry their own predict/force banks)
   std::vector<std::size_t> block_;
   std::vector<std::vector<std::size_t>> host_block_;
-  std::vector<PredictedState> pred_;
-  std::vector<Force> force_;
 };
 
 }  // namespace g6

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
+#include "exec/parallel_for.hpp"
 #include "obs/clock.hpp"
 #include "obs/phase.hpp"
 #include "util/check.hpp"
@@ -32,21 +32,11 @@ void TreecodeIntegrator::compute_forces(obs::Eq10Stepper* eq) {
   if (eq != nullptr) eq->phase(obs::Eq10Stepper::Phase::kGrape);
   {
     G6_PHASE("tree.traverse");
-    const unsigned threads = std::max(1u, cfg_.threads);
-    if (threads == 1 || set_.size() < 2 * threads) {
-      work(0, set_.size());
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      const std::size_t chunk = (set_.size() + threads - 1) / threads;
-      for (unsigned w = 0; w < threads; ++w) {
-        const std::size_t b = w * chunk;
-        const std::size_t e = std::min(set_.size(), b + chunk);
-        if (b >= e) break;
-        pool.emplace_back(work, b, e);
-      }
-      for (auto& th : pool) th.join();
-    }
+    // Each traversal writes only acc_[i]; the tree itself is read-only
+    // here (its interaction counter is a relaxed atomic), so fan-out on
+    // the shared pool leaves the accelerations bit-identical.
+    exec::parallel_for(0, set_.size(), work,
+                       {.threads = cfg_.threads, .grain = 2});
   }
   if (eq != nullptr) eq->phase(obs::Eq10Stepper::Phase::kHost);
   interactions_ += tree_.interactions() - before;

@@ -14,7 +14,7 @@ struct TreecodeConfig {
   double theta = 0.6;   ///< opening angle
   double eps = 0.01;    ///< softening
   double dt = 1.0 / 256.0;  ///< shared timestep
-  unsigned threads = 1;     ///< worker threads for the force loop
+  unsigned threads = 0;     ///< force-loop fan-out cap (0 = pool parallelism)
   Octree::Params tree;
 };
 

@@ -1,0 +1,210 @@
+// Stress the submit/wait runtime: repeated async submissions, overlapped
+// per-chunk consumption, out-of-order chunk waits, and ticket error
+// surfacing — always compared against a serial reference evaluation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "grape/engine.hpp"
+#include "hermite/direct_engine.hpp"
+#include "hermite/force_ticket.hpp"
+#include "nbody/models.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+std::vector<JParticle> plummer_j(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  const ParticleSet s = make_plummer(n, rng);
+  std::vector<JParticle> js(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    js[i].mass = s[i].mass;
+    js[i].pos = s[i].pos;
+    js[i].vel = s[i].vel;
+  }
+  return js;
+}
+
+std::vector<PredictedState> as_block(std::span<const JParticle> js) {
+  std::vector<PredictedState> block(js.size());
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    block[i] = {js[i].pos, js[i].vel, js[i].mass, static_cast<std::uint32_t>(i)};
+  }
+  return block;
+}
+
+bool same_force(const Force& a, const Force& b) {
+  return a.acc.x == b.acc.x && a.acc.y == b.acc.y && a.acc.z == b.acc.z &&
+         a.jerk.x == b.jerk.x && a.jerk.y == b.jerk.y && a.jerk.z == b.jerk.z &&
+         a.pot == b.pot;
+}
+
+struct GlobalThreadsGuard {
+  ~GlobalThreadsGuard() { exec::ThreadPool::set_global_threads(0); }
+};
+
+TEST(AsyncEngineStress, RepeatedSubmitMatchesSerialReference) {
+  GlobalThreadsGuard guard;
+  const auto js = plummer_j(256, 3);
+  const auto block = as_block(js);
+  constexpr int kRounds = 25;
+
+  // Serial reference, round by round: the engine refines its block
+  // exponent cache between calls, so call r is only comparable to call r
+  // of an engine with the identical call history.
+  exec::ThreadPool::set_global_threads(1);
+  std::vector<std::vector<Force>> want(kRounds,
+                                       std::vector<Force>(js.size()));
+  {
+    GrapeForceEngine ref(MachineConfig::single_host(), NumberFormats{},
+                         1.0 / 64.0);
+    ref.load_particles(js);
+    for (int round = 0; round < kRounds; ++round) {
+      ref.compute_forces(0.0, block, want[round]);
+    }
+  }
+
+  exec::ThreadPool::set_global_threads(8);
+  GrapeForceEngine hw(MachineConfig::single_host(), NumberFormats{},
+                      1.0 / 64.0);
+  hw.load_particles(js);
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<Force> got(js.size());
+    ForceTicket tk = hw.submit_forces(0.0, block, got);
+    ASSERT_TRUE(tk.valid());
+    // Consume chunks as they land, like the overlapped corrector does.
+    for (std::size_t c = 0; c < tk.chunk_count(); ++c) {
+      tk.wait_chunk(c);
+      const auto [lo, hi] = tk.chunk_range(c);
+      for (std::size_t k = lo; k < hi; ++k) {
+        ASSERT_TRUE(same_force(got[k], want[round][k]))
+            << "round " << round << " index " << k;
+      }
+    }
+    tk.wait();
+  }
+}
+
+TEST(AsyncEngineStress, OutOfOrderChunkWaitsAreSafe) {
+  GlobalThreadsGuard guard;
+  exec::ThreadPool::set_global_threads(4);
+  const auto js = plummer_j(200, 7);
+  const auto block = as_block(js);
+  // Two fresh engines (same exponent-cache history) — the blocking call on
+  // one is the reference for the async submission on the other.
+  GrapeForceEngine ref(MachineConfig::single_host(), NumberFormats{},
+                       1.0 / 64.0);
+  GrapeForceEngine hw(MachineConfig::single_host(), NumberFormats{},
+                      1.0 / 64.0);
+  ref.load_particles(js);
+  hw.load_particles(js);
+
+  std::vector<Force> a(js.size()), b(js.size());
+  ref.compute_forces(0.0, block, a);
+
+  ForceTicket tk = hw.submit_forces(0.0, block, b);
+  // Wait back-to-front, then re-wait a few — waits are idempotent and
+  // order-free.
+  for (std::size_t c = tk.chunk_count(); c-- > 0;) tk.wait_chunk(c);
+  tk.wait_chunk(0);
+  tk.wait();
+  tk.wait();  // idempotent
+  for (std::size_t k = 0; k < js.size(); ++k) {
+    ASSERT_TRUE(same_force(a[k], b[k])) << k;
+  }
+}
+
+TEST(AsyncEngineStress, ChunkRangesTileTheBlock) {
+  GlobalThreadsGuard guard;
+  exec::ThreadPool::set_global_threads(4);
+  const auto js = plummer_j(150, 11);
+  const auto block = as_block(js);
+  GrapeForceEngine hw(MachineConfig::single_host(), NumberFormats{},
+                      1.0 / 64.0);
+  hw.load_particles(js);
+
+  std::vector<Force> f(js.size());
+  ForceTicket tk = hw.submit_forces(0.0, block, f);
+  std::size_t next = 0;
+  for (std::size_t c = 0; c < tk.chunk_count(); ++c) {
+    const auto [lo, hi] = tk.chunk_range(c);
+    EXPECT_EQ(lo, next);
+    EXPECT_LE(hi, js.size());
+    EXPECT_LT(lo, hi);
+    next = hi;
+  }
+  EXPECT_EQ(next, js.size());
+  tk.wait();
+}
+
+TEST(AsyncEngineStress, AbandonedTicketReleasesTheEngine) {
+  GlobalThreadsGuard guard;
+  exec::ThreadPool::set_global_threads(4);
+  const auto js = plummer_j(96, 13);
+  const auto block = as_block(js);
+  GrapeForceEngine hw(MachineConfig::single_host(), NumberFormats{},
+                      1.0 / 64.0);
+  hw.load_particles(js);
+
+  std::vector<Force> f(js.size());
+  { ForceTicket tk = hw.submit_forces(0.0, block, f); }  // dtor joins
+  // The busy guard must be released: a fresh submission succeeds.
+  ForceTicket tk = hw.submit_forces(0.0, block, f);
+  tk.wait();
+}
+
+TEST(AsyncEngineStress, BaseEngineSubmitWrapsBlockingCall) {
+  GlobalThreadsGuard guard;
+  exec::ThreadPool::set_global_threads(4);
+  const auto js = plummer_j(128, 19);
+  const auto block = as_block(js);
+  DirectForceEngine engine(1.0 / 64.0);
+  engine.load_particles(js);
+
+  std::vector<Force> want(js.size()), got(js.size());
+  engine.compute_forces(0.0, block, want);
+
+  ForceTicket tk = engine.submit_forces(0.0, block, got);
+  ASSERT_TRUE(tk.valid());
+  EXPECT_EQ(tk.chunk_count(), 1u);
+  tk.wait();
+  for (std::size_t k = 0; k < js.size(); ++k) {
+    ASSERT_TRUE(same_force(got[k], want[k])) << k;
+  }
+}
+
+TEST(AsyncEngineStress, TicketErrorsSurfaceFromWait) {
+  GlobalThreadsGuard guard;
+  exec::ThreadPool::set_global_threads(4);
+  auto& pool = exec::ThreadPool::global();
+  for (int round = 0; round < 10; ++round) {
+    bool epilogue_ok = true;
+    bool epilogue_ran = false;
+    ForceTicket tk = ForceTicket::make(
+        {{0, 10}, {10, 20}, {20, 30}},
+        [&](bool ok) {
+          epilogue_ran = true;
+          epilogue_ok = ok;
+        },
+        pool);
+    tk.dispatch(0, [] {}, true);
+    tk.dispatch(1, [] { throw std::runtime_error("chunk 1 failed"); }, true);
+    tk.dispatch(2, [] { throw std::runtime_error("chunk 2 failed"); }, true);
+    try {
+      tk.wait();
+      FAIL() << "wait() did not rethrow";
+    } catch (const std::runtime_error& e) {
+      // Deterministic surface: always the smallest failed chunk index.
+      EXPECT_STREQ(e.what(), "chunk 1 failed");
+    }
+    EXPECT_TRUE(epilogue_ran);
+    EXPECT_FALSE(epilogue_ok);
+  }
+}
+
+}  // namespace
+}  // namespace g6

@@ -1,0 +1,161 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace g6::exec {
+namespace {
+
+TEST(ExecThreadPool, SerialPoolSpawnsNoWorkersAndRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  EXPECT_EQ(pool.parallelism(), 1u);
+  // With no workers, submit() executes the task before returning.
+  bool ran = false;
+  pool.submit([&ran] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(pool.try_run_one());
+}
+
+TEST(ExecThreadPool, WorkerCountIsThreadsMinusOne) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  EXPECT_EQ(pool.parallelism(), 4u);
+}
+
+TEST(ExecThreadPool, StartStopRepeatedly) {
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> hits{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 32; ++i) group.run([&hits] { ++hits; });
+    group.wait();
+    EXPECT_EQ(hits.load(), 32);
+  }
+}
+
+TEST(ExecThreadPool, DestructorDrainsUnjoinedTasks) {
+  std::atomic<int> hits{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 64; ++i) pool.submit([&hits] { ++hits; });
+    // No explicit join: the pool's destructor must run every queued task
+    // before the captured state goes away.
+  }
+  EXPECT_EQ(hits.load(), 64);
+}
+
+TEST(ExecTaskGroup, SumsAreCompleteAcrossManyTasks) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::size_t> out(kTasks, 0);
+  TaskGroup group(pool);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    group.run([&out, i] { out[i] = i + 1; });
+  }
+  group.wait();
+  std::size_t sum = 0;
+  for (std::size_t v : out) sum += v;
+  EXPECT_EQ(sum, kTasks * (kTasks + 1) / 2);
+}
+
+TEST(ExecTaskGroup, RethrowsEarliestSubmissionError) {
+  ThreadPool pool(4);
+  // Several tasks fail; wait() must surface the error of the smallest
+  // submission index no matter which one lost the race on the wall clock.
+  for (int round = 0; round < 20; ++round) {
+    TaskGroup group(pool);
+    for (int i = 0; i < 16; ++i) {
+      group.run([i] {
+        if (i % 5 == 2) {  // fails at i = 2, 7, 12
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+    }
+    try {
+      group.wait();
+      FAIL() << "wait() did not rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 2");
+    }
+  }
+}
+
+TEST(ExecTaskGroup, ErrorPropagatesFromSerialPoolToo) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  group.run([] {});
+  group.run([] { throw std::runtime_error("inline failure"); });
+  group.run([] {});
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(ExecTaskGroup, DestructorWaitsAndSwallows) {
+  ThreadPool pool(3);
+  std::atomic<int> hits{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 16; ++i) {
+      group.run([&hits, i] {
+        if (i == 3) throw std::runtime_error("swallowed");
+        ++hits;
+      });
+    }
+    // No wait(): the destructor must join (so `hits` stays alive long
+    // enough) and must not let the captured exception escape.
+  }
+  EXPECT_EQ(hits.load(), 15);
+}
+
+TEST(ExecTaskGroup, NestedSubmitDoesNotDeadlock) {
+  ThreadPool pool(2);  // one worker: inner groups must help, not block
+  std::atomic<int> hits{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.run([&pool, &hits] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 8; ++j) inner.run([&hits] { ++hits; });
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(hits.load(), 64);
+}
+
+TEST(ExecThreadPool, ResolveRequestedWins) {
+  EXPECT_EQ(ThreadPool::resolve_thread_count(6, "3", 8), 6u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(1, nullptr, 8), 1u);
+}
+
+TEST(ExecThreadPool, ResolveEnvWhenNoRequest) {
+  EXPECT_EQ(ThreadPool::resolve_thread_count(0, "3", 8), 3u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(0, "1", 8), 1u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(0, "4096", 8), 4096u);
+}
+
+TEST(ExecThreadPool, ResolveRejectsBadEnvAndFallsBackToHardware) {
+  EXPECT_EQ(ThreadPool::resolve_thread_count(0, nullptr, 8), 8u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(0, "", 8), 8u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(0, "zero", 8), 8u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(0, "0", 8), 8u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(0, "-2", 8), 8u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(0, "5000", 8), 8u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(0, nullptr, 0), 1u);
+}
+
+TEST(ExecThreadPool, SetGlobalThreadsReconfigures) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().parallelism(), 3u);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global().worker_count(), 0u);
+  ThreadPool::set_global_threads(0);  // back to automatic
+  EXPECT_GE(ThreadPool::global().parallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace g6::exec

@@ -81,13 +81,62 @@ void print_fault_summary(const JsonValue& doc) {
   }
 }
 
+bool is_exec_metric(const std::string& name) {
+  return name.rfind("exec.", 0) == 0;
+}
+
+/// Execution-runtime rollup: pool task/steal counters plus the overlap
+/// gauge (host seconds hidden inside the T_GRAPE window — work Eq 10 did
+/// NOT charge to T_host because it ran under in-flight force chunks).
+void print_exec_summary(const JsonValue& doc) {
+  const JsonValue* counters = doc.find("counters");
+  const JsonValue* gauges = doc.find("gauges");
+  bool any = false;
+  const auto scan = [&](const JsonValue* obj) {
+    if (obj == nullptr) return;
+    for (const auto& [name, v] : obj->members()) {
+      (void)v;
+      if (is_exec_metric(name)) any = true;
+    }
+  };
+  scan(counters);
+  scan(gauges);
+  if (!any) return;
+  std::printf("\nexec summary:\n");
+  if (counters != nullptr) {
+    for (const auto& [name, v] : counters->members()) {
+      if (is_exec_metric(name)) {
+        std::printf("  %-28s %20.0f\n", name.c_str(), v.as_number());
+      }
+    }
+  }
+  if (gauges != nullptr) {
+    for (const auto& [name, v] : gauges->members()) {
+      if (is_exec_metric(name)) {
+        std::printf("  %-28s %20.6g\n", name.c_str(), v.as_number());
+      }
+    }
+  }
+  const JsonValue* g_overlap =
+      gauges != nullptr ? gauges->find("exec.overlap.host_s") : nullptr;
+  const JsonValue* eq10 = doc.find("eq10");
+  if (g_overlap != nullptr && eq10 != nullptr) {
+    const double grape = eq10->at("grape_s").as_number();
+    if (grape > 0.0) {
+      std::printf("  (overlap hides %.1f%% of T_GRAPE as host work)\n",
+                  100.0 * g_overlap->as_number() / grape);
+    }
+  }
+}
+
 void print_instruments(const JsonValue& doc) {
   const auto print_object = [](const JsonValue* obj, const char* header,
                                const char* fmt) {
     if (obj == nullptr) return;
     bool printed_header = false;
     for (const auto& [name, v] : obj->members()) {
-      if (is_fault_metric(name)) continue;  // shown in the fault summary
+      // Shown in the fault / exec summaries above.
+      if (is_fault_metric(name) || is_exec_metric(name)) continue;
       if (!printed_header) {
         std::printf("\n%s:\n", header);
         printed_header = true;
@@ -147,6 +196,7 @@ int main(int argc, char** argv) try {
   }
   if (!eq10_only) {
     print_fault_summary(doc);
+    print_exec_summary(doc);
     print_instruments(doc);
   }
   return 0;

@@ -98,8 +98,9 @@ int main(int argc, char** argv) try {
       cli.get_double("snapshot-every", 0.0, "snapshot interval (0 = off)");
   const std::string out = cli.get_string("out", "grape6_run", "output prefix");
   const auto seed = static_cast<unsigned>(cli.get_int("seed", 1, "RNG seed"));
-  const auto threads =
-      static_cast<unsigned>(cli.get_int("threads", 1, "CPU force threads"));
+  const auto threads = static_cast<unsigned>(cli.get_int(
+      "threads", 0, "exec pool threads (0 = auto: $G6_EXEC_THREADS, then "
+                    "hardware)"));
   const std::string metrics_out =
       cli.get_string("metrics-out", "", "write metrics JSON here (\"\" = off)");
   const std::string trace_out = cli.get_string(
@@ -121,6 +122,10 @@ int main(int argc, char** argv) try {
   if (cli.finish()) return 0;
 
   if (!trace_out.empty()) obs::Tracer::global().enable();
+
+  // One pool for every engine and cluster layer (docs/EXECUTION.md);
+  // results are bit-identical for any setting, 1 runs fully serial.
+  exec::ThreadPool::set_global_threads(threads);
 
   // Fault plan: explicit file > inline rate > environment (G6_FAULT_PLAN).
   fault::FaultPlan plan;
@@ -165,7 +170,7 @@ int main(int argc, char** argv) try {
   GrapeForceEngine* grape = nullptr;
   std::shared_ptr<fault::FaultInjector> injector;
   if (engine_name == "direct") {
-    engine = std::make_unique<DirectForceEngine>(eps, threads);
+    engine = std::make_unique<DirectForceEngine>(eps);
   } else if (engine_name == "grape") {
     MachineConfig mc = MachineConfig::single_host();
     mc.boards_per_host = boards;

@@ -35,6 +35,14 @@ The GRAPE-6 software twin has correctness properties that hinge on
                   phase spans, Eq 10 accounting and ad-hoc timers share one
                   clock and one place to fake it in tests.
 
+  raw-thread      std::thread / std::jthread / std::async / std::this_thread
+                  are banned in src/ outside src/exec/. All parallelism goes
+                  through the shared work-stealing pool (g6::exec::ThreadPool,
+                  TaskGroup, parallel_for) so thread count is one knob
+                  (--threads / G6_EXEC_THREADS), the serial fallback stays
+                  bit-identical, and the determinism contract of
+                  docs/EXECUTION.md has one enforcement point.
+
   require-at-api  Public API translation units must validate their inputs:
                   each .cpp under src/ needs at least one G6_REQUIRE /
                   G6_REQUIRE_MSG, unless exempted below with a reason.
@@ -141,8 +149,6 @@ NONDETERMINISM_RES = (
 REQUIRE_EXEMPT = {
     "src/grape/pipeline.cpp": "per-interaction hot path; preconditions are "
     "enforced once per pass by Chip::run_pass/Board::run_pass",
-    "src/hermite/force_engine.cpp": "defines only the unsupported-feature "
-    "throw of the ForceEngine base class",
     "src/util/vec3.cpp": "stream output operator only; no inputs to validate",
     "src/util/softfloat.cpp": "describe() formatting only; arithmetic "
     "preconditions live in the header (G6_REQUIRE in rsqrt)",
@@ -171,8 +177,14 @@ BARE_ABORT_RE = re.compile(
     r"(?<![\w.:>])(?:std::)?(?:abort|quick_exit|_Exit|exit)\s*\(")
 BARE_ABORT_EXEMPT = ("src/util/check.hpp",)
 
+# The one place in src/ allowed to spawn threads.
+RAW_THREAD_EXEMPT_PREFIX = "src/exec/"
+
+RAW_THREAD_RE = re.compile(
+    r"\bstd::(?:thread|jthread|async|this_thread)\b")
+
 RULES = ("raw-float", "native-float", "nondeterminism", "raw-timing",
-         "require-at-api", "nolint-comment", "bare-abort")
+         "raw-thread", "require-at-api", "nolint-comment", "bare-abort")
 
 
 class Finding:
@@ -312,6 +324,16 @@ def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None
                 "process-killing call in src/ — throw a typed error from "
                 "src/fault/errors.hpp (TransientFault/HardFault) or use "
                 "G6_REQUIRE so callers can retry or degrade gracefully"))
+
+        if (in_src and not relpath.startswith(RAW_THREAD_EXEMPT_PREFIX)
+                and RAW_THREAD_RE.search(code)
+                and not sup.allowed("raw-thread", lineno)):
+            findings.append(Finding(
+                relpath, lineno, "raw-thread",
+                "raw thread primitive outside src/exec/ — run work on the "
+                "shared pool via g6::exec::TaskGroup / parallel_for "
+                "(src/exec/thread_pool.hpp) so thread count stays one knob "
+                "and the determinism contract holds"))
 
         if (in_src and not relpath.startswith(RAW_TIMING_EXEMPT_PREFIX)
                 and RAW_TIMING_RE.search(code)

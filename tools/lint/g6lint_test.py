@@ -110,6 +110,73 @@ class RawTimingTest(LintHarness):
         self.assertNotIn("raw-timing", self.rules_of(findings))
 
 
+class RawThreadTest(LintHarness):
+    """The raw-thread rule: parallelism goes through g6::exec only."""
+
+    def test_std_thread_banned_in_src(self):
+        findings = self.lint(
+            "src/tree/t.cpp",
+            "#include <thread>\n"
+            "void f() { std::thread t([] {}); t.join(); G6_REQUIRE(true); }\n")
+        self.assertIn("raw-thread", self.rules_of(findings))
+
+    def test_std_jthread_banned_in_src(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { std::jthread t([] {}); G6_REQUIRE(true); }\n")
+        self.assertIn("raw-thread", self.rules_of(findings))
+
+    def test_std_async_banned_in_src(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { auto fut = std::async([] {}); fut.get();\n"
+            "  G6_REQUIRE(true); }\n")
+        self.assertIn("raw-thread", self.rules_of(findings))
+
+    def test_this_thread_banned_in_src(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { std::this_thread::yield(); G6_REQUIRE(true); }\n")
+        self.assertIn("raw-thread", self.rules_of(findings))
+
+    def test_exec_is_exempt(self):
+        findings = self.lint(
+            "src/exec/pool2.cpp",
+            "#include <thread>\n"
+            "void f() { std::thread t([] {}); t.join(); G6_REQUIRE(true); }\n")
+        self.assertNotIn("raw-thread", self.rules_of(findings))
+
+    def test_comment_mention_is_fine(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "// ported the std::thread pool to exec::parallel_for\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("raw-thread", self.rules_of(findings))
+
+    def test_identifier_suffix_is_fine(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f(Pool& p) { p.thread_count(); my::async(1);\n"
+            "  G6_REQUIRE(true); }\n")
+        self.assertNotIn("raw-thread", self.rules_of(findings))
+
+    def test_tools_and_tests_are_out_of_scope(self):
+        findings = self.lint(
+            "tests/t.cpp", "void f() { std::thread t([] {}); t.join(); }\n")
+        self.assertNotIn("raw-thread", self.rules_of(findings))
+
+    def test_suppression_with_reason_works(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { std::thread t([] {}); t.join(); }"
+            "  // g6lint: allow(raw-thread) -- test fixture\n"
+            "void g() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("raw-thread", self.rules_of(findings))
+
+    def test_rule_is_registered(self):
+        self.assertIn("raw-thread", g6lint.RULES)
+
+
 class BareAbortTest(LintHarness):
     """The bare-abort rule: process-killing calls must be typed errors."""
 
