@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Refresh BENCH_serve.json from bench/serve_throughput.
+
+Runs the serving-throughput bench and distills its CSV mirror plus the
+grape6-metrics-v1 export into a small committed snapshot at the repo
+root, so serving-layer throughput regressions show up in review diffs
+the same way the figure benches' numbers do.
+
+Usage (from the repo root, after building):
+
+    python3 scripts/snapshot_serve_bench.py --bench build/bench/serve_throughput
+
+Wall-clock numbers vary machine to machine; the snapshot records them
+for trend-spotting, not as CI-gated truth. The deterministic columns
+(jobs, completed, preempt, revoke) are the ones a reviewer should
+expect to stay fixed for a given bench configuration.
+"""
+
+import argparse
+import csv
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True,
+                    help="path to the serve_throughput binary")
+    ap.add_argument("--out", default="BENCH_serve.json",
+                    help="snapshot path (default: BENCH_serve.json)")
+    ap.add_argument("--jobs", type=int, default=12, help="jobs per mix")
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = os.path.join(tmp, "serve_throughput.csv")
+        metrics_path = os.path.join(tmp, "metrics.json")
+        cmd = [args.bench, f"--jobs={args.jobs}", f"--csv={csv_path}",
+               f"--metrics-out={metrics_path}"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        sys.stdout.write(proc.stdout)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(f"FAIL: {' '.join(cmd)} exited {proc.returncode}")
+
+        with open(csv_path) as f:
+            mixes = list(csv.DictReader(f))
+        with open(metrics_path) as f:
+            metrics = json.load(f)
+
+    snapshot = {
+        "schema": "grape6-bench-serve-v1",
+        "bench": "serve_throughput",
+        "jobs_per_mix": args.jobs,
+        "mixes": mixes,
+        "eq10": metrics.get("eq10"),
+    }
+    with open(args.out, "w") as f:
+        json.dump(snapshot, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out} ({len(mixes)} mixes)")
+
+
+if __name__ == "__main__":
+    main()

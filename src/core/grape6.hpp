@@ -20,6 +20,8 @@
 //   parallel — virtual multi-host / multi-cluster simulation
 //   perf     — performance model, schedule calibration and synthesis
 //   tree     — Barnes-Hut treecode baseline
+//   serve    — multi-tenant serving layer: admission, board leases,
+//              job scheduling over the shared machine (docs/SERVING.md)
 //   core     — experiment drivers used by the benchmark harness
 
 #include "core/experiment.hpp"
@@ -55,6 +57,7 @@
 #include "perf/calibration.hpp"
 #include "perf/host_model.hpp"
 #include "perf/machine_model.hpp"
+#include "serve/serve.hpp"
 #include "tree/collisions.hpp"
 #include "tree/leapfrog.hpp"
 #include "tree/octree.hpp"

@@ -69,6 +69,12 @@ class HermiteIntegrator {
   /// Advance one blockstep; returns the number of particles integrated.
   std::size_t step();
 
+  /// Time of the next blockstep boundary (what step() would advance to).
+  /// Exposed so external drivers — evolve() here, the serving layer's
+  /// quantum loop — can stop exactly at a horizon without overshooting:
+  /// run while next_block_time() <= t_end, identically to evolve().
+  double next_block_time() const;
+
   /// Step until system time reaches t_end (block times are dyadic, so the
   /// final step lands exactly on t_end for dyadic t_end).
   void evolve(double t_end);
@@ -97,7 +103,6 @@ class HermiteIntegrator {
 
  private:
   void initialize(const ParticleSet& initial);
-  double next_block_time() const;
   /// compute_forces with bounded TransientFault retry (fault taxonomy);
   /// HardFault and exhausted retries propagate to the caller.
   void compute_forces_guarded(double t, std::span<const PredictedState> block,

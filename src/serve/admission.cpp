@@ -1,0 +1,75 @@
+#include "serve/admission.hpp"
+
+#include <sstream>
+
+#include "serve/job.hpp"
+#include "util/check.hpp"
+
+namespace g6::serve {
+
+AdmissionController::AdmissionController(std::size_t max_queue_depth,
+                                         std::size_t pool_boards)
+    : max_queue_depth_(max_queue_depth), pool_boards_(pool_boards) {
+  G6_REQUIRE(max_queue_depth_ >= 1);
+  G6_REQUIRE(pool_boards_ >= 1);
+}
+
+AdmissionDecision AdmissionController::validate_spec(const JobSpec& spec) {
+  std::ostringstream os;
+  if (spec.name.empty()) {
+    return AdmissionDecision::no(RejectReason::kInvalidSpec,
+                                 "job name must be non-empty");
+  }
+  if (!known_model(spec.model)) {
+    os << "unknown model '" << spec.model << "'";
+    return AdmissionDecision::no(RejectReason::kInvalidSpec, os.str());
+  }
+  if (spec.n < 2) {
+    os << "n=" << spec.n << " (need at least 2 particles)";
+    return AdmissionDecision::no(RejectReason::kInvalidSpec, os.str());
+  }
+  if (!(spec.t_end > 0.0)) {
+    os << "t_end=" << spec.t_end << " (must be positive)";
+    return AdmissionDecision::no(RejectReason::kInvalidSpec, os.str());
+  }
+  if (!(spec.eta > 0.0)) {
+    os << "eta=" << spec.eta << " (must be positive)";
+    return AdmissionDecision::no(RejectReason::kInvalidSpec, os.str());
+  }
+  if (spec.eps < 0.0) {
+    os << "eps=" << spec.eps << " (must be non-negative)";
+    return AdmissionDecision::no(RejectReason::kInvalidSpec, os.str());
+  }
+  if (spec.boards < 1) {
+    return AdmissionDecision::no(RejectReason::kInvalidSpec,
+                                 "boards must be at least 1");
+  }
+  return AdmissionDecision::yes();
+}
+
+AdmissionDecision AdmissionController::decide(const JobSpec& spec,
+                                              std::size_t queued_now,
+                                              std::size_t healthy_boards,
+                                              bool draining) const {
+  if (draining) {
+    return AdmissionDecision::no(RejectReason::kDraining,
+                                 "service is draining; no new jobs accepted");
+  }
+  AdmissionDecision v = validate_spec(spec);
+  if (!v.admit) return v;
+  if (spec.boards > healthy_boards) {
+    std::ostringstream os;
+    os << "job wants " << spec.boards << " board(s), machine has "
+       << healthy_boards << " healthy of " << pool_boards_;
+    return AdmissionDecision::no(RejectReason::kBoardsUnavailable, os.str());
+  }
+  if (queued_now >= max_queue_depth_) {
+    std::ostringstream os;
+    os << "queue depth " << queued_now << " at limit " << max_queue_depth_
+       << "; retry later";
+    return AdmissionDecision::no(RejectReason::kQueueFull, os.str());
+  }
+  return AdmissionDecision::yes();
+}
+
+}  // namespace g6::serve

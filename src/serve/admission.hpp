@@ -1,0 +1,49 @@
+#pragma once
+// AdmissionController — the front door of the service.
+//
+// INTERNAL to src/serve (g6lint serve-isolation). Admission enforces two
+// invariants: the queue depth is bounded (a full queue is explicit
+// backpressure, rejected with kQueueFull, never a silent drop), and every
+// admitted job is *feasible* — its spec parses and its board request fits
+// the currently healthy machine, so the scheduler never carries work that
+// can only time out.
+
+#include <cstddef>
+#include <string>
+
+#include "serve/types.hpp"
+
+namespace g6::serve {
+
+/// Admission verdict; `reason` and `message` are filled on rejection.
+struct AdmissionDecision {
+  bool admit = false;
+  RejectReason reason = RejectReason::kNone;
+  std::string message;
+
+  static AdmissionDecision yes() { return {true, RejectReason::kNone, ""}; }
+  static AdmissionDecision no(RejectReason r, std::string msg) {
+    return {false, r, std::move(msg)};
+  }
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(std::size_t max_queue_depth, std::size_t pool_boards);
+
+  /// Validate `spec` against the current queue depth and healthy board
+  /// count. Pure: does not mutate any state.
+  AdmissionDecision decide(const JobSpec& spec, std::size_t queued_now,
+                           std::size_t healthy_boards, bool draining) const;
+
+  /// Spec-only validation (no capacity checks); used by manifest loading.
+  static AdmissionDecision validate_spec(const JobSpec& spec);
+
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+
+ private:
+  std::size_t max_queue_depth_;
+  std::size_t pool_boards_;
+};
+
+}  // namespace g6::serve

@@ -1,0 +1,55 @@
+#include "serve/job_queue.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace g6::serve {
+
+namespace {
+std::size_t class_index(Priority p) {
+  const auto k = static_cast<std::size_t>(p);
+  G6_REQUIRE_MSG(k < kPriorityClasses, "unknown priority class");
+  return k;
+}
+}  // namespace
+
+void JobQueue::push_back(JobId id, Priority p) {
+  G6_REQUIRE(id != 0);
+  classes_[class_index(p)].push_back(id);
+}
+
+void JobQueue::push_front(JobId id, Priority p) {
+  G6_REQUIRE(id != 0);
+  classes_[class_index(p)].push_front(id);
+}
+
+bool JobQueue::remove(JobId id) {
+  for (auto& q : classes_) {
+    auto it = std::find(q.begin(), q.end(), id);
+    if (it != q.end()) {
+      q.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<JobId> JobQueue::dispatch_order() const {
+  std::vector<JobId> out;
+  out.reserve(size());
+  for (const auto& q : classes_) out.insert(out.end(), q.begin(), q.end());
+  return out;
+}
+
+std::size_t JobQueue::size() const {
+  std::size_t n = 0;
+  for (const auto& q : classes_) n += q.size();
+  return n;
+}
+
+std::size_t JobQueue::class_depth(Priority p) const {
+  return classes_[class_index(p)].size();
+}
+
+}  // namespace g6::serve

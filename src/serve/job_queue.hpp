@@ -1,0 +1,44 @@
+#pragma once
+// JobQueue — priority classes with FIFO order inside each class.
+//
+// INTERNAL to src/serve (g6lint serve-isolation): clients submit through
+// ServeClient; the queue holds only job ids, the Scheduler owns the job
+// records. Two operations matter for the scheduling policy:
+//
+//   push_back  — normal admission, and cooperative preemption: a job that
+//                yielded its lease goes to the BACK of its class, so the
+//                waiters it yielded to run first (round-robin
+//                time-sharing).
+//   push_front — lease revocation: the job lost its boards through no
+//                fault of its own (hardware died), so it keeps its turn.
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "serve/types.hpp"
+
+namespace g6::serve {
+
+class JobQueue {
+ public:
+  void push_back(JobId id, Priority p);
+  void push_front(JobId id, Priority p);
+
+  /// Remove one job wherever it sits (admission error paths, failures).
+  /// Returns false when the id is not queued.
+  bool remove(JobId id);
+
+  /// All queued ids in dispatch order: class kInteractive first, FIFO
+  /// within each class.
+  std::vector<JobId> dispatch_order() const;
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  std::size_t class_depth(Priority p) const;
+
+ private:
+  std::deque<JobId> classes_[kPriorityClasses];
+};
+
+}  // namespace g6::serve

@@ -1,0 +1,84 @@
+#include "serve/partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace g6::serve {
+
+BoardPartitioner::BoardPartitioner(std::size_t n_boards)
+    : state_(n_boards, BoardState::kFree), owner_(n_boards, 0) {
+  G6_REQUIRE_MSG(n_boards >= 1, "a machine needs at least one board");
+}
+
+std::size_t BoardPartitioner::healthy() const {
+  return static_cast<std::size_t>(
+      std::count_if(state_.begin(), state_.end(),
+                    [](BoardState s) { return s != BoardState::kDead; }));
+}
+
+std::size_t BoardPartitioner::free() const {
+  return static_cast<std::size_t>(
+      std::count(state_.begin(), state_.end(), BoardState::kFree));
+}
+
+std::size_t BoardPartitioner::leased() const {
+  return static_cast<std::size_t>(
+      std::count(state_.begin(), state_.end(), BoardState::kLeased));
+}
+
+std::size_t BoardPartitioner::dead() const {
+  return static_cast<std::size_t>(
+      std::count(state_.begin(), state_.end(), BoardState::kDead));
+}
+
+bool BoardPartitioner::is_dead(std::size_t board) const {
+  G6_REQUIRE(board < state_.size());
+  return state_[board] == BoardState::kDead;
+}
+
+std::optional<BoardLease> BoardPartitioner::acquire(JobId owner,
+                                                    std::size_t count) {
+  G6_REQUIRE(owner != 0);
+  G6_REQUIRE(count >= 1);
+  if (free() < count) return std::nullopt;
+  BoardLease lease;
+  lease.owner = owner;
+  for (std::size_t b = 0; b < state_.size() && lease.boards.size() < count;
+       ++b) {
+    if (state_[b] != BoardState::kFree) continue;
+    state_[b] = BoardState::kLeased;
+    owner_[b] = owner;
+    lease.boards.push_back(b);
+  }
+  G6_ASSERT(lease.boards.size() == count);
+  return lease;
+}
+
+void BoardPartitioner::release(const BoardLease& lease) {
+  G6_REQUIRE(lease.valid());
+  for (std::size_t b : lease.boards) {
+    G6_REQUIRE(b < state_.size());
+    if (state_[b] == BoardState::kDead) continue;  // died while leased
+    G6_REQUIRE_MSG(state_[b] == BoardState::kLeased && owner_[b] == lease.owner,
+                   "release of a board the job does not hold");
+    state_[b] = BoardState::kFree;
+    owner_[b] = 0;
+  }
+}
+
+JobId BoardPartitioner::mark_dead(std::size_t board) {
+  G6_REQUIRE(board < state_.size());
+  if (state_[board] == BoardState::kDead) return 0;
+  const JobId owner = state_[board] == BoardState::kLeased ? owner_[board] : 0;
+  state_[board] = BoardState::kDead;
+  owner_[board] = 0;
+  return owner;
+}
+
+JobId BoardPartitioner::owner_of(std::size_t board) const {
+  G6_REQUIRE(board < state_.size());
+  return state_[board] == BoardState::kLeased ? owner_[board] : 0;
+}
+
+}  // namespace g6::serve

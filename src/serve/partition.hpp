@@ -1,0 +1,64 @@
+#pragma once
+// BoardPartitioner — carves the emulated machine's processor boards into
+// per-job slices, mirroring the paper's 4-way machine partition (Sec 2:
+// four clusters of 4 hosts x 4 boards, each cluster time-shared).
+//
+// INTERNAL to src/serve (g6lint serve-isolation). The partitioner deals
+// in board *identities* (flat ids over the whole pool) so a scheduled
+// board death maps to exactly one lease; the job engine itself only needs
+// the lease *size* — which physical boards back a slice never changes a
+// job's forces, only which lease a death revokes.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "serve/types.hpp"
+
+namespace g6::serve {
+
+/// A slice of the machine granted to one job. Value object: holders give
+/// it back to the partitioner via release() (or lose it to revoke_board).
+struct BoardLease {
+  JobId owner = 0;
+  std::vector<std::size_t> boards;  ///< flat board ids, ascending
+
+  bool valid() const { return owner != 0 && !boards.empty(); }
+  std::size_t size() const { return boards.size(); }
+};
+
+class BoardPartitioner {
+ public:
+  explicit BoardPartitioner(std::size_t n_boards);
+
+  std::size_t total() const { return state_.size(); }
+  std::size_t healthy() const;  ///< alive boards (leased or free)
+  std::size_t free() const;     ///< alive and unleased
+  std::size_t leased() const;
+  std::size_t dead() const;
+  bool is_dead(std::size_t board) const;
+
+  /// Grant `count` boards to `owner`: lowest-id healthy free boards, so
+  /// allocation is deterministic. nullopt when fewer than `count` are
+  /// free.
+  std::optional<BoardLease> acquire(JobId owner, std::size_t count);
+
+  /// Return a lease's boards to the free pool. Boards that died while
+  /// leased are already gone and are skipped.
+  void release(const BoardLease& lease);
+
+  /// Kill one board. Returns the owning job's id when the board was
+  /// leased (the caller must revoke that job's lease), 0 otherwise.
+  /// Idempotent: killing a dead board returns 0.
+  JobId mark_dead(std::size_t board);
+
+  /// Owning job of a board, 0 when free or dead.
+  JobId owner_of(std::size_t board) const;
+
+ private:
+  enum class BoardState { kFree, kLeased, kDead };
+  std::vector<BoardState> state_;
+  std::vector<JobId> owner_;  ///< valid where state_ == kLeased
+};
+
+}  // namespace g6::serve

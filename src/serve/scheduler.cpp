@@ -1,0 +1,446 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "exec/thread_pool.hpp"
+#include "fault/errors.hpp"
+#include "nbody/diagnostics.hpp"
+#include "obs/clock.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "util/check.hpp"
+
+namespace g6::serve {
+
+namespace {
+
+obs::MetricsRegistry& reg() { return obs::MetricsRegistry::global(); }
+
+}  // namespace
+
+Scheduler::Scheduler(ServiceConfig cfg)
+    : cfg_(std::move(cfg)),
+      admission_(cfg_.max_queue_depth, cfg_.pool_boards()),
+      partition_(cfg_.pool_boards()),
+      pending_deaths_(cfg_.board_deaths) {
+  G6_REQUIRE_MSG(cfg_.quantum_blocksteps >= 1,
+                 "quantum must be at least one blockstep");
+  for (const BoardDeath& d : pending_deaths_) {
+    G6_REQUIRE_MSG(d.board < cfg_.pool_boards(),
+                   "board death schedule names a board outside the machine");
+  }
+  std::stable_sort(pending_deaths_.begin(), pending_deaths_.end(),
+                   [](const BoardDeath& a, const BoardDeath& b) {
+                     return a.round < b.round;
+                   });
+}
+
+Scheduler::~Scheduler() = default;
+
+Scheduler::Record& Scheduler::rec(JobId id) {
+  G6_REQUIRE(id >= 1 && id <= records_.size());
+  return *records_[id - 1];
+}
+
+const Scheduler::Record& Scheduler::rec(JobId id) const {
+  G6_REQUIRE(id >= 1 && id <= records_.size());
+  return *records_[id - 1];
+}
+
+SubmitResult Scheduler::submit(const JobSpec& spec) {
+  ++stats_.submitted;
+  reg().counter("serve.jobs.submitted").add();
+
+  auto r = std::make_unique<Record>();
+  r->spec = spec;
+  r->id = static_cast<JobId>(records_.size() + 1);
+  r->submit_wall_s = obs::monotonic_seconds();
+
+  AdmissionDecision d = AdmissionDecision::yes();
+  for (const auto& other : records_) {
+    if (other->spec.name == spec.name) {
+      d = AdmissionDecision::no(RejectReason::kInvalidSpec,
+                                "duplicate job name '" + spec.name + "'");
+      break;
+    }
+  }
+  if (d.admit) {
+    d = admission_.decide(spec, queue_.size(), partition_.healthy(),
+                          draining_);
+  }
+
+  SubmitResult result;
+  result.id = r->id;
+  if (d.admit) {
+    r->state = JobState::kQueued;
+    queue_.push_back(r->id, spec.priority);
+    result.accepted = true;
+    obs::log_debug("serve: job %llu '%s' queued (%s, %zu board(s))",
+                   static_cast<unsigned long long>(r->id), spec.name.c_str(),
+                   priority_name(spec.priority), spec.boards);
+  } else {
+    r->state = JobState::kRejected;
+    r->reject = d.reason;
+    r->message = d.message;
+    result.accepted = false;
+    result.reason = d.reason;
+    result.message = d.message;
+    ++stats_.rejected;
+    reg().counter("serve.jobs.rejected").add();
+    obs::log_warn("serve: job '%s' rejected (%s): %s", spec.name.c_str(),
+                  reject_reason_name(d.reason), d.message.c_str());
+  }
+  records_.push_back(std::move(r));
+  update_round_gauges();
+  return result;
+}
+
+bool Scheduler::has_live_work() const {
+  for (const auto& r : records_) {
+    if (r->state == JobState::kQueued || r->state == JobState::kRunning) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scheduler::run_until_drained() {
+  const double start = obs::monotonic_seconds();
+  while (has_live_work()) round();
+  stats_.makespan_s += obs::monotonic_seconds() - start;
+  stats_.boards_dead = partition_.dead();
+}
+
+void Scheduler::round() {
+  G6_PHASE("serve.round");
+  ++stats_.rounds;
+  reg().counter("serve.rounds").add();
+
+  apply_board_deaths();
+  const JobId blocked = dispatch();
+
+  std::vector<JobId> running;
+  for (const auto& r : records_) {
+    if (r->state == JobState::kRunning) running.push_back(r->id);
+  }
+
+  run_quanta(running);
+  // Fold serially in job-id order so every counter, stat and state
+  // transition is independent of which pool thread finished first.
+  for (JobId id : running) fold_quantum(rec(id));
+
+  if (blocked != 0 && rec(blocked).state == JobState::kQueued) {
+    preempt_for(blocked);
+  }
+
+  update_round_gauges();
+  ++round_index_;
+}
+
+void Scheduler::apply_board_deaths() {
+  while (!pending_deaths_.empty() &&
+         pending_deaths_.front().round <= round_index_) {
+    const BoardDeath death = pending_deaths_.front();
+    pending_deaths_.erase(pending_deaths_.begin());
+    const JobId victim = partition_.mark_dead(death.board);
+    stats_.boards_dead = partition_.dead();
+    reg().counter("serve.board_deaths").add();
+    obs::log_warn("serve: board %zu died at round %llu (%zu healthy left)",
+                  death.board,
+                  static_cast<unsigned long long>(round_index_),
+                  partition_.healthy());
+    if (victim != 0) {
+      revoke_lease(rec(victim),
+                   "board " + std::to_string(death.board) + " died");
+    }
+  }
+}
+
+JobId Scheduler::dispatch() {
+  JobId first_blocked = 0;
+  for (JobId id : queue_.dispatch_order()) {
+    Record& r = rec(id);
+    if (r.spec.boards > partition_.healthy()) {
+      // The machine shrank below this job's needs; it can never run.
+      queue_.remove(id);
+      fail_job(r, RejectReason::kBoardsUnavailable,
+               "machine degraded below the job's board request (" +
+                   std::to_string(r.spec.boards) + " wanted, " +
+                   std::to_string(partition_.healthy()) + " healthy)");
+      continue;
+    }
+    auto lease = partition_.acquire(id, r.spec.boards);
+    if (!lease) {
+      // Blocked on busy boards. Remember the first (it drives
+      // preemption); smaller jobs behind it may still backfill.
+      if (first_blocked == 0) first_blocked = id;
+      continue;
+    }
+    queue_.remove(id);
+    r.lease = std::move(*lease);
+    r.state = JobState::kRunning;
+    start_runtime(r);
+    if (r.first_run_wall_s < 0.0) {
+      r.first_run_wall_s = obs::monotonic_seconds();
+      reg()
+          .histogram("serve.wait_s", 0.0, 60.0, 60)
+          .observe(r.first_run_wall_s - r.submit_wall_s);
+    }
+    obs::log_debug("serve: job %llu leased %zu board(s), t=%g",
+                   static_cast<unsigned long long>(id), r.lease.size(),
+                   r.runtime->time());
+  }
+  return first_blocked;
+}
+
+void Scheduler::start_runtime(Record& r) {
+  if (r.runtime) return;  // preempted: runtime survived, boards changed
+  if (r.has_saved) {
+    r.runtime = std::make_unique<JobRuntime>(r.spec, cfg_.machine,
+                                             r.lease.size(), r.saved, r.e0);
+  } else {
+    r.runtime =
+        std::make_unique<JobRuntime>(r.spec, cfg_.machine, r.lease.size());
+    r.e0 = r.runtime->e0();
+  }
+}
+
+void Scheduler::run_quanta(const std::vector<JobId>& running) {
+  if (running.empty()) return;
+  const std::size_t quantum = cfg_.quantum_blocksteps;
+  exec::TaskGroup group;
+  for (JobId id : running) {
+    Record* r = &rec(id);
+    group.run([r, quantum] {
+      G6_PHASE("serve.job");
+      const double t0 = obs::monotonic_seconds();
+      const double v0 = r->runtime->grape_stats().total_seconds();
+      r->q_blocksteps = 0;
+      r->q_error = nullptr;
+      try {
+        r->q_blocksteps = r->runtime->run_quantum(quantum);
+      } catch (...) {
+        // Captured per job: one job's hardware dying (HardFault) or
+        // diverging must not tear down its neighbors' quanta.
+        r->q_error = std::current_exception();
+      }
+      r->q_wall_s = obs::monotonic_seconds() - t0;
+      r->q_virtual_s = r->runtime->grape_stats().total_seconds() - v0;
+    });
+  }
+  group.wait();
+}
+
+void Scheduler::fold_quantum(Record& r) {
+  ++r.quanta;
+  reg().counter("serve.quanta").add();
+  r.run_s += r.q_wall_s;
+  r.grape_virtual_s += r.q_virtual_s;
+
+  if (r.q_error) {
+    std::exception_ptr err = std::exchange(r.q_error, nullptr);
+    try {
+      std::rethrow_exception(err);
+    } catch (const fault::HardFault& e) {
+      // The job's slice is gone: every board under the lease is marked
+      // dead, and the job re-queues from its last quantum-boundary state
+      // (the mid-quantum runtime is torn — never saved).
+      obs::log_warn("serve: job %llu hard fault: %s",
+                    static_cast<unsigned long long>(r.id), e.what());
+      const std::vector<std::size_t> boards = r.lease.boards;
+      for (std::size_t b : boards) {
+        partition_.mark_dead(b);
+        reg().counter("serve.board_deaths").add();
+      }
+      stats_.boards_dead = partition_.dead();
+      revoke_lease(r, std::string("hard fault: ") + e.what());
+    } catch (const std::exception& e) {
+      release_lease(r);
+      r.runtime.reset();
+      fail_job(r, RejectReason::kNone,
+               std::string("quantum failed: ") + e.what());
+    }
+    return;
+  }
+
+  // Clean quantum boundary: capture resumable state and progress.
+  r.saved = r.runtime->save();
+  r.has_saved = true;
+  r.t_reached = r.runtime->time();
+  r.steps = r.runtime->integrator().total_steps();
+  r.blocksteps = r.runtime->integrator().total_blocksteps();
+  r.eq10 = r.runtime->integrator().eq10();
+  if (r.runtime->done()) finish_job(r);
+}
+
+void Scheduler::preempt_for(JobId blocked_id) {
+  Record& blocked = rec(blocked_id);
+  if (blocked.spec.boards <= partition_.free()) return;  // freed by folds
+  std::size_t needed = blocked.spec.boards - partition_.free();
+
+  // Victims: running jobs of the same or lower priority (numerically >=),
+  // least-urgent first, most virtual GRAPE time consumed first (fair
+  // share), newest first on ties. Virtual time is emulated-hardware
+  // accounting, so the order is identical run to run.
+  std::vector<Record*> victims;
+  for (const auto& r : records_) {
+    if (r->state != JobState::kRunning) continue;
+    if (static_cast<int>(r->spec.priority) <
+        static_cast<int>(blocked.spec.priority)) {
+      continue;
+    }
+    victims.push_back(r.get());
+  }
+  std::sort(victims.begin(), victims.end(), [](const Record* a,
+                                               const Record* b) {
+    if (a->spec.priority != b->spec.priority) {
+      return static_cast<int>(a->spec.priority) >
+             static_cast<int>(b->spec.priority);
+    }
+    if (a->grape_virtual_s != b->grape_virtual_s) {
+      return a->grape_virtual_s > b->grape_virtual_s;
+    }
+    return a->id > b->id;
+  });
+
+  for (Record* v : victims) {
+    if (needed == 0) break;
+    const std::size_t freed = v->lease.size();
+    release_lease(*v);
+    v->state = JobState::kQueued;
+    // Cooperative yield at the quantum boundary: the runtime (engine +
+    // integrator) stays warm; only the boards are surrendered. Back of
+    // the class: the jobs it yielded to get their turn first.
+    queue_.push_back(v->id, v->spec.priority);
+    ++v->preemptions;
+    ++stats_.preemptions;
+    reg().counter("serve.preemptions").add();
+    obs::log_debug("serve: job %llu preempted (yields %zu board(s) toward "
+                   "job %llu)",
+                   static_cast<unsigned long long>(v->id), freed,
+                   static_cast<unsigned long long>(blocked_id));
+    needed -= std::min(needed, freed);
+  }
+}
+
+void Scheduler::finish_job(Record& r) {
+  r.result = r.runtime->state_now();
+  r.result_time = r.runtime->time();
+  r.e_final = compute_energy(r.result.bodies(), r.spec.eps).total();
+  release_lease(r);
+  r.runtime.reset();
+  r.state = JobState::kCompleted;
+  ++stats_.completed;
+  stats_.eq10.merge(r.eq10);
+  reg().counter("serve.jobs.completed").add();
+  obs::log_info("serve: job %llu '%s' completed: t=%g, %llu steps, "
+                "dE/E=%.3e",
+                static_cast<unsigned long long>(r.id), r.spec.name.c_str(),
+                r.result_time, r.steps,
+                r.e0 != 0.0 ? std::abs((r.e_final - r.e0) / r.e0) : 0.0);
+}
+
+void Scheduler::fail_job(Record& r, RejectReason reason, std::string message) {
+  r.state = JobState::kFailed;
+  r.reject = reason;
+  r.message = std::move(message);
+  ++stats_.failed;
+  reg().counter("serve.jobs.failed").add();
+  obs::log_error("serve: job %llu '%s' failed: %s",
+                 static_cast<unsigned long long>(r.id), r.spec.name.c_str(),
+                 r.message.c_str());
+}
+
+void Scheduler::revoke_lease(Record& r, const std::string& why) {
+  ++r.revocations;
+  ++stats_.revocations;
+  reg().counter("serve.revocations").add();
+  release_lease(r);
+  // The runtime's engine modeled hardware that no longer exists; the next
+  // dispatch rebuilds it from `saved` (or from scratch if the job never
+  // finished a quantum) on whichever boards are then free.
+  r.runtime.reset();
+  ++r.requeues;
+  if (r.requeues > cfg_.max_requeues) {
+    fail_job(r, RejectReason::kBoardsUnavailable,
+             "lease revoked (" + why + ") and re-queue budget exhausted (" +
+                 std::to_string(cfg_.max_requeues) + ")");
+    return;
+  }
+  r.state = JobState::kQueued;
+  // Front of the class: the job lost its boards through no fault of its
+  // own, so it keeps its turn.
+  queue_.push_front(r.id, r.spec.priority);
+  obs::log_warn("serve: job %llu lease revoked (%s); re-queued at front "
+                "(requeue %d/%d)",
+                static_cast<unsigned long long>(r.id), why.c_str(),
+                r.requeues, cfg_.max_requeues);
+}
+
+void Scheduler::release_lease(Record& r) {
+  if (!r.lease.valid()) return;
+  partition_.release(r.lease);
+  r.lease = BoardLease{};
+}
+
+void Scheduler::update_round_gauges() {
+  reg().gauge("serve.queue.depth").set(static_cast<double>(queue_.size()));
+  reg().gauge("serve.boards.dead").set(static_cast<double>(partition_.dead()));
+  reg().gauge("serve.boards.free").set(static_cast<double>(partition_.free()));
+  const std::size_t healthy = partition_.healthy();
+  reg().gauge("serve.lease.utilization")
+      .set(healthy == 0
+               ? 0.0
+               : static_cast<double>(partition_.leased()) /
+                     static_cast<double>(healthy));
+}
+
+JobReport Scheduler::report(JobId id) const {
+  const Record& r = rec(id);
+  JobReport rep;
+  rep.id = r.id;
+  rep.name = r.spec.name;
+  rep.priority = r.spec.priority;
+  rep.state = r.state;
+  rep.reject_reason = r.reject;
+  rep.message = r.message;
+  rep.n = r.spec.n;
+  rep.boards = r.spec.boards;
+  rep.t_end = r.spec.t_end;
+  rep.t_reached = r.t_reached;
+  rep.steps = r.steps;
+  rep.blocksteps = r.blocksteps;
+  rep.quanta = r.quanta;
+  rep.preemptions = r.preemptions;
+  rep.revocations = r.revocations;
+  rep.wait_s =
+      r.first_run_wall_s >= 0.0 ? r.first_run_wall_s - r.submit_wall_s : 0.0;
+  rep.run_s = r.run_s;
+  rep.grape_virtual_s = r.grape_virtual_s;
+  rep.eq10 = r.eq10;
+  rep.e0 = r.e0;
+  rep.e_final = r.e_final;
+  return rep;
+}
+
+JobState Scheduler::state(JobId id) const { return rec(id).state; }
+
+const ParticleSet& Scheduler::final_state(JobId id, double* t) const {
+  const Record& r = rec(id);
+  G6_REQUIRE_MSG(r.state == JobState::kCompleted,
+                 "final_state of a job that has not completed");
+  if (t != nullptr) *t = r.result_time;
+  return r.result;
+}
+
+std::vector<JobId> Scheduler::all_jobs() const {
+  std::vector<JobId> ids;
+  ids.reserve(records_.size());
+  for (const auto& r : records_) ids.push_back(r->id);
+  return ids;
+}
+
+}  // namespace g6::serve

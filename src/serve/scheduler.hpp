@@ -1,0 +1,150 @@
+#pragma once
+// Scheduler — the serving loop that time-shares the emulated machine.
+//
+// INTERNAL to src/serve (g6lint serve-isolation): clients reach it
+// through GrapeService / ServeClient only.
+//
+// The loop runs in *rounds*. Each round:
+//
+//   1. Scheduled board deaths due this round fire. A death under a lease
+//      revokes it: the job's runtime is torn down (the hardware is gone),
+//      its last blockstep-boundary state is kept, and the job re-enters
+//      its class queue at the FRONT (it lost the boards through no fault
+//      of its own) — the fault path re-queues work instead of killing the
+//      process.
+//   2. Dispatch: queued jobs, interactive class first and FIFO within a
+//      class, are granted leases from the free healthy boards (first fit,
+//      lowest ids; smaller jobs may backfill past a blocked head).
+//   3. Every leased job runs one quantum — at most quantum_blocksteps
+//      blocksteps, never past its t_end — as one task on the shared
+//      src/exec pool, so jobs with disjoint leases genuinely overlap.
+//   4. Results fold in job-id order (accounting stays deterministic):
+//      completed jobs release their lease; a quantum that threw HardFault
+//      marks its boards dead and re-queues the job; other errors fail the
+//      job without touching its neighbors.
+//   5. If a queued job found no boards this round, running jobs of the
+//      same or lower priority yield cooperatively: leases are released at
+//      the quantum boundary and the yielding jobs go to the BACK of their
+//      class — round-robin time-sharing with per-job fair-share
+//      accounting (virtual GRAPE seconds) in the reports.
+//
+// Determinism: scheduling decisions depend only on (submission order,
+// specs, the board-death schedule) — never on wall time — and each job's
+// physics lives in its own JobRuntime, so every job's result is
+// bit-identical to the same spec run standalone.
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/job.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/partition.hpp"
+#include "serve/types.hpp"
+
+namespace g6::serve {
+
+class Scheduler {
+ public:
+  explicit Scheduler(ServiceConfig cfg);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admission-checked submission; rejected jobs get a record (and a
+  /// queryable report) too, but never enter the queue.
+  SubmitResult submit(const JobSpec& spec);
+
+  /// Stop accepting new submissions (subsequent submits reject with
+  /// kDraining); queued and running jobs still run to completion.
+  void drain() { draining_ = true; }
+
+  /// Run rounds until no job is queued or running.
+  void run_until_drained();
+
+  JobReport report(JobId id) const;
+  JobState state(JobId id) const;
+  /// Final particle state of a completed job; `t` receives its time.
+  const ParticleSet& final_state(JobId id, double* t) const;
+  const ServiceStats& stats() const { return stats_; }
+  std::vector<JobId> all_jobs() const;
+  const ServiceConfig& config() const { return cfg_; }
+  std::size_t healthy_boards() const { return partition_.healthy(); }
+
+ private:
+  struct Record {
+    JobSpec spec;
+    JobId id = 0;
+    JobState state = JobState::kQueued;
+    RejectReason reject = RejectReason::kNone;
+    std::string message;
+    int requeues = 0;  ///< revocation re-queues consumed
+
+    BoardLease lease;                      ///< valid while kRunning
+    std::unique_ptr<JobRuntime> runtime;   ///< live while running/preempted
+    SavedJob saved;                        ///< last blockstep-boundary state
+    bool has_saved = false;
+    double e0 = 0.0;
+
+    // accounting (folded serially; reports read these, never the runtime)
+    double submit_wall_s = 0.0;
+    double first_run_wall_s = -1.0;
+    std::uint64_t quanta = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t revocations = 0;
+    double run_s = 0.0;
+    double grape_virtual_s = 0.0;
+    double t_reached = 0.0;
+    unsigned long long steps = 0;
+    unsigned long long blocksteps = 0;
+    obs::Eq10Accumulator eq10;
+
+    // quantum scratch: written by this job's pool task, read after join
+    std::size_t q_blocksteps = 0;
+    double q_wall_s = 0.0;
+    double q_virtual_s = 0.0;
+    std::exception_ptr q_error;
+
+    // result
+    ParticleSet result;
+    double result_time = 0.0;
+    double e_final = 0.0;
+  };
+
+  Record& rec(JobId id);
+  const Record& rec(JobId id) const;
+
+  bool has_live_work() const;
+  void round();
+  void apply_board_deaths();
+  /// Dispatch queued jobs into free boards; returns the first job that
+  /// stayed blocked for lack of free boards (0 = none).
+  JobId dispatch();
+  void run_quanta(const std::vector<JobId>& running);
+  void fold_quantum(Record& r);
+  void preempt_for(JobId blocked_id);
+
+  void start_runtime(Record& r);
+  void finish_job(Record& r);
+  void fail_job(Record& r, RejectReason reason, std::string message);
+  /// Lease lost to dead hardware: keep the saved state, drop the runtime,
+  /// re-queue at the front (bounded by max_requeues).
+  void revoke_lease(Record& r, const std::string& why);
+  void release_lease(Record& r);
+  void update_round_gauges();
+
+  ServiceConfig cfg_;
+  AdmissionController admission_;
+  BoardPartitioner partition_;
+  JobQueue queue_;
+  std::vector<std::unique_ptr<Record>> records_;  ///< index = id - 1
+  std::vector<BoardDeath> pending_deaths_;        ///< sorted by round
+  std::uint64_t round_index_ = 0;
+  bool draining_ = false;
+  ServiceStats stats_;
+};
+
+}  // namespace g6::serve

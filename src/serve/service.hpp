@@ -1,0 +1,82 @@
+#pragma once
+// GrapeService / ServeClient — the public face of the serving layer.
+//
+// GrapeService owns the whole machine-sharing apparatus (admission,
+// queue, partitioner, scheduler) behind a pimpl; nothing in this header
+// leaks an internal type, and the g6lint `serve-isolation` rule keeps it
+// that way. ServeClient is the handle a tenant holds: submit a JobSpec,
+// poll its JobReport, fetch the final particle state. Many clients may
+// point at one service; the service itself is single-threaded at the API
+// (jobs *run* in parallel on the src/exec pool, but submit/report calls
+// are not concurrency-safe against run_until_drained).
+//
+// Typical use (tools/grape6_serve is the full version):
+//
+//   serve::GrapeService service(cfg);
+//   serve::ServeClient client = service.client();
+//   auto r = client.submit(spec);
+//   if (!r) { /* explicit backpressure: r.reason, r.message */ }
+//   service.run_until_drained();
+//   serve::JobReport rep = client.report(r.id);
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nbody/particle.hpp"
+#include "serve/types.hpp"
+
+namespace g6::serve {
+
+class Scheduler;  // internal; defined in serve/scheduler.hpp
+class GrapeService;
+
+/// A tenant's handle on a GrapeService. Copyable, non-owning: the
+/// service must outlive every client.
+class ServeClient {
+ public:
+  explicit ServeClient(GrapeService& service) : service_(&service) {}
+
+  /// Admission-checked submission. A false result is explicit
+  /// backpressure — inspect reason/message and retry later or resize.
+  SubmitResult submit(const JobSpec& spec);
+
+  JobReport report(JobId id) const;
+  JobState state(JobId id) const;
+  /// Final particle state of a completed job; `t` receives its time.
+  const ParticleSet& final_state(JobId id, double* t = nullptr) const;
+
+ private:
+  GrapeService* service_;
+};
+
+/// The multi-tenant serving layer over one emulated GRAPE machine.
+class GrapeService {
+ public:
+  explicit GrapeService(ServiceConfig cfg = {});
+  ~GrapeService();
+  GrapeService(const GrapeService&) = delete;
+  GrapeService& operator=(const GrapeService&) = delete;
+
+  ServeClient client() { return ServeClient(*this); }
+
+  SubmitResult submit(const JobSpec& spec);
+  /// Stop accepting submissions; queued/running jobs still finish.
+  void drain();
+  /// Run scheduler rounds until no job is queued or running.
+  void run_until_drained();
+
+  JobReport report(JobId id) const;
+  JobState state(JobId id) const;
+  const ParticleSet& final_state(JobId id, double* t = nullptr) const;
+
+  const ServiceStats& stats() const;
+  std::vector<JobId> jobs() const;
+  const ServiceConfig& config() const;
+  std::size_t healthy_boards() const;
+
+ private:
+  std::unique_ptr<Scheduler> impl_;
+};
+
+}  // namespace g6::serve

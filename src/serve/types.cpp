@@ -1,0 +1,68 @@
+#include "serve/types.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace g6::serve {
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kQueueFull:
+      return "queue-full";
+    case RejectReason::kBoardsUnavailable:
+      return "boards-unavailable";
+    case RejectReason::kInvalidSpec:
+      return "invalid-spec";
+    case RejectReason::kDraining:
+      return "draining";
+  }
+  return "?";
+}
+
+double JobReport::energy_error() const {
+  if (state != JobState::kCompleted || e0 == 0.0) return 0.0;
+  return std::abs((e_final - e0) / e0);
+}
+
+std::vector<BoardDeath> board_deaths_from_plan(const fault::FaultPlan& plan) {
+  std::vector<BoardDeath> deaths;
+  for (const fault::HardFailure& hf : plan.hard_failures) {
+    if (hf.module != -1 || hf.chip != -1) continue;  // sub-board: engine-level
+    G6_REQUIRE_MSG(hf.time >= 0.0 && hf.board >= 0,
+                   "board death schedule entries must be non-negative");
+    deaths.push_back({static_cast<std::uint64_t>(hf.time),
+                      static_cast<std::size_t>(hf.board)});
+  }
+  return deaths;
+}
+
+}  // namespace g6::serve

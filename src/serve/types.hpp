@@ -1,0 +1,178 @@
+#pragma once
+// Public value types of the serving layer (docs/SERVING.md).
+//
+// The real GRAPE-6 was a shared facility: the 2048-chip machine was
+// partitioned into four clusters, each time-shared by multiple hosts and
+// user jobs (PAPER.md Sec 2, Sec 5). src/serve is the software twin of
+// that operation model — many independent N-body jobs multiplexed onto
+// one emulated machine. Everything in this header is part of the client
+// surface; the moving parts behind it (JobQueue, Scheduler,
+// BoardPartitioner) are internal and fenced off by the g6lint
+// `serve-isolation` rule.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "grape/config.hpp"
+#include "nbody/particle.hpp"
+#include "obs/eq10.hpp"
+
+namespace g6::serve {
+
+/// Process-unique job handle; 0 is never a valid id.
+using JobId = std::uint64_t;
+
+/// Priority classes, most urgent first. Interactive jobs (a user steering
+/// a small-N run) jump ahead of batch production runs; within a class
+/// dispatch is FIFO.
+enum class Priority : int {
+  kInteractive = 0,
+  kBatch = 1,
+};
+inline constexpr std::size_t kPriorityClasses = 2;
+
+const char* priority_name(Priority p);
+
+/// Lifecycle of a job inside the service.
+///
+///   submit -> kQueued -> kRunning -> kCompleted
+///                 ^          |
+///                 +----------+   (cooperative preemption at a blockstep
+///                                 boundary, or lease revocation after a
+///                                 board death)
+///
+/// kRejected jobs never enter the queue; kFailed jobs exhausted their
+/// re-queue budget or hit a non-recoverable error.
+enum class JobState : int {
+  kQueued = 0,
+  kRunning = 1,
+  kCompleted = 2,
+  kFailed = 3,
+  kRejected = 4,
+};
+
+const char* job_state_name(JobState s);
+
+/// Why admission said no. Backpressure is explicit: a rejected submit
+/// carries the reason and a human-readable message, never a silent drop.
+enum class RejectReason : int {
+  kNone = 0,
+  kQueueFull = 1,         ///< bounded queue depth reached; retry later
+  kBoardsUnavailable = 2, ///< job wants more boards than the machine has healthy
+  kInvalidSpec = 3,       ///< malformed job parameters
+  kDraining = 4,          ///< service no longer accepts new work
+};
+
+const char* reject_reason_name(RejectReason r);
+
+/// One simulation job: the same knobs grape6_run exposes, as data.
+struct JobSpec {
+  std::string name;               ///< unique within a service (report/snapshot key)
+  std::string model = "plummer";  ///< plummer|king|uniform|disk|bhbinary|hernquist
+  std::size_t n = 256;            ///< particle count
+  double w0 = 6.0;                ///< King depth (model=king)
+  double t_end = 0.25;            ///< integration span (Heggie units)
+  double eps = 1.0 / 64.0;        ///< Plummer softening
+  double eta = 0.02;              ///< Aarseth accuracy parameter
+  unsigned seed = 1;              ///< IC realization seed
+  std::size_t boards = 1;         ///< lease size (emulated processor boards)
+  Priority priority = Priority::kBatch;
+};
+
+/// Outcome of ServeClient::submit.
+struct SubmitResult {
+  JobId id = 0;  ///< valid even for rejected jobs (reports stay queryable)
+  bool accepted = false;
+  RejectReason reason = RejectReason::kNone;
+  std::string message;  ///< why, in words (empty when accepted)
+
+  explicit operator bool() const { return accepted; }
+};
+
+/// Everything a client learns about one job: state, progress, scheduling
+/// and fair-share accounting, and the per-job Eq 10 split.
+struct JobReport {
+  JobId id = 0;
+  std::string name;
+  Priority priority = Priority::kBatch;
+  JobState state = JobState::kQueued;
+  RejectReason reject_reason = RejectReason::kNone;
+  std::string message;  ///< failure / rejection detail
+
+  std::size_t n = 0;
+  std::size_t boards = 0;   ///< lease size the job runs with
+  double t_end = 0.0;
+  double t_reached = 0.0;   ///< simulation time the job has advanced to
+
+  unsigned long long steps = 0;       ///< individual particle steps
+  unsigned long long blocksteps = 0;
+  std::uint64_t quanta = 0;           ///< scheduling quanta executed
+  std::uint64_t preemptions = 0;      ///< cooperative lease handoffs
+  std::uint64_t revocations = 0;      ///< leases lost to board deaths
+
+  double wait_s = 0.0;            ///< submit -> first quantum (wall)
+  double run_s = 0.0;             ///< wall seconds inside quanta
+  double grape_virtual_s = 0.0;   ///< fair-share account: virtual GRAPE seconds
+  obs::Eq10Accumulator eq10;      ///< per-job T_host + T_comm + T_GRAPE split
+
+  double e0 = 0.0;       ///< initial total energy
+  double e_final = 0.0;  ///< final total energy (completed jobs)
+  /// |(E - E0)/E0|, 0 until completion.
+  double energy_error() const;
+};
+
+/// A board death the service must survive: at the start of scheduler
+/// round `round`, board `board` goes permanently dead. If the board is
+/// leased, the owning job's lease is revoked and the job re-queued; the
+/// board never hosts another lease. The schedule usually comes from the
+/// board-level hard failures of a fault::FaultPlan (see
+/// board_deaths_from_plan), keeping serve's degradation model and the
+/// fault subsystem's one and the same.
+struct BoardDeath {
+  std::uint64_t round = 0;
+  std::size_t board = 0;
+};
+
+/// Map the board-level hard failures of a fault plan onto serve's round
+/// clock: entry times are interpreted as scheduler round numbers (jobs
+/// have independent simulation clocks, so the machine-wide schedule needs
+/// a machine-wide clock). Chip- and module-level entries are ignored —
+/// sub-board faults are the per-job engine's business, not the
+/// partitioner's.
+std::vector<BoardDeath> board_deaths_from_plan(const fault::FaultPlan& plan);
+
+/// Service-wide configuration.
+struct ServiceConfig {
+  /// Chip microarchitecture and board pool. The pool the partitioner
+  /// carves up is machine.total_boards() (boards_per_host x hosts x
+  /// clusters — the paper's 4-way partitioned machine is 4 hosts x 4
+  /// boards); each job's engine is built from this config with
+  /// boards_per_host set to its lease size.
+  MachineConfig machine;
+  std::size_t max_queue_depth = 64;      ///< admission bound (queued jobs)
+  std::size_t quantum_blocksteps = 16;   ///< cooperative preemption grain
+  int max_requeues = 2;  ///< re-queue budget per job after lease revocations
+  std::vector<BoardDeath> board_deaths;  ///< scheduled hardware deaths
+
+  std::size_t pool_boards() const { return machine.total_boards(); }
+};
+
+/// Aggregate service counters, one struct per run_until_drained call
+/// (cumulative across calls on the same service).
+struct ServiceStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t revocations = 0;
+  std::size_t boards_dead = 0;
+  double makespan_s = 0.0;        ///< wall time inside run_until_drained
+  obs::Eq10Accumulator eq10;      ///< merged over completed jobs
+};
+
+}  // namespace g6::serve

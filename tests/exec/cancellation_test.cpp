@@ -1,0 +1,171 @@
+// Cancellation and error paths of the async runtime primitives — the
+// situations the serving layer creates when it preempts a job or
+// revokes a lease while force work is in flight: tickets abandoned
+// between wait_chunk and wait, groups torn down with failed tasks, and
+// the exactly-once epilogue that releases the engine either way.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "hermite/force_ticket.hpp"
+
+namespace g6 {
+namespace {
+
+using Range = std::pair<std::size_t, std::size_t>;
+
+TEST(ExecCancellation, AbandonedTicketRunsEpilogueNotOk) {
+  exec::ThreadPool pool(4);
+  std::atomic<int> epilogue_calls{0};
+  std::atomic<bool> epilogue_ok{true};
+  {
+    ForceTicket t = ForceTicket::make(
+        {Range{0, 8}, Range{8, 16}},
+        [&](bool ok) {
+          epilogue_calls.fetch_add(1);
+          epilogue_ok.store(ok);
+        },
+        pool);
+    t.dispatch(0, [] {}, true);
+    t.dispatch(1, [] { throw std::runtime_error("pipeline torn down"); },
+               true);
+    // Destroyed without wait(): the owner lost interest mid-flight (the
+    // scheduler dropping a revoked job's runtime). The destructor must
+    // still join and release the engine, with ok=false semantics.
+  }
+  EXPECT_EQ(epilogue_calls.load(), 1);
+  EXPECT_FALSE(epilogue_ok.load());
+}
+
+TEST(ExecCancellation, CleanAbandonmentStillSignalsOk) {
+  exec::ThreadPool pool(2);
+  std::atomic<int> epilogue_calls{0};
+  std::atomic<bool> epilogue_ok{false};
+  {
+    ForceTicket t = ForceTicket::make(
+        {Range{0, 4}},
+        [&](bool ok) {
+          epilogue_calls.fetch_add(1);
+          epilogue_ok.store(ok);
+        },
+        pool);
+    t.dispatch(0, [] {}, true);
+  }
+  EXPECT_EQ(epilogue_calls.load(), 1);
+  EXPECT_TRUE(epilogue_ok.load());
+}
+
+TEST(ExecCancellation, PartialConsumptionThenAbandonment) {
+  // The preemption shape: the caller consumed early chunks (wait_chunk),
+  // then dropped the ticket before wait(). Consumed chunks stay valid,
+  // the epilogue still runs exactly once.
+  exec::ThreadPool pool(4);
+  std::atomic<int> epilogue_calls{0};
+  std::vector<int> out(3, 0);
+  {
+    ForceTicket t = ForceTicket::make(
+        {Range{0, 1}, Range{1, 2}, Range{2, 3}},
+        [&](bool) { epilogue_calls.fetch_add(1); }, pool);
+    for (std::size_t c = 0; c < 3; ++c) {
+      t.dispatch(c, [&out, c] { out[c] = static_cast<int>(c) + 1; }, true);
+    }
+    t.wait_chunk(0);
+    EXPECT_EQ(out[0], 1);
+  }
+  EXPECT_EQ(epilogue_calls.load(), 1);
+  EXPECT_EQ(out[1], 2);  // abandonment joined the remaining chunks
+  EXPECT_EQ(out[2], 3);
+}
+
+TEST(ExecCancellation, WaitChunkIsolatesFailures) {
+  exec::ThreadPool pool(4);
+  ForceTicket t = ForceTicket::make(
+      {Range{0, 1}, Range{1, 2}}, [](bool) {}, pool);
+  t.dispatch(0, [] {}, true);
+  t.dispatch(1, [] { throw std::runtime_error("chunk 1 died"); }, true);
+  EXPECT_NO_THROW(t.wait_chunk(0));  // healthy chunk unaffected
+  EXPECT_THROW(t.wait_chunk(1), std::runtime_error);
+  EXPECT_THROW(t.wait(), std::runtime_error);
+}
+
+TEST(ExecCancellation, WaitSurfacesSmallestIndexError) {
+  // Deterministic error identity no matter which chunk failed first on
+  // the wall clock — the property the integrator's retry logic needs.
+  for (int round = 0; round < 8; ++round) {
+    exec::ThreadPool pool(4);
+    ForceTicket t = ForceTicket::make(
+        {Range{0, 1}, Range{1, 2}, Range{2, 3}}, [](bool) {}, pool);
+    t.dispatch(0, [] { throw std::runtime_error("first"); }, true);
+    t.dispatch(1, [] {}, true);
+    t.dispatch(2, [] { throw std::runtime_error("third"); }, true);
+    try {
+      t.wait();
+      FAIL() << "wait() must rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "first");
+    }
+  }
+}
+
+TEST(ExecCancellation, MovedFromTicketIsInert) {
+  exec::ThreadPool pool(2);
+  std::atomic<int> epilogue_calls{0};
+  ForceTicket a = ForceTicket::make(
+      {Range{0, 1}}, [&](bool) { epilogue_calls.fetch_add(1); }, pool);
+  a.dispatch(0, [] {}, true);
+  ForceTicket b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): asserted inert
+  EXPECT_NO_THROW(a.wait());
+  b.wait();
+  EXPECT_EQ(epilogue_calls.load(), 1);
+}
+
+TEST(ExecCancellation, GroupCollectsEveryError) {
+  // A serving round folds one quantum per job; a neighbor's failure must
+  // not cancel the others' tasks. TaskGroup runs everything and reports
+  // the earliest-submitted error.
+  exec::ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  exec::TaskGroup g(pool);
+  g.run([&] { completed.fetch_add(1); });
+  g.run([] { throw std::runtime_error("job 2 diverged"); });
+  g.run([&] { completed.fetch_add(1); });
+  g.run([] { throw std::runtime_error("job 4 diverged"); });
+  try {
+    g.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 2 diverged");
+  }
+  EXPECT_EQ(completed.load(), 2);  // healthy neighbors ran to completion
+}
+
+TEST(ExecCancellation, PerTaskCaptureKeepsTheGroupThrowFree) {
+  // The scheduler's own pattern: capture each job's exception inside its
+  // task so wait() never throws and every job's outcome is observable.
+  exec::ThreadPool pool(4);
+  std::vector<std::exception_ptr> errors(3);
+  exec::TaskGroup g(pool);
+  for (std::size_t i = 0; i < 3; ++i) {
+    g.run([&errors, i] {
+      try {
+        if (i == 1) throw std::runtime_error("quantum failed");
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  EXPECT_NO_THROW(g.wait());
+  EXPECT_EQ(errors[0], nullptr);
+  ASSERT_NE(errors[1], nullptr);
+  EXPECT_EQ(errors[2], nullptr);
+  EXPECT_THROW(std::rethrow_exception(errors[1]), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace g6

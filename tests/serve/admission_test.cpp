@@ -1,0 +1,109 @@
+// AdmissionController: bounded queue depth, feasibility checks, and
+// explicit backpressure — every rejection names its reason.
+
+#include <gtest/gtest.h>
+
+#include "serve/admission.hpp"
+#include "util/check.hpp"
+
+namespace g6::serve {
+namespace {
+
+JobSpec good_spec() {
+  JobSpec s;
+  s.name = "ok";
+  s.n = 64;
+  s.t_end = 0.125;
+  s.boards = 1;
+  return s;
+}
+
+TEST(ServeAdmission, AcceptsAValidSpec) {
+  AdmissionController ac(4, 8);
+  const AdmissionDecision d = ac.decide(good_spec(), 0, 8, false);
+  EXPECT_TRUE(d.admit);
+  EXPECT_EQ(d.reason, RejectReason::kNone);
+}
+
+TEST(ServeAdmission, FullQueueIsExplicitBackpressure) {
+  AdmissionController ac(2, 8);
+  const AdmissionDecision d = ac.decide(good_spec(), 2, 8, false);
+  EXPECT_FALSE(d.admit);
+  EXPECT_EQ(d.reason, RejectReason::kQueueFull);
+  EXPECT_NE(d.message.find("retry later"), std::string::npos);
+}
+
+TEST(ServeAdmission, BoardRequestBeyondHealthyMachine) {
+  AdmissionController ac(4, 8);
+  JobSpec s = good_spec();
+  s.boards = 6;
+  // 8-board machine with only 4 healthy: a 6-board job is infeasible.
+  const AdmissionDecision d = ac.decide(s, 0, 4, false);
+  EXPECT_FALSE(d.admit);
+  EXPECT_EQ(d.reason, RejectReason::kBoardsUnavailable);
+  EXPECT_NE(d.message.find("6 board(s)"), std::string::npos);
+  EXPECT_NE(d.message.find("4 healthy of 8"), std::string::npos);
+}
+
+TEST(ServeAdmission, DrainingRejectsEverything) {
+  AdmissionController ac(4, 8);
+  const AdmissionDecision d = ac.decide(good_spec(), 0, 8, true);
+  EXPECT_FALSE(d.admit);
+  EXPECT_EQ(d.reason, RejectReason::kDraining);
+}
+
+TEST(ServeAdmission, SpecValidationCatchesEachField) {
+  JobSpec s = good_spec();
+  s.name = "";
+  EXPECT_EQ(AdmissionController::validate_spec(s).reason,
+            RejectReason::kInvalidSpec);
+
+  s = good_spec();
+  s.model = "galaxy";
+  EXPECT_EQ(AdmissionController::validate_spec(s).reason,
+            RejectReason::kInvalidSpec);
+
+  s = good_spec();
+  s.n = 1;
+  EXPECT_EQ(AdmissionController::validate_spec(s).reason,
+            RejectReason::kInvalidSpec);
+
+  s = good_spec();
+  s.t_end = 0.0;
+  EXPECT_EQ(AdmissionController::validate_spec(s).reason,
+            RejectReason::kInvalidSpec);
+
+  s = good_spec();
+  s.eta = -0.01;
+  EXPECT_EQ(AdmissionController::validate_spec(s).reason,
+            RejectReason::kInvalidSpec);
+
+  s = good_spec();
+  s.eps = -1.0;
+  EXPECT_EQ(AdmissionController::validate_spec(s).reason,
+            RejectReason::kInvalidSpec);
+
+  s = good_spec();
+  s.boards = 0;
+  EXPECT_EQ(AdmissionController::validate_spec(s).reason,
+            RejectReason::kInvalidSpec);
+
+  EXPECT_TRUE(AdmissionController::validate_spec(good_spec()).admit);
+}
+
+TEST(ServeAdmission, ValidationRunsBeforeCapacityChecks) {
+  AdmissionController ac(1, 8);
+  JobSpec s = good_spec();
+  s.model = "nope";
+  // Invalid spec reported as such even when the queue is also full.
+  const AdmissionDecision d = ac.decide(s, 1, 8, false);
+  EXPECT_EQ(d.reason, RejectReason::kInvalidSpec);
+}
+
+TEST(ServeAdmission, ConstructorPreconditions) {
+  EXPECT_THROW(AdmissionController(0, 8), PreconditionError);
+  EXPECT_THROW(AdmissionController(4, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace g6::serve

@@ -1,0 +1,132 @@
+// ServeClient / GrapeService through the PUBLIC surface only — this file
+// deliberately includes just serve/serve.hpp, exactly what a tenant sees
+// (the g6lint serve-isolation rule guarantees nothing more is reachable).
+
+#include <gtest/gtest.h>
+
+#include "serve/serve.hpp"
+#include "util/check.hpp"
+
+namespace g6::serve {
+namespace {
+
+ServiceConfig one_board_service() {
+  ServiceConfig cfg;
+  cfg.machine.boards_per_host = 1;
+  cfg.machine.hosts_per_cluster = 1;
+  cfg.machine.clusters = 1;
+  cfg.max_queue_depth = 2;
+  cfg.quantum_blocksteps = 8;
+  return cfg;
+}
+
+JobSpec quick_job(const std::string& name, unsigned seed = 1) {
+  JobSpec s;
+  s.name = name;
+  s.n = 32;
+  s.t_end = 0.03125;
+  s.seed = seed;
+  return s;
+}
+
+TEST(ServeClientTest, SubmitRunReport) {
+  GrapeService service(one_board_service());
+  ServeClient client = service.client();
+
+  const SubmitResult r = client.submit(quick_job("mine"));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(client.state(r.id), JobState::kQueued);
+
+  service.run_until_drained();
+
+  EXPECT_EQ(client.state(r.id), JobState::kCompleted);
+  const JobReport rep = client.report(r.id);
+  EXPECT_EQ(rep.name, "mine");
+  EXPECT_EQ(rep.t_reached, rep.t_end);
+  EXPECT_GT(rep.steps, 0u);
+  EXPECT_GT(rep.quanta, 0u);
+  EXPECT_LT(rep.energy_error(), 1e-3);  // physics stayed sane
+  double t = -1.0;
+  EXPECT_EQ(client.final_state(r.id, &t).size(), 32u);
+  EXPECT_EQ(t, rep.t_end);
+}
+
+TEST(ServeClientTest, QueueFullIsExplicitBackpressure) {
+  GrapeService service(one_board_service());  // depth 2
+  ServeClient client = service.client();
+
+  ASSERT_TRUE(client.submit(quick_job("a", 1)));
+  ASSERT_TRUE(client.submit(quick_job("b", 2)));
+  const SubmitResult r3 = client.submit(quick_job("c", 3));
+  EXPECT_FALSE(r3);
+  EXPECT_EQ(r3.reason, RejectReason::kQueueFull);
+  EXPECT_FALSE(r3.message.empty());
+  // The rejected job stays queryable — no silent drop.
+  EXPECT_EQ(client.state(r3.id), JobState::kRejected);
+  EXPECT_EQ(client.report(r3.id).reject_reason, RejectReason::kQueueFull);
+  EXPECT_EQ(service.stats().rejected, 1u);
+
+  service.run_until_drained();
+  EXPECT_EQ(service.stats().completed, 2u);
+}
+
+TEST(ServeClientTest, OverAskedBoardsRejectedAtTheDoor) {
+  GrapeService service(one_board_service());
+  JobSpec greedy = quick_job("greedy");
+  greedy.boards = 2;  // one-board machine
+  const SubmitResult r = service.client().submit(greedy);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.reason, RejectReason::kBoardsUnavailable);
+}
+
+TEST(ServeClientTest, InvalidSpecAndDuplicateNameRejected) {
+  GrapeService service(one_board_service());
+  ServeClient client = service.client();
+
+  JobSpec bad = quick_job("bad");
+  bad.model = "spiral";
+  EXPECT_EQ(client.submit(bad).reason, RejectReason::kInvalidSpec);
+
+  ASSERT_TRUE(client.submit(quick_job("same", 1)));
+  const SubmitResult dup = client.submit(quick_job("same", 2));
+  EXPECT_FALSE(dup);
+  EXPECT_EQ(dup.reason, RejectReason::kInvalidSpec);
+  EXPECT_NE(dup.message.find("duplicate"), std::string::npos);
+}
+
+TEST(ServeClientTest, DrainRejectsNewWorkButFinishesOldWork) {
+  GrapeService service(one_board_service());
+  ServeClient client = service.client();
+  const SubmitResult r = client.submit(quick_job("old"));
+  ASSERT_TRUE(r);
+  service.drain();
+  EXPECT_EQ(client.submit(quick_job("new")).reason, RejectReason::kDraining);
+  service.run_until_drained();
+  EXPECT_EQ(client.state(r.id), JobState::kCompleted);
+}
+
+TEST(ServeClientTest, FinalStateOfUnfinishedJobThrows) {
+  GrapeService service(one_board_service());
+  ServeClient client = service.client();
+  const SubmitResult r = client.submit(quick_job("early"));
+  ASSERT_TRUE(r);
+  EXPECT_THROW(client.final_state(r.id), PreconditionError);
+}
+
+TEST(ServeClientTest, ServiceStatsAggregate) {
+  GrapeService service(one_board_service());
+  ServeClient client = service.client();
+  ASSERT_TRUE(client.submit(quick_job("a", 1)));
+  ASSERT_TRUE(client.submit(quick_job("b", 2)));
+  service.run_until_drained();
+  const ServiceStats& st = service.stats();
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.completed, 2u);
+  EXPECT_GT(st.rounds, 0u);
+  EXPECT_GE(st.makespan_s, 0.0);
+  EXPECT_GT(st.eq10.steps, 0u);  // merged per-job Eq 10 accounting
+  EXPECT_EQ(service.jobs().size(), 2u);
+}
+
+}  // namespace
+}  // namespace g6::serve

@@ -1,0 +1,92 @@
+// BoardPartitioner: first-fit leases, release, and death accounting —
+// the machine-sharing substrate mirroring the paper's 4-way partition.
+
+#include <gtest/gtest.h>
+
+#include "serve/partition.hpp"
+#include "util/check.hpp"
+
+namespace g6::serve {
+namespace {
+
+TEST(ServePartition, AcquiresLowestFreeBoardsFirst) {
+  BoardPartitioner p(4);
+  auto a = p.acquire(1, 2);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->boards, (std::vector<std::size_t>{0, 1}));
+  auto b = p.acquire(2, 1);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->boards, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(p.free(), 1u);
+  EXPECT_EQ(p.leased(), 3u);
+}
+
+TEST(ServePartition, AcquireFailsWithoutEnoughFreeBoards) {
+  BoardPartitioner p(2);
+  ASSERT_TRUE(p.acquire(1, 1).has_value());
+  EXPECT_FALSE(p.acquire(2, 2).has_value());
+  EXPECT_EQ(p.free(), 1u);  // failed acquire leases nothing
+}
+
+TEST(ServePartition, ReleaseReturnsBoardsToThePool) {
+  BoardPartitioner p(3);
+  auto a = p.acquire(1, 3);
+  ASSERT_TRUE(a.has_value());
+  p.release(*a);
+  EXPECT_EQ(p.free(), 3u);
+  // Released boards lease again, lowest first.
+  auto b = p.acquire(2, 1);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->boards.front(), 0u);
+}
+
+TEST(ServePartition, DeathUnderALeaseNamesTheOwner) {
+  BoardPartitioner p(4);
+  auto a = p.acquire(7, 2);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(p.mark_dead(1), 7u);       // leased by job 7
+  EXPECT_EQ(p.mark_dead(1), 0u);       // already dead: no owner
+  EXPECT_EQ(p.mark_dead(3), 0u);       // free board: no owner
+  EXPECT_TRUE(p.is_dead(1));
+  EXPECT_EQ(p.dead(), 2u);
+  EXPECT_EQ(p.healthy(), 2u);
+}
+
+TEST(ServePartition, DeadBoardsNeverLeaseAgain) {
+  BoardPartitioner p(2);
+  p.mark_dead(0);
+  auto a = p.acquire(1, 1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->boards, (std::vector<std::size_t>{1}));
+  EXPECT_FALSE(p.acquire(2, 1).has_value());
+}
+
+TEST(ServePartition, ReleaseSkipsBoardsThatDiedWhileLeased) {
+  BoardPartitioner p(2);
+  auto a = p.acquire(1, 2);
+  ASSERT_TRUE(a.has_value());
+  p.mark_dead(0);
+  p.release(*a);  // must not resurrect board 0
+  EXPECT_EQ(p.free(), 1u);
+  EXPECT_EQ(p.dead(), 1u);
+  EXPECT_TRUE(p.is_dead(0));
+}
+
+TEST(ServePartition, OwnerLookup) {
+  BoardPartitioner p(2);
+  auto a = p.acquire(9, 1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(p.owner_of(0), 9u);
+  EXPECT_EQ(p.owner_of(1), 0u);
+}
+
+TEST(ServePartition, Preconditions) {
+  EXPECT_THROW(BoardPartitioner(0), PreconditionError);
+  BoardPartitioner p(1);
+  EXPECT_THROW(p.acquire(0, 1), PreconditionError);  // owner 0 invalid
+  EXPECT_THROW(p.acquire(1, 0), PreconditionError);  // empty lease invalid
+  EXPECT_THROW(p.mark_dead(5), PreconditionError);   // out of range
+}
+
+}  // namespace
+}  // namespace g6::serve

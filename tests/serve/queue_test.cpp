@@ -1,0 +1,67 @@
+// JobQueue: priority classes, FIFO within a class, and the two re-entry
+// modes (push_back = admission/preemption, push_front = revocation).
+
+#include <gtest/gtest.h>
+
+#include "serve/job_queue.hpp"
+#include "util/check.hpp"
+
+namespace g6::serve {
+namespace {
+
+TEST(ServeQueue, FifoWithinClass) {
+  JobQueue q;
+  q.push_back(1, Priority::kBatch);
+  q.push_back(2, Priority::kBatch);
+  q.push_back(3, Priority::kBatch);
+  EXPECT_EQ(q.dispatch_order(), (std::vector<JobId>{1, 2, 3}));
+}
+
+TEST(ServeQueue, InteractiveClassDispatchesFirst) {
+  JobQueue q;
+  q.push_back(1, Priority::kBatch);
+  q.push_back(2, Priority::kInteractive);
+  q.push_back(3, Priority::kBatch);
+  q.push_back(4, Priority::kInteractive);
+  // Class order beats submission order; FIFO inside each class.
+  EXPECT_EQ(q.dispatch_order(), (std::vector<JobId>{2, 4, 1, 3}));
+  EXPECT_EQ(q.class_depth(Priority::kInteractive), 2u);
+  EXPECT_EQ(q.class_depth(Priority::kBatch), 2u);
+}
+
+TEST(ServeQueue, PushFrontKeepsTheVictimsTurn) {
+  JobQueue q;
+  q.push_back(1, Priority::kBatch);
+  q.push_back(2, Priority::kBatch);
+  q.push_front(3, Priority::kBatch);  // revoked job goes first in class
+  EXPECT_EQ(q.dispatch_order(), (std::vector<JobId>{3, 1, 2}));
+}
+
+TEST(ServeQueue, RemoveFindsAnyPosition) {
+  JobQueue q;
+  q.push_back(1, Priority::kBatch);
+  q.push_back(2, Priority::kInteractive);
+  q.push_back(3, Priority::kBatch);
+  EXPECT_TRUE(q.remove(3));
+  EXPECT_FALSE(q.remove(3));  // already gone
+  EXPECT_FALSE(q.remove(99));
+  EXPECT_EQ(q.dispatch_order(), (std::vector<JobId>{2, 1}));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(ServeQueue, EmptyAndSize) {
+  JobQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push_back(7, Priority::kInteractive);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ServeQueue, RejectsInvalidIds) {
+  JobQueue q;
+  EXPECT_THROW(q.push_back(0, Priority::kBatch), PreconditionError);
+  EXPECT_THROW(q.push_front(0, Priority::kInteractive), PreconditionError);
+}
+
+}  // namespace
+}  // namespace g6::serve

@@ -1,0 +1,306 @@
+// Scheduler: the serving loop's contract. The load-bearing property is
+// DETERMINISTIC ISOLATION — a job's final state is bit-identical to the
+// same spec run standalone, no matter which neighbors it shared the
+// machine with, how often it was preempted, or whether its boards died
+// under it. The rest covers the scheduling policy itself: round-robin
+// preemption, priority classes, revocation re-queue budgets, and error
+// containment (one diverging job must not hurt the others).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "grape/engine.hpp"
+#include "hermite/integrator.hpp"
+#include "serve/job.hpp"
+#include "serve/scheduler.hpp"
+#include "util/check.hpp"
+
+namespace g6::serve {
+namespace {
+
+/// A small 1-board-per-host machine shape: pool size = `boards`.
+MachineConfig tiny_machine(std::size_t boards) {
+  MachineConfig mc;
+  mc.boards_per_host = boards;
+  mc.hosts_per_cluster = 1;
+  mc.clusters = 1;
+  return mc;
+}
+
+JobSpec small_job(const std::string& name, unsigned seed,
+                  std::size_t boards = 1) {
+  JobSpec s;
+  s.name = name;
+  s.model = "plummer";
+  s.n = 48;
+  s.t_end = 0.0625;
+  s.seed = seed;
+  s.boards = boards;
+  return s;
+}
+
+/// Reference: the exact computation the service promises — same spec,
+/// same engine shape, run alone in one evolve() call.
+ParticleSet run_standalone(const JobSpec& spec, const MachineConfig& machine) {
+  MachineConfig mc = machine;
+  mc.boards_per_host = spec.boards;
+  GrapeForceEngine engine(mc, NumberFormats{}, spec.eps);
+  HermiteConfig hc;
+  hc.eta = spec.eta;
+  HermiteIntegrator integ(build_model(spec), engine, hc);
+  integ.evolve(spec.t_end);
+  return integ.state_at_current_time();
+}
+
+void expect_bit_identical(const ParticleSet& a, const ParticleSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int k = 0; k < 3; ++k) {
+      ASSERT_EQ(a[i].pos[k], b[i].pos[k]) << "pos, particle " << i;
+      ASSERT_EQ(a[i].vel[k], b[i].vel[k]) << "vel, particle " << i;
+    }
+    ASSERT_EQ(a[i].mass, b[i].mass);
+  }
+}
+
+TEST(ServeScheduler, JobsBitIdenticalAloneVsShared) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(2);
+  cfg.quantum_blocksteps = 4;  // force several quanta per job
+  Scheduler sched(cfg);
+
+  const JobSpec a = small_job("a", 11);
+  const JobSpec b = small_job("b", 22);
+  const SubmitResult ra = sched.submit(a);
+  const SubmitResult rb = sched.submit(b);
+  ASSERT_TRUE(ra.accepted);
+  ASSERT_TRUE(rb.accepted);
+  sched.run_until_drained();
+
+  ASSERT_EQ(sched.state(ra.id), JobState::kCompleted);
+  ASSERT_EQ(sched.state(rb.id), JobState::kCompleted);
+  double ta = 0.0, tb = 0.0;
+  expect_bit_identical(sched.final_state(ra.id, &ta),
+                       run_standalone(a, cfg.machine));
+  expect_bit_identical(sched.final_state(rb.id, &tb),
+                       run_standalone(b, cfg.machine));
+  EXPECT_EQ(ta, a.t_end);
+  EXPECT_EQ(tb, b.t_end);
+}
+
+TEST(ServeScheduler, PreemptionTimeSharesOneBoard) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(1);
+  cfg.quantum_blocksteps = 2;
+  Scheduler sched(cfg);
+
+  const JobSpec a = small_job("a", 5);
+  const JobSpec b = small_job("b", 6);
+  const SubmitResult ra = sched.submit(a);
+  const SubmitResult rb = sched.submit(b);
+  ASSERT_TRUE(ra.accepted && rb.accepted);
+  sched.run_until_drained();
+
+  ASSERT_EQ(sched.state(ra.id), JobState::kCompleted);
+  ASSERT_EQ(sched.state(rb.id), JobState::kCompleted);
+  // One board, two live jobs: the only way both finish is cooperative
+  // yielding at quantum boundaries.
+  EXPECT_GE(sched.stats().preemptions, 2u);
+  EXPECT_GE(sched.report(ra.id).preemptions, 1u);
+  EXPECT_GE(sched.report(rb.id).preemptions, 1u);
+  // Time-sharing must not perturb the physics.
+  double t = 0.0;
+  expect_bit_identical(sched.final_state(ra.id, &t),
+                       run_standalone(a, cfg.machine));
+  expect_bit_identical(sched.final_state(rb.id, &t),
+                       run_standalone(b, cfg.machine));
+}
+
+TEST(ServeScheduler, InteractiveClassWaitsLess) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(1);
+  cfg.quantum_blocksteps = 2;
+  Scheduler sched(cfg);
+
+  JobSpec batch = small_job("batch", 7);
+  JobSpec inter = small_job("inter", 8);
+  inter.priority = Priority::kInteractive;
+  // Batch submitted FIRST; the interactive job still dispatches first
+  // (class order beats submission order) and is never preempted by a
+  // batch waiter (victims must be of the same or lower priority).
+  const SubmitResult rb = sched.submit(batch);
+  const SubmitResult ri = sched.submit(inter);
+  ASSERT_TRUE(rb.accepted && ri.accepted);
+  sched.run_until_drained();
+
+  ASSERT_EQ(sched.state(ri.id), JobState::kCompleted);
+  ASSERT_EQ(sched.state(rb.id), JobState::kCompleted);
+  EXPECT_EQ(sched.report(ri.id).preemptions, 0u);
+  EXPECT_LE(sched.report(ri.id).wait_s, sched.report(rb.id).wait_s);
+}
+
+TEST(ServeScheduler, BoardDeathRevokesAndRequeues) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(2);
+  cfg.quantum_blocksteps = 2;
+  // Board 0 dies after the job's first quantum. The job holds board 0
+  // (lowest-first first fit), loses the lease, and must resume on board 1
+  // from its last quantum boundary — bit-identically.
+  cfg.board_deaths.push_back({1, 0});
+  Scheduler sched(cfg);
+
+  const JobSpec a = small_job("a", 33);
+  const SubmitResult ra = sched.submit(a);
+  ASSERT_TRUE(ra.accepted);
+  sched.run_until_drained();
+
+  ASSERT_EQ(sched.state(ra.id), JobState::kCompleted);
+  const JobReport rep = sched.report(ra.id);
+  EXPECT_EQ(rep.revocations, 1u);
+  EXPECT_EQ(sched.stats().revocations, 1u);
+  EXPECT_EQ(sched.stats().boards_dead, 1u);
+  EXPECT_EQ(sched.healthy_boards(), 1u);
+  double t = 0.0;
+  expect_bit_identical(sched.final_state(ra.id, &t),
+                       run_standalone(a, cfg.machine));
+}
+
+TEST(ServeScheduler, RequeueBudgetExhaustionFailsTheJob) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(3);
+  cfg.quantum_blocksteps = 1;  // job stays live across several rounds
+  cfg.max_requeues = 1;
+  cfg.board_deaths.push_back({1, 0});
+  cfg.board_deaths.push_back({2, 1});
+  Scheduler sched(cfg);
+
+  const SubmitResult ra = sched.submit(small_job("doomed", 9));
+  ASSERT_TRUE(ra.accepted);
+  sched.run_until_drained();
+
+  ASSERT_EQ(sched.state(ra.id), JobState::kFailed);
+  const JobReport rep = sched.report(ra.id);
+  EXPECT_EQ(rep.revocations, 2u);
+  EXPECT_NE(rep.message.find("re-queue budget exhausted"), std::string::npos);
+  EXPECT_EQ(sched.stats().failed, 1u);
+}
+
+TEST(ServeScheduler, MachineDegradedBelowRequestFailsQueuedJob) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(2);
+  cfg.board_deaths.push_back({0, 0});
+  cfg.board_deaths.push_back({0, 1});
+  Scheduler sched(cfg);
+
+  const SubmitResult ra = sched.submit(small_job("starved", 3));
+  ASSERT_TRUE(ra.accepted);  // machine was whole at submission
+  sched.run_until_drained();
+
+  ASSERT_EQ(sched.state(ra.id), JobState::kFailed);
+  const JobReport rep = sched.report(ra.id);
+  EXPECT_EQ(rep.reject_reason, RejectReason::kBoardsUnavailable);
+  EXPECT_NE(rep.message.find("degraded"), std::string::npos);
+  EXPECT_EQ(sched.healthy_boards(), 0u);
+}
+
+TEST(ServeScheduler, RevocationBeforeFirstQuantumRestartsCleanly) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(2);
+  cfg.quantum_blocksteps = 64;
+  // Board 0 dies at round 0, BEFORE the first dispatch of that round —
+  // the job never runs on it; it starts fresh on board 1.
+  cfg.board_deaths.push_back({0, 0});
+  Scheduler sched(cfg);
+
+  const JobSpec a = small_job("a", 17);
+  const SubmitResult ra = sched.submit(a);
+  ASSERT_TRUE(ra.accepted);
+  sched.run_until_drained();
+
+  ASSERT_EQ(sched.state(ra.id), JobState::kCompleted);
+  double t = 0.0;
+  expect_bit_identical(sched.final_state(ra.id, &t),
+                       run_standalone(a, cfg.machine));
+}
+
+TEST(ServeScheduler, BackfillPastABlockedBigJob) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(2);
+  cfg.quantum_blocksteps = 2;
+  Scheduler sched(cfg);
+
+  // big wants the whole machine; small can backfill on one board while
+  // big's turn is being assembled by preemption.
+  const JobSpec big = small_job("big", 1, 2);
+  const JobSpec sm1 = small_job("sm1", 2, 1);
+  const JobSpec sm2 = small_job("sm2", 3, 1);
+  const SubmitResult r1 = sched.submit(sm1);
+  const SubmitResult r2 = sched.submit(big);
+  const SubmitResult r3 = sched.submit(sm2);
+  ASSERT_TRUE(r1.accepted && r2.accepted && r3.accepted);
+  sched.run_until_drained();
+
+  ASSERT_EQ(sched.state(r1.id), JobState::kCompleted);
+  ASSERT_EQ(sched.state(r2.id), JobState::kCompleted);
+  ASSERT_EQ(sched.state(r3.id), JobState::kCompleted);
+  double t = 0.0;
+  expect_bit_identical(sched.final_state(r2.id, &t),
+                       run_standalone(big, cfg.machine));
+}
+
+TEST(ServeScheduler, SubmissionsRejectWhileDraining) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(1);
+  Scheduler sched(cfg);
+  sched.drain();
+  const SubmitResult r = sched.submit(small_job("late", 4));
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.reason, RejectReason::kDraining);
+  EXPECT_EQ(sched.state(r.id), JobState::kRejected);
+  sched.run_until_drained();  // nothing to do; must return immediately
+  EXPECT_EQ(sched.stats().completed, 0u);
+}
+
+TEST(ServeScheduler, SchedulingIsDeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t* preemptions, std::uint64_t* rounds) {
+    ServiceConfig cfg;
+    // 3 boards so the 2-board job stays satisfiable after board 0 dies:
+    // the run exercises preemption AND revocation, yet everyone completes.
+    cfg.machine = tiny_machine(3);
+    cfg.quantum_blocksteps = 2;
+    cfg.board_deaths.push_back({2, 0});
+    Scheduler sched(cfg);
+    std::vector<SubmitResult> rs;
+    rs.push_back(sched.submit(small_job("a", 1)));
+    rs.push_back(sched.submit(small_job("b", 2)));
+    rs.push_back(sched.submit(small_job("c", 3, 2)));
+    sched.run_until_drained();
+    *preemptions = sched.stats().preemptions;
+    *rounds = sched.stats().rounds;
+    double t = 0.0;
+    ParticleSet out = sched.final_state(rs[2].id, &t);
+    return out;
+  };
+  std::uint64_t p1 = 0, n1 = 0, p2 = 0, n2 = 0;
+  const ParticleSet s1 = run_once(&p1, &n1);
+  const ParticleSet s2 = run_once(&p2, &n2);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(n1, n2);
+  expect_bit_identical(s1, s2);
+}
+
+TEST(ServeScheduler, FinalStateDemandsCompletion) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(1);
+  Scheduler sched(cfg);
+  const SubmitResult r = sched.submit(small_job("pending", 2));
+  ASSERT_TRUE(r.accepted);
+  EXPECT_THROW(sched.final_state(r.id, nullptr), PreconditionError);
+  EXPECT_THROW(sched.report(0), PreconditionError);
+  EXPECT_THROW(sched.report(99), PreconditionError);
+}
+
+}  // namespace
+}  // namespace g6::serve

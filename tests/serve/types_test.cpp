@@ -1,0 +1,64 @@
+// serve value types: name functions, report math, and the fault-plan to
+// board-death bridge.
+
+#include <gtest/gtest.h>
+
+#include "serve/types.hpp"
+#include "util/check.hpp"
+
+namespace g6::serve {
+namespace {
+
+TEST(ServeTypes, NamesAreStable) {
+  EXPECT_STREQ(priority_name(Priority::kInteractive), "interactive");
+  EXPECT_STREQ(priority_name(Priority::kBatch), "batch");
+  EXPECT_STREQ(job_state_name(JobState::kQueued), "queued");
+  EXPECT_STREQ(job_state_name(JobState::kRunning), "running");
+  EXPECT_STREQ(job_state_name(JobState::kCompleted), "completed");
+  EXPECT_STREQ(job_state_name(JobState::kFailed), "failed");
+  EXPECT_STREQ(job_state_name(JobState::kRejected), "rejected");
+  EXPECT_STREQ(reject_reason_name(RejectReason::kNone), "none");
+  EXPECT_STREQ(reject_reason_name(RejectReason::kQueueFull), "queue-full");
+  EXPECT_STREQ(reject_reason_name(RejectReason::kBoardsUnavailable),
+               "boards-unavailable");
+  EXPECT_STREQ(reject_reason_name(RejectReason::kInvalidSpec),
+               "invalid-spec");
+  EXPECT_STREQ(reject_reason_name(RejectReason::kDraining), "draining");
+}
+
+TEST(ServeTypes, EnergyErrorIsRelativeDrift) {
+  JobReport r;
+  r.state = JobState::kCompleted;
+  r.e0 = -0.25;
+  r.e_final = -0.2500025;
+  EXPECT_NEAR(r.energy_error(), 1e-5, 1e-9);
+  r.e_final = r.e0;
+  EXPECT_EQ(r.energy_error(), 0.0);
+}
+
+TEST(ServeTypes, BoardDeathsFromPlanTakeOnlyBoardLevelEntries) {
+  fault::FaultPlan plan;
+  plan.hard_failures.push_back({2.0, 0, -1, -1});  // whole board 0
+  plan.hard_failures.push_back({5.0, 1, 3, -1});   // module-level: skip
+  plan.hard_failures.push_back({7.0, 1, -1, 2});   // chip-level: skip
+  plan.hard_failures.push_back({9.0, 2, -1, -1});  // whole board 2
+
+  const std::vector<BoardDeath> deaths = board_deaths_from_plan(plan);
+  ASSERT_EQ(deaths.size(), 2u);
+  EXPECT_EQ(deaths[0].round, 2u);
+  EXPECT_EQ(deaths[0].board, 0u);
+  EXPECT_EQ(deaths[1].round, 9u);
+  EXPECT_EQ(deaths[1].board, 2u);
+}
+
+TEST(ServeTypes, PoolBoardsMultipliesTheHierarchy) {
+  ServiceConfig cfg;
+  cfg.machine.boards_per_host = 4;
+  cfg.machine.hosts_per_cluster = 4;
+  cfg.machine.clusters = 1;
+  // The paper's partition: 4 hosts x 4 boards = a 16-board pool.
+  EXPECT_EQ(cfg.pool_boards(), 16u);
+}
+
+}  // namespace
+}  // namespace g6::serve

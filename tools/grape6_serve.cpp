@@ -1,0 +1,213 @@
+// grape6_serve — multi-tenant serving driver (docs/SERVING.md).
+//
+// Reads a JSON job manifest (schema grape6-serve-manifest-v1), submits
+// every job through the admission controller, time-shares the emulated
+// machine across the admitted ones, and writes per-job final snapshots
+// plus a per-job + aggregate report.
+//
+//   grape6_serve --manifest=jobs.json --out=serve
+//                --report-out=serve_report.json
+//
+// Outputs:
+//   <out>_<job>.snap       final snapshot of each completed job; the
+//                          serve_identity ctest cmp's these against
+//                          standalone runs of the same specs
+//   --report-out=...       JSON report, schema grape6-serve-report-v1
+//   --metrics-out=...      global metrics JSON (serve.* instruments)
+//   --trace-out=...        Chrome trace (serve.round / serve.job spans)
+//
+// Board deaths can come from the manifest ("service.board_deaths") or
+// from the board-level hard failures of a fault plan (--fault-plan),
+// mapped onto scheduler rounds — either way a death under a lease means
+// revocation and re-queue, not process death.
+//
+// Exit codes: 0 = every job completed; 3 = some jobs failed or were
+// rejected (their reports say why); 1 = driver error (bad manifest etc.).
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/grape6.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using namespace g6;
+
+void write_eq10(std::ofstream& os, const obs::Eq10Accumulator& eq) {
+  os << "{\"host_s\":" << eq.host_s << ",\"dma_s\":" << eq.dma_s
+     << ",\"net_s\":" << eq.net_s << ",\"grape_s\":" << eq.grape_s
+     << ",\"total_s\":" << eq.total_s << ",\"steps\":" << eq.steps
+     << ",\"blocksteps\":" << eq.blocksteps << "}";
+}
+
+void write_report(const std::string& path, const serve::GrapeService& service,
+                  const std::vector<std::pair<serve::JobId, std::string>>&
+                      snapshots) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write report: " + path);
+  os.precision(17);
+
+  const serve::ServiceStats& st = service.stats();
+  os << "{\n  \"schema\": \"grape6-serve-report-v1\",\n  \"service\": {"
+     << "\"boards\": " << service.config().pool_boards()
+     << ", \"healthy_boards\": " << service.healthy_boards()
+     << ", \"rounds\": " << st.rounds << ", \"submitted\": " << st.submitted
+     << ", \"rejected\": " << st.rejected
+     << ", \"completed\": " << st.completed << ", \"failed\": " << st.failed
+     << ", \"preemptions\": " << st.preemptions
+     << ", \"revocations\": " << st.revocations
+     << ", \"boards_dead\": " << st.boards_dead
+     << ", \"makespan_s\": " << st.makespan_s << ", \"eq10\": ";
+  write_eq10(os, st.eq10);
+  os << "},\n  \"jobs\": [\n";
+
+  const std::vector<serve::JobId> ids = service.jobs();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const serve::JobReport r = service.report(ids[i]);
+    std::string snap;
+    for (const auto& [id, file] : snapshots) {
+      if (id == r.id) snap = file;
+    }
+    os << "    {\"id\": " << r.id << ", \"name\": \""
+       << obs::json_escape(r.name) << "\", \"priority\": \""
+       << serve::priority_name(r.priority) << "\", \"state\": \""
+       << serve::job_state_name(r.state) << "\", \"reject_reason\": \""
+       << serve::reject_reason_name(r.reject_reason) << "\", \"message\": \""
+       << obs::json_escape(r.message) << "\",\n     \"n\": " << r.n
+       << ", \"boards\": " << r.boards << ", \"t_end\": " << r.t_end
+       << ", \"t_reached\": " << r.t_reached << ", \"steps\": " << r.steps
+       << ", \"blocksteps\": " << r.blocksteps
+       << ", \"quanta\": " << r.quanta
+       << ", \"preemptions\": " << r.preemptions
+       << ", \"revocations\": " << r.revocations
+       << ",\n     \"wait_s\": " << r.wait_s << ", \"run_s\": " << r.run_s
+       << ", \"grape_virtual_s\": " << r.grape_virtual_s
+       << ", \"e0\": " << r.e0 << ", \"e_final\": " << r.e_final
+       << ", \"energy_error\": " << r.energy_error()
+       << ",\n     \"snapshot\": \"" << obs::json_escape(snap)
+       << "\", \"eq10\": ";
+    write_eq10(os, r.eq10);
+    os << "}" << (i + 1 < ids.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+void print_job_table(const serve::GrapeService& service) {
+  std::printf("\n%-4s %-14s %-12s %-10s %6s %7s %7s %6s %6s %9s\n", "id",
+              "name", "priority", "state", "n", "boards", "quanta", "pre",
+              "rev", "dE/E");
+  for (serve::JobId id : service.jobs()) {
+    const serve::JobReport r = service.report(id);
+    std::printf("%-4llu %-14s %-12s %-10s %6zu %7zu %7llu %6llu %6llu %9.2e\n",
+                static_cast<unsigned long long>(r.id), r.name.c_str(),
+                serve::priority_name(r.priority),
+                serve::job_state_name(r.state), r.n, r.boards,
+                static_cast<unsigned long long>(r.quanta),
+                static_cast<unsigned long long>(r.preemptions),
+                static_cast<unsigned long long>(r.revocations),
+                r.energy_error());
+    if (!r.message.empty()) {
+      std::printf("     `- %s\n", r.message.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Cli cli(argc, argv);
+  const std::string manifest_path = cli.get_string(
+      "manifest", "", "job manifest JSON (grape6-serve-manifest-v1)");
+  const std::string out =
+      cli.get_string("out", "grape6_serve", "snapshot prefix");
+  const bool snapshots =
+      cli.get_bool("snapshots", true, "write <out>_<job>.snap per job");
+  const std::string report_out = cli.get_string(
+      "report-out", "", "write serve report JSON here (\"\" = off)");
+  const std::string metrics_out =
+      cli.get_string("metrics-out", "", "write metrics JSON here (\"\" = off)");
+  const std::string trace_out = cli.get_string(
+      "trace-out", "", "write Chrome trace JSON here (\"\" = off)");
+  const std::string fault_plan_path = cli.get_string(
+      "fault-plan", "", "board deaths from this fault plan's hard failures");
+  const auto threads = static_cast<unsigned>(cli.get_int(
+      "threads", 0, "exec pool threads (0 = auto: $G6_EXEC_THREADS, then "
+                    "hardware)"));
+  if (cli.finish()) return 0;
+
+  if (manifest_path.empty()) {
+    std::fprintf(stderr, "error: --manifest is required (see --help)\n");
+    return 1;
+  }
+  if (threads > 0) exec::ThreadPool::set_global_threads(threads);
+
+  serve::Manifest manifest = serve::load_manifest(manifest_path);
+  if (!fault_plan_path.empty()) {
+    const fault::FaultPlan plan = fault::FaultPlan::from_file(fault_plan_path);
+    for (const serve::BoardDeath& d :
+         serve::board_deaths_from_plan(plan)) {
+      manifest.service.board_deaths.push_back(d);
+    }
+  }
+
+  serve::GrapeService service(manifest.service);
+  serve::ServeClient client = service.client();
+
+  std::printf("grape6_serve: %zu-board machine, %zu job(s), quantum %zu "
+              "blocksteps\n",
+              service.config().pool_boards(), manifest.jobs.size(),
+              service.config().quantum_blocksteps);
+
+  std::vector<serve::JobId> accepted;
+  for (const serve::JobSpec& spec : manifest.jobs) {
+    const serve::SubmitResult r = client.submit(spec);
+    if (r) {
+      accepted.push_back(r.id);
+    } else {
+      std::printf("  rejected '%s' (%s): %s\n", spec.name.c_str(),
+                  serve::reject_reason_name(r.reason), r.message.c_str());
+    }
+  }
+
+  service.drain();
+  service.run_until_drained();
+
+  std::vector<std::pair<serve::JobId, std::string>> snapshot_files;
+  if (snapshots) {
+    for (serve::JobId id : accepted) {
+      if (service.state(id) != serve::JobState::kCompleted) continue;
+      double t = 0.0;
+      const ParticleSet& final = service.final_state(id, &t);
+      const std::string file = out + "_" + service.report(id).name + ".snap";
+      save_snapshot(file, final, t);
+      snapshot_files.emplace_back(id, file);
+    }
+  }
+
+  print_job_table(service);
+  const serve::ServiceStats& st = service.stats();
+  std::printf("\nservice: %llu rounds, %llu completed, %llu failed, %llu "
+              "rejected, %llu preemptions, %llu revocations, %zu board(s) "
+              "dead, makespan %.3f s\n",
+              static_cast<unsigned long long>(st.rounds),
+              static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(st.failed),
+              static_cast<unsigned long long>(st.rejected),
+              static_cast<unsigned long long>(st.preemptions),
+              static_cast<unsigned long long>(st.revocations), st.boards_dead,
+              st.makespan_s);
+
+  if (!report_out.empty()) write_report(report_out, service, snapshot_files);
+  obs::export_metrics_json(metrics_out, &st.eq10);
+  obs::export_chrome_trace(trace_out);
+
+  const bool all_completed = st.failed == 0 && st.rejected == 0;
+  return all_completed ? 0 : 3;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "grape6_serve: error: %s\n", e.what());
+  return 1;
+}

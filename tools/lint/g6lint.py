@@ -58,6 +58,17 @@ The GRAPE-6 software twin has correctness properties that hinge on
                   throws, so the integrator can retry transients and
                   degrade gracefully instead of losing the whole run.
 
+  serve-isolation The serving layer's scheduling internals (JobQueue,
+                  Scheduler, BoardPartitioner, AdmissionController,
+                  JobRuntime) are private to src/serve/. Code anywhere
+                  else — src/, tools/, bench/, examples/ — must not
+                  include their headers or name their types; clients go
+                  through serve/serve.hpp (GrapeService / ServeClient).
+                  The boundary is what keeps admission and fair-share
+                  accounting enforceable: a driver that pokes the queue
+                  directly bypasses backpressure (docs/SERVING.md).
+                  tests/ are exempt (white-box tests exercise internals).
+
 Suppressions (the tool polices its own escape hatch — a suppression
 without a reason is itself a finding):
 
@@ -183,8 +194,25 @@ RAW_THREAD_EXEMPT_PREFIX = "src/exec/"
 RAW_THREAD_RE = re.compile(
     r"\bstd::(?:thread|jthread|async|this_thread)\b")
 
+# The serving layer's internal headers and types: private to src/serve/.
+# Clients (anything else in src/, plus tools/bench/examples) use the
+# public surface — serve/serve.hpp, serve/types.hpp, serve/service.hpp,
+# serve/manifest.hpp — and talk through GrapeService / ServeClient.
+SERVE_INTERNAL_HEADERS = (
+    "serve/job_queue.hpp",
+    "serve/scheduler.hpp",
+    "serve/partition.hpp",
+    "serve/admission.hpp",
+    "serve/job.hpp",
+)
+SERVE_INTERNAL_RE = re.compile(
+    r"\bserve::(?:JobQueue|Scheduler|BoardPartitioner|AdmissionController|"
+    r"JobRuntime|SavedJob|AdmissionDecision|BoardLease)\b")
+SERVE_ISOLATION_SCOPE_PREFIXES = ("src/", "tools/", "bench/", "examples/")
+
 RULES = ("raw-float", "native-float", "nondeterminism", "raw-timing",
-         "raw-thread", "require-at-api", "nolint-comment", "bare-abort")
+         "raw-thread", "require-at-api", "nolint-comment", "bare-abort",
+         "serve-isolation")
 
 
 class Finding:
@@ -283,10 +311,39 @@ def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None
     in_raw_float_scope = relpath in RAW_FLOAT_SCOPE
     in_native_float_scope = relpath.startswith(NATIVE_FLOAT_SCOPE_PREFIXES)
     in_src = relpath.startswith("src/")
+    in_serve_isolation_scope = (
+        relpath.startswith(SERVE_ISOLATION_SCOPE_PREFIXES)
+        and not relpath.startswith("src/serve/"))
+
+    # serve-isolation, include half: preprocessor lines are skipped by the
+    # main loop below, so internal-header includes get their own pass.
+    if in_serve_isolation_scope:
+        for lineno, code in enumerate(code_lines, start=1):
+            stripped = code.lstrip()
+            if not stripped.startswith("#") or "include" not in stripped:
+                continue
+            raw = lines[lineno - 1]  # includes live in the raw line's quotes
+            for hdr in SERVE_INTERNAL_HEADERS:
+                if (f'"{hdr}"' in raw or f"<{hdr}>" in raw) \
+                        and not sup.allowed("serve-isolation", lineno):
+                    findings.append(Finding(
+                        relpath, lineno, "serve-isolation",
+                        f"include of serving-layer internal header {hdr} "
+                        "outside src/serve/ — include serve/serve.hpp and "
+                        "go through GrapeService / ServeClient"))
 
     for lineno, code in enumerate(code_lines, start=1):
         if not code.strip() or code.lstrip().startswith("#"):
             continue
+
+        if (in_serve_isolation_scope and SERVE_INTERNAL_RE.search(code)
+                and not sup.allowed("serve-isolation", lineno)):
+            findings.append(Finding(
+                relpath, lineno, "serve-isolation",
+                "use of a serving-layer internal type outside src/serve/ — "
+                "JobQueue/Scheduler/BoardPartitioner/AdmissionController/"
+                "JobRuntime are private; clients submit through "
+                "ServeClient (serve/serve.hpp)"))
 
         if in_native_float_scope and re.search(r"\bfloat\b", code):
             if not sup.allowed("native-float", lineno):
@@ -370,8 +427,13 @@ def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None
 
 
 def collect_targets(root: pathlib.Path) -> list[str]:
+    # src/ carries every rule; tools/, bench/ and examples/ are scanned
+    # for the cross-cutting boundary rules (serve-isolation,
+    # nolint-comment) — the src-scoped rules gate themselves by prefix.
     targets = []
-    for sub in ("src",):
+    for sub in ("src", "tools", "bench", "examples"):
+        if not (root / sub).is_dir():
+            continue
         for p in sorted((root / sub).rglob("*")):
             if p.suffix in (".hpp", ".cpp") and p.is_file():
                 targets.append(str(p.relative_to(root)))

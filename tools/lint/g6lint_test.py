@@ -239,6 +239,98 @@ class BareAbortTest(LintHarness):
         self.assertIn("bare-abort", g6lint.RULES)
 
 
+class ServeIsolationTest(LintHarness):
+    """The serve-isolation rule: scheduling internals stay in src/serve."""
+
+    def test_internal_header_include_banned_in_src(self):
+        findings = self.lint(
+            "src/core/t.cpp",
+            "#include \"serve/scheduler.hpp\"\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertIn("serve-isolation", self.rules_of(findings))
+
+    def test_internal_header_include_banned_in_tools(self):
+        findings = self.lint(
+            "tools/t.cpp",
+            "#include \"serve/job_queue.hpp\"\n"
+            "int main() { return 0; }\n")
+        self.assertIn("serve-isolation", self.rules_of(findings))
+
+    def test_every_internal_header_is_covered(self):
+        for hdr in ("serve/job_queue.hpp", "serve/scheduler.hpp",
+                    "serve/partition.hpp", "serve/admission.hpp",
+                    "serve/job.hpp"):
+            findings = self.lint(
+                "bench/t.cpp", f"#include \"{hdr}\"\nvoid f() {{}}\n")
+            self.assertIn("serve-isolation", self.rules_of(findings),
+                          msg=hdr)
+
+    def test_internal_type_use_banned(self):
+        findings = self.lint(
+            "src/core/t.cpp",
+            "void f(g6::serve::Scheduler& s) { (void)s; G6_REQUIRE(true); }\n")
+        self.assertIn("serve-isolation", self.rules_of(findings))
+
+    def test_internal_type_use_banned_in_examples(self):
+        findings = self.lint(
+            "examples/t.cpp",
+            "void f() { g6::serve::BoardPartitioner p(4); (void)p; }\n")
+        self.assertIn("serve-isolation", self.rules_of(findings))
+
+    def test_public_surface_is_fine(self):
+        findings = self.lint(
+            "tools/t.cpp",
+            "#include \"serve/serve.hpp\"\n"
+            "#include \"serve/types.hpp\"\n"
+            "#include \"serve/service.hpp\"\n"
+            "#include \"serve/manifest.hpp\"\n"
+            "void f() { g6::serve::GrapeService svc({});\n"
+            "  g6::serve::ServeClient c = svc.client(); (void)c; }\n")
+        self.assertNotIn("serve-isolation", self.rules_of(findings))
+
+    def test_src_serve_itself_is_exempt(self):
+        findings = self.lint(
+            "src/serve/scheduler2.cpp",
+            "#include \"serve/job_queue.hpp\"\n"
+            "void f(g6::serve::JobQueue& q) { (void)q; G6_REQUIRE(true); }\n")
+        self.assertNotIn("serve-isolation", self.rules_of(findings))
+
+    def test_tests_are_exempt_white_box(self):
+        findings = self.lint(
+            "tests/serve/t.cpp",
+            "#include \"serve/scheduler.hpp\"\n"
+            "void f(g6::serve::Scheduler& s) { (void)s; }\n")
+        self.assertNotIn("serve-isolation", self.rules_of(findings))
+
+    def test_comment_mention_is_fine(self):
+        findings = self.lint(
+            "src/core/t.cpp",
+            "// the serve::Scheduler round loop owns dispatch ordering\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("serve-isolation", self.rules_of(findings))
+
+    def test_suppression_with_reason_works(self):
+        findings = self.lint(
+            "tools/t.cpp",
+            "#include \"serve/scheduler.hpp\""
+            "  // g6lint: allow(serve-isolation) -- scheduler debug dumper\n"
+            "int main() { return 0; }\n")
+        self.assertNotIn("serve-isolation", self.rules_of(findings))
+
+    def test_collect_targets_scans_tools_bench_examples(self):
+        for sub in ("tools", "bench", "examples"):
+            d = self.root / sub
+            d.mkdir(exist_ok=True)
+            (d / "x.cpp").write_text("void f() {}\n")
+        targets = g6lint.collect_targets(self.root)
+        self.assertIn("tools/x.cpp", targets)
+        self.assertIn("bench/x.cpp", targets)
+        self.assertIn("examples/x.cpp", targets)
+
+    def test_rule_is_registered(self):
+        self.assertIn("serve-isolation", g6lint.RULES)
+
+
 class OtherRulesSmokeTest(LintHarness):
     """The pre-existing rules keep working alongside the new one."""
 
