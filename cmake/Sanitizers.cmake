@@ -46,3 +46,24 @@ if(GRAPE6_SANITIZE)
   target_link_options(grape6_sanitizers INTERFACE ${_g6_san_flags})
   message(STATUS "Sanitizers enabled: ${GRAPE6_SANITIZE}")
 endif()
+
+# Clang Thread Safety Analysis (-Wthread-safety): checks the
+# G6_GUARDED_BY / G6_REQUIRES annotations from util/thread_annotations.hpp
+# at compile time. Clang-only — the annotations are no-op macros on GCC —
+# so requesting it under another compiler is a configuration error, not a
+# silent skip. -Wthread-safety-beta adds the lock-ordering checks
+# (G6_ACQUIRED_BEFORE/AFTER). Enabled by the clang-analysis preset.
+option(GRAPE6_THREAD_SAFETY
+       "Enable clang -Wthread-safety analysis (clang only)" OFF)
+
+if(GRAPE6_THREAD_SAFETY)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+      "GRAPE6_THREAD_SAFETY requires clang (the thread safety attributes "
+      "are no-ops elsewhere); configure with CMAKE_CXX_COMPILER=clang++")
+  endif()
+  target_compile_options(grape6_sanitizers INTERFACE
+    -Wthread-safety -Wthread-safety-beta -Werror=thread-safety-analysis
+    -Werror=thread-safety-attributes -Werror=thread-safety-precise)
+  message(STATUS "Clang thread safety analysis enabled")
+endif()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Byte-determinism regression check for the metric exports.
+
+The observability exports are part of the reproducibility surface:
+dashboards, g6report and the paper-figure scripts diff and re-plot them,
+so two runs of the same problem must serialize *identically* — same key
+order (std::map, never hash order), same formatting, no addresses, no
+wall-clock leakage in anything structural. This script locks that in:
+
+  1. grape6_run twice with identical arguments --metrics-out'd to two
+     files: the JSON structure (keys, counters, histogram counts) must
+     match exactly. Timing gauges and Eq 10 seconds are wall-clock
+     measurements and legitimately differ; everything else may not.
+  2. g6report twice over the SAME metrics file: stdout must be
+     byte-identical (cmp semantics) — a report that renders differently
+     on a second read is iterating something unordered.
+
+Exits non-zero with a diff summary on any mismatch.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+# Counters whose value is a property of the OS thread schedule, not of
+# the computation: which idle worker steals a task depends on wake-up
+# timing. Their *presence* must still be stable (key order is part of
+# the export contract); only the count may vary. Everything else —
+# interactions, pipeline passes, fault counters — must be exact, and a
+# physics counter drifting between identical runs is the bug this test
+# exists to catch, so keep this list minimal and justified.
+SCHEDULE_DEPENDENT_COUNTERS = frozenset({
+    "exec.steals",
+})
+
+# Structural exactness: every counter and histogram *count* must match
+# between two identical runs. Gauges and histogram moments can carry
+# wall-clock readings (e.g. serve.wait_s, eq10 seconds), so for them we
+# require only identical key sets.
+def compare_metrics(a: dict, b: dict) -> list[str]:
+    errors = []
+    if sorted(a.keys()) != sorted(b.keys()):
+        errors.append(f"top-level keys differ: {sorted(a)} vs {sorted(b)}")
+        return errors
+    if list(a["counters"].keys()) != list(b["counters"].keys()):
+        errors.append("counter key order differs between runs")
+    diffs = [k for k in a["counters"]
+             if a["counters"][k] != b["counters"].get(k)
+             and k not in SCHEDULE_DEPENDENT_COUNTERS]
+    if diffs:
+        errors.append(f"counter values differ: {diffs}")
+    for section in ("gauges", "histograms"):
+        if list(a[section].keys()) != list(b[section].keys()):
+            errors.append(f"{section} key order differs between runs")
+    for name, h in a["histograms"].items():
+        hb = b["histograms"].get(name)
+        if hb is None:
+            continue
+        if h["count"] != hb["count"] or h["counts"] != hb["counts"]:
+            errors.append(f"histogram '{name}' bin counts differ")
+    return errors
+
+
+def run(cmd, **kw):
+    r = subprocess.run(cmd, capture_output=True, text=True, **kw)
+    if r.returncode != 0:
+        sys.exit(f"command failed ({r.returncode}): {' '.join(map(str, cmd))}\n"
+                 f"{r.stderr}")
+    return r
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--run", required=True, help="path to grape6_run")
+    ap.add_argument("--report", required=True, help="path to g6report")
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory() as td:
+        tmp = Path(td)
+        metrics = []
+        for i in (0, 1):
+            out = tmp / f"m{i}.json"
+            run([args.run, "--model=plummer", "--n=64", "--t-end=0.125",
+                 "--seed=7", "--threads=2", f"--out={tmp / f'run{i}'}",
+                 f"--metrics-out={out}"])
+            metrics.append(json.loads(out.read_text()))
+
+        errors = compare_metrics(metrics[0], metrics[1])
+
+        # g6report over one file, twice: stdout must be byte-identical.
+        report_in = tmp / "m0.json"
+        r1 = run([args.report, f"--in={report_in}"])
+        r2 = run([args.report, f"--in={report_in}"])
+        if r1.stdout != r2.stdout:
+            errors.append("g6report output differs between two reads of "
+                          "the same file")
+
+    if errors:
+        for e in errors:
+            print(f"export_determinism: FAIL: {e}", file=sys.stderr)
+        return 1
+    print("export_determinism: OK (counters exact, key order stable, "
+          "report byte-identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

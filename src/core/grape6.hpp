@@ -32,7 +32,7 @@
 #include "grape/chip.hpp"
 #include "grape/config.hpp"
 #include "grape/engine.hpp"
-#include "grape/formats.hpp"
+#include "hw/formats.hpp"
 #include "grape/pipeline.hpp"
 #include "grape/selftest.hpp"
 #include "hermite/ahmad_cohen.hpp"

@@ -44,9 +44,10 @@ obs::Gauge& depth_gauge() {
 // The global instance (guarded by g_pool_m). A unique_ptr rather than a
 // function-local static so set_global_threads can rebuild it — the
 // determinism tests run the same problem at 1/2/8 threads in one process.
-std::mutex g_pool_m;                 // NOLINT(cert-err58-cpp) trivial ctor
-std::unique_ptr<ThreadPool> g_pool;  // NOLINT(cert-err58-cpp) trivial ctor
-unsigned g_requested = 0;            // last set_global_threads value
+Mutex g_pool_m;  // NOLINT(cert-err58-cpp) trivial ctor
+std::unique_ptr<ThreadPool> g_pool   // NOLINT(cert-err58-cpp) trivial ctor
+    G6_GUARDED_BY(g_pool_m);
+unsigned g_requested G6_GUARDED_BY(g_pool_m) = 0;  // last set_global_threads
 
 }  // namespace
 
@@ -66,7 +67,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(sleep_m_);
+    MutexLock lk(sleep_m_);
     stop_ = true;
   }
   sleep_cv_.notify_all();
@@ -91,11 +92,14 @@ void ThreadPool::submit(Task task) {
       own ? t_worker.idx
           : rr_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    std::lock_guard<std::mutex> lk(queues_[target]->m);
+    // Local reference so the guard's capability expression names one
+    // object the analysis can track (que.m guards que.q).
+    Queue& que = *queues_[target];
+    MutexLock lk(que.m);
     if (own) {
-      queues_[target]->q.push_front(std::move(task));
+      que.q.push_front(std::move(task));
     } else {
-      queues_[target]->q.push_back(std::move(task));
+      que.q.push_back(std::move(task));
     }
   }
   depth_gauge().set(static_cast<double>(
@@ -103,7 +107,7 @@ void ThreadPool::submit(Task task) {
   // Lock/unlock pairs with the worker's check-then-wait under sleep_m_:
   // either the worker sees the queued_ bump, or it is already waiting and
   // the notify reaches it. Without this fence the wakeup can be lost.
-  { std::lock_guard<std::mutex> lk(sleep_m_); }
+  { MutexLock lk(sleep_m_); }
   sleep_cv_.notify_one();
 }
 
@@ -115,7 +119,7 @@ bool ThreadPool::pop_task(Task& out) {
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t qi = (home + k) % n;
     Queue& que = *queues_[qi];
-    std::lock_guard<std::mutex> lk(que.m);
+    MutexLock lk(que.m);
     if (que.q.empty()) continue;
     if (own && qi == home) {
       // Own queue: LIFO end (depth-first; nested tasks stay warm).
@@ -147,12 +151,12 @@ void ThreadPool::worker_main(unsigned idx) {
   t_worker.idx = idx;
   for (;;) {
     if (try_run_one()) continue;
-    std::unique_lock<std::mutex> lk(sleep_m_);
+    MutexLock lk(sleep_m_);
     if (stop_) return;
     // Re-check under the mutex: a submit between our empty scan and this
     // lock bumped queued_ before notifying, so we cannot miss it.
     if (queued_.load(std::memory_order_relaxed) > 0) continue;
-    sleep_cv_.wait(lk);
+    sleep_cv_.wait(sleep_m_);
     if (stop_) return;
   }
 }
@@ -171,7 +175,7 @@ unsigned ThreadPool::resolve_thread_count(unsigned requested, const char* env,
 }
 
 ThreadPool& ThreadPool::global() {
-  std::lock_guard<std::mutex> lk(g_pool_m);
+  MutexLock lk(g_pool_m);
   if (!g_pool) {
     const unsigned n = resolve_thread_count(
         g_requested, std::getenv("G6_EXEC_THREADS"),
@@ -182,7 +186,7 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::set_global_threads(unsigned threads) {
-  std::lock_guard<std::mutex> lk(g_pool_m);
+  MutexLock lk(g_pool_m);
   G6_REQUIRE(threads <= 4096);
   g_requested = threads;
   g_pool.reset();  // recreated lazily on the next global()
@@ -210,12 +214,15 @@ void TaskGroup::run(Task task) {
     try {
       task();
     } catch (...) {
+      // Uncontended here (no workers exist), but errors is guarded: the
+      // same TaskGroup may later run with workers after a pool rebuild.
+      MutexLock lk(st_->m);
       st_->errors.emplace_back(idx, std::current_exception());
     }
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(st_->m);
+    MutexLock lk(st_->m);
     ++st_->pending;
   }
   auto st = st_;
@@ -226,7 +233,7 @@ void TaskGroup::run(Task task) {
     } catch (...) {
       err = std::current_exception();
     }
-    std::lock_guard<std::mutex> lk(st->m);
+    MutexLock lk(st->m);
     if (err) st->errors.emplace_back(idx, err);
     if (--st->pending == 0) st->cv.notify_all();
   });
@@ -236,23 +243,30 @@ void TaskGroup::wait() {
   waited_ = true;
   for (;;) {
     {
-      std::lock_guard<std::mutex> lk(st_->m);
+      MutexLock lk(st_->m);
       if (st_->pending == 0) break;
     }
     // Help instead of blocking: the queued task we pick up may well be one
     // of our own. Never run tasks while holding st_->m (their completion
     // handler locks it).
     if (pool_.try_run_one()) continue;
-    std::unique_lock<std::mutex> lk(st_->m);
+    MutexLock lk(st_->m);
     if (st_->pending == 0) break;
-    st_->cv.wait(lk);
+    st_->cv.wait(st_->m);
   }
-  if (st_->errors.empty()) return;
-  const auto it = std::min_element(
-      st_->errors.begin(), st_->errors.end(),
-      [](const auto& a, const auto& b) { return a.first < b.first; });
-  const std::exception_ptr err = it->second;
-  st_->errors.clear();
+  // pending reached 0, so no task can still append — but errors stays
+  // guarded and we extract under the lock rather than carve an exception
+  // into the annotation contract.
+  std::exception_ptr err;
+  {
+    MutexLock lk(st_->m);
+    if (st_->errors.empty()) return;
+    const auto it = std::min_element(
+        st_->errors.begin(), st_->errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    err = it->second;
+    st_->errors.clear();
+  }
   std::rethrow_exception(err);
 }
 

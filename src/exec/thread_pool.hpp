@@ -14,16 +14,17 @@
 // (G6_EXEC_THREADS=1 spawns no workers; everything runs inline).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace g6::exec {
 
@@ -74,8 +75,8 @@ class ThreadPool {
 
  private:
   struct Queue {
-    std::mutex m;
-    std::deque<Task> q;
+    Mutex m;
+    std::deque<Task> q G6_GUARDED_BY(m);
   };
 
   void worker_main(unsigned idx);
@@ -83,9 +84,9 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Queue>> queues_;  // one per worker
   std::vector<std::thread> workers_;
-  std::mutex sleep_m_;
-  std::condition_variable sleep_cv_;
-  bool stop_ = false;  // guarded by sleep_m_
+  Mutex sleep_m_;
+  CondVar sleep_cv_;
+  bool stop_ G6_GUARDED_BY(sleep_m_) = false;
   // Sleep hint only; the task handoff itself is under the queue mutexes.
   std::atomic<std::size_t> queued_{0};
   std::atomic<std::size_t> rr_{0};  // round-robin cursor, external submits
@@ -110,10 +111,11 @@ class TaskGroup {
 
  private:
   struct State {
-    std::mutex m;
-    std::condition_variable cv;
-    std::size_t pending = 0;
-    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+    Mutex m;
+    CondVar cv;
+    std::size_t pending G6_GUARDED_BY(m) = 0;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors
+        G6_GUARDED_BY(m);
   };
   ThreadPool& pool_;
   std::shared_ptr<State> st_;

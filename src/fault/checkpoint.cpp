@@ -5,7 +5,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "fault/errors.hpp"
+#include "util/errors.hpp"
 #include "util/check.hpp"
 #include "util/fileio.hpp"
 

@@ -19,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "grape/formats.hpp"
+#include "hw/formats.hpp"
 #include "hermite/integrator.hpp"
 
 namespace g6::fault {

@@ -17,7 +17,7 @@
 #include <bit>
 #include <cstdint>
 
-#include "grape/formats.hpp"
+#include "hw/formats.hpp"
 #include "util/vec3.hpp"
 
 namespace g6::fault {

@@ -8,6 +8,6 @@
 
 #include "fault/checkpoint.hpp"
 #include "fault/checksum.hpp"
-#include "fault/errors.hpp"
+#include "util/errors.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"

@@ -3,7 +3,7 @@
 #include <bit>
 #include <sstream>
 
-#include "grape/pipeline.hpp"
+#include "hw/accumulators.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 

@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "fault/plan.hpp"
-#include "grape/formats.hpp"
+#include "hw/formats.hpp"
 #include "net/collectives.hpp"
 #include "util/rng.hpp"
 

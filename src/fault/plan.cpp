@@ -4,7 +4,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "fault/errors.hpp"
+#include "util/errors.hpp"
 #include "obs/json.hpp"
 #include "util/check.hpp"
 

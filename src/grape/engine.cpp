@@ -6,7 +6,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "fault/checksum.hpp"
-#include "fault/errors.hpp"
+#include "util/errors.hpp"
 #include "fault/injector.hpp"
 #include "grape/selftest.hpp"
 #include "obs/log.hpp"

@@ -1,10 +1,10 @@
 #include "hermite/force_ticket.hpp"
 
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 
 #include "util/check.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace g6 {
 
@@ -19,14 +19,14 @@ struct ForceTicket::Job {
   std::vector<std::pair<std::size_t, std::size_t>> ranges;
   std::function<void(bool)> epilogue;
 
-  std::mutex m;
-  std::condition_variable cv;
-  std::vector<unsigned char> state;     // guarded by m
-  std::vector<std::exception_ptr> err;  // guarded by m
-  bool finished = false;                // epilogue already ran
+  Mutex m;
+  CondVar cv;
+  std::vector<unsigned char> state G6_GUARDED_BY(m);
+  std::vector<std::exception_ptr> err G6_GUARDED_BY(m);
+  bool finished G6_GUARDED_BY(m) = false;  // epilogue already ran
 
   bool chunk_done(std::size_t c) {
-    std::lock_guard<std::mutex> lk(m);
+    MutexLock lk(m);
     return state[c] != kInFlight;
   }
 
@@ -36,9 +36,9 @@ struct ForceTicket::Job {
       // Help instead of blocking — the task we pick up may be our own
       // chunk. Never run tasks under m: completions lock it.
       if (pool->try_run_one()) continue;
-      std::unique_lock<std::mutex> lk(m);
+      MutexLock lk(m);
       if (state[c] != kInFlight) return;
-      cv.wait(lk);
+      cv.wait(m);
     }
   }
 };
@@ -69,7 +69,7 @@ void ForceTicket::wait_chunk(std::size_t c) {
   G6_REQUIRE(job_ != nullptr);
   G6_REQUIRE(c < job_->ranges.size());
   job_->wait_chunk(c);
-  std::lock_guard<std::mutex> lk(job_->m);
+  MutexLock lk(job_->m);
   if (job_->err[c]) std::rethrow_exception(job_->err[c]);
 }
 
@@ -80,7 +80,7 @@ void ForceTicket::finish(bool rethrow) {
   for (std::size_t c = 0; c < job_->ranges.size(); ++c) job_->wait_chunk(c);
   std::exception_ptr first;
   {
-    std::lock_guard<std::mutex> lk(job_->m);
+    MutexLock lk(job_->m);
     for (const auto& e : job_->err) {
       if (e) {
         first = e;  // errors are indexed by chunk: this IS the smallest
@@ -108,6 +108,8 @@ ForceTicket ForceTicket::make(
   tk.job_->pool = &pool;
   tk.job_->ranges = std::move(ranges);
   tk.job_->epilogue = std::move(epilogue);
+  // Pre-publication, so uncontended — locked to honor the guard contract.
+  MutexLock lk(tk.job_->m);
   tk.job_->state.assign(tk.job_->ranges.size(), kIdle);
   tk.job_->err.resize(tk.job_->ranges.size());
   return tk;
@@ -117,7 +119,7 @@ void ForceTicket::dispatch(std::size_t c, exec::Task body, bool parallel) {
   G6_REQUIRE(job_ != nullptr);
   G6_REQUIRE(c < job_->ranges.size());
   {
-    std::lock_guard<std::mutex> lk(job_->m);
+    MutexLock lk(job_->m);
     G6_REQUIRE(job_->state[c] == kIdle);
     job_->state[c] = kInFlight;
   }
@@ -128,12 +130,12 @@ void ForceTicket::dispatch(std::size_t c, exec::Task body, bool parallel) {
     try {
       body();
     } catch (...) {
-      std::lock_guard<std::mutex> lk(job_->m);
+      MutexLock lk(job_->m);
       job_->err[c] = std::current_exception();
       job_->state[c] = kDone;
       throw;
     }
-    std::lock_guard<std::mutex> lk(job_->m);
+    MutexLock lk(job_->m);
     job_->state[c] = kDone;
     return;
   }
@@ -145,7 +147,7 @@ void ForceTicket::dispatch(std::size_t c, exec::Task body, bool parallel) {
     } catch (...) {
       err = std::current_exception();
     }
-    std::lock_guard<std::mutex> lk(job->m);
+    MutexLock lk(job->m);
     job->err[c] = err;
     job->state[c] = kDone;
     job->cv.notify_all();

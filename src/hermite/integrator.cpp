@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "fault/errors.hpp"
+#include "util/errors.hpp"
 #include "hermite/scheme.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"

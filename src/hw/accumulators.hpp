@@ -1,0 +1,54 @@
+#pragma once
+// The result-side hardware word format: the block floating-point
+// accumulator bank one i-particle owns while a pass runs (Sec 3.4 of the
+// paper). Lives in src/hw — the host<->board data contract layer — so the
+// fault machinery can checksum, corrupt and vote on accumulator words
+// without seeing the machine that produces them (docs/STATIC_ANALYSIS.md,
+// "Layer graph").
+
+#include "hw/formats.hpp"
+#include "util/fixedpoint.hpp"
+
+namespace g6 {
+
+/// Accumulator bank for one i-particle: 3 acceleration words, 3 jerk
+/// words, 1 potential word, all block floating point.
+struct HwAccumulators {
+  BlockFloatAccumulator acc[3];
+  BlockFloatAccumulator jerk[3];
+  BlockFloatAccumulator pot;
+
+  void reset(const BlockExponents& e) {
+    for (auto& a : acc) a.reset(e.acc);
+    for (auto& j : jerk) j.reset(e.jerk);
+    pot.reset(e.pot);
+  }
+
+  bool overflow() const {
+    for (const auto& a : acc)
+      if (a.overflow()) return true;
+    for (const auto& j : jerk)
+      if (j.overflow()) return true;
+    return pot.overflow();
+  }
+
+  /// Exact merge (the module/board/network-board reduction tree).
+  void merge(const HwAccumulators& o) {
+    for (int d = 0; d < 3; ++d) {
+      acc[d].merge(o.acc[d]);
+      jerk[d].merge(o.jerk[d]);
+    }
+    pot.merge(o.pot);
+  }
+
+  /// Decode to a host-side force.
+  Force decode() const {
+    Force f;
+    f.acc = {acc[0].value(), acc[1].value(), acc[2].value()};
+    f.jerk = {jerk[0].value(), jerk[1].value(), jerk[2].value()};
+    f.pot = pot.value();
+    return f;
+  }
+};
+
+}  // namespace g6

@@ -15,13 +15,13 @@ HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
 }
 
 void HistogramMetric::observe(double x) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   stat_.add(x);
   hist_.add(x);
 }
 
 HistogramMetric::Snapshot HistogramMetric::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Snapshot s;
   s.count = stat_.count();
   s.mean = stat_.mean();
@@ -37,14 +37,14 @@ HistogramMetric::Snapshot HistogramMetric::snapshot() const {
 }
 
 void HistogramMetric::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   stat_ = RunningStat{};
   hist_ = Histogram(lo_, hi_, bins_);
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   G6_REQUIRE(!name.empty());
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -54,7 +54,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   G6_REQUIRE(!name.empty());
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -65,7 +65,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo,
                                             double hi, std::size_t bins) {
   G6_REQUIRE(!name.empty());
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -77,7 +77,7 @@ HistogramMetric& MetricsRegistry::histogram(std::string_view name, double lo,
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
@@ -85,7 +85,7 @@ void MetricsRegistry::reset() {
 
 void MetricsRegistry::write_json(std::ostream& os,
                                  const Eq10Accumulator* eq10) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   os.precision(12);
   os << "{\n  \"schema\": \"grape6-metrics-v1\",\n  \"counters\": {";
   bool first = true;

@@ -15,12 +15,13 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/mutex.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace g6::obs {
 
@@ -80,12 +81,12 @@ class HistogramMetric {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  double lo_;
-  double hi_;
-  std::size_t bins_;
-  RunningStat stat_;
-  Histogram hist_;
+  mutable Mutex mutex_;
+  double lo_;          // immutable after construction
+  double hi_;          // immutable after construction
+  std::size_t bins_;   // immutable after construction
+  RunningStat stat_ G6_GUARDED_BY(mutex_);
+  Histogram hist_ G6_GUARDED_BY(mutex_);
 };
 
 /// Get-or-create registry of named instruments. Thread-safe; returned
@@ -110,11 +111,13 @@ class MetricsRegistry {
   static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      G6_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      G6_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
-      histograms_;
+      histograms_ G6_GUARDED_BY(mutex_);
 };
 
 }  // namespace g6::obs

@@ -28,7 +28,7 @@ Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
   }
   auto buffer = std::make_shared<ThreadBuffer>();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     buffer->tid = next_tid_++;
     buffers_.push_back(buffer);
   }
@@ -39,7 +39,7 @@ Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
 void Tracer::record(const TraceEvent& ev) {
   G6_REQUIRE(ev.name != nullptr);
   ThreadBuffer* buf = buffer_for_this_thread();
-  const std::lock_guard<std::mutex> lock(buf->mutex);
+  const MutexLock lock(buf->mutex);
   TraceEvent copy = ev;
   copy.tid = buf->tid;
   buf->events.push_back(copy);
@@ -48,9 +48,9 @@ void Tracer::record(const TraceEvent& ev) {
 void Tracer::write_chrome_trace(std::ostream& os) const {
   std::vector<TraceEvent> all;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (const auto& buf : buffers_) {
-      const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      const MutexLock buf_lock(buf->mutex);
       all.insert(all.end(), buf->events.begin(), buf->events.end());
     }
   }
@@ -73,19 +73,19 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
 }
 
 std::size_t Tracer::event_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& buf : buffers_) {
-    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    const MutexLock buf_lock(buf->mutex);
     n += buf->events.size();
   }
   return n;
 }
 
 void Tracer::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (const auto& buf : buffers_) {
-    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    const MutexLock buf_lock(buf->mutex);
     buf->events.clear();
   }
 }

@@ -17,10 +17,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "obs/defs.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace g6::obs {
 
@@ -52,17 +53,17 @@ class Tracer {
 
  private:
   struct ThreadBuffer {
-    std::mutex mutex;  ///< uncontended in steady state (owner thread only)
-    std::vector<TraceEvent> events;
-    std::uint32_t tid = 0;
+    Mutex mutex;  ///< uncontended in steady state (owner thread only)
+    std::vector<TraceEvent> events G6_GUARDED_BY(mutex);
+    std::uint32_t tid = 0;  ///< immutable after registration publishes it
   };
 
   ThreadBuffer* buffer_for_this_thread();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;  ///< guards buffers_ registration/iteration
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  std::uint32_t next_tid_ = 1;
+  mutable Mutex mutex_;  ///< guards buffers_ registration/iteration
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ G6_GUARDED_BY(mutex_);
+  std::uint32_t next_tid_ G6_GUARDED_BY(mutex_) = 1;
 };
 
 #if GRAPE6_TELEMETRY_ENABLED

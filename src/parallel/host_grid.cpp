@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "exec/thread_pool.hpp"
-#include "fault/errors.hpp"
+#include "util/errors.hpp"
 #include "hermite/scheme.hpp"
 #include "net/collectives.hpp"
 #include "util/check.hpp"

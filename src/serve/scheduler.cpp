@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "exec/thread_pool.hpp"
-#include "fault/errors.hpp"
+#include "util/errors.hpp"
 #include "nbody/diagnostics.hpp"
 #include "obs/clock.hpp"
 #include "obs/log.hpp"
@@ -51,6 +51,7 @@ const Scheduler::Record& Scheduler::rec(JobId id) const {
 }
 
 SubmitResult Scheduler::submit(const JobSpec& spec) {
+  MutexLock lk(serial_m_);
   ++stats_.submitted;
   reg().counter("serve.jobs.submitted").add();
 
@@ -108,6 +109,7 @@ bool Scheduler::has_live_work() const {
 }
 
 void Scheduler::run_until_drained() {
+  MutexLock lk(serial_m_);
   const double start = obs::monotonic_seconds();
   while (has_live_work()) round();
   stats_.makespan_s += obs::monotonic_seconds() - start;
@@ -399,6 +401,7 @@ void Scheduler::update_round_gauges() {
 }
 
 JobReport Scheduler::report(JobId id) const {
+  MutexLock lk(serial_m_);
   const Record& r = rec(id);
   JobReport rep;
   rep.id = r.id;
@@ -426,9 +429,13 @@ JobReport Scheduler::report(JobId id) const {
   return rep;
 }
 
-JobState Scheduler::state(JobId id) const { return rec(id).state; }
+JobState Scheduler::state(JobId id) const {
+  MutexLock lk(serial_m_);
+  return rec(id).state;
+}
 
 const ParticleSet& Scheduler::final_state(JobId id, double* t) const {
+  MutexLock lk(serial_m_);
   const Record& r = rec(id);
   G6_REQUIRE_MSG(r.state == JobState::kCompleted,
                  "final_state of a job that has not completed");
@@ -437,6 +444,7 @@ const ParticleSet& Scheduler::final_state(JobId id, double* t) const {
 }
 
 std::vector<JobId> Scheduler::all_jobs() const {
+  MutexLock lk(serial_m_);
   std::vector<JobId> ids;
   ids.reserve(records_.size());
   for (const auto& r : records_) ids.push_back(r->id);

@@ -44,6 +44,8 @@
 #include "serve/job_queue.hpp"
 #include "serve/partition.hpp"
 #include "serve/types.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace g6::serve {
 
@@ -60,7 +62,10 @@ class Scheduler {
 
   /// Stop accepting new submissions (subsequent submits reject with
   /// kDraining); queued and running jobs still run to completion.
-  void drain() { draining_ = true; }
+  void drain() {
+    MutexLock lk(serial_m_);
+    draining_ = true;
+  }
 
   /// Run rounds until no job is queued or running.
   void run_until_drained();
@@ -72,7 +77,10 @@ class Scheduler {
   const ServiceStats& stats() const { return stats_; }
   std::vector<JobId> all_jobs() const;
   const ServiceConfig& config() const { return cfg_; }
-  std::size_t healthy_boards() const { return partition_.healthy(); }
+  std::size_t healthy_boards() const {
+    MutexLock lk(serial_m_);
+    return partition_.healthy();
+  }
 
  private:
   struct Record {
@@ -114,37 +122,48 @@ class Scheduler {
     double e_final = 0.0;
   };
 
-  Record& rec(JobId id);
-  const Record& rec(JobId id) const;
+  Record& rec(JobId id) G6_REQUIRES(serial_m_);
+  const Record& rec(JobId id) const G6_REQUIRES(serial_m_);
 
-  bool has_live_work() const;
-  void round();
-  void apply_board_deaths();
+  bool has_live_work() const G6_REQUIRES(serial_m_);
+  void round() G6_REQUIRES(serial_m_);
+  void apply_board_deaths() G6_REQUIRES(serial_m_);
   /// Dispatch queued jobs into free boards; returns the first job that
   /// stayed blocked for lack of free boards (0 = none).
-  JobId dispatch();
-  void run_quanta(const std::vector<JobId>& running);
-  void fold_quantum(Record& r);
-  void preempt_for(JobId blocked_id);
+  JobId dispatch() G6_REQUIRES(serial_m_);
+  void run_quanta(const std::vector<JobId>& running) G6_REQUIRES(serial_m_);
+  void fold_quantum(Record& r) G6_REQUIRES(serial_m_);
+  void preempt_for(JobId blocked_id) G6_REQUIRES(serial_m_);
 
-  void start_runtime(Record& r);
-  void finish_job(Record& r);
-  void fail_job(Record& r, RejectReason reason, std::string message);
+  void start_runtime(Record& r) G6_REQUIRES(serial_m_);
+  void finish_job(Record& r) G6_REQUIRES(serial_m_);
+  void fail_job(Record& r, RejectReason reason, std::string message)
+      G6_REQUIRES(serial_m_);
   /// Lease lost to dead hardware: keep the saved state, drop the runtime,
   /// re-queue at the front (bounded by max_requeues).
-  void revoke_lease(Record& r, const std::string& why);
-  void release_lease(Record& r);
-  void update_round_gauges();
+  void revoke_lease(Record& r, const std::string& why) G6_REQUIRES(serial_m_);
+  void release_lease(Record& r) G6_REQUIRES(serial_m_);
+  void update_round_gauges() G6_REQUIRES(serial_m_);
+
+  // The service contract says "one control thread": serial_m_ turns that
+  // prose invariant into a compile-time one. Every public entry point
+  // takes it, every private mutator G6_REQUIRES it, and the serving state
+  // below is G6_GUARDED_BY it — so -Wthread-safety rejects any new code
+  // path that reaches scheduling state without going through the serial
+  // section. Uncontended by design, so the lock costs one atomic op.
+  mutable Mutex serial_m_;
 
   ServiceConfig cfg_;
-  AdmissionController admission_;
-  BoardPartitioner partition_;
-  JobQueue queue_;
-  std::vector<std::unique_ptr<Record>> records_;  ///< index = id - 1
-  std::vector<BoardDeath> pending_deaths_;        ///< sorted by round
-  std::uint64_t round_index_ = 0;
-  bool draining_ = false;
-  ServiceStats stats_;
+  AdmissionController admission_ G6_GUARDED_BY(serial_m_);
+  BoardPartitioner partition_ G6_GUARDED_BY(serial_m_);
+  JobQueue queue_ G6_GUARDED_BY(serial_m_);
+  /// index = id - 1
+  std::vector<std::unique_ptr<Record>> records_ G6_GUARDED_BY(serial_m_);
+  /// sorted by round
+  std::vector<BoardDeath> pending_deaths_ G6_GUARDED_BY(serial_m_);
+  std::uint64_t round_index_ G6_GUARDED_BY(serial_m_) = 0;
+  bool draining_ G6_GUARDED_BY(serial_m_) = false;
+  ServiceStats stats_;  ///< read via stats() after drain; folded serially
 };
 
 }  // namespace g6::serve

@@ -5,9 +5,13 @@
 // software distinguished *transient* anomalies (retry the pass, rewrite
 // the memory word) from *hard* failures (disable the chip and keep
 // running). This header is the software twin of that distinction and is
-// intentionally header-only so every layer — util consumers, the hermite
-// integrator, the grape engine, the parallel drivers — can throw and
-// catch these types without a link-time dependency on g6_fault.
+// intentionally header-only AND bottom-layer (src/util) so every layer —
+// the hermite integrator, the grape engine, the parallel drivers, the
+// serve scheduler — can throw and catch these types without a link-time
+// dependency on g6_fault and without an include edge back up into the
+// fault layer (the g6layers DAG would reject one). The types stay in
+// namespace g6::fault: they ARE the fault taxonomy; only the file lives
+// at the bottom of the layer graph.
 //
 //   FaultError            root of the taxonomy (is-a std::runtime_error)
 //   ├── TransientFault    recoverable by bounded retry; the caller may

@@ -1,0 +1,69 @@
+#pragma once
+// Clang Thread Safety Analysis attribute macros (no-ops on other
+// compilers). Annotating which mutex guards which member turns the
+// locking discipline into a compile-time contract: `clang++
+// -Wthread-safety` (the `clang-analysis` CMake preset) rejects any read
+// or write of a G6_GUARDED_BY member outside its mutex, any call of a
+// G6_REQUIRES function without the lock, and double/forgotten
+// locks/unlocks. GCC compiles the same code silently — the macros expand
+// to nothing — so the annotations cost nothing where they cannot be
+// checked.
+//
+// The analysis only understands types declared as capabilities, so the
+// annotated wrappers in util/mutex.hpp (g6::Mutex, g6::MutexLock,
+// g6::CondVar) must be used instead of std::mutex wherever a guard is
+// annotated. See docs/STATIC_ANALYSIS.md ("Thread safety annotations").
+
+#if defined(__clang__) && (!defined(SWIG))
+#define G6_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define G6_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" names it in
+/// diagnostics).
+#define G6_CAPABILITY(x) G6_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define G6_SCOPED_CAPABILITY G6_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member data that may only be touched while holding `x`.
+#define G6_GUARDED_BY(x) G6_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the pointee (not the pointer) is protected by `x`.
+#define G6_PT_GUARDED_BY(x) G6_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and it stays
+/// held on exit).
+#define G6_REQUIRES(...) \
+  G6_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability in shared (reader) mode.
+#define G6_REQUIRES_SHARED(...) \
+  G6_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (must not be held on entry).
+#define G6_ACQUIRE(...) G6_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define G6_RELEASE(...) G6_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard
+/// for public entry points of a class that locks internally).
+#define G6_EXCLUDES(...) G6_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations (checked under -Wthread-safety-beta).
+#define G6_ACQUIRED_BEFORE(...) \
+  G6_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define G6_ACQUIRED_AFTER(...) \
+  G6_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to a capability-guarded object.
+#define G6_RETURN_CAPABILITY(x) G6_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking cannot be expressed in the
+/// annotation language (e.g. conditional locking). Use sparingly and
+/// explain why at the use site.
+#define G6_NO_THREAD_SAFETY_ANALYSIS \
+  G6_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,50 @@
+// COMPILE-FAIL under clang -Wthread-safety -Wthread-safety-beta -Werror
+// (ctest WILL_FAIL): violating a declared lock order. The beta analysis
+// checks G6_ACQUIRED_BEFORE/AFTER — take the locks in the reverse of the
+// declared order and the build goes red, which is the compile-time
+// version of TSan's deadlock detector. GCC compiles this cleanly (the
+// analysis_gcc_noop_* tests assert that half).
+//
+// Also exercises a G6_REQUIRES violation so the file fails under plain
+// -Wthread-safety even if a toolchain lacks the beta checks.
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class TwoLocks {
+ public:
+  void ordered() {
+    g6::MutexLock a(first_);
+    g6::MutexLock b(second_);
+    ++under_both_;
+  }
+
+  void reversed() {
+    g6::MutexLock b(second_);
+    g6::MutexLock a(first_);  // BAD: second_ is declared acquired after first_
+    ++under_both_;
+  }
+
+  void needs_first() G6_REQUIRES(first_) { ++under_both_; }
+
+  void forgets_lock() {
+    needs_first();  // BAD: G6_REQUIRES(first_) without holding it
+  }
+
+ private:
+  g6::Mutex first_;
+  g6::Mutex second_ G6_ACQUIRED_AFTER(first_);
+  int under_both_ G6_GUARDED_BY(first_) G6_GUARDED_BY(second_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  TwoLocks t;
+  t.ordered();
+  t.reversed();
+  t.forgets_lock();
+  return 0;
+}

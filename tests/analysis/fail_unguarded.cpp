@@ -1,0 +1,35 @@
+// COMPILE-FAIL under clang -Wthread-safety -Werror (ctest WILL_FAIL):
+// reading and writing a G6_GUARDED_BY member without its mutex. Under
+// GCC the annotations are no-ops and this compiles cleanly — the
+// analysis_gcc_noop_* tests assert exactly that, so the pair proves both
+// halves of the macro contract.
+//
+// Not a gtest: the test IS the compiler invocation (-fsyntax-only).
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    balance_ += amount;  // BAD: guarded write without holding m_
+  }
+
+  int balance() const {
+    return balance_;  // BAD: guarded read without holding m_
+  }
+
+ private:
+  mutable g6::Mutex m_;
+  int balance_ G6_GUARDED_BY(m_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit(1);
+  return a.balance();
+}

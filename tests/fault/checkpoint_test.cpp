@@ -7,7 +7,7 @@
 #include <sstream>
 #include <string>
 
-#include "fault/errors.hpp"
+#include "util/errors.hpp"
 #include "grape/engine.hpp"
 #include "hermite/integrator.hpp"
 #include "nbody/models.hpp"

@@ -1,4 +1,4 @@
-#include "fault/errors.hpp"
+#include "util/errors.hpp"
 
 #include <gtest/gtest.h>
 

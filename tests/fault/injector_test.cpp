@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "fault/checksum.hpp"
-#include "fault/errors.hpp"
+#include "util/errors.hpp"
 #include "fault/plan.hpp"
 #include "obs/json.hpp"
 

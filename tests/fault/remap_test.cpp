@@ -4,7 +4,7 @@
 #include <memory>
 #include <vector>
 
-#include "fault/errors.hpp"
+#include "util/errors.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "grape/engine.hpp"

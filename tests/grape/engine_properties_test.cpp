@@ -6,7 +6,7 @@
 
 #include <cmath>
 
-#include "fault/errors.hpp"
+#include "util/errors.hpp"
 #include "grape/engine.hpp"
 #include "hermite/direct_engine.hpp"
 #include "nbody/models.hpp"

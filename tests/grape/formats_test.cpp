@@ -1,4 +1,4 @@
-#include "grape/formats.hpp"
+#include "hw/formats.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Self-test for g6layers: the layer checker must catch injected
+back-edges, protect serve internals, accept every declared edge, and
+keep its own declared graph a DAG. Runs as the `g6layers_selftest`
+ctest."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import g6layers  # noqa: E402
+
+
+class LayerHarness(unittest.TestCase):
+    """Write files into a throwaway repo root and check one of them."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = pathlib.Path(self._tmp.name)
+        (self.root / "src").mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def put(self, relpath: str, content: str) -> None:
+        path = self.root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+
+    def check(self, relpath: str, content: str):
+        self.put(relpath, content)
+        findings = []
+        g6layers.check_file(self.root, relpath, findings)
+        return findings
+
+    def rules_of(self, findings):
+        return [f.rule for f in findings]
+
+
+class BackEdgeTest(LayerHarness):
+    def test_util_including_obs_is_a_back_edge(self):
+        self.put("src/obs/metrics.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/util/helper.hpp",
+            "#pragma once\n#include \"obs/metrics.hpp\"\n")
+        self.assertIn("back-edge", self.rules_of(findings))
+
+    def test_hermite_including_grape_is_a_back_edge(self):
+        self.put("src/grape/engine.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/hermite/integrator.cpp",
+            "#include \"grape/engine.hpp\"\n")
+        self.assertIn("back-edge", self.rules_of(findings))
+
+    def test_fault_including_grape_is_a_back_edge(self):
+        # The cycle this PR broke: fault reaching up into grape for the
+        # hardware words (they live in src/hw now). It must never return.
+        self.put("src/grape/pipeline.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/fault/injector.cpp",
+            "#include \"grape/pipeline.hpp\"\n")
+        self.assertIn("back-edge", self.rules_of(findings))
+
+    def test_sibling_reach_is_a_back_edge(self):
+        self.put("src/grape/engine.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/tree/traverse.cpp", "#include \"grape/engine.hpp\"\n")
+        self.assertIn("back-edge", self.rules_of(findings))
+
+    def test_tools_bypassing_core_is_a_back_edge(self):
+        self.put("src/grape/engine.hpp", "#pragma once\n")
+        findings = self.check(
+            "tools/dump.cpp", "#include \"grape/engine.hpp\"\n")
+        self.assertIn("back-edge", self.rules_of(findings))
+
+    def test_allowed_edge_passes(self):
+        self.put("src/util/check.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/obs/metrics.cpp", "#include \"util/check.hpp\"\n")
+        self.assertEqual(findings, [])
+
+    def test_same_layer_include_passes(self):
+        self.put("src/grape/chip.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/grape/board.cpp", "#include \"grape/chip.hpp\"\n")
+        self.assertEqual(findings, [])
+
+    def test_system_headers_are_not_edges(self):
+        findings = self.check(
+            "src/util/helper.hpp",
+            "#pragma once\n#include <vector>\n#include <mutex>\n")
+        self.assertEqual(findings, [])
+
+    def test_tests_are_exempt(self):
+        self.put("src/grape/engine.hpp", "#pragma once\n")
+        findings = self.check(
+            "tests/grape/t.cpp", "#include \"grape/engine.hpp\"\n")
+        self.assertEqual(findings, [])
+
+    def test_suppression_needs_a_reason(self):
+        self.put("src/obs/metrics.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/util/helper.hpp",
+            "#include \"obs/metrics.hpp\"  // g6layers: allow\n")
+        self.assertIn("suppression", self.rules_of(findings))
+
+    def test_suppression_with_reason_works(self):
+        self.put("src/obs/metrics.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/util/helper.hpp",
+            "#include \"obs/metrics.hpp\""
+            "  // g6layers: allow -- transitional, tracked in ROADMAP\n")
+        self.assertEqual(findings, [])
+
+
+class ServeInternalTest(LayerHarness):
+    def test_internal_header_banned_outside_serve(self):
+        for hdr in g6layers.SERVE_INTERNAL_HEADERS:
+            self.put(f"src/{hdr}", "#pragma once\n")
+            findings = self.check(
+                "src/core/t.cpp", f"#include \"{hdr}\"\n")
+            self.assertIn("serve-internal", self.rules_of(findings),
+                          msg=hdr)
+
+    def test_internal_header_fine_inside_serve(self):
+        self.put("src/serve/scheduler.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/serve/service.cpp", "#include \"serve/scheduler.hpp\"\n")
+        self.assertEqual(findings, [])
+
+    def test_public_surface_fine_from_core(self):
+        self.put("src/serve/serve.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/core/t.cpp", "#include \"serve/serve.hpp\"\n")
+        self.assertEqual(findings, [])
+
+
+class DeclaredGraphTest(unittest.TestCase):
+    def test_declared_graph_is_a_dag(self):
+        errors = []
+        self.assertTrue(g6layers.check_dag(errors), msg=errors)
+
+    def test_cycle_in_declared_graph_is_detected(self):
+        saved = g6layers.ALLOWED
+        try:
+            g6layers.ALLOWED = {"a": {"b"}, "b": {"a"}}
+            errors = []
+            self.assertFalse(g6layers.check_dag(errors))
+            self.assertTrue(any("cycle" in e for e in errors), msg=errors)
+        finally:
+            g6layers.ALLOWED = saved
+
+    def test_unknown_layer_is_detected(self):
+        saved = g6layers.ALLOWED
+        try:
+            g6layers.ALLOWED = {"a": {"ghost"}}
+            errors = []
+            self.assertFalse(g6layers.check_dag(errors))
+        finally:
+            g6layers.ALLOWED = saved
+
+    def test_every_src_layer_is_declared(self):
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        for d in sorted((repo / "src").iterdir()):
+            if d.is_dir():
+                self.assertIn(d.name, g6layers.ALLOWED, msg=str(d))
+
+    def test_layer_of(self):
+        self.assertEqual(g6layers.layer_of("src/grape/chip.hpp"), "grape")
+        self.assertEqual(g6layers.layer_of("tools/lint/x.cpp"), "tools")
+        self.assertEqual(g6layers.layer_of("bench/b.cpp"), "bench")
+        self.assertIsNone(g6layers.layer_of("tests/grape/t.cpp"))
+
+
+if __name__ == "__main__":
+    unittest.main()

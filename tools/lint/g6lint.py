@@ -4,8 +4,8 @@
 The GRAPE-6 software twin has correctness properties that hinge on
 *where* arithmetic happens, not just how:
 
-  raw-float       Hardware-dataflow internals (src/grape/{pipeline,formats,
-                  chip,board}.*) must route floating-point arithmetic
+  raw-float       Hardware-dataflow internals (src/grape/{pipeline,chip,
+                  board}.*, src/hw/*) must route floating-point arithmetic
                   through the g6 emulation types (FloatFormat ops,
                   FixedPointCodec encode/decode, BlockFloatAccumulator
                   add/merge). A bare `a * b` on doubles in those files is a
@@ -14,8 +14,8 @@ The GRAPE-6 software twin has correctness properties that hinge on
                   bit-exact reduced-precision claims while passing every
                   accuracy test at N small.
 
-  native-float    The native `float` type is banned in src/grape and
-                  src/util. Narrow formats are modelled by FloatFormat
+  native-float    The native `float` type is banned in src/grape, src/hw
+                  and src/util. Narrow formats are modelled by FloatFormat
                   (explicit fraction bits / exponent range); native float
                   has the wrong rounding envelope and double-promotion
                   hazards.
@@ -53,7 +53,7 @@ The GRAPE-6 software twin has correctness properties that hinge on
 
   bare-abort      abort()/exit()/quick_exit()/_Exit() are banned in src/
                   outside src/util/check.hpp. Failures surface as typed
-                  exceptions (src/fault/errors.hpp: TransientFault /
+                  exceptions (src/util/errors.hpp: TransientFault /
                   RetryExhausted / HardFault) or G6_REQUIRE precondition
                   throws, so the integrator can retry transients and
                   degrade gracefully instead of losing the whole run.
@@ -68,6 +68,29 @@ The GRAPE-6 software twin has correctness properties that hinge on
                   accounting enforceable: a driver that pokes the queue
                   directly bypasses backpressure (docs/SERVING.md).
                   tests/ are exempt (white-box tests exercise internals).
+
+  unordered-iter  std::unordered_map / std::unordered_set (and multi
+                  variants) are banned in src/, tools/ and bench/.
+                  Unordered iteration order varies run to run and across
+                  standard libraries; anything it feeds — JSON exports,
+                  accumulation, scheduling decisions — silently breaks
+                  the bit-identical contract. Use std::map / sorted
+                  vectors / index loops, or suppress with a rationale
+                  proving iteration order never escapes.
+
+  volatile-sync   `volatile` is banned in src/. It is not a
+                  synchronization primitive (no atomicity, no ordering);
+                  cross-thread state goes through std::atomic or a
+                  g6::Mutex-guarded section so TSan and -Wthread-safety
+                  can see it.
+
+Baseline (grandfathering): tools/lint/g6lint_baseline.json holds
+per-(file, rule) finding counts that are tolerated — the escape hatch
+for introducing a new rule to an old tree without a flag day. Findings
+beyond the baselined count still fail; a stale baseline (fewer findings
+than recorded) prints a nudge to re-run with --update-baseline so the
+ratchet only ever tightens. The shipped baseline is empty: the tree is
+clean, and new code stays clean or carries an inline rationale.
 
 Suppressions (the tool polices its own escape hatch — a suppression
 without a reason is itself a finding):
@@ -84,6 +107,7 @@ Exit status: 0 clean, 1 findings, 2 usage/config error.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import re
 import sys
@@ -97,15 +121,16 @@ import sys
 RAW_FLOAT_SCOPE = (
     "src/grape/pipeline.hpp",
     "src/grape/pipeline.cpp",
-    "src/grape/formats.hpp",
-    "src/grape/formats.cpp",
+    "src/hw/formats.hpp",
+    "src/hw/formats.cpp",
+    "src/hw/accumulators.hpp",
     "src/grape/chip.hpp",
     "src/grape/chip.cpp",
     "src/grape/board.hpp",
     "src/grape/board.cpp",
 )
 
-NATIVE_FLOAT_SCOPE_PREFIXES = ("src/grape/", "src/util/")
+NATIVE_FLOAT_SCOPE_PREFIXES = ("src/grape/", "src/hw/", "src/util/")
 
 # Calls that mark a line as routed through the g6 arithmetic types.
 ROUTING_TOKENS = (
@@ -210,9 +235,15 @@ SERVE_INTERNAL_RE = re.compile(
     r"JobRuntime|SavedJob|AdmissionDecision|BoardLease)\b")
 SERVE_ISOLATION_SCOPE_PREFIXES = ("src/", "tools/", "bench/", "examples/")
 
+UNORDERED_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+UNORDERED_SCOPE_PREFIXES = ("src/", "tools/", "bench/")
+
+VOLATILE_RE = re.compile(r"\bvolatile\b")
+
 RULES = ("raw-float", "native-float", "nondeterminism", "raw-timing",
          "raw-thread", "require-at-api", "nolint-comment", "bare-abort",
-         "serve-isolation")
+         "serve-isolation", "unordered-iter", "volatile-sync")
 
 
 class Finding:
@@ -379,7 +410,7 @@ def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None
             findings.append(Finding(
                 relpath, lineno, "bare-abort",
                 "process-killing call in src/ — throw a typed error from "
-                "src/fault/errors.hpp (TransientFault/HardFault) or use "
+                "src/util/errors.hpp (TransientFault/HardFault) or use "
                 "G6_REQUIRE so callers can retry or degrade gracefully"))
 
         if (in_src and not relpath.startswith(RAW_THREAD_EXEMPT_PREFIX)
@@ -391,6 +422,27 @@ def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None
                 "shared pool via g6::exec::TaskGroup / parallel_for "
                 "(src/exec/thread_pool.hpp) so thread count stays one knob "
                 "and the determinism contract holds"))
+
+        if (relpath.startswith(UNORDERED_SCOPE_PREFIXES)
+                and UNORDERED_RE.search(code)
+                and not sup.allowed("unordered-iter", lineno)):
+            findings.append(Finding(
+                relpath, lineno, "unordered-iter",
+                "unordered container: its iteration order is "
+                "run-to-run nondeterministic and poisons anything it "
+                "feeds (exports, accumulation, scheduling) — use "
+                "std::map / a sorted vector / index iteration, or "
+                "suppress with a rationale proving the order never "
+                "escapes"))
+
+        if (in_src and VOLATILE_RE.search(code)
+                and not sup.allowed("volatile-sync", lineno)):
+            findings.append(Finding(
+                relpath, lineno, "volatile-sync",
+                "volatile is not a synchronization primitive — use "
+                "std::atomic for lock-free flags or guard the state "
+                "with g6::Mutex (util/mutex.hpp) so TSan and "
+                "-Wthread-safety can check it"))
 
         if (in_src and not relpath.startswith(RAW_TIMING_EXEMPT_PREFIX)
                 and RAW_TIMING_RE.search(code)
@@ -440,10 +492,63 @@ def collect_targets(root: pathlib.Path) -> list[str]:
     return targets
 
 
+DEFAULT_BASELINE = "tools/lint/g6lint_baseline.json"
+
+
+def load_baseline(path: pathlib.Path) -> dict[str, int]:
+    """{"path/to/file.cpp:rule": count} of tolerated findings."""
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) and v > 0
+            for k, v in data.items()):
+        raise ValueError(
+            "baseline must map 'path:rule' strings to positive counts")
+    return data
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline: dict[str, int]) -> tuple[list[Finding],
+                                                      dict[str, int]]:
+    """Suppress up to baseline[path:rule] findings per key; the rest stay.
+
+    Returns (kept findings, stale keys -> unused slack). Stale slack means
+    the tree got cleaner than the baseline records — the ratchet should be
+    re-tightened with --update-baseline.
+    """
+    budget = dict(baseline)
+    kept = []
+    for f in findings:
+        key = f"{f.path}:{f.rule}"
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            kept.append(f)
+    stale = {k: v for k, v in budget.items() if v > 0}
+    return kept, stale
+
+
+def write_baseline(path: pathlib.Path, findings: list[Finding]) -> None:
+    counts: dict[str, int] = {}
+    for f in findings:
+        key = f"{f.path}:{f.rule}"
+        counts[key] = counts.get(key, 0) + 1
+    path.write_text(
+        json.dumps(dict(sorted(counts.items())), indent=2) + "\n",
+        encoding="utf-8")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     ap.add_argument("--root", default=".",
                     help="repository root (default: cwd)")
+    ap.add_argument("--baseline", default=None,
+                    help=f"baseline file (default: {DEFAULT_BASELINE} "
+                         "under --root; pass an empty string to disable)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from the current findings "
+                         "and exit 0")
     ap.add_argument("paths", nargs="*",
                     help="files to lint (default: all of src/)")
     args = ap.parse_args()
@@ -474,8 +579,41 @@ def main() -> int:
             return 2
         lint_file(root, rel, findings)
 
+    if args.baseline == "":
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = pathlib.Path(args.baseline)
+    else:
+        baseline_path = root / DEFAULT_BASELINE
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print("g6lint: --update-baseline needs a baseline path",
+                  file=sys.stderr)
+            return 2
+        write_baseline(baseline_path, findings)
+        print(f"g6lint: baseline updated ({len(findings)} finding(s) "
+              f"grandfathered in {baseline_path})", file=sys.stderr)
+        return 0
+
+    stale: dict[str, int] = {}
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as e:
+            print(f"g6lint: bad baseline {baseline_path}: {e}",
+                  file=sys.stderr)
+            return 2
+        # Only meaningful against a full scan: a partial file list would
+        # consume baseline slots it never checked and mask real findings.
+        if not args.paths:
+            findings, stale = apply_baseline(findings, baseline)
+
     for f in findings:
         print(f)
+    for key, slack in sorted(stale.items()):
+        print(f"g6lint: baseline for {key} has {slack} unused slot(s) — "
+              "tighten the ratchet with --update-baseline", file=sys.stderr)
     if findings:
         print(f"g6lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1

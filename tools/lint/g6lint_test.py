@@ -331,6 +331,169 @@ class ServeIsolationTest(LintHarness):
         self.assertIn("serve-isolation", g6lint.RULES)
 
 
+class UnorderedIterTest(LintHarness):
+    """The unordered-iter determinism rule: no hash-order iteration."""
+
+    def test_unordered_map_banned_in_src(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "#include <unordered_map>\n"
+            "std::unordered_map<int, double> table;\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertIn("unordered-iter", self.rules_of(findings))
+
+    def test_unordered_set_banned_in_tools(self):
+        findings = self.lint(
+            "tools/t.cpp",
+            "std::unordered_set<int> seen;\n"
+            "int main() { return 0; }\n")
+        self.assertIn("unordered-iter", self.rules_of(findings))
+
+    def test_multi_variants_covered(self):
+        for ty in ("std::unordered_multimap<int, int> m;",
+                   "std::unordered_multiset<int> s;"):
+            findings = self.lint("bench/t.cpp", ty + "\n")
+            self.assertIn("unordered-iter", self.rules_of(findings), msg=ty)
+
+    def test_ordered_map_is_fine(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "std::map<std::string, double> table;\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("unordered-iter", self.rules_of(findings))
+
+    def test_comment_mention_is_fine(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "// a std::unordered_map would break export determinism\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("unordered-iter", self.rules_of(findings))
+
+    def test_examples_and_tests_out_of_scope(self):
+        for rel in ("examples/t.cpp", "tests/net/t.cpp"):
+            findings = self.lint(rel, "std::unordered_map<int, int> m;\n")
+            self.assertNotIn("unordered-iter", self.rules_of(findings),
+                             msg=rel)
+
+    def test_suppression_with_reason_works(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "std::unordered_map<int, int> m;"
+            "  // g6lint: allow(unordered-iter) -- only .at() lookups, "
+            "never iterated\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("unordered-iter", self.rules_of(findings))
+
+    def test_rule_is_registered(self):
+        self.assertIn("unordered-iter", g6lint.RULES)
+
+
+class VolatileSyncTest(LintHarness):
+    """The volatile-sync rule: volatile is not synchronization."""
+
+    def test_volatile_banned_in_src(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "volatile bool ready = false;\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertIn("volatile-sync", self.rules_of(findings))
+
+    def test_atomic_is_fine(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "std::atomic<bool> ready{false};\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("volatile-sync", self.rules_of(findings))
+
+    def test_comment_and_string_mentions_are_fine(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "// volatile would not be enough here; atomics give ordering\n"
+            "void f() { log(\"volatile\"); G6_REQUIRE(true); }\n")
+        self.assertNotIn("volatile-sync", self.rules_of(findings))
+
+    def test_tools_and_tests_out_of_scope(self):
+        for rel in ("tools/t.cpp", "tests/obs/t.cpp"):
+            findings = self.lint(rel, "volatile int sink = 0;\n")
+            self.assertNotIn("volatile-sync", self.rules_of(findings),
+                             msg=rel)
+
+    def test_suppression_with_reason_works(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "volatile int sink;"
+            "  // g6lint: allow(volatile-sync) -- benchmark sink defeating "
+            "dead-code elimination, single-threaded\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("volatile-sync", self.rules_of(findings))
+
+    def test_rule_is_registered(self):
+        self.assertIn("volatile-sync", g6lint.RULES)
+
+
+class BaselineTest(LintHarness):
+    """The grandfathering baseline: counted suppression with a ratchet."""
+
+    def _finding(self, path, rule):
+        return g6lint.Finding(path, 1, rule, "msg")
+
+    def test_baselined_findings_are_suppressed(self):
+        findings = [self._finding("src/a.cpp", "volatile-sync")]
+        kept, stale = g6lint.apply_baseline(
+            findings, {"src/a.cpp:volatile-sync": 1})
+        self.assertEqual(kept, [])
+        self.assertEqual(stale, {})
+
+    def test_findings_beyond_count_still_fail(self):
+        findings = [self._finding("src/a.cpp", "volatile-sync")
+                    for _ in range(3)]
+        kept, _ = g6lint.apply_baseline(
+            findings, {"src/a.cpp:volatile-sync": 2})
+        self.assertEqual(len(kept), 1)
+
+    def test_other_rules_and_files_unaffected(self):
+        findings = [self._finding("src/a.cpp", "volatile-sync"),
+                    self._finding("src/b.cpp", "volatile-sync"),
+                    self._finding("src/a.cpp", "unordered-iter")]
+        kept, _ = g6lint.apply_baseline(
+            findings, {"src/a.cpp:volatile-sync": 1})
+        self.assertEqual(len(kept), 2)
+
+    def test_stale_baseline_is_reported(self):
+        kept, stale = g6lint.apply_baseline(
+            [], {"src/gone.cpp:volatile-sync": 2})
+        self.assertEqual(kept, [])
+        self.assertEqual(stale, {"src/gone.cpp:volatile-sync": 2})
+
+    def test_update_roundtrip(self):
+        findings = [self._finding("src/a.cpp", "volatile-sync"),
+                    self._finding("src/a.cpp", "volatile-sync"),
+                    self._finding("src/b.cpp", "unordered-iter")]
+        path = self.root / "baseline.json"
+        g6lint.write_baseline(path, findings)
+        loaded = g6lint.load_baseline(path)
+        self.assertEqual(loaded, {"src/a.cpp:volatile-sync": 2,
+                                  "src/b.cpp:unordered-iter": 1})
+        kept, stale = g6lint.apply_baseline(findings, loaded)
+        self.assertEqual(kept, [])
+        self.assertEqual(stale, {})
+
+    def test_missing_file_is_empty(self):
+        self.assertEqual(
+            g6lint.load_baseline(self.root / "nope.json"), {})
+
+    def test_malformed_baseline_rejected(self):
+        path = self.root / "baseline.json"
+        path.write_text('{"src/a.cpp:volatile-sync": "two"}')
+        with self.assertRaises(ValueError):
+            g6lint.load_baseline(path)
+
+    def test_shipped_baseline_is_empty(self):
+        shipped = pathlib.Path(__file__).resolve().parent / \
+            "g6lint_baseline.json"
+        self.assertEqual(g6lint.load_baseline(shipped), {})
+
+
 class OtherRulesSmokeTest(LintHarness):
     """The pre-existing rules keep working alongside the new one."""
 
