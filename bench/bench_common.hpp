@@ -40,11 +40,14 @@ inline TraceScaling scaling_for(SofteningLaw law, const CalibrationOptions& opt,
   return s;
 }
 
-/// Standard telemetry flags for every bench/driver: --metrics-out and
-/// --trace-out; asking for a trace turns span collection on.
+/// Standard telemetry flags for every bench/driver: --metrics-out,
+/// --trace-out and --timeseries-out; asking for a trace turns span
+/// collection on. The time series only has rows when something ticked the
+/// global MetricsSampler (the serve scheduler samples once per round).
 struct TelemetryFlags {
   std::string metrics_out;
   std::string trace_out;
+  std::string timeseries_out;
 };
 
 inline TelemetryFlags telemetry_flags(Cli& cli) {
@@ -53,6 +56,9 @@ inline TelemetryFlags telemetry_flags(Cli& cli) {
       cli.get_string("metrics-out", "", "write metrics JSON here (\"\" = off)");
   f.trace_out = cli.get_string("trace-out", "",
                                "write Chrome trace JSON here (\"\" = off)");
+  f.timeseries_out = cli.get_string(
+      "timeseries-out", "",
+      "write time-series JSON here (\"\" = off; rows only from serve runs)");
   if (!f.trace_out.empty()) obs::Tracer::global().enable();
   return f;
 }
@@ -62,6 +68,7 @@ inline void export_telemetry(const TelemetryFlags& f,
                              const obs::Eq10Accumulator* eq10 = nullptr) {
   obs::export_metrics_json(f.metrics_out, eq10);
   obs::export_chrome_trace(f.trace_out);
+  obs::export_timeseries_json(f.timeseries_out);
 }
 
 /// Paper-figure N grid: 512 ... hi.

@@ -14,6 +14,15 @@ wall-clock leakage in anything structural. This script locks that in:
   2. g6report twice over the SAME metrics file: stdout must be
      byte-identical (cmp semantics) — a report that renders differently
      on a second read is iterating something unordered.
+  3. (with --serve) grape6_serve twice on a 3-job mixed-priority
+     manifest: the per-job attribution scopes and the per-round time
+     series must match between runs — scope key sets and counter values
+     exactly (schedule-dependent counters exempt by value, never by
+     presence), time-series instrument lists, row counts, ticks and
+     values exactly (only the wall-clock t_s column may differ). The
+     flight recorder is deliberately NOT here: its ring interleaves
+     worker-thread events, so the dump is schedule-dependent by design
+     (docs/OBSERVABILITY.md documents the exemption).
 
 Exits non-zero with a diff summary on any mismatch.
 """
@@ -64,6 +73,81 @@ def compare_metrics(a: dict, b: dict) -> list[str]:
     return errors
 
 
+def compare_scopes(a: dict, b: dict) -> list[str]:
+    """Per-job attribution scopes: everything exact except the values of
+    schedule-dependent counters (which are excluded at the source and so
+    should not appear at all — but the exemption stays consistent)."""
+    errors = []
+    if list(a.keys()) != list(b.keys()):
+        errors.append(f"scope key order differs: {list(a)} vs {list(b)}")
+        return errors
+    for name, sa in a.items():
+        sb = b[name]
+        for field in ("job", "class"):
+            if sa.get(field) != sb.get(field):
+                errors.append(f"scope '{name}' {field} differs")
+        if list(sa["counters"].keys()) != list(sb["counters"].keys()):
+            errors.append(f"scope '{name}' counter key order differs")
+            continue
+        diffs = [k for k in sa["counters"]
+                 if sa["counters"][k] != sb["counters"][k]
+                 and k not in SCHEDULE_DEPENDENT_COUNTERS]
+        if diffs:
+            errors.append(f"scope '{name}' counter values differ: {diffs}")
+    return errors
+
+
+def compare_timeseries(a: dict, b: dict) -> list[str]:
+    """grape6-timeseries-v1: logical ticks make everything but the
+    wall-clock t_s column exactly reproducible."""
+    errors = []
+    if a.get("schema") != b.get("schema"):
+        errors.append("timeseries schema differs")
+        return errors
+    if a["instruments"] != b["instruments"]:
+        errors.append("timeseries instrument lists differ: "
+                      f"{[i['name'] for i in a['instruments']]} vs "
+                      f"{[i['name'] for i in b['instruments']]}")
+        return errors
+    if len(a["samples"]) != len(b["samples"]):
+        errors.append(f"timeseries row counts differ: {len(a['samples'])} "
+                      f"vs {len(b['samples'])}")
+        return errors
+    exempt = [i["name"] in SCHEDULE_DEPENDENT_COUNTERS
+              for i in a["instruments"]]
+    for ra, rb in zip(a["samples"], b["samples"]):
+        if ra["tick"] != rb["tick"]:
+            errors.append(f"timeseries tick sequence differs at {ra['tick']}")
+            break
+        vals = [(x, y) for x, y, skip in
+                zip(ra["values"], rb["values"], exempt) if not skip]
+        if any(x != y for x, y in vals):
+            errors.append(f"timeseries values differ at tick {ra['tick']}")
+            break
+    return errors
+
+
+# 3 jobs, mixed priorities, time-shared on a 2-board machine: enough to
+# populate several scopes, queueing (bat-b wants the whole machine) and
+# a multi-round time series, while staying a sub-second ctest.
+SERVE_JOBS = [
+    {"name": "int-a", "model": "plummer", "n": 32, "t_end": 0.0625,
+     "seed": 11, "boards": 1, "priority": "interactive"},
+    {"name": "bat-a", "model": "uniform", "n": 48, "t_end": 0.0625,
+     "seed": 13, "boards": 1, "priority": "batch"},
+    {"name": "bat-b", "model": "plummer", "n": 32, "t_end": 0.0625,
+     "seed": 16, "boards": 2, "priority": "batch"},
+]
+
+SERVE_SERVICE = {
+    "boards_per_host": 2,
+    "hosts_per_cluster": 1,
+    "clusters": 1,
+    "quantum_blocksteps": 4,
+    "max_queue_depth": 8,
+}
+
+
 def run(cmd, **kw):
     r = subprocess.run(cmd, capture_output=True, text=True, **kw)
     if r.returncode != 0:
@@ -76,6 +160,9 @@ def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     ap.add_argument("--run", required=True, help="path to grape6_run")
     ap.add_argument("--report", required=True, help="path to g6report")
+    ap.add_argument("--serve", default=None,
+                    help="path to grape6_serve; adds the attribution-scope "
+                         "and time-series determinism checks")
     args = ap.parse_args()
 
     with tempfile.TemporaryDirectory() as td:
@@ -97,6 +184,43 @@ def main() -> int:
         if r1.stdout != r2.stdout:
             errors.append("g6report output differs between two reads of "
                           "the same file")
+
+        if args.serve:
+            manifest = tmp / "manifest.json"
+            manifest.write_text(json.dumps(
+                {"schema": "grape6-serve-manifest-v1",
+                 "service": SERVE_SERVICE, "jobs": SERVE_JOBS}, indent=2))
+            serve_metrics, serve_series = [], []
+            for i in (0, 1):
+                m_out = tmp / f"serve_m{i}.json"
+                ts_out = tmp / f"serve_ts{i}.json"
+                run([args.serve, f"--manifest={manifest}",
+                     f"--out={tmp / f'serve{i}'}", "--snapshots=false",
+                     "--threads=2", f"--metrics-out={m_out}",
+                     f"--timeseries-out={ts_out}"])
+                serve_metrics.append(json.loads(m_out.read_text()))
+                serve_series.append(json.loads(ts_out.read_text()))
+
+            errors += [f"serve: {e}" for e in
+                       compare_metrics(serve_metrics[0], serve_metrics[1])]
+            errors += [f"serve: {e}" for e in
+                       compare_scopes(serve_metrics[0].get("scopes", {}),
+                                      serve_metrics[1].get("scopes", {}))]
+            if not serve_metrics[0].get("scopes"):
+                errors.append("serve: metrics export has no per-job scopes")
+            errors += [f"serve: {e}" for e in
+                       compare_timeseries(serve_series[0], serve_series[1])]
+            if not serve_series[0].get("samples"):
+                errors.append("serve: time series has no rows (scheduler "
+                              "should sample once per round)")
+
+            # The scopes section renders through g6report too.
+            serve_in = tmp / "serve_m0.json"
+            s1 = run([args.report, f"--in={serve_in}"])
+            s2 = run([args.report, f"--in={serve_in}"])
+            if s1.stdout != s2.stdout:
+                errors.append("serve: g6report output differs between two "
+                              "reads of the same file")
 
     if errors:
         for e in errors:

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Refresh BENCH_peak.json from bench/peak_and_kernels.
+
+Runs the google-benchmark micro-kernel suite (quantize, pipeline
+interaction, predictor, BFP add, octree, direct block force) and distills
+its JSON output into a small committed snapshot at the repo root, the
+peak/kernels counterpart of scripts/snapshot_serve_bench.py.
+
+Usage (from the repo root, after building):
+
+    python3 scripts/snapshot_peak_bench.py --bench build/bench/peak_and_kernels
+
+Wall-clock numbers vary machine to machine; the snapshot records them for
+trend-spotting in review diffs, and scripts/bench_regress.py compares a
+fresh run against them with a wide tolerance band so only step-change
+slowdowns (an accidentally quadratic loop, a lost fast path) fail CI.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "grape6-bench-peak-v1"
+
+_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def distill(raw: dict) -> dict:
+    """google-benchmark JSON -> {name: {real_time_ns, cpu_time_ns, ...}}."""
+    out = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue  # keep per-run numbers only; we run without repetitions
+        scale = _TO_NS.get(b.get("time_unit", "ns"), 1.0)
+        entry = {
+            "real_time_ns": b["real_time"] * scale,
+            "cpu_time_ns": b["cpu_time"] * scale,
+        }
+        if "items_per_second" in b:
+            entry["items_per_second"] = b["items_per_second"]
+        out[b["name"]] = entry
+    return out
+
+
+def run_and_distill(bench: str, min_time_s: float) -> dict:
+    """Run the bench binary and return the snapshot dict."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out_path = os.path.join(tmp, "peak_and_kernels.json")
+        cmd = [bench, f"--benchmark_out={out_path}",
+               "--benchmark_out_format=json",
+               f"--benchmark_min_time={min_time_s}s"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        sys.stdout.write(proc.stdout)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(f"FAIL: {' '.join(cmd)} exited {proc.returncode}")
+        with open(out_path) as f:
+            raw = json.load(f)
+
+    return {
+        "schema": SCHEMA,
+        "bench": "peak_and_kernels",
+        "min_time_s": min_time_s,
+        "benchmarks": distill(raw),
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True,
+                    help="path to the peak_and_kernels binary")
+    ap.add_argument("--out", default="BENCH_peak.json",
+                    help="snapshot path (default: BENCH_peak.json)")
+    ap.add_argument("--min-time", type=float, default=0.1,
+                    help="per-benchmark min measurement time in seconds")
+    args = ap.parse_args()
+
+    snapshot = run_and_distill(args.bench, args.min_time)
+    with open(args.out, "w") as f:
+        json.dump(snapshot, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out} ({len(snapshot['benchmarks'])} benchmarks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,19 +25,17 @@ import sys
 import tempfile
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("--bench", required=True,
-                    help="path to the serve_throughput binary")
-    ap.add_argument("--out", default="BENCH_serve.json",
-                    help="snapshot path (default: BENCH_serve.json)")
-    ap.add_argument("--jobs", type=int, default=12, help="jobs per mix")
-    args = ap.parse_args()
+SCHEMA = "grape6-bench-serve-v1"
 
+
+def run_and_distill(bench: str, jobs: int) -> dict:
+    """Run the bench binary and return the snapshot dict (shared with
+    scripts/bench_regress.py, which compares it against the committed
+    baseline)."""
     with tempfile.TemporaryDirectory() as tmp:
         csv_path = os.path.join(tmp, "serve_throughput.csv")
         metrics_path = os.path.join(tmp, "metrics.json")
-        cmd = [args.bench, f"--jobs={args.jobs}", f"--csv={csv_path}",
+        cmd = [bench, f"--jobs={jobs}", f"--csv={csv_path}",
                f"--metrics-out={metrics_path}"]
         proc = subprocess.run(cmd, capture_output=True, text=True)
         sys.stdout.write(proc.stdout)
@@ -50,17 +48,29 @@ def main():
         with open(metrics_path) as f:
             metrics = json.load(f)
 
-    snapshot = {
-        "schema": "grape6-bench-serve-v1",
+    return {
+        "schema": SCHEMA,
         "bench": "serve_throughput",
-        "jobs_per_mix": args.jobs,
+        "jobs_per_mix": jobs,
         "mixes": mixes,
         "eq10": metrics.get("eq10"),
     }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True,
+                    help="path to the serve_throughput binary")
+    ap.add_argument("--out", default="BENCH_serve.json",
+                    help="snapshot path (default: BENCH_serve.json)")
+    ap.add_argument("--jobs", type=int, default=12, help="jobs per mix")
+    args = ap.parse_args()
+
+    snapshot = run_and_distill(args.bench, args.jobs)
     with open(args.out, "w") as f:
         json.dump(snapshot, f, indent=2)
         f.write("\n")
-    print(f"wrote {args.out} ({len(mixes)} mixes)")
+    print(f"wrote {args.out} ({len(snapshot['mixes'])} mixes)")
 
 
 if __name__ == "__main__":

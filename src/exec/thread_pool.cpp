@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "util/check.hpp"
@@ -82,9 +83,22 @@ void ThreadPool::submit(Task task) {
   if (queues_.empty()) {
     // Serial fallback: no workers, no queues — run right here. TaskGroup
     // short-circuits before reaching this, but raw submitters need it too.
+    // The submitter's attribution scope is already ambient on this thread.
     inline_counter().add(1);
     task();
     return;
+  }
+  // Carry the submitter's per-job attribution scope (obs/context.hpp) onto
+  // whichever thread dequeues the task: submit() is the one funnel every
+  // queued task passes through, so scoping here is what makes per-job
+  // counters survive the pool boundary. The exec.tasks count below runs on
+  // the submitting thread and is charged to the same scope — deterministic,
+  // unlike exec.steals which is denied from scopes at the source.
+  if (obs::MetricScope* scope = obs::ScopedMetricScope::current()) {
+    task = [scope, inner = std::move(task)] {
+      const obs::ScopedMetricScope attribution(scope);
+      inner();
+    };
   }
   tasks_counter().add(1);
   const bool own = t_worker.pool == this;

@@ -9,6 +9,8 @@
 #include "util/errors.hpp"
 #include "fault/injector.hpp"
 #include "grape/selftest.hpp"
+#include "obs/context.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
@@ -20,6 +22,13 @@ namespace {
 /// How many exponent bits to add on an overflow retry.
 constexpr int kRetryBump = 8;
 constexpr int kMaxRetries = 16;
+
+/// The serve job this thread is working for (0 outside a scope): flight
+/// events from detection/recovery paths carry the owning job.
+std::uint64_t flight_job() {
+  const obs::MetricScope* scope = obs::ScopedMetricScope::current();
+  return scope != nullptr ? scope->job() : 0;
+}
 
 double max_abs(const Vec3& v) {
   return std::max({std::fabs(v.x), std::fabs(v.y), std::fabs(v.z)});
@@ -245,6 +254,9 @@ void GrapeForceEngine::run_health_check(double t, FaultCharges& charges) {
 
   if (suspects.empty()) return;
   c_selftest.add(suspects.size());
+  obs::FlightRecorder::global().record(
+      obs::FlightEventType::kFaultDetected, flight_job(),
+      static_cast<std::int64_t>(suspects.size()), 0, "selftest");
   stats_.selftest_failures += suspects.size();
   for (int id : suspects) {
     obs::log_warn("fault: self-test failed, disabling chip %d", id);
@@ -317,6 +329,9 @@ void GrapeForceEngine::inject_and_scrub_j_memory(double t, FaultCharges& charges
   if (rewrites > 0) {
     c_scrub.add(rewrites);
     c_rewrites.add(rewrites);
+    obs::FlightRecorder::global().record(
+        obs::FlightEventType::kFaultDetected, flight_job(),
+        static_cast<std::int64_t>(rewrites), 0, "scrub");
     stats_.jmem_rewrites += rewrites;
     charges.dma_s += dma_.transfer_time(rewrites * packets_.j_particle_bytes);
   }
@@ -621,6 +636,11 @@ void GrapeForceEngine::run_chunk(double t, std::span<const PredictedState> block
           injector_->counts().compute_glitches - glitches0;
       c_vote.add(glitched > 0 ? glitched : 1);
       c_vote_retries.add(1);
+      obs::FlightRecorder::global().record(
+          obs::FlightEventType::kFaultDetected, flight_job(),
+          static_cast<std::int64_t>(glitched), vote_try, "vote");
+      obs::FlightRecorder::global().record(obs::FlightEventType::kRetry,
+                                           flight_job(), vote_try, 0, "vote");
       ++stats_.vote_retries;
       const double delay = backoff_delay(vote_try);
       acct.extra_seconds += delay;
@@ -761,6 +781,12 @@ void GrapeForceEngine::verify_i_packets(double t, std::span<IParticlePacket> pas
     if (bad.empty()) return;
     c_checksum.add(bad.size());
     c_retransmits.add(bad.size());
+    obs::FlightRecorder::global().record(
+        obs::FlightEventType::kFaultDetected, flight_job(),
+        static_cast<std::int64_t>(bad.size()), attempt, "checksum");
+    obs::FlightRecorder::global().record(obs::FlightEventType::kRetry,
+                                         flight_job(), attempt, 0,
+                                         "retransmit");
     stats_.packet_retransmits += bad.size();
     const double backoff = backoff_delay(attempt);
     call_seconds += dma_.transfer_time(bad.size() * packets_.i_particle_bytes) +

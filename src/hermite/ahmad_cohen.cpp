@@ -154,7 +154,7 @@ double AhmadCohenIntegrator::next_block_time() const {
 
 std::size_t AhmadCohenIntegrator::step() {
   obs::Eq10Stepper eq(eq10_);  // opens attributing to kHost
-  G6_PHASE("blockstep");
+  G6_PHASE("hermite.ac.blockstep");
   const double t = next_block_time();
   const std::size_t n = particles_.size();
 
@@ -177,7 +177,7 @@ std::size_t AhmadCohenIntegrator::step() {
 
   // --- phase 1: irregular step for every block member -------------------
   {
-    G6_PHASE("irregular");
+    G6_PHASE("hermite.ac.irregular");
     for (std::size_t i : block_) {
       Work w;
       w.i = i;
@@ -201,7 +201,7 @@ std::size_t AhmadCohenIntegrator::step() {
     if (work[k].due_regular) due.push_back(k);
   }
   if (!due.empty()) {
-    G6_PHASE("regular-refresh");
+    G6_PHASE("hermite.ac.regular-refresh");
     std::vector<PredictedState> pred(due.size());
     std::vector<double> radii(due.size());
     std::vector<Force> f_tot(due.size());
@@ -281,7 +281,7 @@ std::size_t AhmadCohenIntegrator::step() {
   }
 
   // --- phase 3: finalize every block member ------------------------------
-  G6_PHASE("finalize");
+  G6_PHASE("hermite.ac.finalize");
   for (Work& w : work) {
     const std::size_t i = w.i;
     const Vec3 a2_irr_t1 = w.d.a2 + w.dt * w.d.a3;
@@ -319,7 +319,7 @@ std::size_t AhmadCohenIntegrator::step() {
   {
     // j-particle send, batched after the correctors (the engine state is
     // not read during finalization, so ordering is unchanged).
-    G6_PHASE("j-send");
+    G6_PHASE("hermite.ac.j-send");
     for (const Work& w : work) engine_.update_particle(w.i, particles_[w.i]);
   }
   eq.phase(obs::Eq10Stepper::Phase::kHost);

@@ -7,11 +7,26 @@
 #include "util/errors.hpp"
 #include "hermite/scheme.hpp"
 #include "obs/clock.hpp"
+#include "obs/context.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 #include "util/check.hpp"
 
 namespace g6 {
+
+namespace {
+
+/// Flight-record a bounded force retry, charged to the serve job this
+/// thread is working for (0 standalone).
+void record_force_retry(int attempt) {
+  const obs::MetricScope* scope = obs::ScopedMetricScope::current();
+  obs::FlightRecorder::global().record(
+      obs::FlightEventType::kRetry, scope != nullptr ? scope->job() : 0,
+      attempt, 0, "force_retry");
+}
+
+}  // namespace
 
 HermiteIntegrator::HermiteIntegrator(const ParticleSet& initial, ForceEngine& engine,
                                      HermiteConfig config)
@@ -70,6 +85,7 @@ void HermiteIntegrator::compute_forces_guarded(
       obs::MetricsRegistry::global()
           .counter("fault.recovered.force_retries")
           .add(1);
+      record_force_retry(attempt);
     }
   }
 }
@@ -116,7 +132,7 @@ void HermiteIntegrator::force_and_correct_overlapped(double t_next) {
           engine_.submit_forces(t_next, block_pred_, block_force_);
       double hidden_s = 0.0;
       {
-        G6_PHASE("correct");
+        G6_PHASE("hermite.correct");
         for (std::size_t c = 0; c < tk.chunk_count(); ++c) {
           tk.wait_chunk(c);
           const auto [lo, hi] = tk.chunk_range(c);
@@ -133,6 +149,7 @@ void HermiteIntegrator::force_and_correct_overlapped(double t_next) {
       obs::MetricsRegistry::global()
           .counter("fault.recovered.force_retries")
           .add(1);
+      record_force_retry(attempt);
     }
   }
 }
@@ -185,7 +202,7 @@ double HermiteIntegrator::next_block_time() const {
 
 std::size_t HermiteIntegrator::step() {
   obs::Eq10Stepper eq(eq10_);  // opens attributing to kHost
-  G6_PHASE("blockstep");
+  G6_PHASE("hermite.blockstep");
   const double t_next = next_block_time();
 
   // Gather the block: everyone whose step ends exactly at t_next. Times
@@ -199,7 +216,7 @@ std::size_t HermiteIntegrator::step() {
   {
     // Host-side prediction of the i-particles (Eqs 6-7 in double
     // precision; the hardware predicts the j side).
-    G6_PHASE("predict");
+    G6_PHASE("hermite.predict");
     block_pred_.resize(block_.size());
     for (std::size_t k = 0; k < block_.size(); ++k) {
       const std::size_t i = block_[k];
@@ -219,20 +236,20 @@ std::size_t HermiteIntegrator::step() {
     // reported separately as exec.overlap.host_s.
     eq.phase(obs::Eq10Stepper::Phase::kGrape);
     {
-      G6_PHASE("force");
+      G6_PHASE("hermite.force");
       force_and_correct_overlapped(t_next);
     }
     eq.phase(obs::Eq10Stepper::Phase::kHost);
   } else {
     eq.phase(obs::Eq10Stepper::Phase::kGrape);
     {
-      G6_PHASE("force");
+      G6_PHASE("hermite.force");
       compute_forces_guarded(t_next, block_pred_, block_force_);
     }
     eq.phase(obs::Eq10Stepper::Phase::kHost);
     {
       // Corrector + new timestep per block member.
-      G6_PHASE("correct");
+      G6_PHASE("hermite.correct");
       correct_range(t_next, 0, block_.size());
     }
   }
@@ -241,7 +258,7 @@ std::size_t HermiteIntegrator::step() {
   {
     // Push the corrected block to the engine's j-memory (the paper's
     // j-particle send; one DMA on the emulated hardware).
-    G6_PHASE("j-send");
+    G6_PHASE("hermite.j-send");
     for (std::size_t i : block_) engine_.update_particle(i, particles_[i]);
   }
   eq.phase(obs::Eq10Stepper::Phase::kHost);

@@ -1,0 +1,128 @@
+#include "obs/context.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace g6::obs {
+
+namespace detail {
+
+thread_local MetricScope* t_metric_scope = nullptr;
+
+void scope_add(const Counter* counter, std::uint64_t delta) {
+  const std::string* name = counter->registered_name();
+  // Counters constructed outside the registry (tests) have no stable name
+  // to key a cell on; they stay global-only.
+  if (name == nullptr) return;
+  // exec.steals is charged by the *stealing* thread about another job's
+  // task: mirroring it would give scopes schedule-dependent key sets, and
+  // export_determinism requires per-scope keys to be exact. Denied at the
+  // source; the global counter still counts every steal.
+  if (*name == "exec.steals") return;
+  t_metric_scope->add(name, delta);
+}
+
+}  // namespace detail
+
+MetricScope::MetricScope(std::string name, std::uint64_t job,
+                         std::string job_class)
+    : name_(std::move(name)), job_(job), job_class_(std::move(job_class)) {}
+
+void MetricScope::add(const std::string* counter_name, std::uint64_t delta) {
+  const MutexLock lock(mutex_);
+  cells_[counter_name] += delta;
+}
+
+std::map<std::string, std::uint64_t> MetricScope::snapshot() const {
+  const MutexLock lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, value] : cells_) out.emplace(*name, value);
+  return out;
+}
+
+std::uint64_t MetricScope::value(std::string_view counter_name) const {
+  const MutexLock lock(mutex_);
+  for (const auto& [name, value] : cells_) {
+    if (*name == counter_name) return value;
+  }
+  return 0;
+}
+
+void MetricScope::reset() {
+  const MutexLock lock(mutex_);
+  cells_.clear();
+}
+
+MetricScope& ScopeRegistry::get_or_create(std::string_view name,
+                                          std::uint64_t job,
+                                          std::string_view job_class) {
+  G6_REQUIRE(!name.empty());
+  const MutexLock lock(mutex_);
+  auto it = scopes_.find(name);
+  if (it == scopes_.end()) {
+    it = scopes_
+             .emplace(std::string(name),
+                      std::make_unique<MetricScope>(std::string(name), job,
+                                                    std::string(job_class)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<const MetricScope*> ScopeRegistry::scopes() const {
+  const MutexLock lock(mutex_);
+  std::vector<const MetricScope*> out;
+  out.reserve(scopes_.size());
+  for (const auto& [name, scope] : scopes_) out.push_back(scope.get());
+  return out;
+}
+
+const MetricScope* ScopeRegistry::find(std::string_view name) const {
+  const MutexLock lock(mutex_);
+  auto it = scopes_.find(name);
+  return it == scopes_.end() ? nullptr : it->second.get();
+}
+
+void ScopeRegistry::reset() {
+  G6_REQUIRE(ScopedMetricScope::current() == nullptr);
+  const MutexLock lock(mutex_);
+  scopes_.clear();
+}
+
+void ScopeRegistry::write_json(std::ostream& os) const {
+  os << "{";
+  bool first_scope = true;
+  for (const MetricScope* scope : scopes()) {
+    os << (first_scope ? "\n" : ",\n") << "    \"" << json_escape(scope->name())
+       << "\": {\"job\": " << scope->job() << ", \"class\": \""
+       << json_escape(scope->job_class()) << "\", \"counters\": {";
+    bool first_cell = true;
+    for (const auto& [name, value] : scope->snapshot()) {
+      os << (first_cell ? "" : ", ") << "\"" << json_escape(name)
+         << "\": " << value;
+      first_cell = false;
+    }
+    os << "}}";
+    first_scope = false;
+  }
+  os << (first_scope ? "" : "\n  ") << "}";
+}
+
+ScopeRegistry& ScopeRegistry::global() {
+  static ScopeRegistry registry;
+  return registry;
+}
+
+ScopedMetricScope::ScopedMetricScope(MetricScope* scope)
+    : prev_(detail::t_metric_scope) {
+  detail::t_metric_scope = scope;
+}
+
+ScopedMetricScope::~ScopedMetricScope() { detail::t_metric_scope = prev_; }
+
+MetricScope* ScopedMetricScope::current() { return detail::t_metric_scope; }
+
+}  // namespace g6::obs

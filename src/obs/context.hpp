@@ -1,0 +1,112 @@
+#pragma once
+// Per-job metric attribution (docs/OBSERVABILITY.md).
+//
+// A MetricScope is a named attribution bucket — one per served job — that
+// mirrors every Counter::add() performed while the scope is current on the
+// calling thread. The scope is carried in a thread-local pointer installed
+// by ScopedMetricScope and propagated across exec::ThreadPool::submit(),
+// so work a job forks onto worker threads is still charged to that job.
+// The process-global totals in MetricsRegistry are unchanged: a scope is a
+// second ledger, and the per-scope values of a counter sum to the global
+// value when every increment ran under some scope.
+//
+// Scopes mirror counters only. Gauges are last-write instantaneous values
+// (a per-job copy of "queue depth" is meaningless) and histograms already
+// carry per-job context through their observations.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace g6::obs {
+
+class Counter;
+
+/// One attribution bucket (job id + class label + mirrored counter cells).
+/// Thread-safe: several worker threads of one job add concurrently.
+class MetricScope {
+ public:
+  MetricScope(std::string name, std::uint64_t job, std::string job_class);
+  MetricScope(const MetricScope&) = delete;
+  MetricScope& operator=(const MetricScope&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t job() const { return job_; }
+  const std::string& job_class() const { return job_class_; }
+
+  /// Mirror `delta` into this scope's cell for the registered counter
+  /// `counter_name` (a pointer to the registry's stable key string).
+  void add(const std::string* counter_name, std::uint64_t delta);
+
+  /// Counter name -> mirrored value, sorted by name (std::map order).
+  std::map<std::string, std::uint64_t> snapshot() const;
+
+  /// Mirrored value for one counter name (0 when never incremented here).
+  std::uint64_t value(std::string_view counter_name) const;
+
+  void reset();
+
+ private:
+  const std::string name_;
+  const std::uint64_t job_;
+  const std::string job_class_;
+  mutable Mutex mutex_;
+  // Keyed by the registry's stable name pointer: one map lookup per
+  // mirrored add, names deref'd (and sorted) only at snapshot time.
+  std::map<const std::string*, std::uint64_t> cells_ G6_GUARDED_BY(mutex_);
+};
+
+/// Get-or-create registry of scopes, exported as the "scopes" section of
+/// the metrics JSON. Scope references stay valid until reset().
+class ScopeRegistry {
+ public:
+  MetricScope& get_or_create(std::string_view name, std::uint64_t job,
+                             std::string_view job_class);
+
+  /// Scopes sorted by name (export order).
+  std::vector<const MetricScope*> scopes() const;
+
+  /// Look up an existing scope by name; nullptr when absent.
+  const MetricScope* find(std::string_view name) const;
+
+  /// Drop every scope (tests / between service instances). Callers must
+  /// not hold scope pointers across reset — including in the thread-local
+  /// current slot (ScopedMetricScope instances must have unwound).
+  void reset();
+
+  /// The "scopes" JSON object ({} when no scopes exist).
+  void write_json(std::ostream& os) const;
+
+  static ScopeRegistry& global();
+
+ private:
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<MetricScope>, std::less<>> scopes_
+      G6_GUARDED_BY(mutex_);
+};
+
+/// RAII: install `scope` as the calling thread's current attribution
+/// target; restore the previous one on destruction. Pass nullptr to
+/// detach (e.g. scheduler bookkeeping between job quanta).
+class ScopedMetricScope {
+ public:
+  explicit ScopedMetricScope(MetricScope* scope);
+  ~ScopedMetricScope();
+  ScopedMetricScope(const ScopedMetricScope&) = delete;
+  ScopedMetricScope& operator=(const ScopedMetricScope&) = delete;
+
+  /// The calling thread's current scope (nullptr when detached).
+  static MetricScope* current();
+
+ private:
+  MetricScope* prev_;
+};
+
+}  // namespace g6::obs

@@ -2,9 +2,11 @@
 
 #include <ostream>
 
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
+#include "obs/sampler.hpp"
 #include "util/check.hpp"
 #include "util/fileio.hpp"
 
@@ -38,6 +40,40 @@ bool export_chrome_trace(const std::string& path) {
   }
   log_info("wrote Chrome trace (%zu events) to %s",
            Tracer::global().event_count(), path.c_str());
+  return true;
+}
+
+bool export_timeseries_json(const std::string& path) {
+  if (path.empty()) return true;
+  G6_REQUIRE(path.find('\0') == std::string::npos);
+  try {
+    write_file_atomic(path, [](std::ostream& os) {
+      MetricsSampler::global().write_json(os);
+    });
+  } catch (const IoError& e) {
+    log_error("failed writing time-series JSON to %s: %s", path.c_str(),
+              e.what());
+    return false;
+  }
+  log_info("wrote time-series JSON (%zu samples) to %s",
+           MetricsSampler::global().sample_count(), path.c_str());
+  return true;
+}
+
+bool export_flight_json(const std::string& path) {
+  if (path.empty()) return true;
+  G6_REQUIRE(path.find('\0') == std::string::npos);
+  try {
+    write_file_atomic(path, [](std::ostream& os) {
+      FlightRecorder::global().write_json(os);
+    });
+  } catch (const IoError& e) {
+    log_error("failed writing flight JSON to %s: %s", path.c_str(), e.what());
+    return false;
+  }
+  log_info("wrote flight JSON (%llu events) to %s",
+           static_cast<unsigned long long>(FlightRecorder::global().recorded()),
+           path.c_str());
   return true;
 }
 

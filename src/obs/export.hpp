@@ -20,4 +20,15 @@ bool export_metrics_json(const std::string& path,
 /// false (and logs an error) on I/O failure.
 bool export_chrome_trace(const std::string& path);
 
+/// Write the global MetricsSampler's rows as time-series JSON
+/// ("grape6-timeseries-v1") to `path`. Empty path is a no-op. Returns
+/// false (and logs an error) on I/O failure.
+bool export_timeseries_json(const std::string& path);
+
+/// Write the global FlightRecorder's ring as flight JSON
+/// ("grape6-flightrec-v1") to `path`. Empty path is a no-op. Returns
+/// false (and logs an error) on I/O failure. Safe to call from a fault
+/// handler path (no allocation beyond the JSON buffer).
+bool export_flight_json(const std::string& path);
+
 }  // namespace g6::obs

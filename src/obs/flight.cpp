@@ -1,0 +1,118 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace g6::obs {
+
+const char* flight_event_name(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kQuantumStart: return "quantum_start";
+    case FlightEventType::kQuantumEnd: return "quantum_end";
+    case FlightEventType::kPreempt: return "preempt";
+    case FlightEventType::kRevoke: return "revoke";
+    case FlightEventType::kBoardDeath: return "board_death";
+    case FlightEventType::kFaultDetected: return "fault_detected";
+    case FlightEventType::kRetry: return "retry";
+    case FlightEventType::kRequeue: return "requeue";
+    case FlightEventType::kJobCompleted: return "job_completed";
+    case FlightEventType::kJobFailed: return "job_failed";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : slots_(capacity) {
+  G6_REQUIRE(capacity > 0);
+}
+
+void FlightRecorder::record(FlightEventType type, std::uint64_t job,
+                            std::int64_t a, std::int64_t b,
+                            const char* detail) {
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % slots_.size()];
+  // Invalidate, write payload relaxed, publish with release: a snapshot
+  // that reads seq_plus1 twice and sees the same nonzero value got a
+  // consistent copy (modulo a full ring wrap between the two reads, which
+  // post-quiescence dumps never see).
+  slot.seq_plus1.store(0, std::memory_order_release);
+  slot.t_s.store(monotonic_seconds(), std::memory_order_relaxed);
+  slot.type.store(static_cast<std::uint8_t>(type), std::memory_order_relaxed);
+  slot.job.store(job, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.detail.store(detail, std::memory_order_relaxed);
+  slot.seq_plus1.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    const std::uint64_t before = slot.seq_plus1.load(std::memory_order_acquire);
+    if (before == 0) continue;
+    FlightEvent ev;
+    ev.seq = before - 1;
+    ev.t_s = slot.t_s.load(std::memory_order_relaxed);
+    ev.type = static_cast<FlightEventType>(
+        slot.type.load(std::memory_order_relaxed));
+    ev.job = slot.job.load(std::memory_order_relaxed);
+    ev.a = slot.a.load(std::memory_order_relaxed);
+    ev.b = slot.b.load(std::memory_order_relaxed);
+    ev.detail = slot.detail.load(std::memory_order_relaxed);
+    if (slot.seq_plus1.load(std::memory_order_acquire) != before) continue;
+    out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  return next_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  const std::uint64_t n = recorded();
+  return n > slots_.size() ? n - slots_.size() : 0;
+}
+
+void FlightRecorder::clear() {
+  next_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : slots_) {
+    slot.seq_plus1.store(0, std::memory_order_release);
+  }
+}
+
+void FlightRecorder::write_json(std::ostream& os) const {
+  const std::vector<FlightEvent> events = snapshot();
+  os.precision(12);
+  os << "{\n  \"schema\": \"grape6-flightrec-v1\",\n  \"capacity\": "
+     << capacity() << ",\n  \"recorded\": " << recorded()
+     << ",\n  \"dropped\": " << dropped() << ",\n  \"events\": [";
+  bool first = true;
+  for (const FlightEvent& ev : events) {
+    os << (first ? "\n" : ",\n") << "    {\"seq\": " << ev.seq
+       << ", \"t_s\": " << ev.t_s << ", \"type\": \""
+       << flight_event_name(ev.type) << "\", \"job\": " << ev.job
+       << ", \"a\": " << ev.a << ", \"b\": " << ev.b;
+    if (ev.detail != nullptr) {
+      os << ", \"detail\": \"" << json_escape(ev.detail) << "\"";
+    }
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+}  // namespace g6::obs

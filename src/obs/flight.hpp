@@ -1,0 +1,101 @@
+#pragma once
+// Flight recorder: a fixed-size lock-free ring of structured scheduler /
+// fault events, dumped to JSON on HardFault, RetryExhausted or abort so a
+// chaos-run post-mortem does not depend on log scraping
+// (docs/OBSERVABILITY.md).
+//
+// record() is wait-free for writers (one fetch_add claims a slot, payload
+// fields are relaxed atomics published by a release store of the slot
+// sequence) and is safe to call from quantum tasks on worker threads
+// while the control thread is serially bookkeeping. When the ring wraps,
+// the oldest events are overwritten and counted as dropped — a flight
+// recorder keeps the newest history, which is the part a post-mortem
+// needs.
+//
+// The dump is NOT byte-deterministic between identical runs: slot claim
+// order interleaves worker-thread events by OS schedule, and t_s is wall
+// clock. export_determinism therefore never diffs flight dumps (policy in
+// docs/OBSERVABILITY.md); tests assert on the per-job event *subsequence*,
+// which is deterministic.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace g6::obs {
+
+enum class FlightEventType : std::uint8_t {
+  kQuantumStart = 0,
+  kQuantumEnd,
+  kPreempt,
+  kRevoke,
+  kBoardDeath,
+  kFaultDetected,
+  kRetry,
+  kRequeue,
+  kJobCompleted,
+  kJobFailed,
+};
+
+/// Stable lowercase identifier ("quantum_start", ...): the JSON "type".
+const char* flight_event_name(FlightEventType type);
+
+struct FlightEvent {
+  std::uint64_t seq = 0;  ///< global claim order (0-based)
+  double t_s = 0.0;       ///< telemetry clock at record()
+  FlightEventType type = FlightEventType::kQuantumStart;
+  std::uint64_t job = 0;       ///< owning job id; 0 = none/process-level
+  std::int64_t a = 0;          ///< event-specific (board id, round, ...)
+  std::int64_t b = 0;          ///< event-specific second operand
+  const char* detail = nullptr;  ///< static-lifetime string or nullptr
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Append one event (wait-free; callable from any thread).
+  /// `detail` must be a string literal or otherwise outlive the recorder.
+  void record(FlightEventType type, std::uint64_t job, std::int64_t a = 0,
+              std::int64_t b = 0, const char* detail = nullptr);
+
+  /// Fully-published events, sorted by seq (oldest surviving first).
+  /// Torn slots (a writer mid-publish) are skipped.
+  std::vector<FlightEvent> snapshot() const;
+
+  std::uint64_t recorded() const;  ///< total record() calls
+  std::uint64_t dropped() const;   ///< overwritten by ring wrap
+  std::size_t capacity() const { return slots_.size(); }
+
+  void clear();
+
+  /// Flight JSON, schema "grape6-flightrec-v1".
+  void write_json(std::ostream& os) const;
+
+  /// The process-wide recorder the scheduler and engine report into.
+  static FlightRecorder& global();
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+ private:
+  // seq_plus1 == 0 marks an empty/in-flight slot; a claimed slot stores
+  // its event seq + 1 with release order after the payload (relaxed
+  // atomics, so concurrent snapshot() copies are race-free under TSan).
+  struct Slot {
+    std::atomic<std::uint64_t> seq_plus1{0};
+    std::atomic<double> t_s{0.0};
+    std::atomic<std::uint8_t> type{0};
+    std::atomic<std::uint64_t> job{0};
+    std::atomic<std::int64_t> a{0};
+    std::atomic<std::int64_t> b{0};
+    std::atomic<const char*> detail{nullptr};
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+}  // namespace g6::obs

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "obs/context.hpp"
 #include "obs/eq10.hpp"
 #include "obs/json.hpp"
 #include "util/check.hpp"
@@ -48,6 +49,9 @@ Counter& MetricsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+    // std::map keys never move: the name pointer stays valid for the
+    // registry's lifetime, so scopes can key attribution cells on it.
+    it->second->name_ = &it->first;
   }
   return *it->second;
 }
@@ -116,7 +120,8 @@ void MetricsRegistry::write_json(std::ostream& os,
     os << "]}";
     first = false;
   }
-  os << (first ? "" : "\n  ") << "}";
+  os << (first ? "" : "\n  ") << "},\n  \"scopes\": ";
+  ScopeRegistry::global().write_json(os);
   if (eq10 != nullptr) {
     os << ",\n  \"eq10\": ";
     eq10->write_json(os);

@@ -26,19 +26,38 @@
 namespace g6::obs {
 
 struct Eq10Accumulator;
+class Counter;
+class MetricScope;
+
+namespace detail {
+/// The calling thread's attribution scope (obs/context.hpp); installed by
+/// ScopedMetricScope, consulted by every Counter::add().
+extern thread_local MetricScope* t_metric_scope;
+/// Mirror an increment into t_metric_scope (defined in context.cpp).
+void scope_add(const Counter* counter, std::uint64_t delta);
+}  // namespace detail
 
 /// Monotonically increasing event count (relaxed atomic; totals are read
-/// after the threads producing them have joined).
+/// after the threads producing them have joined). When the calling thread
+/// carries a MetricScope (per-job attribution, obs/context.hpp) the delta
+/// is additionally mirrored into that scope's ledger.
 class Counter {
  public:
   void add(std::uint64_t delta = 1) {
     value_.fetch_add(delta, std::memory_order_relaxed);
+    if (detail::t_metric_scope != nullptr) detail::scope_add(this, delta);
   }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
 
+  /// The registry key this counter was created under (stable std::map key
+  /// pointer), or nullptr for counters constructed outside a registry.
+  const std::string* registered_name() const { return name_; }
+
  private:
+  friend class MetricsRegistry;
   std::atomic<std::uint64_t> value_{0};
+  const std::string* name_ = nullptr;
 };
 
 /// Last-write-wins instantaneous value; add() for accumulated seconds.
@@ -104,7 +123,8 @@ class MetricsRegistry {
   void reset();
 
   /// Metrics JSON (schema "grape6-metrics-v1"); `eq10` adds the
-  /// time-breakdown object when non-null.
+  /// time-breakdown object when non-null. Includes a "scopes" section
+  /// with the per-job attribution ledgers ({} when none exist).
   void write_json(std::ostream& os, const Eq10Accumulator* eq10 = nullptr) const;
 
   /// The process-wide registry every subsystem reports into.

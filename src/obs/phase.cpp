@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "obs/clock.hpp"
+#include "obs/context.hpp"
 #include "obs/json.hpp"
 #include "util/check.hpp"
 
@@ -66,8 +67,9 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
   for (const auto& ev : all) {
     os << ",\n  {\"name\": \"" << json_escape(ev.name)
        << "\", \"cat\": \"g6\", \"ph\": \"X\", \"ts\": " << ev.ts_us
-       << ", \"dur\": " << ev.dur_us << ", \"pid\": 1, \"tid\": " << ev.tid
-       << "}";
+       << ", \"dur\": " << ev.dur_us << ", \"pid\": 1, \"tid\": " << ev.tid;
+    if (ev.job != 0) os << ", \"args\": {\"job\": " << ev.job << "}";
+    os << "}";
   }
   os << "\n]}\n";
 }
@@ -105,6 +107,12 @@ PhaseSpan::~PhaseSpan() {
   ev.name = name_;
   ev.ts_us = start_us_;
   ev.dur_us = monotonic_seconds() * 1e6 - start_us_;
+  // Stamp the owning job: a span recorded while a per-job metric scope is
+  // current belongs to that job (serve.job spans and everything nested
+  // under them — grape.pipeline, DMA, hermite phases — on any thread).
+  if (const MetricScope* scope = ScopedMetricScope::current()) {
+    ev.job = scope->job();
+  }
   Tracer::global().record(ev);
 }
 

@@ -30,6 +30,8 @@ struct TraceEvent {
   double ts_us = 0.0;          ///< start, microseconds on the telemetry clock
   double dur_us = 0.0;
   std::uint32_t tid = 0;
+  std::uint64_t job = 0;  ///< owning serve job id (0 = unattributed);
+                          ///< exported as args.job in the Chrome trace
 };
 
 class Tracer {
@@ -92,7 +94,7 @@ class PhaseSpan {
 
 }  // namespace g6::obs
 
-// Statement macro for the common case: G6_PHASE("predict"); spans the
+// Statement macro for the common case: G6_PHASE("hermite.predict"); spans the
 // rest of the enclosing scope.
 #define G6_OBS_CONCAT_INNER(a, b) a##b
 #define G6_OBS_CONCAT(a, b) G6_OBS_CONCAT_INNER(a, b)

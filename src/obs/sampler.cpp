@@ -1,0 +1,107 @@
+#include "obs/sampler.hpp"
+
+#include <ostream>
+
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace g6::obs {
+
+void MetricsSampler::track_counter(std::string_view name) {
+  G6_REQUIRE(!name.empty());
+  const Counter& c = MetricsRegistry::global().counter(name);
+  const MutexLock lock(mutex_);
+  for (const auto& ins : instruments_) {
+    if (ins.name == name) return;
+  }
+  G6_REQUIRE(samples_.empty());  // instrument set is fixed once sampling starts
+  Instrument ins;
+  ins.name = std::string(name);
+  ins.is_gauge = false;
+  ins.counter = &c;
+  instruments_.push_back(std::move(ins));
+}
+
+void MetricsSampler::track_gauge(std::string_view name) {
+  G6_REQUIRE(!name.empty());
+  const Gauge& g = MetricsRegistry::global().gauge(name);
+  const MutexLock lock(mutex_);
+  for (const auto& ins : instruments_) {
+    if (ins.name == name) return;
+  }
+  G6_REQUIRE(samples_.empty());
+  Instrument ins;
+  ins.name = std::string(name);
+  ins.is_gauge = true;
+  ins.gauge = &g;
+  instruments_.push_back(std::move(ins));
+}
+
+void MetricsSampler::sample() {
+  const MutexLock lock(mutex_);
+  Row row;
+  row.tick = next_tick_++;
+  row.t_s = monotonic_seconds();
+  row.values.reserve(instruments_.size());
+  for (const auto& ins : instruments_) {
+    row.values.push_back(ins.is_gauge
+                             ? ins.gauge->value()
+                             : static_cast<double>(ins.counter->value()));
+  }
+  samples_.push_back(std::move(row));
+}
+
+std::size_t MetricsSampler::instrument_count() const {
+  const MutexLock lock(mutex_);
+  return instruments_.size();
+}
+
+std::size_t MetricsSampler::sample_count() const {
+  const MutexLock lock(mutex_);
+  return samples_.size();
+}
+
+void MetricsSampler::clear() {
+  const MutexLock lock(mutex_);
+  instruments_.clear();
+  samples_.clear();
+  next_tick_ = 0;
+}
+
+void MetricsSampler::write_json(std::ostream& os) const {
+  const MutexLock lock(mutex_);
+  os.precision(12);
+  os << "{\n  \"schema\": \"grape6-timeseries-v1\",\n  \"instruments\": [";
+  bool first = true;
+  for (const auto& ins : instruments_) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \"" << json_escape(ins.name)
+       << "\", \"kind\": \"" << (ins.is_gauge ? "gauge" : "counter") << "\"}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "],\n  \"samples\": [";
+  first = true;
+  for (const auto& row : samples_) {
+    os << (first ? "\n" : ",\n") << "    {\"tick\": " << row.tick
+       << ", \"t_s\": " << row.t_s << ", \"values\": [";
+    for (std::size_t i = 0; i < row.values.size(); ++i) {
+      os << (i == 0 ? "" : ", ");
+      if (instruments_[i].is_gauge) {
+        os << row.values[i];
+      } else {
+        os << static_cast<std::uint64_t>(row.values[i]);
+      }
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+MetricsSampler& MetricsSampler::global() {
+  static MetricsSampler sampler;
+  return sampler;
+}
+
+}  // namespace g6::obs

@@ -4,16 +4,23 @@
 //   clock   — the one steady-clock reader in src/
 //   log     — leveled stderr logger (G6_LOG_LEVEL)
 //   metrics — named counters / gauges / histograms, JSON export
+//   context — per-job attribution scopes (MetricScope / ScopedMetricScope)
+//   sampler — logical-tick time-series snapshots (grape6-timeseries-v1)
+//   flight  — lock-free flight-recorder ring (grape6-flightrec-v1)
 //   phase   — RAII phase spans, Chrome trace-event export (G6_PHASE)
 //   eq10    — T_host + T_comm + T_GRAPE accumulation
 //   json    — escaping + a small parser for the exported files
-//   export  — --metrics-out / --trace-out file writers
+//   export  — --metrics-out / --trace-out / --timeseries-out /
+//             --flightrec-out file writers
 
 #include "obs/clock.hpp"
+#include "obs/context.hpp"
 #include "obs/defs.hpp"
 #include "obs/eq10.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
+#include "obs/sampler.hpp"

@@ -61,7 +61,7 @@ CalibrationPoint schedule_statistics(const BlockstepTrace& trace, double eps) {
 
 CalibrationPoint measure_schedule(const ParticleSet& initial, double eps,
                                   const CalibrationOptions& opt) {
-  G6_PHASE("calibration");
+  G6_PHASE("perf.calibration");
   obs::log_debug("calibration: N=%zu eps=%.3g span=%.3g", initial.size(), eps,
                  opt.t_span);
   DirectForceEngine engine(eps, opt.threads);

@@ -8,9 +8,12 @@
 #include "util/errors.hpp"
 #include "nbody/diagnostics.hpp"
 #include "obs/clock.hpp"
+#include "obs/context.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
+#include "obs/sampler.hpp"
 #include "util/check.hpp"
 
 namespace g6::serve {
@@ -18,6 +21,26 @@ namespace g6::serve {
 namespace {
 
 obs::MetricsRegistry& reg() { return obs::MetricsRegistry::global(); }
+
+obs::FlightRecorder& flight() { return obs::FlightRecorder::global(); }
+
+/// Register the serving instruments the time-series sampler tracks.
+/// Idempotent, so every Scheduler (serve_throughput builds several per
+/// process) converges on the same instrument set.
+void track_sampler_instruments() {
+  obs::MetricsSampler& s = obs::MetricsSampler::global();
+  s.track_gauge("serve.queue.depth");
+  s.track_gauge("serve.lease.utilization");
+  s.track_gauge("serve.boards.healthy");
+  s.track_gauge("serve.boards.free");
+  s.track_gauge("serve.boards.dead");
+  s.track_gauge("fault.healthy_chips");
+  s.track_counter("serve.jobs.completed");
+  s.track_counter("serve.quanta");
+  s.track_counter("serve.preemptions");
+  s.track_counter("serve.revocations");
+  s.track_counter("serve.board_deaths");
+}
 
 }  // namespace
 
@@ -36,6 +59,7 @@ Scheduler::Scheduler(ServiceConfig cfg)
                    [](const BoardDeath& a, const BoardDeath& b) {
                      return a.round < b.round;
                    });
+  track_sampler_instruments();
 }
 
 Scheduler::~Scheduler() = default;
@@ -77,6 +101,10 @@ SubmitResult Scheduler::submit(const JobSpec& spec) {
   result.id = r->id;
   if (d.admit) {
     r->state = JobState::kQueued;
+    // One attribution scope per admitted job: every counter incremented
+    // while this job's work runs — on any thread — lands in its ledger.
+    r->scope = &obs::ScopeRegistry::global().get_or_create(
+        "job:" + spec.name, r->id, priority_name(spec.priority));
     queue_.push_back(r->id, spec.priority);
     result.accepted = true;
     obs::log_debug("serve: job %llu '%s' queued (%s, %zu board(s))",
@@ -139,6 +167,9 @@ void Scheduler::round() {
   }
 
   update_round_gauges();
+  // One time-series row per round: a LOGICAL tick, so two identical runs
+  // export the same number of rows (the round count is deterministic).
+  obs::MetricsSampler::global().sample();
   ++round_index_;
 }
 
@@ -154,6 +185,9 @@ void Scheduler::apply_board_deaths() {
                   death.board,
                   static_cast<unsigned long long>(round_index_),
                   partition_.healthy());
+    flight().record(obs::FlightEventType::kBoardDeath, victim,
+                    static_cast<std::int64_t>(death.board),
+                    static_cast<std::int64_t>(round_index_));
     if (victim != 0) {
       revoke_lease(rec(victim),
                    "board " + std::to_string(death.board) + " died");
@@ -200,6 +234,11 @@ JobId Scheduler::dispatch() {
 
 void Scheduler::start_runtime(Record& r) {
   if (r.runtime) return;  // preempted: runtime survived, boards changed
+  // The runtime constructor computes the job's startup forces on this
+  // (control) thread; attribute them — and whatever it forks onto the
+  // pool — to the job, or per-scope pipeline counters would not sum to
+  // the process totals.
+  const obs::ScopedMetricScope attribution(r.scope);
   if (r.has_saved) {
     r.runtime = std::make_unique<JobRuntime>(r.spec, cfg_.machine,
                                              r.lease.size(), r.saved, r.e0);
@@ -213,11 +252,18 @@ void Scheduler::start_runtime(Record& r) {
 void Scheduler::run_quanta(const std::vector<JobId>& running) {
   if (running.empty()) return;
   const std::size_t quantum = cfg_.quantum_blocksteps;
+  const auto round = static_cast<std::int64_t>(round_index_);
   exec::TaskGroup group;
   for (JobId id : running) {
     Record* r = &rec(id);
-    group.run([r, quantum] {
+    group.run([r, quantum, round] {
+      // Scope installed BEFORE the span opens: the serve.job span (and
+      // every span and counter nested under it, on this thread or forked
+      // through the pool) is charged to this job.
+      const obs::ScopedMetricScope attribution(r->scope);
       G6_PHASE("serve.job");
+      flight().record(obs::FlightEventType::kQuantumStart, r->id, round,
+                      static_cast<std::int64_t>(quantum));
       const double t0 = obs::monotonic_seconds();
       const double v0 = r->runtime->grape_stats().total_seconds();
       r->q_blocksteps = 0;
@@ -241,6 +287,12 @@ void Scheduler::fold_quantum(Record& r) {
   reg().counter("serve.quanta").add();
   r.run_s += r.q_wall_s;
   r.grape_virtual_s += r.q_virtual_s;
+  // Serial, job-id order: the per-job quantum_end/revoke/preempt flight
+  // subsequence is deterministic even though worker-side events interleave.
+  flight().record(obs::FlightEventType::kQuantumEnd, r.id,
+                  static_cast<std::int64_t>(round_index_),
+                  static_cast<std::int64_t>(r.q_blocksteps),
+                  r.q_error ? "error" : nullptr);
 
   if (r.q_error) {
     std::exception_ptr err = std::exchange(r.q_error, nullptr);
@@ -320,6 +372,9 @@ void Scheduler::preempt_for(JobId blocked_id) {
     ++v->preemptions;
     ++stats_.preemptions;
     reg().counter("serve.preemptions").add();
+    flight().record(obs::FlightEventType::kPreempt, v->id,
+                    static_cast<std::int64_t>(round_index_),
+                    static_cast<std::int64_t>(blocked_id));
     obs::log_debug("serve: job %llu preempted (yields %zu board(s) toward "
                    "job %llu)",
                    static_cast<unsigned long long>(v->id), freed,
@@ -338,6 +393,9 @@ void Scheduler::finish_job(Record& r) {
   ++stats_.completed;
   stats_.eq10.merge(r.eq10);
   reg().counter("serve.jobs.completed").add();
+  flight().record(obs::FlightEventType::kJobCompleted, r.id,
+                  static_cast<std::int64_t>(round_index_),
+                  static_cast<std::int64_t>(r.quanta));
   obs::log_info("serve: job %llu '%s' completed: t=%g, %llu steps, "
                 "dE/E=%.3e",
                 static_cast<unsigned long long>(r.id), r.spec.name.c_str(),
@@ -351,6 +409,9 @@ void Scheduler::fail_job(Record& r, RejectReason reason, std::string message) {
   r.message = std::move(message);
   ++stats_.failed;
   reg().counter("serve.jobs.failed").add();
+  flight().record(obs::FlightEventType::kJobFailed, r.id,
+                  static_cast<std::int64_t>(round_index_),
+                  static_cast<std::int64_t>(r.requeues));
   obs::log_error("serve: job %llu '%s' failed: %s",
                  static_cast<unsigned long long>(r.id), r.spec.name.c_str(),
                  r.message.c_str());
@@ -360,6 +421,9 @@ void Scheduler::revoke_lease(Record& r, const std::string& why) {
   ++r.revocations;
   ++stats_.revocations;
   reg().counter("serve.revocations").add();
+  flight().record(obs::FlightEventType::kRevoke, r.id,
+                  static_cast<std::int64_t>(round_index_),
+                  static_cast<std::int64_t>(r.lease.size()));
   release_lease(r);
   // The runtime's engine modeled hardware that no longer exists; the next
   // dispatch rebuilds it from `saved` (or from scratch if the job never
@@ -376,6 +440,9 @@ void Scheduler::revoke_lease(Record& r, const std::string& why) {
   // Front of the class: the job lost its boards through no fault of its
   // own, so it keeps its turn.
   queue_.push_front(r.id, r.spec.priority);
+  flight().record(obs::FlightEventType::kRequeue, r.id,
+                  static_cast<std::int64_t>(round_index_),
+                  static_cast<std::int64_t>(r.requeues));
   obs::log_warn("serve: job %llu lease revoked (%s); re-queued at front "
                 "(requeue %d/%d)",
                 static_cast<unsigned long long>(r.id), why.c_str(),
@@ -392,6 +459,8 @@ void Scheduler::update_round_gauges() {
   reg().gauge("serve.queue.depth").set(static_cast<double>(queue_.size()));
   reg().gauge("serve.boards.dead").set(static_cast<double>(partition_.dead()));
   reg().gauge("serve.boards.free").set(static_cast<double>(partition_.free()));
+  reg().gauge("serve.boards.healthy")
+      .set(static_cast<double>(partition_.healthy()));
   const std::size_t healthy = partition_.healthy();
   reg().gauge("serve.lease.utilization")
       .set(healthy == 0

@@ -47,6 +47,10 @@
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
+namespace g6::obs {
+class MetricScope;
+}  // namespace g6::obs
+
 namespace g6::serve {
 
 class Scheduler {
@@ -93,6 +97,10 @@ class Scheduler {
 
     BoardLease lease;                      ///< valid while kRunning
     std::unique_ptr<JobRuntime> runtime;   ///< live while running/preempted
+    /// Attribution scope ("job:<name>") in the global ScopeRegistry;
+    /// installed on every thread that does this job's work. Set once at
+    /// admission; the registry owns it.
+    obs::MetricScope* scope = nullptr;
     SavedJob saved;                        ///< last blockstep-boundary state
     bool has_saved = false;
     double e0 = 0.0;

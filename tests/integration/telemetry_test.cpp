@@ -124,17 +124,17 @@ TEST(Telemetry, ChromeTraceExportContainsNestedBlockstepSpans) {
   // Find a blockstep span, then a predict span nested inside it.
   const obs::JsonValue* block = nullptr;
   for (const auto& ev : events) {
-    if (ev.find("name") != nullptr && ev.at("name").as_string() == "blockstep") {
+    if (ev.find("name") != nullptr && ev.at("name").as_string() == "hermite.blockstep") {
       block = &ev;
       break;
     }
   }
-  ASSERT_NE(block, nullptr) << "no blockstep span in trace";
+  ASSERT_NE(block, nullptr) << "no hermite.blockstep span in trace";
   const double b_ts = block->at("ts").as_number();
   const double b_end = b_ts + block->at("dur").as_number();
   bool nested_predict = false;
   for (const auto& ev : events) {
-    if (ev.find("name") == nullptr || ev.at("name").as_string() != "predict") {
+    if (ev.find("name") == nullptr || ev.at("name").as_string() != "hermite.predict") {
       continue;
     }
     const double ts = ev.at("ts").as_number();
@@ -143,7 +143,7 @@ TEST(Telemetry, ChromeTraceExportContainsNestedBlockstepSpans) {
       break;
     }
   }
-  EXPECT_TRUE(nested_predict) << "no predict span nested in a blockstep";
+  EXPECT_TRUE(nested_predict) << "no hermite.predict span nested in a hermite.blockstep";
 #else
   EXPECT_GE(events.size(), 1u);  // metadata event only
 #endif

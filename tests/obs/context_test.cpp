@@ -1,0 +1,180 @@
+// Per-job metric attribution (obs/context.hpp): scopes mirror counter
+// increments made while current, the thread-local propagates across
+// exec::ThreadPool::submit, and the per-scope ledgers sum to the global
+// counter when every increment ran under some scope — the invariant the
+// serve attribution report depends on.
+
+#include "obs/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exec/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace g6::obs {
+namespace {
+
+Counter& counter(const char* name) {
+  return MetricsRegistry::global().counter(name);
+}
+
+TEST(MetricScope, MirrorsAddsOnlyWhileCurrent) {
+  Counter& c = counter("ctxtest.alpha");
+  const std::uint64_t before = c.value();
+  MetricScope scope("job:alpha", 1, "batch");
+
+  c.add(5);  // not current yet: global only
+  {
+    const ScopedMetricScope install(&scope);
+    EXPECT_EQ(ScopedMetricScope::current(), &scope);
+    c.add(7);
+  }
+  c.add(11);  // detached again
+
+  EXPECT_EQ(c.value(), before + 23);
+  EXPECT_EQ(scope.value("ctxtest.alpha"), 7u);
+  EXPECT_EQ(scope.value("ctxtest.never"), 0u);
+}
+
+TEST(MetricScope, SnapshotSortsByNameAndResetClears) {
+  Counter& a = counter("ctxtest.b.second");
+  Counter& b = counter("ctxtest.a.first");
+  MetricScope scope("job:snap", 2, "interactive");
+  {
+    const ScopedMetricScope install(&scope);
+    a.add(2);
+    b.add(3);
+  }
+  const auto snap = scope.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.begin()->first, "ctxtest.a.first");
+  EXPECT_EQ(snap.at("ctxtest.a.first"), 3u);
+  EXPECT_EQ(snap.at("ctxtest.b.second"), 2u);
+  scope.reset();
+  EXPECT_TRUE(scope.snapshot().empty());
+}
+
+TEST(MetricScope, StealsCounterIsNeverAttributed) {
+  // Which worker steals a task is OS-schedule dependent; attributing it
+  // would make per-scope key sets nondeterministic between identical
+  // runs, so the mirror drops it at the source.
+  Counter& steals = counter("exec.steals");
+  MetricScope scope("job:steals", 3, "batch");
+  {
+    const ScopedMetricScope install(&scope);
+    steals.add(4);
+  }
+  EXPECT_EQ(scope.value("exec.steals"), 0u);
+  EXPECT_TRUE(scope.snapshot().empty());
+}
+
+TEST(ScopedMetricScope, NestsAndRestores) {
+  MetricScope outer("job:outer", 4, "batch");
+  MetricScope inner("job:inner", 5, "batch");
+  EXPECT_EQ(ScopedMetricScope::current(), nullptr);
+  {
+    const ScopedMetricScope a(&outer);
+    {
+      const ScopedMetricScope b(&inner);
+      EXPECT_EQ(ScopedMetricScope::current(), &inner);
+      {
+        // nullptr detaches (scheduler bookkeeping between quanta).
+        const ScopedMetricScope c(nullptr);
+        EXPECT_EQ(ScopedMetricScope::current(), nullptr);
+      }
+      EXPECT_EQ(ScopedMetricScope::current(), &inner);
+    }
+    EXPECT_EQ(ScopedMetricScope::current(), &outer);
+  }
+  EXPECT_EQ(ScopedMetricScope::current(), nullptr);
+}
+
+TEST(ScopedMetricScope, PropagatesAcrossThreadPoolSubmit) {
+  Counter& c = counter("ctxtest.pool");
+  const std::uint64_t before = c.value();
+  MetricScope scope("job:pool", 6, "batch");
+
+  exec::ThreadPool pool(4);
+  {
+    const ScopedMetricScope install(&scope);
+    exec::TaskGroup group(pool);
+    for (int i = 0; i < 64; ++i) {
+      group.run([&c] { c.add(1); });
+    }
+    group.wait();
+  }
+
+  EXPECT_EQ(c.value(), before + 64);
+  EXPECT_EQ(scope.value("ctxtest.pool"), 64u);
+}
+
+TEST(ScopedMetricScope, DetachedSubmitStaysUnattributed) {
+  Counter& c = counter("ctxtest.detached");
+  MetricScope scope("job:detached", 7, "batch");
+  exec::ThreadPool pool(2);
+  exec::TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) group.run([&c] { c.add(1); });
+  group.wait();
+  EXPECT_EQ(scope.value("ctxtest.detached"), 0u);
+}
+
+TEST(ScopeRegistry, GetOrCreateIsIdempotent) {
+  ScopeRegistry reg;
+  MetricScope& a = reg.get_or_create("job:x", 11, "batch");
+  MetricScope& b = reg.get_or_create("job:x", 99, "interactive");
+  EXPECT_EQ(&a, &b);          // same bucket...
+  EXPECT_EQ(b.job(), 11u);    // ...first registration wins
+  EXPECT_EQ(b.job_class(), "batch");
+  EXPECT_EQ(reg.find("job:x"), &a);
+  EXPECT_EQ(reg.find("job:y"), nullptr);
+}
+
+TEST(ScopeRegistry, ScopesAreSortedByName) {
+  ScopeRegistry reg;
+  reg.get_or_create("job:zeta", 1, "batch");
+  reg.get_or_create("job:alpha", 2, "batch");
+  const auto scopes = reg.scopes();
+  ASSERT_EQ(scopes.size(), 2u);
+  EXPECT_EQ(scopes[0]->name(), "job:alpha");
+  EXPECT_EQ(scopes[1]->name(), "job:zeta");
+}
+
+TEST(ScopeRegistry, WriteJsonRoundTrips) {
+  ScopeRegistry reg;
+  Counter& c = counter("ctxtest.json");
+  MetricScope& scope = reg.get_or_create("job:json", 42, "interactive");
+  {
+    const ScopedMetricScope install(&scope);
+    c.add(9);
+  }
+  std::ostringstream os;
+  reg.write_json(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  const JsonValue* entry = doc.find("job:json");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->find("job")->as_number(), 42.0);
+  EXPECT_EQ(entry->find("class")->as_string(), "interactive");
+  EXPECT_EQ(entry->find("counters")->find("ctxtest.json")->as_number(), 9.0);
+}
+
+TEST(ScopeRegistry, ResetRefusesWhileAScopeIsCurrent) {
+  ScopeRegistry reg;
+  MetricScope& scope = reg.get_or_create("job:live", 8, "batch");
+  const ScopedMetricScope install(&scope);
+  EXPECT_THROW(reg.reset(), PreconditionError);
+}
+
+TEST(ScopeRegistry, ResetDropsAllScopes) {
+  ScopeRegistry reg;
+  reg.get_or_create("job:gone", 9, "batch");
+  reg.reset();
+  EXPECT_EQ(reg.find("job:gone"), nullptr);
+  EXPECT_TRUE(reg.scopes().empty());
+}
+
+}  // namespace
+}  // namespace g6::obs

@@ -1,0 +1,130 @@
+// Flight recorder (obs/flight.hpp): wait-free ring semantics — claim
+// order, wrap-and-drop accounting, torn-slot safety under concurrent
+// writers — and the grape6-flightrec-v1 dump.
+
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace g6::obs {
+namespace {
+
+TEST(FlightRecorder, RecordsPayloadInClaimOrder) {
+  FlightRecorder rec(8);
+  rec.record(FlightEventType::kQuantumStart, 3, 0, 4);
+  rec.record(FlightEventType::kRevoke, 3, 1, 2, "board_death");
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].type, FlightEventType::kQuantumStart);
+  EXPECT_EQ(events[0].job, 3u);
+  EXPECT_EQ(events[0].b, 4);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].type, FlightEventType::kRevoke);
+  EXPECT_STREQ(events[1].detail, "board_death");
+  EXPECT_EQ(rec.recorded(), 2u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(FlightRecorder, WrapKeepsNewestAndCountsDropped) {
+  FlightRecorder rec(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    rec.record(FlightEventType::kRetry, i);
+  }
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // A flight recorder keeps the newest history: seqs 2..5 survive.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 2);
+    EXPECT_EQ(events[i].job, i + 2);
+  }
+  EXPECT_EQ(rec.recorded(), 6u);
+  EXPECT_EQ(rec.dropped(), 2u);
+}
+
+TEST(FlightRecorder, EventNamesAreStableIdentifiers) {
+  EXPECT_STREQ(flight_event_name(FlightEventType::kQuantumStart),
+               "quantum_start");
+  EXPECT_STREQ(flight_event_name(FlightEventType::kBoardDeath),
+               "board_death");
+  EXPECT_STREQ(flight_event_name(FlightEventType::kJobFailed),
+               "job_failed");
+}
+
+TEST(FlightRecorder, ConcurrentWritersLoseNothingBelowCapacity) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  FlightRecorder rec(kThreads * kPerThread);
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.record(FlightEventType::kRetry,
+                   static_cast<std::uint64_t>(t) + 1, i);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(rec.dropped(), 0u);
+  std::set<std::uint64_t> seqs;
+  for (const auto& ev : events) seqs.insert(ev.seq);
+  EXPECT_EQ(seqs.size(), events.size());  // every claim unique
+  // Per-writer subsequences stay ordered: each thread's a-field (its own
+  // loop index) must be increasing along the global seq order.
+  for (int t = 1; t <= kThreads; ++t) {
+    std::int64_t last = -1;
+    for (const auto& ev : events) {
+      if (ev.job != static_cast<std::uint64_t>(t)) continue;
+      EXPECT_GT(ev.a, last);
+      last = ev.a;
+    }
+  }
+}
+
+TEST(FlightRecorder, WriteJsonRoundTrips) {
+  FlightRecorder rec(4);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    rec.record(FlightEventType::kPreempt, i + 1, 7, 8, "round_robin");
+  }
+  std::ostringstream os;
+  rec.write_json(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.find("schema")->as_string(), "grape6-flightrec-v1");
+  EXPECT_EQ(doc.find("recorded")->as_number(), 5.0);
+  EXPECT_EQ(doc.find("dropped")->as_number(), 1.0);
+  EXPECT_EQ(doc.find("capacity")->as_number(), 4.0);
+  const auto& events = doc.find("events")->items();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].find("seq")->as_number(), 1.0);
+  EXPECT_EQ(events[0].find("type")->as_string(), "preempt");
+  EXPECT_EQ(events[0].find("job")->as_number(), 2.0);
+  EXPECT_EQ(events[0].find("a")->as_number(), 7.0);
+  EXPECT_EQ(events[0].find("detail")->as_string(), "round_robin");
+}
+
+TEST(FlightRecorder, ClearEmptiesRingAndCounters) {
+  FlightRecorder rec(4);
+  rec.record(FlightEventType::kRequeue, 1);
+  rec.clear();
+  EXPECT_TRUE(rec.snapshot().empty());
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  rec.record(FlightEventType::kRequeue, 2);
+  ASSERT_EQ(rec.snapshot().size(), 1u);
+  EXPECT_EQ(rec.snapshot()[0].seq, 0u);  // seq restarts after clear
+}
+
+}  // namespace
+}  // namespace g6::obs

@@ -1,0 +1,118 @@
+// Time-series sampler (obs/sampler.hpp): logical ticks, a frozen
+// instrument set once sampling starts, and a grape6-timeseries-v1 export
+// whose deterministic columns export_determinism can diff.
+
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace g6::obs {
+namespace {
+
+TEST(MetricsSampler, RowsFollowInstrumentValues) {
+  Counter& c = MetricsRegistry::global().counter("samptest.count");
+  Gauge& g = MetricsRegistry::global().gauge("samptest.level");
+  MetricsSampler sampler;
+  sampler.track_counter("samptest.count");
+  sampler.track_gauge("samptest.level");
+  EXPECT_EQ(sampler.instrument_count(), 2u);
+
+  const std::uint64_t base = c.value();
+  g.set(1.5);
+  sampler.sample();
+  c.add(3);
+  g.set(2.5);
+  sampler.sample();
+  EXPECT_EQ(sampler.sample_count(), 2u);
+
+  std::ostringstream os;
+  sampler.write_json(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.find("schema")->as_string(), "grape6-timeseries-v1");
+
+  const auto& instruments = doc.find("instruments")->items();
+  ASSERT_EQ(instruments.size(), 2u);
+  EXPECT_EQ(instruments[0].find("name")->as_string(), "samptest.count");
+  EXPECT_EQ(instruments[0].find("kind")->as_string(), "counter");
+  EXPECT_EQ(instruments[1].find("name")->as_string(), "samptest.level");
+  EXPECT_EQ(instruments[1].find("kind")->as_string(), "gauge");
+
+  const auto& samples = doc.find("samples")->items();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].find("tick")->as_number(), 0.0);
+  EXPECT_EQ(samples[1].find("tick")->as_number(), 1.0);
+  const auto& row0 = samples[0].find("values")->items();
+  const auto& row1 = samples[1].find("values")->items();
+  EXPECT_EQ(row0[0].as_number(), static_cast<double>(base));
+  EXPECT_EQ(row0[1].as_number(), 1.5);
+  EXPECT_EQ(row1[0].as_number(), static_cast<double>(base + 3));
+  EXPECT_EQ(row1[1].as_number(), 2.5);
+}
+
+TEST(MetricsSampler, TrackingIsIdempotent) {
+  MetricsSampler sampler;
+  sampler.track_counter("samptest.idem");
+  sampler.track_counter("samptest.idem");
+  EXPECT_EQ(sampler.instrument_count(), 1u);
+}
+
+TEST(MetricsSampler, InstrumentSetFreezesAtFirstSample) {
+  MetricsSampler sampler;
+  sampler.track_counter("samptest.frozen");
+  sampler.sample();
+  // A NEW instrument would change row shape mid-series; refuse it.
+  EXPECT_THROW(sampler.track_gauge("samptest.late"), PreconditionError);
+  // Re-registering a tracked one is the dedup path: a second scheduler
+  // instance re-announcing its instruments must stay legal.
+  sampler.track_counter("samptest.frozen");
+  EXPECT_EQ(sampler.instrument_count(), 1u);
+}
+
+TEST(MetricsSampler, CountersExportAsIntegers) {
+  MetricsRegistry::global().counter("samptest.bigint").add(1);
+  MetricsSampler sampler;
+  sampler.track_counter("samptest.bigint");
+  sampler.sample();
+  std::ostringstream os;
+  sampler.write_json(os);
+  // No decimal point in a counter column (uint64 formatting, not %g).
+  const std::string text = os.str();
+  const auto pos = text.find("\"values\": [");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string tail = text.substr(pos, text.find(']', pos) - pos);
+  EXPECT_EQ(tail.find('.'), std::string::npos) << tail;
+}
+
+TEST(MetricsSampler, ClearRestartsTicksAndInstruments) {
+  MetricsSampler sampler;
+  sampler.track_counter("samptest.clear");
+  sampler.sample();
+  sampler.clear();
+  EXPECT_EQ(sampler.instrument_count(), 0u);
+  EXPECT_EQ(sampler.sample_count(), 0u);
+  sampler.track_gauge("samptest.clear2");
+  sampler.sample();
+  std::ostringstream os;
+  sampler.write_json(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_EQ(doc.find("samples")->items()[0].find("tick")->as_number(), 0.0);
+}
+
+TEST(MetricsSampler, EmptySamplerWritesValidJson) {
+  MetricsSampler sampler;
+  std::ostringstream os;
+  sampler.write_json(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  EXPECT_TRUE(doc.find("instruments")->items().empty());
+  EXPECT_TRUE(doc.find("samples")->items().empty());
+}
+
+}  // namespace
+}  // namespace g6::obs

@@ -1,17 +1,25 @@
-// g6report — pretty-print a grape6 metrics JSON file.
+// g6report — pretty-print or diff grape6 metrics JSON files.
 //
 //   g6report --in=run.json              breakdown table + every instrument
 //   g6report --in=run.json --eq10-only  just the Eq 10 split
+//   g6report --in=a.json --diff=b.json  absolute + percentage deltas, b vs a
+//   g6report --in=a.json --diff=b.json --fail-over=5
+//                                       exit 4 if any |delta| exceeds 5%
 //
 // Reads the "grape6-metrics-v1" schema written by --metrics-out
-// (grape6_run, the benches) and prints the Eq 10 time breakdown plus the
-// counters, gauges and histogram summaries. Exits non-zero on a missing
-// or malformed file.
+// (grape6_run, grape6_serve, the benches) and prints the Eq 10 time
+// breakdown plus the counters, gauges, histogram summaries and per-job
+// attribution scopes. Diff mode is the comparison half of the
+// bench-regression harness (scripts/bench_regress.py drives it in CI).
+// Exits non-zero on a missing or malformed file.
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "obs/log.hpp"
@@ -129,6 +137,114 @@ void print_exec_summary(const JsonValue& doc) {
   }
 }
 
+/// Per-job attribution ledgers (the "scopes" section): one block per
+/// scope with its mirrored counters.
+void print_scopes(const JsonValue& doc) {
+  const JsonValue* scopes = doc.find("scopes");
+  if (scopes == nullptr || scopes->members().empty()) return;
+  std::printf("\nper-job scopes:\n");
+  for (const auto& [name, scope] : scopes->members()) {
+    std::printf("  %s (job %.0f, %s):\n", name.c_str(),
+                scope.at("job").as_number(),
+                scope.at("class").as_string().c_str());
+    for (const auto& [cname, v] : scope.at("counters").members()) {
+      std::printf("    %-28s %18.0f\n", cname.c_str(), v.as_number());
+    }
+  }
+}
+
+/// One row of the diff table; `scale` pretty-prints integers vs seconds.
+struct DiffRow {
+  std::string name;
+  double a = 0.0;
+  double b = 0.0;
+};
+
+void collect_rows(const JsonValue& doc, std::vector<DiffRow>& rows,
+                  bool is_a) {
+  const auto merge = [&rows, is_a](const std::string& name, double v) {
+    for (DiffRow& r : rows) {
+      if (r.name == name) {
+        (is_a ? r.a : r.b) = v;
+        return;
+      }
+    }
+    DiffRow r;
+    r.name = name;
+    (is_a ? r.a : r.b) = v;
+    rows.push_back(std::move(r));
+  };
+  if (const JsonValue* counters = doc.find("counters")) {
+    for (const auto& [name, v] : counters->members()) {
+      merge("counter " + name, v.as_number());
+    }
+  }
+  if (const JsonValue* gauges = doc.find("gauges")) {
+    for (const auto& [name, v] : gauges->members()) {
+      merge("gauge " + name, v.as_number());
+    }
+  }
+  if (const JsonValue* hists = doc.find("histograms")) {
+    for (const auto& [name, h] : hists->members()) {
+      merge("hist.count " + name, h.at("count").as_number());
+      merge("hist.mean " + name, h.at("mean").as_number());
+    }
+  }
+  if (const JsonValue* eq10 = doc.find("eq10")) {
+    for (const char* field : {"host_s", "dma_s", "net_s", "grape_s",
+                              "total_s", "steps", "blocksteps"}) {
+      if (const JsonValue* v = eq10->find(field)) {
+        merge(std::string("eq10 ") + field, v->as_number());
+      }
+    }
+  }
+}
+
+/// Tabulate b vs a; returns the worst |percentage| delta seen (infinity
+/// when a metric appears or disappears entirely).
+double print_diff(const JsonValue& a, const JsonValue& b) {
+  std::vector<DiffRow> rows;
+  collect_rows(a, rows, /*is_a=*/true);
+  collect_rows(b, rows, /*is_a=*/false);
+
+  std::printf("%-42s %16s %16s %14s %9s\n", "metric", "a", "b", "delta",
+              "pct");
+  double worst = 0.0;
+  std::size_t unchanged = 0;
+  for (const DiffRow& r : rows) {
+    const double delta = r.b - r.a;
+    if (delta == 0.0) {
+      ++unchanged;
+      continue;
+    }
+    double pct = 0.0;
+    if (r.a != 0.0) {
+      pct = 100.0 * delta / std::fabs(r.a);
+    } else {
+      pct = std::numeric_limits<double>::infinity();
+    }
+    if (std::fabs(pct) > worst) worst = std::fabs(pct);
+    std::printf("%-42s %16.6g %16.6g %+14.6g %+8.2f%%\n", r.name.c_str(), r.a,
+                r.b, delta, pct);
+  }
+  std::printf("(%zu metric(s) unchanged, %zu changed)\n", unchanged,
+              rows.size() - unchanged);
+  return worst;
+}
+
+JsonValue load_metrics(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  JsonValue doc = JsonValue::parse(buf.str());
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->as_string() != "grape6-metrics-v1") {
+    throw std::runtime_error(path + ": not a grape6-metrics-v1 file");
+  }
+  return doc;
+}
+
 void print_instruments(const JsonValue& doc) {
   const auto print_object = [](const JsonValue* obj, const char* header,
                                const char* fmt) {
@@ -167,25 +283,31 @@ int main(int argc, char** argv) try {
   const bool eq10_only =
       cli.get_bool("eq10-only", false, "print only the Eq 10 breakdown");
   const std::string path = cli.get_string("in", "", "metrics JSON file");
+  const std::string diff_path = cli.get_string(
+      "diff", "", "second metrics JSON: print deltas vs --in (\"\" = off)");
+  const double fail_over = cli.get_double(
+      "fail-over", 0.0,
+      "with --diff: exit 4 when any |delta| exceeds this percentage (0 = "
+      "report only)");
   if (cli.finish()) return 0;
   if (path.empty()) {
-    g6::obs::log_error("usage: g6report --in=<metrics.json> [--eq10-only]");
+    g6::obs::log_error(
+        "usage: g6report --in=<metrics.json> [--eq10-only] "
+        "[--diff=<other.json> [--fail-over=PCT]]");
     return 2;
   }
 
-  std::ifstream in(path);
-  if (!in) {
-    g6::obs::log_error("cannot open %s", path.c_str());
-    return 1;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const JsonValue doc = JsonValue::parse(buf.str());
+  const JsonValue doc = load_metrics(path);
 
-  const JsonValue* schema = doc.find("schema");
-  if (schema == nullptr || schema->as_string() != "grape6-metrics-v1") {
-    g6::obs::log_error("%s: not a grape6-metrics-v1 file", path.c_str());
-    return 1;
+  if (!diff_path.empty()) {
+    const JsonValue other = load_metrics(diff_path);
+    const double worst = print_diff(doc, other);
+    if (fail_over > 0.0 && worst > fail_over) {
+      g6::obs::log_error("diff exceeds --fail-over=%g%% (worst %.2f%%)",
+                         fail_over, worst);
+      return 4;
+    }
+    return 0;
   }
 
   const JsonValue* eq10 = doc.find("eq10");
@@ -197,6 +319,7 @@ int main(int argc, char** argv) try {
   if (!eq10_only) {
     print_fault_summary(doc);
     print_exec_summary(doc);
+    print_scopes(doc);
     print_instruments(doc);
   }
   return 0;

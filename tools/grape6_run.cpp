@@ -77,6 +77,10 @@ void print_fault_summary(const fault::FaultInjector& inj,
   }
 }
 
+// Visible to the catch blocks of main: a HardFault / RetryExhausted exit
+// still dumps the flight-recorder ring.
+std::string g_flightrec_out;  // NOLINT(cert-err58-cpp) empty-string ctor
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -105,6 +109,9 @@ int main(int argc, char** argv) try {
       cli.get_string("metrics-out", "", "write metrics JSON here (\"\" = off)");
   const std::string trace_out = cli.get_string(
       "trace-out", "", "write Chrome trace JSON here (\"\" = off)");
+  g_flightrec_out = cli.get_string(
+      "flightrec-out", "",
+      "write flight-recorder JSON here, also on fault (\"\" = off)");
   const std::string fault_plan_path = cli.get_string(
       "fault-plan", "", "JSON fault plan (docs/RELIABILITY.md)");
   const double fault_rate = cli.get_double(
@@ -303,11 +310,16 @@ int main(int argc, char** argv) try {
   }
   obs::export_metrics_json(metrics_out, &eq10);
   obs::export_chrome_trace(trace_out);
+  obs::export_flight_json(g_flightrec_out);
   return 0;
 } catch (const g6::fault::HardFault& e) {
   g6::obs::log_error("unrecoverable hardware fault: %s", e.what());
+  // The ring holds the detection/retry trail that led here — exactly what
+  // a chaos-run post-mortem needs.
+  g6::obs::export_flight_json(g_flightrec_out);
   return 2;
 } catch (const std::exception& e) {
   g6::obs::log_error("%s", e.what());
+  g6::obs::export_flight_json(g_flightrec_out);
   return 1;
 }

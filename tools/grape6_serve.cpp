@@ -13,8 +13,14 @@
 //                          serve_identity ctest cmp's these against
 //                          standalone runs of the same specs
 //   --report-out=...       JSON report, schema grape6-serve-report-v1
-//   --metrics-out=...      global metrics JSON (serve.* instruments)
-//   --trace-out=...        Chrome trace (serve.round / serve.job spans)
+//   --metrics-out=...      global metrics JSON (serve.* instruments plus
+//                          the per-job "scopes" attribution section)
+//   --trace-out=...        Chrome trace (serve.round / serve.job spans;
+//                          spans carry an args.job owner id)
+//   --timeseries-out=...   per-round time series (grape6-timeseries-v1)
+//   --flightrec-out=...    flight-recorder ring (grape6-flightrec-v1);
+//                          also dumped on a driver error so chaos-run
+//                          post-mortems survive the crash
 //
 // Board deaths can come from the manifest ("service.board_deaths") or
 // from the board-level hard failures of a fault plan (--fault-plan),
@@ -116,6 +122,10 @@ void print_job_table(const serve::GrapeService& service) {
   }
 }
 
+// Visible to the catch block of main: a fatal error (HardFault escaping
+// the scheduler, bad manifest, I/O) still dumps the flight ring.
+std::string g_flightrec_out;  // NOLINT(cert-err58-cpp) empty-string ctor
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -132,6 +142,12 @@ int main(int argc, char** argv) try {
       cli.get_string("metrics-out", "", "write metrics JSON here (\"\" = off)");
   const std::string trace_out = cli.get_string(
       "trace-out", "", "write Chrome trace JSON here (\"\" = off)");
+  const std::string timeseries_out = cli.get_string(
+      "timeseries-out", "",
+      "write per-round time-series JSON here (\"\" = off)");
+  g_flightrec_out = cli.get_string(
+      "flightrec-out", "",
+      "write flight-recorder JSON here, also on error (\"\" = off)");
   const std::string fault_plan_path = cli.get_string(
       "fault-plan", "", "board deaths from this fault plan's hard failures");
   const auto threads = static_cast<unsigned>(cli.get_int(
@@ -144,6 +160,7 @@ int main(int argc, char** argv) try {
     return 1;
   }
   if (threads > 0) exec::ThreadPool::set_global_threads(threads);
+  if (!trace_out.empty()) obs::Tracer::global().enable();
 
   serve::Manifest manifest = serve::load_manifest(manifest_path);
   if (!fault_plan_path.empty()) {
@@ -204,10 +221,13 @@ int main(int argc, char** argv) try {
   if (!report_out.empty()) write_report(report_out, service, snapshot_files);
   obs::export_metrics_json(metrics_out, &st.eq10);
   obs::export_chrome_trace(trace_out);
+  obs::export_timeseries_json(timeseries_out);
+  obs::export_flight_json(g_flightrec_out);
 
   const bool all_completed = st.failed == 0 && st.rejected == 0;
   return all_completed ? 0 : 3;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "grape6_serve: error: %s\n", e.what());
+  obs::export_flight_json(g_flightrec_out);
   return 1;
 }

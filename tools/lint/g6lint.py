@@ -84,6 +84,20 @@ The GRAPE-6 software twin has correctness properties that hinge on
                   g6::Mutex-guarded section so TSan and -Wthread-safety
                   can see it.
 
+  metric-name     Instrument and span names passed to .counter("...") /
+                  .gauge("...") / .histogram("...") / G6_PHASE("...") /
+                  PhaseSpan("...") must be dot-separated lowercase
+                  `subsystem.name` paths: two or more segments of
+                  [a-z0-9_] (later segments may also use '-', e.g.
+                  hermite.j-send). The names are load-bearing — g6report
+                  groups by prefix, export_determinism_check and the
+                  per-job attribution scopes key on them, and docs/
+                  OBSERVABILITY.md documents the namespaces — so a
+                  one-off "Predict" or "force_time" silently falls out
+                  of every downstream view. Only single string-literal
+                  arguments are checked; dynamically built names
+                  ("fault.detected." + kind) are the caller's problem.
+
 Baseline (grandfathering): tools/lint/g6lint_baseline.json holds
 per-(file, rule) finding counts that are tolerated — the escape hatch
 for introducing a new rule to an old tree without a flag day. Findings
@@ -241,9 +255,19 @@ UNORDERED_SCOPE_PREFIXES = ("src/", "tools/", "bench/")
 
 VOLATILE_RE = re.compile(r"\bvolatile\b")
 
+# Registration/span calls whose first argument names an instrument. The
+# trailing group distinguishes a complete single-literal argument (next
+# token is ',' or ')') from a concatenation fragment, which is skipped.
+METRIC_CALL_RE = re.compile(
+    r'(?:\.(?:counter|gauge|histogram)|\bG6_PHASE|\bPhaseSpan(?:\s+\w+)?)'
+    r'\s*\(\s*"([^"]*)"\s*([,)])?')
+METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_-]+)+$")
+METRIC_NAME_SCOPE_PREFIXES = ("src/", "tools/", "bench/", "examples/")
+
 RULES = ("raw-float", "native-float", "nondeterminism", "raw-timing",
          "raw-thread", "require-at-api", "nolint-comment", "bare-abort",
-         "serve-isolation", "unordered-iter", "volatile-sync")
+         "serve-isolation", "unordered-iter", "volatile-sync",
+         "metric-name")
 
 
 class Finding:
@@ -270,6 +294,37 @@ def strip_code(line: str) -> str:
                 i += 2 if line[i] == "\\" else 1
             i += 1
             out.append('""' if quote == '"' else "''")
+        elif c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        elif c == "/" and i + 1 < n and line[i + 1] == "*":
+            end = line.find("*/", i + 2)
+            if end == -1:
+                break
+            i = end + 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def strip_comments(line: str) -> str:
+    """Remove comments but KEEP string-literal contents (strip_code blanks
+    them, which would erase the very names metric-name inspects)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == '"' or c == "'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and line[i] != quote:
+                step = 2 if line[i] == "\\" and i + 1 < n else 1
+                out.append(line[i:i + step])
+                i += step
+            if i < n:
+                out.append(quote)
+                i += 1
         elif c == "/" and i + 1 < n and line[i + 1] == "/":
             break
         elif c == "/" and i + 1 < n and line[i + 1] == "*":
@@ -345,6 +400,7 @@ def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None
     in_serve_isolation_scope = (
         relpath.startswith(SERVE_ISOLATION_SCOPE_PREFIXES)
         and not relpath.startswith("src/serve/"))
+    in_metric_name_scope = relpath.startswith(METRIC_NAME_SCOPE_PREFIXES)
 
     # serve-isolation, include half: preprocessor lines are skipped by the
     # main loop below, so internal-header includes get their own pass.
@@ -443,6 +499,24 @@ def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None
                 "std::atomic for lock-free flags or guard the state "
                 "with g6::Mutex (util/mutex.hpp) so TSan and "
                 "-Wthread-safety can check it"))
+
+        if in_metric_name_scope:
+            # Needs the raw literal, so runs on a comment-stripped (not
+            # string-blanked) view of the line.
+            for m in METRIC_CALL_RE.finditer(strip_comments(lines[lineno - 1])):
+                if m.group(2) is None:
+                    continue  # "prefix." + kind — a fragment, not a name
+                name = m.group(1)
+                if not METRIC_NAME_RE.match(name) \
+                        and not sup.allowed("metric-name", lineno):
+                    findings.append(Finding(
+                        relpath, lineno, "metric-name",
+                        f"instrument/span name '{name}' must be a "
+                        "dot-separated lowercase path like "
+                        "'subsystem.name' (segments [a-z0-9_], '-' "
+                        "allowed after the first dot) so g6report "
+                        "grouping, per-job scopes and determinism "
+                        "checks can key on it"))
 
         if (in_src and not relpath.startswith(RAW_TIMING_EXEMPT_PREFIX)
                 and RAW_TIMING_RE.search(code)

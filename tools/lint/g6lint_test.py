@@ -431,6 +431,85 @@ class VolatileSyncTest(LintHarness):
         self.assertIn("volatile-sync", g6lint.RULES)
 
 
+class MetricNameTest(LintHarness):
+    """The metric-name rule: instrument names are dotted lowercase paths."""
+
+    def test_undotted_counter_name_flagged(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { reg().counter(\"messages\").add(1);\n"
+            "  G6_REQUIRE(true); }\n")
+        self.assertIn("metric-name", self.rules_of(findings))
+
+    def test_uppercase_span_name_flagged(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { G6_PHASE(\"Net.Send\"); G6_REQUIRE(true); }\n")
+        self.assertIn("metric-name", self.rules_of(findings))
+
+    def test_gauge_histogram_and_phasespan_covered(self):
+        for stmt in ("reg().gauge(\"depth\").set(1.0);",
+                     "reg().histogram(\"sizes\", 0.0, 1.0, 8).observe(0.5);",
+                     "obs::PhaseSpan span(\"send\");"):
+            findings = self.lint(
+                "src/net/t.cpp",
+                f"void f() {{ {stmt} G6_REQUIRE(true); }}\n")
+            self.assertIn("metric-name", self.rules_of(findings), msg=stmt)
+
+    def test_dotted_lowercase_names_are_fine(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { reg().counter(\"net.messages\").add(1);\n"
+            "  reg().gauge(\"serve.queue.depth\").set(0.0);\n"
+            "  G6_PHASE(\"hermite.j-send\");\n"
+            "  reg().histogram(\"hermite.block_size\", 0.0, 1.0, 8);\n"
+            "  G6_REQUIRE(true); }\n")
+        self.assertNotIn("metric-name", self.rules_of(findings))
+
+    def test_hyphen_banned_in_first_segment(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { G6_PHASE(\"j-send.start\"); G6_REQUIRE(true); }\n")
+        self.assertIn("metric-name", self.rules_of(findings))
+
+    def test_concatenated_prefix_fragment_skipped(self):
+        # "fault.detected." + kind builds the name at runtime; the literal
+        # alone is not a full name and is not judged as one.
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f(const std::string& kind) {\n"
+            "  reg().counter(\"fault.detected.\" + kind).add(1);\n"
+            "  G6_REQUIRE(true); }\n")
+        self.assertNotIn("metric-name", self.rules_of(findings))
+
+    def test_comment_mention_is_fine(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "// the old G6_PHASE(\"predict\") span is now hermite.predict\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("metric-name", self.rules_of(findings))
+
+    def test_tools_and_bench_in_scope_tests_exempt(self):
+        bad = "void f() { reg().counter(\"Messages\").add(1); }\n"
+        for rel in ("tools/t.cpp", "bench/t.cpp", "examples/t.cpp"):
+            self.assertIn("metric-name",
+                          self.rules_of(self.lint(rel, bad)), msg=rel)
+        self.assertNotIn("metric-name",
+                         self.rules_of(self.lint("tests/obs/t.cpp", bad)))
+
+    def test_suppression_with_reason_works(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { reg().counter(\"legacy_total\").add(1); }"
+            "  // g6lint: allow(metric-name) -- pinned by an external "
+            "dashboard\n"
+            "void g() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("metric-name", self.rules_of(findings))
+
+    def test_rule_is_registered(self):
+        self.assertIn("metric-name", g6lint.RULES)
+
+
 class BaselineTest(LintHarness):
     """The grandfathering baseline: counted suppression with a ratchet."""
 
