@@ -106,6 +106,12 @@ def compare_peak(base: dict, fresh: dict, cmp: Comparison) -> None:
 SERVE_EXACT = ("jobs", "completed", "preempt", "revoke")
 SERVE_TIME = ("p50_wait_s", "p95_wait_s", "p99_wait_s")
 SERVE_RATE = ("jobs_per_hour",)
+# Recovery rows (bench/serve_recovery): keyed by (config, ckpt_every,
+# jobs); "-" marks a column that does not apply to the row.
+SERVE_RECOVERY_EXACT = ("completed", "checkpoints", "journal_records")
+# recover_ms is single-digit milliseconds — pure noise at gate
+# tolerances, recorded for trend-spotting only.
+SERVE_RECOVERY_TIME = ("makespan_s",)
 EQ10_EXACT = ("steps", "blocksteps")
 EQ10_TIME = ("host_s", "dma_s", "net_s", "grape_s", "total_s")
 
@@ -127,6 +133,22 @@ def compare_serve(base: dict, fresh: dict, cmp: Comparison) -> None:
         for col in SERVE_RATE:
             if col in b and col in f:
                 cmp.rate(f"{name}.{col}", b[col], f[col])
+    fresh_recovery = {(r["config"], r["ckpt_every"], r["jobs"]): r
+                      for r in fresh.get("recovery", [])}
+    for b in base.get("recovery", []):
+        key = (b["config"], b["ckpt_every"], b["jobs"])
+        name = f"recovery[{b['config']}/every={b['ckpt_every']}" \
+               f"/jobs={b['jobs']}]"
+        f = fresh_recovery.get(key)
+        if f is None:
+            cmp.missing(name)
+            continue
+        for col in SERVE_RECOVERY_EXACT:
+            if b.get(col, "-") != "-" and f.get(col, "-") != "-":
+                cmp.exact(f"{name}.{col}", b[col], f[col])
+        for col in SERVE_RECOVERY_TIME:
+            if b.get(col, "-") != "-" and f.get(col, "-") != "-":
+                cmp.time(f"{name}.{col}", b[col], f[col])
     b_eq, f_eq = base.get("eq10"), fresh.get("eq10")
     if b_eq and f_eq:
         for field in EQ10_EXACT:

@@ -53,8 +53,31 @@ def run_and_distill(bench: str, jobs: int) -> dict:
         "bench": "serve_throughput",
         "jobs_per_mix": jobs,
         "mixes": mixes,
+        "recovery": run_recovery_bench(bench),
         "eq10": metrics.get("eq10"),
     }
+
+
+def run_recovery_bench(throughput_bench: str) -> list:
+    """Distill bench/serve_recovery (checkpoint-cadence overhead and
+    journal-replay cost) when its binary sits next to serve_throughput.
+    The deterministic columns (completed, checkpoints, journal_records)
+    are what bench_regress.py gates; the wall-clock ones are trend data."""
+    bench = os.path.join(os.path.dirname(throughput_bench), "serve_recovery")
+    if not (os.path.isfile(bench) and os.access(bench, os.X_OK)):
+        sys.stderr.write(f"note: {bench} not built; snapshot omits the "
+                         "recovery section\n")
+        return []
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = os.path.join(tmp, "serve_recovery.csv")
+        cmd = [bench, f"--csv={csv_path}"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        sys.stdout.write(proc.stdout)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(f"FAIL: {' '.join(cmd)} exited {proc.returncode}")
+        with open(csv_path) as f:
+            return list(csv.DictReader(f))
 
 
 def main():

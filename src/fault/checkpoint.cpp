@@ -1,10 +1,13 @@
 #include "fault/checkpoint.hpp"
 
+#include <cstdio>
 #include <fstream>
+#include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "fault/checksum.hpp"
 #include "util/errors.hpp"
 #include "util/check.hpp"
 #include "util/fileio.hpp"
@@ -21,14 +24,18 @@ void expect_key(std::istream& is, const char* key) {
                      tok + "'");
   }
 }
-}  // namespace
 
-void write_checkpoint(std::ostream& os, const RunCheckpoint& cp) {
-  G6_REQUIRE_MSG(cp.run_tag.find('\n') == std::string::npos,
-                 "checkpoint run_tag must be a single line");
+std::uint64_t body_digest(std::string_view body) {
+  Fnv1a64 h;
+  h.fold(body);
+  return h.digest();
+}
+
+RunCheckpoint parse_body(std::istream& is);
+
+/// Serialize the checkpoint body (everything up to and including "end\n").
+void write_body(std::ostream& os, const RunCheckpoint& cp) {
   const HermiteState& s = cp.state;
-  G6_REQUIRE(s.dt.size() == s.particles.size());
-  G6_REQUIRE(s.last_force.size() == s.particles.size());
   const auto flags = os.flags();
   os.precision(17);  // round-trips IEEE binary64 exactly
 
@@ -58,7 +65,57 @@ void write_checkpoint(std::ostream& os, const RunCheckpoint& cp) {
   os.flags(flags);
 }
 
+}  // namespace
+
+void write_checkpoint(std::ostream& os, const RunCheckpoint& cp) {
+  G6_REQUIRE_MSG(cp.run_tag.find('\n') == std::string::npos,
+                 "checkpoint run_tag must be a single line");
+  const HermiteState& s = cp.state;
+  G6_REQUIRE(s.dt.size() == s.particles.size());
+  G6_REQUIRE(s.last_force.size() == s.particles.size());
+  std::ostringstream body;
+  write_body(body, cp);
+  const std::string bytes = body.str();
+  os << bytes;
+  os << "sum " << std::hex << std::setw(16) << std::setfill('0')
+     << body_digest(bytes) << std::dec << std::setfill(' ') << '\n';
+}
+
 RunCheckpoint read_checkpoint(std::istream& is) {
+  // Slurp the whole stream first: the trailer covers every byte of the
+  // body, so validation happens before any field is interpreted.
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string content = buf.str();
+
+  const std::size_t marker = content.rfind("end\nsum ");
+  if (marker == std::string::npos) {
+    throw FaultError(
+        "checkpoint: missing checksum trailer (truncated or pre-trailer "
+        "format)");
+  }
+  const std::string bytes = content.substr(0, marker + 4);  // keep "end\n"
+  std::istringstream trailer(content.substr(marker + 4));
+  std::string tok;
+  std::uint64_t stored = 0;
+  if (!(trailer >> tok >> std::hex >> stored) || tok != "sum") {
+    throw FaultError("checkpoint: malformed checksum trailer");
+  }
+  const std::uint64_t computed = body_digest(bytes);
+  if (stored != computed) {
+    std::ostringstream os;
+    os << "checkpoint: checksum mismatch (stored " << std::hex << stored
+       << ", computed " << computed << ") — file is corrupt";
+    throw FaultError(os.str());
+  }
+
+  std::istringstream body(bytes);
+  return parse_body(body);
+}
+
+namespace {
+
+RunCheckpoint parse_body(std::istream& is) {
   std::string schema;
   if (!(is >> schema) || schema != kSchema) {
     throw FaultError("checkpoint: bad schema line (expected " +
@@ -115,8 +172,21 @@ RunCheckpoint read_checkpoint(std::istream& is) {
   return cp;
 }
 
+}  // namespace
+
 void save_checkpoint(const std::string& path, const RunCheckpoint& cp) {
-  write_file_atomic(path, [&cp](std::ostream& os) { write_checkpoint(os, cp); });
+  // Durable (not just atomic): recovery depends on this file existing
+  // with exactly the content append()ed to the journal before the crash.
+  write_file_atomic_durable(
+      path, [&cp](std::ostream& os) { write_checkpoint(os, cp); });
+}
+
+void save_checkpoint_rotating(const std::string& path,
+                              const RunCheckpoint& cp) {
+  // Best-effort rotation: if `path` does not exist yet the rename simply
+  // fails and there is no previous generation to preserve.
+  std::rename(path.c_str(), (path + ".prev").c_str());
+  save_checkpoint(path, cp);
 }
 
 RunCheckpoint load_checkpoint(const std::string& path) {
@@ -128,6 +198,26 @@ RunCheckpoint load_checkpoint(const std::string& path) {
     throw;
   } catch (const std::exception& e) {
     throw FaultError("checkpoint: parse error in " + path + ": " + e.what());
+  }
+}
+
+RunCheckpoint load_checkpoint_resilient(const std::string& path,
+                                        bool* used_prev) {
+  if (used_prev != nullptr) *used_prev = false;
+  std::string primary_error;
+  try {
+    return load_checkpoint(path);
+  } catch (const FaultError& e) {
+    primary_error = e.what();
+  }
+  try {
+    RunCheckpoint cp = load_checkpoint(path + ".prev");
+    if (used_prev != nullptr) *used_prev = true;
+    return cp;
+  } catch (const FaultError& e) {
+    throw FaultError("checkpoint: no valid generation at " + path +
+                     " (primary: " + primary_error +
+                     "; fallback: " + e.what() + ")");
   }
 }
 

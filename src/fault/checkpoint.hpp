@@ -4,7 +4,11 @@
 // "Checkpoint format").
 //
 // A checkpoint is a text file ("grape6-checkpoint-v1") written atomically
-// via write-then-rename. Doubles are printed with 17 significant digits,
+// and durably (fsync before rename) and terminated by an FNV-1a checksum
+// trailer ("sum <16-hex-digits>") over every preceding byte, so a
+// truncated, torn, or bit-flipped file is detected at load time instead
+// of silently resuming corrupted state. Doubles are printed with 17
+// significant digits,
 // which round-trips IEEE binary64 exactly, so a resumed run follows the
 // identical trajectory: the state includes not just particle data and
 // per-particle timesteps but the engine's block-exponent cache — the BFP
@@ -33,16 +37,31 @@ struct RunCheckpoint {
   int snap_id = 0;         ///< next snapshot sequence number
 };
 
-/// Serialize to `os` (text, schema grape6-checkpoint-v1).
+/// Serialize to `os` (text, schema grape6-checkpoint-v1), including the
+/// checksum trailer.
 void write_checkpoint(std::ostream& os, const RunCheckpoint& cp);
 
-/// Parse a checkpoint; throws FaultError on malformed input.
+/// Parse a checkpoint; throws FaultError on malformed input, a missing
+/// trailer (truncation), or a checksum mismatch (bit flip).
 RunCheckpoint read_checkpoint(std::istream& is);
 
-/// Atomic save (write-then-rename); throws on I/O failure.
+/// Atomic durable save (write, fsync, rename); throws on I/O failure.
 void save_checkpoint(const std::string& path, const RunCheckpoint& cp);
+
+/// save_checkpoint, but first rotates an existing `path` to `path.prev`
+/// so one older valid generation survives a corrupted new write. This is
+/// what the serving layer uses for per-job quantum checkpoints.
+void save_checkpoint_rotating(const std::string& path,
+                              const RunCheckpoint& cp);
 
 /// Load and parse; throws FaultError (missing/corrupt file included).
 RunCheckpoint load_checkpoint(const std::string& path);
+
+/// Load `path`; if it is missing or fails validation (truncation, bit
+/// flip, parse error), fall back to `path.prev`. Throws FaultError only
+/// when no valid generation exists. When `used_prev` is non-null it is
+/// set to true iff the fallback generation was the one returned.
+RunCheckpoint load_checkpoint_resilient(const std::string& path,
+                                        bool* used_prev = nullptr);
 
 }  // namespace g6::fault

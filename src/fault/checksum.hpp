@@ -16,6 +16,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <string_view>
 
 #include "hw/formats.hpp"
 #include "util/vec3.hpp"
@@ -35,6 +36,14 @@ class Fnv1a64 {
   void fold(std::int64_t word) { fold(static_cast<std::uint64_t>(word)); }
   void fold(std::uint32_t word) { fold(static_cast<std::uint64_t>(word)); }
   void fold(double value) { fold(std::bit_cast<std::uint64_t>(value)); }
+  /// Plain byte-wise FNV-1a — used for file payloads (checkpoint
+  /// trailer), where the unit of corruption is a byte, not a word.
+  void fold(std::string_view bytes) {
+    for (const char c : bytes) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= kPrime;
+    }
+  }
   void fold(const Vec3& v) {
     fold(v.x);
     fold(v.y);

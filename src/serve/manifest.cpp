@@ -64,7 +64,7 @@ JobSpec parse_job(const JsonValue& j, std::size_t index) {
   const std::string where = "jobs[" + std::to_string(index) + "]";
   check_keys(j,
              {"name", "model", "n", "w0", "t_end", "eps", "eta", "seed",
-              "boards", "priority"},
+              "boards", "priority", "deadline_rounds", "chaos_fail_quanta"},
              where);
   if (j.find("name") == nullptr) fail(where + ": missing required key 'name'");
 
@@ -80,6 +80,13 @@ JobSpec parse_job(const JsonValue& j, std::size_t index) {
   if (j.find("boards")) spec.boards = size_at(j, "boards", where);
   if (j.find("priority")) {
     spec.priority = parse_priority(string_at(j, "priority", where), where);
+  }
+  if (j.find("deadline_rounds")) {
+    spec.deadline_rounds = size_at(j, "deadline_rounds", where);
+  }
+  if (j.find("chaos_fail_quanta")) {
+    spec.chaos_fail_quanta =
+        static_cast<int>(size_at(j, "chaos_fail_quanta", where));
   }
 
   const AdmissionDecision d = AdmissionController::validate_spec(spec);
@@ -109,8 +116,8 @@ ServiceConfig parse_service(const JsonValue& s) {
   const std::string where = "service";
   check_keys(s,
              {"max_queue_depth", "quantum_blocksteps", "max_requeues",
-              "boards_per_host", "hosts_per_cluster", "clusters",
-              "board_deaths"},
+              "max_job_failures", "backoff_base_rounds", "boards_per_host",
+              "hosts_per_cluster", "clusters", "board_deaths"},
              where);
   ServiceConfig cfg;
   if (s.find("max_queue_depth")) {
@@ -124,6 +131,14 @@ ServiceConfig parse_service(const JsonValue& s) {
   }
   if (s.find("max_requeues")) {
     cfg.max_requeues = static_cast<int>(size_at(s, "max_requeues", where));
+  }
+  if (s.find("max_job_failures")) {
+    cfg.max_job_failures =
+        static_cast<int>(size_at(s, "max_job_failures", where));
+    if (cfg.max_job_failures < 1) fail("service.max_job_failures must be >= 1");
+  }
+  if (s.find("backoff_base_rounds")) {
+    cfg.backoff_base_rounds = size_at(s, "backoff_base_rounds", where);
   }
   if (s.find("boards_per_host")) {
     cfg.machine.boards_per_host = size_at(s, "boards_per_host", where);

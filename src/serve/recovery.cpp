@@ -1,0 +1,212 @@
+#include "serve/recovery.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/log.hpp"
+#include "util/check.hpp"
+#include "util/errors.hpp"
+
+namespace g6::serve {
+
+namespace {
+
+RejectReason reject_reason_from_name(const std::string& name,
+                                     const std::string& where) {
+  for (int v = 0; v <= static_cast<int>(RejectReason::kQuarantined); ++v) {
+    const auto r = static_cast<RejectReason>(v);
+    if (name == reject_reason_name(r)) return r;
+  }
+  throw JournalError("journal: " + where + ": unknown reject reason '" +
+                     name + "'");
+}
+
+/// Attach the validated checkpoint at `file` to `job`. `required` is the
+/// completed-job case: their snapshots cannot be rebuilt any other way,
+/// so an unloadable checkpoint is fatal. For live jobs a lost checkpoint
+/// only costs a from-scratch re-run (bit-identical, just slower).
+void attach_checkpoint(RestoredJob& job, const std::string& file,
+                       bool required) {
+  bool used_prev = false;
+  fault::RunCheckpoint cp;
+  try {
+    cp = fault::load_checkpoint_resilient(file, &used_prev);
+  } catch (const fault::FaultError& e) {
+    if (required) {
+      throw JournalError("journal: completed job '" + job.spec.name +
+                         "': " + e.what());
+    }
+    obs::log_warn(
+        "serve: job '%s' checkpoint unusable (%s); will re-run from "
+        "scratch",
+        job.spec.name.c_str(), e.what());
+    return;
+  }
+  const std::string expected = job_run_tag(job.spec);
+  if (cp.run_tag != expected) {
+    // A tag mismatch is not bit rot (the checksum passed) — the file
+    // belongs to a different configuration. Refuse, like RunCheckpoint
+    // resume does, rather than silently continuing a different run.
+    throw JournalError("journal: job '" + job.spec.name +
+                       "': checkpoint run_tag mismatch (file " + file +
+                       " has '" + cp.run_tag + "', expected '" + expected +
+                       "')");
+  }
+  if (used_prev) {
+    obs::log_warn(
+        "serve: job '%s' resumed from previous checkpoint generation "
+        "(current was corrupt)",
+        job.spec.name.c_str());
+  }
+  job.checkpoint = std::move(cp);
+  job.has_checkpoint = true;
+  job.checkpoint_file = file;
+}
+
+}  // namespace
+
+RestoredService recover_from_journal(const std::string& journal_path) {
+  G6_REQUIRE_MSG(!journal_path.empty(), "empty journal path");
+  const JournalReplay replay = replay_journal(journal_path);
+
+  RestoredService out;
+  out.info.journal_records = replay.records.size();
+  out.info.torn_tail = replay.torn_tail;
+  out.next_seq = replay.records.size() + 1;
+
+  // Per-job checkpoint pointers: only the LAST journaled checkpoint per
+  // job is a resume candidate (earlier generations were rotated away).
+  std::vector<std::string> last_checkpoint;
+
+  auto job_at = [&out, &journal_path](JobId id,
+                                      std::uint64_t seq) -> RestoredJob& {
+    if (id == 0 || id > out.jobs.size()) {
+      throw JournalError("journal: " + journal_path + " record " +
+                         std::to_string(seq) + " names unknown job " +
+                         std::to_string(id));
+    }
+    return out.jobs[id - 1];
+  };
+
+  for (const JournalRecord& rec : replay.records) {
+    out.resume_round = std::max(out.resume_round, rec.round);
+    switch (rec.type) {
+      case JournalRecordType::kOpen:
+        out.cfg = rec.config;
+        out.cfg.durability.journal_path = journal_path;
+        break;
+      case JournalRecordType::kRecovered:
+      case JournalRecordType::kDrained:
+        break;
+      case JournalRecordType::kSubmitted: {
+        if (rec.job != out.jobs.size() + 1) {
+          throw JournalError("journal: " + journal_path +
+                             ": submitted record for job " +
+                             std::to_string(rec.job) + " out of order");
+        }
+        RestoredJob job;
+        job.spec = rec.spec;
+        job.id = rec.job;
+        // A bare `submitted` (crash before the admitted/rejected append)
+        // counts as admitted: the client never saw a rejection, and a
+        // live job is the only state that guarantees exactly-once
+        // terminal delivery.
+        job.state = JobState::kQueued;
+        job.submit_round = rec.round;
+        out.jobs.push_back(std::move(job));
+        last_checkpoint.emplace_back();
+        break;
+      }
+      case JournalRecordType::kAdmitted:
+        job_at(rec.job, rec.seq);  // validates the id; already live
+        break;
+      case JournalRecordType::kRejected: {
+        RestoredJob& job = job_at(rec.job, rec.seq);
+        job.state = JobState::kRejected;
+        job.reject = reject_reason_from_name(rec.reason, "rejected record");
+        job.message = rec.message;
+        break;
+      }
+      case JournalRecordType::kStarted:
+        job_at(rec.job, rec.seq);  // still live; nothing to fold
+        break;
+      case JournalRecordType::kQuantum: {
+        RestoredJob& job = job_at(rec.job, rec.seq);
+        job.quanta = rec.quanta;
+        job.t_reached = rec.t;
+        job.steps = rec.steps;
+        job.blocksteps = rec.blocksteps;
+        job.failures = 0;  // a clean quantum resets the consecutive count
+        break;
+      }
+      case JournalRecordType::kCheckpointed:
+        job_at(rec.job, rec.seq);
+        last_checkpoint[rec.job - 1] = rec.file;
+        break;
+      case JournalRecordType::kRequeued: {
+        RestoredJob& job = job_at(rec.job, rec.seq);
+        job.requeues = rec.requeues;
+        job.failures = rec.failures;
+        job.hold_until_round = rec.hold_until;
+        break;
+      }
+      case JournalRecordType::kBoardDeath:
+        out.fired_deaths.push_back({rec.round, rec.board});
+        break;
+      case JournalRecordType::kFinished: {
+        RestoredJob& job = job_at(rec.job, rec.seq);
+        job.state = JobState::kCompleted;
+        job.quanta = rec.quanta;
+        job.t_reached = rec.t;
+        job.e0 = rec.e0;
+        job.e_final = rec.e_final;
+        job.steps = rec.steps;
+        job.blocksteps = rec.blocksteps;
+        break;
+      }
+      case JournalRecordType::kFailed: {
+        RestoredJob& job = job_at(rec.job, rec.seq);
+        job.state = JobState::kFailed;
+        job.reject = reject_reason_from_name(rec.reason, "failed record");
+        job.message = rec.message;
+        break;
+      }
+      case JournalRecordType::kQuarantined: {
+        RestoredJob& job = job_at(rec.job, rec.seq);
+        job.state = JobState::kQuarantined;
+        job.reject = RejectReason::kQuarantined;
+        job.failures = rec.failures;
+        job.message = "poison job: " + std::to_string(rec.failures) +
+                      " consecutive transient faults (quarantined before "
+                      "recovery)";
+        break;
+      }
+    }
+  }
+  if (out.cfg.durability.journal_path.empty()) {
+    throw JournalError("journal: " + journal_path + ": no open record");
+  }
+
+  for (RestoredJob& job : out.jobs) {
+    const std::string& file = last_checkpoint[job.id - 1];
+    if (job.state == JobState::kCompleted) {
+      if (file.empty()) {
+        throw JournalError("journal: completed job '" + job.spec.name +
+                           "' has no checkpointed record");
+      }
+      attach_checkpoint(job, file, /*required=*/true);
+    } else if (job.state == JobState::kQueued && !file.empty()) {
+      attach_checkpoint(job, file, /*required=*/false);
+    }
+    if (job.state == JobState::kQueued) {
+      ++out.info.jobs_restored;
+      if (job.has_checkpoint) ++out.info.jobs_resumed_from_checkpoint;
+    } else {
+      ++out.info.jobs_already_terminal;
+    }
+  }
+  out.info.resume_round = out.resume_round;
+  return out;
+}
+
+}  // namespace g6::serve

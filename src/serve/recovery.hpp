@@ -1,0 +1,32 @@
+#pragma once
+// Crash recovery: replay a write-ahead journal (serve/journal.hpp) into
+// a RestoredService the Scheduler's restore constructor can consume.
+//
+// INTERNAL to src/serve (g6lint serve-isolation): the public entry point
+// is GrapeService::recover.
+//
+// The replay is a pure fold over the journal records: each job's final
+// restored state is a function of its record subsequence, so the same
+// journal always rebuilds the same service (the recovery leg of the
+// determinism mandate). Live jobs re-enter the queue in submission
+// order with their policy counters (requeues, failures, backoff hold,
+// deadline epoch) intact; jobs with a journaled checkpoint resume from
+// it — validated (checksum trailer + run_tag) via
+// load_checkpoint_resilient, falling back to the previous generation or,
+// for live jobs, to a from-scratch re-run, which is slower but still
+// bit-identical. Completed jobs are reconstructed from their final
+// checkpoint so their snapshots can be re-written byte-identically.
+
+#include <string>
+
+#include "serve/scheduler.hpp"
+
+namespace g6::serve {
+
+/// Replay `journal_path` and rebuild the service state it describes.
+/// Throws JournalError on malformed journals (strict-key parsing; only
+/// a torn final line is tolerated) and when a completed job's
+/// checkpoint cannot be validated.
+RestoredService recover_from_journal(const std::string& journal_path);
+
+}  // namespace g6::serve

@@ -9,6 +9,7 @@
 #include "nbody/diagnostics.hpp"
 #include "obs/clock.hpp"
 #include "obs/context.hpp"
+#include "obs/export.hpp"
 #include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -39,12 +40,15 @@ void track_sampler_instruments() {
   s.track_counter("serve.quanta");
   s.track_counter("serve.preemptions");
   s.track_counter("serve.revocations");
+  s.track_counter("serve.requeues");
   s.track_counter("serve.board_deaths");
+  s.track_counter("serve.journal.records");
+  s.track_counter("serve.checkpoint.writes");
 }
 
 }  // namespace
 
-Scheduler::Scheduler(ServiceConfig cfg)
+Scheduler::Scheduler(ServiceConfig cfg, bool open_journal)
     : cfg_(std::move(cfg)),
       admission_(cfg_.max_queue_depth, cfg_.pool_boards()),
       partition_(cfg_.pool_boards()),
@@ -59,7 +63,151 @@ Scheduler::Scheduler(ServiceConfig cfg)
                    [](const BoardDeath& a, const BoardDeath& b) {
                      return a.round < b.round;
                    });
+  if (cfg_.durability.enabled()) {
+    // Completed jobs are reconstructed from their final checkpoint at
+    // recovery; a journal without a checkpoint store could not honor
+    // exactly-once terminal states for them.
+    G6_REQUIRE_MSG(!cfg_.durability.checkpoint_dir.empty(),
+                   "durable serving needs a checkpoint_dir alongside the "
+                   "journal");
+  }
   track_sampler_instruments();
+  if (open_journal && cfg_.durability.enabled()) {
+    MutexLock lk(serial_m_);
+    journal_ = std::make_unique<Journal>(cfg_.durability.journal_path,
+                                         /*truncate=*/true);
+    JournalRecord jr;
+    jr.type = JournalRecordType::kOpen;
+    jr.config = cfg_;
+    journal_append(std::move(jr));
+  }
+}
+
+Scheduler::Scheduler(ServiceConfig cfg) : Scheduler(std::move(cfg), true) {}
+
+Scheduler::Scheduler(RestoredService restored)
+    : Scheduler(std::move(restored.cfg), false) {
+  G6_PHASE("serve.recover");
+  MutexLock lk(serial_m_);
+  G6_REQUIRE_MSG(cfg_.durability.enabled(),
+                 "restore needs the journal path in the recovered config");
+
+  // Dead hardware first: boards that died before the crash stay dead,
+  // and the scheduled deaths that already fired must not fire again.
+  for (const BoardDeath& fired : restored.fired_deaths) {
+    partition_.mark_dead(fired.board);
+    for (auto it = pending_deaths_.begin(); it != pending_deaths_.end();
+         ++it) {
+      if (it->board == fired.board && it->round <= fired.round) {
+        pending_deaths_.erase(it);
+        break;
+      }
+    }
+  }
+  stats_.boards_dead = partition_.dead();
+  round_index_ = restored.resume_round;
+  stats_.rounds = restored.resume_round;
+
+  for (RestoredJob& j : restored.jobs) {
+    G6_REQUIRE_MSG(j.id == records_.size() + 1,
+                   "restored jobs must arrive in dense id order");
+    auto r = std::make_unique<Record>();
+    r->spec = j.spec;
+    r->id = j.id;
+    r->state = j.state;
+    r->reject = j.reject;
+    r->message = j.message;
+    r->requeues = j.requeues;
+    r->failures = j.failures;
+    r->hold_until_round = j.hold_until_round;
+    r->submit_round = j.submit_round;
+    r->quanta = j.quanta;
+    r->t_reached = j.t_reached;
+    r->steps = j.steps;
+    r->blocksteps = j.blocksteps;
+    r->e0 = j.e0;
+    r->e_final = j.e_final;
+    r->checkpoint_file = j.checkpoint_file;
+    r->submit_wall_s = obs::monotonic_seconds();
+    ++stats_.submitted;
+
+    if (j.state != JobState::kRejected) {
+      r->scope = &obs::ScopeRegistry::global().get_or_create(
+          "job:" + j.spec.name, r->id, priority_name(j.spec.priority));
+    }
+    switch (j.state) {
+      case JobState::kQueued: {
+        if (j.has_checkpoint) {
+          r->saved.state = j.checkpoint.state;
+          r->saved.exponents = j.checkpoint.exponents;
+          r->has_saved = true;
+          r->e0 = j.checkpoint.e0;
+          r->t_reached = j.checkpoint.state.time;
+        }
+        queue_.push_back(j.id, j.spec.priority);
+        break;
+      }
+      case JobState::kCompleted: {
+        // The final checkpoint is written (durably) before the finished
+        // record, so a journaled completion always has one. Rebuilding
+        // the runtime from it and interpolating to the current time is
+        // the same computation finish_job ran, on the same bits.
+        G6_REQUIRE_MSG(j.has_checkpoint,
+                       "completed job '" + j.spec.name +
+                           "' has no checkpoint to rebuild its result from");
+        const obs::ScopedMetricScope attribution(r->scope);
+        SavedJob saved;
+        saved.state = j.checkpoint.state;
+        saved.exponents = j.checkpoint.exponents;
+        JobRuntime runtime(j.spec, cfg_.machine, j.spec.boards, saved,
+                           j.checkpoint.e0);
+        r->result = runtime.state_now();
+        r->result_time = runtime.time();
+        ++stats_.completed;
+        break;
+      }
+      case JobState::kFailed:
+        ++stats_.failed;
+        break;
+      case JobState::kQuarantined:
+        ++stats_.quarantined;
+        break;
+      case JobState::kRejected:
+        ++stats_.rejected;
+        break;
+      case JobState::kRunning:
+        G6_REQUIRE_MSG(false, "restored jobs are queued, never running");
+        break;
+    }
+    records_.push_back(std::move(r));
+  }
+
+  journal_ = std::make_unique<Journal>(cfg_.durability.journal_path,
+                                       /*truncate=*/false, restored.next_seq);
+  JournalRecord jr;
+  jr.type = JournalRecordType::kRecovered;
+  jr.records = restored.info.journal_records;
+  journal_append(std::move(jr));
+
+  reg().counter("serve.recovery.runs").add();
+  reg().counter("serve.recovery.records").add(restored.info.journal_records);
+  reg().counter("serve.recovery.jobs_restored")
+      .add(restored.info.jobs_restored);
+  reg()
+      .counter("serve.recovery.resumed_from_checkpoint")
+      .add(restored.info.jobs_resumed_from_checkpoint);
+  update_round_gauges();
+  obs::log_info(
+      "serve: recovered from %s: %llu records, %llu live job(s) restored "
+      "(%llu from checkpoints), %llu already terminal, resuming at round "
+      "%llu",
+      cfg_.durability.journal_path.c_str(),
+      static_cast<unsigned long long>(restored.info.journal_records),
+      static_cast<unsigned long long>(restored.info.jobs_restored),
+      static_cast<unsigned long long>(
+          restored.info.jobs_resumed_from_checkpoint),
+      static_cast<unsigned long long>(restored.info.jobs_already_terminal),
+      static_cast<unsigned long long>(round_index_));
 }
 
 Scheduler::~Scheduler() = default;
@@ -83,6 +231,19 @@ SubmitResult Scheduler::submit(const JobSpec& spec) {
   r->spec = spec;
   r->id = static_cast<JobId>(records_.size() + 1);
   r->submit_wall_s = obs::monotonic_seconds();
+  r->submit_round = round_index_;
+
+  {
+    // Write-ahead: the submission (with its full spec) is durable before
+    // the decision — recovery treats a bare `submitted` record (crash
+    // between the two appends) as admitted, so the job still reaches a
+    // terminal state exactly once.
+    JournalRecord jr;
+    jr.type = JournalRecordType::kSubmitted;
+    jr.job = r->id;
+    jr.spec = spec;
+    journal_append(std::move(jr));
+  }
 
   AdmissionDecision d = AdmissionDecision::yes();
   for (const auto& other : records_) {
@@ -107,6 +268,10 @@ SubmitResult Scheduler::submit(const JobSpec& spec) {
         "job:" + spec.name, r->id, priority_name(spec.priority));
     queue_.push_back(r->id, spec.priority);
     result.accepted = true;
+    JournalRecord jr;
+    jr.type = JournalRecordType::kAdmitted;
+    jr.job = r->id;
+    journal_append(std::move(jr));
     obs::log_debug("serve: job %llu '%s' queued (%s, %zu board(s))",
                    static_cast<unsigned long long>(r->id), spec.name.c_str(),
                    priority_name(spec.priority), spec.boards);
@@ -119,6 +284,12 @@ SubmitResult Scheduler::submit(const JobSpec& spec) {
     result.message = d.message;
     ++stats_.rejected;
     reg().counter("serve.jobs.rejected").add();
+    JournalRecord jr;
+    jr.type = JournalRecordType::kRejected;
+    jr.job = r->id;
+    jr.reason = reject_reason_name(d.reason);
+    jr.message = d.message;
+    journal_append(std::move(jr));
     obs::log_warn("serve: job '%s' rejected (%s): %s", spec.name.c_str(),
                   reject_reason_name(d.reason), d.message.c_str());
   }
@@ -139,9 +310,30 @@ bool Scheduler::has_live_work() const {
 void Scheduler::run_until_drained() {
   MutexLock lk(serial_m_);
   const double start = obs::monotonic_seconds();
-  while (has_live_work()) round();
+  bool stopped = false;
+  while (has_live_work()) {
+    if (cfg_.stop_flag != nullptr &&
+        cfg_.stop_flag->load(std::memory_order_relaxed)) {
+      graceful_stop();
+      stopped = true;
+      break;
+    }
+    round();
+  }
+  if (!stopped) {
+    JournalRecord jr;
+    jr.type = JournalRecordType::kDrained;
+    jr.reason = "drained";
+    journal_append(std::move(jr));
+  }
   stats_.makespan_s += obs::monotonic_seconds() - start;
   stats_.boards_dead = partition_.dead();
+}
+
+bool Scheduler::run_rounds(std::uint64_t max_rounds) {
+  MutexLock lk(serial_m_);
+  for (std::uint64_t i = 0; i < max_rounds && has_live_work(); ++i) round();
+  return has_live_work();
 }
 
 void Scheduler::round() {
@@ -149,6 +341,7 @@ void Scheduler::round() {
   ++stats_.rounds;
   reg().counter("serve.rounds").add();
 
+  enforce_deadlines();
   apply_board_deaths();
   const JobId blocked = dispatch();
 
@@ -173,11 +366,39 @@ void Scheduler::round() {
   ++round_index_;
 }
 
+void Scheduler::enforce_deadlines() {
+  for (const auto& rp : records_) {
+    Record& r = *rp;
+    if (r.spec.deadline_rounds == 0) continue;
+    if (r.state != JobState::kQueued && r.state != JobState::kRunning) {
+      continue;
+    }
+    if (round_index_ < r.submit_round + r.spec.deadline_rounds) continue;
+    // Deadlines are measured on the round clock (logical time): the same
+    // journal replays to the same verdict, wall time never enters.
+    if (r.state == JobState::kQueued) {
+      queue_.remove(r.id);
+    } else {
+      release_lease(r);
+      r.runtime.reset();
+    }
+    fail_job(r, RejectReason::kDeadlineExceeded,
+             "deadline of " + std::to_string(r.spec.deadline_rounds) +
+                 " round(s) exceeded (submitted at round " +
+                 std::to_string(r.submit_round) + ", now round " +
+                 std::to_string(round_index_) + ")");
+  }
+}
+
 void Scheduler::apply_board_deaths() {
   while (!pending_deaths_.empty() &&
          pending_deaths_.front().round <= round_index_) {
     const BoardDeath death = pending_deaths_.front();
     pending_deaths_.erase(pending_deaths_.begin());
+    JournalRecord jr;
+    jr.type = JournalRecordType::kBoardDeath;
+    jr.board = death.board;
+    journal_append(std::move(jr));
     const JobId victim = partition_.mark_dead(death.board);
     stats_.boards_dead = partition_.dead();
     reg().counter("serve.board_deaths").add();
@@ -199,6 +420,9 @@ JobId Scheduler::dispatch() {
   JobId first_blocked = 0;
   for (JobId id : queue_.dispatch_order()) {
     Record& r = rec(id);
+    // Retry backoff: the job sits out its hold window (it neither runs
+    // nor drives preemption) and re-enters dispatch when it expires.
+    if (r.hold_until_round > round_index_) continue;
     if (r.spec.boards > partition_.healthy()) {
       // The machine shrank below this job's needs; it can never run.
       queue_.remove(id);
@@ -219,6 +443,11 @@ JobId Scheduler::dispatch() {
     r.lease = std::move(*lease);
     r.state = JobState::kRunning;
     start_runtime(r);
+    JournalRecord jr;
+    jr.type = JournalRecordType::kStarted;
+    jr.job = id;
+    jr.boards = r.lease.size();
+    journal_append(std::move(jr));
     if (r.first_run_wall_s < 0.0) {
       r.first_run_wall_s = obs::monotonic_seconds();
       reg()
@@ -256,7 +485,12 @@ void Scheduler::run_quanta(const std::vector<JobId>& running) {
   exec::TaskGroup group;
   for (JobId id : running) {
     Record* r = &rec(id);
-    group.run([r, quantum, round] {
+    // Poison-job injection, decided serially: while the job's consecutive
+    // failure count is below its chaos budget the quantum faults instead
+    // of integrating — deterministic, and it survives recovery because
+    // the failure count is journaled.
+    const bool chaos = r->spec.chaos_fail_quanta > r->failures;
+    group.run([r, quantum, round, chaos] {
       // Scope installed BEFORE the span opens: the serve.job span (and
       // every span and counter nested under it, on this thread or forked
       // through the pool) is charged to this job.
@@ -269,6 +503,9 @@ void Scheduler::run_quanta(const std::vector<JobId>& running) {
       r->q_blocksteps = 0;
       r->q_error = nullptr;
       try {
+        if (chaos) {
+          throw fault::TransientFault("injected quantum fault (chaos)");
+        }
         r->q_blocksteps = r->runtime->run_quantum(quantum);
       } catch (...) {
         // Captured per job: one job's hardware dying (HardFault) or
@@ -306,11 +543,20 @@ void Scheduler::fold_quantum(Record& r) {
                     static_cast<unsigned long long>(r.id), e.what());
       const std::vector<std::size_t> boards = r.lease.boards;
       for (std::size_t b : boards) {
+        JournalRecord jr;
+        jr.type = JournalRecordType::kBoardDeath;
+        jr.board = b;
+        journal_append(std::move(jr));
         partition_.mark_dead(b);
         reg().counter("serve.board_deaths").add();
       }
       stats_.boards_dead = partition_.dead();
       revoke_lease(r, std::string("hard fault: ") + e.what());
+    } catch (const fault::TransientFault& e) {
+      // Transient (RetryExhausted included: one level up retries with a
+      // clean slate — that level is us): bounded retry with backoff, or
+      // quarantine once the job looks poisoned.
+      retry_or_quarantine(r, e.what());
     } catch (const std::exception& e) {
       release_lease(r);
       r.runtime.reset();
@@ -323,11 +569,158 @@ void Scheduler::fold_quantum(Record& r) {
   // Clean quantum boundary: capture resumable state and progress.
   r.saved = r.runtime->save();
   r.has_saved = true;
+  r.failures = 0;  // quarantine counts *consecutive* faulted quanta
   r.t_reached = r.runtime->time();
   r.steps = r.runtime->integrator().total_steps();
   r.blocksteps = r.runtime->integrator().total_blocksteps();
   r.eq10 = r.runtime->integrator().eq10();
-  if (r.runtime->done()) finish_job(r);
+  {
+    JournalRecord jr;
+    jr.type = JournalRecordType::kQuantum;
+    jr.job = r.id;
+    jr.quanta = r.quanta;
+    jr.t = r.t_reached;
+    jr.steps = r.steps;
+    jr.blocksteps = r.blocksteps;
+    journal_append(std::move(jr));
+  }
+  const bool done = r.runtime->done();
+  const std::uint64_t every = cfg_.durability.checkpoint_every_quanta;
+  // Always checkpoint at completion (the finished record below relies on
+  // it for recovery); periodically otherwise.
+  if (done || (every > 0 && r.quanta % every == 0)) checkpoint_job(r);
+  if (done) finish_job(r);
+}
+
+void Scheduler::retry_or_quarantine(Record& r, const std::string& what) {
+  ++r.failures;
+  reg().counter("serve.job_faults").add();
+  flight().record(obs::FlightEventType::kRetry, r.id,
+                  static_cast<std::int64_t>(round_index_),
+                  static_cast<std::int64_t>(r.failures));
+  release_lease(r);
+  // Mid-quantum state is indeterminate; the next attempt resumes from
+  // the last clean quantum boundary (or the start).
+  r.runtime.reset();
+  if (r.failures >= cfg_.max_job_failures) {
+    quarantine_job(r, "poison job: " + std::to_string(r.failures) +
+                          " consecutive transient faults (last: " + what +
+                          ")");
+    return;
+  }
+  // Exponential virtual-time backoff: 1x, 2x, 4x ... backoff_base_rounds,
+  // measured on the round clock so replay is deterministic.
+  const std::uint64_t backoff = cfg_.backoff_base_rounds
+                                << (r.failures - 1);
+  r.hold_until_round = round_index_ + 1 + backoff;
+  r.state = JobState::kQueued;
+  // Back of the class: unlike a revocation, the fault was the job's own.
+  queue_.push_back(r.id, r.spec.priority);
+  JournalRecord jr;
+  jr.type = JournalRecordType::kRequeued;
+  jr.job = r.id;
+  jr.reason = "retry";
+  jr.requeues = r.requeues;
+  jr.failures = r.failures;
+  jr.hold_until = r.hold_until_round;
+  journal_append(std::move(jr));
+  obs::log_warn(
+      "serve: job %llu transient fault (%s); retry %d/%d after %llu "
+      "round(s) backoff",
+      static_cast<unsigned long long>(r.id), what.c_str(), r.failures,
+      cfg_.max_job_failures, static_cast<unsigned long long>(backoff));
+}
+
+void Scheduler::quarantine_job(Record& r, std::string message) {
+  release_lease(r);
+  r.runtime.reset();
+  r.state = JobState::kQuarantined;
+  r.reject = RejectReason::kQuarantined;
+  r.message = std::move(message);
+  ++stats_.quarantined;
+  reg().counter("serve.jobs.quarantined").add();
+  observe_terminal(r);
+  // Attach a flight-recorder dump: the ring holds the retry/requeue
+  // trail that led here, which is exactly what a poison-job post-mortem
+  // needs.
+  std::string dump;
+  if (!cfg_.durability.checkpoint_dir.empty()) {
+    dump = cfg_.durability.checkpoint_dir + "/" + r.spec.name +
+           ".quarantine.flight.json";
+    obs::export_flight_json(dump);
+  }
+  flight().record(obs::FlightEventType::kJobFailed, r.id,
+                  static_cast<std::int64_t>(round_index_),
+                  static_cast<std::int64_t>(r.failures), "quarantined");
+  JournalRecord jr;
+  jr.type = JournalRecordType::kQuarantined;
+  jr.job = r.id;
+  jr.failures = r.failures;
+  jr.file = dump;
+  journal_append(std::move(jr));
+  obs::log_error("serve: job %llu '%s' quarantined: %s",
+                 static_cast<unsigned long long>(r.id), r.spec.name.c_str(),
+                 r.message.c_str());
+}
+
+void Scheduler::checkpoint_job(Record& r) {
+  if (journal_ == nullptr || !r.has_saved) return;
+  fault::RunCheckpoint cp;
+  cp.run_tag = job_run_tag(r.spec);
+  cp.state = r.saved.state;
+  cp.exponents = r.saved.exponents;
+  cp.e0 = r.e0;
+  const std::string path = checkpoint_path(r.spec.name);
+  fault::save_checkpoint_rotating(path, cp);
+  r.checkpoint_file = path;
+  reg().counter("serve.checkpoint.writes").add();
+  JournalRecord jr;
+  jr.type = JournalRecordType::kCheckpointed;
+  jr.job = r.id;
+  jr.quanta = r.quanta;
+  jr.file = path;
+  jr.tag = cp.run_tag;
+  journal_append(std::move(jr));
+}
+
+std::string Scheduler::checkpoint_path(const std::string& job_name) const {
+  return cfg_.durability.checkpoint_dir + "/" + job_name + ".ckpt";
+}
+
+void Scheduler::graceful_stop() {
+  draining_ = true;
+  std::size_t checkpointed = 0;
+  for (const auto& rp : records_) {
+    Record& r = *rp;
+    if (r.state != JobState::kQueued && r.state != JobState::kRunning) {
+      continue;
+    }
+    if (r.has_saved) {
+      checkpoint_job(r);
+      ++checkpointed;
+    }
+  }
+  JournalRecord jr;
+  jr.type = JournalRecordType::kDrained;
+  jr.reason = "sigterm";
+  journal_append(std::move(jr));
+  obs::log_warn(
+      "serve: graceful drain (stop requested) at round %llu; %zu live "
+      "job(s) checkpointed",
+      static_cast<unsigned long long>(round_index_), checkpointed);
+}
+
+void Scheduler::journal_append(JournalRecord rec) {
+  if (journal_ == nullptr) return;
+  rec.round = round_index_;
+  journal_->append(std::move(rec));
+  reg().counter("serve.journal.records").add();
+}
+
+void Scheduler::observe_terminal(const Record& r) {
+  reg()
+      .histogram("serve.requeues_per_job", 0.0, 16.0, 16)
+      .observe(static_cast<double>(r.requeues));
 }
 
 void Scheduler::preempt_for(JobId blocked_id) {
@@ -393,6 +786,22 @@ void Scheduler::finish_job(Record& r) {
   ++stats_.completed;
   stats_.eq10.merge(r.eq10);
   reg().counter("serve.jobs.completed").add();
+  observe_terminal(r);
+  {
+    // The final checkpoint (fold_quantum wrote it just before this call)
+    // is already durable, so this record is all recovery needs to rebuild
+    // the completed job's result bit-identically.
+    JournalRecord jr;
+    jr.type = JournalRecordType::kFinished;
+    jr.job = r.id;
+    jr.quanta = r.quanta;
+    jr.t = r.result_time;
+    jr.e0 = r.e0;
+    jr.e_final = r.e_final;
+    jr.steps = r.steps;
+    jr.blocksteps = r.blocksteps;
+    journal_append(std::move(jr));
+  }
   flight().record(obs::FlightEventType::kJobCompleted, r.id,
                   static_cast<std::int64_t>(round_index_),
                   static_cast<std::int64_t>(r.quanta));
@@ -409,6 +818,15 @@ void Scheduler::fail_job(Record& r, RejectReason reason, std::string message) {
   r.message = std::move(message);
   ++stats_.failed;
   reg().counter("serve.jobs.failed").add();
+  observe_terminal(r);
+  {
+    JournalRecord jr;
+    jr.type = JournalRecordType::kFailed;
+    jr.job = r.id;
+    jr.reason = reject_reason_name(reason);
+    jr.message = r.message;
+    journal_append(std::move(jr));
+  }
   flight().record(obs::FlightEventType::kJobFailed, r.id,
                   static_cast<std::int64_t>(round_index_),
                   static_cast<std::int64_t>(r.requeues));
@@ -429,13 +847,17 @@ void Scheduler::revoke_lease(Record& r, const std::string& why) {
   // dispatch rebuilds it from `saved` (or from scratch if the job never
   // finished a quantum) on whichever boards are then free.
   r.runtime.reset();
-  ++r.requeues;
-  if (r.requeues > cfg_.max_requeues) {
-    fail_job(r, RejectReason::kBoardsUnavailable,
+  // Budget check before the increment: `requeues` counts re-queues that
+  // actually happened, not the revocation that exhausted the budget.
+  if (r.requeues >= cfg_.max_requeues) {
+    fail_job(r, RejectReason::kRequeueExhausted,
              "lease revoked (" + why + ") and re-queue budget exhausted (" +
                  std::to_string(cfg_.max_requeues) + ")");
     return;
   }
+  ++r.requeues;
+  ++stats_.requeues;
+  reg().counter("serve.requeues").add();
   r.state = JobState::kQueued;
   // Front of the class: the job lost its boards through no fault of its
   // own, so it keeps its turn.
@@ -443,6 +865,16 @@ void Scheduler::revoke_lease(Record& r, const std::string& why) {
   flight().record(obs::FlightEventType::kRequeue, r.id,
                   static_cast<std::int64_t>(round_index_),
                   static_cast<std::int64_t>(r.requeues));
+  {
+    JournalRecord jr;
+    jr.type = JournalRecordType::kRequeued;
+    jr.job = r.id;
+    jr.reason = "revocation";
+    jr.requeues = r.requeues;
+    jr.failures = r.failures;
+    jr.hold_until = r.hold_until_round;
+    journal_append(std::move(jr));
+  }
   obs::log_warn("serve: job %llu lease revoked (%s); re-queued at front "
                 "(requeue %d/%d)",
                 static_cast<unsigned long long>(r.id), why.c_str(),
@@ -488,6 +920,8 @@ JobReport Scheduler::report(JobId id) const {
   rep.quanta = r.quanta;
   rep.preemptions = r.preemptions;
   rep.revocations = r.revocations;
+  rep.requeues = r.requeues;
+  rep.failures = r.failures;
   rep.wait_s =
       r.first_run_wall_s >= 0.0 ? r.first_run_wall_s - r.submit_wall_s : 0.0;
   rep.run_s = r.run_s;

@@ -32,6 +32,18 @@
 // specs, the board-death schedule) — never on wall time — and each job's
 // physics lives in its own JobRuntime, so every job's result is
 // bit-identical to the same spec run standalone.
+//
+// Durability (docs/RELIABILITY.md, "Serving durability"): with
+// ServiceConfig::durability enabled, every lifecycle transition is
+// journaled (serve/journal.hpp) before submit/round returns, jobs are
+// checkpointed at quantum boundaries (fault/checkpoint.hpp, rotating
+// generations), and the restore constructor rebuilds the whole scheduler
+// from a replayed journal — the round clock, dead boards, queue order and
+// per-job physics state all resume where the previous process stopped.
+// Per-job policies ride on the same machinery: deadlines measured in
+// rounds (the logical clock — wall time would break replay), transient-
+// fault retry with exponential virtual-time backoff, and poison-job
+// quarantine with a flight-recorder dump.
 
 #include <cstdint>
 #include <exception>
@@ -39,9 +51,11 @@
 #include <string>
 #include <vector>
 
+#include "fault/checkpoint.hpp"
 #include "serve/admission.hpp"
 #include "serve/job.hpp"
 #include "serve/job_queue.hpp"
+#include "serve/journal.hpp"
 #include "serve/partition.hpp"
 #include "serve/types.hpp"
 #include "util/mutex.hpp"
@@ -53,9 +67,50 @@ class MetricScope;
 
 namespace g6::serve {
 
+/// One job rebuilt from a journal replay (filled by serve/recovery.hpp,
+/// consumed by the Scheduler restore constructor). Live jobs re-enter
+/// the queue in id order — their original submission order — carrying
+/// their policy counters; terminal jobs keep their records (and, for
+/// completed jobs, their final checkpoint, from which the result state
+/// is reconstructed).
+struct RestoredJob {
+  JobSpec spec;
+  JobId id = 0;
+  JobState state = JobState::kQueued;  ///< kQueued = live (was queued OR running)
+  RejectReason reject = RejectReason::kNone;
+  std::string message;
+  int requeues = 0;
+  int failures = 0;
+  std::uint64_t hold_until_round = 0;
+  std::uint64_t submit_round = 0;
+  std::uint64_t quanta = 0;
+  double t_reached = 0.0;
+  unsigned long long steps = 0;
+  unsigned long long blocksteps = 0;
+  double e0 = 0.0;
+  double e_final = 0.0;
+  bool has_checkpoint = false;
+  fault::RunCheckpoint checkpoint;  ///< physics state (live mid-flight + completed)
+  std::string checkpoint_file;
+};
+
+/// Everything a --recover replay reconstructs (serve/recovery.hpp).
+struct RestoredService {
+  ServiceConfig cfg;              ///< from the journal's open record
+  std::vector<RestoredJob> jobs;  ///< id order; ids are 1..jobs.size()
+  std::vector<BoardDeath> fired_deaths;  ///< deaths that already happened
+  std::uint64_t resume_round = 0;
+  std::uint64_t next_seq = 1;     ///< journal continues from here
+  RecoveryInfo info;
+};
+
 class Scheduler {
  public:
   explicit Scheduler(ServiceConfig cfg);
+  /// Crash recovery: rebuild from a replayed journal. Re-opens the
+  /// journal in append mode (continuing the sequence) and logs a
+  /// `recovered` record marking the new process generation.
+  explicit Scheduler(RestoredService restored);
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -71,8 +126,15 @@ class Scheduler {
     draining_ = true;
   }
 
-  /// Run rounds until no job is queued or running.
+  /// Run rounds until no job is queued or running — or until
+  /// cfg.stop_flag is raised, which triggers a graceful drain
+  /// (checkpoint live jobs, journal a drain record, return early).
   void run_until_drained();
+
+  /// Run at most `max_rounds` rounds; returns true while live work
+  /// remains. Lets tests simulate a crash at an exact quantum boundary
+  /// without killing the process.
+  bool run_rounds(std::uint64_t max_rounds);
 
   JobReport report(JobId id) const;
   JobState state(JobId id) const;
@@ -94,6 +156,10 @@ class Scheduler {
     RejectReason reject = RejectReason::kNone;
     std::string message;
     int requeues = 0;  ///< revocation re-queues consumed
+    int failures = 0;  ///< consecutive transient-fault quanta (quarantine)
+    std::uint64_t hold_until_round = 0;  ///< retry backoff release round
+    std::uint64_t submit_round = 0;      ///< deadline epoch (logical clock)
+    std::string checkpoint_file;         ///< last checkpoint path ("" = none)
 
     BoardLease lease;                      ///< valid while kRunning
     std::unique_ptr<JobRuntime> runtime;   ///< live while running/preempted
@@ -130,11 +196,16 @@ class Scheduler {
     double e_final = 0.0;
   };
 
+  /// Shared construction; `open_journal` is false on the restore path,
+  /// which re-opens the journal in append mode itself.
+  Scheduler(ServiceConfig cfg, bool open_journal);
+
   Record& rec(JobId id) G6_REQUIRES(serial_m_);
   const Record& rec(JobId id) const G6_REQUIRES(serial_m_);
 
   bool has_live_work() const G6_REQUIRES(serial_m_);
   void round() G6_REQUIRES(serial_m_);
+  void enforce_deadlines() G6_REQUIRES(serial_m_);
   void apply_board_deaths() G6_REQUIRES(serial_m_);
   /// Dispatch queued jobs into free boards; returns the first job that
   /// stayed blocked for lack of free boards (0 = none).
@@ -152,6 +223,24 @@ class Scheduler {
   void revoke_lease(Record& r, const std::string& why) G6_REQUIRES(serial_m_);
   void release_lease(Record& r) G6_REQUIRES(serial_m_);
   void update_round_gauges() G6_REQUIRES(serial_m_);
+
+  /// Transient fault in a quantum: retry with exponential virtual-time
+  /// backoff, or quarantine after max_job_failures consecutive faults.
+  void retry_or_quarantine(Record& r, const std::string& what)
+      G6_REQUIRES(serial_m_);
+  /// Poison job: isolate it (terminal kQuarantined) and dump the flight
+  /// recorder next to its checkpoints for post-mortem.
+  void quarantine_job(Record& r, std::string message) G6_REQUIRES(serial_m_);
+  /// Persist a job's last quantum-boundary state (rotating generations)
+  /// and journal the checkpoint. No-op without durability or saved state.
+  void checkpoint_job(Record& r) G6_REQUIRES(serial_m_);
+  /// SIGTERM drain: checkpoint every live job, journal a drain record.
+  void graceful_stop() G6_REQUIRES(serial_m_);
+  /// Append to the journal (if enabled), stamping the current round.
+  void journal_append(JournalRecord rec) G6_REQUIRES(serial_m_);
+  /// Requeues-per-job histogram, observed once at each terminal state.
+  void observe_terminal(const Record& r) G6_REQUIRES(serial_m_);
+  std::string checkpoint_path(const std::string& job_name) const;
 
   // The service contract says "one control thread": serial_m_ turns that
   // prose invariant into a compile-time one. Every public entry point
@@ -171,6 +260,8 @@ class Scheduler {
   std::vector<BoardDeath> pending_deaths_ G6_GUARDED_BY(serial_m_);
   std::uint64_t round_index_ G6_GUARDED_BY(serial_m_) = 0;
   bool draining_ G6_GUARDED_BY(serial_m_) = false;
+  /// Write-ahead journal; null when durability is off.
+  std::unique_ptr<Journal> journal_ G6_GUARDED_BY(serial_m_);
   ServiceStats stats_;  ///< read via stats() after drain; folded serially
 };
 

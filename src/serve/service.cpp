@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include "serve/recovery.hpp"
 #include "serve/scheduler.hpp"
 #include "util/check.hpp"
 
@@ -8,6 +9,24 @@ namespace g6::serve {
 GrapeService::GrapeService(ServiceConfig cfg)
     : impl_(std::make_unique<Scheduler>(std::move(cfg))) {
   G6_REQUIRE(impl_ != nullptr);
+}
+
+GrapeService::GrapeService(std::unique_ptr<Scheduler> impl)
+    : impl_(std::move(impl)) {
+  G6_REQUIRE(impl_ != nullptr);
+}
+
+std::unique_ptr<GrapeService> GrapeService::recover(
+    const std::string& journal_path, RecoveryInfo* info,
+    std::atomic<bool>* stop_flag) {
+  RestoredService restored = recover_from_journal(journal_path);
+  restored.cfg.stop_flag = stop_flag;
+  if (info != nullptr) *info = restored.info;
+  auto scheduler = std::make_unique<Scheduler>(std::move(restored));
+  // make_unique cannot reach the private constructor; `new` here is the
+  // factory's own body, which can.
+  return std::unique_ptr<GrapeService>(
+      new GrapeService(std::move(scheduler)));
 }
 
 GrapeService::~GrapeService() = default;

@@ -58,6 +58,19 @@ class GrapeService {
   GrapeService(const GrapeService&) = delete;
   GrapeService& operator=(const GrapeService&) = delete;
 
+  /// Crash recovery: replay the write-ahead journal at `journal_path`
+  /// (written by a service whose config enabled durability), rebuild
+  /// queue/partition/scheduler state, and resume — in-flight jobs from
+  /// their latest valid checkpoint, completed jobs with their results
+  /// reconstructed bit-identically. `info`, when non-null, receives the
+  /// replay summary. `stop_flag`, when non-null, re-arms graceful drain
+  /// (the flag is process state, so it cannot come from the journal).
+  /// Throws serve::JournalError (via the internals) on malformed
+  /// journals.
+  static std::unique_ptr<GrapeService> recover(
+      const std::string& journal_path, RecoveryInfo* info = nullptr,
+      std::atomic<bool>* stop_flag = nullptr);
+
   ServeClient client() { return ServeClient(*this); }
 
   SubmitResult submit(const JobSpec& spec);
@@ -76,6 +89,8 @@ class GrapeService {
   std::size_t healthy_boards() const;
 
  private:
+  explicit GrapeService(std::unique_ptr<Scheduler> impl);
+
   std::unique_ptr<Scheduler> impl_;
 };
 

@@ -28,6 +28,8 @@ const char* job_state_name(JobState s) {
       return "failed";
     case JobState::kRejected:
       return "rejected";
+    case JobState::kQuarantined:
+      return "quarantined";
   }
   return "?";
 }
@@ -44,6 +46,12 @@ const char* reject_reason_name(RejectReason r) {
       return "invalid-spec";
     case RejectReason::kDraining:
       return "draining";
+    case RejectReason::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case RejectReason::kRequeueExhausted:
+      return "requeue-exhausted";
+    case RejectReason::kQuarantined:
+      return "quarantined";
   }
   return "?";
 }

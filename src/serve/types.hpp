@@ -10,6 +10,7 @@
 // BoardPartitioner) are internal and fenced off by the g6lint
 // `serve-isolation` rule.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -36,22 +37,27 @@ inline constexpr std::size_t kPriorityClasses = 2;
 
 const char* priority_name(Priority p);
 
-/// Lifecycle of a job inside the service.
+/// Lifecycle of a job inside the service (full state diagram:
+/// docs/SERVING.md, "Job lifecycle").
 ///
 ///   submit -> kQueued -> kRunning -> kCompleted
 ///                 ^          |
 ///                 +----------+   (cooperative preemption at a blockstep
-///                                 boundary, or lease revocation after a
-///                                 board death)
+///                                 boundary, lease revocation after a
+///                                 board death, or transient-fault retry
+///                                 with virtual-time backoff)
 ///
 /// kRejected jobs never enter the queue; kFailed jobs exhausted their
-/// re-queue budget or hit a non-recoverable error.
+/// re-queue budget, missed their deadline, or hit a non-recoverable
+/// error; kQuarantined jobs failed `max_job_failures` consecutive quanta
+/// (poison jobs) and were isolated so they cannot starve the machine.
 enum class JobState : int {
   kQueued = 0,
   kRunning = 1,
   kCompleted = 2,
   kFailed = 3,
   kRejected = 4,
+  kQuarantined = 5,
 };
 
 const char* job_state_name(JobState s);
@@ -64,6 +70,9 @@ enum class RejectReason : int {
   kBoardsUnavailable = 2, ///< job wants more boards than the machine has healthy
   kInvalidSpec = 3,       ///< malformed job parameters
   kDraining = 4,          ///< service no longer accepts new work
+  kDeadlineExceeded = 5,  ///< job missed its deadline_rounds budget
+  kRequeueExhausted = 6,  ///< lease revocations burned the re-queue budget
+  kQuarantined = 7,       ///< poison job: max_job_failures transient faults
 };
 
 const char* reject_reason_name(RejectReason r);
@@ -80,6 +89,18 @@ struct JobSpec {
   unsigned seed = 1;              ///< IC realization seed
   std::size_t boards = 1;         ///< lease size (emulated processor boards)
   Priority priority = Priority::kBatch;
+
+  /// Deadline in scheduler rounds (the service's logical clock — wall
+  /// time would break replay determinism). 0 = no deadline. A job still
+  /// live when the round counter passes submit_round + deadline_rounds
+  /// fails with kDeadlineExceeded at the next round boundary.
+  std::uint64_t deadline_rounds = 0;
+
+  /// Fault-injection hook for poison-job testing: the job's first
+  /// `chaos_fail_quanta` quanta throw a TransientFault instead of
+  /// integrating. Deterministic (counted per job, survives runtime
+  /// rebuilds) so quarantine tests replay identically. 0 = healthy job.
+  int chaos_fail_quanta = 0;
 };
 
 /// Outcome of ServeClient::submit.
@@ -112,6 +133,8 @@ struct JobReport {
   std::uint64_t quanta = 0;           ///< scheduling quanta executed
   std::uint64_t preemptions = 0;      ///< cooperative lease handoffs
   std::uint64_t revocations = 0;      ///< leases lost to board deaths
+  int requeues = 0;                   ///< re-queues consumed (of max_requeues)
+  int failures = 0;                   ///< transient faults (of max_job_failures)
 
   double wait_s = 0.0;            ///< submit -> first quantum (wall)
   double run_s = 0.0;             ///< wall seconds inside quanta
@@ -144,6 +167,22 @@ struct BoardDeath {
 /// partitioner's.
 std::vector<BoardDeath> board_deaths_from_plan(const fault::FaultPlan& plan);
 
+/// Durability knobs: where the write-ahead journal and per-job
+/// checkpoints live. Both empty = volatile service (exactly the pre-
+/// durability behavior, zero overhead). See docs/RELIABILITY.md,
+/// "Serving durability".
+struct DurabilityConfig {
+  std::string journal_path;    ///< write-ahead journal ("" = no journal)
+  std::string checkpoint_dir;  ///< per-job checkpoint files ("" = none)
+  /// Checkpoint cadence in quanta: every k-th completed quantum of a job
+  /// persists its state (plus always at finish). 0 disables periodic
+  /// checkpoints — recovery then replays affected jobs from scratch,
+  /// which is slower but still bit-identical.
+  std::uint64_t checkpoint_every_quanta = 1;
+
+  bool enabled() const { return !journal_path.empty(); }
+};
+
 /// Service-wide configuration.
 struct ServiceConfig {
   /// Chip microarchitecture and board pool. The pool the partitioner
@@ -157,6 +196,20 @@ struct ServiceConfig {
   int max_requeues = 2;  ///< re-queue budget per job after lease revocations
   std::vector<BoardDeath> board_deaths;  ///< scheduled hardware deaths
 
+  /// Poison-job quarantine threshold: consecutive transient-fault quanta
+  /// before the job is quarantined instead of retried.
+  int max_job_failures = 3;
+  /// First retry backoff in rounds; doubles per consecutive failure
+  /// (virtual-time exponential backoff: 1, 2, 4, ... rounds held).
+  std::uint64_t backoff_base_rounds = 1;
+
+  DurabilityConfig durability;
+
+  /// Graceful-drain flag (SIGTERM): when non-null and set, the scheduler
+  /// finishes the current round, checkpoints every live job, journals a
+  /// drain record, and returns early from run_until_drained.
+  std::atomic<bool>* stop_flag = nullptr;
+
   std::size_t pool_boards() const { return machine.total_boards(); }
 };
 
@@ -168,11 +221,24 @@ struct ServiceStats {
   std::uint64_t rejected = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  std::uint64_t quarantined = 0;
   std::uint64_t preemptions = 0;
   std::uint64_t revocations = 0;
+  std::uint64_t requeues = 0;
   std::size_t boards_dead = 0;
   double makespan_s = 0.0;        ///< wall time inside run_until_drained
   obs::Eq10Accumulator eq10;      ///< merged over completed jobs
+};
+
+/// What a --recover replay reconstructed (client-visible summary; the
+/// heavy lifting is in serve/recovery.hpp, internal).
+struct RecoveryInfo {
+  std::uint64_t journal_records = 0;   ///< complete records replayed
+  bool torn_tail = false;              ///< final line was a torn write
+  std::uint64_t jobs_restored = 0;     ///< live jobs re-entering the queue
+  std::uint64_t jobs_resumed_from_checkpoint = 0;  ///< of those, mid-flight
+  std::uint64_t jobs_already_terminal = 0;  ///< completed/failed before crash
+  std::uint64_t resume_round = 0;      ///< round clock after replay
 };
 
 }  // namespace g6::serve

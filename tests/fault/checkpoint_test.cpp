@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -165,6 +166,126 @@ TEST(Checkpoint, CorruptInputThrowsFaultError) {
     EXPECT_THROW(fault::read_checkpoint(bad), fault::FaultError);
   }
   EXPECT_THROW(fault::load_checkpoint("/nonexistent/run.ckpt"), fault::FaultError);
+}
+
+std::string checkpoint_text(unsigned seed) {
+  const double eps = 1.0 / 64.0;
+  const ParticleSet set = test_system(16, seed);
+  GrapeForceEngine hw(tiny_machine(), NumberFormats{}, eps);
+  HermiteIntegrator integ(set, hw);
+  integ.evolve(0.0625);
+  std::stringstream ss;
+  fault::write_checkpoint(ss, make_checkpoint(integ, hw));
+  return ss.str();
+}
+
+void spit(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::trunc);
+  os << text;
+}
+
+TEST(Checkpoint, ChecksumTrailerIsWrittenAndVerified) {
+  const std::string text = checkpoint_text(7);
+  // trailer: "end\nsum <16 hex digits>\n" over all preceding bytes.
+  const std::size_t marker = text.rfind("end\nsum ");
+  ASSERT_NE(marker, std::string::npos);
+  EXPECT_EQ(text.size(), marker + 4 + 4 + 16 + 1);
+  std::stringstream ok(text);
+  EXPECT_NO_THROW(fault::read_checkpoint(ok));
+}
+
+TEST(Checkpoint, SingleBitFlipIsDetected) {
+  std::string text = checkpoint_text(7);
+  // Flip one bit in the middle of the body — a digit of some particle
+  // coordinate. The FNV-1a trailer must catch it.
+  text[text.size() / 2] ^= 0x01;
+  std::stringstream bad(text);
+  try {
+    fault::read_checkpoint(bad);
+    FAIL() << "bit flip went undetected";
+  } catch (const fault::FaultError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(Checkpoint, MissingTrailerIsRejected) {
+  const std::string text = checkpoint_text(7);
+  const std::size_t marker = text.rfind("end\nsum ");
+  ASSERT_NE(marker, std::string::npos);
+  // A pre-trailer (legacy) file ends at "end\n" — refuse rather than
+  // trust unverifiable bytes.
+  std::stringstream bad(text.substr(0, marker + 4));
+  EXPECT_THROW(fault::read_checkpoint(bad), fault::FaultError);
+}
+
+TEST(Checkpoint, TruncatedTrailerIsRejected) {
+  const std::string text = checkpoint_text(7);
+  std::stringstream bad(text.substr(0, text.size() - 5));
+  EXPECT_THROW(fault::read_checkpoint(bad), fault::FaultError);
+}
+
+TEST(Checkpoint, RotatingSaveKeepsPreviousGeneration) {
+  const auto dir = std::filesystem::temp_directory_path() / "g6_ckpt_rotate";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "job.ckpt").string();
+
+  const double eps = 1.0 / 64.0;
+  const ParticleSet set = test_system(16, 11);
+  GrapeForceEngine hw(tiny_machine(), NumberFormats{}, eps);
+  HermiteIntegrator integ(set, hw);
+  integ.evolve(0.0625);
+  fault::RunCheckpoint cp = make_checkpoint(integ, hw);
+  cp.snap_id = 1;
+  fault::save_checkpoint_rotating(path, cp);
+  EXPECT_FALSE(std::filesystem::exists(path + ".prev"));
+  cp.snap_id = 2;
+  fault::save_checkpoint_rotating(path, cp);
+  ASSERT_TRUE(std::filesystem::exists(path + ".prev"));
+
+  EXPECT_EQ(fault::load_checkpoint(path).snap_id, 2u);
+  EXPECT_EQ(fault::load_checkpoint(path + ".prev").snap_id, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, ResilientLoadFallsBackToPreviousGeneration) {
+  const auto dir = std::filesystem::temp_directory_path() / "g6_ckpt_resilient";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "job.ckpt").string();
+
+  const double eps = 1.0 / 64.0;
+  const ParticleSet set = test_system(16, 13);
+  GrapeForceEngine hw(tiny_machine(), NumberFormats{}, eps);
+  HermiteIntegrator integ(set, hw);
+  integ.evolve(0.0625);
+  fault::RunCheckpoint cp = make_checkpoint(integ, hw);
+  cp.snap_id = 1;
+  fault::save_checkpoint_rotating(path, cp);
+  cp.snap_id = 2;
+  fault::save_checkpoint_rotating(path, cp);
+
+  // Corrupt the current generation: injected bit flip mid-file.
+  {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    text[text.size() / 2] ^= 0x01;
+    spit(path, text);
+  }
+  bool used_prev = false;
+  const fault::RunCheckpoint rt =
+      fault::load_checkpoint_resilient(path, &used_prev);
+  EXPECT_TRUE(used_prev);
+  EXPECT_EQ(rt.snap_id, 1u);
+
+  // Both generations corrupt -> FaultError (and truncation, not just
+  // bit flips, is detected).
+  spit(path + ".prev", "grape6-checkpoint-v1\ntruncated");
+  spit(path, "");
+  EXPECT_THROW(fault::load_checkpoint_resilient(path), fault::FaultError);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,216 @@
+// Per-job serving policies: deadlines on the logical round clock,
+// transient-fault retry with exponential virtual-time backoff, and
+// poison-job quarantine. The containment property throughout: a policy
+// firing on one job must never perturb its neighbors' physics.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "grape/engine.hpp"
+#include "hermite/integrator.hpp"
+#include "serve/job.hpp"
+#include "serve/manifest.hpp"
+#include "serve/scheduler.hpp"
+
+namespace g6::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+MachineConfig tiny_machine(std::size_t boards) {
+  MachineConfig mc;
+  mc.boards_per_host = boards;
+  mc.hosts_per_cluster = 1;
+  mc.clusters = 1;
+  return mc;
+}
+
+JobSpec small_job(const std::string& name, unsigned seed,
+                  std::size_t boards = 1) {
+  JobSpec s;
+  s.name = name;
+  s.model = "plummer";
+  s.n = 48;
+  s.t_end = 0.0625;
+  s.seed = seed;
+  s.boards = boards;
+  return s;
+}
+
+ParticleSet run_standalone(const JobSpec& spec, const MachineConfig& machine) {
+  MachineConfig mc = machine;
+  mc.boards_per_host = spec.boards;
+  GrapeForceEngine engine(mc, NumberFormats{}, spec.eps);
+  HermiteConfig hc;
+  hc.eta = spec.eta;
+  HermiteIntegrator integ(build_model(spec), engine, hc);
+  integ.evolve(spec.t_end);
+  return integ.state_at_current_time();
+}
+
+void expect_bit_identical(const ParticleSet& a, const ParticleSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int k = 0; k < 3; ++k) {
+      ASSERT_EQ(a[i].pos[k], b[i].pos[k]) << "pos, particle " << i;
+      ASSERT_EQ(a[i].vel[k], b[i].vel[k]) << "vel, particle " << i;
+    }
+  }
+}
+
+TEST(ServePolicy, DeadlineExceededFailsJobWithDistinctReason) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(1);
+  cfg.quantum_blocksteps = 1;  // many rounds per job
+  Scheduler sched(cfg);
+
+  JobSpec doomed = small_job("doomed", 9);
+  doomed.deadline_rounds = 2;  // cannot possibly finish in 2 rounds
+  const SubmitResult r = sched.submit(doomed);
+  ASSERT_TRUE(r.accepted);
+  sched.run_until_drained();
+
+  ASSERT_EQ(sched.state(r.id), JobState::kFailed);
+  const JobReport rep = sched.report(r.id);
+  EXPECT_EQ(rep.reject_reason, RejectReason::kDeadlineExceeded);
+  EXPECT_NE(rep.message.find("deadline"), std::string::npos);
+  EXPECT_LE(sched.stats().rounds, 4u);  // enforced promptly, not at t_end
+}
+
+TEST(ServePolicy, DeadlineFiringLeavesNeighborsBitIdentical) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(2);
+  cfg.quantum_blocksteps = 2;
+  Scheduler sched(cfg);
+
+  const JobSpec healthy = small_job("healthy", 11);
+  JobSpec doomed = small_job("doomed", 12);
+  doomed.deadline_rounds = 1;
+  const SubmitResult rh = sched.submit(healthy);
+  const SubmitResult rd = sched.submit(doomed);
+  ASSERT_TRUE(rh.accepted);
+  ASSERT_TRUE(rd.accepted);
+  sched.run_until_drained();
+
+  EXPECT_EQ(sched.state(rd.id), JobState::kFailed);
+  ASSERT_EQ(sched.state(rh.id), JobState::kCompleted);
+  double t = 0.0;
+  expect_bit_identical(sched.final_state(rh.id, &t),
+                       run_standalone(healthy, cfg.machine));
+}
+
+TEST(ServePolicy, TransientFaultsRetryWithBackoffAndStillComplete) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(1);
+  cfg.quantum_blocksteps = 4;
+  cfg.max_job_failures = 3;
+  cfg.backoff_base_rounds = 1;
+  Scheduler sched(cfg);
+
+  JobSpec flaky = small_job("flaky", 13);
+  flaky.chaos_fail_quanta = 2;  // first two quanta throw TransientFault
+  const SubmitResult r = sched.submit(flaky);
+  ASSERT_TRUE(r.accepted);
+  sched.run_until_drained();
+
+  // Two faults (< max_job_failures) then clean: the job must complete,
+  // and the retries must not have touched its physics.
+  ASSERT_EQ(sched.state(r.id), JobState::kCompleted);
+  const JobReport rep = sched.report(r.id);
+  EXPECT_EQ(rep.failures, 0);  // consecutive count reset by clean quanta
+  double t = 0.0;
+  expect_bit_identical(sched.final_state(r.id, &t),
+                       run_standalone(flaky, cfg.machine));
+  // Backoff is on the round clock: 2 faulted rounds + 1 + 2 rounds of
+  // hold mean strictly more rounds than the fault-free run needed.
+  EXPECT_EQ(sched.stats().quarantined, 0u);
+}
+
+TEST(ServePolicy, BackoffDelaysRedispatchExponentially) {
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(1);
+  cfg.quantum_blocksteps = 4;
+  cfg.max_job_failures = 5;
+  cfg.backoff_base_rounds = 2;
+  Scheduler sched(cfg);
+
+  JobSpec flaky = small_job("flaky", 14);
+  flaky.chaos_fail_quanta = 2;
+  ASSERT_TRUE(sched.submit(flaky).accepted);
+
+  JobSpec control = small_job("control", 14);
+  ServiceConfig cfg2 = cfg;
+  Scheduler control_sched(cfg2);
+  ASSERT_TRUE(control_sched.submit(control).accepted);
+
+  sched.run_until_drained();
+  control_sched.run_until_drained();
+  // Two faults with base 2: holds of 2 and 4 rounds, plus the two burned
+  // fault rounds — at least 8 extra rounds over the control run.
+  EXPECT_GE(sched.stats().rounds, control_sched.stats().rounds + 8);
+}
+
+TEST(ServePolicy, PoisonJobIsQuarantinedWithFlightDump) {
+  const fs::path dir = fs::temp_directory_path() / "g6_policy_quarantine";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "ckpts");
+
+  ServiceConfig cfg;
+  cfg.machine = tiny_machine(2);
+  cfg.quantum_blocksteps = 4;
+  cfg.max_job_failures = 3;
+  cfg.durability.journal_path = (dir / "serve.wal").string();
+  cfg.durability.checkpoint_dir = (dir / "ckpts").string();
+  Scheduler sched(cfg);
+
+  JobSpec poison = small_job("poison", 15);
+  poison.chaos_fail_quanta = 100;  // never stops faulting
+  const JobSpec healthy = small_job("healthy", 16);
+  const SubmitResult rp = sched.submit(poison);
+  const SubmitResult rh = sched.submit(healthy);
+  ASSERT_TRUE(rp.accepted);
+  ASSERT_TRUE(rh.accepted);
+  sched.run_until_drained();
+
+  // Quarantine is its own terminal state with its own reason — distinct
+  // from kFailed — and carries a flight-recorder dump for post-mortem.
+  ASSERT_EQ(sched.state(rp.id), JobState::kQuarantined);
+  const JobReport rep = sched.report(rp.id);
+  EXPECT_EQ(rep.reject_reason, RejectReason::kQuarantined);
+  EXPECT_EQ(rep.failures, cfg.max_job_failures);
+  EXPECT_NE(rep.message.find("poison"), std::string::npos);
+  EXPECT_EQ(sched.stats().quarantined, 1u);
+  EXPECT_EQ(sched.stats().failed, 0u);
+  EXPECT_TRUE(fs::exists(dir / "ckpts" / "poison.quarantine.flight.json"));
+
+  // Containment: the neighbor's physics is untouched by the three
+  // faulted quanta and the quarantine next door.
+  ASSERT_EQ(sched.state(rh.id), JobState::kCompleted);
+  double t = 0.0;
+  expect_bit_identical(sched.final_state(rh.id, &t),
+                       run_standalone(healthy, cfg.machine));
+  fs::remove_all(dir);
+}
+
+TEST(ServePolicy, ManifestCarriesPolicyKnobs) {
+  // The new spec/service keys round-trip through the manifest parser.
+  const std::string text = R"({
+    "schema": "grape6-serve-manifest-v1",
+    "service": {"max_job_failures": 4, "backoff_base_rounds": 3},
+    "jobs": [
+      {"name": "j", "n": 64, "deadline_rounds": 50, "chaos_fail_quanta": 1}
+    ]
+  })";
+  const Manifest m = parse_manifest(text);
+  EXPECT_EQ(m.service.max_job_failures, 4);
+  EXPECT_EQ(m.service.backoff_base_rounds, 3u);
+  ASSERT_EQ(m.jobs.size(), 1u);
+  EXPECT_EQ(m.jobs[0].deadline_rounds, 50u);
+  EXPECT_EQ(m.jobs[0].chaos_fail_quanta, 1);
+}
+
+}  // namespace
+}  // namespace g6::serve

@@ -1,0 +1,342 @@
+// Crash recovery: the journal + checkpoint machinery must make a killed
+// service resumable with NOTHING lost — every job reaches exactly one
+// terminal state, and every completed job's final particle state is
+// bit-identical to the run that was never interrupted. run_rounds(k)
+// simulates the crash at an exact round boundary in-process (the
+// kill -9 variant lives in scripts/serve_recovery_check.py); abandoning
+// the Scheduler without drain() mimics the dead process, because the
+// journal is fsync'd ahead of every transition.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/journal.hpp"
+#include "serve/recovery.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/service.hpp"
+
+namespace g6::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+MachineConfig tiny_machine(std::size_t boards) {
+  MachineConfig mc;
+  mc.boards_per_host = boards;
+  mc.hosts_per_cluster = 1;
+  mc.clusters = 1;
+  return mc;
+}
+
+JobSpec small_job(const std::string& name, unsigned seed,
+                  std::size_t boards = 1) {
+  JobSpec s;
+  s.name = name;
+  s.model = "plummer";
+  s.n = 48;
+  s.t_end = 0.0625;
+  s.seed = seed;
+  s.boards = boards;
+  return s;
+}
+
+void expect_bit_identical(const ParticleSet& a, const ParticleSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int k = 0; k < 3; ++k) {
+      ASSERT_EQ(a[i].pos[k], b[i].pos[k]) << "pos, particle " << i;
+      ASSERT_EQ(a[i].vel[k], b[i].vel[k]) << "vel, particle " << i;
+    }
+    ASSERT_EQ(a[i].mass, b[i].mass) << "mass, particle " << i;
+  }
+}
+
+class ServeRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "g6_serve_recovery_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_ / "ckpts");
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  ServiceConfig durable_config(std::size_t boards = 2) {
+    ServiceConfig cfg;
+    cfg.machine = tiny_machine(boards);
+    cfg.quantum_blocksteps = 4;  // several quanta per job
+    cfg.durability.journal_path = (dir_ / "serve.wal").string();
+    cfg.durability.checkpoint_dir = (dir_ / "ckpts").string();
+    cfg.durability.checkpoint_every_quanta = 1;
+    return cfg;
+  }
+
+  /// The same jobs through a NON-durable scheduler, never interrupted:
+  /// the reference trajectory recovery must land on bit for bit.
+  std::vector<ParticleSet> reference_run(const std::vector<JobSpec>& jobs,
+                                         ServiceConfig cfg) {
+    cfg.durability = DurabilityConfig{};
+    Scheduler ref(cfg);
+    std::vector<JobId> ids;
+    for (const JobSpec& s : jobs) {
+      const SubmitResult r = ref.submit(s);
+      EXPECT_TRUE(r.accepted) << s.name;
+      ids.push_back(r.id);
+    }
+    ref.run_until_drained();
+    std::vector<ParticleSet> out;
+    for (const JobId id : ids) {
+      EXPECT_EQ(ref.state(id), JobState::kCompleted);
+      double t = 0.0;
+      out.push_back(ref.final_state(id, &t));
+    }
+    return out;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ServeRecoveryTest, CrashMidFlightRecoversBitIdentically) {
+  const std::vector<JobSpec> jobs = {small_job("a", 11), small_job("b", 22),
+                                     small_job("c", 33, 2)};
+  const ServiceConfig cfg = durable_config();
+  const std::vector<ParticleSet> want = reference_run(jobs, cfg);
+
+  {
+    Scheduler sched(cfg);
+    for (const JobSpec& s : jobs) ASSERT_TRUE(sched.submit(s).accepted);
+    // "Crash" two rounds in: jobs are mid-flight, checkpoints and the
+    // journal are on disk, and the Scheduler is abandoned un-drained.
+    ASSERT_TRUE(sched.run_rounds(2)) << "crash point must be mid-flight";
+  }
+
+  RecoveryInfo info;
+  auto service =
+      GrapeService::recover(cfg.durability.journal_path, &info);
+  EXPECT_GT(info.journal_records, 3u);
+  EXPECT_FALSE(info.torn_tail);
+  EXPECT_EQ(info.jobs_restored + info.jobs_already_terminal, 3u);
+  service->run_until_drained();
+
+  const std::vector<JobId> ids = service->jobs();
+  ASSERT_EQ(ids.size(), 3u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(service->state(ids[i]), JobState::kCompleted) << jobs[i].name;
+    double t = 0.0;
+    expect_bit_identical(service->final_state(ids[i], &t), want[i]);
+  }
+  // Exactly-once terminal accounting across the crash.
+  EXPECT_EQ(service->stats().completed, 3u);
+  EXPECT_EQ(service->stats().failed, 0u);
+  EXPECT_EQ(service->stats().submitted, 3u);
+}
+
+TEST_F(ServeRecoveryTest, EveryCrashPointRecoversBitIdentically) {
+  // Sweep the crash over every round boundary until the natural end of
+  // the run: recovery must be a no-op detour at each of them.
+  const std::vector<JobSpec> jobs = {small_job("x", 5), small_job("y", 6)};
+  const ServiceConfig cfg = durable_config();
+  const std::vector<ParticleSet> want = reference_run(jobs, cfg);
+
+  for (std::uint64_t crash_after = 1;; ++crash_after) {
+    bool live = false;
+    {
+      Scheduler sched(cfg);
+      for (const JobSpec& s : jobs) ASSERT_TRUE(sched.submit(s).accepted);
+      live = sched.run_rounds(crash_after);
+    }
+    RestoredService restored =
+        recover_from_journal(cfg.durability.journal_path);
+    Scheduler resumed(std::move(restored));
+    resumed.run_until_drained();
+    const std::vector<JobId> ids = resumed.all_jobs();
+    ASSERT_EQ(ids.size(), 2u);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_EQ(resumed.state(ids[i]), JobState::kCompleted)
+          << "crash_after=" << crash_after;
+      double t = 0.0;
+      expect_bit_identical(resumed.final_state(ids[i], &t), want[i]);
+    }
+    if (!live) break;  // the "crash" landed after the run finished
+  }
+}
+
+TEST_F(ServeRecoveryTest, FiredBoardDeathIsNotReplayed) {
+  // Board 0 dies at round 1; the crash happens after. Recovery must
+  // remember the death (the board stays dead, the death never re-fires)
+  // and still finish every job bit-identically.
+  const std::vector<JobSpec> jobs = {small_job("d1", 7), small_job("d2", 8)};
+  ServiceConfig cfg = durable_config(3);
+  cfg.board_deaths.push_back({1, 0});
+  const std::vector<ParticleSet> want = reference_run(jobs, cfg);
+
+  {
+    Scheduler sched(cfg);
+    for (const JobSpec& s : jobs) ASSERT_TRUE(sched.submit(s).accepted);
+    ASSERT_TRUE(sched.run_rounds(2));  // death at round 1 has fired
+  }
+  RestoredService restored =
+      recover_from_journal(cfg.durability.journal_path);
+  ASSERT_EQ(restored.fired_deaths.size(), 1u);
+  EXPECT_EQ(restored.fired_deaths[0].board, 0u);
+  Scheduler resumed(std::move(restored));
+  EXPECT_EQ(resumed.healthy_boards(), 2u);
+  resumed.run_until_drained();
+  EXPECT_EQ(resumed.stats().boards_dead, 1u);
+
+  const std::vector<JobId> ids = resumed.all_jobs();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(resumed.state(ids[i]), JobState::kCompleted);
+    double t = 0.0;
+    expect_bit_identical(resumed.final_state(ids[i], &t), want[i]);
+  }
+}
+
+TEST_F(ServeRecoveryTest, RecoveryAfterCompletionReconstructsResults) {
+  // Crash after the run finished: everything is terminal in the journal.
+  // Completed results must still be reconstructable (from the final
+  // checkpoints) so snapshots can be re-written byte-identically.
+  const std::vector<JobSpec> jobs = {small_job("done", 17)};
+  const ServiceConfig cfg = durable_config();
+  const std::vector<ParticleSet> want = reference_run(jobs, cfg);
+
+  {
+    Scheduler sched(cfg);
+    ASSERT_TRUE(sched.submit(jobs[0]).accepted);
+    sched.run_until_drained();
+  }
+  RecoveryInfo info;
+  auto service = GrapeService::recover(cfg.durability.journal_path, &info);
+  EXPECT_EQ(info.jobs_restored, 0u);
+  EXPECT_EQ(info.jobs_already_terminal, 1u);
+  service->run_until_drained();  // nothing to do; must be a no-op
+  const std::vector<JobId> ids = service->jobs();
+  ASSERT_EQ(ids.size(), 1u);
+  ASSERT_EQ(service->state(ids[0]), JobState::kCompleted);
+  double t = 0.0;
+  expect_bit_identical(service->final_state(ids[0], &t), want[0]);
+  EXPECT_EQ(service->stats().completed, 1u);  // exactly once, not twice
+}
+
+TEST_F(ServeRecoveryTest, TornTailIsDroppedAndRecoveryProceeds) {
+  const ServiceConfig cfg = durable_config();
+  {
+    Scheduler sched(cfg);
+    ASSERT_TRUE(sched.submit(small_job("torn", 3)).accepted);
+    sched.run_rounds(1);
+  }
+  {  // kill -9 mid-append: an unterminated fragment after valid records
+    std::ofstream os(cfg.durability.journal_path,
+                     std::ios::app | std::ios::binary);
+    os << "{\"seq\":99,\"type\":\"quan";
+  }
+  RecoveryInfo info;
+  auto service = GrapeService::recover(cfg.durability.journal_path, &info);
+  EXPECT_TRUE(info.torn_tail);
+  service->run_until_drained();
+  EXPECT_EQ(service->stats().completed, 1u);
+}
+
+TEST_F(ServeRecoveryTest, MalformedJournalIsRejected) {
+  const ServiceConfig cfg = durable_config();
+  {
+    Scheduler sched(cfg);
+    ASSERT_TRUE(sched.submit(small_job("ok", 4)).accepted);
+    sched.run_rounds(1);
+  }
+  {  // a COMPLETE malformed line is corruption, not a torn tail
+    std::ofstream os(cfg.durability.journal_path,
+                     std::ios::app | std::ios::binary);
+    os << "{\"seq\":99,\"type\":\"quantum\",\"bogus\":true}\n";
+  }
+  EXPECT_THROW(GrapeService::recover(cfg.durability.journal_path),
+               JournalError);
+}
+
+TEST_F(ServeRecoveryTest, CheckpointTagMismatchIsRejected) {
+  // A checkpoint whose run_tag does not match the journaled spec must be
+  // refused for completed jobs (their results cannot be rebuilt any
+  // other way) rather than silently resuming a different run.
+  const ServiceConfig cfg = durable_config();
+  {
+    Scheduler sched(cfg);
+    ASSERT_TRUE(sched.submit(small_job("tagged", 21)).accepted);
+    sched.run_until_drained();
+    ASSERT_EQ(sched.state(1), JobState::kCompleted);
+  }
+  // Overwrite the job's checkpoint (both generations) with one from a
+  // DIFFERENT spec.
+  const ServiceConfig cfg2 = [&] {
+    ServiceConfig c = durable_config();
+    c.durability.journal_path = (dir_ / "other.wal").string();
+    return c;
+  }();
+  {
+    Scheduler other(cfg2);
+    ASSERT_TRUE(other.submit(small_job("impostor", 99)).accepted);
+    other.run_until_drained();
+  }
+  fs::copy_file(dir_ / "ckpts" / "impostor.ckpt",
+                dir_ / "ckpts" / "tagged.ckpt",
+                fs::copy_options::overwrite_existing);
+  fs::remove(dir_ / "ckpts" / "tagged.ckpt.prev");
+  EXPECT_THROW(GrapeService::recover(cfg.durability.journal_path),
+               JournalError);
+}
+
+TEST_F(ServeRecoveryTest, LiveJobWithLostCheckpointRerunsFromScratch) {
+  // For a LIVE job a corrupt checkpoint is not fatal: recovery warns and
+  // re-runs from scratch — slower, still bit-identical.
+  const std::vector<JobSpec> jobs = {small_job("lost", 31)};
+  const ServiceConfig cfg = durable_config();
+  const std::vector<ParticleSet> want = reference_run(jobs, cfg);
+  {
+    Scheduler sched(cfg);
+    ASSERT_TRUE(sched.submit(jobs[0]).accepted);
+    ASSERT_TRUE(sched.run_rounds(2));
+  }
+  {  // corrupt both generations of its checkpoint
+    std::ofstream os(dir_ / "ckpts" / "lost.ckpt", std::ios::trunc);
+    os << "garbage";
+  }
+  fs::remove(dir_ / "ckpts" / "lost.ckpt.prev");
+  RecoveryInfo info;
+  auto service = GrapeService::recover(cfg.durability.journal_path, &info);
+  EXPECT_EQ(info.jobs_restored, 1u);
+  EXPECT_EQ(info.jobs_resumed_from_checkpoint, 0u);
+  service->run_until_drained();
+  ASSERT_EQ(service->state(service->jobs()[0]), JobState::kCompleted);
+  double t = 0.0;
+  expect_bit_identical(service->final_state(service->jobs()[0], &t),
+                       want[0]);
+}
+
+TEST_F(ServeRecoveryTest, SigtermDrainCheckpointsAndResumes) {
+  const std::vector<JobSpec> jobs = {small_job("s1", 41), small_job("s2", 42)};
+  ServiceConfig cfg = durable_config();
+  const std::vector<ParticleSet> want = reference_run(jobs, cfg);
+
+  std::atomic<bool> stop{true};  // raised before the first round: instant drain
+  cfg.stop_flag = &stop;
+  {
+    Scheduler sched(cfg);
+    for (const JobSpec& s : jobs) ASSERT_TRUE(sched.submit(s).accepted);
+    sched.run_until_drained();  // returns early: graceful stop
+    EXPECT_EQ(sched.stats().completed, 0u);
+  }
+  auto service = GrapeService::recover(cfg.durability.journal_path);
+  service->run_until_drained();
+  const std::vector<JobId> ids = service->jobs();
+  ASSERT_EQ(ids.size(), 2u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(service->state(ids[i]), JobState::kCompleted);
+    double t = 0.0;
+    expect_bit_identical(service->final_state(ids[i], &t), want[i]);
+  }
+}
+
+}  // namespace
+}  // namespace g6::serve

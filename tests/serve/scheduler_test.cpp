@@ -183,8 +183,13 @@ TEST(ServeScheduler, RequeueBudgetExhaustionFailsTheJob) {
   ASSERT_EQ(sched.state(ra.id), JobState::kFailed);
   const JobReport rep = sched.report(ra.id);
   EXPECT_EQ(rep.revocations, 2u);
+  // Distinct from kBoardsUnavailable: the machine still has boards; the
+  // job burned its re-queue budget (grape6-serve-report-v1 field).
+  EXPECT_EQ(rep.reject_reason, RejectReason::kRequeueExhausted);
   EXPECT_NE(rep.message.find("re-queue budget exhausted"), std::string::npos);
+  EXPECT_EQ(rep.requeues, 1);
   EXPECT_EQ(sched.stats().failed, 1u);
+  EXPECT_EQ(sched.stats().requeues, 1u);
 }
 
 TEST(ServeScheduler, MachineDegradedBelowRequestFailsQueuedJob) {

@@ -24,6 +24,12 @@ TEST(ServeTypes, NamesAreStable) {
   EXPECT_STREQ(reject_reason_name(RejectReason::kInvalidSpec),
                "invalid-spec");
   EXPECT_STREQ(reject_reason_name(RejectReason::kDraining), "draining");
+  EXPECT_STREQ(job_state_name(JobState::kQuarantined), "quarantined");
+  EXPECT_STREQ(reject_reason_name(RejectReason::kDeadlineExceeded),
+               "deadline-exceeded");
+  EXPECT_STREQ(reject_reason_name(RejectReason::kRequeueExhausted),
+               "requeue-exhausted");
+  EXPECT_STREQ(reject_reason_name(RejectReason::kQuarantined), "quarantined");
 }
 
 TEST(ServeTypes, EnergyErrorIsRelativeDrift) {

@@ -76,5 +76,77 @@ TEST_F(FileIoTest, IoErrorIsARuntimeError) {
   EXPECT_THROW(throw IoError("disk on fire"), std::runtime_error);
 }
 
+TEST_F(FileIoTest, DurableVariantWritesCompleteContent) {
+  const std::string p = path("durable.txt");
+  write_file_atomic_durable(p, [](std::ostream& os) { os << "fsync me\n"; });
+  EXPECT_EQ(slurp(p), "fsync me\n");
+  EXPECT_FALSE(fs::exists(p + ".tmp"));
+}
+
+TEST_F(FileIoTest, DurableVariantReplacesAndFailsCleanly) {
+  const std::string p = path("durable.txt");
+  write_file_atomic_durable(p, [](std::ostream& os) { os << "v1"; });
+  write_file_atomic_durable(p, [](std::ostream& os) { os << "v2"; });
+  EXPECT_EQ(slurp(p), "v2");
+  EXPECT_THROW(
+      write_file_atomic_durable((dir_ / "missing" / "x").string(),
+                                [](std::ostream& os) { os << "x"; }),
+      IoError);
+}
+
+TEST_F(FileIoTest, AppendLogAppendsOneLinePerRecord) {
+  const std::string p = path("log.wal");
+  {
+    AppendLog log(p, /*truncate=*/true);
+    log.append("first");
+    log.append("second");
+  }
+  EXPECT_EQ(slurp(p), "first\nsecond\n");
+}
+
+TEST_F(FileIoTest, AppendLogReopenWithoutTruncateContinues) {
+  const std::string p = path("log.wal");
+  {
+    AppendLog log(p, /*truncate=*/true);
+    log.append("one");
+  }
+  {
+    AppendLog log(p, /*truncate=*/false);
+    log.append("two");
+  }
+  EXPECT_EQ(slurp(p), "one\ntwo\n");
+}
+
+TEST_F(FileIoTest, AppendLogTruncateStartsFresh) {
+  const std::string p = path("log.wal");
+  { AppendLog log(p, /*truncate=*/true); }
+  {
+    AppendLog log2(p, /*truncate=*/true);
+    log2.append("only");
+  }
+  EXPECT_EQ(slurp(p), "only\n");
+}
+
+TEST_F(FileIoTest, AppendLogRejectsEmbeddedNewline) {
+  AppendLog log(path("log.wal"), /*truncate=*/true);
+  EXPECT_THROW(log.append("two\nlines"), std::exception);
+}
+
+TEST_F(FileIoTest, AppendLogMoveTransfersOwnership) {
+  const std::string p = path("log.wal");
+  AppendLog a(p, /*truncate=*/true);
+  AppendLog b(std::move(a));
+  EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move) move contract under test
+  EXPECT_TRUE(b.is_open());
+  b.append("via b");
+  b.close();
+  EXPECT_EQ(slurp(p), "via b\n");
+}
+
+TEST_F(FileIoTest, AppendLogMissingDirectoryThrows) {
+  EXPECT_THROW(AppendLog((dir_ / "missing" / "log.wal").string(), true),
+               IoError);
+}
+
 }  // namespace
 }  // namespace g6

@@ -8,6 +8,23 @@
 //   grape6_serve --manifest=jobs.json --out=serve
 //                --report-out=serve_report.json
 //
+// Durable mode (docs/RELIABILITY.md "Serving durability"):
+//
+//   grape6_serve --manifest=jobs.json --journal=serve.wal
+//                --checkpoint-dir=ckpts --checkpoint-every=1
+//
+// records every job lifecycle transition in an fsync'd write-ahead
+// journal and checkpoints running jobs at quantum boundaries. After a
+// crash (kill -9 included),
+//
+//   grape6_serve --recover=serve.wal --out=serve
+//
+// replays the journal, resumes in-flight jobs from their latest valid
+// checkpoint and finishes the run — final snapshots are bit-identical
+// to an uninterrupted run. SIGTERM triggers a graceful drain: running
+// jobs are checkpointed, a `drained` record is journaled, and the
+// process exits cleanly (resume later with --recover).
+//
 // Outputs:
 //   <out>_<job>.snap       final snapshot of each completed job; the
 //                          serve_identity ctest cmp's these against
@@ -27,23 +44,28 @@
 // mapped onto scheduler rounds — either way a death under a lease means
 // revocation and re-queue, not process death.
 //
-// Exit codes: 0 = every job completed; 3 = some jobs failed or were
-// rejected (their reports say why); 1 = driver error (bad manifest etc.).
+// Exit codes: 0 = every job completed; 3 = some jobs failed, were
+// quarantined or rejected (their reports say why); 1 = driver error
+// (bad manifest, malformed journal, etc.).
 
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
-#include <fstream>
+#include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/grape6.hpp"
 #include "obs/json.hpp"
+#include "util/fileio.hpp"
 
 namespace {
 
 using namespace g6;
 
-void write_eq10(std::ofstream& os, const obs::Eq10Accumulator& eq) {
+void write_eq10(std::ostream& os, const obs::Eq10Accumulator& eq) {
   os << "{\"host_s\":" << eq.host_s << ",\"dma_s\":" << eq.dma_s
      << ",\"net_s\":" << eq.net_s << ",\"grape_s\":" << eq.grape_s
      << ",\"total_s\":" << eq.total_s << ",\"steps\":" << eq.steps
@@ -53,8 +75,7 @@ void write_eq10(std::ofstream& os, const obs::Eq10Accumulator& eq) {
 void write_report(const std::string& path, const serve::GrapeService& service,
                   const std::vector<std::pair<serve::JobId, std::string>>&
                       snapshots) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot write report: " + path);
+  std::ostringstream os;
   os.precision(17);
 
   const serve::ServiceStats& st = service.stats();
@@ -64,8 +85,10 @@ void write_report(const std::string& path, const serve::GrapeService& service,
      << ", \"rounds\": " << st.rounds << ", \"submitted\": " << st.submitted
      << ", \"rejected\": " << st.rejected
      << ", \"completed\": " << st.completed << ", \"failed\": " << st.failed
+     << ", \"quarantined\": " << st.quarantined
      << ", \"preemptions\": " << st.preemptions
      << ", \"revocations\": " << st.revocations
+     << ", \"requeues\": " << st.requeues
      << ", \"boards_dead\": " << st.boards_dead
      << ", \"makespan_s\": " << st.makespan_s << ", \"eq10\": ";
   write_eq10(os, st.eq10);
@@ -90,6 +113,8 @@ void write_report(const std::string& path, const serve::GrapeService& service,
        << ", \"quanta\": " << r.quanta
        << ", \"preemptions\": " << r.preemptions
        << ", \"revocations\": " << r.revocations
+       << ", \"requeues\": " << r.requeues
+       << ", \"failures\": " << r.failures
        << ",\n     \"wait_s\": " << r.wait_s << ", \"run_s\": " << r.run_s
        << ", \"grape_virtual_s\": " << r.grape_virtual_s
        << ", \"e0\": " << r.e0 << ", \"e_final\": " << r.e_final
@@ -100,21 +125,22 @@ void write_report(const std::string& path, const serve::GrapeService& service,
     os << "}" << (i + 1 < ids.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
+  const std::string body = os.str();
+  write_file_atomic(path, [&body](std::ostream& f) { f << body; });
 }
 
 void print_job_table(const serve::GrapeService& service) {
-  std::printf("\n%-4s %-14s %-12s %-10s %6s %7s %7s %6s %6s %9s\n", "id",
-              "name", "priority", "state", "n", "boards", "quanta", "pre",
-              "rev", "dE/E");
+  std::printf("\n%-4s %-14s %-12s %-12s %6s %7s %7s %6s %6s %9s\n", "id",
+              "name", "priority", "state", "n", "boards", "quanta", "rev",
+              "fail", "dE/E");
   for (serve::JobId id : service.jobs()) {
     const serve::JobReport r = service.report(id);
-    std::printf("%-4llu %-14s %-12s %-10s %6zu %7zu %7llu %6llu %6llu %9.2e\n",
+    std::printf("%-4llu %-14s %-12s %-12s %6zu %7zu %7llu %6llu %6d %9.2e\n",
                 static_cast<unsigned long long>(r.id), r.name.c_str(),
                 serve::priority_name(r.priority),
                 serve::job_state_name(r.state), r.n, r.boards,
                 static_cast<unsigned long long>(r.quanta),
-                static_cast<unsigned long long>(r.preemptions),
-                static_cast<unsigned long long>(r.revocations),
+                static_cast<unsigned long long>(r.revocations), r.failures,
                 r.energy_error());
     if (!r.message.empty()) {
       std::printf("     `- %s\n", r.message.c_str());
@@ -126,16 +152,37 @@ void print_job_table(const serve::GrapeService& service) {
 // the scheduler, bad manifest, I/O) still dumps the flight ring.
 std::string g_flightrec_out;  // NOLINT(cert-err58-cpp) empty-string ctor
 
+// SIGTERM → graceful drain. The handler only flips the flag; the
+// scheduler polls it between rounds, checkpoints running jobs, journals
+// a `drained` record and returns from run_until_drained.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_sigterm(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   Cli cli(argc, argv);
   const std::string manifest_path = cli.get_string(
       "manifest", "", "job manifest JSON (grape6-serve-manifest-v1)");
+  const std::string recover_path = cli.get_string(
+      "recover", "",
+      "recover from this write-ahead journal instead of --manifest");
   const std::string out =
       cli.get_string("out", "grape6_serve", "snapshot prefix");
   const bool snapshots =
       cli.get_bool("snapshots", true, "write <out>_<job>.snap per job");
+  const std::string journal_path = cli.get_string(
+      "journal", "",
+      "write-ahead job journal (grape6-serve-journal-v1; \"\" = off)");
+  const std::string checkpoint_dir = cli.get_string(
+      "checkpoint-dir", "",
+      "job checkpoint directory (default: <journal>.ckpts)");
+  const auto checkpoint_every = cli.get_int(
+      "checkpoint-every", 1,
+      "checkpoint running jobs every N quanta (0 = final only)");
   const std::string report_out = cli.get_string(
       "report-out", "", "write serve report JSON here (\"\" = off)");
   const std::string metrics_out =
@@ -155,47 +202,77 @@ int main(int argc, char** argv) try {
                     "hardware)"));
   if (cli.finish()) return 0;
 
-  if (manifest_path.empty()) {
-    std::fprintf(stderr, "error: --manifest is required (see --help)\n");
+  if (manifest_path.empty() == recover_path.empty()) {
+    std::fprintf(stderr,
+                 "error: exactly one of --manifest and --recover is "
+                 "required (see --help)\n");
     return 1;
   }
   if (threads > 0) exec::ThreadPool::set_global_threads(threads);
   if (!trace_out.empty()) obs::Tracer::global().enable();
+  std::signal(SIGTERM, handle_sigterm);
 
-  serve::Manifest manifest = serve::load_manifest(manifest_path);
-  if (!fault_plan_path.empty()) {
-    const fault::FaultPlan plan = fault::FaultPlan::from_file(fault_plan_path);
-    for (const serve::BoardDeath& d :
-         serve::board_deaths_from_plan(plan)) {
-      manifest.service.board_deaths.push_back(d);
+  std::unique_ptr<serve::GrapeService> owned;
+  if (recover_path.empty()) {
+    serve::Manifest manifest = serve::load_manifest(manifest_path);
+    if (!fault_plan_path.empty()) {
+      const fault::FaultPlan plan =
+          fault::FaultPlan::from_file(fault_plan_path);
+      for (const serve::BoardDeath& d :
+           serve::board_deaths_from_plan(plan)) {
+        manifest.service.board_deaths.push_back(d);
+      }
     }
+    if (!journal_path.empty()) {
+      manifest.service.durability.journal_path = journal_path;
+      manifest.service.durability.checkpoint_dir =
+          checkpoint_dir.empty() ? journal_path + ".ckpts" : checkpoint_dir;
+      manifest.service.durability.checkpoint_every_quanta =
+          static_cast<std::uint64_t>(checkpoint_every < 0 ? 0
+                                                          : checkpoint_every);
+      std::filesystem::create_directories(
+          manifest.service.durability.checkpoint_dir);
+    }
+    manifest.service.stop_flag = &g_stop;
+
+    owned = std::make_unique<serve::GrapeService>(manifest.service);
+    serve::GrapeService& service = *owned;
+    serve::ServeClient client = service.client();
+
+    std::printf("grape6_serve: %zu-board machine, %zu job(s), quantum %zu "
+                "blocksteps%s\n",
+                service.config().pool_boards(), manifest.jobs.size(),
+                service.config().quantum_blocksteps,
+                journal_path.empty() ? "" : ", durable");
+
+    for (const serve::JobSpec& spec : manifest.jobs) {
+      const serve::SubmitResult r = client.submit(spec);
+      if (!r) {
+        std::printf("  rejected '%s' (%s): %s\n", spec.name.c_str(),
+                    serve::reject_reason_name(r.reason), r.message.c_str());
+      }
+    }
+    service.drain();
+  } else {
+    serve::RecoveryInfo info;
+    owned = serve::GrapeService::recover(recover_path, &info, &g_stop);
+    std::printf(
+        "grape6_serve: recovered from %s: %zu journal record(s)%s, "
+        "%zu job(s) live (%zu from checkpoint), %zu already terminal, "
+        "resuming at round %llu\n",
+        recover_path.c_str(), info.journal_records,
+        info.torn_tail ? " (torn tail dropped)" : "", info.jobs_restored,
+        info.jobs_resumed_from_checkpoint, info.jobs_already_terminal,
+        static_cast<unsigned long long>(info.resume_round));
   }
 
-  serve::GrapeService service(manifest.service);
-  serve::ServeClient client = service.client();
-
-  std::printf("grape6_serve: %zu-board machine, %zu job(s), quantum %zu "
-              "blocksteps\n",
-              service.config().pool_boards(), manifest.jobs.size(),
-              service.config().quantum_blocksteps);
-
-  std::vector<serve::JobId> accepted;
-  for (const serve::JobSpec& spec : manifest.jobs) {
-    const serve::SubmitResult r = client.submit(spec);
-    if (r) {
-      accepted.push_back(r.id);
-    } else {
-      std::printf("  rejected '%s' (%s): %s\n", spec.name.c_str(),
-                  serve::reject_reason_name(r.reason), r.message.c_str());
-    }
-  }
-
-  service.drain();
+  serve::GrapeService& service = *owned;
   service.run_until_drained();
+  const bool drained_early = g_stop.load(std::memory_order_relaxed);
 
   std::vector<std::pair<serve::JobId, std::string>> snapshot_files;
-  if (snapshots) {
-    for (serve::JobId id : accepted) {
+  if (snapshots && !drained_early) {
+    for (serve::JobId id : service.jobs()) {
       if (service.state(id) != serve::JobState::kCompleted) continue;
       double t = 0.0;
       const ParticleSet& final = service.final_state(id, &t);
@@ -208,15 +285,19 @@ int main(int argc, char** argv) try {
   print_job_table(service);
   const serve::ServiceStats& st = service.stats();
   std::printf("\nservice: %llu rounds, %llu completed, %llu failed, %llu "
-              "rejected, %llu preemptions, %llu revocations, %zu board(s) "
-              "dead, makespan %.3f s\n",
+              "quarantined, %llu rejected, %llu preemptions, %llu "
+              "revocations, %zu board(s) dead, makespan %.3f s\n",
               static_cast<unsigned long long>(st.rounds),
               static_cast<unsigned long long>(st.completed),
               static_cast<unsigned long long>(st.failed),
+              static_cast<unsigned long long>(st.quarantined),
               static_cast<unsigned long long>(st.rejected),
               static_cast<unsigned long long>(st.preemptions),
               static_cast<unsigned long long>(st.revocations), st.boards_dead,
               st.makespan_s);
+  if (drained_early) {
+    std::printf("service: drained on SIGTERM; resume with --recover\n");
+  }
 
   if (!report_out.empty()) write_report(report_out, service, snapshot_files);
   obs::export_metrics_json(metrics_out, &st.eq10);
@@ -224,7 +305,8 @@ int main(int argc, char** argv) try {
   obs::export_timeseries_json(timeseries_out);
   obs::export_flight_json(g_flightrec_out);
 
-  const bool all_completed = st.failed == 0 && st.rejected == 0;
+  const bool all_completed =
+      st.failed == 0 && st.rejected == 0 && st.quarantined == 0;
   return all_completed ? 0 : 3;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "grape6_serve: error: %s\n", e.what());

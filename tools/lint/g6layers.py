@@ -83,6 +83,8 @@ SERVE_INTERNAL_HEADERS = (
     "serve/partition.hpp",
     "serve/admission.hpp",
     "serve/job.hpp",
+    "serve/journal.hpp",
+    "serve/recovery.hpp",
 )
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')

@@ -84,6 +84,18 @@ The GRAPE-6 software twin has correctness properties that hinge on
                   g6::Mutex-guarded section so TSan and -Wthread-safety
                   can see it.
 
+  durable-writes  Bare `std::ofstream` persistence is banned in src/ and
+                  tools/ outside src/util/fileio.cpp. Every durable
+                  artifact (snapshots, reports, checkpoints, journals,
+                  exports) goes through util/fileio.hpp —
+                  write_file_atomic / write_file_atomic_durable /
+                  AppendLog — so a crash (including the kill -9 the
+                  recovery suite injects) can never leave a truncated or
+                  half-written file for a reader to trip over. An
+                  ofstream that genuinely never persists state (e.g. a
+                  stream member wired to /dev/null) carries an inline
+                  rationale.
+
   metric-name     Instrument and span names passed to .counter("...") /
                   .gauge("...") / .histogram("...") / G6_PHASE("...") /
                   PhaseSpan("...") must be dot-separated lowercase
@@ -243,10 +255,13 @@ SERVE_INTERNAL_HEADERS = (
     "serve/partition.hpp",
     "serve/admission.hpp",
     "serve/job.hpp",
+    "serve/journal.hpp",
+    "serve/recovery.hpp",
 )
 SERVE_INTERNAL_RE = re.compile(
     r"\bserve::(?:JobQueue|Scheduler|BoardPartitioner|AdmissionController|"
-    r"JobRuntime|SavedJob|AdmissionDecision|BoardLease)\b")
+    r"JobRuntime|SavedJob|AdmissionDecision|BoardLease|Journal|"
+    r"JournalRecord|JournalReplay|RestoredService|RestoredJob)\b")
 SERVE_ISOLATION_SCOPE_PREFIXES = ("src/", "tools/", "bench/", "examples/")
 
 UNORDERED_RE = re.compile(
@@ -254,6 +269,13 @@ UNORDERED_RE = re.compile(
 UNORDERED_SCOPE_PREFIXES = ("src/", "tools/", "bench/")
 
 VOLATILE_RE = re.compile(r"\bvolatile\b")
+
+# Durable artifacts go through util/fileio.hpp (atomic rename + fsync
+# grades + AppendLog); a bare ofstream is a torn-write hazard. The one
+# legitimate site is the implementation of those primitives itself.
+DURABLE_WRITES_RE = re.compile(r"\bstd::ofstream\b")
+DURABLE_WRITES_SCOPE_PREFIXES = ("src/", "tools/")
+DURABLE_WRITES_EXEMPT = ("src/util/fileio.cpp",)
 
 # Registration/span calls whose first argument names an instrument. The
 # trailing group distinguishes a complete single-literal argument (next
@@ -267,7 +289,7 @@ METRIC_NAME_SCOPE_PREFIXES = ("src/", "tools/", "bench/", "examples/")
 RULES = ("raw-float", "native-float", "nondeterminism", "raw-timing",
          "raw-thread", "require-at-api", "nolint-comment", "bare-abort",
          "serve-isolation", "unordered-iter", "volatile-sync",
-         "metric-name")
+         "metric-name", "durable-writes")
 
 
 class Finding:
@@ -490,6 +512,18 @@ def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None
                 "std::map / a sorted vector / index iteration, or "
                 "suppress with a rationale proving the order never "
                 "escapes"))
+
+        if (relpath.startswith(DURABLE_WRITES_SCOPE_PREFIXES)
+                and relpath not in DURABLE_WRITES_EXEMPT
+                and DURABLE_WRITES_RE.search(code)
+                and not sup.allowed("durable-writes", lineno)):
+            findings.append(Finding(
+                relpath, lineno, "durable-writes",
+                "bare std::ofstream persistence — write through "
+                "util/fileio.hpp (write_file_atomic for re-creatable "
+                "exports, write_file_atomic_durable for recovery-critical "
+                "state, AppendLog for journals) so a crash can never "
+                "leave a torn file"))
 
         if (in_src and VOLATILE_RE.search(code)
                 and not sup.allowed("volatile-sync", lineno)):

@@ -510,6 +510,55 @@ class MetricNameTest(LintHarness):
         self.assertIn("metric-name", g6lint.RULES)
 
 
+class DurableWritesTest(LintHarness):
+    """The durable-writes rule: persistence goes through util/fileio.hpp."""
+
+    def test_ofstream_banned_in_src(self):
+        findings = self.lint(
+            "src/nbody/writer.cpp",
+            "#include <fstream>\n"
+            "void f() { std::ofstream os(\"out.json\"); os << 1;\n"
+            "  G6_REQUIRE(true); }\n")
+        self.assertIn("durable-writes", self.rules_of(findings))
+
+    def test_ofstream_banned_in_tools(self):
+        findings = self.lint(
+            "tools/dumper.cpp",
+            "void f() { std::ofstream os(\"report.json\"); }\n")
+        self.assertIn("durable-writes", self.rules_of(findings))
+
+    def test_fileio_implementation_is_exempt(self):
+        findings = self.lint(
+            "src/util/fileio.cpp",
+            "void g6_write() { std::ofstream os(\"tmp\"); G6_REQUIRE(true); }\n")
+        self.assertNotIn("durable-writes", self.rules_of(findings))
+
+    def test_tests_and_bench_out_of_scope(self):
+        bad = "void f() { std::ofstream os(\"x\"); }\n"
+        self.assertNotIn("durable-writes",
+                         self.rules_of(self.lint("tests/util/t.cpp", bad)))
+        self.assertNotIn("durable-writes",
+                         self.rules_of(self.lint("bench/t.cpp", bad)))
+
+    def test_comment_mention_is_fine(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "// replaced std::ofstream with write_file_atomic\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("durable-writes", self.rules_of(findings))
+
+    def test_suppression_with_reason_works(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { std::ofstream os(\"/dev/null\"); }"
+            "  // g6lint: allow(durable-writes) -- sink, never persists\n"
+            "void g() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("durable-writes", self.rules_of(findings))
+
+    def test_rule_is_registered(self):
+        self.assertIn("durable-writes", g6lint.RULES)
+
+
 class BaselineTest(LintHarness):
     """The grandfathering baseline: counted suppression with a ratchet."""
 
