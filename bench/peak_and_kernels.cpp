@@ -114,6 +114,48 @@ void BM_BlockFloatAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockFloatAdd);
 
+// Whole-chip pass (48-slot i-block against a populated j-memory) in
+// scalar vs batched pipeline mode. The items/s ratio between the two rows
+// is the fast-path speedup gated by scripts/bench_regress.py.
+void BM_ChipPass(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const std::size_t n_j = static_cast<std::size_t>(state.range(1));
+  MachineConfig mc;
+  mc.pipeline_mode = batched ? PipelineMode::kBatched : PipelineMode::kScalar;
+  const NumberFormats fmt;
+  Chip chip(mc, fmt);
+  Rng rng(7);
+  const ParticleSet set = make_plummer(n_j + 48, rng);
+  chip.reserve_slots(n_j);
+  for (std::size_t s = 0; s < n_j; ++s) {
+    JParticle jp;
+    jp.mass = set[s].mass;
+    jp.pos = set[s].pos;
+    jp.vel = set[s].vel;
+    chip.write(s, quantize_j_particle(jp, static_cast<std::uint32_t>(s), fmt));
+  }
+  std::vector<IParticlePacket> iblock(mc.i_parallelism());
+  for (std::size_t k = 0; k < iblock.size(); ++k) {
+    PredictedState p;
+    p.pos = set[n_j + k].pos;
+    p.vel = set[n_j + k].vel;
+    p.index = static_cast<std::uint32_t>(n_j + k);
+    iblock[k] = quantize_i_particle(p, fmt);
+  }
+  std::vector<HwAccumulators> out(iblock.size());
+  for (auto _ : state) {
+    for (auto& a : out) a.reset({4, 8, 4});
+    chip.run_pass(0.0, iblock, 1e-4, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n_j * iblock.size()));
+}
+BENCHMARK(BM_ChipPass)
+    ->Args({0, 512})
+    ->Args({1, 512})
+    ->ArgNames({"batched", "nj"});
+
 void BM_OctreeBuild(benchmark::State& state) {
   Rng rng(1);
   const ParticleSet set = make_plummer(static_cast<std::size_t>(state.range(0)), rng);

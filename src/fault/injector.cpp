@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "hw/accumulators.hpp"
+#include "hw/jstore.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 
@@ -159,12 +160,16 @@ void FaultInjector::corrupt_word(StoredJParticle& p) {
 }
 
 std::uint64_t FaultInjector::corrupt_j_memory(double t, int chip,
-                                              std::span<StoredJParticle> memory) {
+                                              JStore& memory) {
   if (plan_.jmem_flip_rate <= 0.0) return 0;
   std::uint64_t flips = 0;
   for (std::size_t w = 0; w < memory.size(); ++w) {
     if (rng_.uniform() >= plan_.jmem_flip_rate) continue;
-    corrupt_word(memory[w]);
+    // Gather the word from the SoA columns, flip one bit, scatter it
+    // back — bit-exact round trip, same RNG draws as the AoS layout.
+    StoredJParticle word = memory.get(w);
+    corrupt_word(word);
+    memory.set(w, word);
     ++flips;
     ++counts_.jmem_flips;
     c_jmem_.add(1);

@@ -32,6 +32,7 @@
 
 namespace g6 {
 struct HwAccumulators;
+class JStore;
 namespace obs {
 class Counter;
 }
@@ -78,9 +79,11 @@ class FaultInjector final : public LinkPerturbation {
 
   // --- injection points -------------------------------------------------
   /// Flip at most one random bit per word, each with probability
-  /// jmem_flip_rate. Returns the number of words corrupted.
-  std::uint64_t corrupt_j_memory(double t, int chip,
-                                 std::span<StoredJParticle> memory);
+  /// jmem_flip_rate. Words round-trip through the JStore compatibility
+  /// plane (get/corrupt/set), consuming RNG decisions in slot order —
+  /// the same stream a contiguous word array produced. Returns the
+  /// number of words corrupted.
+  std::uint64_t corrupt_j_memory(double t, int chip, JStore& memory);
   /// Corrupt each packet with probability ipacket_rate (one bit flip in a
   /// random field). Returns the number of packets corrupted.
   std::uint64_t corrupt_i_packets(double t, std::span<IParticlePacket> packets);

@@ -19,10 +19,15 @@ std::uint64_t ProcessorModule::run_pass(double t,
   G6_REQUIRE(out.size() == iblock.size());
   G6_REQUIRE(neighbors.empty() || neighbors.size() == iblock.size());
   std::uint64_t max_cycles = 0;
-  // Pass-local scratch keeps run_pass reentrant for the exec-pool tasks.
-  std::vector<HwAccumulators> scratch(iblock.size());
+  // Thread-local scratch keeps run_pass reentrant for the exec-pool tasks
+  // (concurrent passes run on distinct workers; nothing below yields to
+  // the pool, so one thread never re-enters mid-pass) while reusing the
+  // accumulator banks and neighbor-index heaps across passes.
+  static thread_local std::vector<HwAccumulators> scratch;
+  static thread_local std::vector<HwNeighborRecorder> nb_scratch;
+  scratch.resize(iblock.size());
   const bool want_nb = !neighbors.empty();
-  std::vector<HwNeighborRecorder> nb_scratch(want_nb ? iblock.size() : 0);
+  nb_scratch.resize(want_nb ? iblock.size() : 0);
   for (std::size_t c = 0; c < chips_.size(); ++c) {
     // Each chip's partials start from the same block exponents as `out`.
     for (std::size_t k = 0; k < iblock.size(); ++k) {
@@ -79,9 +84,13 @@ std::uint64_t ProcessorBoard::run_pass(double t,
   G6_REQUIRE(out.size() == iblock.size());
   G6_REQUIRE(neighbors.empty() || neighbors.size() == iblock.size());
   std::uint64_t max_cycles = 0;
-  std::vector<HwAccumulators> scratch(iblock.size());
+  // Same thread-local reuse as ProcessorModule::run_pass (distinct
+  // variables — module passes nested below do not touch these).
+  static thread_local std::vector<HwAccumulators> scratch;
+  static thread_local std::vector<HwNeighborRecorder> nb_scratch;
+  scratch.resize(iblock.size());
   const bool want_nb = !neighbors.empty();
-  std::vector<HwNeighborRecorder> nb_scratch(want_nb ? iblock.size() : 0);
+  nb_scratch.resize(want_nb ? iblock.size() : 0);
   for (auto& mod : modules_) {
     for (std::size_t k = 0; k < iblock.size(); ++k) {
       scratch[k].reset({out[k].acc[0].block_exp(), out[k].jerk[0].block_exp(),

@@ -37,19 +37,21 @@ class Chip {
 
   void clear_memory() { memory_.clear(); }
 
-  /// Ensure the memory has at least `n` slots.
-  void reserve_slots(std::size_t n) {
-    if (memory_.size() < n) memory_.resize(n);
-  }
+  /// Ensure the memory has at least `n` slots. Uploads that know their
+  /// slot count should call this once up front; write() only grows
+  /// incrementally as a fallback.
+  void reserve_slots(std::size_t n) { memory_.ensure_size(n); }
 
   /// Write a j-particle into a memory slot.
   void write(std::size_t slot, const StoredJParticle& p) {
     reserve_slots(slot + 1);
-    memory_[slot] = p;
+    memory_.set(slot, p);
   }
 
   std::size_t j_count() const { return memory_.size(); }
-  const StoredJParticle& stored(std::size_t slot) const { return memory_[slot]; }
+
+  /// Gather one stored memory word (the columns are the ground truth).
+  StoredJParticle stored(std::size_t slot) const { return memory_.get(slot); }
 
   /// One force pass: forces from the whole j-memory on `iblock`
   /// (iblock.size() <= i_parallelism()). `out[k]` must be reset with the
@@ -75,16 +77,29 @@ class Chip {
   }
 
   /// Direct memory access for the fault subsystem: bit-flip injection,
-  /// scrubbing, and self-test vector swap-in/swap-out.
-  std::span<StoredJParticle> memory_span() { return memory_; }
-  std::vector<StoredJParticle> take_memory() { return std::move(memory_); }
-  void set_memory(std::vector<StoredJParticle> m) { memory_ = std::move(m); }
+  /// scrubbing, and self-test vector swap-in/swap-out go through the
+  /// JStore word accessors (get/set round-trip bit-exactly).
+  JStore& memory() { return memory_; }
+  const JStore& memory() const { return memory_; }
+  JStore take_memory() {
+    JStore m = std::move(memory_);
+    memory_.clear();  // moved-from columns are valid; re-establish size()==0
+    return m;
+  }
+  void set_memory(JStore m) { memory_ = std::move(m); }
 
  private:
+  void run_pass_scalar(double t, std::span<const IParticlePacket> iblock,
+                       double eps2, std::span<HwAccumulators> out,
+                       std::span<HwNeighborRecorder> neighbors);
+  void run_pass_batched(double t, std::span<const IParticlePacket> iblock,
+                        double eps2, std::span<HwAccumulators> out,
+                        std::span<HwNeighborRecorder> neighbors);
+
   MachineConfig mc_;
   PredictorUnit predictor_;
   ForcePipeline pipeline_;
-  std::vector<StoredJParticle> memory_;
+  JStore memory_;
   exec::RelaxedCounter total_cycles_;
   exec::RelaxedCounter total_interactions_;
   fault::FaultInjector* fault_ = nullptr;

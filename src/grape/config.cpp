@@ -1,0 +1,35 @@
+#include "grape/config.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "util/check.hpp"
+
+namespace g6 {
+
+const char* to_string(PipelineMode m) {
+  switch (m) {
+    case PipelineMode::kScalar:
+      return "scalar";
+    case PipelineMode::kBatched:
+      return "batched";
+    case PipelineMode::kCheck:
+      return "check";
+  }
+  return "unknown";
+}
+
+PipelineMode default_pipeline_mode() {
+  const char* env = std::getenv("G6_PIPELINE");
+  if (env == nullptr || *env == '\0') return PipelineMode::kBatched;
+  const std::string_view v(env);
+  if (v == "scalar") return PipelineMode::kScalar;
+  if (v == "batched") return PipelineMode::kBatched;
+  if (v == "check") return PipelineMode::kCheck;
+  G6_REQUIRE_MSG(false, "G6_PIPELINE must be scalar|batched|check, got \"" +
+                            std::string(v) + "\"");
+  return PipelineMode::kBatched;  // unreachable
+}
+
+}  // namespace g6

@@ -61,6 +61,20 @@ GrapeForceEngine::GrapeForceEngine(const MachineConfig& mc, const NumberFormats&
   for (std::size_t b = 0; b < mc.boards_per_host; ++b) boards_.emplace_back(mc, fmt);
 }
 
+void GrapeForceEngine::presize_j_memory(std::size_t n) {
+  // Analytic pre-sizing of every chip's j-memory before a full upload.
+  // Placement is round-robin over a ring of `h` (board, chip) positions,
+  // so the chip at ring position r receives ceil((n - r) / h) slots; one
+  // reserve_slots() call per chip replaces n incremental one-slot grows
+  // through write().
+  const std::size_t h = injector_ ? healthy_slots_.size()
+                                  : boards_.size() * mc_.chips_per_board();
+  for (std::size_t r = 0; r < h && r < n; ++r) {
+    const Slot s = place(r);
+    boards_[s.board].chip(s.chip).reserve_slots((n - r + h - 1) / h);
+  }
+}
+
 GrapeForceEngine::Slot GrapeForceEngine::place(std::size_t index) const {
   // With fault tolerance active, round-robin over the *healthy* chip ring:
   // when every chip is healthy the ring enumerates (board = k % nb,
@@ -94,6 +108,7 @@ void GrapeForceEngine::load_particles(std::span<const JParticle> particles) {
     host_j_.resize(particles.size());
     jmem_sums_.resize(particles.size());
   }
+  presize_j_memory(particles.size());
   for (std::size_t i = 0; i < particles.size(); ++i) {
     const Slot s = place(i);
     const StoredJParticle sp =
@@ -283,6 +298,7 @@ void GrapeForceEngine::remap_particles(FaultCharges& charges) {
   for (auto& b : boards_) {
     for (std::size_t c = 0; c < b.chip_count(); ++c) b.chip(c).clear_memory();
   }
+  presize_j_memory(n_particles_);
   for (std::size_t i = 0; i < n_particles_; ++i) {
     const Slot s = place(i);
     boards_[s.board].chip(s.chip).write(s.slot, host_j_[i]);
@@ -309,7 +325,7 @@ void GrapeForceEngine::inject_and_scrub_j_memory(double t, FaultCharges& charges
   for (std::size_t id = 0; id < chip_count(); ++id) {
     if (chip_dead(id)) continue;
     injected += injector_->corrupt_j_memory(t, static_cast<int>(id),
-                                            chip_flat(id).memory_span());
+                                            chip_flat(id).memory());
   }
   if (!det_.scrub_j_memory) return;
   // Scrub: every word is checked against the host-side master digest, so
@@ -318,10 +334,9 @@ void GrapeForceEngine::inject_and_scrub_j_memory(double t, FaultCharges& charges
   std::uint64_t rewrites = 0;
   for (std::size_t i = 0; i < n_particles_; ++i) {
     const Slot s = place(i);
-    std::span<StoredJParticle> mem =
-        boards_[s.board].chip(s.chip).memory_span();
-    if (fault::checksum(mem[s.slot]) != jmem_sums_[i]) {
-      mem[s.slot] = host_j_[i];
+    JStore& mem = boards_[s.board].chip(s.chip).memory();
+    if (fault::checksum(mem.get(s.slot)) != jmem_sums_[i]) {
+      mem.set(s.slot, host_j_[i]);
       ++rewrites;
     }
   }
@@ -372,7 +387,8 @@ GrapeForceEngine::PassResult GrapeForceEngine::run_boards(
     double t, std::span<const IParticlePacket> pass,
     std::span<const BlockExponents> exps, std::vector<HwAccumulators>& out,
     std::span<HwNeighborRecorder> neighbors,
-    std::vector<std::vector<HwAccumulators>>& board_bank, bool parallel) {
+    std::vector<std::vector<HwAccumulators>>& board_bank,
+    std::vector<std::vector<HwNeighborRecorder>>& nb_banks, bool parallel) {
   G6_REQUIRE(pass.size() <= mc_.i_parallelism());
   G6_REQUIRE(exps.size() == pass.size());
   G6_REQUIRE(neighbors.empty() || neighbors.size() == pass.size());
@@ -386,8 +402,7 @@ GrapeForceEngine::PassResult GrapeForceEngine::run_boards(
   // as concurrent tasks; everything merges below in fixed board order —
   // the schedule never touches the result.
   board_bank.resize(boards_.size());
-  std::vector<std::vector<HwNeighborRecorder>> nb_banks(
-      want_nb ? boards_.size() : 0);
+  if (want_nb) nb_banks.resize(boards_.size());
   std::vector<std::uint64_t> board_cycles(boards_.size(), 0);
 
   const auto run_one = [&](std::size_t b) {
@@ -440,8 +455,8 @@ std::uint64_t GrapeForceEngine::compute_partials(
     std::span<HwNeighborRecorder> neighbors) {
   const bool parallel =
       exec::ThreadPool::global().worker_count() > 0 && injector_ == nullptr;
-  const PassResult r =
-      run_boards(t, pass, exps, out, neighbors, board_partials_, parallel);
+  const PassResult r = run_boards(t, pass, exps, out, neighbors,
+                                  board_partials_, board_nb_banks_, parallel);
   ++stats_.passes;
   stats_.interactions += r.interactions;
   return r.cycles;
@@ -592,6 +607,7 @@ void GrapeForceEngine::run_chunk(double t, std::span<const PredictedState> block
   // (read-only) packets and the boards, whose passes are reentrant.
   std::vector<HwAccumulators> merged;
   std::vector<std::vector<HwAccumulators>> board_bank;
+  std::vector<std::vector<HwNeighborRecorder>> nb_banks;
   std::vector<HwAccumulators> vote_bank;
   std::vector<std::vector<HwAccumulators>> vote_board_bank;
   std::vector<HwNeighborRecorder> pass_nb;
@@ -613,7 +629,7 @@ void GrapeForceEngine::run_chunk(double t, std::span<const PredictedState> block
       PassResult r = run_boards(t, pass, pass_exps, merged,
                                 want_nb ? std::span<HwNeighborRecorder>(pass_nb)
                                         : std::span<HwNeighborRecorder>{},
-                                board_bank, parallel);
+                                board_bank, nb_banks, parallel);
       acct.cycles += r.cycles;
       ++acct.passes;
       acct.interactions += r.interactions;
@@ -623,7 +639,7 @@ void GrapeForceEngine::run_chunk(double t, std::span<const PredictedState> block
       // two BFP result banks to agree bit for bit. Vote mode implies an
       // injector, so this path is always on the caller thread.
       r = run_boards(t, pass, pass_exps, vote_bank, {}, vote_board_bank,
-                     parallel);
+                     nb_banks, parallel);
       acct.cycles += r.cycles;
       ++acct.passes;
       acct.interactions += r.interactions;

@@ -191,11 +191,15 @@ class GrapeForceEngine final : public ForceEngine {
   /// One hardware pass over all boards into caller-provided banks; board
   /// partials merge in fixed board order (`parallel` affects scheduling
   /// only). The stats-free core shared by compute_partials and run_chunk.
+  /// `board_bank` and `nb_banks` are caller-owned scratch, reused across
+  /// calls so accumulator banks and neighbor-index heaps stop churning
+  /// the allocator (nb_banks is untouched when `neighbors` is empty).
   PassResult run_boards(double t, std::span<const IParticlePacket> pass,
                         std::span<const BlockExponents> exps,
                         std::vector<HwAccumulators>& out,
                         std::span<HwNeighborRecorder> neighbors,
                         std::vector<std::vector<HwAccumulators>>& board_bank,
+                        std::vector<std::vector<HwNeighborRecorder>>& nb_banks,
                         bool parallel);
   /// Evaluate block[begin, end) — retry loops, decode, exponent refresh.
   /// All scratch is chunk-local; exps_ writes are disjoint (block members
@@ -213,6 +217,8 @@ class GrapeForceEngine final : public ForceEngine {
   void inject_and_scrub_j_memory(double t, FaultCharges& charges);
   void remap_particles(FaultCharges& charges);
   void rebuild_healthy_slots();
+  /// Reserve every chip's j-memory columns for a full `n`-particle upload.
+  void presize_j_memory(std::size_t n);
   /// Exponentially-backed-off virtual retry delay for `attempt`.
   double backoff_delay(int attempt) const;
 
@@ -242,6 +248,7 @@ class GrapeForceEngine final : public ForceEngine {
   // submission while one is outstanding.
   std::vector<IParticlePacket> packets_buf_;
   std::vector<std::vector<HwAccumulators>> board_partials_;
+  std::vector<std::vector<HwNeighborRecorder>> board_nb_banks_;
   bool inflight_ = false;
 
   // fault tolerance (inactive until enable_fault_tolerance)

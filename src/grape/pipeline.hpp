@@ -21,6 +21,7 @@
 
 #include "hw/accumulators.hpp"
 #include "hw/formats.hpp"
+#include "hw/jstore.hpp"
 #include "util/fixedpoint.hpp"
 
 namespace g6 {
@@ -36,6 +37,9 @@ struct HwNeighborRecorder {
   double nearest_r2 = 0.0;
   bool has_nearest = false;
 
+  /// Re-arm for a new pass. Keeps the index heap: a recorder that lives
+  /// across passes (board/module scratch, engine neighbor banks) never
+  /// reallocates once it has grown to its working size.
   void reset(std::size_t cap) {
     indices.clear();
     capacity = cap;
@@ -43,6 +47,10 @@ struct HwNeighborRecorder {
     has_nearest = false;
     nearest_r2 = 0.0;
   }
+
+  /// Pre-size the FIFO backing store so a whole block's record() calls
+  /// are allocation-free from the first pass on.
+  void reserve(std::size_t n) { indices.reserve(n); }
 
   void record(std::uint32_t idx, double r2, double h2) {
     if (!has_nearest || r2 < nearest_r2) {
@@ -97,6 +105,28 @@ class PredictorUnit {
 
   Predicted predict(const StoredJParticle& j, double t) const;
 
+  /// All stored j-particles predicted at once, column-wise — the batched
+  /// pipeline's input. Owns its scratch so a pass performs no allocations
+  /// after warm-up (resize keeps capacity).
+  struct PredictedBatch {
+    std::size_t count = 0;
+    std::vector<std::uint32_t> index;
+    std::vector<double> mass;
+    std::vector<std::int64_t> pos[3];
+    std::vector<double> vel[3];
+    // predictor-internal scratch columns
+    std::vector<double> dt;
+    std::vector<double> c;
+    std::vector<double> u;
+
+    void resize(std::size_t n);
+  };
+
+  /// Batched predict: identical per-particle operation sequence to
+  /// predict(), evaluated as span sweeps over JStore columns
+  /// (hw/formats.hpp spanops). out[k] == predict(j.get(k), t) bit-exactly.
+  void predict_batch(const JStore& j, double t, PredictedBatch& out) const;
+
  private:
   NumberFormats fmt_;
   FixedPointCodec codec_;
@@ -118,6 +148,17 @@ class ForcePipeline {
   void interact(const PredictorUnit::Predicted& j, const IParticlePacket& ip,
                 double eps2, HwAccumulators& out,
                 HwNeighborRecorder* neighbors = nullptr) const;
+
+  /// Batched fast path: stream the whole predicted j-range past one
+  /// i-particle in a single flat loop over the contiguous columns. The
+  /// per-interaction operation sequence and the ascending-j accumulation
+  /// order are exactly those of interact(), so the BFP accumulator words,
+  /// overflow flags and neighbor lists are bit-identical to calling
+  /// interact() j-by-j (verified by tests/grape/pipeline_crosscheck_test).
+  void interact_batch(const PredictorUnit::PredictedBatch& j,
+                      const IParticlePacket& ip, double eps2,
+                      HwAccumulators& out,
+                      HwNeighborRecorder* neighbors = nullptr) const;
 
  private:
   NumberFormats fmt_;

@@ -115,8 +115,8 @@ SelfTestReport run_chip_self_test(GrapeForceEngine& engine,
   std::vector<HwAccumulators> out(v.probes.size());
   for (int id : chips) {
     Chip& chip = engine.chip_flat(static_cast<std::size_t>(id));
-    std::vector<StoredJParticle> saved = chip.take_memory();
-    chip.set_memory(v.jmem);
+    JStore saved = chip.take_memory();
+    chip.set_memory(JStore::from_aos(v.jmem));
     for (auto& acc : out) acc.reset(exps);
     report.cycles += chip.run_pass(0.0, v.probes, eps2, out);
     chip.set_memory(std::move(saved));

@@ -85,6 +85,14 @@ class BlockFloatAccumulator {
     block_exp_ = block_exp;
     mant_ = 0;
     overflow_ = false;
+    // Cache the grid scale 2^(kFracBits - block_exp) as a double so add()
+    // is one multiply instead of a per-call ldexp. A power-of-two multiply
+    // is exact (identical to ldexp) whenever the scale itself is a normal
+    // double; for the wild exponents outside that window add() falls back
+    // to ldexp, keeping the two formulations bit-identical everywhere.
+    const int k = kFracBits - block_exp;
+    scale_exact_ = k >= -1021 && k <= 1023;
+    scale_ = scale_exact_ ? std::ldexp(1.0, k) : 0.0;
   }
 
   int block_exp() const { return block_exp_; }
@@ -102,8 +110,9 @@ class BlockFloatAccumulator {
   /// flag if either the addend or the running sum exceeds the headroom.
   void add(double x) {
     if (x == 0.0) return;
-    const double scaled = std::ldexp(x, kFracBits - block_exp_);
-    if (!(std::fabs(scaled) < std::ldexp(1.0, 62))) {
+    const double scaled =
+        scale_exact_ ? x * scale_ : std::ldexp(x, kFracBits - block_exp_);
+    if (!(std::fabs(scaled) < 0x1p62)) {
       overflow_ = true;
       return;
     }
@@ -139,6 +148,9 @@ class BlockFloatAccumulator {
   std::int64_t mant_ = 0;
   int block_exp_ = 0;
   bool overflow_ = false;
+  double scale_ = 0x1p56;  ///< 2^(kFracBits - block_exp_) for the defaults
+  bool scale_exact_ = true;
+  static_assert(kFracBits == 56, "scale_ default initializer must be 2^kFracBits");
 };
 
 /// Choose a block exponent such that `magnitude_estimate` sits comfortably

@@ -12,6 +12,7 @@
 // representable in the narrow format; FloatFormat::quantize() is the only
 // place rounding happens.
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -46,7 +47,49 @@ class FloatFormat {
   /// Round-to-nearest-even into this format. Underflow flushes to zero,
   /// overflow saturates to +-max_value() (the hardware clamps rather than
   /// producing infinities).
+  ///
+  /// Implemented as branch-light bit manipulation on the IEEE-754 word so
+  /// the per-op rounding of the emulated pipeline costs integer adds, not
+  /// libm calls, and flat interaction loops stay autovectorizable. The
+  /// result is bit-identical to quantize_ref() below — the frexp-based
+  /// reference formulation — which tests/grape/pipeline_crosscheck_test
+  /// verifies exhaustively over structured and random bit patterns.
   double quantize(double x) const {
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+    const std::uint64_t mag = bits & 0x7fffffffffffffffULL;
+    if (mag == 0) return x;                       // +-0 passes through
+    if (mag >= 0x7ff0000000000000ULL) {           // inf / NaN
+      if (mag > 0x7ff0000000000000ULL) return x;  // NaN passes through
+      return std::copysign(max_value(), x);
+    }
+    if (mag < 0x0010000000000000ULL) {
+      // Subnormal double: below 2^-1022, outside the fast path's normal-
+      // number exponent algebra. Never produced by the pipeline formats
+      // (their min_normal is far larger); defer to the reference.
+      return quantize_ref(x);
+    }
+    if (frac_bits_ < 52) {
+      // Round-to-nearest-even at fraction bit `frac_bits_`: add half an
+      // ULP minus one when the kept LSB is even, so ties snap to even.
+      // A mantissa carry propagates into the exponent field, which is
+      // exactly the "rounding carried into the next binade" case.
+      const int shift = 52 - frac_bits_;
+      bits += (std::uint64_t{1} << (shift - 1)) - (~(bits >> shift) & 1U);
+      bits &= ~((std::uint64_t{1} << shift) - 1);
+    }
+    // frexp convention: value = m * 2^e with |m| in [0.5, 1), so
+    // e = unbiased exponent + 1. An exponent field that carried to 0x7ff
+    // yields e = 1025 > exp_max for every representable format.
+    const int e = static_cast<int>((bits >> 52) & 0x7ffU) - 1022;
+    if (e < exp_min_) return std::copysign(0.0, x);
+    if (e > exp_max_) return std::copysign(max_value(), x);
+    return std::bit_cast<double>(bits);
+  }
+
+  /// Reference formulation of quantize(): compute in double, round with
+  /// libm. Kept as the independently-derived oracle the fast path is
+  /// checked against; not used on any hot path.
+  double quantize_ref(double x) const {
     if (x == 0.0 || std::isnan(x)) return x;
     if (std::isinf(x)) return std::copysign(max_value(), x);
     int e = 0;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "fault/checksum.hpp"
+#include "hw/jstore.hpp"
 #include "util/errors.hpp"
 #include "fault/plan.hpp"
 #include "obs/json.hpp"
@@ -56,14 +57,15 @@ TEST(FaultInjector, SameSeedSameFaultStream) {
   const FaultPlan plan = FaultPlan::uniform_transients(0.05, 1234);
   FaultInjector a(plan), b(plan);
 
-  auto mem_a = test_memory(64), mem_b = test_memory(64);
+  JStore mem_a = JStore::from_aos(test_memory(64));
+  JStore mem_b = JStore::from_aos(test_memory(64));
   auto pk_a = test_packets(48), pk_b = test_packets(48);
 
   EXPECT_EQ(a.corrupt_j_memory(0.0, 3, mem_a), b.corrupt_j_memory(0.0, 3, mem_b));
   EXPECT_EQ(a.corrupt_i_packets(0.0, pk_a), b.corrupt_i_packets(0.0, pk_b));
 
   for (std::size_t i = 0; i < mem_a.size(); ++i) {
-    EXPECT_EQ(checksum(mem_a[i]), checksum(mem_b[i])) << "j slot " << i;
+    EXPECT_EQ(checksum(mem_a.get(i)), checksum(mem_b.get(i))) << "j slot " << i;
   }
   for (std::size_t i = 0; i < pk_a.size(); ++i) {
     EXPECT_EQ(checksum(pk_a[i]), checksum(pk_b[i])) << "i slot " << i;
@@ -76,12 +78,13 @@ TEST(FaultInjector, SameSeedSameFaultStream) {
 TEST(FaultInjector, DifferentSeedDifferentStream) {
   FaultInjector a(FaultPlan::uniform_transients(0.05, 1));
   FaultInjector b(FaultPlan::uniform_transients(0.05, 2));
-  auto mem_a = test_memory(256), mem_b = test_memory(256);
+  JStore mem_a = JStore::from_aos(test_memory(256));
+  JStore mem_b = JStore::from_aos(test_memory(256));
   a.corrupt_j_memory(0.0, 0, mem_a);
   b.corrupt_j_memory(0.0, 0, mem_b);
   bool differ = false;
   for (std::size_t i = 0; i < mem_a.size(); ++i) {
-    if (!same_bits(mem_a[i], mem_b[i])) differ = true;
+    if (!same_bits(mem_a.get(i), mem_b.get(i))) differ = true;
   }
   EXPECT_TRUE(differ);
 }
@@ -94,11 +97,11 @@ TEST(FaultInjector, ZeroRateInjectsNothingAndConsumesNoRandomness) {
   plan.ipacket_rate = 0.2;  // jmem_flip_rate stays 0
   FaultInjector with_noop(plan), without(plan);
 
-  auto mem = test_memory(128);
+  JStore mem = JStore::from_aos(test_memory(128));
   const auto before = test_memory(128);
   EXPECT_EQ(with_noop.corrupt_j_memory(0.0, 0, mem), 0u);
   for (std::size_t i = 0; i < mem.size(); ++i) {
-    EXPECT_TRUE(same_bits(mem[i], before[i])) << i;
+    EXPECT_TRUE(same_bits(mem.get(i), before[i])) << i;
   }
 
   auto pk_a = test_packets(64), pk_b = test_packets(64);
@@ -262,7 +265,7 @@ TEST(FaultPlan, EmptyPlanIsInert) {
   const FaultPlan plan;
   EXPECT_FALSE(plan.any());
   FaultInjector inj(plan);
-  auto mem = test_memory(32);
+  JStore mem = JStore::from_aos(test_memory(32));
   const auto before = test_memory(32);
   EXPECT_EQ(inj.corrupt_j_memory(0.0, 0, mem), 0u);
   auto pk = test_packets(16);
@@ -270,7 +273,7 @@ TEST(FaultPlan, EmptyPlanIsInert) {
   EXPECT_FALSE(inj.drop_message());
   EXPECT_DOUBLE_EQ(inj.latency_factor(), 1.0);
   for (std::size_t i = 0; i < mem.size(); ++i) {
-    EXPECT_TRUE(same_bits(mem[i], before[i])) << i;
+    EXPECT_TRUE(same_bits(mem.get(i), before[i])) << i;
   }
 }
 

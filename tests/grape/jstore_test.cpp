@@ -1,0 +1,122 @@
+// JStore: the structure-of-arrays j-particle memory. Word accessors must
+// round-trip bit-exactly (the fault subsystem flips bits through them),
+// ensure_size must pre-size all columns so incremental uploads never
+// reallocate, and the AoS conversion helpers must be lossless.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/jstore.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+StoredJParticle random_word(Rng& rng, std::uint32_t index) {
+  StoredJParticle p;
+  p.index = index;
+  p.mass = rng.uniform();
+  p.t0 = rng.uniform(0.0, 1.0);
+  for (int d = 0; d < 3; ++d) {
+    p.pos[d] = static_cast<std::int64_t>(rng.next_u64());
+    p.vel[d] = rng.gaussian();
+    p.acc[d] = rng.gaussian();
+    p.jerk[d] = rng.gaussian();
+    p.snap[d] = rng.gaussian();
+  }
+  return p;
+}
+
+bool words_equal(const StoredJParticle& a, const StoredJParticle& b) {
+  bool eq = a.index == b.index && a.mass == b.mass && a.t0 == b.t0;
+  for (int d = 0; d < 3; ++d) {
+    eq = eq && a.pos[d] == b.pos[d] && a.vel[d] == b.vel[d] &&
+         a.acc[d] == b.acc[d] && a.jerk[d] == b.jerk[d] && a.snap[d] == b.snap[d];
+  }
+  return eq;
+}
+
+TEST(JStore, SetGetRoundTripsBitExactly) {
+  Rng rng(1);
+  JStore s;
+  s.resize(32);
+  std::vector<StoredJParticle> ref;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    ref.push_back(random_word(rng, i));
+    s.set(i, ref.back());
+  }
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    EXPECT_TRUE(words_equal(s.get(i), ref[i])) << i;
+  }
+}
+
+TEST(JStore, EnsureSizePresizesAllColumnsNoReallocOnUpload) {
+  // The engine calls reserve via ensure_size once per upload; subsequent
+  // slot writes must not move the columns (satellite of the SoA refactor:
+  // incremental j-memory growth used to reallocate per write).
+  JStore s;
+  s.ensure_size(256);
+  EXPECT_EQ(s.size(), 256u);
+  const std::int64_t* pos0 = s.pos(0).data();
+  const double* vel1 = s.vel(1).data();
+  const double* mass = s.mass().data();
+  Rng rng(2);
+  for (std::uint32_t i = 0; i < 256; ++i) s.set(i, random_word(rng, i));
+  EXPECT_EQ(s.pos(0).data(), pos0);
+  EXPECT_EQ(s.vel(1).data(), vel1);
+  EXPECT_EQ(s.mass().data(), mass);
+  // ensure_size never shrinks.
+  s.ensure_size(16);
+  EXPECT_EQ(s.size(), 256u);
+}
+
+TEST(JStore, AosConversionIsLossless) {
+  Rng rng(3);
+  std::vector<StoredJParticle> aos;
+  for (std::uint32_t i = 0; i < 17; ++i) aos.push_back(random_word(rng, i));
+  const JStore s = JStore::from_aos(aos);
+  ASSERT_EQ(s.size(), aos.size());
+  const std::vector<StoredJParticle> back = s.to_aos();
+  ASSERT_EQ(back.size(), aos.size());
+  for (std::size_t i = 0; i < aos.size(); ++i) {
+    EXPECT_TRUE(words_equal(back[i], aos[i])) << i;
+  }
+}
+
+TEST(JStore, ColumnSpansViewTheSameStorageAsWords) {
+  Rng rng(4);
+  JStore s;
+  s.resize(8);
+  for (std::uint32_t i = 0; i < 8; ++i) s.set(i, random_word(rng, i));
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const StoredJParticle w = s.get(i);
+    EXPECT_EQ(s.index()[i], w.index);
+    EXPECT_EQ(s.mass()[i], w.mass);
+    EXPECT_EQ(s.t0()[i], w.t0);
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(s.pos(d)[i], w.pos[d]);
+      EXPECT_EQ(s.vel(d)[i], w.vel[d]);
+      EXPECT_EQ(s.acc(d)[i], w.acc[d]);
+      EXPECT_EQ(s.jerk(d)[i], w.jerk[d]);
+      EXPECT_EQ(s.snap(d)[i], w.snap[d]);
+    }
+  }
+}
+
+TEST(JStore, ClearAndMoveLeaveValidEmptyStore) {
+  Rng rng(5);
+  JStore s;
+  s.resize(4);
+  for (std::uint32_t i = 0; i < 4; ++i) s.set(i, random_word(rng, i));
+  JStore moved = std::move(s);
+  EXPECT_EQ(moved.size(), 4u);
+  s.clear();  // moved-from: clear() must re-establish the empty invariant
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.empty());
+  s.ensure_size(2);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+}  // namespace
+}  // namespace g6

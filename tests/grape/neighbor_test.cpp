@@ -56,6 +56,27 @@ TEST(HwNeighborRecorder, OverflowFlagWhenFifoFull) {
   EXPECT_TRUE(rec.overflow);
 }
 
+TEST(HwNeighborRecorder, ResetKeepsIndexCapacityAcrossPasses) {
+  // Recorders that live across passes (board/module scratch, engine
+  // neighbor banks) must stop allocating once grown to their working
+  // size: reset() clears but never shrinks the FIFO backing store.
+  HwNeighborRecorder rec;
+  rec.reserve(64);
+  const std::size_t cap = rec.indices.capacity();
+  ASSERT_GE(cap, 64u);
+  const std::uint32_t* data = rec.indices.data();
+  for (int pass = 0; pass < 4; ++pass) {
+    rec.reset(64);
+    EXPECT_TRUE(rec.indices.empty());
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      rec.record(i, 0.1 + i, 1000.0);
+    }
+    EXPECT_EQ(rec.indices.size(), 64u);
+    EXPECT_EQ(rec.indices.capacity(), cap) << "pass " << pass;
+    EXPECT_EQ(rec.indices.data(), data) << "pass " << pass;
+  }
+}
+
 TEST(HwNeighborRecorder, MergeCombinesListsAndNearest) {
   HwNeighborRecorder a, b;
   a.reset(8);

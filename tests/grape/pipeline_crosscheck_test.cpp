@@ -1,0 +1,265 @@
+// Scalar-vs-batched pipeline crosscheck: the batched fast path
+// (Chip::run_pass in PipelineMode::kBatched) must be BIT-IDENTICAL to the
+// scalar reference path on every observable hardware word — accumulator
+// mantissas, block exponents, overflow flags, neighbor FIFO contents and
+// order, and the nearest-neighbor register — for every number-format
+// preset, with and without neighbor collection, with a fault injector
+// attached, and at any thread count. This is the contract that lets the
+// fast path replace the scalar pipeline without invalidating a single
+// recorded snapshot.
+//
+// Also verifies the FloatFormat::quantize fast bit-manipulation path
+// against quantize_ref(), its independently-derived libm oracle, over
+// structured and random bit patterns (the doc comment in util/softfloat.hpp
+// points here).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "grape/chip.hpp"
+#include "grape/engine.hpp"
+#include "util/rng.hpp"
+
+namespace g6 {
+namespace {
+
+std::vector<JParticle> random_js(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<JParticle> js(n);
+  for (auto& p : js) {
+    p.mass = 1.0 / static_cast<double>(n);
+    p.pos = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    p.vel = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    p.acc = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    p.jerk = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+    p.snap = {rng.gaussian(), rng.gaussian(), rng.gaussian()};
+  }
+  return js;
+}
+
+struct PassResult {
+  std::vector<HwAccumulators> acc;
+  std::vector<HwNeighborRecorder> nb;
+};
+
+/// One chip pass over `js` in the given pipeline mode; 48 i-particles are
+/// the first 48 j's (self-interaction cut exercises the index compare).
+PassResult run_chip_pass(PipelineMode mode, const NumberFormats& fmt,
+                         const std::vector<JParticle>& js, double t,
+                         double eps2, bool want_nb, double h2) {
+  MachineConfig mc;
+  mc.pipeline_mode = mode;
+  Chip chip(mc, fmt);
+  chip.reserve_slots(js.size());
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    chip.write(i, quantize_j_particle(js[i], static_cast<std::uint32_t>(i), fmt));
+  }
+  std::vector<IParticlePacket> iblock;
+  for (std::size_t i = 0; i < chip.i_parallelism() && i < js.size(); ++i) {
+    PredictedState s;
+    s.index = static_cast<std::uint32_t>(i);
+    s.pos = js[i].pos;
+    s.vel = js[i].vel;
+    iblock.push_back(quantize_i_particle(s, fmt));
+  }
+  PassResult r;
+  r.acc.resize(iblock.size());
+  for (auto& a : r.acc) a.reset({4, 8, 4});
+  if (want_nb) {
+    r.nb.resize(iblock.size());
+    for (std::size_t k = 0; k < r.nb.size(); ++k) {
+      r.nb[k].reset(8);  // tiny FIFO: force overflow-flag coverage
+      r.nb[k].indices.reserve(8);
+    }
+    for (auto& p : iblock) p.h2 = h2;
+  }
+  chip.run_pass(t, iblock, eps2, r.acc,
+                want_nb ? std::span<HwNeighborRecorder>(r.nb)
+                        : std::span<HwNeighborRecorder>{});
+  return r;
+}
+
+void expect_bit_identical(const PassResult& a, const PassResult& b) {
+  ASSERT_EQ(a.acc.size(), b.acc.size());
+  for (std::size_t k = 0; k < a.acc.size(); ++k) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(a.acc[k].acc[d].mantissa(), b.acc[k].acc[d].mantissa())
+          << "acc i=" << k << " d=" << d;
+      EXPECT_EQ(a.acc[k].jerk[d].mantissa(), b.acc[k].jerk[d].mantissa())
+          << "jerk i=" << k << " d=" << d;
+      EXPECT_EQ(a.acc[k].acc[d].block_exp(), b.acc[k].acc[d].block_exp()) << k;
+      EXPECT_EQ(a.acc[k].jerk[d].block_exp(), b.acc[k].jerk[d].block_exp()) << k;
+    }
+    EXPECT_EQ(a.acc[k].pot.mantissa(), b.acc[k].pot.mantissa()) << k;
+    EXPECT_EQ(a.acc[k].pot.block_exp(), b.acc[k].pot.block_exp()) << k;
+    EXPECT_EQ(a.acc[k].overflow(), b.acc[k].overflow()) << k;
+  }
+  ASSERT_EQ(a.nb.size(), b.nb.size());
+  for (std::size_t k = 0; k < a.nb.size(); ++k) {
+    EXPECT_EQ(a.nb[k].indices, b.nb[k].indices) << k;  // contents AND order
+    EXPECT_EQ(a.nb[k].overflow, b.nb[k].overflow) << k;
+    EXPECT_EQ(a.nb[k].has_nearest, b.nb[k].has_nearest) << k;
+    if (a.nb[k].has_nearest && b.nb[k].has_nearest) {
+      EXPECT_EQ(a.nb[k].nearest, b.nb[k].nearest) << k;
+      EXPECT_EQ(a.nb[k].nearest_r2, b.nb[k].nearest_r2) << k;
+    }
+  }
+}
+
+TEST(PipelineCrosscheck, BitIdenticalAcrossFormatsEpsAndNeighbors) {
+  const auto js = random_js(96, 0x5eed);
+  const NumberFormats presets[] = {
+      NumberFormats{},            // hardware formats
+      NumberFormats::exact(),     // wide path (per-op rounding skipped)
+      [] {                        // narrow custom format
+        NumberFormats f;
+        f.pipeline = FloatFormat(16, -62, 63);
+        f.velocity = FloatFormat(16, -62, 63);
+        f.predictor = FloatFormat(12, -62, 63);
+        return f;
+      }(),
+  };
+  Rng rng(0xe952);
+  for (const auto& fmt : presets) {
+    for (bool want_nb : {false, true}) {
+      const double eps2 = std::pow(10.0, rng.uniform(-6, -2));
+      const auto scalar = run_chip_pass(PipelineMode::kScalar, fmt, js, 0.125,
+                                        eps2, want_nb, 0.5);
+      const auto batched = run_chip_pass(PipelineMode::kBatched, fmt, js, 0.125,
+                                         eps2, want_nb, 0.5);
+      expect_bit_identical(scalar, batched);
+    }
+  }
+}
+
+TEST(PipelineCrosscheck, CheckModeMatchesScalarAndSelfVerifies) {
+  // kCheck runs both paths and G6_REQUIREs agreement internally; its
+  // returned bank must equal the plain scalar pass.
+  const auto js = random_js(64, 42);
+  const auto scalar = run_chip_pass(PipelineMode::kScalar, NumberFormats{}, js,
+                                    0.25, 1e-4, true, 0.25);
+  const auto check = run_chip_pass(PipelineMode::kCheck, NumberFormats{}, js,
+                                   0.25, 1e-4, true, 0.25);
+  expect_bit_identical(scalar, check);
+}
+
+/// Full-engine forces under a given pipeline mode and fault plan.
+std::vector<Force> run_engine(PipelineMode mode, const std::vector<JParticle>& js,
+                              bool with_faults,
+                              fault::FaultInjector::Counts* counts = nullptr) {
+  MachineConfig mc;
+  mc.boards_per_host = 2;
+  mc.pipeline_mode = mode;
+  GrapeForceEngine hw(mc, NumberFormats{}, 0.01);
+  std::shared_ptr<fault::FaultInjector> inj;
+  if (with_faults) {
+    fault::FaultPlan plan;
+    plan.seed = 0x6701;
+    plan.jmem_flip_rate = 2e-3;
+    plan.ipacket_rate = 2e-3;
+    inj = std::make_shared<fault::FaultInjector>(plan);
+    hw.enable_fault_tolerance(inj);
+  }
+  hw.load_particles(js);
+  std::vector<PredictedState> block(js.size());
+  for (std::size_t i = 0; i < js.size(); ++i) {
+    block[i].index = static_cast<std::uint32_t>(i);
+    block[i].pos = js[i].pos;
+    block[i].vel = js[i].vel;
+  }
+  std::vector<Force> f(js.size());
+  hw.compute_forces(0.0, block, f);
+  hw.compute_forces(0.0, block, f);  // steady-state exponents
+  if (counts && inj) *counts = inj->counts();
+  return f;
+}
+
+TEST(PipelineCrosscheck, FaultInjectionStreamIndependentOfPipelineMode) {
+  // Same plan + seed: the injector's RNG stream walks j-memory slots in
+  // the same order on both paths, so the injected faults, the recovery
+  // actions, and the final forces are all identical.
+  const auto js = random_js(96, 7);
+  fault::FaultInjector::Counts cs, cb;
+  const auto fs = run_engine(PipelineMode::kScalar, js, true, &cs);
+  const auto fb = run_engine(PipelineMode::kBatched, js, true, &cb);
+  EXPECT_EQ(cs.jmem_flips, cb.jmem_flips);
+  EXPECT_EQ(cs.ipacket_corruptions, cb.ipacket_corruptions);
+  ASSERT_EQ(fs.size(), fb.size());
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    EXPECT_EQ(fs[i].acc, fb[i].acc) << i;
+    EXPECT_EQ(fs[i].jerk, fb[i].jerk) << i;
+    EXPECT_EQ(fs[i].pot, fb[i].pot) << i;
+  }
+}
+
+TEST(PipelineCrosscheck, BatchedBitIdenticalAcrossThreadCounts) {
+  struct GlobalThreadsGuard {
+    ~GlobalThreadsGuard() { exec::ThreadPool::set_global_threads(0); }
+  } guard;
+  const auto js = random_js(128, 99);
+  std::vector<Force> ref;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    exec::ThreadPool::set_global_threads(threads);
+    const auto f = run_engine(PipelineMode::kBatched, js, false);
+    if (ref.empty()) {
+      ref = f;
+      continue;
+    }
+    ASSERT_EQ(ref.size(), f.size());
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      EXPECT_EQ(ref[i].acc, f[i].acc) << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(ref[i].jerk, f[i].jerk) << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(ref[i].pot, f[i].pot) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(PipelineCrosscheck, QuantizeFastPathMatchesReferenceOracle) {
+  const FloatFormat fmts[] = {formats::pipeline(), formats::velocity(),
+                              formats::predictor(), formats::ieee_double(),
+                              FloatFormat(4, -8, 7), FloatFormat(16, -62, 63),
+                              FloatFormat(51, -1022, 1023)};
+  // Structured patterns: powers of two, halfway (tie) cases just below and
+  // above, format boundaries, zeros, subnormal doubles, inf.
+  std::vector<double> probes = {0.0, -0.0, 1.0, -1.0, 0.5, 2.0, 1e-300,
+                                -1e-300, 1e300, 5e-324, -5e-324,
+                                std::numeric_limits<double>::infinity()};
+  for (int e = -40; e <= 40; ++e) {
+    const double p = std::ldexp(1.0, e);
+    for (double m : {1.0, 1.5, 1.0 + std::ldexp(1.0, -24),
+                     1.0 + std::ldexp(3.0, -25), 1.999999}) {
+      probes.push_back(m * p);
+      probes.push_back(-m * p);
+    }
+  }
+  Rng rng(0xfa57);
+  for (int i = 0; i < 200000; ++i) {
+    // Random bit patterns spanning the full double range (skip NaN/inf,
+    // which pass through by construction and break == comparison).
+    const double x = std::bit_cast<double>(rng.next_u64());
+    if (!std::isfinite(x)) continue;
+    probes.push_back(x);
+  }
+  for (const auto& f : fmts) {
+    for (double x : probes) {
+      if (std::isnan(x)) continue;
+      const double fast = f.quantize(x);
+      const double ref = f.quantize_ref(x);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(fast),
+                std::bit_cast<std::uint64_t>(ref))
+          << "x=" << std::hexfloat << x << " frac=" << f.frac_bits();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace g6

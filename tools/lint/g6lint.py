@@ -96,6 +96,18 @@ The GRAPE-6 software twin has correctness properties that hinge on
                   stream member wired to /dev/null) carries an inline
                   rationale.
 
+  soa-access      Bulk j-particle storage is structure-of-arrays
+                  (g6::JStore, src/hw/jstore.hpp): containers of
+                  StoredJParticle (std::vector/std::span/std::array of the
+                  AoS word) are confined to src/hw/, src/grape/ and
+                  src/fault/ — the layers that own the memory image, its
+                  upload path and its fault/scrub machinery. Anywhere else
+                  an AoS container reintroduces the strided layout the
+                  batched pipeline was built to eliminate and silently
+                  bypasses the JStore word accessors the fault tooling
+                  relies on. Single StoredJParticle values (one quantized
+                  word in flight) are fine.
+
   metric-name     Instrument and span names passed to .counter("...") /
                   .gauge("...") / .histogram("...") / G6_PHASE("...") /
                   PhaseSpan("...") must be dot-separated lowercase
@@ -147,9 +159,11 @@ import sys
 RAW_FLOAT_SCOPE = (
     "src/grape/pipeline.hpp",
     "src/grape/pipeline.cpp",
+    "src/grape/pipeline_batched.cpp",
     "src/hw/formats.hpp",
     "src/hw/formats.cpp",
     "src/hw/accumulators.hpp",
+    "src/hw/jstore.hpp",
     "src/grape/chip.hpp",
     "src/grape/chip.cpp",
     "src/grape/board.hpp",
@@ -173,6 +187,7 @@ ROUTING_TOKENS = (
     ".reset(",
     ".value(",
     "choose_block_exponent(",
+    "spanops::",  # bulk-quantize sweeps, every element FloatFormat-rounded
 )
 
 # Lines that declare/operate on integer words are exact by construction
@@ -264,6 +279,13 @@ SERVE_INTERNAL_RE = re.compile(
     r"JournalRecord|JournalReplay|RestoredService|RestoredJob)\b")
 SERVE_ISOLATION_SCOPE_PREFIXES = ("src/", "tools/", "bench/", "examples/")
 
+# AoS containers of the j-memory word: allowed only in the layers that
+# own the memory image (JStore itself, chip/engine upload, fault/scrub).
+SOA_ACCESS_RE = re.compile(
+    r"\bstd::(?:vector|span|array)\s*<\s*(?:const\s+)?StoredJParticle\b")
+SOA_ACCESS_SCOPE_PREFIXES = ("src/", "tools/", "bench/", "examples/")
+SOA_ACCESS_EXEMPT_PREFIXES = ("src/hw/", "src/grape/", "src/fault/")
+
 UNORDERED_RE = re.compile(
     r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
 UNORDERED_SCOPE_PREFIXES = ("src/", "tools/", "bench/")
@@ -289,7 +311,7 @@ METRIC_NAME_SCOPE_PREFIXES = ("src/", "tools/", "bench/", "examples/")
 RULES = ("raw-float", "native-float", "nondeterminism", "raw-timing",
          "raw-thread", "require-at-api", "nolint-comment", "bare-abort",
          "serve-isolation", "unordered-iter", "volatile-sync",
-         "metric-name", "durable-writes")
+         "metric-name", "durable-writes", "soa-access")
 
 
 class Finding:
@@ -500,6 +522,17 @@ def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None
                 "shared pool via g6::exec::TaskGroup / parallel_for "
                 "(src/exec/thread_pool.hpp) so thread count stays one knob "
                 "and the determinism contract holds"))
+
+        if (relpath.startswith(SOA_ACCESS_SCOPE_PREFIXES)
+                and not relpath.startswith(SOA_ACCESS_EXEMPT_PREFIXES)
+                and SOA_ACCESS_RE.search(code)
+                and not sup.allowed("soa-access", lineno)):
+            findings.append(Finding(
+                relpath, lineno, "soa-access",
+                "AoS container of StoredJParticle outside src/hw|grape|"
+                "fault — bulk j-particle storage is structure-of-arrays; "
+                "hold a g6::JStore (hw/jstore.hpp) and go through its "
+                "word accessors / column spans"))
 
         if (relpath.startswith(UNORDERED_SCOPE_PREFIXES)
                 and UNORDERED_RE.search(code)

@@ -559,6 +559,60 @@ class DurableWritesTest(LintHarness):
         self.assertIn("durable-writes", g6lint.RULES)
 
 
+class SoaAccessTest(LintHarness):
+    """The soa-access rule: bulk j-particle storage is SoA (JStore);
+    AoS containers of StoredJParticle stay inside src/hw|grape|fault."""
+
+    def test_vector_banned_outside_owning_layers(self):
+        findings = self.lint(
+            "src/serve/cache.cpp",
+            "void f() { std::vector<StoredJParticle> js(64);\n"
+            "  G6_REQUIRE(true); }\n")
+        self.assertIn("soa-access", self.rules_of(findings))
+
+    def test_span_and_array_banned_too(self):
+        bad_span = ("void f(std::span<const StoredJParticle> js) {\n"
+                    "  G6_REQUIRE(!js.empty()); }\n")
+        bad_array = ("void f() { std::array<StoredJParticle, 4> js{};\n"
+                     "  G6_REQUIRE(true); }\n")
+        self.assertIn("soa-access",
+                      self.rules_of(self.lint("src/perf/t.cpp", bad_span)))
+        self.assertIn("soa-access",
+                      self.rules_of(self.lint("tools/dump.cpp", bad_array)))
+
+    def test_owning_layers_are_exempt(self):
+        aos = ("void f() { std::vector<StoredJParticle> js(64);\n"
+               "  G6_REQUIRE(true); }\n")
+        for path in ("src/hw/jstore2.cpp", "src/grape/upload.cpp",
+                     "src/fault/scrub.cpp"):
+            self.assertNotIn("soa-access", self.rules_of(self.lint(path, aos)))
+
+    def test_single_word_in_flight_is_fine(self):
+        findings = self.lint(
+            "src/serve/cache.cpp",
+            "StoredJParticle quantize_one() { StoredJParticle p;\n"
+            "  G6_REQUIRE(true); return p; }\n")
+        self.assertNotIn("soa-access", self.rules_of(findings))
+
+    def test_comment_mention_is_fine(self):
+        findings = self.lint(
+            "src/serve/cache.cpp",
+            "// migrated off std::vector<StoredJParticle> to JStore\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("soa-access", self.rules_of(findings))
+
+    def test_suppression_with_reason_works(self):
+        findings = self.lint(
+            "src/serve/cache.cpp",
+            "void f() { std::vector<StoredJParticle> js;  "
+            "// g6lint: allow(soa-access) -- serialization shim, not iterated\n"
+            "  G6_REQUIRE(true); }\n")
+        self.assertNotIn("soa-access", self.rules_of(findings))
+
+    def test_rule_is_registered(self):
+        self.assertIn("soa-access", g6lint.RULES)
+
+
 class BaselineTest(LintHarness):
     """The grandfathering baseline: counted suppression with a ratchet."""
 
