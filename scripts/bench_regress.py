@@ -122,6 +122,11 @@ SERVE_RECOVERY_EXACT = ("completed", "checkpoints", "journal_records")
 # recover_ms is single-digit milliseconds — pure noise at gate
 # tolerances, recorded for trend-spotting only.
 SERVE_RECOVERY_TIME = ("makespan_s",)
+# Remote rows (bench/serve_load): keyed by connection count. "events" is
+# deliberately ungated — progress frames coalesce with poll timing.
+SERVE_REMOTE_EXACT = ("jobs", "completed", "requests")
+SERVE_REMOTE_TIME = ("p50_wait_s", "p95_wait_s", "p99_wait_s")
+SERVE_REMOTE_RATE = ("jobs_per_hour",)
 EQ10_EXACT = ("steps", "blocksteps")
 EQ10_TIME = ("host_s", "dma_s", "net_s", "grape_s", "total_s")
 
@@ -159,6 +164,22 @@ def compare_serve(base: dict, fresh: dict, cmp: Comparison) -> None:
         for col in SERVE_RECOVERY_TIME:
             if b.get(col, "-") != "-" and f.get(col, "-") != "-":
                 cmp.time(f"{name}.{col}", b[col], f[col])
+    fresh_remote = {r["connections"]: r for r in fresh.get("remote", [])}
+    for b in base.get("remote", []):
+        name = f"remote[connections={b['connections']}]"
+        f = fresh_remote.get(b["connections"])
+        if f is None:
+            cmp.missing(name)
+            continue
+        for col in SERVE_REMOTE_EXACT:
+            if col in b and col in f:
+                cmp.exact(f"{name}.{col}", b[col], f[col])
+        for col in SERVE_REMOTE_TIME:
+            if col in b and col in f:
+                cmp.time(f"{name}.{col}", b[col], f[col])
+        for col in SERVE_REMOTE_RATE:
+            if col in b and col in f:
+                cmp.rate(f"{name}.{col}", b[col], f[col])
     b_eq, f_eq = base.get("eq10"), fresh.get("eq10")
     if b_eq and f_eq:
         for field in EQ10_EXACT:

@@ -23,6 +23,15 @@ wall-clock leakage in anything structural. This script locks that in:
      flight recorder is deliberately NOT here: its ring interleaves
      worker-thread events, so the dump is schedule-dependent by design
      (docs/OBSERVABILITY.md documents the exemption).
+  4. (with --served + --loadgen) grape6_served twice on a unix socket,
+     each time driven by the same loadgen manifest over 2 connections:
+     the wire.* transport instruments must export with a stable key
+     order, and every counter the *client* drives (connections, request
+     frames and their bytes) must match exactly. The event stream back
+     out is exempt by value — how many progress frames a job streams
+     depends on where the daemon's poll loop lands relative to
+     simulation rounds — but its instruments must still be present, and
+     the RPC histogram's observation count must equal wire.requests.
 
 Exits non-zero with a diff summary on any mismatch.
 """
@@ -44,6 +53,69 @@ from pathlib import Path
 SCHEDULE_DEPENDENT_COUNTERS = frozenset({
     "exec.steals",
 })
+
+# The wire.* transport counters split the same way: everything the
+# client SENDS is an exact function of the manifest (how many
+# connections, request frames, request bytes), while the event stream
+# back out is paced by where the daemon's poll loop lands relative to
+# simulation rounds — a job may stream its progress as one event per
+# quantum or as fewer, coalesced diffs. Presence and key order stay
+# mandatory; only the values below may vary.
+WIRE_TIMING_DEPENDENT_COUNTERS = frozenset({
+    "wire.frames_out",
+    "wire.bytes_out",
+    "wire.events",
+})
+
+# Instruments a clean served run must export (wire.protocol_errors is
+# deliberately absent: instruments register lazily on first touch, and
+# a clean run never touches it).
+WIRE_REQUIRED_COUNTERS = (
+    "wire.connections", "wire.frames_in", "wire.bytes_in", "wire.requests",
+    "wire.frames_out", "wire.bytes_out", "wire.events",
+)
+WIRE_REQUIRED_GAUGES = ("wire.conns.open", "wire.subscribers")
+
+
+def compare_wire_metrics(a: dict, b: dict) -> list[str]:
+    """wire.* subset of two served exports: stable key order,
+    client-driven counters exact, event-stream counters exempt by value,
+    RPC histogram bins exempt (they bucket wall-clock round trips) but
+    its observation count tied to wire.requests."""
+    errors = []
+    wa = {k: v for k, v in a["counters"].items() if k.startswith("wire.")}
+    wb = {k: v for k, v in b["counters"].items() if k.startswith("wire.")}
+    if list(wa.keys()) != list(wb.keys()):
+        errors.append(f"wire counter key order differs: {list(wa)} vs "
+                      f"{list(wb)}")
+        return errors
+    missing = [k for k in WIRE_REQUIRED_COUNTERS if k not in wa]
+    if missing:
+        errors.append(f"wire counters missing from export: {missing}")
+    diffs = [k for k in wa if wa[k] != wb[k]
+             and k not in WIRE_TIMING_DEPENDENT_COUNTERS]
+    if diffs:
+        errors.append(f"wire counter values differ: {diffs}")
+    if wa.get("wire.protocol_errors", 0) != 0:
+        errors.append("wire.protocol_errors nonzero in a clean run")
+    ga = [k for k in a["gauges"] if k.startswith("wire.")]
+    gb = [k for k in b["gauges"] if k.startswith("wire.")]
+    if ga != gb:
+        errors.append(f"wire gauge keys differ: {ga} vs {gb}")
+    errors += [f"wire gauge '{g}' missing from export"
+               for g in WIRE_REQUIRED_GAUGES if g not in ga]
+    ha = a["histograms"].get("wire.rpc_s")
+    hb = b["histograms"].get("wire.rpc_s")
+    if ha is None or hb is None:
+        errors.append("wire.rpc_s histogram missing from export")
+    else:
+        if ha["count"] != hb["count"]:
+            errors.append(f"wire.rpc_s observation counts differ: "
+                          f"{ha['count']} vs {hb['count']}")
+        if ha["count"] != wa.get("wire.requests"):
+            errors.append("wire.rpc_s count != wire.requests (an RPC path "
+                          "skipped its timing observation)")
+    return errors
 
 # Structural exactness: every counter and histogram *count* must match
 # between two identical runs. Gauges and histogram moments can carry
@@ -163,7 +235,14 @@ def main() -> int:
     ap.add_argument("--serve", default=None,
                     help="path to grape6_serve; adds the attribution-scope "
                          "and time-series determinism checks")
+    ap.add_argument("--served", default=None,
+                    help="path to grape6_served; with --loadgen, adds the "
+                         "wire.* transport determinism check")
+    ap.add_argument("--loadgen", default=None,
+                    help="path to grape6_loadgen (required with --served)")
     args = ap.parse_args()
+    if bool(args.served) != bool(args.loadgen):
+        ap.error("--served and --loadgen must be given together")
 
     with tempfile.TemporaryDirectory() as td:
         tmp = Path(td)
@@ -221,6 +300,55 @@ def main() -> int:
             if s1.stdout != s2.stdout:
                 errors.append("serve: g6report output differs between two "
                               "reads of the same file")
+
+        if args.served:
+            daemon_manifest = tmp / "wire_service.json"
+            daemon_manifest.write_text(json.dumps(
+                {"schema": "grape6-serve-manifest-v1",
+                 "service": SERVE_SERVICE}, indent=2))
+            jobs_manifest = tmp / "wire_jobs.json"
+            jobs_manifest.write_text(json.dumps(
+                {"schema": "grape6-serve-manifest-v1",
+                 "service": SERVE_SERVICE, "jobs": SERVE_JOBS}, indent=2))
+            wire_metrics = []
+            for i in (0, 1):
+                sock = tmp / f"wire{i}.sock"
+                m_out = tmp / f"wire_m{i}.json"
+                daemon = subprocess.Popen(
+                    [args.served, f"--listen=unix:{sock}",
+                     f"--manifest={daemon_manifest}",
+                     f"--out={tmp / f'wired{i}'}", "--snapshots=false",
+                     f"--metrics-out={m_out}"],
+                    stdout=subprocess.PIPE, text=True)
+                try:
+                    banner = daemon.stdout.readline()  # blocks until bound
+                    if "listening on" not in banner:
+                        sys.exit(f"unexpected served banner: {banner!r}")
+                    run([args.loadgen, f"--connect=unix:{sock}",
+                         f"--manifest={jobs_manifest}", "--connections=2",
+                         "--drain=true"])
+                    out, _ = daemon.communicate(timeout=120)
+                    if daemon.returncode != 0:
+                        sys.exit(f"grape6_served exited {daemon.returncode}:"
+                                 f"\n{out}")
+                finally:
+                    if daemon.poll() is None:
+                        daemon.kill()
+                wire_metrics.append(json.loads(m_out.read_text()))
+
+            errors += [f"wire: {e}" for e in
+                       compare_wire_metrics(wire_metrics[0], wire_metrics[1])]
+
+            # The wire summary renders through g6report too.
+            wire_in = tmp / "wire_m0.json"
+            w1 = run([args.report, f"--in={wire_in}"])
+            w2 = run([args.report, f"--in={wire_in}"])
+            if w1.stdout != w2.stdout:
+                errors.append("wire: g6report output differs between two "
+                              "reads of the same file")
+            if "wire summary:" not in w1.stdout:
+                errors.append("wire: g6report shows no wire summary for a "
+                              "served metrics file")
 
     if errors:
         for e in errors:

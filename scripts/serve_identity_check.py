@@ -38,8 +38,12 @@ JOBS = [
      "seed": 15, "boards": 2, "priority": "batch"},
     {"name": "bat-d", "model": "plummer", "n": 32, "t_end": 0.0625,
      "seed": 16, "boards": 1, "priority": "batch"},
-    {"name": "bat-e", "model": "uniform", "n": 48, "t_end": 0.0625,
-     "seed": 17, "boards": 1, "priority": "batch"},
+    # Autoscaling lease bounds; t_end outlives the pack so the freed
+    # boards grow this lease — shared-run resizes must stay invisible to
+    # the physics just like multiplexing does.
+    {"name": "bat-e", "model": "uniform", "n": 48, "t_end": 0.25,
+     "seed": 17, "boards": 1, "boards_min": 1, "boards_max": 2,
+     "priority": "batch"},
     {"name": "bat-f", "model": "disk", "n": 48, "t_end": 0.0625,
      "seed": 18, "boards": 2, "priority": "batch"},
     {"name": "bat-g", "model": "plummer", "n": 48, "t_end": 0.0625,
@@ -97,6 +101,9 @@ def main():
     if svc["revocations"] < 1:
         raise SystemExit("FAIL: board death revoked no lease — the death "
                          "must hit a leased board to exercise re-queue")
+    if sum(j.get("resizes", 0) for j in report["jobs"]) < 1:
+        raise SystemExit("FAIL: no lease was autoscaled in the shared run — "
+                         "bat-e's bounds must produce at least one resize")
 
     # Standalone runs: one job per service, full healthy machine, no
     # neighbors, no deaths. Identical physics is the contract.

@@ -54,6 +54,7 @@ def run_and_distill(bench: str, jobs: int) -> dict:
         "jobs_per_mix": jobs,
         "mixes": mixes,
         "recovery": run_recovery_bench(bench),
+        "remote": run_remote_bench(bench),
         "eq10": metrics.get("eq10"),
     }
 
@@ -71,6 +72,30 @@ def run_recovery_bench(throughput_bench: str) -> list:
     with tempfile.TemporaryDirectory() as tmp:
         csv_path = os.path.join(tmp, "serve_recovery.csv")
         cmd = [bench, f"--csv={csv_path}"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        sys.stdout.write(proc.stdout)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(f"FAIL: {' '.join(cmd)} exited {proc.returncode}")
+        with open(csv_path) as f:
+            return list(csv.DictReader(f))
+
+
+def run_remote_bench(throughput_bench: str) -> list:
+    """Distill bench/serve_load (jobs/hour and wait percentiles over the
+    wire, swept over client connection count) when its binary sits next
+    to serve_throughput. The deterministic columns (jobs, completed,
+    requests) are what bench_regress.py gates; events coalesce with poll
+    timing and the wall-clock columns vary by machine — trend data."""
+    bench = os.path.join(os.path.dirname(throughput_bench), "serve_load")
+    if not (os.path.isfile(bench) and os.access(bench, os.X_OK)):
+        sys.stderr.write(f"note: {bench} not built; snapshot omits the "
+                         "remote section\n")
+        return []
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = os.path.join(tmp, "serve_load.csv")
+        sock_prefix = os.path.join(tmp, "serve_load")
+        cmd = [bench, f"--csv={csv_path}", f"--socket-prefix={sock_prefix}"]
         proc = subprocess.run(cmd, capture_output=True, text=True)
         sys.stdout.write(proc.stdout)
         if proc.returncode != 0:

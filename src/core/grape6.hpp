@@ -22,6 +22,8 @@
 //   tree     — Barnes-Hut treecode baseline
 //   serve    — multi-tenant serving layer: admission, board leases,
 //              job scheduling over the shared machine (docs/SERVING.md)
+//   wire     — remote serving: socket transport, grape6-wire-v1
+//              framing/envelopes, streaming server and client
 //   core     — experiment drivers used by the benchmark harness
 
 #include "core/experiment.hpp"
@@ -66,3 +68,4 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
+#include "wire/wire.hpp"

@@ -21,6 +21,7 @@ const char* flight_event_name(FlightEventType type) {
     case FlightEventType::kRequeue: return "requeue";
     case FlightEventType::kJobCompleted: return "job_completed";
     case FlightEventType::kJobFailed: return "job_failed";
+    case FlightEventType::kLeaseResize: return "lease_resize";
   }
   return "unknown";
 }

@@ -36,6 +36,7 @@ enum class FlightEventType : std::uint8_t {
   kRequeue,
   kJobCompleted,
   kJobFailed,
+  kLeaseResize,
 };
 
 /// Stable lowercase identifier ("quantum_start", ...): the JSON "type".

@@ -44,6 +44,16 @@ AdmissionDecision AdmissionController::validate_spec(const JobSpec& spec) {
     return AdmissionDecision::no(RejectReason::kInvalidSpec,
                                  "boards must be at least 1");
   }
+  if (spec.boards_min > 0 && spec.boards_min > spec.boards) {
+    os << "boards_min=" << spec.boards_min << " exceeds boards="
+       << spec.boards;
+    return AdmissionDecision::no(RejectReason::kInvalidSpec, os.str());
+  }
+  if (spec.boards_max > 0 && spec.boards_max < spec.boards) {
+    os << "boards_max=" << spec.boards_max << " is below boards="
+       << spec.boards;
+    return AdmissionDecision::no(RejectReason::kInvalidSpec, os.str());
+  }
   return AdmissionDecision::yes();
 }
 
@@ -57,10 +67,14 @@ AdmissionDecision AdmissionController::decide(const JobSpec& spec,
   }
   AdmissionDecision v = validate_spec(spec);
   if (!v.admit) return v;
-  if (spec.boards > healthy_boards) {
+  // Feasibility is keyed on the smallest lease the job can run with:
+  // an autoscaling job whose boards_min fits a degraded machine is still
+  // runnable (the scheduler dispatches it shrunk).
+  if (spec.min_boards() > healthy_boards) {
     std::ostringstream os;
-    os << "job wants " << spec.boards << " board(s), machine has "
-       << healthy_boards << " healthy of " << pool_boards_;
+    os << "job wants at least " << spec.min_boards()
+       << " board(s), machine has " << healthy_boards << " healthy of "
+       << pool_boards_;
     return AdmissionDecision::no(RejectReason::kBoardsUnavailable, os.str());
   }
   if (queued_now >= max_queue_depth_) {

@@ -36,7 +36,8 @@ void encode_spec(std::ostream& os, const JobSpec& s) {
      << ",\"n\":" << s.n << ",\"w0\":" << num(s.w0)
      << ",\"t_end\":" << num(s.t_end) << ",\"eps\":" << num(s.eps)
      << ",\"eta\":" << num(s.eta) << ",\"seed\":" << s.seed
-     << ",\"boards\":" << s.boards
+     << ",\"boards\":" << s.boards << ",\"boards_min\":" << s.boards_min
+     << ",\"boards_max\":" << s.boards_max
      << ",\"priority\":" << quote(priority_name(s.priority))
      << ",\"deadline_rounds\":" << s.deadline_rounds
      << ",\"chaos_fail_quanta\":" << s.chaos_fail_quanta << "}";
@@ -115,7 +116,8 @@ std::string string_at(const JsonValue& obj, const std::string& key,
 JobSpec decode_spec(const JsonValue& j, const std::string& where) {
   check_keys(j,
              {"name", "model", "n", "w0", "t_end", "eps", "eta", "seed",
-              "boards", "priority", "deadline_rounds", "chaos_fail_quanta"},
+              "boards", "boards_min", "boards_max", "priority",
+              "deadline_rounds", "chaos_fail_quanta"},
              where);
   JobSpec s;
   s.name = string_at(j, "name", where);
@@ -127,6 +129,8 @@ JobSpec decode_spec(const JsonValue& j, const std::string& where) {
   s.eta = number_at(j, "eta", where);
   s.seed = static_cast<unsigned>(u64_at(j, "seed", where));
   s.boards = static_cast<std::size_t>(u64_at(j, "boards", where));
+  s.boards_min = static_cast<std::size_t>(u64_at(j, "boards_min", where));
+  s.boards_max = static_cast<std::size_t>(u64_at(j, "boards_max", where));
   const std::string prio = string_at(j, "priority", where);
   if (prio == "interactive") {
     s.priority = Priority::kInteractive;
@@ -179,7 +183,8 @@ ServiceConfig decode_config(const JsonValue& j, const std::string& where) {
 
 JournalRecordType type_from_name(const std::string& name,
                                  const std::string& where) {
-  for (int t = 0; t <= static_cast<int>(JournalRecordType::kDrained); ++t) {
+  for (int t = 0; t <= static_cast<int>(JournalRecordType::kLeaseResized);
+       ++t) {
     const auto rt = static_cast<JournalRecordType>(t);
     if (name == journal_record_type_name(rt)) return rt;
   }
@@ -218,6 +223,8 @@ const char* journal_record_type_name(JournalRecordType t) {
       return "quarantined";
     case JournalRecordType::kDrained:
       return "drained";
+    case JournalRecordType::kLeaseResized:
+      return "lease-resized";
   }
   return "?";
 }
@@ -284,6 +291,10 @@ std::string encode_record(const JournalRecord& rec) {
     case JournalRecordType::kDrained:
       os << ",\"reason\":" << quote(rec.reason);
       break;
+    case JournalRecordType::kLeaseResized:
+      os << ",\"job\":" << rec.job << ",\"boards\":" << rec.boards
+         << ",\"reason\":" << quote(rec.reason);
+      break;
   }
   os << "}";
   return os.str();
@@ -348,6 +359,9 @@ JournalRecord decode_record(std::string_view line) {
       break;
     case JournalRecordType::kDrained:
       keys.insert("reason");
+      break;
+    case JournalRecordType::kLeaseResized:
+      keys.insert({"job", "boards", "reason"});
       break;
   }
   check_keys(root, keys, where);

@@ -56,6 +56,7 @@ enum class JournalRecordType : int {
   kFailed = 11,      ///< job failed (deadline/requeue budget/error); terminal
   kQuarantined = 12, ///< poison job isolated; terminal
   kDrained = 13,     ///< service drained (normal or SIGTERM); clean shutdown
+  kLeaseResized = 14, ///< autoscaling grew/shrank a lease between quanta
 };
 
 const char* journal_record_type_name(JournalRecordType t);
@@ -74,7 +75,8 @@ struct JournalRecord {
 
   std::string reason;   ///< kRejected/kFailed: reject reason name;
                         ///< kRequeued: "revocation"|"retry";
-                        ///< kDrained: "drained"|"sigterm"
+                        ///< kDrained: "drained"|"sigterm";
+                        ///< kLeaseResized: "grow"|"shrink"|"fit"
   std::string message;  ///< kRejected/kFailed human-readable detail
   std::string file;     ///< kCheckpointed: checkpoint path;
                         ///< kQuarantined: flight-recorder dump path
@@ -90,7 +92,7 @@ struct JournalRecord {
   int failures = 0;                    ///< kRequeued (retry) / kQuarantined
   std::uint64_t hold_until = 0;        ///< kRequeued: backoff release round
   std::size_t board = 0;               ///< kBoardDeath
-  std::size_t boards = 0;              ///< kStarted: lease size
+  std::size_t boards = 0;              ///< kStarted/kLeaseResized: lease size
   std::uint64_t records = 0;           ///< kRecovered: records replayed
 };
 

@@ -64,7 +64,8 @@ JobSpec parse_job(const JsonValue& j, std::size_t index) {
   const std::string where = "jobs[" + std::to_string(index) + "]";
   check_keys(j,
              {"name", "model", "n", "w0", "t_end", "eps", "eta", "seed",
-              "boards", "priority", "deadline_rounds", "chaos_fail_quanta"},
+              "boards", "boards_min", "boards_max", "priority",
+              "deadline_rounds", "chaos_fail_quanta"},
              where);
   if (j.find("name") == nullptr) fail(where + ": missing required key 'name'");
 
@@ -78,6 +79,8 @@ JobSpec parse_job(const JsonValue& j, std::size_t index) {
   if (j.find("eta")) spec.eta = number_at(j, "eta", where);
   if (j.find("seed")) spec.seed = static_cast<unsigned>(size_at(j, "seed", where));
   if (j.find("boards")) spec.boards = size_at(j, "boards", where);
+  if (j.find("boards_min")) spec.boards_min = size_at(j, "boards_min", where);
+  if (j.find("boards_max")) spec.boards_max = size_at(j, "boards_max", where);
   if (j.find("priority")) {
     spec.priority = parse_priority(string_at(j, "priority", where), where);
   }
@@ -187,10 +190,13 @@ Manifest parse_manifest(const std::string& text) {
     m.service = parse_service(*service);
   }
 
+  // "jobs" is optional: a service-only manifest describes the machine a
+  // serving daemon (tools/grape6_served) fronts, with every job arriving
+  // over the wire. A PRESENT but empty array is still an error — that is
+  // a manifest that meant to list jobs and lost them.
   const JsonValue* jobs = root.find("jobs");
-  if (jobs == nullptr || !jobs->is_array()) {
-    fail("manifest: key 'jobs' must be an array");
-  }
+  if (jobs == nullptr) return m;
+  if (!jobs->is_array()) fail("manifest: key 'jobs' must be an array");
   if (jobs->items().empty()) fail("manifest: 'jobs' is empty");
 
   std::set<std::string> names;

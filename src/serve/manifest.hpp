@@ -19,6 +19,7 @@
 //         "model": "plummer",            // optional, defaults as JobSpec
 //         "n": 256, "t_end": 0.25, "eta": 0.02, "eps": 0.015625,
 //         "w0": 6.0, "seed": 1, "boards": 2,
+//         "boards_min": 1, "boards_max": 4,  // autoscaling lease bounds
 //         "priority": "batch" },         // "interactive" | "batch"
 //       ...
 //     ]

@@ -130,6 +130,15 @@ RestoredService recover_from_journal(const std::string& journal_path) {
       case JournalRecordType::kStarted:
         job_at(rec.job, rec.seq);  // still live; nothing to fold
         break;
+      case JournalRecordType::kLeaseResized: {
+        // Replay rebuilds the autoscaled lease size exactly: the job's
+        // next dispatch re-acquires boards_now boards, so its resumed
+        // pipeline has the same shape the crashed process ran with.
+        RestoredJob& job = job_at(rec.job, rec.seq);
+        job.boards_now = rec.boards;
+        ++job.resizes;
+        break;
+      }
       case JournalRecordType::kQuantum: {
         RestoredJob& job = job_at(rec.job, rec.seq);
         job.quanta = rec.quanta;

@@ -41,6 +41,7 @@ void track_sampler_instruments() {
   s.track_counter("serve.preemptions");
   s.track_counter("serve.revocations");
   s.track_counter("serve.requeues");
+  s.track_counter("serve.lease.resizes");
   s.track_counter("serve.board_deaths");
   s.track_counter("serve.journal.records");
   s.track_counter("serve.checkpoint.writes");
@@ -128,6 +129,11 @@ Scheduler::Scheduler(RestoredService restored)
     r->e0 = j.e0;
     r->e_final = j.e_final;
     r->checkpoint_file = j.checkpoint_file;
+    // Replayed lease-resized records restore the autoscaled lease size
+    // exactly; the next dispatch acquires that many boards again.
+    r->boards_target = j.boards_now != 0 ? j.boards_now : j.spec.boards;
+    r->resizes = j.resizes;
+    stats_.resizes += j.resizes;
     r->submit_wall_s = obs::monotonic_seconds();
     ++stats_.submitted;
 
@@ -230,6 +236,7 @@ SubmitResult Scheduler::submit(const JobSpec& spec) {
   auto r = std::make_unique<Record>();
   r->spec = spec;
   r->id = static_cast<JobId>(records_.size() + 1);
+  r->boards_target = spec.boards;
   r->submit_wall_s = obs::monotonic_seconds();
   r->submit_round = round_index_;
 
@@ -356,8 +363,14 @@ void Scheduler::round() {
   for (JobId id : running) fold_quantum(rec(id));
 
   if (blocked != 0 && rec(blocked).state == JobState::kQueued) {
+    // Queue pressure, escalating: first shrink running autoscalable jobs
+    // toward boards_min (they keep running, smaller), then preempt.
+    shrink_for(blocked);
     preempt_for(blocked);
   }
+  // Idle headroom flows back: with nothing queued, autoscalable jobs
+  // grow toward boards_max between quanta.
+  grow_leases();
 
   update_round_gauges();
   // One time-series row per round: a LOGICAL tick, so two identical runs
@@ -423,16 +436,31 @@ JobId Scheduler::dispatch() {
     // Retry backoff: the job sits out its hold window (it neither runs
     // nor drives preemption) and re-enters dispatch when it expires.
     if (r.hold_until_round > round_index_) continue;
-    if (r.spec.boards > partition_.healthy()) {
-      // The machine shrank below this job's needs; it can never run.
+    if (r.spec.min_boards() > partition_.healthy()) {
+      // The machine shrank below even the smallest lease this job can
+      // run with; it can never run.
       queue_.remove(id);
       fail_job(r, RejectReason::kBoardsUnavailable,
                "machine degraded below the job's board request (" +
-                   std::to_string(r.spec.boards) + " wanted, " +
+                   std::to_string(r.spec.min_boards()) + " wanted, " +
                    std::to_string(partition_.healthy()) + " healthy)");
       continue;
     }
-    auto lease = partition_.acquire(id, r.spec.boards);
+    // Ask for the job's current target lease, clamped to what the
+    // machine still has healthy (a fixed-size job's target IS
+    // spec.boards, so this is the pre-autoscaling behavior for it).
+    const std::size_t desired =
+        std::max(r.spec.min_boards(),
+                 std::min(r.boards_target, partition_.healthy()));
+    auto lease = partition_.acquire(id, desired);
+    if (!lease && r.spec.autoscales() &&
+        partition_.free() >= r.spec.min_boards()) {
+      // Shrink-to-fit: an autoscalable job takes whatever is free (at
+      // least boards_min) rather than wait for its full target.
+      lease = partition_.acquire(
+          id, std::max(r.spec.min_boards(),
+                       std::min(desired, partition_.free())));
+    }
     if (!lease) {
       // Blocked on busy boards. Remember the first (it drives
       // preemption); smaller jobs behind it may still backfill.
@@ -442,6 +470,14 @@ JobId Scheduler::dispatch() {
     queue_.remove(id);
     r.lease = std::move(*lease);
     r.state = JobState::kRunning;
+    if (r.lease.size() != r.boards_target) {
+      // The grant differs from the size the job last ran at: this is a
+      // resize. A warm (preempted) runtime was shaped for the old lease
+      // — its BFP exponent cache is per-board — so it is dropped and
+      // start_runtime rebuilds from the saved quantum-boundary state.
+      r.runtime.reset();
+      record_resize(r, "fit");
+    }
     start_runtime(r);
     JournalRecord jr;
     jr.type = JournalRecordType::kStarted;
@@ -725,8 +761,12 @@ void Scheduler::observe_terminal(const Record& r) {
 
 void Scheduler::preempt_for(JobId blocked_id) {
   Record& blocked = rec(blocked_id);
-  if (blocked.spec.boards <= partition_.free()) return;  // freed by folds
-  std::size_t needed = blocked.spec.boards - partition_.free();
+  // The smallest lease that unblocks the job: its floor (shrink-to-fit
+  // at the next dispatch covers the rest). Fixed-size jobs' floor is
+  // spec.boards, the pre-autoscaling behavior.
+  const std::size_t want = blocked.spec.min_boards();
+  if (want <= partition_.free()) return;  // freed by folds or shrinks
+  std::size_t needed = want - partition_.free();
 
   // Victims: running jobs of the same or lower priority (numerically >=),
   // least-urgent first, most virtual GRAPE time consumed first (fair
@@ -773,6 +813,104 @@ void Scheduler::preempt_for(JobId blocked_id) {
                    static_cast<unsigned long long>(v->id), freed,
                    static_cast<unsigned long long>(blocked_id));
     needed -= std::min(needed, freed);
+  }
+}
+
+void Scheduler::record_resize(Record& r, const char* why) {
+  r.boards_target = r.lease.size();
+  ++r.resizes;
+  ++stats_.resizes;
+  reg().counter("serve.lease.resizes").add();
+  flight().record(obs::FlightEventType::kLeaseResize, r.id,
+                  static_cast<std::int64_t>(round_index_),
+                  static_cast<std::int64_t>(r.lease.size()), why);
+  JournalRecord jr;
+  jr.type = JournalRecordType::kLeaseResized;
+  jr.job = r.id;
+  jr.boards = r.lease.size();
+  jr.reason = why;
+  journal_append(std::move(jr));
+  obs::log_debug("serve: job %llu lease resized to %zu board(s) (%s)",
+                 static_cast<unsigned long long>(r.id), r.lease.size(), why);
+}
+
+void Scheduler::resize_running(Record& r, std::size_t new_size,
+                               const char* why) {
+  G6_REQUIRE(r.state == JobState::kRunning);
+  // Resizes happen only at quantum boundaries, where the job has a clean
+  // saved state to rebuild from (the BFP exponent cache inside the
+  // runtime is shaped by the lease size, so the runtime cannot survive).
+  G6_REQUIRE_MSG(r.has_saved, "resize of a job with no quantum boundary");
+  G6_REQUIRE(new_size >= 1 && new_size != r.lease.size());
+  release_lease(r);
+  auto lease = partition_.acquire(r.id, new_size);
+  G6_REQUIRE_MSG(lease.has_value(),
+                 "lease resize could not re-acquire boards it just freed");
+  r.lease = std::move(*lease);
+  r.runtime.reset();
+  {
+    // Same save/restore path a revocation uses: bit-identical resume,
+    // attributed to the job.
+    const obs::ScopedMetricScope attribution(r.scope);
+    r.runtime = std::make_unique<JobRuntime>(r.spec, cfg_.machine, new_size,
+                                             r.saved, r.e0);
+  }
+  record_resize(r, why);
+}
+
+void Scheduler::shrink_for(JobId blocked_id) {
+  Record& blocked = rec(blocked_id);
+  const std::size_t need = blocked.spec.min_boards();
+  // Donors: running autoscalable jobs above their floor, same or lower
+  // priority than the blocked job, in the preemption victim order — so
+  // shrinking and preemption burden the same jobs, in the same sequence,
+  // run after run.
+  std::vector<Record*> donors;
+  for (const auto& r : records_) {
+    if (r->state != JobState::kRunning) continue;
+    if (!r->spec.autoscales() || !r->has_saved) continue;
+    if (r->lease.size() <= r->spec.min_boards()) continue;
+    if (static_cast<int>(r->spec.priority) <
+        static_cast<int>(blocked.spec.priority)) {
+      continue;
+    }
+    donors.push_back(r.get());
+  }
+  std::sort(donors.begin(), donors.end(), [](const Record* a,
+                                             const Record* b) {
+    if (a->spec.priority != b->spec.priority) {
+      return static_cast<int>(a->spec.priority) >
+             static_cast<int>(b->spec.priority);
+    }
+    if (a->grape_virtual_s != b->grape_virtual_s) {
+      return a->grape_virtual_s > b->grape_virtual_s;
+    }
+    return a->id > b->id;
+  });
+  for (Record* d : donors) {
+    if (partition_.free() >= need) break;
+    const std::size_t deficit = need - partition_.free();
+    const std::size_t give =
+        std::min(d->lease.size() - d->spec.min_boards(), deficit);
+    resize_running(*d, d->lease.size() - give, "shrink");
+  }
+}
+
+void Scheduler::grow_leases() {
+  // Growth only when nothing is waiting: a queued job has first claim on
+  // free boards (next round's dispatch), so growing past it would just
+  // force a shrink back.
+  if (!queue_.empty() || partition_.free() == 0) return;
+  for (const auto& rp : records_) {
+    Record& r = *rp;
+    if (r.state != JobState::kRunning) continue;
+    if (!r.spec.autoscales() || !r.has_saved) continue;
+    if (r.lease.size() >= r.spec.max_boards()) continue;
+    const std::size_t grow =
+        std::min(r.spec.max_boards() - r.lease.size(), partition_.free());
+    if (grow == 0) break;
+    resize_running(r, r.lease.size() + grow, "grow");
+    if (partition_.free() == 0) break;
   }
 }
 
@@ -913,6 +1051,8 @@ JobReport Scheduler::report(JobId id) const {
   rep.message = r.message;
   rep.n = r.spec.n;
   rep.boards = r.spec.boards;
+  rep.boards_now = r.boards_target != 0 ? r.boards_target : r.spec.boards;
+  rep.resizes = r.resizes;
   rep.t_end = r.spec.t_end;
   rep.t_reached = r.t_reached;
   rep.steps = r.steps;

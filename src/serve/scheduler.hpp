@@ -89,6 +89,8 @@ struct RestoredJob {
   unsigned long long blocksteps = 0;
   double e0 = 0.0;
   double e_final = 0.0;
+  std::size_t boards_now = 0;  ///< lease size after the last resize (0 = spec)
+  std::uint64_t resizes = 0;   ///< lease-resized records replayed
   bool has_checkpoint = false;
   fault::RunCheckpoint checkpoint;  ///< physics state (live mid-flight + completed)
   std::string checkpoint_file;
@@ -160,6 +162,10 @@ class Scheduler {
     std::uint64_t hold_until_round = 0;  ///< retry backoff release round
     std::uint64_t submit_round = 0;      ///< deadline epoch (logical clock)
     std::string checkpoint_file;         ///< last checkpoint path ("" = none)
+    /// Autoscaling: the lease size the job runs at (starts at spec.boards,
+    /// moves within [min_boards, max_boards]; every change is journaled).
+    std::size_t boards_target = 0;
+    std::uint64_t resizes = 0;           ///< grow/shrink events applied
 
     BoardLease lease;                      ///< valid while kRunning
     std::unique_ptr<JobRuntime> runtime;   ///< live while running/preempted
@@ -213,6 +219,21 @@ class Scheduler {
   void run_quanta(const std::vector<JobId>& running) G6_REQUIRES(serial_m_);
   void fold_quantum(Record& r) G6_REQUIRES(serial_m_);
   void preempt_for(JobId blocked_id) G6_REQUIRES(serial_m_);
+
+  /// Autoscaling (between quanta only; see docs/SERVING.md):
+  /// resize a running job's lease to `new_size` — release, re-acquire,
+  /// rebuild the runtime through the save/restore path (the BFP exponent
+  /// cache is shaped by the lease size), journal a lease-resized record.
+  void resize_running(Record& r, std::size_t new_size, const char* why)
+      G6_REQUIRES(serial_m_);
+  /// Bookkeeping shared by every resize path: boards_target follows the
+  /// lease, counters tick, a lease-resized journal record lands.
+  void record_resize(Record& r, const char* why) G6_REQUIRES(serial_m_);
+  /// Queue pressure: shrink running autoscalable jobs toward boards_min
+  /// to free boards for `blocked_id` before resorting to preemption.
+  void shrink_for(JobId blocked_id) G6_REQUIRES(serial_m_);
+  /// Idle machine: grow running autoscalable jobs toward boards_max.
+  void grow_leases() G6_REQUIRES(serial_m_);
 
   void start_runtime(Record& r) G6_REQUIRES(serial_m_);
   void finish_job(Record& r) G6_REQUIRES(serial_m_);

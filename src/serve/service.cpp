@@ -39,6 +39,10 @@ void GrapeService::drain() { impl_->drain(); }
 
 void GrapeService::run_until_drained() { impl_->run_until_drained(); }
 
+bool GrapeService::run_rounds(std::size_t max_rounds) {
+  return impl_->run_rounds(max_rounds);
+}
+
 JobReport GrapeService::report(JobId id) const { return impl_->report(id); }
 
 JobState GrapeService::state(JobId id) const { return impl_->state(id); }

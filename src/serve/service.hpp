@@ -78,6 +78,11 @@ class GrapeService {
   void drain();
   /// Run scheduler rounds until no job is queued or running.
   void run_until_drained();
+  /// Run at most `max_rounds` rounds; returns true while live work
+  /// remains. The serving loop a socket server interleaves with I/O:
+  /// accept/submit between calls, advance the machine one round at a
+  /// time, stream progress after each call (src/wire/server.hpp).
+  bool run_rounds(std::size_t max_rounds);
 
   JobReport report(JobId id) const;
   JobState state(JobId id) const;

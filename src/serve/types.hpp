@@ -90,6 +90,22 @@ struct JobSpec {
   std::size_t boards = 1;         ///< lease size (emulated processor boards)
   Priority priority = Priority::kBatch;
 
+  /// Autoscaling bounds on the lease (0 = same as `boards`, i.e. fixed).
+  /// When the range is wider than `boards`, the scheduler may grow the
+  /// job's lease toward boards_max on an idle machine and shrink it
+  /// toward boards_min under queue pressure, between quanta. Physics is
+  /// a function of the lease *size only* and the BFP merge order is
+  /// board-count invariant, so a resized job's snapshot stays
+  /// byte-identical to a standalone run (the serve_identity check
+  /// asserts it). Every resize routes through the integrator
+  /// save/restore path and is journaled as a `lease-resized` record.
+  std::size_t boards_min = 0;
+  std::size_t boards_max = 0;
+
+  std::size_t min_boards() const { return boards_min ? boards_min : boards; }
+  std::size_t max_boards() const { return boards_max ? boards_max : boards; }
+  bool autoscales() const { return min_boards() < boards || max_boards() > boards; }
+
   /// Deadline in scheduler rounds (the service's logical clock — wall
   /// time would break replay determinism). 0 = no deadline. A job still
   /// live when the round counter passes submit_round + deadline_rounds
@@ -124,7 +140,9 @@ struct JobReport {
   std::string message;  ///< failure / rejection detail
 
   std::size_t n = 0;
-  std::size_t boards = 0;   ///< lease size the job runs with
+  std::size_t boards = 0;      ///< requested lease size (JobSpec::boards)
+  std::size_t boards_now = 0;  ///< current lease size after autoscaling
+  std::uint64_t resizes = 0;   ///< lease grow/shrink events applied
   double t_end = 0.0;
   double t_reached = 0.0;   ///< simulation time the job has advanced to
 
@@ -225,6 +243,7 @@ struct ServiceStats {
   std::uint64_t preemptions = 0;
   std::uint64_t revocations = 0;
   std::uint64_t requeues = 0;
+  std::uint64_t resizes = 0;   ///< autoscaling lease grow/shrink events
   std::size_t boards_dead = 0;
   double makespan_s = 0.0;        ///< wall time inside run_until_drained
   obs::Eq10Accumulator eq10;      ///< merged over completed jobs

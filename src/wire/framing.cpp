@@ -1,0 +1,68 @@
+#include "wire/framing.hpp"
+
+#include "util/check.hpp"
+
+namespace g6::wire {
+
+std::string encode_frame(std::string_view payload, std::size_t max_payload) {
+  G6_REQUIRE_MSG(!payload.empty(), "wire frames never carry empty payloads");
+  G6_REQUIRE_MSG(payload.size() <= max_payload,
+                 "frame payload exceeds the protocol bound");
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  frame.push_back(static_cast<char>((len >> 24) & 0xff));
+  frame.push_back(static_cast<char>((len >> 16) & 0xff));
+  frame.push_back(static_cast<char>((len >> 8) & 0xff));
+  frame.push_back(static_cast<char>(len & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_payload)
+    : max_payload_(max_payload) {
+  G6_REQUIRE(max_payload_ >= 1);
+}
+
+void FrameDecoder::feed(std::string_view data) {
+  if (!error_.empty()) return;  // poisoned: nothing past this point parses
+  buf_.append(data);
+}
+
+FrameDecoder::Status FrameDecoder::next(std::string* out) {
+  G6_REQUIRE(out != nullptr);
+  if (!error_.empty()) return Status::kError;
+  if (buf_.size() - pos_ < kFrameHeaderBytes) {
+    // Compact lazily: only once everything buffered has been consumed,
+    // so steady-state decoding never memmoves partial frames around.
+    if (pos_ == buf_.size() && pos_ != 0) {
+      buf_.clear();
+      pos_ = 0;
+    }
+    return Status::kNeedMore;
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  const std::uint32_t len = (static_cast<std::uint32_t>(p[0]) << 24) |
+                            (static_cast<std::uint32_t>(p[1]) << 16) |
+                            (static_cast<std::uint32_t>(p[2]) << 8) |
+                            static_cast<std::uint32_t>(p[3]);
+  if (len == 0) {
+    error_ = "zero-length frame (desynchronized or hostile peer)";
+    return Status::kError;
+  }
+  if (len > max_payload_) {
+    error_ = "frame length " + std::to_string(len) +
+             " exceeds the protocol bound " + std::to_string(max_payload_);
+    return Status::kError;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes + len) return Status::kNeedMore;
+  out->assign(buf_, pos_ + kFrameHeaderBytes, len);
+  pos_ += kFrameHeaderBytes + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return Status::kFrame;
+}
+
+}  // namespace g6::wire

@@ -1,0 +1,70 @@
+#pragma once
+// Length-prefixed frame codec — the lowest layer of the wire protocol
+// (docs/SERVING.md, "Wire protocol").
+//
+// A frame is a 4-byte big-endian payload length followed by exactly that
+// many payload bytes (JSON text one level up). The codec is transport-
+// agnostic: FrameDecoder consumes whatever byte chunks the socket layer
+// hands it — a frame torn across a dozen reads, three frames in one read
+// — and re-emits whole payloads in order.
+//
+// The decoder is strict and fail-closed: a zero-length frame or a length
+// above `max_payload` poisons the stream permanently (kError), because a
+// desynchronized length prefix turns every subsequent byte into garbage
+// — the only safe response is to drop the connection. The framing fuzz
+// test (tests/wire/framing_test.cpp) drives this decoder with seeded
+// random splits and corruptions under ASan/UBSan.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace g6::wire {
+
+/// Frame header size: a 4-byte big-endian payload length.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Largest payload the codec accepts (8 MiB). A 64k-body snapshot event
+/// is ~3.5 MiB of JSON; anything past this bound is a desynchronized or
+/// hostile peer, not a bigger message.
+inline constexpr std::size_t kMaxFramePayload = 8u << 20;
+
+/// Serialize one frame (header + payload). Requires
+/// 1 <= payload.size() <= max_payload.
+std::string encode_frame(std::string_view payload,
+                         std::size_t max_payload = kMaxFramePayload);
+
+/// Incremental frame parser over an arbitrary chunking of the stream.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kNeedMore,  ///< no complete frame buffered; feed more bytes
+    kFrame,     ///< one payload extracted
+    kError,     ///< stream poisoned (bad length); error() says why
+  };
+
+  explicit FrameDecoder(std::size_t max_payload = kMaxFramePayload);
+
+  /// Append raw bytes received from the transport.
+  void feed(std::string_view data);
+
+  /// Extract the next complete payload into `out`. Call repeatedly until
+  /// it stops returning kFrame (one read can complete several frames).
+  /// After kError the decoder stays poisoned; feed() becomes a no-op.
+  Status next(std::string* out);
+
+  /// Human-readable reason once poisoned ("" otherwise).
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (tests; idle-connection audits).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_payload_;
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  std::string error_;
+};
+
+}  // namespace g6::wire

@@ -1,0 +1,482 @@
+#include "wire/server.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "serve/serve.hpp"
+#include "util/check.hpp"
+#include "wire/envelope.hpp"
+#include "wire/framing.hpp"
+#include "wire/socket.hpp"
+
+namespace g6::wire {
+
+namespace {
+
+using obs::JsonValue;
+using obs::json_escape;
+
+obs::MetricsRegistry& reg() { return obs::MetricsRegistry::global(); }
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void write_envelope_head(std::ostream& os, const char* kind) {
+  os << "{\"schema\":\"" << kWireSchema << "\",\"kind\":\"" << kind << "\"";
+}
+
+/// The same per-job key set grape6_serve's report file uses, so a remote
+/// report is field-for-field the local one.
+void write_job_report(std::ostream& os, const serve::JobReport& r) {
+  os << "{\"id\":" << r.id << ",\"name\":\"" << json_escape(r.name)
+     << "\",\"priority\":\"" << serve::priority_name(r.priority)
+     << "\",\"state\":\"" << serve::job_state_name(r.state)
+     << "\",\"reject_reason\":\"" << serve::reject_reason_name(r.reject_reason)
+     << "\",\"message\":\"" << json_escape(r.message) << "\",\"n\":" << r.n
+     << ",\"boards\":" << r.boards << ",\"boards_now\":" << r.boards_now
+     << ",\"resizes\":" << r.resizes << ",\"t_end\":" << num(r.t_end)
+     << ",\"t_reached\":" << num(r.t_reached) << ",\"steps\":" << r.steps
+     << ",\"blocksteps\":" << r.blocksteps << ",\"quanta\":" << r.quanta
+     << ",\"preemptions\":" << r.preemptions
+     << ",\"revocations\":" << r.revocations << ",\"requeues\":" << r.requeues
+     << ",\"failures\":" << r.failures << ",\"wait_s\":" << num(r.wait_s)
+     << ",\"run_s\":" << num(r.run_s)
+     << ",\"grape_virtual_s\":" << num(r.grape_virtual_s)
+     << ",\"e0\":" << num(r.e0) << ",\"e_final\":" << num(r.e_final)
+     << ",\"energy_error\":" << num(r.energy_error()) << "}";
+}
+
+}  // namespace
+
+struct WireServer::Impl {
+  struct Conn {
+    std::uint64_t id = 0;
+    Socket sock;
+    FrameDecoder decoder;
+    std::string outbuf;
+    std::size_t out_pos = 0;  ///< flushed prefix of outbuf
+    bool subscribed = false;
+    bool want_snapshots = false;
+    bool all_jobs = false;
+    bool closing = false;  ///< flush remaining outbuf, then close
+    std::vector<serve::JobId> submitted;
+  };
+
+  /// Last observed progress per job, for event diffing after each round.
+  struct JobTrack {
+    std::uint64_t quanta = 0;
+    serve::JobState state = serve::JobState::kQueued;
+    std::size_t boards_now = 0;
+    std::uint64_t resizes = 0;
+    bool terminal_sent = false;
+  };
+
+  serve::GrapeService& service;
+  ListenSocket listener;
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::vector<JobTrack> tracks;  ///< index = job id - 1
+  WireServerStats stats;
+  std::uint64_t next_conn_id = 1;
+  bool drain_requested = false;
+
+  Impl(serve::GrapeService& svc, const std::string& listen_endpoint)
+      : service(svc), listener(parse_endpoint(listen_endpoint)) {}
+
+  void enqueue(Conn& c, const std::string& payload) {
+    c.outbuf += encode_frame(payload);
+    ++stats.frames_out;
+    reg().counter("wire.frames_out").add();
+    reg().counter("wire.bytes_out").add(kFrameHeaderBytes + payload.size());
+  }
+
+  bool wants(const Conn& c, serve::JobId job) const {
+    if (!c.subscribed) return false;
+    if (c.all_jobs) return true;
+    return std::find(c.submitted.begin(), c.submitted.end(), job) !=
+           c.submitted.end();
+  }
+
+  void broadcast(serve::JobId job, const std::string& payload) {
+    for (auto& c : conns) {
+      if (!c->closing && wants(*c, job)) {
+        enqueue(*c, payload);
+        ++stats.events;
+        reg().counter("wire.events").add();
+      }
+    }
+  }
+
+  void update_subscriber_gauge() {
+    std::size_t n = 0;
+    for (const auto& c : conns) {
+      if (c->subscribed && !c->closing) ++n;
+    }
+    reg().gauge("wire.subscribers").set(static_cast<double>(n));
+  }
+
+  // ---- streaming ---------------------------------------------------------
+
+  /// Diff every job's report against its track and stream what changed.
+  /// Called after each scheduler round — this is what replaces report
+  /// polling: per-quantum progress, exactly-once terminal states.
+  void emit_events() {
+    const std::vector<serve::JobId> ids = service.jobs();
+    if (tracks.size() < ids.size()) tracks.resize(ids.size());
+    for (serve::JobId id : ids) {
+      JobTrack& track = tracks[id - 1];
+      if (track.terminal_sent) continue;
+      const serve::JobReport rep = service.report(id);
+      const bool terminal = rep.state != serve::JobState::kQueued &&
+                            rep.state != serve::JobState::kRunning;
+      const bool progressed =
+          rep.quanta != track.quanta || rep.state != track.state ||
+          rep.boards_now != track.boards_now || rep.resizes != track.resizes;
+      track.quanta = rep.quanta;
+      track.state = rep.state;
+      track.boards_now = rep.boards_now;
+      track.resizes = rep.resizes;
+      if (progressed && !terminal) {
+        std::ostringstream os;
+        write_envelope_head(os, "event");
+        os << ",\"event\":\"progress\",\"job\":" << rep.id << ",\"name\":\""
+           << json_escape(rep.name) << "\",\"state\":\""
+           << serve::job_state_name(rep.state)
+           << "\",\"quanta\":" << rep.quanta
+           << ",\"t\":" << num(rep.t_reached) << ",\"steps\":" << rep.steps
+           << ",\"blocksteps\":" << rep.blocksteps
+           << ",\"boards\":" << rep.boards_now
+           << ",\"resizes\":" << rep.resizes << "}";
+        broadcast(id, os.str());
+      }
+      if (terminal) {
+        track.terminal_sent = true;
+        std::ostringstream os;
+        write_envelope_head(os, "event");
+        os << ",\"event\":\"terminal\",\"job\":" << rep.id << ",\"report\":";
+        write_job_report(os, rep);
+        os << "}";
+        broadcast(id, os.str());
+        if (rep.state == serve::JobState::kCompleted) {
+          // Snapshot events are opt-in (a 17-digit body table is the
+          // bulk of the traffic) and per-connection.
+          std::string snap;
+          for (auto& c : conns) {
+            if (c->closing || !c->want_snapshots || !wants(*c, id)) continue;
+            if (snap.empty()) {
+              double t = 0.0;
+              const ParticleSet& set = service.final_state(id, &t);
+              std::ostringstream ss;
+              write_envelope_head(ss, "event");
+              ss << ",\"event\":\"snapshot\",\"job\":" << rep.id
+                 << ",\"name\":\"" << json_escape(rep.name)
+                 << "\",\"snapshot\":";
+              encode_snapshot(ss, set, t);
+              ss << "}";
+              snap = ss.str();
+            }
+            enqueue(*c, snap);
+            ++stats.events;
+            reg().counter("wire.events").add();
+          }
+        }
+      }
+    }
+  }
+
+  // ---- request handling --------------------------------------------------
+
+  void respond_error(Conn& c, std::uint64_t id, const std::string& message) {
+    std::ostringstream os;
+    write_envelope_head(os, "response");
+    os << ",\"id\":" << id << ",\"ok\":false,\"error\":\""
+       << json_escape(message) << "\"}";
+    enqueue(c, os.str());
+  }
+
+  void handle_request(Conn& c, const Envelope& env) {
+    ++stats.requests;
+    reg().counter("wire.requests").add();
+    const double t0 = obs::monotonic_seconds();
+    std::ostringstream os;
+    write_envelope_head(os, "response");
+    os << ",\"id\":" << env.id << ",\"ok\":true";
+
+    if (env.method == "ping") {
+      os << ",\"pong\":true}";
+    } else if (env.method == "submit") {
+      const JsonValue* spec_v = env.root.find("spec");
+      if (spec_v == nullptr) {
+        respond_error(c, env.id, "submit: missing key 'spec'");
+        return;
+      }
+      const serve::JobSpec spec = decode_job_spec(*spec_v);
+      const serve::SubmitResult r = service.submit(spec);
+      // Backpressure travels verbatim: the reject reason name and
+      // message a local ServeClient would see ARE the wire payload.
+      os << ",\"job\":" << r.id << ",\"accepted\":"
+         << (r.accepted ? "true" : "false") << ",\"reason\":\""
+         << serve::reject_reason_name(r.reason) << "\",\"message\":\""
+         << json_escape(r.message) << "\"}";
+      if (r.accepted) c.submitted.push_back(r.id);
+    } else if (env.method == "report" || env.method == "state" ||
+               env.method == "final") {
+      const JsonValue* job_v = env.root.find("job");
+      if (job_v == nullptr || !job_v->is_number()) {
+        respond_error(c, env.id, env.method + ": missing numeric key 'job'");
+        return;
+      }
+      const auto job = static_cast<serve::JobId>(job_v->as_number());
+      const std::vector<serve::JobId> ids = service.jobs();
+      if (job < 1 || job > ids.size()) {
+        respond_error(c, env.id,
+                      env.method + ": unknown job " + std::to_string(job));
+        return;
+      }
+      if (env.method == "report") {
+        os << ",\"report\":";
+        write_job_report(os, service.report(job));
+        os << "}";
+      } else if (env.method == "state") {
+        os << ",\"state\":\"" << serve::job_state_name(service.state(job))
+           << "\"}";
+      } else {
+        if (service.state(job) != serve::JobState::kCompleted) {
+          respond_error(c, env.id,
+                        "final: job " + std::to_string(job) +
+                            " has not completed");
+          return;
+        }
+        double t = 0.0;
+        const ParticleSet& set = service.final_state(job, &t);
+        os << ",\"snapshot\":";
+        encode_snapshot(os, set, t);
+        os << "}";
+      }
+    } else if (env.method == "subscribe") {
+      c.subscribed = true;
+      const JsonValue* snaps = env.root.find("snapshots");
+      c.want_snapshots = snaps != nullptr && snaps->as_bool();
+      const JsonValue* all = env.root.find("all");
+      c.all_jobs = all != nullptr && all->as_bool();
+      update_subscriber_gauge();
+      os << ",\"subscribed\":true}";
+    } else if (env.method == "stats") {
+      const serve::ServiceStats& st = service.stats();
+      os << ",\"stats\":{\"boards\":" << service.config().pool_boards()
+         << ",\"healthy_boards\":" << service.healthy_boards()
+         << ",\"rounds\":" << st.rounds << ",\"submitted\":" << st.submitted
+         << ",\"rejected\":" << st.rejected
+         << ",\"completed\":" << st.completed << ",\"failed\":" << st.failed
+         << ",\"quarantined\":" << st.quarantined
+         << ",\"preemptions\":" << st.preemptions
+         << ",\"revocations\":" << st.revocations
+         << ",\"requeues\":" << st.requeues << ",\"resizes\":" << st.resizes
+         << ",\"boards_dead\":" << st.boards_dead << "}}";
+    } else if (env.method == "drain") {
+      service.drain();
+      drain_requested = true;
+      os << ",\"draining\":true}";
+    } else {
+      respond_error(c, env.id, "unknown method '" + env.method + "'");
+      return;
+    }
+    enqueue(c, os.str());
+    reg()
+        .histogram("wire.rpc_s", 0.0, 0.1, 50)
+        .observe(obs::monotonic_seconds() - t0);
+  }
+
+  /// Protocol failure: stream one final error event, then flush & close.
+  void close_with_error(Conn& c, const std::string& message) {
+    ++stats.protocol_errors;
+    reg().counter("wire.protocol_errors").add();
+    obs::log_warn("wire: conn %llu closed with error: %s",
+                  static_cast<unsigned long long>(c.id), message.c_str());
+    std::ostringstream os;
+    write_envelope_head(os, "event");
+    os << ",\"event\":\"error\",\"message\":\"" << json_escape(message)
+       << "\"}";
+    enqueue(c, os.str());
+    ++stats.events;
+    reg().counter("wire.events").add();
+    c.closing = true;
+    update_subscriber_gauge();
+  }
+
+  void drain_frames(Conn& c) {
+    std::string payload;
+    while (!c.closing) {
+      const FrameDecoder::Status st = c.decoder.next(&payload);
+      if (st == FrameDecoder::Status::kNeedMore) break;
+      if (st == FrameDecoder::Status::kError) {
+        close_with_error(c, "framing: " + c.decoder.error());
+        break;
+      }
+      ++stats.frames_in;
+      reg().counter("wire.frames_in").add();
+      Envelope env;
+      try {
+        env = parse_envelope(payload);
+      } catch (const WireError& e) {
+        // Malformed JSON / bad schema: unrecoverable (the peer is not
+        // speaking our protocol) -> close with error.
+        close_with_error(c, e.what());
+        break;
+      }
+      if (env.kind != "request") {
+        close_with_error(c, "only requests flow client->server");
+        break;
+      }
+      try {
+        handle_request(c, env);
+      } catch (const WireError& e) {
+        // The envelope was sound but the payload was not (bad spec
+        // keys, wrong value types): the peer speaks the protocol, so
+        // answer ok:false and keep the connection.
+        respond_error(c, env.id, e.what());
+      }
+    }
+  }
+
+  void pump(std::atomic<bool>* stop) {
+    bool live = service.run_rounds(0);  // query only: any live work?
+    while (true) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
+      std::vector<PollItem> items;
+      items.push_back({listener.fd(), false, false, false, false});
+      for (const auto& c : conns) {
+        items.push_back({c->sock.fd(), c->out_pos < c->outbuf.size(), false,
+                         false, false});
+      }
+      // With quanta to run, the poll is a zero-timeout sweep between
+      // rounds; idle, it parks briefly (still bounded so the stop flag
+      // stays responsive).
+      poll_fds(items, live ? 0 : 20);
+
+      if (items[0].readable) {
+        while (auto s = listener.accept()) {
+          auto conn = std::make_unique<Conn>();
+          conn->id = next_conn_id++;
+          conn->sock = std::move(*s);
+          conns.push_back(std::move(conn));
+          ++stats.connections;
+          reg().counter("wire.connections").add();
+          reg().gauge("wire.conns.open")
+              .set(static_cast<double>(conns.size()));
+        }
+      }
+
+      // Only the conns that existed when the poll was built have an
+      // items entry; just-accepted ones are served next iteration.
+      const std::size_t polled = items.size() - 1;
+      for (std::size_t i = 0; i < polled; ++i) {
+        Conn& c = *conns[i];
+        const PollItem& it = items[i + 1];
+        if (it.error) {
+          c.closing = true;
+          c.outbuf.clear();
+          c.out_pos = 0;
+          continue;
+        }
+        if (it.readable && !c.closing) {
+          std::string chunk;
+          long n;
+          try {
+            n = c.sock.recv_some(&chunk);
+          } catch (const SocketError&) {
+            // ECONNRESET and friends: the peer is gone, nothing to
+            // mourn — drop the connection, keep serving.
+            c.closing = true;
+            c.outbuf.clear();
+            c.out_pos = 0;
+            continue;
+          }
+          if (n == 0) {
+            // Orderly EOF: the client is done sending; flush and drop.
+            c.closing = true;
+          } else if (n > 0) {
+            reg().counter("wire.bytes_in").add(chunk.size());
+            c.decoder.feed(chunk);
+            drain_frames(c);
+          }
+        }
+      }
+
+      if (live) {
+        live = service.run_rounds(1);
+        emit_events();
+      } else {
+        live = service.run_rounds(0);
+        if (live) continue;  // new submissions arrived: run next loop
+        emit_events();  // flush terminal events for just-rejected jobs
+      }
+
+      // Flush what the kernel will take; sockets are non-blocking, so a
+      // slow reader never stalls the scheduler.
+      bool pending_out = false;
+      for (auto& cp : conns) {
+        Conn& c = *cp;
+        while (c.out_pos < c.outbuf.size()) {
+          const long sent = c.sock.send_some(
+              std::string_view(c.outbuf).substr(c.out_pos));
+          if (sent == -2) {  // peer vanished mid-stream
+            c.closing = true;
+            c.outbuf.clear();
+            c.out_pos = 0;
+            break;
+          }
+          if (sent <= 0) break;
+          c.out_pos += static_cast<std::size_t>(sent);
+        }
+        if (c.out_pos == c.outbuf.size()) {
+          c.outbuf.clear();
+          c.out_pos = 0;
+        } else {
+          pending_out = true;
+        }
+      }
+      // Reap: closing connections whose buffers flushed, and broken ones.
+      const std::size_t before = conns.size();
+      conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                 [](const std::unique_ptr<Conn>& c) {
+                                   return c->closing &&
+                                          c->out_pos >= c->outbuf.size();
+                                 }),
+                  conns.end());
+      if (conns.size() != before) {
+        reg().gauge("wire.conns.open").set(static_cast<double>(conns.size()));
+        update_subscriber_gauge();
+      }
+
+      if (drain_requested && !live && !pending_out) return;
+    }
+  }
+};
+
+WireServer::WireServer(serve::GrapeService& service,
+                       const std::string& listen_endpoint)
+    : impl_(std::make_unique<Impl>(service, listen_endpoint)) {
+  G6_REQUIRE(impl_ != nullptr);
+}
+
+WireServer::~WireServer() = default;
+
+void WireServer::run(std::atomic<bool>* stop) { impl_->pump(stop); }
+
+const Endpoint& WireServer::endpoint() const {
+  return impl_->listener.endpoint();
+}
+
+const WireServerStats& WireServer::stats() const { return impl_->stats; }
+
+}  // namespace g6::wire

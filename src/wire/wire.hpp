@@ -1,0 +1,9 @@
+#pragma once
+// Public umbrella for the remote-serving wire layer: framing, envelopes,
+// transport, server and client (docs/SERVING.md, "Wire protocol").
+
+#include "wire/client.hpp"    // IWYU pragma: export
+#include "wire/envelope.hpp"  // IWYU pragma: export
+#include "wire/framing.hpp"   // IWYU pragma: export
+#include "wire/server.hpp"    // IWYU pragma: export
+#include "wire/socket.hpp"    // IWYU pragma: export

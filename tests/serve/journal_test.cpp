@@ -27,6 +27,8 @@ JobSpec demo_spec() {
   s.eta = 0.01;  // not exactly representable: exercises the 17-digit rule
   s.seed = 42;
   s.boards = 2;
+  s.boards_min = 1;
+  s.boards_max = 4;
   s.priority = Priority::kInteractive;
   s.deadline_rounds = 30;
   s.chaos_fail_quanta = 1;
@@ -48,7 +50,8 @@ ServiceConfig demo_config() {
 }
 
 TEST(JournalRecordTest, TypeNamesRoundTrip) {
-  for (int t = 0; t <= static_cast<int>(JournalRecordType::kDrained); ++t) {
+  for (int t = 0; t <= static_cast<int>(JournalRecordType::kLeaseResized);
+       ++t) {
     const auto rt = static_cast<JournalRecordType>(t);
     JournalRecord rec;
     rec.seq = 1;
@@ -95,6 +98,8 @@ TEST(JournalRecordTest, SubmittedRecordRoundTripsSpecBitExactly) {
   EXPECT_EQ(back.spec.eta, 0.01);  // bit-exact via 17 significant digits
   EXPECT_EQ(back.spec.seed, 42u);
   EXPECT_EQ(back.spec.boards, 2u);
+  EXPECT_EQ(back.spec.boards_min, 1u);
+  EXPECT_EQ(back.spec.boards_max, 4u);
   EXPECT_EQ(back.spec.priority, Priority::kInteractive);
   EXPECT_EQ(back.spec.deadline_rounds, 30u);
   EXPECT_EQ(back.spec.chaos_fail_quanta, 1);
@@ -136,6 +141,26 @@ TEST(JournalRecordTest, RequeueRecordRoundTripsPolicyCounters) {
   EXPECT_EQ(back.requeues, 1);
   EXPECT_EQ(back.failures, 2);
   EXPECT_EQ(back.hold_until, 17u);
+}
+
+TEST(JournalRecordTest, LeaseResizedRecordRoundTrips) {
+  JournalRecord rec;
+  rec.seq = 6;
+  rec.round = 9;
+  rec.type = JournalRecordType::kLeaseResized;
+  rec.job = 4;
+  rec.boards = 3;
+  rec.reason = "grow";
+  const JournalRecord back = decode_record(encode_record(rec));
+  EXPECT_EQ(back.type, JournalRecordType::kLeaseResized);
+  EXPECT_EQ(back.job, 4u);
+  EXPECT_EQ(back.boards, 3u);
+  EXPECT_EQ(back.reason, "grow");
+  // Strict keys: a lease-resized record without its new size is corrupt.
+  EXPECT_THROW(
+      decode_record("{\"seq\":6,\"type\":\"lease-resized\",\"round\":9,"
+                    "\"job\":4,\"reason\":\"grow\"}"),
+      JournalError);
 }
 
 TEST(JournalRecordTest, UnknownKeyIsRejected) {
@@ -186,7 +211,12 @@ TEST(JournalRecordTest, RunTagFingerprintsTheDynamics) {
 class JournalFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "g6_journal_test";
+    // Unique per test case: ctest -j runs cases concurrently and a shared
+    // directory races SetUp's remove_all against a sibling's journal writes.
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("g6_journal_") + info->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_);
     path_ = (dir_ / "serve.wal").string();

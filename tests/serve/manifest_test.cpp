@@ -79,7 +79,18 @@ TEST(ServeManifest, RejectsSchemaViolations) {
   expect_error(R"({"schema": "v0", "jobs": [{"name":"a"}]})", "schema");
   expect_error(R"({"schema": "grape6-serve-manifest-v1", "jobs": []})",
                "empty");
-  expect_error(R"({"schema": "grape6-serve-manifest-v1"})", "jobs");
+}
+
+TEST(ServeManifest, ServiceOnlyManifestHasNoJobs) {
+  // No "jobs" key at all: the daemon-shape manifest (grape6_served gets
+  // its jobs over the wire). Distinct from a present-but-empty array,
+  // which stays an error above.
+  const Manifest m = parse_manifest(R"({
+    "schema": "grape6-serve-manifest-v1",
+    "service": {"boards_per_host": 2, "hosts_per_cluster": 1, "clusters": 1}
+  })");
+  EXPECT_TRUE(m.jobs.empty());
+  EXPECT_EQ(m.service.machine.boards_per_host, 2u);
 }
 
 TEST(ServeManifest, RejectsUnknownKeysEverywhere) {

@@ -58,7 +58,12 @@ void expect_bit_identical(const ParticleSet& a, const ParticleSet& b) {
 class ServeRecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "g6_serve_recovery_test";
+    // Unique per test case: ctest -j runs cases concurrently and a shared
+    // directory races SetUp's remove_all against a sibling's journal writes.
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("g6_serve_recovery_") + info->name());
     fs::remove_all(dir_);
     fs::create_directories(dir_ / "ckpts");
   }
@@ -136,8 +141,13 @@ TEST_F(ServeRecoveryTest, CrashMidFlightRecoversBitIdentically) {
 
 TEST_F(ServeRecoveryTest, EveryCrashPointRecoversBitIdentically) {
   // Sweep the crash over every round boundary until the natural end of
-  // the run: recovery must be a no-op detour at each of them.
-  const std::vector<JobSpec> jobs = {small_job("x", 5), small_job("y", 6)};
+  // the run: recovery must be a no-op detour at each of them. Job y
+  // carries autoscaling lease bounds so the sweep also crosses any
+  // lease-resized boundary the schedule produces.
+  JobSpec y = small_job("y", 6);
+  y.boards_min = 1;
+  y.boards_max = 2;
+  const std::vector<JobSpec> jobs = {small_job("x", 5), y};
   const ServiceConfig cfg = durable_config();
   const std::vector<ParticleSet> want = reference_run(jobs, cfg);
 
@@ -312,6 +322,54 @@ TEST_F(ServeRecoveryTest, LiveJobWithLostCheckpointRerunsFromScratch) {
   double t = 0.0;
   expect_bit_identical(service->final_state(service->jobs()[0], &t),
                        want[0]);
+}
+
+TEST_F(ServeRecoveryTest, LeaseResizeSurvivesCrashBitIdentically) {
+  // An autoscaling job (1..2 boards) next to a plain one on a 2-board
+  // machine: when the plain job finishes, the freed board grows the
+  // lease between quanta, appending a lease-resized journal record.
+  // Crash right after the first resize; replay must rebuild boards_now
+  // and the resize count exactly (the resumed pipeline keeps the
+  // autoscaled shape), and the resumed run must land bit-identically
+  // on the never-interrupted reference.
+  JobSpec scaled = small_job("scaled", 51);
+  scaled.t_end = 0.125;  // outlives the plain job: a board frees up
+  scaled.boards_min = 1;
+  scaled.boards_max = 2;
+  const std::vector<JobSpec> jobs = {scaled, small_job("plain", 52)};
+  const ServiceConfig cfg = durable_config(2);
+  const std::vector<ParticleSet> want = reference_run(jobs, cfg);
+
+  std::uint64_t resizes_at_crash = 0;
+  std::size_t boards_at_crash = 0;
+  {
+    Scheduler sched(cfg);
+    for (const JobSpec& s : jobs) ASSERT_TRUE(sched.submit(s).accepted);
+    bool live = true;
+    while (live && sched.report(1).resizes == 0) live = sched.run_rounds(1);
+    ASSERT_TRUE(live) << "scaled job finished before any resize fired";
+    resizes_at_crash = sched.report(1).resizes;
+    boards_at_crash = sched.report(1).boards_now;
+    ASSERT_GE(resizes_at_crash, 1u);
+    EXPECT_EQ(boards_at_crash, 2u);  // grew into the freed board
+  }  // abandoned un-drained: the crash
+
+  RestoredService restored =
+      recover_from_journal(cfg.durability.journal_path);
+  ASSERT_EQ(restored.jobs.size(), 2u);
+  EXPECT_EQ(restored.jobs[0].resizes, resizes_at_crash);
+  EXPECT_EQ(restored.jobs[0].boards_now, boards_at_crash);
+
+  Scheduler resumed(std::move(restored));
+  resumed.run_until_drained();
+  const std::vector<JobId> ids = resumed.all_jobs();
+  ASSERT_EQ(ids.size(), 2u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(resumed.state(ids[i]), JobState::kCompleted) << jobs[i].name;
+    double t = 0.0;
+    expect_bit_identical(resumed.final_state(ids[i], &t), want[i]);
+  }
+  EXPECT_GE(resumed.report(ids[0]).resizes, resizes_at_crash);
 }
 
 TEST_F(ServeRecoveryTest, SigtermDrainCheckpointsAndResumes) {

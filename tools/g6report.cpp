@@ -137,6 +137,66 @@ void print_exec_summary(const JsonValue& doc) {
   }
 }
 
+bool is_wire_metric(const std::string& name) {
+  return name.rfind("wire.", 0) == 0;
+}
+
+/// Remote-serving rollup: wire.* transport counters (frames/bytes in and
+/// out, connections, protocol errors), the live-connection and
+/// subscriber gauges, and the request round-trip histogram, grouped in
+/// one section and excluded from the generic listings below.
+void print_wire_summary(const JsonValue& doc) {
+  const JsonValue* counters = doc.find("counters");
+  const JsonValue* gauges = doc.find("gauges");
+  const JsonValue* hists = doc.find("histograms");
+  bool any = false;
+  const auto scan = [&](const JsonValue* obj) {
+    if (obj == nullptr) return;
+    for (const auto& [name, v] : obj->members()) {
+      (void)v;
+      if (is_wire_metric(name)) any = true;
+    }
+  };
+  scan(counters);
+  scan(gauges);
+  scan(hists);
+  if (!any) return;
+  std::printf("\nwire summary:\n");
+  if (counters != nullptr) {
+    for (const auto& [name, v] : counters->members()) {
+      if (is_wire_metric(name)) {
+        std::printf("  %-28s %20.0f\n", name.c_str(), v.as_number());
+      }
+    }
+  }
+  if (gauges != nullptr) {
+    for (const auto& [name, v] : gauges->members()) {
+      if (is_wire_metric(name)) {
+        std::printf("  %-28s %20.6g\n", name.c_str(), v.as_number());
+      }
+    }
+  }
+  if (hists != nullptr) {
+    for (const auto& [name, h] : hists->members()) {
+      if (is_wire_metric(name)) {
+        std::printf("  %-28s count %-8.0f mean %.4g s  max %.4g s\n",
+                    name.c_str(), h.at("count").as_number(),
+                    h.at("mean").as_number(), h.at("max").as_number());
+      }
+    }
+  }
+  const JsonValue* in = counters != nullptr
+                            ? counters->find("wire.frames_in")
+                            : nullptr;
+  const JsonValue* req = counters != nullptr
+                             ? counters->find("wire.requests")
+                             : nullptr;
+  if (in != nullptr && req != nullptr && req->as_number() > 0.0) {
+    std::printf("  (%.0f frames in for %.0f requests)\n", in->as_number(),
+                req->as_number());
+  }
+}
+
 /// Per-job attribution ledgers (the "scopes" section): one block per
 /// scope with its mirrored counters.
 void print_scopes(const JsonValue& doc) {
@@ -251,8 +311,11 @@ void print_instruments(const JsonValue& doc) {
     if (obj == nullptr) return;
     bool printed_header = false;
     for (const auto& [name, v] : obj->members()) {
-      // Shown in the fault / exec summaries above.
-      if (is_fault_metric(name) || is_exec_metric(name)) continue;
+      // Shown in the fault / exec / wire summaries above.
+      if (is_fault_metric(name) || is_exec_metric(name) ||
+          is_wire_metric(name)) {
+        continue;
+      }
       if (!printed_header) {
         std::printf("\n%s:\n", header);
         printed_header = true;
@@ -264,10 +327,15 @@ void print_instruments(const JsonValue& doc) {
   print_object(doc.find("gauges"), "gauges", "  %-28s %20.6g\n");
   const JsonValue* hists = doc.find("histograms");
   if (hists != nullptr && !hists->members().empty()) {
-    std::printf("\nhistograms:\n");
-    std::printf("  %-28s %10s %12s %12s %12s %12s\n", "name", "count", "mean",
-                "stddev", "min", "max");
+    bool printed_header = false;
     for (const auto& [name, h] : hists->members()) {
+      if (is_wire_metric(name)) continue;  // wire summary above
+      if (!printed_header) {
+        std::printf("\nhistograms:\n");
+        std::printf("  %-28s %10s %12s %12s %12s %12s\n", "name", "count",
+                    "mean", "stddev", "min", "max");
+        printed_header = true;
+      }
       std::printf("  %-28s %10.0f %12.4g %12.4g %12.4g %12.4g\n", name.c_str(),
                   h.at("count").as_number(), h.at("mean").as_number(),
                   h.at("stddev").as_number(), h.at("min").as_number(),
@@ -319,6 +387,7 @@ int main(int argc, char** argv) try {
   if (!eq10_only) {
     print_fault_summary(doc);
     print_exec_summary(doc);
+    print_wire_summary(doc);
     print_scopes(doc);
     print_instruments(doc);
   }

@@ -89,6 +89,7 @@ void write_report(const std::string& path, const serve::GrapeService& service,
      << ", \"preemptions\": " << st.preemptions
      << ", \"revocations\": " << st.revocations
      << ", \"requeues\": " << st.requeues
+     << ", \"resizes\": " << st.resizes
      << ", \"boards_dead\": " << st.boards_dead
      << ", \"makespan_s\": " << st.makespan_s << ", \"eq10\": ";
   write_eq10(os, st.eq10);
@@ -107,7 +108,8 @@ void write_report(const std::string& path, const serve::GrapeService& service,
        << serve::job_state_name(r.state) << "\", \"reject_reason\": \""
        << serve::reject_reason_name(r.reject_reason) << "\", \"message\": \""
        << obs::json_escape(r.message) << "\",\n     \"n\": " << r.n
-       << ", \"boards\": " << r.boards << ", \"t_end\": " << r.t_end
+       << ", \"boards\": " << r.boards << ", \"boards_now\": " << r.boards_now
+       << ", \"resizes\": " << r.resizes << ", \"t_end\": " << r.t_end
        << ", \"t_reached\": " << r.t_reached << ", \"steps\": " << r.steps
        << ", \"blocksteps\": " << r.blocksteps
        << ", \"quanta\": " << r.quanta

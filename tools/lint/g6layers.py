@@ -66,9 +66,12 @@ ALLOWED: dict[str, set[str]] = {
                  "perf", "util"},
     "serve": {"exec", "fault", "grape", "hw", "hermite", "nbody", "obs",
               "util"},
+    # remote serving: the socket front for serve (and the ONLY layer
+    # allowed to touch raw socket primitives — g6lint raw-socket rule)
+    "wire": {"exec", "nbody", "obs", "serve", "util"},
     # the facade: re-exports everything below
     "core": {"exec", "fault", "grape", "hw", "hermite", "nbody", "net",
-             "obs", "parallel", "perf", "serve", "tree", "util"},
+             "obs", "parallel", "perf", "serve", "tree", "util", "wire"},
     # applications: the facade plus the cross-cutting foundations
     "tools": {"core", "obs", "util"},
     "bench": {"core", "obs", "util"},

@@ -140,6 +140,41 @@ class ServeInternalTest(LayerHarness):
         self.assertEqual(findings, [])
 
 
+class WireLayerTest(LayerHarness):
+    """The wire layer: above serve, below the core facade."""
+
+    def test_wire_may_include_serve_public_surface(self):
+        self.put("src/serve/serve.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/wire/server.cpp", "#include \"serve/serve.hpp\"\n")
+        self.assertEqual(findings, [])
+
+    def test_wire_must_not_touch_serve_internals(self):
+        self.put("src/serve/scheduler.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/wire/server.cpp", "#include \"serve/scheduler.hpp\"\n")
+        self.assertIn("serve-internal", self.rules_of(findings))
+
+    def test_serve_including_wire_is_a_back_edge(self):
+        self.put("src/wire/framing.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/serve/service.cpp", "#include \"wire/framing.hpp\"\n")
+        self.assertIn("back-edge", self.rules_of(findings))
+
+    def test_core_may_reexport_wire(self):
+        self.put("src/wire/wire.hpp", "#pragma once\n")
+        findings = self.check(
+            "src/core/grape6x.hpp",
+            "#pragma once\n#include \"wire/wire.hpp\"\n")
+        self.assertEqual(findings, [])
+
+    def test_tools_reach_wire_via_core_only(self):
+        self.put("src/wire/client.hpp", "#pragma once\n")
+        findings = self.check(
+            "tools/t.cpp", "#include \"wire/client.hpp\"\n")
+        self.assertIn("back-edge", self.rules_of(findings))
+
+
 class DeclaredGraphTest(unittest.TestCase):
     def test_declared_graph_is_a_dag(self):
         errors = []

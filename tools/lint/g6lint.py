@@ -43,6 +43,18 @@ The GRAPE-6 software twin has correctness properties that hinge on
                   bit-identical, and the determinism contract of
                   docs/EXECUTION.md has one enforcement point.
 
+  raw-socket      Socket primitives — the BSD socket headers
+                  (<sys/socket.h>, <sys/un.h>, <netinet/*.h>,
+                  <arpa/inet.h>, <poll.h>) and the ::-qualified syscalls
+                  (::socket, ::bind, ::connect, ::send, ::recv, ::poll,
+                  ...) — are confined to src/wire/. Everything else talks
+                  through the wire layer's RAII wrappers (wire/socket.hpp)
+                  or, better, WireServer / RemoteClient, so framing,
+                  EINTR handling and non-blocking discipline live in one
+                  audited place and the serve-isolation backpressure
+                  contract cannot be bypassed with a hand-rolled socket.
+                  tests/ are exempt (they probe the wrappers white-box).
+
   require-at-api  Public API translation units must validate their inputs:
                   each .cpp under src/ needs at least one G6_REQUIRE /
                   G6_REQUIRE_MSG, unless exempted below with a reason.
@@ -260,6 +272,25 @@ RAW_THREAD_EXEMPT_PREFIX = "src/exec/"
 RAW_THREAD_RE = re.compile(
     r"\bstd::(?:thread|jthread|async|this_thread)\b")
 
+# The one layer allowed to touch raw socket primitives.
+RAW_SOCKET_EXEMPT_PREFIX = "src/wire/"
+RAW_SOCKET_SCOPE_PREFIXES = ("src/", "tools/", "bench/", "examples/")
+RAW_SOCKET_HEADERS = (
+    "sys/socket.h",
+    "sys/un.h",
+    "netinet/in.h",
+    "netinet/tcp.h",
+    "arpa/inet.h",
+    "poll.h",
+)
+# ::-qualified only: the repo's convention for libc syscalls, and what
+# keeps `send(...)` methods on our own classes out of scope.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![\w.])::(?:socket|bind|listen|accept4?|connect|send(?:to|msg)?|"
+    r"recv(?:from|msg)?|poll|select|epoll_\w+|setsockopt|getsockopt|"
+    r"getsockname|getpeername|inet_pton|inet_ntop|getaddrinfo|shutdown)"
+    r"\s*\(")
+
 # The serving layer's internal headers and types: private to src/serve/.
 # Clients (anything else in src/, plus tools/bench/examples) use the
 # public surface — serve/serve.hpp, serve/types.hpp, serve/service.hpp,
@@ -309,8 +340,8 @@ METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_-]+)+$")
 METRIC_NAME_SCOPE_PREFIXES = ("src/", "tools/", "bench/", "examples/")
 
 RULES = ("raw-float", "native-float", "nondeterminism", "raw-timing",
-         "raw-thread", "require-at-api", "nolint-comment", "bare-abort",
-         "serve-isolation", "unordered-iter", "volatile-sync",
+         "raw-thread", "raw-socket", "require-at-api", "nolint-comment",
+         "bare-abort", "serve-isolation", "unordered-iter", "volatile-sync",
          "metric-name", "durable-writes", "soa-access")
 
 
@@ -445,6 +476,26 @@ def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None
         relpath.startswith(SERVE_ISOLATION_SCOPE_PREFIXES)
         and not relpath.startswith("src/serve/"))
     in_metric_name_scope = relpath.startswith(METRIC_NAME_SCOPE_PREFIXES)
+    in_raw_socket_scope = (
+        relpath.startswith(RAW_SOCKET_SCOPE_PREFIXES)
+        and not relpath.startswith(RAW_SOCKET_EXEMPT_PREFIX))
+
+    # raw-socket, include half: the socket headers are preprocessor lines,
+    # which the main loop skips.
+    if in_raw_socket_scope:
+        for lineno, code in enumerate(code_lines, start=1):
+            stripped = code.lstrip()
+            if not stripped.startswith("#") or "include" not in stripped:
+                continue
+            raw = lines[lineno - 1]
+            for hdr in RAW_SOCKET_HEADERS:
+                if (f'"{hdr}"' in raw or f"<{hdr}>" in raw) \
+                        and not sup.allowed("raw-socket", lineno):
+                    findings.append(Finding(
+                        relpath, lineno, "raw-socket",
+                        f"socket header <{hdr}> outside src/wire/ — use the "
+                        "wire layer's transport (wire/socket.hpp Socket/"
+                        "ListenSocket) or WireServer / RemoteClient"))
 
     # serve-isolation, include half: preprocessor lines are skipped by the
     # main loop below, so internal-header includes get their own pass.
@@ -522,6 +573,15 @@ def lint_file(root: pathlib.Path, relpath: str, findings: list[Finding]) -> None
                 "shared pool via g6::exec::TaskGroup / parallel_for "
                 "(src/exec/thread_pool.hpp) so thread count stays one knob "
                 "and the determinism contract holds"))
+
+        if (in_raw_socket_scope and RAW_SOCKET_RE.search(code)
+                and not sup.allowed("raw-socket", lineno)):
+            findings.append(Finding(
+                relpath, lineno, "raw-socket",
+                "raw socket syscall outside src/wire/ — go through the "
+                "wire layer (wire/socket.hpp, or WireServer / "
+                "RemoteClient) so framing, EINTR and non-blocking "
+                "discipline stay in one audited place"))
 
         if (relpath.startswith(SOA_ACCESS_SCOPE_PREFIXES)
                 and not relpath.startswith(SOA_ACCESS_EXEMPT_PREFIXES)

@@ -177,6 +177,82 @@ class RawThreadTest(LintHarness):
         self.assertIn("raw-thread", g6lint.RULES)
 
 
+class RawSocketTest(LintHarness):
+    """The raw-socket rule: socket primitives live in src/wire/ only."""
+
+    def test_socket_header_banned_in_src(self):
+        findings = self.lint(
+            "src/net/sock.cpp",
+            "#include <sys/socket.h>\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertIn("raw-socket", self.rules_of(findings))
+
+    def test_socket_header_banned_in_tools(self):
+        findings = self.lint(
+            "tools/t.cpp",
+            "#include <netinet/in.h>\nint main() { return 0; }\n")
+        self.assertIn("raw-socket", self.rules_of(findings))
+
+    def test_socket_syscall_banned_in_src(self):
+        findings = self.lint(
+            "src/net/sock.cpp",
+            "void f() { int fd = ::socket(2, 1, 0); (void)fd;\n"
+            "  G6_REQUIRE(true); }\n")
+        self.assertIn("raw-socket", self.rules_of(findings))
+
+    def test_send_recv_poll_banned_in_src(self):
+        findings = self.lint(
+            "src/net/sock.cpp",
+            "void f(int fd, char* b) { ::send(fd, b, 1, 0);\n"
+            "  ::recv(fd, b, 1, 0);\n"
+            "  ::poll(nullptr, 0, 0);\n"
+            "  G6_REQUIRE(true); }\n")
+        rules = self.rules_of(findings)
+        self.assertEqual(rules.count("raw-socket"), 3)
+
+    def test_wire_is_exempt(self):
+        findings = self.lint(
+            "src/wire/socket2.cpp",
+            "#include <sys/socket.h>\n"
+            "void f() { int fd = ::socket(2, 1, 0); (void)fd;\n"
+            "  G6_REQUIRE(true); }\n")
+        self.assertNotIn("raw-socket", self.rules_of(findings))
+
+    def test_unqualified_send_method_is_fine(self):
+        # send()/recv()/bind() methods and free functions on our own
+        # types: only the ::-qualified syscall spelling is in scope.
+        findings = self.lint(
+            "src/net/nic.cpp",
+            "void f(Nic& n, Msg m) { n.send(m); n.recv(); my::poll(n);\n"
+            "  G6_REQUIRE(true); }\n")
+        self.assertNotIn("raw-socket", self.rules_of(findings))
+
+    def test_comment_mention_is_fine(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "// the wire layer owns ::socket / <sys/socket.h>\n"
+            "void f() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("raw-socket", self.rules_of(findings))
+
+    def test_tests_are_out_of_scope(self):
+        findings = self.lint(
+            "tests/wire/t.cpp",
+            "#include <sys/socket.h>\n"
+            "void f() { ::socket(2, 1, 0); }\n")
+        self.assertNotIn("raw-socket", self.rules_of(findings))
+
+    def test_suppression_with_reason_works(self):
+        findings = self.lint(
+            "src/net/t.cpp",
+            "void f() { ::poll(nullptr, 0, 0); }"
+            "  // g6lint: allow(raw-socket) -- test fixture\n"
+            "void g() { G6_REQUIRE(true); }\n")
+        self.assertNotIn("raw-socket", self.rules_of(findings))
+
+    def test_rule_is_registered(self):
+        self.assertIn("raw-socket", g6lint.RULES)
+
+
 class BareAbortTest(LintHarness):
     """The bare-abort rule: process-killing calls must be typed errors."""
 
